@@ -1,0 +1,77 @@
+//! Microbenchmarks of the substrate: interpreter throughput, assembler
+//! speed, monitor exit round-trips and stub command latency (host-side
+//! cost; the *simulated* latencies are printed by `debug_latency`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hitactix::Workload;
+use hx_machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lvmm::LvmmPlatform;
+
+/// Instructions the tight-loop program retires per bench iteration.
+const LOOP_INSTRS: u64 = 100_000;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let program = hx_asm::assemble(&format!(
+        "start:  li   t0, {n}
+         loop:   addi t0, t0, -1
+                 bnez t0, loop
+         halt:   wfi
+                 j halt
+        ",
+        n = LOOP_INSTRS / 2
+    ))
+    .unwrap();
+    let mut group = c.benchmark_group("interpreter");
+    group.throughput(Throughput::Elements(LOOP_INSTRS));
+    group.bench_function("tight_loop_instrs", |b| {
+        b.iter(|| {
+            let mut machine =
+                Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+            machine.load_program(&program);
+            let mut hw = RawPlatform::new(machine);
+            hw.run_for(LOOP_INSTRS * 3);
+            assert!(hw.machine().cpu.instret() >= LOOP_INSTRS);
+            hw.machine().cpu.instret()
+        })
+    });
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::default());
+    let workload = Workload::new(100);
+    c.bench_function("assemble_streaming_kernel", |b| {
+        b.iter(|| workload.build(&machine).unwrap())
+    });
+}
+
+fn bench_monitor_exit(c: &mut Criterion) {
+    // A guest that does nothing but privileged CSR reads: every iteration
+    // is one full exit/emulate/resume round-trip.
+    let program = hx_asm::assemble(
+        "        .org 0x1000
+         start:  csrr t0, scratch
+                 j start
+        ",
+    )
+    .unwrap();
+    c.bench_function("lvmm_exit_roundtrip", |b| {
+        b.iter(|| {
+            let mut machine =
+                Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() });
+            machine.load_program(&program);
+            let mut vmm = LvmmPlatform::new(machine, 0x1000);
+            vmm.run_for(200_000);
+            let exits = vmm.monitor_stats().exits_privileged;
+            assert!(exits > 50);
+            exits
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interpreter, bench_assembler, bench_monitor_exit
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! **Table B** (ablation): interrupt moderation and the passthrough design.
+//!
+//! Sweeps the NIC's TX interrupt moderation (frames per completion
+//! interrupt) on all three platforms and reports the saturation rate. Since
+//! per-frame interrupts are the lightweight monitor's main residual cost
+//! (each one is reflect + inject + emulated EOI), moderation recovers a
+//! large fraction of the gap to real hardware — an extension the paper's
+//! design permits without giving up passthrough.
+//!
+//! Usage: `cargo run --release -p lwvmm-bench --bin ablation_io`
+
+use hitactix::Workload;
+use lwvmm_bench::{build_platform, measure, PlatformKind};
+
+fn main() {
+    let moderations = [1u32, 4, 16];
+    println!("Table B — saturation rate (Mbps) vs NIC TX interrupt moderation\n");
+    println!("{:<10} {:>14} {:>14} {:>14}", "platform", "mod=1", "mod=4", "mod=16");
+    for kind in PlatformKind::ALL {
+        let mut row = format!("{:<10}", kind.label());
+        for &m in &moderations {
+            let workload = Workload::new(950).moderation(m);
+            let mut platform = build_platform(kind, &workload);
+            let meas = measure(platform.as_mut(), 60, 250);
+            row.push_str(&format!(" {:>13.1}", meas.achieved_mbps));
+        }
+        println!("{row}");
+    }
+    println!("\nReading: moderation shrinks the interrupt-virtualization tax, so the");
+    println!("lightweight monitor gains the most; the hosted monitor stays dominated");
+    println!("by its per-packet host-OS relay, and real hardware barely moves.");
+}

@@ -1,0 +1,193 @@
+//! Measurement harness shared by the benchmark binaries.
+//!
+//! This is the code that regenerates the paper's evaluation: it boots the
+//! HiTactix-like streaming guest on each of the three platforms, sweeps the
+//! requested transfer rate, and measures achieved rate and CPU load over a
+//! steady-state window — exactly the procedure behind Fig. 3.1.
+
+use hitactix::{GuestStats, Workload};
+use hosted_vmm::HostedPlatform;
+use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
+use lvmm::LvmmPlatform;
+
+/// The three systems of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// Guest owns the hardware (paper: "Real hardware").
+    RawHw,
+    /// The lightweight monitor (paper: "LW virtual machine monitor").
+    Lvmm,
+    /// The hosted full monitor (paper: "VMware Workstation 4").
+    Hosted,
+}
+
+impl PlatformKind {
+    /// All three, in the paper's legend order.
+    pub const ALL: [PlatformKind; 3] = [PlatformKind::RawHw, PlatformKind::Lvmm, PlatformKind::Hosted];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::RawHw => "real-hw",
+            PlatformKind::Lvmm => "lvmm",
+            PlatformKind::Hosted => "hosted",
+        }
+    }
+}
+
+/// Boots the streaming workload on the requested platform.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble (a bug, covered by tests).
+pub fn build_platform(kind: PlatformKind, workload: &Workload) -> Box<dyn Platform> {
+    build_platform_with(kind, workload, MachineConfig::default())
+}
+
+/// [`build_platform`] with an explicit machine configuration (ablations).
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble.
+pub fn build_platform_with(
+    kind: PlatformKind,
+    workload: &Workload,
+    cfg: MachineConfig,
+) -> Box<dyn Platform> {
+    let mut machine = Machine::new(cfg);
+    let program = workload.build(&machine).expect("kernel assembles");
+    machine.load_program(&program);
+    let entry = hitactix::kernel::layout::ENTRY;
+    match kind {
+        PlatformKind::RawHw => Box::new(RawPlatform::new(machine)),
+        PlatformKind::Lvmm => Box::new(LvmmPlatform::new(machine, entry)),
+        PlatformKind::Hosted => Box::new(HostedPlatform::new(machine, entry)),
+    }
+}
+
+/// One measured point of the rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Requested payload rate (Mbit/s).
+    pub requested_mbps: f64,
+    /// Achieved payload rate at the NIC (Mbit/s) over the window.
+    pub achieved_mbps: f64,
+    /// CPU load in `[0, 1]` over the window.
+    pub cpu_load: f64,
+    /// Cycle-attribution deltas over the window.
+    pub window: TimeStats,
+    /// Guest statistics at the end of the run.
+    pub guest: GuestStats,
+    /// Wire frames over the window.
+    pub frames: u64,
+}
+
+/// Runs the platform for `warmup_ms` of simulated time, then measures a
+/// `window_ms` steady-state window.
+///
+/// # Panics
+///
+/// Panics if the guest faults during the run (integrity violation).
+pub fn measure(platform: &mut dyn Platform, warmup_ms: u64, window_ms: u64) -> Measurement {
+    let clock = platform.machine().config().clock_hz;
+    let per_ms = clock / 1_000;
+    platform.run_for(warmup_ms * per_ms);
+
+    let t0 = platform.machine().now();
+    let stats0 = *platform.time_stats();
+    let bytes0 = platform.machine().nic.counters().tx_bytes;
+    let frames0 = platform.machine().nic.counters().tx_frames;
+
+    platform.run_for(window_ms * per_ms);
+
+    let elapsed = platform.machine().now() - t0;
+    let window = platform.time_stats().since(&stats0);
+    let bytes = platform.machine().nic.counters().tx_bytes - bytes0;
+    let frames = platform.machine().nic.counters().tx_frames - frames0;
+    let guest = GuestStats::read(platform.machine());
+    assert_eq!(
+        guest.fault_cause, 0,
+        "guest took an unexpected fault at {:#x} on {}",
+        guest.fault_pc,
+        platform.name()
+    );
+
+    let seconds = elapsed as f64 / clock as f64;
+    Measurement {
+        requested_mbps: 0.0, // caller fills in
+        achieved_mbps: bytes as f64 * 8.0 / 1e6 / seconds,
+        cpu_load: window.cpu_load(),
+        window,
+        guest,
+        frames,
+    }
+}
+
+/// Convenience: build, warm up and measure one `(platform, rate)` point.
+pub fn measure_point(kind: PlatformKind, rate_mbps: u64, warmup_ms: u64, window_ms: u64) -> Measurement {
+    let workload = Workload::new(rate_mbps);
+    let mut platform = build_platform(kind, &workload);
+    let mut m = measure(platform.as_mut(), warmup_ms, window_ms);
+    m.requested_mbps = rate_mbps as f64;
+    m
+}
+
+/// Finds the saturation (maximum achieved) rate for a platform by asking
+/// for far more than it can deliver.
+pub fn saturation_mbps(kind: PlatformKind, warmup_ms: u64, window_ms: u64) -> f64 {
+    measure_point(kind, 950, warmup_ms, window_ms).achieved_mbps
+}
+
+/// Renders a simple ASCII scatter of (rate, load) series, mirroring the
+/// layout of the paper's Fig. 3.1.
+pub fn ascii_plot(series: &[(PlatformKind, Vec<(f64, f64)>)]) -> String {
+    const W: usize = 72;
+    const H: usize = 20;
+    let mut grid = vec![vec![' '; W + 1]; H + 1];
+    let max_x = 750.0f64;
+    for (kind, pts) in series {
+        let ch = match kind {
+            PlatformKind::RawHw => 'R',
+            PlatformKind::Lvmm => 'L',
+            PlatformKind::Hosted => 'V',
+        };
+        for &(x, y) in pts {
+            let cx = ((x / max_x) * W as f64).round() as usize;
+            let cy = H - ((y.clamp(0.0, 1.0)) * H as f64).round() as usize;
+            if cx <= W {
+                grid[cy][cx] = ch;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("CPU load (%) vs transfer rate (Mbps)   R=real-hw  L=lvmm  V=hosted\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = 100 - i * 100 / H;
+        out.push_str(&format!("{label:3} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str("     0        100       200       300       400       500       600       700\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_kinds() {
+        assert_eq!(PlatformKind::ALL.len(), 3);
+        assert_eq!(PlatformKind::Lvmm.label(), "lvmm");
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let s = ascii_plot(&[(PlatformKind::RawHw, vec![(100.0, 0.2), (700.0, 0.9)])]);
+        assert!(s.contains('R'));
+        assert!(s.lines().count() > 20);
+    }
+}

@@ -1,0 +1,167 @@
+//! The virtual chipset: the interrupt controller and timer the guest sees.
+//!
+//! Per the paper, these are the *only* devices the monitor emulates. The
+//! virtual interrupt controller is a second [`Hpic`] instance — identical
+//! semantics to the real one, so the guest's driver code is oblivious. The
+//! virtual timer mirrors guest programming onto the **real** timer (the
+//! monitor has no periodic work of its own), and the monitor reflects real
+//! timer interrupts back as virtual IRQ 0.
+//!
+//! Guest accesses to the UART page are absorbed (reads return zero, writes
+//! are dropped): the communication device belongs to the monitor — that
+//! ownership is precisely why the debug stub survives a crashed guest.
+
+use hx_cpu::MemSize;
+use hx_machine::{map, Hpic, Machine};
+
+/// The guest-visible virtual PIC/PIT pair (plus the UART absorber).
+#[derive(Debug, Clone)]
+pub struct VChipset {
+    /// The virtual interrupt controller; the monitor latches reflected
+    /// device interrupts here and injects from it.
+    pub vpic: Hpic,
+    vpit_ctrl: u32,
+    vpit_reload: u32,
+    /// Guest accesses to the monitor-owned UART that were absorbed.
+    pub uart_absorbed: u64,
+    /// Guest device-register accesses that were malformed (wrong offset or
+    /// width) and read as zero / were dropped.
+    pub bad_accesses: u64,
+}
+
+impl Default for VChipset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VChipset {
+    /// Creates the virtual chipset in reset state.
+    pub fn new() -> VChipset {
+        VChipset {
+            vpic: Hpic::new(),
+            vpit_ctrl: 0,
+            vpit_reload: 0,
+            uart_absorbed: 0,
+            bad_accesses: 0,
+        }
+    }
+
+    /// Emulates a guest word read from an emulated device page.
+    ///
+    /// `page` is the device page base ([`map::PIC_BASE`] / [`map::PIT_BASE`]
+    /// / [`map::UART_BASE`]); `offset` is the register offset within it.
+    pub fn mmio_read(&mut self, machine: &mut Machine, page: u32, offset: u32) -> u32 {
+        match page {
+            map::PIC_BASE => self.vpic.read_reg(offset, MemSize::Word).unwrap_or_else(|_| {
+                self.bad_accesses += 1;
+                0
+            }),
+            map::PIT_BASE => {
+                // Mirror state for CTRL/RELOAD; live count from the real
+                // timer the guest is actually driving.
+                match offset {
+                    hx_machine::pit::reg::CTRL => self.vpit_ctrl,
+                    hx_machine::pit::reg::RELOAD => self.vpit_reload,
+                    _ => machine.bus_read(map::PIT_BASE + offset, MemSize::Word).unwrap_or_else(
+                        |_| {
+                            self.bad_accesses += 1;
+                            0
+                        },
+                    ),
+                }
+            }
+            map::UART_BASE => {
+                self.uart_absorbed += 1;
+                0
+            }
+            _ => {
+                self.bad_accesses += 1;
+                0
+            }
+        }
+    }
+
+    /// Emulates a guest word write to an emulated device page.
+    pub fn mmio_write(&mut self, machine: &mut Machine, page: u32, offset: u32, val: u32) {
+        match page {
+            map::PIC_BASE => {
+                if self.vpic.write_reg(offset, val, MemSize::Word).is_err() {
+                    self.bad_accesses += 1;
+                }
+            }
+            map::PIT_BASE => {
+                match offset {
+                    hx_machine::pit::reg::CTRL => self.vpit_ctrl = val,
+                    hx_machine::pit::reg::RELOAD => self.vpit_reload = val,
+                    _ => {}
+                }
+                // Forward to the real timer: the guest's tick drives the
+                // real PIT, whose interrupts the monitor reflects back.
+                if machine.bus_write(map::PIT_BASE + offset, val, MemSize::Word).is_err() {
+                    self.bad_accesses += 1;
+                }
+            }
+            map::UART_BASE => self.uart_absorbed += 1,
+            _ => self.bad_accesses += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_machine::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() })
+    }
+
+    #[test]
+    fn vpic_is_independent_of_real_pic() {
+        let mut m = machine();
+        let mut c = VChipset::new();
+        c.mmio_write(&mut m, map::PIC_BASE, hx_machine::pic::reg::IMR, 0xf0);
+        assert_eq!(c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IMR), 0xf0);
+        assert_eq!(m.pic.imr(), 0, "real PIC mask untouched");
+        c.vpic.assert_irq(3);
+        assert_eq!(c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IRR), 0b1000);
+        assert_eq!(m.pic.irr(), 0);
+    }
+
+    #[test]
+    fn vpit_mirrors_to_real_pit() {
+        let mut m = machine();
+        let mut c = VChipset::new();
+        c.mmio_write(&mut m, map::PIT_BASE, hx_machine::pit::reg::RELOAD, 500);
+        c.mmio_write(&mut m, map::PIT_BASE, hx_machine::pit::reg::CTRL, 3);
+        assert_eq!(c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::RELOAD), 500);
+        assert_eq!(c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::CTRL), 3);
+        // The real timer was armed by the forwarded write.
+        assert!(m.pit.enabled());
+        assert_eq!(m.pit.reload(), 500);
+        assert!(m.pit.next_due().is_some());
+        // Live count reads through.
+        let count = c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::COUNT);
+        assert!(count > 0 && count <= 500);
+    }
+
+    #[test]
+    fn uart_accesses_absorbed() {
+        let mut m = machine();
+        let mut c = VChipset::new();
+        assert_eq!(c.mmio_read(&mut m, map::UART_BASE, 0), 0);
+        c.mmio_write(&mut m, map::UART_BASE, 0, b'!' as u32);
+        assert_eq!(c.uart_absorbed, 2);
+        assert_eq!(m.uart.tx_pending(), 0, "guest bytes must not reach the host");
+    }
+
+    #[test]
+    fn bad_offsets_counted_not_fatal() {
+        let mut m = machine();
+        let mut c = VChipset::new();
+        assert_eq!(c.mmio_read(&mut m, map::PIC_BASE, 0x40), 0);
+        c.mmio_write(&mut m, map::PIC_BASE, 0x00, 1); // IRR is read-only
+        assert_eq!(c.bad_accesses, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! The monitor's cycle-cost model.
+//!
+//! The paper's monitor is x86 software; ours executes as host Rust at the
+//! trap boundary and charges these calibrated costs instead (DESIGN.md §2).
+//! Each constant approximates the instruction-path length of the
+//! corresponding monitor service on the scaled machine clock. The values
+//! matter *relative to each other* and to `hx_cpu::cost` — together they set
+//! where the lightweight-monitor curve of Fig. 3.1 sits between real
+//! hardware and the hosted full monitor.
+
+/// World switch: guest → monitor trap entry plus monitor → guest resume
+/// (register save/restore, mode bookkeeping). Charged on **every** exit.
+pub const EXIT_BASE: u64 = 640;
+
+/// Emulating one privileged CSR access against the virtual CPU.
+pub const EMUL_CSR: u64 = 150;
+
+/// Emulating a virtual trap return (`tret`), including the shadow-context
+/// switch when the virtual mode changes.
+pub const EMUL_TRET: u64 = 250;
+
+/// Emulating one MMIO access to a virtual device register (PIC/PIT/UART):
+/// instruction decode, effective-address computation, device model call.
+pub const EMUL_MMIO: u64 = 350;
+
+/// Reflecting one real device interrupt into the virtual PIC (real EOI +
+/// latch), *before* any injection cost.
+pub const REFLECT_IRQ: u64 = 300;
+
+/// Injecting one virtual interrupt or exception into the guest (virtual
+/// status juggling + shadow switch to the kernel view).
+pub const INJECT_TRAP: u64 = 500;
+
+/// Filling one missing shadow page-table entry (guest page-table walk,
+/// permission fold, A/D update, shadow write).
+pub const SHADOW_FILL: u64 = 450;
+
+/// Tearing down a shadow context after a guest `tlbflush` or page-table
+/// switch.
+pub const SHADOW_FLUSH: u64 = 600;
+
+/// Emulating a single guest load/store that the monitor completes on the
+/// guest's behalf (watchpoint-adjacent stores).
+pub const EMUL_ACCESS: u64 = 160;
+
+/// Handling a guest virtual `wfi` (idle hand-off to the platform).
+pub const EMUL_WFI: u64 = 150;
+
+/// Per-byte cost of the stub moving debug data over the UART.
+pub const STUB_BYTE: u64 = 6;
+
+/// Fixed cost of the stub parsing and executing one debug command.
+pub const STUB_COMMAND: u64 = 350;
+
+/// One iteration of the stopped-state UART polling loop.
+pub const STUB_POLL: u64 = 120;

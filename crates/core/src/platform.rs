@@ -1,0 +1,1268 @@
+//! `LvmmPlatform`: the guest OS running deprivileged under the lightweight
+//! monitor.
+//!
+//! The monitor intercepts every trap and interrupt at the machine boundary
+//! ([`hx_machine::MachineStep`]), and:
+//!
+//! * emulates the guest kernel's privileged instructions against the
+//!   virtual CPU ([`crate::VCpu`]);
+//! * resolves shadow page faults by walking the *guest's* page tables and
+//!   filling the active shadow table ([`crate::ShadowPager`]);
+//! * emulates guest accesses to the interrupt controller and timer
+//!   ([`crate::chipset::VChipset`]) while passing the disk controller and
+//!   NIC straight through;
+//! * reflects real device interrupts into the virtual PIC and injects them
+//!   when the guest's virtual interrupt window opens;
+//! * runs the debug stub ([`crate::Stub`]) whenever UART traffic arrives —
+//!   including while the guest streams I/O at full rate, and including when
+//!   the guest has destroyed its own memory.
+
+use crate::chipset::VChipset;
+use crate::costs;
+use crate::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager, ShadowStats};
+use crate::stub::{err, StepIntent, Stub, StubStats};
+use crate::vcpu::VCpu;
+use hx_cpu::csr::{Csr, Status};
+use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp, EBREAK_WORD};
+use hx_cpu::mmu::{pte, Access, PAGE_MASK};
+use hx_cpu::trap::{Cause, Trap};
+use hx_cpu::{MemSize, Mode};
+use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
+use hx_machine::platform::PlatformStep;
+use rdbg::msg::{Command, Reply, StopReason};
+use rdbg::wire::{self, WireEvent};
+
+/// Monitor configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LvmmConfig {
+    /// Bytes of RAM reserved at the top of memory for the monitor (shadow
+    /// tables and headroom).
+    pub monitor_mem: u32,
+    /// Stop in the debugger when the guest faults without having installed
+    /// a trap vector (instead of spinning at address zero).
+    pub debug_on_unhandled_fault: bool,
+}
+
+impl Default for LvmmConfig {
+    fn default() -> Self {
+        LvmmConfig { monitor_mem: 2 * 1024 * 1024, debug_on_unhandled_fault: true }
+    }
+}
+
+/// Exit counters — the paper-adjacent ablation data (Table A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LvmmStats {
+    /// Privileged-instruction emulations (CSR, `tret`, `wfi`, `tlbflush`).
+    pub exits_privileged: u64,
+    /// Emulated MMIO accesses (virtual PIC/PIT/UART).
+    pub exits_mmio: u64,
+    /// Shadow page-table fills.
+    pub exits_shadow: u64,
+    /// Real device interrupts reflected into the virtual PIC.
+    pub exits_irq_reflect: u64,
+    /// Debug exits (breakpoints, single steps, watchpoints, break-ins).
+    pub exits_debug: u64,
+    /// Guest faults re-injected to the guest's own handler.
+    pub faults_injected: u64,
+    /// Virtual interrupts injected.
+    pub irqs_injected: u64,
+    /// Guest attempts to reach monitor memory or page tables outside guest
+    /// RAM — all blocked.
+    pub protection_violations: u64,
+    /// Single guest stores emulated because a watchpoint shares their page.
+    pub emulated_stores: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Running,
+    GuestIdle,
+    Stopped,
+}
+
+/// The lightweight-VMM platform (see the [module docs](self)).
+#[derive(Debug)]
+pub struct LvmmPlatform {
+    machine: Machine,
+    vcpu: VCpu,
+    shadow: ShadowPager,
+    chipset: VChipset,
+    stub: Stub,
+    stats: TimeStats,
+    mstats: LvmmStats,
+    state: RunState,
+    entry: u32,
+    monitor_base: u32,
+    ram_size: u32,
+    cfg: LvmmConfig,
+    // Livelock guard: identical consecutive shadow faults indicate a bug.
+    last_fault: (u32, u32, u32),
+    last_fault_repeats: u32,
+}
+
+impl LvmmPlatform {
+    /// Installs the monitor on `machine` and prepares the guest to boot at
+    /// `entry` (image already loaded). The guest starts in *virtual*
+    /// supervisor mode with paging off — exactly what it would see on real
+    /// hardware — while the real CPU runs it in user mode behind an
+    /// identity shadow table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's RAM is too small for the configured monitor
+    /// region.
+    pub fn new(machine: Machine, entry: u32) -> LvmmPlatform {
+        Self::with_config(machine, entry, LvmmConfig::default())
+    }
+
+    /// [`LvmmPlatform::new`] with an explicit [`LvmmConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's RAM is too small for the monitor region.
+    pub fn with_config(mut machine: Machine, entry: u32, cfg: LvmmConfig) -> LvmmPlatform {
+        let ram_size = machine.config().ram_size as u32;
+        assert!(cfg.monitor_mem < ram_size, "monitor region exceeds RAM");
+        let monitor_base = ram_size - cfg.monitor_mem;
+        let mut shadow = ShadowPager::new(monitor_base, ram_size);
+
+        // Deprivilege the guest; the monitor owns the real privileged state.
+        machine.cpu.set_mode(Mode::User);
+        machine.cpu.set_pc(entry);
+        machine.cpu.write_csr(Csr::Status, Status::IE);
+        // Identity shadow context (guest paging off), kernel view active.
+        let root = shadow.root_for(&mut machine.mem, 0, Mode::Supervisor);
+        machine.cpu.write_csr(Csr::Ptbr, root | 1);
+        // The monitor listens to the real UART.
+        machine
+            .bus_write(map::UART_BASE + hx_machine::uart::reg::CTRL, 1, MemSize::Word)
+            .expect("UART present");
+
+        LvmmPlatform {
+            machine,
+            vcpu: VCpu::new(),
+            shadow,
+            chipset: VChipset::new(),
+            stub: Stub::new(),
+            stats: TimeStats::new(),
+            mstats: LvmmStats::default(),
+            state: RunState::Running,
+            entry,
+            monitor_base,
+            ram_size,
+            cfg,
+            last_fault: (0, 0, 0),
+            last_fault_repeats: 0,
+        }
+    }
+
+    /// Monitor exit/injection counters.
+    pub fn monitor_stats(&self) -> LvmmStats {
+        self.mstats
+    }
+
+    /// Shadow-paging counters.
+    pub fn shadow_stats(&self) -> ShadowStats {
+        self.shadow.stats
+    }
+
+    /// Debug-stub counters.
+    pub fn stub_stats(&self) -> StubStats {
+        self.stub.stats
+    }
+
+    /// The guest's virtual CPU state (diagnostics and tests).
+    pub fn vcpu(&self) -> &VCpu {
+        &self.vcpu
+    }
+
+    /// Is the guest currently stopped under debugger control?
+    pub fn guest_stopped(&self) -> bool {
+        self.stub.stopped
+    }
+
+    /// Base of the monitor-reserved memory region.
+    pub fn monitor_base(&self) -> u32 {
+        self.monitor_base
+    }
+
+    /// Virtual-PIC `(IRR, ISR, IMR)` snapshot, for diagnostics.
+    pub fn chipset_vpic(&self) -> (u8, u8, u8) {
+        (self.chipset.vpic.irr(), self.chipset.vpic.isr(), self.chipset.vpic.imr())
+    }
+
+    fn consume_monitor(&mut self, cycles: u64) {
+        self.machine.consume(cycles);
+        self.stats.charge(TimeBucket::Monitor, cycles);
+    }
+
+    fn shadow_key(&self) -> u32 {
+        if self.vcpu.paging_enabled() {
+            self.vcpu.ptbr
+        } else {
+            0
+        }
+    }
+
+    /// Activates the shadow view matching the guest's current virtual mode
+    /// and address space.
+    fn activate_shadow(&mut self) {
+        let key = self.shadow_key();
+        let root = self.shadow.root_for(&mut self.machine.mem, key, self.vcpu.vmode);
+        self.machine.cpu.write_csr(Csr::Ptbr, root | 1);
+    }
+
+    /// Injects a virtual trap into the guest (its handler runs next).
+    fn inject_guest_trap(&mut self, cause: Cause, epc: u32, tval: u32) {
+        let unhandled = self.vcpu.tvec == 0;
+        // Double fault: a synchronous fault raised *at the handler entry
+        // itself* means the guest's handler is gone (e.g. overwritten by
+        // the bug under investigation). A real kernel would triple-fault
+        // and reset; the monitor parks the guest for debugging instead —
+        // the stability story of the paper.
+        let double_fault = epc == self.vcpu.tvec
+            && !matches!(cause, Cause::Interrupt | Cause::EcallU | Cause::EcallS);
+        if (unhandled || double_fault) && self.cfg.debug_on_unhandled_fault {
+            self.stub_stop(StopReason::Fault { pc: epc, cause: cause.code() });
+            return;
+        }
+        let vcause = self.vcpu.virtual_cause(cause);
+        let handler = self.vcpu.enter_trap(vcause, epc, tval);
+        self.activate_shadow();
+        self.machine.cpu.set_pc(handler);
+        self.sync_tf();
+        self.consume_monitor(costs::INJECT_TRAP);
+        self.mstats.faults_injected += 1;
+    }
+
+    /// Opens the virtual interrupt window if possible: injects the highest
+    /// priority pending virtual interrupt.
+    fn maybe_inject_irq(&mut self) {
+        if self.state == RunState::Stopped || !self.vcpu.interrupts_enabled() {
+            return;
+        }
+        if let Some((_irq, vector)) = self.chipset.vpic.inta() {
+            let epc = self.machine.cpu.pc();
+            let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
+            self.activate_shadow();
+            self.machine.cpu.set_pc(handler);
+            self.sync_tf();
+            self.consume_monitor(costs::INJECT_TRAP);
+            self.mstats.irqs_injected += 1;
+            self.state = RunState::Running;
+        }
+    }
+
+    /// Mirrors the *virtual* single-step flag and any stub stepping intent
+    /// onto the real `STATUS.TF`.
+    fn sync_tf(&mut self) {
+        let want = self.stub.step_intent.is_some() || self.vcpu.status.tf();
+        let s = Status(self.machine.cpu.read_csr(Csr::Status));
+        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, want).0);
+    }
+
+    // ------------------------------------------------------------------
+    // Trap dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch_trap(&mut self, trap: Trap) {
+        match trap.cause {
+            Cause::PrivilegedInstruction => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.mstats.exits_privileged += 1;
+                self.emulate_privileged(trap);
+            }
+            Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.handle_shadow_fault(trap);
+            }
+            Cause::Breakpoint => {
+                self.consume_monitor(costs::EXIT_BASE);
+                if self.stub.breakpoints.contains_key(&trap.epc) {
+                    self.mstats.exits_debug += 1;
+                    self.stub_stop(StopReason::Breakpoint { pc: trap.epc });
+                } else {
+                    // The guest's own `ebreak` (e.g. its embedded debugger).
+                    self.inject_guest_trap(Cause::Breakpoint, trap.epc, trap.tval);
+                }
+            }
+            Cause::DebugStep => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.handle_debug_step(trap);
+            }
+            other => {
+                // Ecall, misalignments, access faults, illegal instructions:
+                // the guest's business — reflect to its virtual handler.
+                self.consume_monitor(costs::EXIT_BASE);
+                self.inject_guest_trap(other, trap.epc, trap.tval);
+            }
+        }
+        self.maybe_inject_irq();
+    }
+
+    fn handle_debug_step(&mut self, trap: Trap) {
+        // The intercepted DebugStep did not clear the real TF (no take_trap
+        // ran); drop it before deciding what to do next.
+        let s = Status(self.machine.cpu.read_csr(Csr::Status));
+        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+
+        if let Some(addr) = self.stub.lifted_bp.take() {
+            // Re-plant the breakpoint we stepped off.
+            if let Some(pa) = self.debug_translate(addr) {
+                let _ = self.machine.mem.write(pa, EBREAK_WORD, MemSize::Word);
+            }
+        }
+        match self.stub.step_intent.take() {
+            Some(StepIntent::Step) => {
+                self.mstats.exits_debug += 1;
+                self.stub_stop(StopReason::Step { pc: trap.epc });
+            }
+            Some(StepIntent::Resume) => {
+                self.sync_tf(); // guest's own vTF may still want stepping
+            }
+            None => {
+                if self.vcpu.status.tf() {
+                    // The guest is single-stepping its own code.
+                    self.inject_guest_trap(Cause::DebugStep, trap.epc, 0);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Privileged-instruction emulation (the "CPU-resources emulator")
+    // ------------------------------------------------------------------
+
+    fn emulate_privileged(&mut self, trap: Trap) {
+        let pc = trap.epc;
+        let Ok(instr) = Instr::decode(trap.tval) else {
+            self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+            return;
+        };
+        match instr {
+            Instr::Csr { op, rd, rs1, csr } => {
+                self.consume_monitor(costs::EMUL_CSR);
+                let Some(c) = Csr::from_number(csr) else {
+                    self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+                    return;
+                };
+                let old = self.vcpu.read_csr(c, &self.machine.cpu);
+                let writes = match op {
+                    hx_cpu::isa::CsrOp::Rw => true,
+                    _ => rs1 != hx_cpu::Reg::R0,
+                };
+                if writes {
+                    if c.is_read_only() {
+                        self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+                        return;
+                    }
+                    let src = self.machine.cpu.reg(rs1);
+                    let new = match op {
+                        hx_cpu::isa::CsrOp::Rw => src,
+                        hx_cpu::isa::CsrOp::Rs => old | src,
+                        hx_cpu::isa::CsrOp::Rc => old & !src,
+                    };
+                    let sensitive = self.vcpu.write_csr(c, new);
+                    if c == Csr::Ptbr && sensitive {
+                        // Guest address-space switch: activate (and possibly
+                        // build) the matching shadow context.
+                        self.consume_monitor(costs::SHADOW_FLUSH);
+                        self.activate_shadow();
+                    }
+                    if c == Csr::Status {
+                        self.sync_tf();
+                    }
+                }
+                self.machine.cpu.set_reg(rd, old);
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+            }
+            Instr::Sys { op: SysOp::Tret } => {
+                self.consume_monitor(costs::EMUL_TRET);
+                let resume = self.vcpu.leave_trap();
+                self.activate_shadow();
+                self.machine.cpu.set_pc(resume);
+                self.sync_tf();
+            }
+            Instr::Sys { op: SysOp::Wfi } => {
+                self.consume_monitor(costs::EMUL_WFI);
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+                self.state = RunState::GuestIdle;
+            }
+            Instr::Sys { op: SysOp::TlbFlush } => {
+                self.consume_monitor(costs::SHADOW_FLUSH);
+                let key = self.shadow_key();
+                self.shadow.flush_context(&mut self.machine.mem, key);
+                self.machine.cpu.tlb_flush();
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+            }
+            _ => {
+                self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow fault handling (paging + partial device emulation + level-3
+    // protection)
+    // ------------------------------------------------------------------
+
+    fn fault_access(cause: Cause) -> Access {
+        match cause {
+            Cause::InstrPageFault => Access::Fetch,
+            Cause::LoadPageFault => Access::Load,
+            _ => Access::Store,
+        }
+    }
+
+    fn access_fault_cause(access: Access) -> Cause {
+        match access {
+            Access::Fetch => Cause::InstrAccessFault,
+            Access::Load => Cause::LoadAccessFault,
+            Access::Store => Cause::StoreAccessFault,
+        }
+    }
+
+    /// Livelock guard for the *fill* paths: re-raising the identical fault
+    /// after a shadow fill means the fill is not taking effect — a monitor
+    /// bug or unrecoverable guest state. Emulated-MMIO faults repeat at the
+    /// same PC by design (the mapping is never installed) and are exempt.
+    fn fill_made_no_progress(&mut self, trap: &Trap) -> bool {
+        let sig = (trap.epc, trap.tval, trap.cause.code());
+        if sig == self.last_fault {
+            self.last_fault_repeats += 1;
+            self.last_fault_repeats > 8
+        } else {
+            self.last_fault = sig;
+            self.last_fault_repeats = 0;
+            false
+        }
+    }
+
+    fn handle_shadow_fault(&mut self, trap: Trap) {
+        let va = trap.tval;
+        let access = Self::fault_access(trap.cause);
+        let vmode = self.vcpu.vmode;
+
+        // Resolve the guest-physical address and guest permissions.
+        let (gpa, gperm_w, gflags) = if self.vcpu.paging_enabled() {
+            let root = self.vcpu.page_table_root();
+            match guest_walk(
+                &mut self.machine.mem,
+                root,
+                va,
+                access,
+                vmode,
+                self.monitor_base,
+                true,
+            ) {
+                Ok(w) => (w.gpa, w.pte & pte::W != 0 && w.pte & pte::D != 0, w.pte),
+                Err(GuestWalkErr::GuestFault) => {
+                    self.inject_guest_trap(trap.cause, trap.epc, va);
+                    return;
+                }
+                Err(GuestWalkErr::BadTable) => {
+                    self.mstats.protection_violations += 1;
+                    self.shadow.stats.protection_violations += 1;
+                    self.inject_guest_trap(trap.cause, trap.epc, va);
+                    return;
+                }
+            }
+        } else {
+            // Identity: kernel-era physical addressing.
+            (va, true, pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D)
+        };
+
+        match classify(gpa, self.monitor_base, self.ram_size) {
+            PageClass::Monitor => {
+                // Level-3 protection: the monitor is untouchable.
+                self.mstats.protection_violations += 1;
+                self.shadow.stats.protection_violations += 1;
+                self.inject_guest_trap(trap.cause, trap.epc, va);
+            }
+            PageClass::Unmapped => {
+                self.inject_guest_trap(Self::access_fault_cause(access), trap.epc, va);
+            }
+            PageClass::EmulatedMmio => {
+                self.mstats.exits_mmio += 1;
+                self.emulate_mmio(trap, va, gpa, access);
+            }
+            PageClass::PassthroughMmio => {
+                if self.fill_made_no_progress(&trap) {
+                    self.stub_stop(StopReason::Fault { pc: trap.epc, cause: trap.cause.code() });
+                    return;
+                }
+                self.mstats.exits_shadow += 1;
+                self.consume_monitor(costs::SHADOW_FILL);
+                let key = self.shadow_key();
+                self.shadow.map(
+                    &mut self.machine.mem,
+                    key,
+                    vmode,
+                    va & !PAGE_MASK,
+                    gpa & !PAGE_MASK,
+                    pte::V | pte::R | pte::W | pte::U | pte::A | pte::D,
+                );
+            }
+            PageClass::GuestRam => {
+                if self.fill_made_no_progress(&trap) {
+                    self.stub_stop(StopReason::Fault { pc: trap.epc, cause: trap.cause.code() });
+                    return;
+                }
+                // Watchpoints first: stores into a watched page never get a
+                // writable shadow mapping.
+                if access == Access::Store && self.stub.watch_overlaps_page(va) {
+                    if let Some(_wp) = self.stub.watch_hit(va, 4) {
+                        self.mstats.exits_debug += 1;
+                        self.stub_stop(StopReason::Watchpoint { pc: trap.epc, addr: va });
+                        return;
+                    }
+                    // Unwatched store that merely shares the page: the
+                    // monitor completes it on the guest's behalf.
+                    self.emulate_guest_store(trap, gpa);
+                    return;
+                }
+                self.mstats.exits_shadow += 1;
+                self.consume_monitor(costs::SHADOW_FILL);
+                let mut flags = pte::V | pte::U | pte::A | pte::D;
+                if gflags & pte::R != 0 {
+                    flags |= pte::R;
+                }
+                if gflags & pte::X != 0 {
+                    flags |= pte::X;
+                }
+                if gperm_w && !self.stub.watch_overlaps_page(va) {
+                    flags |= pte::W;
+                }
+                let key = self.shadow_key();
+                self.shadow.map(
+                    &mut self.machine.mem,
+                    key,
+                    vmode,
+                    va & !PAGE_MASK,
+                    gpa & !PAGE_MASK,
+                    flags,
+                );
+            }
+        }
+    }
+
+    /// Decodes and completes the guest's faulting load/store against the
+    /// virtual chipset ("partial hardware emulation").
+    fn emulate_mmio(&mut self, trap: Trap, va: u32, gpa: u32, access: Access) {
+        self.consume_monitor(costs::EMUL_MMIO);
+        let Some(instr) = self.fetch_guest_instr(trap.epc) else {
+            self.inject_guest_trap(Cause::InstrPageFault, trap.epc, trap.epc);
+            return;
+        };
+        let page = gpa & !(map::DEV_PAGE - 1);
+        let offset = gpa & (map::DEV_PAGE - 1);
+        match (instr, access) {
+            (Instr::Load { kind: LoadKind::W, rd, .. }, Access::Load) => {
+                let val = self.chipset.mmio_read(&mut self.machine, page, offset);
+                self.machine.cpu.set_reg(rd, val);
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+            }
+            (Instr::Store { kind: StoreKind::W, rs2, .. }, Access::Store) => {
+                let val = self.machine.cpu.reg(rs2);
+                self.chipset.mmio_write(&mut self.machine, page, offset, val);
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+            }
+            _ => {
+                // Sub-word or executable access to a device page: reflect
+                // as an access fault, like real hardware would.
+                self.inject_guest_trap(Self::access_fault_cause(access), trap.epc, va);
+            }
+        }
+    }
+
+    /// Completes one guest store that faulted only because a watchpoint
+    /// shares its page.
+    fn emulate_guest_store(&mut self, trap: Trap, gpa: u32) {
+        self.consume_monitor(costs::EMUL_ACCESS);
+        self.mstats.emulated_stores += 1;
+        let Some(instr) = self.fetch_guest_instr(trap.epc) else {
+            self.inject_guest_trap(Cause::InstrPageFault, trap.epc, trap.epc);
+            return;
+        };
+        if let Instr::Store { kind, rs2, .. } = instr {
+            let size = match kind {
+                StoreKind::B => MemSize::Byte,
+                StoreKind::H => MemSize::Half,
+                StoreKind::W => MemSize::Word,
+            };
+            let val = self.machine.cpu.reg(rs2);
+            if self.machine.mem.write(gpa, val, size).is_ok() {
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+                return;
+            }
+        }
+        self.inject_guest_trap(Cause::StoreAccessFault, trap.epc, trap.tval);
+    }
+
+    /// Fetches the instruction word at a guest virtual PC.
+    fn fetch_guest_instr(&mut self, pc: u32) -> Option<Instr> {
+        let pa = self.debug_translate(pc)?;
+        let word = self.machine.mem.read(pa, MemSize::Word).ok()?;
+        Instr::decode(word).ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Real interrupt handling
+    // ------------------------------------------------------------------
+
+    fn handle_real_irq(&mut self, irq: u8) {
+        // The monitor owns the real PIC: retire the interrupt immediately.
+        self.machine.pic.eoi(irq);
+        self.consume_monitor(costs::EXIT_BASE + costs::REFLECT_IRQ);
+        self.mstats.exits_irq_reflect += 1;
+        if irq == map::irq::UART {
+            // Host debugger traffic — the monitor's own business.
+            self.service_uart();
+        } else {
+            // Timer and passthrough-device interrupts belong to the guest:
+            // latch them in the virtual PIC.
+            self.chipset.vpic.assert_irq(irq);
+        }
+        self.maybe_inject_irq();
+    }
+
+    // ------------------------------------------------------------------
+    // Debug stub behaviour
+    // ------------------------------------------------------------------
+
+    fn stub_stop(&mut self, reason: StopReason) {
+        self.state = RunState::Stopped;
+        self.stub.stopped = true;
+        self.stub.last_stop = Some(reason);
+        self.stub.step_intent = None;
+        // Disarm the hardware single-step flag while stopped.
+        let s = Status(self.machine.cpu.read_csr(Csr::Status));
+        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+        self.send_packet(&reason.format());
+    }
+
+    fn send_packet(&mut self, payload: &str) {
+        let bytes = wire::encode_packet(payload);
+        self.stub.stats.bytes_out += bytes.len() as u64;
+        self.consume_monitor(costs::STUB_BYTE * bytes.len() as u64);
+        self.machine.uart.push_tx(&bytes);
+    }
+
+    fn send_reply(&mut self, reply: &Reply) {
+        self.send_packet(&reply.format());
+    }
+
+    /// Drains host bytes from the UART and executes any complete commands.
+    fn service_uart(&mut self) {
+        let mut bytes = Vec::new();
+        while let Some(b) = self.machine.uart.pop_rx() {
+            bytes.push(b);
+        }
+        if bytes.is_empty() {
+            return;
+        }
+        self.stub.stats.bytes_in += bytes.len() as u64;
+        self.consume_monitor(costs::STUB_BYTE * bytes.len() as u64);
+        self.stub.parser.push(&bytes);
+        while let Some(event) = self.stub.parser.next_event() {
+            match event {
+                WireEvent::BreakIn => {
+                    self.stub.stats.break_ins += 1;
+                    self.mstats.exits_debug += 1;
+                    let pc = self.machine.cpu.pc();
+                    self.stub_stop(StopReason::Halted { pc });
+                }
+                WireEvent::Packet(p) => {
+                    self.machine.uart.push_tx(&[wire::ACK]);
+                    self.consume_monitor(costs::STUB_COMMAND);
+                    self.stub.stats.commands += 1;
+                    let reply = match Command::parse(&p) {
+                        Some(cmd) => self.exec_command(cmd),
+                        None => Reply::Error(err::PARSE),
+                    };
+                    self.send_reply(&reply);
+                }
+                WireEvent::Corrupt => {
+                    self.machine.uart.push_tx(&[wire::NAK]);
+                }
+                WireEvent::Ack | WireEvent::Nak => {}
+            }
+        }
+    }
+
+    fn exec_command(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::Halt => {
+                let pc = self.machine.cpu.pc();
+                self.stub_stop(StopReason::Halted { pc });
+                Reply::Ok
+            }
+            Command::QueryStop => match self.stub.last_stop {
+                Some(r) if self.stub.stopped => Reply::Stopped(r),
+                _ => Reply::Error(err::NOT_STOPPED),
+            },
+            Command::ReadRegisters => {
+                let mut bytes = Vec::with_capacity(33 * 4);
+                for r in self.machine.cpu.regs() {
+                    bytes.extend_from_slice(&r.to_le_bytes());
+                }
+                bytes.extend_from_slice(&self.machine.cpu.pc().to_le_bytes());
+                Reply::Hex(bytes)
+            }
+            Command::WriteRegister { index, value } => {
+                if index < 32 {
+                    let reg = hx_cpu::Reg::new(index).unwrap();
+                    self.machine.cpu.set_reg(reg, value);
+                    Reply::Ok
+                } else if index as u32 == rdbg::msg::REG_PC as u32 {
+                    self.machine.cpu.set_pc(value);
+                    Reply::Ok
+                } else {
+                    Reply::Error(err::REG)
+                }
+            }
+            Command::ReadMemory { addr, len } => {
+                let mut out = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    let va = addr.wrapping_add(i);
+                    let Some(pa) = self.debug_translate(va) else {
+                        return Reply::Error(err::MEM);
+                    };
+                    match self.machine.mem.read(pa, MemSize::Byte) {
+                        Ok(b) => out.push(b as u8),
+                        Err(_) => return Reply::Error(err::MEM),
+                    }
+                }
+                // Mask planted breakpoints: the host sees the original
+                // instructions, not the stub's `ebreak` patches.
+                for (&bp, &orig) in &self.stub.breakpoints {
+                    for k in 0..4u32 {
+                        let va = bp.wrapping_add(k);
+                        let off = va.wrapping_sub(addr);
+                        if off < len {
+                            out[off as usize] = orig.to_le_bytes()[k as usize];
+                        }
+                    }
+                }
+                Reply::Hex(out)
+            }
+            Command::WriteMemory { addr, data } => {
+                for (i, &b) in data.iter().enumerate() {
+                    let va = addr.wrapping_add(i as u32);
+                    let Some(pa) = self.debug_translate(va) else {
+                        return Reply::Error(err::MEM);
+                    };
+                    if self.machine.mem.write(pa, b as u32, MemSize::Byte).is_err() {
+                        return Reply::Error(err::MEM);
+                    }
+                }
+                Reply::Ok
+            }
+            Command::SetBreakpoint { addr } => {
+                if self.stub.breakpoints.contains_key(&addr) {
+                    return Reply::Error(err::BP);
+                }
+                let Some(pa) = self.debug_translate(addr) else {
+                    return Reply::Error(err::MEM);
+                };
+                let Ok(orig) = self.machine.mem.read(pa, MemSize::Word) else {
+                    return Reply::Error(err::MEM);
+                };
+                if self.machine.mem.write(pa, EBREAK_WORD, MemSize::Word).is_err() {
+                    return Reply::Error(err::MEM);
+                }
+                self.machine.cpu.tlb_flush();
+                self.stub.breakpoints.insert(addr, orig);
+                Reply::Ok
+            }
+            Command::ClearBreakpoint { addr } => {
+                let Some(orig) = self.stub.breakpoints.remove(&addr) else {
+                    return Reply::Error(err::BP);
+                };
+                if let Some(pa) = self.debug_translate(addr) {
+                    let _ = self.machine.mem.write(pa, orig, MemSize::Word);
+                }
+                Reply::Ok
+            }
+            Command::SetWatchpoint { addr, len } => {
+                if len == 0 {
+                    return Reply::Error(err::PARSE);
+                }
+                self.stub.watchpoints.push((addr, len));
+                // Drop writable mappings so watched pages re-fault.
+                self.shadow.flush_all(&mut self.machine.mem);
+                self.activate_shadow();
+                self.machine.cpu.tlb_flush();
+                Reply::Ok
+            }
+            Command::ClearWatchpoint { addr } => {
+                let before = self.stub.watchpoints.len();
+                self.stub.watchpoints.retain(|&(a, _)| a != addr);
+                if self.stub.watchpoints.len() == before {
+                    return Reply::Error(err::BP);
+                }
+                self.shadow.flush_all(&mut self.machine.mem);
+                self.activate_shadow();
+                self.machine.cpu.tlb_flush();
+                Reply::Ok
+            }
+            Command::Step => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                self.arm_resume(StepIntent::Step);
+                Reply::Ok
+            }
+            Command::Continue => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                let pc = self.machine.cpu.pc();
+                if self.stub.breakpoints.contains_key(&pc) {
+                    // Step over the breakpoint we are parked on, then run.
+                    self.arm_resume(StepIntent::Resume);
+                } else {
+                    self.stub.stopped = false;
+                    self.state = RunState::Running;
+                    self.sync_tf();
+                }
+                Reply::Ok
+            }
+            Command::Reset => {
+                let mut cpu = hx_cpu::Cpu::new();
+                cpu.set_mode(Mode::User);
+                cpu.set_pc(self.entry);
+                cpu.write_csr(Csr::Status, Status::IE);
+                self.machine.cpu = cpu;
+                self.vcpu = VCpu::new();
+                self.chipset = VChipset::new();
+                self.shadow.flush_all(&mut self.machine.mem);
+                self.activate_shadow();
+                self.stub.lifted_bp = None;
+                self.stub.step_intent = None;
+                self.stub_stop(StopReason::Halted { pc: self.entry });
+                Reply::Ok
+            }
+        }
+    }
+
+    /// Arms a single step (possibly lifting the breakpoint under the PC)
+    /// and resumes the guest.
+    fn arm_resume(&mut self, intent: StepIntent) {
+        let pc = self.machine.cpu.pc();
+        if self.stub.breakpoints.contains_key(&pc) {
+            if let Some(pa) = self.debug_translate(pc) {
+                let orig = self.stub.breakpoints[&pc];
+                let _ = self.machine.mem.write(pa, orig, MemSize::Word);
+                self.stub.lifted_bp = Some(pc);
+            }
+        }
+        self.stub.step_intent = Some(intent);
+        self.stub.stopped = false;
+        self.state = RunState::Running;
+        self.sync_tf();
+    }
+
+    /// Translates a guest virtual address for debugger access: guest page
+    /// tables are honoured but permission bits are not (the debugger may
+    /// read execute-only pages). Only guest RAM is reachable.
+    fn debug_translate(&mut self, va: u32) -> Option<u32> {
+        let gpa = if self.vcpu.paging_enabled() {
+            let root = self.vcpu.page_table_root();
+            let l1_addr = root + hx_cpu::mmu::l1_index(va) * 4;
+            if l1_addr + 4 > self.monitor_base {
+                return None;
+            }
+            let l1e = self.machine.mem.read(l1_addr, MemSize::Word).ok()?;
+            if l1e & pte::V == 0 || l1e & (pte::R | pte::W | pte::X) != 0 {
+                return None;
+            }
+            let l2_addr = (l1e & pte::PPN_MASK) + hx_cpu::mmu::l2_index(va) * 4;
+            if l2_addr + 4 > self.monitor_base {
+                return None;
+            }
+            let leaf = self.machine.mem.read(l2_addr, MemSize::Word).ok()?;
+            if leaf & pte::V == 0 {
+                return None;
+            }
+            (leaf & pte::PPN_MASK) | (va & PAGE_MASK)
+        } else {
+            va
+        };
+        (gpa < self.monitor_base).then_some(gpa)
+    }
+
+    // ------------------------------------------------------------------
+    // Run states
+    // ------------------------------------------------------------------
+
+    fn running_step(&mut self) -> PlatformStep {
+        match self.machine.step() {
+            MachineStep::Executed { cycles } => {
+                self.stats.charge(TimeBucket::Guest, cycles);
+                PlatformStep::Running
+            }
+            MachineStep::Idle { cycles } => {
+                self.stats.charge(TimeBucket::Idle, cycles);
+                PlatformStep::Running
+            }
+            MachineStep::Interrupt { irq, .. } => {
+                self.handle_real_irq(irq);
+                PlatformStep::Running
+            }
+            MachineStep::Trapped { trap, cycles } => {
+                self.stats.charge(TimeBucket::Guest, cycles);
+                self.dispatch_trap(trap);
+                PlatformStep::Running
+            }
+            MachineStep::Stuck => PlatformStep::Stuck,
+        }
+    }
+
+    fn idle_step(&mut self) -> PlatformStep {
+        if self.machine.pic.line_asserted() {
+            // INTA without executing guest instructions.
+            match self.machine.step() {
+                MachineStep::Interrupt { irq, .. } => self.handle_real_irq(irq),
+                MachineStep::Stuck => return PlatformStep::Stuck,
+                // Events fired at this boundary may clear the line again.
+                other => {
+                    if let MachineStep::Executed { .. } | MachineStep::Trapped { .. } = other {
+                        unreachable!("guest must not execute while virtually idle: {other:?}");
+                    }
+                }
+            }
+            return PlatformStep::Running;
+        }
+        match self.machine.skip_to_next_event() {
+            Some(cycles) => {
+                self.stats.charge(TimeBucket::Idle, cycles);
+                PlatformStep::Running
+            }
+            None => PlatformStep::Stuck,
+        }
+    }
+
+    fn stopped_step(&mut self) -> PlatformStep {
+        // While stopped the monitor polls its UART; device events keep
+        // firing (real time does not stop for the debugger).
+        if self.machine.uart.rx_pending() == 0 {
+            if self.machine.pending_events() == 0 {
+                // Nothing will happen until the host sends bytes; advance a
+                // polling quantum so the host's pump loop sees progress.
+                self.machine.consume(costs::STUB_POLL);
+                self.stats.charge(TimeBucket::Idle, costs::STUB_POLL);
+            } else {
+                self.machine.consume(costs::STUB_POLL);
+                self.stats.charge(TimeBucket::Idle, costs::STUB_POLL);
+            }
+            return PlatformStep::Running;
+        }
+        self.service_uart();
+        PlatformStep::Running
+    }
+}
+
+impl Platform for LvmmPlatform {
+    fn name(&self) -> &'static str {
+        "lvmm"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn time_stats(&self) -> &TimeStats {
+        &self.stats
+    }
+
+    fn step(&mut self) -> PlatformStep {
+        match self.state {
+            RunState::Running => self.running_step(),
+            RunState::GuestIdle => self.idle_step(),
+            RunState::Stopped => self.stopped_step(),
+        }
+    }
+}
+
+/// A [`rdbg::Link`] that connects the host debugger to any platform's UART,
+/// running the platform while the debugger waits for replies.
+#[derive(Debug)]
+pub struct UartLink<P> {
+    /// The platform under debug.
+    pub platform: P,
+    /// Simulation cycles to run per pump.
+    pub slice: u64,
+}
+
+impl<P: Platform> UartLink<P> {
+    /// Wraps a platform with a default pump slice.
+    pub fn new(platform: P) -> UartLink<P> {
+        UartLink { platform, slice: 5_000 }
+    }
+}
+
+impl<P: Platform> rdbg::Link for UartLink<P> {
+    fn send(&mut self, bytes: &[u8]) {
+        self.platform.machine_mut().uart_input(bytes);
+    }
+
+    fn pump(&mut self) -> Vec<u8> {
+        self.platform.run_for(self.slice);
+        self.platform.machine_mut().uart_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_machine::MachineConfig;
+
+    fn boot(src: &str) -> LvmmPlatform {
+        let program = hx_asm::assemble(src).expect("guest assembles");
+        let mut machine =
+            Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() });
+        machine.load_program(&program);
+        let entry = program.symbols.get("start").unwrap_or(program.base());
+        LvmmPlatform::new(machine, entry)
+    }
+
+    #[test]
+    fn guest_csr_access_is_virtualized() {
+        let mut vmm = boot(
+            "start:  csrw tvec, 0x2000
+                     csrr a0, tvec
+             halt:   j halt
+            ",
+        );
+        vmm.run_for(50_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R4), 0x2000);
+        assert_eq!(vmm.vcpu().tvec, 0x2000);
+        // The *real* trap vector never changed.
+        assert_eq!(vmm.machine().cpu.read_csr(Csr::Tvec), 0);
+        assert!(vmm.monitor_stats().exits_privileged >= 2);
+    }
+
+    #[test]
+    fn guest_runs_in_hardware_user_mode_but_virtual_supervisor() {
+        let vmm = boot("start: j start\n");
+        assert_eq!(vmm.machine().cpu.mode(), Mode::User);
+        assert_eq!(vmm.vcpu().vmode, Mode::Supervisor);
+    }
+
+    #[test]
+    fn ecall_from_virtual_kernel_reaches_guest_handler_as_ecalls() {
+        let mut vmm = boot(
+            "        .org 0x100
+             handler:
+                     csrr a1, cause
+             hh:     j hh
+             start:  csrw tvec, handler
+                     ecall
+             halt:   j halt
+            ",
+        );
+        vmm.run_for(100_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R5), Cause::EcallS.code());
+        assert_eq!(vmm.vcpu().vmode, Mode::Supervisor);
+        assert!(vmm.monitor_stats().faults_injected >= 1);
+    }
+
+    #[test]
+    fn timer_interrupt_reflected_and_injected() {
+        let mut vmm = boot(&format!(
+            "        .org 0x100
+             handler:
+                     addi s0, s0, 1
+                     li   k0, {pic:#x}
+                     sw   zero, 0xc(k0)      ; EOI virtual irq 0
+                     tret
+             start:  csrw tvec, handler
+                     li   t0, {pit:#x}
+                     li   t1, 2000
+                     sw   t1, 4(t0)
+                     li   t1, 3
+                     sw   t1, 0(t0)
+                     csrw status, 1
+             idle:   wfi
+                     j    idle
+            ",
+            pic = map::PIC_BASE,
+            pit = map::PIT_BASE,
+        ));
+        vmm.run_for(200_000);
+        let ticks = vmm.machine().cpu.reg(hx_cpu::Reg::R18);
+        assert!(ticks >= 3, "guest must have handled several virtual timer ticks, got {ticks}");
+        let ms = vmm.monitor_stats();
+        assert!(ms.irqs_injected >= 3);
+        assert!(ms.exits_irq_reflect >= 3);
+        assert!(ms.exits_mmio >= 3, "virtual EOIs are emulated MMIO");
+        // The virtual wfi idles the machine.
+        assert!(vmm.time_stats().idle > 0);
+    }
+
+    #[test]
+    fn monitor_memory_is_unreachable_from_guest_kernel() {
+        let mut vmm = boot(
+            "start:  csrw tvec, fault        ; catch our own fault
+                     li   t0, 0x600000       ; inside the monitor region (8MB-2MB)
+                     li   t1, 0xdeadbeef
+                     sw   t1, 0(t0)          ; must NOT reach monitor memory
+                     li   s1, 1              ; (skipped: fault taken first)
+             halt:   j halt
+             fault:  li   s2, 1
+             fh:     j fh
+            ",
+        );
+        let monitor_base = vmm.monitor_base();
+        let probe = 0x60_0000u32;
+        assert!(probe >= monitor_base, "probe must target the monitor region");
+        vmm.run_for(100_000);
+        // The guest's fault handler ran instead of the store landing.
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R20), 1, "fault handler (s2) ran");
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R19), 0, "post-store code (s1) skipped");
+        assert!(vmm.monitor_stats().protection_violations >= 1);
+        // The guest's value never landed in monitor memory (the word there
+        // belongs to the shadow pager, not the guest).
+        assert_ne!(vmm.machine().mem.word(probe), 0xdead_beef);
+    }
+
+    #[test]
+    fn three_level_protection_with_guest_paging() {
+        // Guest kernel builds page tables: kernel code RWX (no U) mapped at
+        // identity, a user page with U. The user task tries to write a
+        // kernel page -> guest page fault handled by guest kernel.
+        let mut vmm = boot(
+            "        .equ PT_ROOT, 0x100000
+                     .equ PT_L2,   0x101000
+                     .equ USERPG,  0x102000
+             start:  csrw tvec, ktrap
+                     ; L1[0] -> L2 table
+                     li   t0, PT_ROOT
+                     li   t1, PT_L2 + 1          ; V
+                     sw   t1, 0(t0)
+                     ; identity-map first 16 pages RWX kernel-only
+                     li   t0, PT_L2
+                     li   t1, 0x0000000f          ; V|R|W|X
+                     li   t2, 16
+             lp:     sw   t1, 0(t0)
+                     addi t0, t0, 4
+                     li   t3, 0x1000
+                     add  t1, t1, t3
+                     addi t2, t2, -1
+                     bnez t2, lp
+                     ; map PT pages + user page
+                     li   t0, PT_L2 + 0x400       ; entries for 0x100000..
+                     li   t1, PT_ROOT + 0xf       ; V|R|W|X
+                     sw   t1, 0(t0)
+                     li   t1, PT_L2 + 0xf
+                     sw   t1, 4(t0)
+                     li   t1, USERPG + 0x1f       ; V|R|W|X|U
+                     sw   t1, 8(t0)
+                     ; enable guest paging
+                     li   t0, PT_ROOT + 1
+                     csrw ptbr, t0
+                     tlbflush
+                     ; write user code: sw t1, 0(zero) then spin
+                     li   t0, USERPG
+                     li   t1, 0x68000000          ; sw r0, 0(r0): opcode SW=0x1a<<26
+                     lui  t1, 0x6800
+                     sw   t1, 0(t0)
+                     li   t1, 0x0
+                     ; enter user mode at USERPG: set vEPC, clear PMODE
+                     csrw epc, t0
+                     csrw status, 0               ; PMODE=0 -> user
+                     tret
+             ktrap:  csrr s3, cause               ; guest kernel sees the fault
+             done:   j done
+            ",
+        );
+        vmm.run_for(400_000);
+        // The user store to VA 0 (kernel page, no U bit) faulted into the
+        // guest kernel with a store page fault.
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R21),
+            Cause::StorePageFault.code(),
+            "vcpu: {:?}, pc={:#x}",
+            vmm.vcpu(),
+            vmm.machine().cpu.pc()
+        );
+        assert!(vmm.shadow_stats().fills > 0);
+    }
+
+    #[test]
+    fn passthrough_disk_io_runs_without_mmio_exits() {
+        let mut vmm = boot(&format!(
+            "start:  li   t0, {hdc:#x}
+                     li   t1, 9
+                     sw   t1, 0(t0)
+                     li   t1, 1
+                     sw   t1, 4(t0)
+                     li   t1, 0x9000
+                     sw   t1, 8(t0)
+                     li   t1, 1
+                     sw   t1, 0xc(t0)
+             poll:   lw   t2, 0x10(t0)
+                     andi t2, t2, 2
+                     beqz t2, poll
+                     li   s0, 1
+             halt:   j halt
+            ",
+            hdc = map::HDC_BASE
+        ));
+        vmm.run_for(500_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "transfer completed");
+        let mut expect = vec![0u8; 512];
+        hx_machine::disk::fill_expected(0, 9, &mut expect);
+        assert_eq!(&vmm.machine().mem.as_bytes()[0x9000..0x9200], &expect[..]);
+        let ms = vmm.monitor_stats();
+        assert_eq!(ms.exits_mmio, 0, "disk registers are passthrough — no emulation exits");
+        // Exactly one shadow fill for the device page (plus code/data pages).
+        assert!(ms.exits_shadow >= 1);
+    }
+
+    #[test]
+    fn time_accounting_is_complete() {
+        let mut vmm = boot(
+            "start:  csrw tvec, h
+                     li t0, 100
+             l:      addi t0, t0, -1
+                     bnez t0, l
+             halt:   j halt
+             h:      j h
+            ",
+        );
+        let t0 = vmm.machine().now();
+        vmm.run_for(30_000);
+        let elapsed = vmm.machine().now() - t0;
+        assert_eq!(vmm.time_stats().total(), elapsed);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut vmm = boot(
+                "start:  csrw tvec, h
+                         li  t0, 500
+                 l:      addi t0, t0, -1
+                         bnez t0, l
+                         ecall
+                 h:      csrr a0, cause
+                 hh:     j hh
+                ",
+            );
+            vmm.run_for(100_000);
+            (
+                vmm.machine().now(),
+                *vmm.time_stats(),
+                vmm.monitor_stats(),
+                vmm.machine().cpu.regs().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,134 @@
+//! Debug-stub state: breakpoints, watchpoints, stop bookkeeping and the
+//! wire-protocol parser.
+//!
+//! The stub's *state* lives here, in monitor memory (plain Rust fields —
+//! unreachable from the guest by construction of the shadow tables). The
+//! stub's *behaviour* — executing commands against the guest — is
+//! implemented on [`crate::LvmmPlatform`], which owns both the machine and
+//! this state.
+
+use rdbg::msg::StopReason;
+use rdbg::wire::PacketParser;
+use std::collections::HashMap;
+
+/// Stub error codes carried in `E..` replies.
+pub mod err {
+    /// Unparseable command payload.
+    pub const PARSE: u8 = 1;
+    /// Bad register selector.
+    pub const REG: u8 = 2;
+    /// Guest memory unreachable (unmapped, outside guest RAM, …).
+    pub const MEM: u8 = 3;
+    /// Command requires a stopped guest.
+    pub const NOT_STOPPED: u8 = 4;
+    /// Breakpoint/watchpoint already exists or is missing.
+    pub const BP: u8 = 5;
+}
+
+/// What the stub armed single-step for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepIntent {
+    /// Host asked for one instruction: stop and report after it.
+    Step,
+    /// Stepping over a lifted breakpoint on the way to `continue`.
+    Resume,
+}
+
+/// Stub statistics, for the debug-latency experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StubStats {
+    /// Commands executed.
+    pub commands: u64,
+    /// Bytes received from the host.
+    pub bytes_in: u64,
+    /// Bytes sent to the host.
+    pub bytes_out: u64,
+    /// Break-in requests honoured.
+    pub break_ins: u64,
+}
+
+/// The monitor-resident debug stub state.
+#[derive(Debug)]
+pub struct Stub {
+    /// Wire-protocol parser over the UART byte stream.
+    pub parser: PacketParser,
+    /// Planted software breakpoints: guest VA → original instruction word.
+    pub breakpoints: HashMap<u32, u32>,
+    /// Armed write watchpoints as `(va, len)` ranges.
+    pub watchpoints: Vec<(u32, u32)>,
+    /// Is the guest currently stopped under debugger control?
+    pub stopped: bool,
+    /// The most recent stop reason (valid while `stopped`).
+    pub last_stop: Option<StopReason>,
+    /// A breakpoint temporarily lifted so the guest can step off it; it is
+    /// re-planted on the next single-step trap.
+    pub lifted_bp: Option<u32>,
+    /// Why the real single-step flag is armed, if it is.
+    pub step_intent: Option<StepIntent>,
+    /// Statistics.
+    pub stats: StubStats,
+}
+
+impl Default for Stub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stub {
+    /// Creates an idle stub with the guest running.
+    pub fn new() -> Stub {
+        Stub {
+            parser: PacketParser::new(),
+            breakpoints: HashMap::new(),
+            watchpoints: Vec::new(),
+            stopped: false,
+            last_stop: None,
+            lifted_bp: None,
+            step_intent: None,
+            stats: StubStats::default(),
+        }
+    }
+
+    /// Does any watchpoint overlap the 4 KiB page containing `va`?
+    pub fn watch_overlaps_page(&self, va: u32) -> bool {
+        let page = va & !0xfff;
+        self.watchpoints
+            .iter()
+            .any(|&(a, l)| a < page.saturating_add(0x1000) && a.saturating_add(l) > page)
+    }
+
+    /// Does a write to `[va, va+len)` hit any watchpoint exactly?
+    pub fn watch_hit(&self, va: u32, len: u32) -> Option<(u32, u32)> {
+        self.watchpoints
+            .iter()
+            .copied()
+            .find(|&(a, l)| a < va.saturating_add(len) && a.saturating_add(l) > va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_overlap_logic() {
+        let mut s = Stub::new();
+        s.watchpoints.push((0x2ffc, 8)); // straddles a page boundary
+        assert!(s.watch_overlaps_page(0x2000));
+        assert!(s.watch_overlaps_page(0x3000));
+        assert!(!s.watch_overlaps_page(0x4000));
+        assert_eq!(s.watch_hit(0x3000, 4), Some((0x2ffc, 8)));
+        assert_eq!(s.watch_hit(0x2ff8, 4), None);
+        assert_eq!(s.watch_hit(0x2ff8, 5), Some((0x2ffc, 8)));
+        assert_eq!(s.watch_hit(0x3004, 4), None);
+    }
+
+    #[test]
+    fn default_state() {
+        let s = Stub::new();
+        assert!(!s.stopped);
+        assert!(s.breakpoints.is_empty());
+        assert!(s.last_stop.is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! The virtual CPU: the guest's view of the processor's privileged state.
+//!
+//! Under the lightweight monitor the guest kernel runs deprivileged in
+//! hardware user mode; every CSR it touches, every trap it thinks it takes
+//! and every `tret` it executes happens against *this* structure instead of
+//! the real CPU — the paper's "CPU-resources emulator". The real CSRs stay
+//! owned by the monitor (real `STATUS.IE` stays set, the real trap vector is
+//! irrelevant because the monitor intercepts traps at the machine boundary).
+
+use hx_cpu::csr::{Csr, Status};
+use hx_cpu::trap::Cause;
+use hx_cpu::{Cpu, Mode};
+
+/// Virtual privileged state of the guest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VCpu {
+    /// The guest's *virtual* privilege mode (its kernel believes it runs in
+    /// supervisor mode; the hardware mode is always user).
+    pub vmode: Mode,
+    /// Virtual `STATUS`.
+    pub status: Status,
+    /// Virtual trap vector.
+    pub tvec: u32,
+    /// Virtual exception PC.
+    pub epc: u32,
+    /// Virtual trap cause.
+    pub cause: u32,
+    /// Virtual trap value.
+    pub tval: u32,
+    /// Virtual page-table base (bit 0 = guest paging enabled).
+    pub ptbr: u32,
+    /// Virtual scratch register.
+    pub scratch: u32,
+}
+
+impl Default for VCpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VCpu {
+    /// Reset state: virtual supervisor mode, interrupts masked, paging off —
+    /// exactly what a kernel booting on real hardware would see.
+    pub fn new() -> VCpu {
+        VCpu {
+            vmode: Mode::Supervisor,
+            status: Status::default(),
+            tvec: 0,
+            epc: 0,
+            cause: 0,
+            tval: 0,
+            ptbr: 0,
+            scratch: 0,
+        }
+    }
+
+    /// Does the guest currently accept virtual interrupts?
+    pub fn interrupts_enabled(&self) -> bool {
+        self.status.ie()
+    }
+
+    /// Is guest paging enabled (virtual `PTBR` bit 0)?
+    pub fn paging_enabled(&self) -> bool {
+        self.ptbr & 1 != 0
+    }
+
+    /// Physical base of the guest's level-1 page table.
+    pub fn page_table_root(&self) -> u32 {
+        self.ptbr & hx_cpu::mmu::pte::PPN_MASK
+    }
+
+    /// Emulated CSR read. Counter CSRs read through to the real CPU so the
+    /// guest sees monotonic time (monitor time included — it runs on the
+    /// same processor).
+    pub fn read_csr(&self, csr: Csr, real: &Cpu) -> u32 {
+        match csr {
+            Csr::Status => self.status.0,
+            Csr::Tvec => self.tvec,
+            Csr::Epc => self.epc,
+            Csr::Cause => self.cause,
+            Csr::Tval => self.tval,
+            Csr::Ptbr => self.ptbr,
+            Csr::Scratch => self.scratch,
+            Csr::Cycle | Csr::Cycleh | Csr::Instret | Csr::Instreth => real.read_csr(csr),
+        }
+    }
+
+    /// Emulated CSR write. Returns `true` if the write changed state that
+    /// the monitor must react to (`PTBR` — shadow switch; `STATUS` —
+    /// possible interrupt-window opening).
+    pub fn write_csr(&mut self, csr: Csr, val: u32) -> bool {
+        match csr {
+            Csr::Status => {
+                self.status = Status::written(val);
+                true
+            }
+            Csr::Tvec => {
+                self.tvec = val & !3;
+                false
+            }
+            Csr::Epc => {
+                self.epc = val & !3;
+                false
+            }
+            Csr::Cause => {
+                self.cause = val;
+                false
+            }
+            Csr::Tval => {
+                self.tval = val;
+                false
+            }
+            Csr::Ptbr => {
+                self.ptbr = val & (hx_cpu::mmu::pte::PPN_MASK | 1);
+                true
+            }
+            Csr::Scratch => {
+                self.scratch = val;
+                false
+            }
+            Csr::Cycle | Csr::Cycleh | Csr::Instret | Csr::Instreth => false,
+        }
+    }
+
+    /// Performs the virtual side of trap entry: saves `IE`/`TF`/mode into
+    /// the virtual status word, masks virtual interrupts, enters virtual
+    /// supervisor mode and records `EPC`/`CAUSE`/`TVAL`.
+    ///
+    /// Returns the virtual handler PC the real CPU must jump to. The caller
+    /// switches the shadow context if the virtual mode changed.
+    pub fn enter_trap(&mut self, cause: Cause, epc: u32, tval: u32) -> u32 {
+        let s = self.status;
+        self.status = s
+            .with(Status::PIE, s.ie())
+            .with(Status::IE, false)
+            .with(Status::PMODE, self.vmode == Mode::Supervisor)
+            .with(Status::PTF, s.tf())
+            .with(Status::TF, false);
+        self.vmode = Mode::Supervisor;
+        self.epc = epc;
+        self.cause = cause.code();
+        self.tval = tval;
+        self.tvec
+    }
+
+    /// Performs the virtual side of `tret`: restores mode/`IE`/`TF` and
+    /// returns the PC to resume at. The caller switches the shadow context
+    /// if the virtual mode changed.
+    pub fn leave_trap(&mut self) -> u32 {
+        let s = self.status;
+        self.vmode = if s.pmode_supervisor() { Mode::Supervisor } else { Mode::User };
+        self.status = s.with(Status::IE, s.pie()).with(Status::TF, s.ptf());
+        self.epc
+    }
+
+    /// Maps a hardware trap cause (always raised from hardware user mode)
+    /// to the cause the guest should observe given its *virtual* mode.
+    pub fn virtual_cause(&self, hw: Cause) -> Cause {
+        match (hw, self.vmode) {
+            (Cause::EcallU, Mode::Supervisor) => Cause::EcallS,
+            (c, _) => c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_matches_real_boot() {
+        let v = VCpu::new();
+        assert_eq!(v.vmode, Mode::Supervisor);
+        assert!(!v.interrupts_enabled());
+        assert!(!v.paging_enabled());
+    }
+
+    #[test]
+    fn trap_entry_and_return_roundtrip() {
+        let mut v = VCpu::new();
+        v.tvec = 0x800;
+        v.status = Status::written(Status::IE);
+        v.vmode = Mode::User; // guest app running
+
+        let handler = v.enter_trap(Cause::EcallU, 0x1234, 0);
+        assert_eq!(handler, 0x800);
+        assert_eq!(v.vmode, Mode::Supervisor);
+        assert!(!v.interrupts_enabled());
+        assert_eq!(v.epc, 0x1234);
+        assert_eq!(v.cause, Cause::EcallU.code());
+
+        // Handler advances EPC past the ecall, then returns.
+        v.epc += 4;
+        let resume = v.leave_trap();
+        assert_eq!(resume, 0x1238);
+        assert_eq!(v.vmode, Mode::User);
+        assert!(v.interrupts_enabled());
+    }
+
+    #[test]
+    fn nested_trap_preserves_inner_state() {
+        let mut v = VCpu::new();
+        v.tvec = 0x800;
+        v.status = Status::written(Status::IE);
+        v.enter_trap(Cause::Interrupt, 0x100, 3);
+        // Second trap while in the handler (vIE now 0, from vS mode).
+        v.enter_trap(Cause::LoadPageFault, 0x804, 0xdead);
+        assert!(v.status.pmode_supervisor());
+        assert!(!v.status.pie(), "inner PIE records masked state");
+        let r1 = v.leave_trap();
+        assert_eq!(r1, 0x804);
+        assert_eq!(v.vmode, Mode::Supervisor);
+        assert!(!v.interrupts_enabled(), "outer trap context still masked");
+    }
+
+    #[test]
+    fn csr_dispatch() {
+        let mut v = VCpu::new();
+        let real = Cpu::new();
+        assert!(v.write_csr(Csr::Status, 0xffff_ffff));
+        assert_eq!(v.read_csr(Csr::Status, &real), Status::MASK);
+        assert!(!v.write_csr(Csr::Tvec, 0x1003));
+        assert_eq!(v.read_csr(Csr::Tvec, &real), 0x1000);
+        assert!(v.write_csr(Csr::Ptbr, 0x5001));
+        assert!(v.paging_enabled());
+        assert_eq!(v.page_table_root(), 0x5000);
+        assert!(!v.write_csr(Csr::Scratch, 7));
+        assert_eq!(v.read_csr(Csr::Scratch, &real), 7);
+        // Counters read through to the real CPU.
+        assert_eq!(v.read_csr(Csr::Cycle, &real), real.read_csr(Csr::Cycle));
+        assert!(!v.write_csr(Csr::Cycle, 1), "counter writes ignored");
+    }
+
+    #[test]
+    fn ecall_cause_depends_on_virtual_mode() {
+        let mut v = VCpu::new();
+        v.vmode = Mode::Supervisor;
+        assert_eq!(v.virtual_cause(Cause::EcallU), Cause::EcallS);
+        v.vmode = Mode::User;
+        assert_eq!(v.virtual_cause(Cause::EcallU), Cause::EcallU);
+        assert_eq!(v.virtual_cause(Cause::LoadPageFault), Cause::LoadPageFault);
+    }
+
+    #[test]
+    fn virtual_single_step_flag_restored_by_tret() {
+        let mut v = VCpu::new();
+        v.status = Status::written(Status::TF | Status::IE);
+        v.enter_trap(Cause::DebugStep, 0x10, 0);
+        assert!(!v.status.tf());
+        assert!(v.status.ptf());
+        v.leave_trap();
+        assert!(v.status.tf(), "guest's own TF restored");
+    }
+}

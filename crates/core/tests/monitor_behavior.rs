@@ -1,0 +1,273 @@
+//! Monitor behavior tests that need a whole machine: shadow-paging
+//! equivalence against the architectural page-table semantics, and the
+//! guest's *own* debug facilities running virtualized (its `ebreak`
+//! handlers and single-step flag must keep working under the monitor —
+//! a guest OS may well contain its own debugger).
+
+use hx_cpu::mmu::pte;
+use hx_cpu::{Cause, Mode, Reg};
+use hx_machine::{Machine, MachineConfig, Platform};
+use lvmm::LvmmPlatform;
+use proptest::prelude::*;
+
+fn boot(src: &str) -> LvmmPlatform {
+    let program = hx_asm::assemble(src).expect("assembles");
+    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    machine.load_program(&program);
+    LvmmPlatform::new(machine, program.symbols.get("start").unwrap_or(program.base()))
+}
+
+/// Builds a guest that maps one page with `flags` at VA 0x40_0000 → PA
+/// 0x20_0000, enables paging, then performs the access selected by `mode`
+/// (0 = load, 1 = store, 2 = fetch). The handler records the virtual cause
+/// at 0x900; success writes 0x51 there instead.
+fn paging_probe(flags: u32, access: u32) -> String {
+    let action = match access {
+        0 => "lw   t1, 0(t0)",
+        1 => "sw   t1, 0(t0)",
+        _ => "jalr t2, t0, 0",
+    };
+    format!(
+        "        .equ PT_ROOT, 0x100000
+                 .equ PT_L2,   0x101000
+                 .equ PT_L2B,  0x102000
+         start:  csrw tvec, h
+                 ; L1[0] -> L2 (identity region), L1[1] -> L2B (test page)
+                 li   t0, PT_ROOT
+                 li   t1, PT_L2 + 1
+                 sw   t1, 0(t0)
+                 ; identity map first 16 pages kernel-RWX
+                 li   t0, PT_L2
+                 li   t1, 0xf
+                 li   t2, 16
+         lp:     sw   t1, 0(t0)
+                 addi t0, t0, 4
+                 li   t3, 0x1000
+                 add  t1, t1, t3
+                 addi t2, t2, -1
+                 bnez t2, lp
+                 ; map the page-table pages
+                 li   t0, PT_L2 + 0x100 * 4
+                 li   t1, PT_ROOT + 0xf
+                 sw   t1, 0(t0)
+                 li   t1, PT_L2 + 0xf
+                 sw   t1, 4(t0)
+                 ; the probe mapping: VA 0x400000 (L1 index 1) via its own
+                 ; page-aligned L2 table
+                 li   t0, PT_ROOT + 4
+                 li   t1, PT_L2B + 1
+                 sw   t1, 0(t0)
+                 li   t0, PT_L2B
+                 li   t1, 0x200000 + {flags}
+                 sw   t1, 0(t0)
+                 ; go
+                 li   t0, PT_ROOT + 1
+                 csrw ptbr, t0
+                 tlbflush
+                 li   t0, 0x400000
+                 li   t1, 0x77
+                 {action}
+                 li   t2, 0x51
+                 sw   t2, 0x900(zero)
+         halt:   j halt
+         h:      csrr t3, cause
+                 sw   t3, 0x900(zero)
+         spin:   j spin
+        ",
+        flags = flags,
+        action = action,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The monitor's shadow paging enforces exactly the guest page-table
+    /// semantics: for random leaf permission bits and access kinds, the
+    /// guest observes success or precisely the architectural fault cause.
+    #[test]
+    fn shadow_paging_matches_architecture(raw_flags in 0u32..32, access in 0u32..3) {
+        let flags = raw_flags | pte::V & 0x1f; // valid bit optional via raw_flags
+        let flags = flags & (pte::V | pte::R | pte::W | pte::X | pte::U);
+        let mut vmm = boot(&paging_probe(flags, access));
+        vmm.run_for(3_000_000);
+
+        let observed = vmm.machine().mem.word(0x900);
+        let ok = flags & pte::V != 0
+            && match access {
+                0 => flags & pte::R != 0,
+                1 => flags & pte::W != 0,
+                _ => flags & pte::X != 0,
+            };
+        let expected = if ok {
+            // Fetch probes jump into a data page full of zeros; word zero
+            // decodes as `add r0, r0, r0`, so execution runs on until the
+            // page ends and fetch-faults on the next (unmapped) page.
+            if access == 2 { Cause::InstrPageFault.code() } else { 0x51 }
+        } else {
+            match access {
+                0 => Cause::LoadPageFault.code(),
+                1 => Cause::StorePageFault.code(),
+                _ => Cause::InstrPageFault.code(),
+            }
+        };
+        prop_assert_eq!(
+            observed, expected,
+            "flags={:#x} access={} (V={} R={} W={} X={})",
+            flags, access,
+            flags & pte::V != 0, flags & pte::R != 0,
+            flags & pte::W != 0, flags & pte::X != 0
+        );
+        // Whatever happened, the monitor itself must be intact.
+        prop_assert!(!vmm.guest_stopped(), "monitor must not be collateral damage");
+    }
+}
+
+#[test]
+fn guest_virtual_single_step_flag_works() {
+    // The guest kernel single-steps ITS OWN code using the (virtual) trap
+    // flag — the same facility the monitor's stub uses, nested one level
+    // down. Three steps are taken, then the guest clears the saved flag
+    // and runs free.
+    let mut vmm = boot(
+        "start:  csrw tvec, h
+                 li   s1, 0
+                 csrs status, 8      ; set TF: trap after each instruction
+                 nop
+                 nop
+                 nop
+                 nop
+                 li   s2, 1
+         halt:   j halt
+         h:      addi s1, s1, 1
+                 li   t0, 3
+                 blt  s1, t0, back
+                 csrc status, 16     ; clear PTF: stop stepping after resume
+         back:   tret
+        ",
+    );
+    vmm.run_for(2_000_000);
+    assert_eq!(vmm.machine().cpu.reg(Reg::R19), 3, "exactly three virtual step traps");
+    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1, "guest ran to completion");
+    assert!(!vmm.guest_stopped());
+    // The *real* trap flag is not left dangling.
+    let status = hx_cpu::Status(vmm.machine().cpu.read_csr(hx_cpu::Csr::Status));
+    assert!(!status.tf());
+}
+
+#[test]
+fn guest_own_ebreak_reaches_guest_handler() {
+    // A guest OS may use `ebreak` itself (e.g. its own embedded debugger);
+    // with no stub breakpoint planted there, the monitor must reflect it.
+    let mut vmm = boot(
+        "start:  csrw tvec, h
+                 ebreak
+                 li   s2, 1          ; resumed past the ebreak by handler
+         halt:   j halt
+         h:      csrr s1, cause
+                 csrr t0, epc
+                 addi t0, t0, 4
+                 csrw epc, t0
+                 tret
+        ",
+    );
+    vmm.run_for(1_000_000);
+    assert_eq!(vmm.machine().cpu.reg(Reg::R19), Cause::Breakpoint.code());
+    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1);
+    assert!(!vmm.guest_stopped(), "the stub must not hijack the guest's own breakpoints");
+}
+
+#[test]
+fn guest_ecall_roundtrip_with_arguments() {
+    // Syscall convention exercised under full virtualization: user-ish code
+    // passes arguments in a0/a1, the handler services and returns a result.
+    let mut vmm = boot(
+        "start:  csrw tvec, h
+                 li   a0, 30
+                 li   a1, 12
+                 ecall
+                 ; a0 now holds the sum
+                 mv   s2, a0
+         halt:   j halt
+         h:      add  a0, a0, a1
+                 csrr t0, epc
+                 addi t0, t0, 4
+                 csrw epc, t0
+                 tret
+        ",
+    );
+    vmm.run_for(1_000_000);
+    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 42);
+    assert_eq!(vmm.vcpu().vmode, Mode::Supervisor);
+}
+
+#[test]
+fn guest_address_space_switching_reuses_shadow_contexts() {
+    // A kernel flipping between two page-table roots (two address spaces):
+    // the pager caches both shadow contexts instead of rebuilding.
+    let mut vmm = boot(
+        "        .equ R1, 0x100000
+                 .equ L2A, 0x101000
+                 .equ R2, 0x102000
+                 .equ L2B, 0x103000
+         start:  csrw tvec, trap
+                 ; both roots identity-map the first 16 pages
+                 li   t0, R1
+                 li   t1, L2A + 1
+                 sw   t1, 0(t0)
+                 li   t0, R2
+                 li   t1, L2B + 1
+                 sw   t1, 0(t0)
+                 li   t0, L2A
+                 li   t2, L2B
+                 li   t1, 0xf
+                 li   t3, 16
+         lp:     sw   t1, 0(t0)
+                 sw   t1, 0(t2)
+                 addi t0, t0, 4
+                 addi t2, t2, 4
+                 li   t4, 0x1000
+                 add  t1, t1, t4
+                 addi t3, t3, -1
+                 bnez t3, lp
+                 ; map both page-table regions into both spaces
+                 li   t0, L2A + 0x400
+                 li   t2, L2B + 0x400
+                 li   t1, R1 + 0xf
+                 sw   t1, 0(t0)
+                 sw   t1, 0(t2)
+                 li   t1, L2A + 0xf
+                 sw   t1, 4(t0)
+                 sw   t1, 4(t2)
+                 li   t1, R2 + 0xf
+                 sw   t1, 8(t0)
+                 sw   t1, 8(t2)
+                 li   t1, L2B + 0xf
+                 sw   t1, 12(t0)
+                 sw   t1, 12(t2)
+                 ; ping-pong between the spaces
+                 li   s3, 50
+         again:  li   t0, R1 + 1
+                 csrw ptbr, t0
+                 addi s4, s4, 1
+                 li   t0, R2 + 1
+                 csrw ptbr, t0
+                 addi s4, s4, 1
+                 addi s3, s3, -1
+                 bnez s3, again
+                 li   s2, 1
+         halt:   j halt
+         trap:   csrr s1, cause
+         dead:   j dead
+        ",
+    );
+    vmm.run_for(8_000_000);
+    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1, "cause={}", vmm.machine().cpu.reg(Reg::R19));
+    assert_eq!(vmm.machine().cpu.reg(Reg::R22), 100);
+    let shadow = vmm.shadow_stats();
+    assert!(
+        shadow.contexts <= 4,
+        "two guest roots (plus boot identity) must not create {} contexts",
+        shadow.contexts
+    );
+}

@@ -1,0 +1,48 @@
+//! Cost model of the hosted monitor and its host OS, following the
+//! measurements reported by Sugerman et al. (USENIX ATC 2001) scaled to the
+//! 25 MHz machine.
+//!
+//! The dominant terms are the **world switch** (the hosted VMM must switch
+//! between the VMM context and the host OS context — page tables, segments,
+//! interrupt state — for every I/O request) and the **host stack traversal**
+//! (each guest packet becomes a host syscall through the host's network
+//! stack and driver). These are what the lightweight monitor avoids by
+//! letting the guest drive the devices directly.
+
+/// Monitor exit/entry (same order as the lightweight monitor's).
+pub const EXIT_BASE: u64 = 700;
+
+/// Dispatch + device-model work for one emulated device-register access.
+pub const EMUL_DEV_REG: u64 = 400;
+
+/// One world switch between the VMM context and the host OS context.
+pub const WORLD_SWITCH: u64 = 8_000;
+
+/// Host network stack + driver traversal per transmitted packet.
+pub const HOST_PACKET_TX: u64 = 31_000;
+
+/// Host network stack + driver traversal per received packet.
+pub const HOST_PACKET_RX: u64 = 30_000;
+
+/// Host syscall + filesystem/driver path per disk command.
+pub const HOST_DISK_CMD: u64 = 20_000;
+
+/// Bytes copied per cycle when the host model moves data between guest
+/// memory and host bounce buffers (a word-wide memcpy).
+pub const COPY_BYTES_PER_CYCLE: u64 = 4;
+
+/// Cycles to copy `bytes` through a host bounce buffer.
+pub fn copy_cycles(bytes: u64) -> u64 {
+    bytes.div_ceil(COPY_BYTES_PER_CYCLE)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copy_cycles_rounds_up() {
+        assert_eq!(super::copy_cycles(0), 0);
+        assert_eq!(super::copy_cycles(1), 1);
+        assert_eq!(super::copy_cycles(4), 1);
+        assert_eq!(super::copy_cycles(1500), 375);
+    }
+}

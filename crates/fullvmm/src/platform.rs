@@ -1,0 +1,731 @@
+//! `HostedPlatform`: the guest under the hosted full monitor.
+//!
+//! CPU virtualization (ring compression, virtual CSRs, shadow paging) is
+//! identical to the lightweight monitor — those components are reused from
+//! the `lvmm` crate. The difference is device policy: **nothing** is passed
+//! through. Every device page the guest touches is emulated, and disk/NIC
+//! data is relayed through the modeled host OS with world switches, host
+//! stack costs and extra copies ([`crate::costs`]).
+
+use crate::costs;
+use crate::vdev::{VDisk, VNic, DISK_BOUNCE_SECTORS, HOST_BUF_SIZE, HOST_RING_LEN};
+use hx_cpu::csr::{Csr, Status};
+use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp};
+use hx_cpu::mmu::{pte, Access, PAGE_MASK};
+use hx_cpu::trap::{Cause, Trap};
+use hx_cpu::{MemSize, Mode};
+use hx_machine::platform::PlatformStep;
+use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
+use lvmm::chipset::VChipset;
+use lvmm::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager};
+use lvmm::vcpu::VCpu;
+
+/// Hosted-monitor configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostedConfig {
+    /// RAM reserved for the monitor + host OS model (shadow tables, bounce
+    /// buffers, host device rings).
+    pub host_mem: u32,
+}
+
+impl Default for HostedConfig {
+    fn default() -> Self {
+        HostedConfig { host_mem: 4 * 1024 * 1024 }
+    }
+}
+
+/// Exit and relay counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostedStats {
+    /// Privileged-instruction emulations.
+    pub exits_privileged: u64,
+    /// Emulated device-register accesses (every device!).
+    pub exits_mmio: u64,
+    /// Shadow fills.
+    pub exits_shadow: u64,
+    /// Real interrupts taken by the monitor/host.
+    pub exits_irq: u64,
+    /// Virtual interrupts injected into the guest.
+    pub irqs_injected: u64,
+    /// Guest faults re-injected.
+    pub faults_injected: u64,
+    /// World switches performed by the host relay (derived from costs).
+    pub host_relay_ops: u64,
+    /// Protection violations blocked.
+    pub protection_violations: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Running,
+    GuestIdle,
+}
+
+/// The hosted full-VMM platform (see the [module docs](self)).
+#[derive(Debug)]
+pub struct HostedPlatform {
+    machine: Machine,
+    vcpu: VCpu,
+    shadow: ShadowPager,
+    chipset: VChipset,
+    vdisk: VDisk,
+    vnic: VNic,
+    stats: TimeStats,
+    hstats: HostedStats,
+    state: RunState,
+    monitor_base: u32,
+    ram_size: u32,
+    last_fault: (u32, u32, u32),
+    last_fault_repeats: u32,
+}
+
+impl HostedPlatform {
+    /// Installs the hosted monitor and prepares the guest to boot at
+    /// `entry` (image already loaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if RAM is too small for the host region.
+    pub fn new(machine: Machine, entry: u32) -> HostedPlatform {
+        Self::with_config(machine, entry, HostedConfig::default())
+    }
+
+    /// [`HostedPlatform::new`] with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if RAM is too small for the host region.
+    pub fn with_config(mut machine: Machine, entry: u32, cfg: HostedConfig) -> HostedPlatform {
+        let ram_size = machine.config().ram_size as u32;
+        assert!(cfg.host_mem < ram_size, "host region exceeds RAM");
+        let monitor_base = ram_size - cfg.host_mem;
+
+        // Host memory layout: shadow pool, then bounce/ring area.
+        let shadow_end = monitor_base + 2 * 1024 * 1024;
+        assert!(shadow_end < ram_size, "host region too small");
+        let mut cursor = shadow_end;
+        let mut take = |bytes: u32| {
+            let a = cursor;
+            cursor += bytes;
+            assert!(cursor <= ram_size, "host region layout overflow");
+            a
+        };
+        let disk_bounce = [
+            take(DISK_BOUNCE_SECTORS * 512),
+            take(DISK_BOUNCE_SECTORS * 512),
+            take(DISK_BOUNCE_SECTORS * 512),
+        ];
+        let host_ring = take(HOST_RING_LEN * 16);
+        let host_bufs = take(HOST_RING_LEN * HOST_BUF_SIZE);
+
+        let mut shadow = ShadowPager::new(monitor_base, shadow_end);
+        machine.cpu.set_mode(Mode::User);
+        machine.cpu.set_pc(entry);
+        machine.cpu.write_csr(Csr::Status, Status::IE);
+        let root = shadow.root_for(&mut machine.mem, 0, Mode::Supervisor);
+        machine.cpu.write_csr(Csr::Ptbr, root | 1);
+
+        let vnic = VNic::new(&mut machine, host_ring, host_bufs);
+        HostedPlatform {
+            machine,
+            vcpu: VCpu::new(),
+            shadow,
+            chipset: VChipset::new(),
+            vdisk: VDisk::new(disk_bounce),
+            vnic,
+            stats: TimeStats::new(),
+            hstats: HostedStats::default(),
+            state: RunState::Running,
+            monitor_base,
+            ram_size,
+            last_fault: (0, 0, 0),
+            last_fault_repeats: 0,
+        }
+    }
+
+    /// Monitor/host counters.
+    pub fn hosted_stats(&self) -> HostedStats {
+        self.hstats
+    }
+
+    /// The guest's virtual CPU (tests/diagnostics).
+    pub fn vcpu(&self) -> &VCpu {
+        &self.vcpu
+    }
+
+    /// Frames the virtual NIC relayed to the wire.
+    pub fn relayed_tx_frames(&self) -> u64 {
+        self.vnic.tx_frames
+    }
+
+    /// Injects a frame from the outside world into the guest's virtual RX
+    /// ring via the host model.
+    pub fn inject_guest_rx(&mut self, frame: &[u8]) {
+        let (ok, host) = self.vnic.deliver_rx(&mut self.machine, frame);
+        self.consume_host(host);
+        if ok {
+            self.chipset.vpic.assert_irq(map::irq::NIC_RX);
+            self.maybe_inject_irq();
+        }
+    }
+
+    fn consume_monitor(&mut self, cycles: u64) {
+        self.machine.consume(cycles);
+        self.stats.charge(TimeBucket::Monitor, cycles);
+    }
+
+    fn consume_host(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.machine.consume(cycles);
+            self.stats.charge(TimeBucket::HostModel, cycles);
+            self.hstats.host_relay_ops += 1;
+        }
+    }
+
+    fn shadow_key(&self) -> u32 {
+        if self.vcpu.paging_enabled() {
+            self.vcpu.ptbr
+        } else {
+            0
+        }
+    }
+
+    fn activate_shadow(&mut self) {
+        let key = self.shadow_key();
+        let root = self.shadow.root_for(&mut self.machine.mem, key, self.vcpu.vmode);
+        self.machine.cpu.write_csr(Csr::Ptbr, root | 1);
+    }
+
+    fn inject_guest_trap(&mut self, cause: Cause, epc: u32, tval: u32) {
+        let vcause = self.vcpu.virtual_cause(cause);
+        let handler = self.vcpu.enter_trap(vcause, epc, tval);
+        self.activate_shadow();
+        self.machine.cpu.set_pc(handler);
+        self.consume_monitor(lvmm::costs::INJECT_TRAP);
+        self.hstats.faults_injected += 1;
+    }
+
+    fn maybe_inject_irq(&mut self) {
+        if !self.vcpu.interrupts_enabled() {
+            return;
+        }
+        if let Some((_irq, vector)) = self.chipset.vpic.inta() {
+            let epc = self.machine.cpu.pc();
+            let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
+            self.activate_shadow();
+            self.machine.cpu.set_pc(handler);
+            self.consume_monitor(lvmm::costs::INJECT_TRAP);
+            self.hstats.irqs_injected += 1;
+            self.state = RunState::Running;
+        }
+    }
+
+    fn dispatch_trap(&mut self, trap: Trap) {
+        match trap.cause {
+            Cause::PrivilegedInstruction => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.hstats.exits_privileged += 1;
+                self.emulate_privileged(trap);
+            }
+            Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.handle_shadow_fault(trap);
+            }
+            other => {
+                self.consume_monitor(costs::EXIT_BASE);
+                self.inject_guest_trap(other, trap.epc, trap.tval);
+            }
+        }
+        self.maybe_inject_irq();
+    }
+
+    fn emulate_privileged(&mut self, trap: Trap) {
+        let pc = trap.epc;
+        let Ok(instr) = Instr::decode(trap.tval) else {
+            self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+            return;
+        };
+        match instr {
+            Instr::Csr { op, rd, rs1, csr } => {
+                self.consume_monitor(lvmm::costs::EMUL_CSR);
+                let Some(c) = Csr::from_number(csr) else {
+                    self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+                    return;
+                };
+                let old = self.vcpu.read_csr(c, &self.machine.cpu);
+                let writes = match op {
+                    hx_cpu::isa::CsrOp::Rw => true,
+                    _ => rs1 != hx_cpu::Reg::R0,
+                };
+                if writes {
+                    if c.is_read_only() {
+                        self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval);
+                        return;
+                    }
+                    let src = self.machine.cpu.reg(rs1);
+                    let new = match op {
+                        hx_cpu::isa::CsrOp::Rw => src,
+                        hx_cpu::isa::CsrOp::Rs => old | src,
+                        hx_cpu::isa::CsrOp::Rc => old & !src,
+                    };
+                    let sensitive = self.vcpu.write_csr(c, new);
+                    if c == Csr::Ptbr && sensitive {
+                        self.consume_monitor(lvmm::costs::SHADOW_FLUSH);
+                        self.activate_shadow();
+                    }
+                }
+                self.machine.cpu.set_reg(rd, old);
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+            }
+            Instr::Sys { op: SysOp::Tret } => {
+                self.consume_monitor(lvmm::costs::EMUL_TRET);
+                let resume = self.vcpu.leave_trap();
+                self.activate_shadow();
+                self.machine.cpu.set_pc(resume);
+            }
+            Instr::Sys { op: SysOp::Wfi } => {
+                self.consume_monitor(lvmm::costs::EMUL_WFI);
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+                self.state = RunState::GuestIdle;
+            }
+            Instr::Sys { op: SysOp::TlbFlush } => {
+                self.consume_monitor(lvmm::costs::SHADOW_FLUSH);
+                let key = self.shadow_key();
+                self.shadow.flush_context(&mut self.machine.mem, key);
+                self.machine.cpu.tlb_flush();
+                self.machine.cpu.set_pc(pc.wrapping_add(4));
+            }
+            _ => self.inject_guest_trap(Cause::IllegalInstruction, pc, trap.tval),
+        }
+    }
+
+    fn fault_access(cause: Cause) -> Access {
+        match cause {
+            Cause::InstrPageFault => Access::Fetch,
+            Cause::LoadPageFault => Access::Load,
+            _ => Access::Store,
+        }
+    }
+
+    /// See `lvmm`: the guard applies only to fill paths; emulated-MMIO
+    /// faults legitimately repeat at the same PC.
+    fn fill_made_no_progress(&mut self, trap: &Trap) -> bool {
+        let sig = (trap.epc, trap.tval, trap.cause.code());
+        if sig == self.last_fault {
+            self.last_fault_repeats += 1;
+            self.last_fault_repeats > 8
+        } else {
+            self.last_fault = sig;
+            self.last_fault_repeats = 0;
+            false
+        }
+    }
+
+    fn handle_shadow_fault(&mut self, trap: Trap) {
+        let va = trap.tval;
+        let access = Self::fault_access(trap.cause);
+        let vmode = self.vcpu.vmode;
+        let (gpa, gflags) = if self.vcpu.paging_enabled() {
+            let root = self.vcpu.page_table_root();
+            match guest_walk(&mut self.machine.mem, root, va, access, vmode, self.monitor_base, true)
+            {
+                Ok(w) => (w.gpa, w.pte),
+                Err(GuestWalkErr::GuestFault) => {
+                    self.inject_guest_trap(trap.cause, trap.epc, va);
+                    return;
+                }
+                Err(GuestWalkErr::BadTable) => {
+                    self.hstats.protection_violations += 1;
+                    self.inject_guest_trap(trap.cause, trap.epc, va);
+                    return;
+                }
+            }
+        } else {
+            (va, pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D)
+        };
+
+        match classify(gpa, self.monitor_base, self.ram_size) {
+            PageClass::Monitor => {
+                self.hstats.protection_violations += 1;
+                self.inject_guest_trap(trap.cause, trap.epc, va);
+            }
+            PageClass::Unmapped => {
+                let cause = match access {
+                    Access::Fetch => Cause::InstrAccessFault,
+                    Access::Load => Cause::LoadAccessFault,
+                    Access::Store => Cause::StoreAccessFault,
+                };
+                self.inject_guest_trap(cause, trap.epc, va);
+            }
+            // The defining property of the hosted monitor: *all* devices
+            // are emulated, including the high-throughput ones.
+            PageClass::EmulatedMmio | PageClass::PassthroughMmio => {
+                self.hstats.exits_mmio += 1;
+                self.emulate_mmio(trap, va, gpa, access);
+            }
+            PageClass::GuestRam => {
+                if self.fill_made_no_progress(&trap) {
+                    // Unrecoverable: surface to the guest's own handler.
+                    self.inject_guest_trap(trap.cause, trap.epc, trap.tval);
+                    self.last_fault_repeats = 0;
+                    return;
+                }
+                self.hstats.exits_shadow += 1;
+                self.consume_monitor(lvmm::costs::SHADOW_FILL);
+                let mut flags = pte::V | pte::U | pte::A | pte::D;
+                if gflags & pte::R != 0 {
+                    flags |= pte::R;
+                }
+                if gflags & pte::X != 0 {
+                    flags |= pte::X;
+                }
+                if gflags & pte::W != 0 && gflags & pte::D != 0 {
+                    flags |= pte::W;
+                }
+                let key = self.shadow_key();
+                self.shadow.map(
+                    &mut self.machine.mem,
+                    key,
+                    vmode,
+                    va & !PAGE_MASK,
+                    gpa & !PAGE_MASK,
+                    flags,
+                );
+            }
+        }
+    }
+
+    fn emulate_mmio(&mut self, trap: Trap, va: u32, gpa: u32, access: Access) {
+        // EXIT_BASE was already charged by the dispatcher.
+        self.consume_monitor(costs::EMUL_DEV_REG);
+        let Some(instr) = self.fetch_guest_instr(trap.epc) else {
+            self.inject_guest_trap(Cause::InstrPageFault, trap.epc, trap.epc);
+            return;
+        };
+        let page = gpa & !(map::DEV_PAGE - 1);
+        let offset = gpa & (map::DEV_PAGE - 1);
+        match (instr, access) {
+            (Instr::Load { kind: LoadKind::W, rd, .. }, Access::Load) => {
+                let val = match page {
+                    map::HDC_BASE => {
+                        let (v, host) = self.vdisk.read_reg(offset);
+                        self.consume_host(host);
+                        v
+                    }
+                    map::NIC_BASE => self.vnic.read_reg(offset),
+                    _ => self.chipset.mmio_read(&mut self.machine, page, offset),
+                };
+                self.machine.cpu.set_reg(rd, val);
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+            }
+            (Instr::Store { kind: StoreKind::W, rs2, .. }, Access::Store) => {
+                let val = self.machine.cpu.reg(rs2);
+                match page {
+                    map::HDC_BASE => {
+                        let host = self.vdisk.write_reg(&mut self.machine, offset, val);
+                        self.consume_host(host);
+                    }
+                    map::NIC_BASE => {
+                        let host = self.vnic.write_reg(&mut self.machine, offset, val);
+                        self.consume_host(host);
+                    }
+                    _ => self.chipset.mmio_write(&mut self.machine, page, offset, val),
+                }
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+            }
+            _ => {
+                let cause = match access {
+                    Access::Fetch => Cause::InstrAccessFault,
+                    Access::Load => Cause::LoadAccessFault,
+                    Access::Store => Cause::StoreAccessFault,
+                };
+                self.inject_guest_trap(cause, trap.epc, va);
+            }
+        }
+    }
+
+    fn fetch_guest_instr(&mut self, pc: u32) -> Option<Instr> {
+        let gpa = if self.vcpu.paging_enabled() {
+            let root = self.vcpu.page_table_root();
+            match guest_walk(
+                &mut self.machine.mem,
+                root,
+                pc,
+                Access::Fetch,
+                self.vcpu.vmode,
+                self.monitor_base,
+                false,
+            ) {
+                Ok(w) => w.gpa,
+                Err(_) => return None,
+            }
+        } else {
+            pc
+        };
+        let word = self.machine.mem.read(gpa, MemSize::Word).ok()?;
+        Instr::decode(word).ok()
+    }
+
+    fn handle_real_irq(&mut self, irq: u8) {
+        self.machine.pic.eoi(irq);
+        self.consume_monitor(costs::EXIT_BASE);
+        self.hstats.exits_irq += 1;
+        match irq {
+            map::irq::PIT => self.chipset.vpic.assert_irq(map::irq::PIT),
+            map::irq::UART => {
+                // No debug stub in the hosted monitor: the host consumes
+                // its own serial traffic.
+                while self.machine.uart.pop_rx().is_some() {}
+            }
+            map::irq::HDC0 | map::irq::HDC1 | map::irq::HDC2 => {
+                let unit = (irq - map::irq::HDC0) as usize;
+                let (done, host) = self.vdisk.on_host_complete(&mut self.machine, unit);
+                self.consume_host(host);
+                if done {
+                    self.chipset.vpic.assert_irq(irq);
+                }
+            }
+            map::irq::NIC_TX => {
+                let (raise, host) = self.vnic.on_host_tx_complete(&mut self.machine);
+                self.consume_host(host);
+                if raise {
+                    self.chipset.vpic.assert_irq(map::irq::NIC_TX);
+                }
+            }
+            map::irq::NIC_RX => {
+                // Host-side receive; nothing to relay in this model (frames
+                // enter via `inject_guest_rx`).
+            }
+            _ => {}
+        }
+        self.maybe_inject_irq();
+    }
+
+    fn idle_step(&mut self) -> PlatformStep {
+        if self.machine.pic.line_asserted() {
+            match self.machine.step() {
+                MachineStep::Interrupt { irq, .. } => self.handle_real_irq(irq),
+                MachineStep::Stuck => return PlatformStep::Stuck,
+                _ => {}
+            }
+            return PlatformStep::Running;
+        }
+        match self.machine.skip_to_next_event() {
+            Some(cycles) => {
+                self.stats.charge(TimeBucket::Idle, cycles);
+                PlatformStep::Running
+            }
+            None => PlatformStep::Stuck,
+        }
+    }
+}
+
+impl Platform for HostedPlatform {
+    fn name(&self) -> &'static str {
+        "hosted"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn time_stats(&self) -> &TimeStats {
+        &self.stats
+    }
+
+    fn step(&mut self) -> PlatformStep {
+        match self.state {
+            RunState::GuestIdle => self.idle_step(),
+            RunState::Running => match self.machine.step() {
+                MachineStep::Executed { cycles } => {
+                    self.stats.charge(TimeBucket::Guest, cycles);
+                    PlatformStep::Running
+                }
+                MachineStep::Idle { cycles } => {
+                    self.stats.charge(TimeBucket::Idle, cycles);
+                    PlatformStep::Running
+                }
+                MachineStep::Interrupt { irq, .. } => {
+                    self.handle_real_irq(irq);
+                    PlatformStep::Running
+                }
+                MachineStep::Trapped { trap, cycles } => {
+                    self.stats.charge(TimeBucket::Guest, cycles);
+                    self.dispatch_trap(trap);
+                    PlatformStep::Running
+                }
+                MachineStep::Stuck => PlatformStep::Stuck,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_machine::MachineConfig;
+
+    fn boot(src: &str) -> HostedPlatform {
+        let program = hx_asm::assemble(src).expect("guest assembles");
+        let mut machine =
+            Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        machine.load_program(&program);
+        let entry = program.symbols.get("start").unwrap_or(program.base());
+        HostedPlatform::new(machine, entry)
+    }
+
+    #[test]
+    fn disk_read_through_host_relay() {
+        let mut vmm = boot(&format!(
+            "start:  li   t0, {hdc:#x}
+                     li   t1, 3
+                     sw   t1, 0(t0)
+                     li   t1, 1
+                     sw   t1, 4(t0)
+                     li   t1, 0x9000
+                     sw   t1, 8(t0)
+                     li   t1, 1
+                     sw   t1, 0xc(t0)
+             poll:   lw   t2, 0x10(t0)
+                     andi t2, t2, 2
+                     beqz t2, poll
+                     li   s0, 1
+             halt:   j halt
+            ",
+            hdc = map::HDC_BASE
+        ));
+        vmm.run_for(2_000_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "transfer completed");
+        let mut expect = vec![0u8; 512];
+        hx_machine::disk::fill_expected(0, 3, &mut expect);
+        assert_eq!(&vmm.machine().mem.as_bytes()[0x9000..0x9200], &expect[..]);
+        let hs = vmm.hosted_stats();
+        assert!(hs.exits_mmio > 4, "every register access is an exit: {hs:?}");
+        assert!(vmm.time_stats().host_model > 0, "host relay time charged");
+    }
+
+    #[test]
+    fn nic_tx_through_host_relay() {
+        let mut vmm = boot(&format!(
+            "start:  ; build one 600-byte frame at 0x4000 (contents: zeros)
+                     li   t0, 0x1000         ; ring
+                     li   t1, 0x4000
+                     sw   t1, 0(t0)          ; desc.addr
+                     li   t1, 600
+                     sw   t1, 4(t0)          ; desc.len
+                     sw   zero, 12(t0)       ; desc.status
+                     li   t0, {nic:#x}
+                     li   t1, 0x1000
+                     sw   t1, 0(t0)          ; TX_BASE
+                     li   t1, 8
+                     sw   t1, 4(t0)          ; TX_LEN
+                     li   t1, 1
+                     sw   t1, 0xc(t0)        ; TX_TAIL doorbell
+             poll:   lw   t2, 8(t0)          ; TX_HEAD
+                     beqz t2, poll
+                     li   s0, 1
+             halt:   j halt
+            ",
+            nic = map::NIC_BASE
+        ));
+        vmm.run_for(3_000_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "frame completed");
+        assert_eq!(vmm.relayed_tx_frames(), 1);
+        let c = vmm.machine().nic.counters();
+        assert_eq!(c.tx_frames, 1, "the real wire saw the frame");
+        assert_eq!(c.tx_bytes, 600);
+        assert!(vmm.time_stats().host_model as f64 > costs::HOST_PACKET_TX as f64);
+    }
+
+    #[test]
+    fn hosted_io_costs_more_than_lvmm() {
+        // The same single-sector disk read on both monitors; the hosted one
+        // must burn more monitor+host cycles. This is the paper's central
+        // comparison in miniature.
+        let src = format!(
+            "start:  li   t0, {hdc:#x}
+                     li   t1, 3
+                     sw   t1, 0(t0)
+                     li   t1, 1
+                     sw   t1, 4(t0)
+                     li   t1, 0x9000
+                     sw   t1, 8(t0)
+                     li   t1, 1
+                     sw   t1, 0xc(t0)
+             poll:   lw   t2, 0x10(t0)
+                     andi t2, t2, 2
+                     beqz t2, poll
+                     li   s0, 1
+             halt:   j halt
+            ",
+            hdc = map::HDC_BASE
+        );
+        let program = hx_asm::assemble(&src).unwrap();
+
+        let mut m1 = Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        m1.load_program(&program);
+        let mut lv = lvmm::LvmmPlatform::new(m1, program.base());
+        lv.run_for(2_000_000);
+        assert_eq!(lv.machine().cpu.reg(hx_cpu::Reg::R18), 1);
+
+        let mut m2 = Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        m2.load_program(&program);
+        let mut ho = HostedPlatform::new(m2, program.base());
+        ho.run_for(2_000_000);
+        assert_eq!(ho.machine().cpu.reg(hx_cpu::Reg::R18), 1);
+
+        let lv_overhead = lv.time_stats().monitor + lv.time_stats().host_model;
+        let ho_overhead = ho.time_stats().monitor + ho.time_stats().host_model;
+        assert!(
+            ho_overhead > 2 * lv_overhead,
+            "hosted overhead {ho_overhead} must dwarf lvmm {lv_overhead}"
+        );
+    }
+
+    #[test]
+    fn rx_injection_reaches_guest_ring() {
+        let mut vmm = boot(&format!(
+            "start:  li   t0, 0x2000
+                     li   t1, 0x8000
+                     sw   t1, 0(t0)
+                     li   t1, 1024
+                     sw   t1, 4(t0)
+                     li   t0, {nic:#x}
+                     li   t1, 0x2000
+                     sw   t1, 0x20(t0)
+                     li   t1, 4
+                     sw   t1, 0x24(t0)
+                     li   t1, 1
+                     sw   t1, 0x2c(t0)
+                     li   s0, 1
+             halt:   j halt
+            ",
+            nic = map::NIC_BASE
+        ));
+        vmm.run_for(500_000);
+        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1);
+        vmm.inject_guest_rx(&[7u8; 64]);
+        assert_eq!(vmm.machine().mem.as_bytes()[0x8000], 7);
+        assert_eq!(vmm.machine().mem.word(0x2000 + 8), 64);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut vmm = boot(
+                "start:  li t0, 200
+                 l:      addi t0, t0, -1
+                         bnez t0, l
+                 halt:   j halt
+                ",
+            );
+            vmm.run_for(50_000);
+            (vmm.machine().now(), *vmm.time_stats(), vmm.hosted_stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,174 @@
+//! Small auxiliary guest programs for the debugging examples and tests.
+
+use hx_asm::{assemble, Program};
+
+/// A well-behaved counting kernel with a subroutine — the standard target
+/// for breakpoint/step/inspect sessions.
+///
+/// Symbols: `start`, `main_loop`, `bump` (the subroutine), `counter` (a
+/// word in memory incremented once per loop), `message` (a string).
+pub fn counter_guest() -> Program {
+    assemble(
+        "        .org 0x1000
+         start:  li   sp, 0x8000
+                 la   s0, counter
+         main_loop:
+                 jal  bump
+                 j    main_loop
+         bump:   lw   t0, 0(s0)
+                 addi t0, t0, 1
+                 sw   t0, 0(s0)
+                 ret
+                 .align 4
+         counter:
+                 .word 0
+         message:
+                 .asciz \"hitactix counter guest\"
+        ",
+    )
+    .expect("counter guest assembles")
+}
+
+/// A kernel with a latent bug: after `trigger` iterations it scribbles over
+/// its **own** memory — data, then its trap vector, then its code — and
+/// finally jumps into the wreckage.
+///
+/// On the lightweight monitor the debug stub keeps answering afterwards
+/// (its state lives in monitor memory); with an OS-embedded stub the
+/// debugger goes silent. This is the paper's stability claim in executable
+/// form.
+///
+/// Symbols: `start`, `main_loop`, `rampage`, `counter`.
+pub fn buggy_guest(trigger: u32) -> Program {
+    assemble(&format!(
+        "        .org 0x1000
+         start:  li   sp, 0x8000
+                 la   t0, handler
+                 csrw tvec, t0
+                 la   s0, counter
+                 li   s1, {trigger}
+         main_loop:
+                 lw   t0, 0(s0)
+                 addi t0, t0, 1
+                 sw   t0, 0(s0)
+                 blt  t0, s1, main_loop
+         rampage:
+                 ; wipe the first 64 KiB top-down: stack, any embedded
+                 ; debugger state, the vectors, and finally this very code
+                 li   t0, 0x10000
+                 li   t2, 0xdeadbeef
+         wipe:   addi t0, t0, -4
+                 sw   t2, 0(t0)
+                 bnez t0, wipe
+                 jr   t2                 ; wild jump (if the loop survives)
+         handler:
+                 j    handler
+                 .align 4
+         counter:
+                 .word 0
+        ",
+    ))
+    .expect("buggy guest assembles")
+}
+
+/// A kernel that builds page tables, drops to user mode, and lets the user
+/// task attempt an illegal write — the three-level-protection demo.
+///
+/// The kernel records the fault cause it observes at `observed` (offset
+/// `0x900`), mirroring the protection test in the `lvmm` crate.
+///
+/// Symbols: `start`, `ktrap`, `user_code`.
+pub fn protection_guest() -> Program {
+    assemble(
+        "        .equ PT_ROOT, 0x100000
+                 .equ PT_L2,   0x101000
+                 .equ USERPG,  0x102000
+                 .equ OBSERVED, 0x900
+                 .org 0x1000
+         start:  li   sp, 0x8000
+                 la   t0, ktrap
+                 csrw tvec, t0
+                 li   t0, PT_ROOT
+                 li   t1, PT_L2 + 1
+                 sw   t1, 0(t0)
+                 li   t0, PT_L2
+                 li   t1, 0x0000000f
+                 li   t2, 16
+         lp:     sw   t1, 0(t0)
+                 addi t0, t0, 4
+                 li   t3, 0x1000
+                 add  t1, t1, t3
+                 addi t2, t2, -1
+                 bnez t2, lp
+                 li   t0, PT_L2 + 0x400
+                 li   t1, PT_ROOT + 0xf
+                 sw   t1, 0(t0)
+                 li   t1, PT_L2 + 0xf
+                 sw   t1, 4(t0)
+                 li   t1, USERPG + 0x1f
+                 sw   t1, 8(t0)
+                 li   t0, PT_ROOT + 1
+                 csrw ptbr, t0
+                 tlbflush
+                 ; user code: sw zero, 0(zero); spin
+                 li   t0, USERPG
+                 lui  t1, 0x6800          ; sw r0, 0(r0)
+                 sw   t1, 0(t0)
+                 csrw epc, t0
+                 csrw status, 0           ; previous mode = user
+                 tret
+         ktrap:  csrr t0, cause
+                 sw   t0, OBSERVED(zero)
+         done:   j    done
+         user_code:
+        ",
+    )
+    .expect("protection guest assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guests_assemble_with_symbols() {
+        let c = counter_guest();
+        assert!(c.symbols.get("bump").is_some());
+        assert!(c.symbols.get("counter").is_some());
+        let b = buggy_guest(100);
+        assert!(b.symbols.get("rampage").is_some());
+        let p = protection_guest();
+        assert!(p.symbols.get("ktrap").is_some());
+    }
+
+    #[test]
+    fn counter_guest_counts_on_raw_hardware() {
+        use hx_machine::{Machine, MachineConfig, Platform, RawPlatform};
+        let program = counter_guest();
+        let mut machine =
+            Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        machine.load_program(&program);
+        let mut hw = RawPlatform::new(machine);
+        hw.run_for(20_000);
+        let counter = program.symbols.get("counter").unwrap();
+        assert!(hw.machine().mem.word(counter) > 10);
+    }
+
+    #[test]
+    fn buggy_guest_destroys_itself() {
+        use hx_machine::{Machine, MachineConfig, Platform};
+        let program = buggy_guest(10);
+        let mut machine =
+            Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() });
+        machine.load_program(&program);
+        // Run under the lightweight monitor: the rampage must not escape
+        // the guest, and the monitor must survive.
+        let mut vmm = lvmm::LvmmPlatform::new(machine, 0x1000);
+        vmm.run_for(5_000_000);
+        // Guest memory is trashed (including where an embedded debugger
+        // would keep its state)...
+        assert_eq!(vmm.machine().mem.word(crate::embedded::STATE_BASE), 0xdead_beef);
+        // ...but the monitor noticed and parked the guest for debugging.
+        assert!(vmm.guest_stopped(), "monitor catches the runaway guest");
+    }
+}

@@ -1,0 +1,692 @@
+//! The streaming kernel: the paper's data-transfer application as an
+//! HX32 assembly program.
+//!
+//! One image runs on all three platforms. The kernel:
+//!
+//! * double-buffers each of the three disks (six 128 KiB buffers) and keeps
+//!   a read outstanding per disk, issued from the completion interrupt;
+//! * paces itself with a token bucket refilled by the timer interrupt
+//!   (`credit_per_tick` bytes per tick);
+//! * emits the stream as UDP/IPv4/Ethernet frames using **zero-copy
+//!   scatter-gather**: a 42-byte header fragment from a reusable pool plus
+//!   a payload fragment pointing straight into the disk buffer;
+//! * computes the UDP checksum over the payload in software (the dominant
+//!   per-byte CPU cost, as on period hardware without checksum offload);
+//! * idles with `wfi` whenever it is out of credit, buffers or ring slots,
+//!   so CPU load is measurable;
+//! * masks interrupts (`csrc status`) around its critical sections — the
+//!   classic privileged-instruction traffic that a deprivileging monitor
+//!   must emulate.
+//!
+//! The UDP checksum convention is simplified versus RFC 768: it is the
+//! ones'-complement fold of the 32-bit little-endian word sum of the
+//! payload only (no pseudo-header). [`crate::verify`] checks it end to end.
+
+use hx_asm::{assemble, AsmError, Program};
+use hx_machine::{map, Machine};
+
+/// Fixed guest-physical layout of the kernel (addresses the host side also
+/// needs, e.g. for reading statistics).
+pub mod layout {
+    /// Globals block (driver state).
+    pub const GLOB: u32 = 0x0000_0800;
+    /// Statistics block (see [`crate::stats::GuestStats`]).
+    pub const STATS: u32 = 0x0000_0900;
+    /// Kernel entry point.
+    pub const ENTRY: u32 = 0x0000_1000;
+    /// Top of the kernel stack.
+    pub const STACK_TOP: u32 = 0x0001_0000;
+    /// Header-slot pool (128 slots × 64 B).
+    pub const HDR_POOL: u32 = 0x0001_2000;
+    /// TX descriptor ring (256 descriptors × 16 B).
+    pub const TX_RING: u32 = 0x0001_8000;
+    /// First disk buffer; six buffers of [`BUF_SIZE`] follow contiguously.
+    pub const BUF_BASE: u32 = 0x0010_0000;
+    /// Size of one disk buffer.
+    pub const BUF_SIZE: u32 = 0x0002_0000;
+    /// TX ring length in descriptors.
+    pub const RING_LEN: u32 = 256;
+    /// Header pool slots.
+    pub const HDR_SLOTS: u32 = 128;
+    /// Sectors per disk read command (= one buffer).
+    pub const CHUNK_SECTORS: u32 = 256;
+    /// UDP payload bytes per full frame (divisible by 16 for the unrolled
+    /// checksum loop; the buffer tail yields one short 32-byte frame).
+    pub const FRAME_PAYLOAD: u32 = 1456;
+    /// Ethernet + IPv4 + UDP header bytes.
+    pub const HDR_LEN: u32 = 42;
+    /// Number of disk buffers.
+    pub const NUM_BUFS: u32 = 6;
+    /// Value of the boot-complete marker in the stats block.
+    pub const READY_MAGIC: u32 = 0x001a_c71f;
+}
+
+/// The constant part of the IPv4 header checksum (all fixed fields summed
+/// as big-endian halfwords, with total-length, id and checksum zero).
+fn ip_checksum_base() -> u32 {
+    // ver/ihl|tos, [len], [id], flags|frag, ttl|proto, [ck], src, dst
+    let halves: [u32; 7] =
+        [0x4500, 0x4000, 0x4011, 0x0a00, 0x0001, 0x0a00, 0x0002];
+    halves.iter().sum()
+}
+
+/// Builder for the streaming-workload guest.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use hitactix::Workload;
+/// let w = Workload::new(300).tick_hz(2_000).moderation(8);
+/// assert_eq!(w.rate_mbps(), 300);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    rate_mbps: u64,
+    tick_hz: u64,
+    moderation: u32,
+}
+
+impl Workload {
+    /// A workload targeting `rate_mbps` megabits per second of UDP payload.
+    pub fn new(rate_mbps: u64) -> Workload {
+        Workload { rate_mbps, tick_hz: 1_000, moderation: 1 }
+    }
+
+    /// The target payload rate in Mbit/s.
+    pub fn rate_mbps(&self) -> u64 {
+        self.rate_mbps
+    }
+
+    /// Sets the pacing-tick frequency (default 1 kHz).
+    #[must_use]
+    pub fn tick_hz(mut self, hz: u64) -> Workload {
+        self.tick_hz = hz.max(1);
+        self
+    }
+
+    /// Sets the NIC interrupt moderation (frames per TX interrupt,
+    /// default 1 — an interrupt per frame, like period hardware).
+    #[must_use]
+    pub fn moderation(mut self, frames: u32) -> Workload {
+        self.moderation = frames.max(1);
+        self
+    }
+
+    /// Assembles the kernel for `machine`'s clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error if the generated source is invalid
+    /// (which would be a bug in this builder).
+    pub fn build(&self, machine: &Machine) -> Result<Program, AsmError> {
+        let clock = machine.config().clock_hz;
+        let tick_reload = (clock / self.tick_hz).max(1);
+        let rate_bytes = self.rate_mbps * 1_000_000 / 8;
+        let credit_per_tick = (rate_bytes / self.tick_hz).max(layout::FRAME_PAYLOAD as u64);
+        let credit_max = credit_per_tick * 4;
+        assemble(&self.source(tick_reload, credit_per_tick, credit_max))
+    }
+
+    /// The generated assembly source (exposed for listings and debugging).
+    pub fn source(&self, tick_reload: u64, credit_per_tick: u64, credit_max: u64) -> String {
+        let l = KERNEL_ASM;
+        format!(
+            "\
+        .equ PIC_BASE,   {pic:#x}
+        .equ PIT_BASE,   {pit:#x}
+        .equ HDC_BASE,   {hdc:#x}
+        .equ NIC_BASE,   {nic:#x}
+        .equ GLOB,       {glob:#x}
+        .equ STATS,      {stats:#x}
+        .equ ENTRY,      {entry:#x}
+        .equ STACK_TOP,  {stack:#x}
+        .equ HDR_POOL,   {hdr:#x}
+        .equ TX_RING,    {ring:#x}
+        .equ BUF_BASE,   {buf:#x}
+        .equ BUF_SIZE,   {bufsz:#x}
+        .equ RING_LEN,   {ringlen}
+        .equ HDR_SLOTS,  {hdrslots}
+        .equ CHUNK_SECTORS, {chunk}
+        .equ FRAME_PAYLOAD, {payload}
+        .equ TICK_RELOAD, {tick_reload}
+        .equ CREDIT_PER_TICK, {cpt}
+        .equ CREDIT_MAX, {cmax}
+        .equ MODERATION, {moderation}
+        .equ IPSUM_BASE, {ipsum:#x}
+        .equ READY_MAGIC, {ready:#x}
+{l}",
+            pic = map::PIC_BASE,
+            pit = map::PIT_BASE,
+            hdc = map::HDC_BASE,
+            nic = map::NIC_BASE,
+            glob = layout::GLOB,
+            stats = layout::STATS,
+            entry = layout::ENTRY,
+            stack = layout::STACK_TOP,
+            hdr = layout::HDR_POOL,
+            ring = layout::TX_RING,
+            buf = layout::BUF_BASE,
+            bufsz = layout::BUF_SIZE,
+            ringlen = layout::RING_LEN,
+            hdrslots = layout::HDR_SLOTS,
+            chunk = layout::CHUNK_SECTORS,
+            payload = layout::FRAME_PAYLOAD,
+            tick_reload = tick_reload,
+            cpt = credit_per_tick,
+            cmax = credit_max,
+            moderation = self.moderation,
+            ipsum = ip_checksum_base(),
+            ready = layout::READY_MAGIC,
+        )
+    }
+}
+
+/// The kernel body. Layout constants are provided by `.equ` lines prepended
+/// by [`Workload::source`].
+const KERNEL_ASM: &str = r#"
+; ---------------------------------------------------------------- globals
+        .equ G_CREDIT, 0        ; send credit in bytes (ISR refills)
+        .equ G_READY,  4        ; bitmask: buffer filled and ready
+        .equ G_UBUSY,  8        ; bitmask: disk unit has a command in flight
+        .equ G_PEND0,  12       ; per-unit pending refill (buf+1, 0 = none)
+        .equ G_INFL0,  24       ; per-unit buffer currently being filled
+        .equ G_CHUNK0, 36       ; per-unit next chunk number
+        .equ G_SPILL,  48       ; ISR register spill area
+        .equ S_BYTES_LO, 0
+        .equ S_BYTES_HI, 4
+        .equ S_FRAMES, 8
+        .equ S_TICKS,  12
+        .equ S_UNDERRUN, 16
+        .equ S_FAULT,  20
+        .equ S_READY,  28
+
+        .org ENTRY
+; ---------------------------------------------------------------- boot
+start:
+        li   sp, STACK_TOP
+        li   gp, GLOB
+        li   s8, STATS
+        ; zero globals (128 bytes) and stats (32 bytes)
+        li   t0, GLOB
+        li   t1, 128
+clr1:   sw   zero, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -4
+        bnez t1, clr1
+        li   t0, STATS
+        li   t1, 32
+clr2:   sw   zero, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -4
+        bnez t1, clr2
+
+        la   t0, trap_entry
+        csrw tvec, t0
+
+        li   s0, NIC_BASE
+        li   s9, HDC_BASE
+        li   s5, HDR_POOL
+        li   s6, TX_RING
+        li   s1, 0              ; current buffer
+        li   s2, 0              ; offset within buffer
+        li   s3, 0              ; TX tail
+        li   s4, RING_LEN - 2   ; free descriptor estimate
+        li   s7, 0              ; frame sequence number
+
+        ; write the constant header template into every slot
+        li   t0, HDR_SLOTS
+        mv   t1, s5
+tmpl:   li   t2, 0x00000002     ; dst mac 02:00:00:00:00:02
+        sw   t2, 0(t1)
+        li   t2, 0x00020200
+        sw   t2, 4(t1)
+        li   t2, 0x01000000     ; src mac ...:01
+        sw   t2, 8(t1)
+        li   t2, 0x00450008     ; ethertype 0800, ver/ihl 45, tos 00
+        sw   t2, 12(t1)
+        sw   zero, 16(t1)       ; ip len / id (patched per frame)
+        li   t2, 0x11400040     ; DF, ttl 64, proto UDP
+        sw   t2, 20(t1)
+        li   t2, 0x000a0000     ; ip ck (patched), src ip 10...
+        sw   t2, 24(t1)
+        li   t2, 0x000a0100     ; ...0.0.1, dst ip 10...
+        sw   t2, 28(t1)
+        li   t2, 0x34120200     ; ...0.0.2, src port 0x1234
+        sw   t2, 32(t1)
+        li   t2, 0x00003512     ; dst port 0x1235, udp len (patched)
+        sw   t2, 36(t1)
+        sw   zero, 40(t1)       ; udp ck (patched)
+        addi t1, t1, 64
+        addi t0, t0, -1
+        bnez t0, tmpl
+
+        ; interrupt controller: unmask everything
+        li   t0, PIC_BASE
+        sw   zero, 8(t0)
+        ; NIC rings
+        sw   s6, 0(s0)          ; TX_BASE
+        li   t0, RING_LEN
+        sw   t0, 4(s0)          ; TX_LEN
+        li   t0, MODERATION
+        sw   t0, 0x18(s0)
+        ; timer: periodic pacing tick
+        li   t0, PIT_BASE
+        li   t1, TICK_RELOAD
+        sw   t1, 4(t0)
+        li   t1, 3
+        sw   t1, 0(t0)
+        ; start filling: one read per unit now, second buffer pending
+        li   a4, 0
+        jal  refill_request
+        li   a4, 1
+        jal  refill_request
+        li   a4, 2
+        jal  refill_request
+        li   a4, 3
+        jal  refill_request
+        li   a4, 4
+        jal  refill_request
+        li   a4, 5
+        jal  refill_request
+        ; boot complete
+        li   t0, READY_MAGIC
+        sw   t0, S_READY(s8)
+        csrs status, 1          ; interrupts on
+
+; ---------------------------------------------------------------- main loop
+main:
+        lw   t0, G_CREDIT(gp)
+        blez t0, go_idle
+        ; current buffer ready?
+        lw   t0, G_READY(gp)
+        srl  t0, t0, s1
+        andi t0, t0, 1
+        beqz t0, underrun
+        ; two descriptors free?
+        slti t0, s4, 2
+        beqz t0, have_space
+        lw   t0, 8(s0)          ; TX_HEAD
+        sub  t1, s3, t0
+        andi t1, t1, RING_LEN - 1
+        li   t2, RING_LEN - 2
+        sub  s4, t2, t1
+        slti t0, s4, 2
+        bnez t0, go_idle        ; ring full: sleep until TX irq
+have_space:
+        jal  build_frame
+        j    main
+underrun:
+        lw   t0, S_UNDERRUN(s8)
+        addi t0, t0, 1
+        sw   t0, S_UNDERRUN(s8)
+go_idle:
+        wfi
+        j    main
+
+; ---------------------------------------------------------------- build_frame
+; Emits one frame from the current buffer. Clobbers t*, a0-a5.
+build_frame:
+        mv   a5, ra
+        ; a0 = payload address
+        li   a0, BUF_SIZE
+        mul  a0, a0, s1
+        li   t0, BUF_BASE
+        add  a0, a0, t0
+        add  a0, a0, s2
+        ; a1 = payload length
+        li   a1, BUF_SIZE
+        sub  a1, a1, s2
+        li   t0, FRAME_PAYLOAD
+        blt  a1, t0, len_ok
+        mv   a1, t0
+len_ok:
+        ; a2 = software UDP checksum over the payload (unrolled by 4)
+        li   a2, 0
+        mv   t0, a0
+        add  t1, a0, a1
+ckl:    lw   t2, 0(t0)
+        add  a2, a2, t2
+        sltu t3, a2, t2
+        add  a2, a2, t3
+        lw   t2, 4(t0)
+        add  a2, a2, t2
+        sltu t3, a2, t2
+        add  a2, a2, t3
+        lw   t2, 8(t0)
+        add  a2, a2, t2
+        sltu t3, a2, t2
+        add  a2, a2, t3
+        lw   t2, 12(t0)
+        add  a2, a2, t2
+        sltu t3, a2, t2
+        add  a2, a2, t3
+        addi t0, t0, 16
+        bltu t0, t1, ckl
+        srli t2, a2, 16
+        andi a2, a2, 0xffff
+        add  a2, a2, t2
+        srli t2, a2, 16
+        add  a2, a2, t2
+        andi a2, a2, 0xffff
+        xori a2, a2, 0xffff
+        ; a3 = header slot
+        andi a3, s7, HDR_SLOTS - 1
+        slli a3, a3, 6
+        add  a3, a3, s5
+        ; patch ip total length (big-endian)
+        addi t0, a1, 28
+        andi t1, t0, 0xff
+        slli t1, t1, 8
+        srli t2, t0, 8
+        or   t1, t1, t2
+        sh   t1, 16(a3)
+        ; patch ip id = sequence (big-endian)
+        andi t2, s7, 0xffff
+        andi t3, t2, 0xff
+        slli t3, t3, 8
+        srli t4, t2, 8
+        or   t3, t3, t4
+        sh   t3, 18(a3)
+        ; ip header checksum
+        li   t4, IPSUM_BASE
+        add  t4, t4, t0
+        add  t4, t4, t2
+        srli t5, t4, 16
+        andi t4, t4, 0xffff
+        add  t4, t4, t5
+        srli t5, t4, 16
+        add  t4, t4, t5
+        andi t4, t4, 0xffff
+        xori t4, t4, 0xffff
+        andi t5, t4, 0xff
+        slli t5, t5, 8
+        srli t6, t4, 8
+        or   t5, t5, t6
+        sh   t5, 24(a3)
+        ; udp length (big-endian)
+        addi t0, a1, 8
+        andi t1, t0, 0xff
+        slli t1, t1, 8
+        srli t2, t0, 8
+        or   t1, t1, t2
+        sh   t1, 38(a3)
+        ; udp checksum (custom convention, little-endian)
+        sh   a2, 40(a3)
+        ; descriptor 0: header fragment, MORE flag
+        slli t0, s3, 4
+        add  t0, t0, s6
+        sw   a3, 0(t0)
+        li   t1, 42
+        sw   t1, 4(t0)
+        li   t1, 1
+        sw   t1, 8(t0)
+        sw   zero, 12(t0)
+        ; descriptor 1: payload fragment straight from the disk buffer
+        addi t2, s3, 1
+        andi t2, t2, RING_LEN - 1
+        slli t0, t2, 4
+        add  t0, t0, s6
+        sw   a0, 0(t0)
+        sw   a1, 4(t0)
+        sw   zero, 8(t0)
+        sw   zero, 12(t0)
+        addi s3, t2, 1
+        andi s3, s3, RING_LEN - 1
+        addi s4, s4, -2
+        sw   s3, 0xc(s0)        ; doorbell
+        ; consume credit (critical section vs the timer ISR)
+        csrc status, 1
+        lw   t0, G_CREDIT(gp)
+        sub  t0, t0, a1
+        sw   t0, G_CREDIT(gp)
+        csrs status, 1
+        ; account
+        lw   t0, S_BYTES_LO(s8)
+        add  t0, t0, a1
+        sltu t1, t0, a1
+        sw   t0, S_BYTES_LO(s8)
+        lw   t2, S_BYTES_HI(s8)
+        add  t2, t2, t1
+        sw   t2, S_BYTES_HI(s8)
+        lw   t0, S_FRAMES(s8)
+        addi t0, t0, 1
+        sw   t0, S_FRAMES(s8)
+        addi s7, s7, 1
+        ; advance within / across buffers
+        add  s2, s2, a1
+        li   t0, BUF_SIZE
+        bne  s2, t0, bf_done
+        csrc status, 1
+        lw   t0, G_READY(gp)
+        li   t1, 1
+        sll  t1, t1, s1
+        sub  t0, t0, t1
+        sw   t0, G_READY(gp)
+        mv   a4, s1
+        jal  refill_request
+        csrs status, 1
+        addi s1, s1, 1
+        li   t0, 6
+        bne  s1, t0, wrap_ok
+        li   s1, 0
+wrap_ok:
+        li   s2, 0
+bf_done:
+        mv   ra, a5
+        ret
+
+; ---------------------------------------------------------------- refill
+; a4 = buffer index to refill. Must be called with interrupts masked (or
+; before they are enabled). Clobbers t0-t6.
+refill_request:
+        mv   t0, a4
+        slti t1, t0, 3
+        bnez t1, unit_ok
+        addi t0, t0, -3
+unit_ok:
+        lw   t1, G_UBUSY(gp)
+        srl  t2, t1, t0
+        andi t2, t2, 1
+        beqz t2, rr_issue
+        ; unit busy: remember the request
+        slli t2, t0, 2
+        add  t2, t2, gp
+        addi t3, a4, 1
+        sw   t3, G_PEND0(t2)
+        ret
+rr_issue:
+        li   t2, 1
+        sll  t2, t2, t0
+        or   t1, t1, t2
+        sw   t1, G_UBUSY(gp)
+        slli t2, t0, 2
+        add  t2, t2, gp
+        sw   a4, G_INFL0(t2)
+        lw   t3, G_CHUNK0(t2)
+        addi t4, t3, 1
+        sw   t4, G_CHUNK0(t2)
+        slli t4, t0, 6
+        add  t4, t4, s9
+        li   t5, CHUNK_SECTORS
+        mul  t5, t5, t3
+        sw   t5, 0(t4)          ; LBA
+        li   t5, CHUNK_SECTORS
+        sw   t5, 4(t4)          ; COUNT
+        li   t5, BUF_SIZE
+        mul  t5, t5, a4
+        li   t6, BUF_BASE
+        add  t5, t5, t6
+        sw   t5, 8(t4)          ; DMA
+        li   t5, 1
+        sw   t5, 0xc(t4)        ; doorbell: READ
+        ret
+
+; ---------------------------------------------------------------- trap/ISR
+trap_entry:
+        csrw scratch, k0
+        li   k0, GLOB
+        sw   t0, G_SPILL + 0(k0)
+        sw   t1, G_SPILL + 4(k0)
+        sw   t2, G_SPILL + 8(k0)
+        sw   t3, G_SPILL + 12(k0)
+        sw   t4, G_SPILL + 16(k0)
+        sw   t5, G_SPILL + 20(k0)
+        sw   t6, G_SPILL + 24(k0)
+        sw   a4, G_SPILL + 28(k0)
+        sw   ra, G_SPILL + 32(k0)
+        csrr k1, cause
+        bnez k1, not_irq
+        csrr t0, tval
+        addi t0, t0, -32        ; vector base
+        beqz t0, isr_timer
+        addi t1, t0, -2
+        sltiu t2, t1, 3
+        bnez t2, isr_disk
+        li   t1, 5
+        beq  t0, t1, isr_nic
+        j    isr_eoi
+
+isr_timer:
+        lw   t1, G_CREDIT(k0)
+        li   t2, CREDIT_PER_TICK
+        add  t1, t1, t2
+        li   t2, CREDIT_MAX
+        blt  t1, t2, tick_ok
+        mv   t1, t2
+tick_ok:
+        sw   t1, G_CREDIT(k0)
+        li   t1, STATS
+        lw   t2, S_TICKS(t1)
+        addi t2, t2, 1
+        sw   t2, S_TICKS(t1)
+        j    isr_eoi
+
+isr_disk:
+        ; t1 = unit; mark its in-flight buffer ready
+        slli t2, t1, 2
+        add  t2, t2, k0
+        lw   t3, G_INFL0(t2)
+        lw   t4, G_READY(k0)
+        li   t5, 1
+        sll  t5, t5, t3
+        or   t4, t4, t5
+        sw   t4, G_READY(k0)
+        ; pending refill for this unit?
+        lw   t3, G_PEND0(t2)
+        beqz t3, disk_quiet
+        sw   zero, G_PEND0(t2)
+        addi a4, t3, -1
+        sw   a4, G_INFL0(t2)
+        lw   t3, G_CHUNK0(t2)
+        addi t4, t3, 1
+        sw   t4, G_CHUNK0(t2)
+        li   t4, HDC_BASE
+        slli t5, t1, 6
+        add  t4, t4, t5
+        li   t5, CHUNK_SECTORS
+        mul  t5, t5, t3
+        sw   t5, 0(t4)
+        li   t5, CHUNK_SECTORS
+        sw   t5, 4(t4)
+        li   t5, BUF_SIZE
+        mul  t5, t5, a4
+        li   t6, BUF_BASE
+        add  t5, t5, t6
+        sw   t5, 8(t4)
+        li   t5, 1
+        sw   t5, 0xc(t4)
+        j    isr_eoi
+disk_quiet:
+        lw   t3, G_UBUSY(k0)
+        li   t4, 1
+        sll  t4, t4, t1
+        sub  t3, t3, t4
+        sw   t3, G_UBUSY(k0)
+        j    isr_eoi
+
+isr_nic:
+        li   t1, NIC_BASE
+        lw   t2, 0x10(t1)       ; ISTATUS
+        sw   t2, 0x14(t1)       ; IACK
+        j    isr_eoi
+
+isr_eoi:
+        li   t1, PIC_BASE
+        sw   t0, 0xc(t1)        ; specific EOI
+        lw   t0, G_SPILL + 0(k0)
+        lw   t1, G_SPILL + 4(k0)
+        lw   t2, G_SPILL + 8(k0)
+        lw   t3, G_SPILL + 12(k0)
+        lw   t4, G_SPILL + 16(k0)
+        lw   t5, G_SPILL + 20(k0)
+        lw   t6, G_SPILL + 24(k0)
+        lw   a4, G_SPILL + 28(k0)
+        lw   ra, G_SPILL + 32(k0)
+        csrr k0, scratch
+        tret
+
+not_irq:
+        ; unexpected synchronous trap: record it and halt the kernel
+        li   t0, STATS
+        sw   k1, S_FAULT(t0)
+        csrr t1, epc
+        sw   t1, S_FAULT + 4(t0)
+dead:   j    dead
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_machine::MachineConfig;
+
+    #[test]
+    fn kernel_assembles() {
+        let machine = Machine::new(MachineConfig::default());
+        let program = Workload::new(100).build(&machine).expect("kernel must assemble");
+        assert_eq!(program.base(), layout::ENTRY);
+        assert!(program.symbols.get("start").is_some());
+        assert!(program.symbols.get("trap_entry").is_some());
+        assert!(program.symbols.get("build_frame").is_some());
+        assert!(program.bytes().len() > 800, "non-trivial kernel");
+    }
+
+    #[test]
+    fn ip_checksum_base_matches_reference() {
+        // Reference: full RFC 1071 sum over the fixed header fields.
+        let hdr: [u8; 20] = [
+            0x45, 0x00, 0, 0, 0, 0, 0x40, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        let mut sum = 0u32;
+        for pair in hdr.chunks(2) {
+            sum += u32::from(pair[0]) << 8 | u32::from(pair[1]);
+        }
+        assert_eq!(sum, ip_checksum_base());
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let w = Workload::new(250).tick_hz(500).moderation(4);
+        assert_eq!(w.rate_mbps(), 250);
+        let src = w.source(1000, 62_500, 250_000);
+        assert!(src.contains("CREDIT_PER_TICK, 62500"));
+        assert!(src.contains("MODERATION, 4"));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the point IS checking the constants
+    fn layout_is_consistent() {
+        use layout::*;
+        assert_eq!(FRAME_PAYLOAD % 16, 0);
+        assert_eq!(BUF_SIZE % FRAME_PAYLOAD % 16, 0);
+        assert_eq!(CHUNK_SECTORS * 512, BUF_SIZE);
+        assert!(HDR_POOL + HDR_SLOTS * 64 <= TX_RING);
+        assert!(TX_RING + RING_LEN * 16 <= BUF_BASE);
+        assert!(RING_LEN.is_power_of_two());
+        assert!(HDR_SLOTS.is_power_of_two());
+        // Every in-flight frame (2 descriptors) has a private header slot.
+        assert!(HDR_SLOTS >= RING_LEN / 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! HiTactix-like guest RTOS and the paper's streaming workload.
+//!
+//! The paper evaluates its monitor by running the HiTactix real-time OS
+//! with a data-transfer application that *"reads 2 MB data from three
+//! Ultra160 SCSI disks at constant rates, splits them into 1024 KB
+//! segments, and sends all segments via gigabit Ethernet using the UDP
+//! protocol"*. This crate provides that guest, written in HX32 assembly and
+//! assembled at runtime, so that the very same kernel image boots on all
+//! three platforms (real hardware, lightweight monitor, hosted monitor):
+//!
+//! * [`kernel`] — the streaming kernel: interrupt-driven SCSI and NIC
+//!   drivers, zero-copy UDP/IP output path (scatter-gather: header fragment
+//!   plus payload fragment straight out of the disk buffer), software UDP
+//!   checksum, token-bucket rate pacing off the timer, `wfi` idling.
+//! * [`stats`] — the statistics block the kernel maintains in guest memory,
+//!   readable from the host for measurements.
+//! * [`verify`] — end-to-end data-integrity checks: the expected byte
+//!   stream is recomputed from the deterministic disk content and compared
+//!   against what actually crossed the wire.
+//! * [`apps`] — small auxiliary guests used by the debugging examples and
+//!   tests (a counter loop, a self-corrupting "buggy" kernel, a user-mode
+//!   protection demo).
+//! * [`embedded`] — the conventional *debugger-embedded-in-the-OS* baseline
+//!   from the paper's introduction: a stub whose state lives in guest
+//!   memory and dies with the guest.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use hitactix::kernel::Workload;
+//! use hx_machine::{Machine, MachineConfig, Platform, RawPlatform};
+//!
+//! let workload = Workload::new(100); // target 100 Mbit/s
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let program = workload.build(&machine)?;
+//! machine.load_program(&program);
+//! let mut hw = RawPlatform::new(machine);
+//! hw.run_for(2_000_000);
+//! let stats = hitactix::stats::GuestStats::read(hw.machine());
+//! assert!(stats.frames > 0, "the stream must be flowing: {stats:?}");
+//! assert_eq!(stats.fault_cause, 0, "no unexpected guest faults");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apps;
+pub mod embedded;
+pub mod kernel;
+pub mod stats;
+pub mod verify;
+
+pub use kernel::Workload;
+pub use stats::GuestStats;

@@ -1,0 +1,54 @@
+//! Reading the kernel's in-memory statistics block from the host side.
+
+use crate::kernel::layout;
+use hx_machine::Machine;
+
+/// Snapshot of the guest kernel's statistics block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuestStats {
+    /// UDP payload bytes handed to the NIC.
+    pub bytes: u64,
+    /// Frames emitted.
+    pub frames: u32,
+    /// Pacing ticks handled.
+    pub ticks: u32,
+    /// Times the sender waited on the disks.
+    pub underruns: u32,
+    /// Non-zero if the kernel took an unexpected synchronous trap
+    /// (the architectural cause code).
+    pub fault_cause: u32,
+    /// PC of that fault.
+    pub fault_pc: u32,
+    /// `true` once the kernel finished booting.
+    pub booted: bool,
+}
+
+impl GuestStats {
+    /// Reads the statistics block out of guest memory.
+    pub fn read(machine: &Machine) -> GuestStats {
+        let w = |off: u32| machine.mem.word(layout::STATS + off);
+        GuestStats {
+            bytes: w(0) as u64 | (w(4) as u64) << 32,
+            frames: w(8),
+            ticks: w(12),
+            underruns: w(16),
+            fault_cause: w(20),
+            fault_pc: w(24),
+            booted: w(28) == layout::READY_MAGIC,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_machine::MachineConfig;
+
+    #[test]
+    fn reads_zeroed_block() {
+        let machine = Machine::new(MachineConfig { ram_size: 1 << 20, ..Default::default() });
+        let s = GuestStats::read(&machine);
+        assert_eq!(s, GuestStats::default());
+        assert!(!s.booted);
+    }
+}

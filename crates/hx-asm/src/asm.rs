@@ -1,0 +1,979 @@
+//! The two-pass assembler.
+
+use crate::expr;
+use crate::program::{Program, SymbolTable};
+use hx_cpu::csr::Csr;
+use hx_cpu::isa::{AluOp, BranchCond, CsrOp, Instr, LoadKind, Reg, StoreKind, SysOp};
+use std::fmt;
+
+/// An assembly error, with the 1-based source line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// A parsed statement with its assigned address.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Instr { mnemonic: String, operands: Vec<String> },
+    Word(Vec<String>),
+    Half(Vec<String>),
+    Byte(Vec<String>),
+    Ascii(Vec<u8>),
+    Space(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Placed {
+    line: usize,
+    addr: u32,
+    stmt: Stmt,
+}
+
+/// Assembles HX32 source text into a loadable [`Program`].
+///
+/// See the [crate documentation](crate) for the accepted syntax.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonics, bad
+/// operands, undefined symbols, immediates or branch targets out of range,
+/// and overlapping emissions are all reported with their source line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut symbols = SymbolTable::new();
+    let mut placed: Vec<Placed> = Vec::new();
+    let mut lc: u32 = 0;
+    let mut lc_set = false;
+
+    // Pass 1: parse, size, place, and collect symbols.
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = strip_comment(raw_line).trim().to_string();
+
+        // Labels (possibly several on one line).
+        while let Some(colon) = find_label_colon(&text) {
+            let label = text[..colon].trim().to_string();
+            if label.is_empty() || !is_symbol_name(&label) {
+                return err(line, format!("bad label `{label}`"));
+            }
+            if symbols.contains(&label) {
+                return err(line, format!("duplicate symbol `{label}`"));
+            }
+            symbols.define(label, lc);
+            text = text[colon + 1..].trim().to_string();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (head, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text.as_str(), ""),
+        };
+        let head_lc = head.to_ascii_lowercase();
+
+        if let Some(directive) = head_lc.strip_prefix('.') {
+            match directive {
+                "org" => {
+                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    lc = v;
+                    lc_set = true;
+                }
+                "equ" => {
+                    let (name, value) = rest
+                        .split_once(',')
+                        .ok_or_else(|| AsmError { line, message: ".equ needs `name, value`".into() })?;
+                    let name = name.trim();
+                    if !is_symbol_name(name) {
+                        return err(line, format!("bad symbol name `{name}`"));
+                    }
+                    let v = expr::eval(value, &symbols)
+                        .map_err(|m| AsmError { line, message: m })?;
+                    if symbols.contains(name) {
+                        return err(line, format!("duplicate symbol `{name}`"));
+                    }
+                    symbols.define(name, v);
+                }
+                "word" | "half" | "byte" => {
+                    let args = split_operands(rest);
+                    if args.is_empty() {
+                        return err(line, format!(".{directive} needs at least one value"));
+                    }
+                    let (unit, stmt) = match directive {
+                        "word" => (4, Stmt::Word(args.clone())),
+                        "half" => (2, Stmt::Half(args.clone())),
+                        _ => (1, Stmt::Byte(args.clone())),
+                    };
+                    placed.push(Placed { line, addr: lc, stmt });
+                    lc += unit * args.len() as u32;
+                }
+                "ascii" | "asciz" => {
+                    let mut bytes = parse_string(rest).map_err(|m| AsmError { line, message: m })?;
+                    if directive == "asciz" {
+                        bytes.push(0);
+                    }
+                    lc += bytes.len() as u32;
+                    placed.push(Placed { line, addr: lc - bytes.len() as u32, stmt: Stmt::Ascii(bytes) });
+                }
+                "align" => {
+                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    if v == 0 || !v.is_power_of_two() {
+                        return err(line, ".align needs a power of two");
+                    }
+                    let pad = (v - (lc % v)) % v;
+                    if pad > 0 {
+                        placed.push(Placed { line, addr: lc, stmt: Stmt::Space(pad) });
+                        lc += pad;
+                    }
+                }
+                "space" => {
+                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    placed.push(Placed { line, addr: lc, stmt: Stmt::Space(v) });
+                    lc += v;
+                }
+                other => return err(line, format!("unknown directive `.{other}`")),
+            }
+            continue;
+        }
+
+        // Instruction (or pseudo-instruction).
+        let operands = split_operands(rest);
+        let size = instr_size(&head_lc, &operands);
+        if size == 0 {
+            return err(line, format!("unknown mnemonic `{head_lc}`"));
+        }
+        placed.push(Placed {
+            line,
+            addr: lc,
+            stmt: Stmt::Instr { mnemonic: head_lc, operands },
+        });
+        lc += size;
+        let _ = lc_set;
+    }
+
+    // Pass 2: encode.
+    let mut chunks: Vec<(u32, Vec<u8>, usize)> = Vec::new();
+    for p in &placed {
+        let bytes = match &p.stmt {
+            Stmt::Instr { mnemonic, operands } => {
+                let words = encode_instr(mnemonic, operands, p.addr, &symbols)
+                    .map_err(|m| AsmError { line: p.line, message: m })?;
+                let mut b = Vec::with_capacity(words.len() * 4);
+                for w in words {
+                    b.extend_from_slice(&w.to_le_bytes());
+                }
+                b
+            }
+            Stmt::Word(args) => {
+                let mut b = Vec::new();
+                for a in args {
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+                b
+            }
+            Stmt::Half(args) => {
+                let mut b = Vec::new();
+                for a in args {
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    if v > 0xffff && v < 0xffff_8000 {
+                        return err(p.line, format!("half value {v:#x} out of range"));
+                    }
+                    b.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                b
+            }
+            Stmt::Byte(args) => {
+                let mut b = Vec::new();
+                for a in args {
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    if v > 0xff && v < 0xffff_ff80 {
+                        return err(p.line, format!("byte value {v:#x} out of range"));
+                    }
+                    b.push(v as u8);
+                }
+                b
+            }
+            Stmt::Ascii(bytes) => bytes.clone(),
+            Stmt::Space(n) => vec![0u8; *n as usize],
+        };
+        if !bytes.is_empty() {
+            chunks.push((p.addr, bytes, p.line));
+        }
+    }
+
+    // Compose the image, checking overlap.
+    chunks.sort_by_key(|&(addr, _, _)| addr);
+    let base = chunks.first().map_or(0, |&(a, _, _)| a);
+    let mut image: Vec<u8> = Vec::new();
+    let mut cursor = base;
+    for (addr, bytes, line) in &chunks {
+        if *addr < cursor {
+            return err(*line, format!("emission at {addr:#x} overlaps previous output"));
+        }
+        image.extend(std::iter::repeat_n(0, (*addr - cursor) as usize));
+        image.extend_from_slice(bytes);
+        cursor = *addr + bytes.len() as u32;
+    }
+    Ok(Program::from_parts(base, image, symbols))
+}
+
+/// Size in bytes each mnemonic assembles to (0 = unknown). Sizing is
+/// decided during pass 1, so it may only depend on the operand *text*, not
+/// on symbol values.
+fn instr_size(mnemonic: &str, operands: &[String]) -> u32 {
+    match mnemonic {
+        "li" | "la" => 8,
+        // `csrw status, 1` (immediate source) expands to li at, imm + csrrw.
+        "csrw" | "csrs" | "csrc"
+            if operands.len() == 2 && Reg::from_name(operands[1].trim()).is_none() =>
+        {
+            12
+        }
+        m if KNOWN_MNEMONICS.contains(&m) => 4,
+        _ => 0,
+    }
+}
+
+const KNOWN_MNEMONICS: &[&str] = &[
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "mul", "mulhu", "div",
+    "rem", "divu", "remu", "addi", "andi", "ori", "xori", "slti", "sltiu", "slli", "srli", "srai",
+    "lui", "auipc", "lb", "lbu", "lh", "lhu", "lw", "sb", "sh", "sw", "beq", "bne", "blt", "bge",
+    "bltu", "bgeu", "jal", "jalr", "ecall", "ebreak", "tret", "wfi", "tlbflush", "csrrw", "csrrs",
+    "csrrc", "nop", "mv", "j", "b", "jr", "call", "ret", "beqz", "bnez", "bltz", "bgez", "bgtz",
+    "blez", "neg", "seqz", "snez", "csrr", "csrw", "csrs", "csrc",
+];
+
+fn reg_operand(s: &str) -> Result<Reg, String> {
+    Reg::from_name(s.trim()).ok_or_else(|| format!("bad register `{s}`"))
+}
+
+fn csr_operand(s: &str) -> Result<u16, String> {
+    let s = s.trim();
+    if let Some(c) = Csr::from_name(s) {
+        return Ok(c.number());
+    }
+    expr::parse_number(s).map(|v| v as u16).map_err(|_| format!("bad CSR `{s}`"))
+}
+
+fn imm_signed(s: &str, symbols: &SymbolTable) -> Result<i16, String> {
+    let v = expr::eval(s, symbols)?;
+    let sv = v as i32;
+    if (-32768..=32767).contains(&sv) {
+        Ok(sv as i16)
+    } else {
+        Err(format!("immediate {sv} out of signed 16-bit range"))
+    }
+}
+
+fn imm_logical(s: &str, symbols: &SymbolTable) -> Result<i16, String> {
+    let v = expr::eval(s, symbols)?;
+    if v <= 0xffff {
+        Ok(v as u16 as i16)
+    } else {
+        Err(format!("immediate {v:#x} out of 16-bit range"))
+    }
+}
+
+fn imm_upper(s: &str, symbols: &SymbolTable) -> Result<u16, String> {
+    let v = expr::eval(s, symbols)?;
+    if v <= 0xffff {
+        Ok(v as u16)
+    } else {
+        Err(format!("upper immediate {v:#x} out of 16-bit range"))
+    }
+}
+
+fn shamt(s: &str, symbols: &SymbolTable) -> Result<u8, String> {
+    let v = expr::eval(s, symbols)?;
+    if v < 32 {
+        Ok(v as u8)
+    } else {
+        Err(format!("shift amount {v} out of range 0..32"))
+    }
+}
+
+/// Parses `offset(reg)` or `(reg)` memory operands.
+fn mem_operand(s: &str, symbols: &SymbolTable) -> Result<(Reg, i16), String> {
+    let s = s.trim();
+    let open = s.rfind('(').ok_or_else(|| format!("bad memory operand `{s}` (need off(reg))"))?;
+    if !s.ends_with(')') {
+        return Err(format!("bad memory operand `{s}`"));
+    }
+    let reg = reg_operand(&s[open + 1..s.len() - 1])?;
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() { 0 } else { imm_signed(off_str, symbols)? };
+    Ok((reg, off))
+}
+
+fn branch_offset(target: &str, addr: u32, symbols: &SymbolTable) -> Result<i16, String> {
+    let t = expr::eval(target, symbols)?;
+    let delta = t.wrapping_sub(addr) as i32;
+    if delta % 4 != 0 {
+        return Err(format!("branch target {t:#x} not word-aligned"));
+    }
+    if (-32768..=32767).contains(&delta) {
+        Ok(delta as i16)
+    } else {
+        Err(format!("branch target {t:#x} out of range from {addr:#x}"))
+    }
+}
+
+fn jump_offset(target: &str, addr: u32, symbols: &SymbolTable) -> Result<i32, String> {
+    let t = expr::eval(target, symbols)?;
+    let delta = t.wrapping_sub(addr) as i32;
+    if delta % 4 != 0 {
+        return Err(format!("jump target {t:#x} not word-aligned"));
+    }
+    if (-(1 << 20)..(1 << 20)).contains(&delta) {
+        Ok(delta)
+    } else {
+        Err(format!("jump target {t:#x} out of range from {addr:#x}"))
+    }
+}
+
+fn want(ops: &[String], n: usize, mnemonic: &str) -> Result<(), String> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+    }
+}
+
+/// Encodes one (possibly pseudo) instruction into 1–2 words.
+fn encode_instr(
+    mnemonic: &str,
+    ops: &[String],
+    addr: u32,
+    symbols: &SymbolTable,
+) -> Result<Vec<u32>, String> {
+    let alu = |op: AluOp| -> Result<Vec<u32>, String> {
+        want(ops, 3, mnemonic)?;
+        Ok(vec![Instr::Alu {
+            op,
+            rd: reg_operand(&ops[0])?,
+            rs1: reg_operand(&ops[1])?,
+            rs2: reg_operand(&ops[2])?,
+        }
+        .encode()])
+    };
+    let branch = |cond: BranchCond| -> Result<Vec<u32>, String> {
+        want(ops, 3, mnemonic)?;
+        Ok(vec![Instr::Branch {
+            cond,
+            rs1: reg_operand(&ops[0])?,
+            rs2: reg_operand(&ops[1])?,
+            offset: branch_offset(&ops[2], addr, symbols)?,
+        }
+        .encode()])
+    };
+    let branch_z = |cond: BranchCond, swap: bool| -> Result<Vec<u32>, String> {
+        want(ops, 2, mnemonic)?;
+        let r = reg_operand(&ops[0])?;
+        let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        Ok(vec![Instr::Branch { cond, rs1, rs2, offset: branch_offset(&ops[1], addr, symbols)? }
+            .encode()])
+    };
+    let load = |kind: LoadKind| -> Result<Vec<u32>, String> {
+        want(ops, 2, mnemonic)?;
+        let (rs1, offset) = mem_operand(&ops[1], symbols)?;
+        Ok(vec![Instr::Load { kind, rd: reg_operand(&ops[0])?, rs1, offset }.encode()])
+    };
+    let store = |kind: StoreKind| -> Result<Vec<u32>, String> {
+        want(ops, 2, mnemonic)?;
+        let (rs1, offset) = mem_operand(&ops[1], symbols)?;
+        Ok(vec![Instr::Store { kind, rs1, rs2: reg_operand(&ops[0])?, offset }.encode()])
+    };
+    let csr_full = |op: CsrOp| -> Result<Vec<u32>, String> {
+        want(ops, 3, mnemonic)?;
+        Ok(vec![Instr::Csr {
+            op,
+            rd: reg_operand(&ops[0])?,
+            rs1: reg_operand(&ops[2])?,
+            csr: csr_operand(&ops[1])?,
+        }
+        .encode()])
+    };
+    let sys = |op: SysOp| -> Result<Vec<u32>, String> {
+        want(ops, 0, mnemonic)?;
+        Ok(vec![Instr::Sys { op }.encode()])
+    };
+
+    match mnemonic {
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "sll" => alu(AluOp::Sll),
+        "srl" => alu(AluOp::Srl),
+        "sra" => alu(AluOp::Sra),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "mul" => alu(AluOp::Mul),
+        "mulhu" => alu(AluOp::Mulhu),
+        "div" => alu(AluOp::Div),
+        "rem" => alu(AluOp::Rem),
+        "divu" => alu(AluOp::Divu),
+        "remu" => alu(AluOp::Remu),
+        "addi" | "slti" | "sltiu" => {
+            want(ops, 3, mnemonic)?;
+            let rd = reg_operand(&ops[0])?;
+            let rs1 = reg_operand(&ops[1])?;
+            let imm = imm_signed(&ops[2], symbols)?;
+            Ok(vec![match mnemonic {
+                "addi" => Instr::Addi { rd, rs1, imm },
+                "slti" => Instr::Slti { rd, rs1, imm },
+                _ => Instr::Sltiu { rd, rs1, imm },
+            }
+            .encode()])
+        }
+        "andi" | "ori" | "xori" => {
+            want(ops, 3, mnemonic)?;
+            let rd = reg_operand(&ops[0])?;
+            let rs1 = reg_operand(&ops[1])?;
+            let imm = imm_logical(&ops[2], symbols)?;
+            Ok(vec![match mnemonic {
+                "andi" => Instr::Andi { rd, rs1, imm },
+                "ori" => Instr::Ori { rd, rs1, imm },
+                _ => Instr::Xori { rd, rs1, imm },
+            }
+            .encode()])
+        }
+        "slli" | "srli" | "srai" => {
+            want(ops, 3, mnemonic)?;
+            let rd = reg_operand(&ops[0])?;
+            let rs1 = reg_operand(&ops[1])?;
+            let sh = shamt(&ops[2], symbols)?;
+            Ok(vec![match mnemonic {
+                "slli" => Instr::Slli { rd, rs1, shamt: sh },
+                "srli" => Instr::Srli { rd, rs1, shamt: sh },
+                _ => Instr::Srai { rd, rs1, shamt: sh },
+            }
+            .encode()])
+        }
+        "lui" | "auipc" => {
+            want(ops, 2, mnemonic)?;
+            let rd = reg_operand(&ops[0])?;
+            let imm = imm_upper(&ops[1], symbols)?;
+            Ok(vec![if mnemonic == "lui" {
+                Instr::Lui { rd, imm }
+            } else {
+                Instr::Auipc { rd, imm }
+            }
+            .encode()])
+        }
+        "lb" => load(LoadKind::B),
+        "lbu" => load(LoadKind::Bu),
+        "lh" => load(LoadKind::H),
+        "lhu" => load(LoadKind::Hu),
+        "lw" => load(LoadKind::W),
+        "sb" => store(StoreKind::B),
+        "sh" => store(StoreKind::H),
+        "sw" => store(StoreKind::W),
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "bltu" => branch(BranchCond::Ltu),
+        "bgeu" => branch(BranchCond::Geu),
+        "beqz" => branch_z(BranchCond::Eq, false),
+        "bnez" => branch_z(BranchCond::Ne, false),
+        "bltz" => branch_z(BranchCond::Lt, false),
+        "bgez" => branch_z(BranchCond::Ge, false),
+        "bgtz" => branch_z(BranchCond::Lt, true),
+        "blez" => branch_z(BranchCond::Ge, true),
+        "jal" => {
+            let (rd, target) = match ops.len() {
+                1 => (Reg::RA, &ops[0]),
+                2 => (reg_operand(&ops[0])?, &ops[1]),
+                n => return Err(format!("`jal` expects 1 or 2 operands, got {n}")),
+            };
+            Ok(vec![Instr::Jal { rd, offset: jump_offset(target, addr, symbols)? }.encode()])
+        }
+        "j" | "b" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jal { rd: Reg::ZERO, offset: jump_offset(&ops[0], addr, symbols)? }
+                .encode()])
+        }
+        "call" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jal { rd: Reg::RA, offset: jump_offset(&ops[0], addr, symbols)? }
+                .encode()])
+        }
+        "jalr" => {
+            let (rd, rs1, offset) = match ops.len() {
+                1 => (Reg::RA, reg_operand(&ops[0])?, 0),
+                3 => (reg_operand(&ops[0])?, reg_operand(&ops[1])?, imm_signed(&ops[2], symbols)?),
+                n => return Err(format!("`jalr` expects 1 or 3 operands, got {n}")),
+            };
+            Ok(vec![Instr::Jalr { rd, rs1, offset }.encode()])
+        }
+        "jr" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: reg_operand(&ops[0])?, offset: 0 }.encode()])
+        }
+        "ret" => {
+            want(ops, 0, mnemonic)?;
+            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode()])
+        }
+        "ecall" => sys(SysOp::Ecall),
+        "ebreak" => sys(SysOp::Ebreak),
+        "tret" => sys(SysOp::Tret),
+        "wfi" => sys(SysOp::Wfi),
+        "tlbflush" => sys(SysOp::TlbFlush),
+        "csrrw" => csr_full(CsrOp::Rw),
+        "csrrs" => csr_full(CsrOp::Rs),
+        "csrrc" => csr_full(CsrOp::Rc),
+        "csrr" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Csr {
+                op: CsrOp::Rs,
+                rd: reg_operand(&ops[0])?,
+                rs1: Reg::ZERO,
+                csr: csr_operand(&ops[1])?,
+            }
+            .encode()])
+        }
+        "csrw" | "csrs" | "csrc" => {
+            want(ops, 2, mnemonic)?;
+            let op = match mnemonic {
+                "csrw" => CsrOp::Rw,
+                "csrs" => CsrOp::Rs,
+                _ => CsrOp::Rc,
+            };
+            let csr = csr_operand(&ops[0])?;
+            match Reg::from_name(ops[1].trim()) {
+                Some(rs1) => Ok(vec![Instr::Csr { op, rd: Reg::ZERO, rs1, csr }.encode()]),
+                None => {
+                    // Immediate source: materialize through the assembler
+                    // temporary, matching the size chosen in pass 1.
+                    let v = expr::eval(&ops[1], symbols)?;
+                    Ok(vec![
+                        Instr::Lui { rd: Reg::AT, imm: (v >> 16) as u16 }.encode(),
+                        Instr::Ori { rd: Reg::AT, rs1: Reg::AT, imm: (v & 0xffff) as u16 as i16 }
+                            .encode(),
+                        Instr::Csr { op, rd: Reg::ZERO, rs1: Reg::AT, csr }.encode(),
+                    ])
+                }
+            }
+        }
+        "nop" => {
+            want(ops, 0, mnemonic)?;
+            Ok(vec![Instr::Addi { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }.encode()])
+        }
+        "mv" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Addi { rd: reg_operand(&ops[0])?, rs1: reg_operand(&ops[1])?, imm: 0 }
+                .encode()])
+        }
+        "neg" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Alu {
+                op: AluOp::Sub,
+                rd: reg_operand(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg_operand(&ops[1])?,
+            }
+            .encode()])
+        }
+        "seqz" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Sltiu { rd: reg_operand(&ops[0])?, rs1: reg_operand(&ops[1])?, imm: 1 }
+                .encode()])
+        }
+        "snez" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Alu {
+                op: AluOp::Sltu,
+                rd: reg_operand(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg_operand(&ops[1])?,
+            }
+            .encode()])
+        }
+        "li" | "la" => {
+            want(ops, 2, mnemonic)?;
+            let rd = reg_operand(&ops[0])?;
+            let v = expr::eval(&ops[1], symbols)?;
+            Ok(vec![
+                Instr::Lui { rd, imm: (v >> 16) as u16 }.encode(),
+                Instr::Ori { rd, rs1: rd, imm: (v & 0xffff) as u16 as i16 }.encode(),
+            ])
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+/// Strips `;`, `#` and `//` comments outside string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' {
+                i += 1;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b';' | b'#' => return &line[..i],
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside operands.
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_symbol_name(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Splits an operand list on commas, respecting quotes and parentheses.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if !in_str => {
+                in_str = true;
+                cur.push(c);
+            }
+            '"' if in_str => {
+                in_str = false;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            }
+            '(' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        out.push(last.to_string());
+    }
+    out
+}
+
+/// Parses a quoted string literal with `\n \t \0 \\ \"` escapes.
+fn parse_string(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string, got `{s}`"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return Err(format!("bad escape \\{other:?}")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hx_cpu::isa::Instr;
+
+    fn ok(src: &str) -> Program {
+        assemble(src).unwrap_or_else(|e| panic!("assemble failed: {e}\nsource:\n{src}"))
+    }
+
+    fn first_instr(src: &str) -> Instr {
+        let p = ok(src);
+        Instr::decode(p.word_at(p.base())).unwrap()
+    }
+
+    #[test]
+    fn basic_alu_and_imm() {
+        assert_eq!(
+            first_instr("add a0, a1, a2"),
+            Instr::Alu { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R5, rs2: Reg::R6 }
+        );
+        assert_eq!(
+            first_instr("addi sp, sp, -16"),
+            Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -16 }
+        );
+        assert_eq!(
+            first_instr("ori t0, t0, 0x8000"),
+            Instr::Ori { rd: Reg::R10, rs1: Reg::R10, imm: 0x8000u16 as i16 }
+        );
+        assert_eq!(first_instr("slli t0, t0, 12"), Instr::Slli { rd: Reg::R10, rs1: Reg::R10, shamt: 12 });
+    }
+
+    #[test]
+    fn memory_operands() {
+        assert_eq!(
+            first_instr("lw a0, 8(sp)"),
+            Instr::Load { kind: LoadKind::W, rd: Reg::R4, rs1: Reg::SP, offset: 8 }
+        );
+        assert_eq!(
+            first_instr("sb a1, (t0)"),
+            Instr::Store { kind: StoreKind::B, rs1: Reg::R10, rs2: Reg::R5, offset: 0 }
+        );
+        assert_eq!(
+            first_instr("lhu a0, -2(a1)"),
+            Instr::Load { kind: LoadKind::Hu, rd: Reg::R4, rs1: Reg::R5, offset: -2 }
+        );
+    }
+
+    #[test]
+    fn labels_branches_jumps() {
+        let p = ok("start: addi t0, zero, 3\nloop: addi t0, t0, -1\n bnez t0, loop\n j start\n");
+        assert_eq!(p.symbols.get("start"), Some(0));
+        assert_eq!(p.symbols.get("loop"), Some(4));
+        // bnez at addr 8 targeting 4 → offset -4
+        assert_eq!(
+            Instr::decode(p.word_at(8)).unwrap(),
+            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::R10, rs2: Reg::ZERO, offset: -4 }
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(12)).unwrap(),
+            Instr::Jal { rd: Reg::ZERO, offset: -12 }
+        );
+    }
+
+    #[test]
+    fn li_la_expand_to_lui_ori() {
+        let p = ok(".equ VALUE, 0xdeadbeef\n li a0, VALUE\n");
+        assert_eq!(
+            Instr::decode(p.word_at(0)).unwrap(),
+            Instr::Lui { rd: Reg::R4, imm: 0xdead }
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4)).unwrap(),
+            Instr::Ori { rd: Reg::R4, rs1: Reg::R4, imm: 0xbeefu16 as i16 }
+        );
+        // And `la` of a forward label.
+        let p = ok("la a0, target\nnop\ntarget: .word 7\n");
+        assert_eq!(Instr::decode(p.word_at(0)).unwrap(), Instr::Lui { rd: Reg::R4, imm: 0 });
+        assert_eq!(
+            Instr::decode(p.word_at(4)).unwrap(),
+            Instr::Ori { rd: Reg::R4, rs1: Reg::R4, imm: 12 }
+        );
+    }
+
+    #[test]
+    fn csr_forms() {
+        assert_eq!(
+            first_instr("csrr a0, status"),
+            Instr::Csr { op: CsrOp::Rs, rd: Reg::R4, rs1: Reg::ZERO, csr: 0 }
+        );
+        assert_eq!(
+            first_instr("csrw tvec, a0"),
+            Instr::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::R4, csr: 1 }
+        );
+        assert_eq!(
+            first_instr("csrrc a1, status, a2"),
+            Instr::Csr { op: CsrOp::Rc, rd: Reg::R5, rs1: Reg::R6, csr: 0 }
+        );
+        assert_eq!(
+            first_instr("csrw 0x005, a0"),
+            Instr::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::R4, csr: 5 }
+        );
+    }
+
+    #[test]
+    fn directives_and_layout() {
+        let p = ok(
+            ".org 0x1000\n\
+             .word 1, 2, 3\n\
+             .half 0xbeef\n\
+             .byte 1, 2, 3\n\
+             .align 4\n\
+             str: .asciz \"hi\\n\"\n\
+             .align 4\n\
+             end: .space 8\n",
+        );
+        assert_eq!(p.base(), 0x1000);
+        assert_eq!(p.word_at(0x1008), 3);
+        assert_eq!(p.symbols.get("str"), Some(0x1014));
+        let s = p.symbols.get("str").unwrap() - p.base();
+        assert_eq!(&p.bytes()[s as usize..s as usize + 4], b"hi\n\0");
+        assert_eq!(p.symbols.get("end"), Some(0x1018));
+        assert_eq!(p.end(), 0x1020);
+    }
+
+    #[test]
+    fn org_gap_zero_fill() {
+        let p = ok(".org 0x100\n.word 1\n.org 0x110\n.word 2\n");
+        assert_eq!(p.base(), 0x100);
+        assert_eq!(p.word_at(0x108), 0);
+        assert_eq!(p.word_at(0x110), 2);
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let p = ok("; full line\n# also\n// and this\naddi a0, zero, 1 ; trailing\naddi a0, a0, 1 # t\naddi a0, a0, 1 // t\n");
+        assert_eq!(p.bytes().len(), 12);
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        assert_eq!(first_instr("nop"), Instr::Addi { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 });
+        assert_eq!(first_instr("mv a0, a1"), Instr::Addi { rd: Reg::R4, rs1: Reg::R5, imm: 0 });
+        assert_eq!(
+            first_instr("ret"),
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }
+        );
+        assert_eq!(
+            first_instr("jr t0"),
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::R10, offset: 0 }
+        );
+        assert_eq!(
+            first_instr("neg a0, a1"),
+            Instr::Alu { op: AluOp::Sub, rd: Reg::R4, rs1: Reg::ZERO, rs2: Reg::R5 }
+        );
+        assert_eq!(first_instr("seqz a0, a1"), Instr::Sltiu { rd: Reg::R4, rs1: Reg::R5, imm: 1 });
+        assert_eq!(
+            first_instr("snez a0, a1"),
+            Instr::Alu { op: AluOp::Sltu, rd: Reg::R4, rs1: Reg::ZERO, rs2: Reg::R5 }
+        );
+        assert_eq!(first_instr("ecall"), Instr::Sys { op: SysOp::Ecall });
+        assert_eq!(first_instr("wfi"), Instr::Sys { op: SysOp::Wfi });
+        assert_eq!(first_instr("tlbflush"), Instr::Sys { op: SysOp::TlbFlush });
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = assemble("nop\nbogus a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi a0, zero, 99999\n").unwrap_err();
+        assert!(e.message.contains("range"));
+
+        let e = assemble("lw a0, a1\n").unwrap_err();
+        assert!(e.message.contains("memory operand"));
+
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = assemble("beq a0, a1, far\n.org 0x100000\nfar: nop\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = assemble(".align 3\n").unwrap_err();
+        assert!(e.message.contains("power of two"));
+
+        let e = assemble(".org 0x10\nnop\n.org 0x10\nnop\n").unwrap_err();
+        assert!(e.message.contains("overlap"));
+
+        assert!(!format!("{e}").is_empty());
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = ok(
+            ".equ BASE, 0x4000\n\
+             .equ SLOT, BASE + 0x10\n\
+             lw a0, %lo(SLOT)(zero)\n\
+             lui a1, %hi(SLOT)\n",
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(0)).unwrap(),
+            Instr::Load { kind: LoadKind::W, rd: Reg::R4, rs1: Reg::ZERO, offset: 0x4010 }
+        );
+        assert_eq!(Instr::decode(p.word_at(4)).unwrap(), Instr::Lui { rd: Reg::R5, imm: 0 });
+    }
+
+    #[test]
+    fn jal_forms() {
+        let p = ok("jal sub\njal t0, sub\nsub: ret\n");
+        assert_eq!(Instr::decode(p.word_at(0)).unwrap(), Instr::Jal { rd: Reg::RA, offset: 8 });
+        assert_eq!(Instr::decode(p.word_at(4)).unwrap(), Instr::Jal { rd: Reg::R10, offset: 4 });
+    }
+
+    #[test]
+    fn executes_assembled_program() {
+        use hx_cpu::{Cpu, FlatRam, StepOutcome};
+        // Sum 1..=10 with a loop, then ebreak.
+        let p = ok(
+            "        li   t0, 10\n\
+                     li   t1, 0\n\
+             loop:   add  t1, t1, t0\n\
+                     addi t0, t0, -1\n\
+                     bnez t0, loop\n\
+                     ebreak\n",
+        );
+        let mut ram = FlatRam::new(4096);
+        p.load_into(ram.as_bytes_mut());
+        let mut cpu = Cpu::new();
+        loop {
+            match cpu.step(&mut ram) {
+                StepOutcome::Executed { .. } => {}
+                StepOutcome::Trapped { trap, .. } => {
+                    assert_eq!(trap.cause, hx_cpu::Cause::Breakpoint);
+                    break;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(cpu.reg(Reg::R11), 55);
+    }
+}

@@ -1,0 +1,87 @@
+//! `hxas` — command-line assembler for HX32.
+//!
+//! ```console
+//! $ hxas kernel.s -o kernel.bin --symbols kernel.sym
+//! ```
+//!
+//! Writes the flat image (`-o`, default `a.out`) whose first byte is the
+//! program's base address (printed on stdout together with the entry
+//! symbols), and optionally a symbol listing.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut input = None;
+    let mut output = "a.out".to_string();
+    let mut symbols_out = None;
+    let mut listing = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => match args.next() {
+                Some(o) => output = o,
+                None => return usage("missing argument to -o"),
+            },
+            "--listing" => listing = true,
+            "--symbols" => match args.next() {
+                Some(s) => symbols_out = Some(s),
+                None => return usage("missing argument to --symbols"),
+            },
+            "-h" | "--help" => return usage(""),
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(input) = input else {
+        return usage("no input file");
+    };
+
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hxas: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match hx_asm::assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&output, program.bytes()) {
+        eprintln!("hxas: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} bytes, base {:#x}, {} symbols -> {}",
+        input,
+        program.bytes().len(),
+        program.base(),
+        program.symbols.len(),
+        output
+    );
+    if let Some(path) = symbols_out {
+        if let Err(e) = std::fs::write(&path, program.symbols.to_string()) {
+            eprintln!("hxas: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if listing {
+        print!("{}", program.listing());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("hxas: {err}");
+    }
+    eprintln!("usage: hxas <input.s> [-o out.bin] [--symbols out.sym] [--listing]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,213 @@
+//! Operand expression evaluation.
+//!
+//! Grammar (whitespace-tolerant):
+//!
+//! ```text
+//! expr    := product (('+' | '-') product)*
+//! product := term ('*' term)*
+//! term    := number | symbol | '%hi' '(' expr ')' | '%lo' '(' expr ')'
+//!          | '-' term | '(' expr ')'
+//! number  := decimal | 0x… | 0b… | 'c'
+//! ```
+//!
+//! `%hi(e)` is `e >> 16`, `%lo(e)` is `e & 0xffff` — the halves consumed by
+//! `lui`/`ori` pairs. All arithmetic wraps at 32 bits.
+
+use crate::program::SymbolTable;
+
+/// Evaluates an operand expression against a symbol table.
+///
+/// Returns `Err` with a human-readable message on syntax errors or undefined
+/// symbols.
+pub fn eval(input: &str, symbols: &SymbolTable) -> Result<u32, String> {
+    let mut p = Parser { rest: input.trim(), symbols };
+    let v = p.expr()?;
+    if !p.rest.is_empty() {
+        return Err(format!("trailing input {:?} in expression", p.rest));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    rest: &'a str,
+    symbols: &'a SymbolTable,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(token) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<u32, String> {
+        let mut acc = self.product()?;
+        loop {
+            if self.eat("+") {
+                acc = acc.wrapping_add(self.product()?);
+            } else if self.eat("-") {
+                acc = acc.wrapping_sub(self.product()?);
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn product(&mut self) -> Result<u32, String> {
+        let mut acc = self.term()?;
+        while self.eat("*") {
+            acc = acc.wrapping_mul(self.term()?);
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        if self.eat("-") {
+            return Ok(self.term()?.wrapping_neg());
+        }
+        if self.eat("%hi") {
+            let inner = self.parenthesized()?;
+            return Ok(inner >> 16);
+        }
+        if self.eat("%lo") {
+            let inner = self.parenthesized()?;
+            return Ok(inner & 0xffff);
+        }
+        if self.rest.starts_with('(') {
+            return self.parenthesized();
+        }
+        if self.rest.starts_with('\'') {
+            return self.char_literal();
+        }
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(format!("expected operand at {:?}", self.rest));
+        }
+        let tok = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        if tok.starts_with(|c: char| c.is_ascii_digit()) {
+            parse_number(tok)
+        } else {
+            self.symbols
+                .get(tok)
+                .ok_or_else(|| format!("undefined symbol `{tok}`"))
+        }
+    }
+
+    fn parenthesized(&mut self) -> Result<u32, String> {
+        if !self.eat("(") {
+            return Err(format!("expected '(' at {:?}", self.rest));
+        }
+        let v = self.expr()?;
+        if !self.eat(")") {
+            return Err(format!("expected ')' at {:?}", self.rest));
+        }
+        Ok(v)
+    }
+
+    fn char_literal(&mut self) -> Result<u32, String> {
+        let mut chars = self.rest.chars();
+        chars.next(); // opening quote
+        let c = match chars.next() {
+            Some('\\') => match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('0') => '\0',
+                Some('\\') => '\\',
+                Some('\'') => '\'',
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => c,
+            None => return Err("unterminated char literal".into()),
+        };
+        if chars.next() != Some('\'') {
+            return Err("unterminated char literal".into());
+        }
+        self.rest = chars.as_str();
+        Ok(c as u32)
+    }
+}
+
+/// Parses a bare number token (decimal, `0x`, `0b`).
+pub fn parse_number(tok: &str) -> Result<u32, String> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u32::from_str_radix(&hex.replace('_', ""), 16)
+    } else if let Some(bin) = tok.strip_prefix("0b").or_else(|| tok.strip_prefix("0B")) {
+        u32::from_str_radix(&bin.replace('_', ""), 2)
+    } else {
+        tok.replace('_', "").parse::<u32>()
+    };
+    parsed.map_err(|_| format!("bad number `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symtab() -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.define("start", 0x0040_0000);
+        t.define("size", 24);
+        t
+    }
+
+    #[test]
+    fn numbers() {
+        let t = SymbolTable::new();
+        assert_eq!(eval("42", &t), Ok(42));
+        assert_eq!(eval("0x2a", &t), Ok(42));
+        assert_eq!(eval("0b101010", &t), Ok(42));
+        assert_eq!(eval("1_000", &t), Ok(1000));
+        assert_eq!(eval("'A'", &t), Ok(65));
+        assert_eq!(eval("'\\n'", &t), Ok(10));
+        assert_eq!(eval("-1", &t), Ok(0xffff_ffff));
+    }
+
+    #[test]
+    fn symbols_and_arithmetic() {
+        let t = symtab();
+        assert_eq!(eval("start", &t), Ok(0x0040_0000));
+        assert_eq!(eval("start + 8", &t), Ok(0x0040_0008));
+        assert_eq!(eval("start - size", &t), Ok(0x0040_0000 - 24));
+        assert_eq!(eval("size + size - 8", &t), Ok(40));
+        assert_eq!(eval("(size + 8) - (4 + 4)", &t), Ok(24));
+        assert_eq!(eval("size * 2", &t), Ok(48));
+        assert_eq!(eval("2 + 3 * 4", &t), Ok(14), "precedence");
+        assert_eq!(eval("(2 + 3) * 4", &t), Ok(20));
+    }
+
+    #[test]
+    fn hi_lo() {
+        let t = symtab();
+        assert_eq!(eval("%hi(start)", &t), Ok(0x0040));
+        assert_eq!(eval("%lo(start + 0x1234)", &t), Ok(0x1234));
+        assert_eq!(eval("%hi(0xdeadbeef)", &t), Ok(0xdead));
+        assert_eq!(eval("%lo(0xdeadbeef)", &t), Ok(0xbeef));
+    }
+
+    #[test]
+    fn errors() {
+        let t = symtab();
+        assert!(eval("nosuch", &t).is_err());
+        assert!(eval("1 +", &t).is_err());
+        assert!(eval("%hi 4", &t).is_err());
+        assert!(eval("(1", &t).is_err());
+        assert!(eval("1 2", &t).is_err());
+        assert!(eval("0xzz", &t).is_err());
+        assert!(eval("'a", &t).is_err());
+        assert!(eval("", &t).is_err());
+    }
+}

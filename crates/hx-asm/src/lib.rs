@@ -1,0 +1,58 @@
+//! Two-pass assembler and disassembler for the HX32 ISA.
+//!
+//! The guest operating system of this reproduction (the HiTactix-like RTOS in
+//! the `hitactix` crate) is written in HX32 assembly and assembled by this
+//! crate into a loadable [`Program`]. The debugger uses the [`SymbolTable`]
+//! to address breakpoints by name and [`disasm`] to print instructions.
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! ; comment        # comment        // comment
+//!         .org    0x1000          ; set location counter
+//!         .equ    BUF, 0x8000     ; named constant
+//! start:  li      a0, 0xdeadbeef  ; pseudo: lui+ori
+//!         la      a1, message     ; pseudo: lui+ori
+//!         lw      t0, 4(a1)
+//!         addi    t0, t0, -1
+//!         bnez    t0, start
+//!         jal     subroutine
+//!         ret
+//! message:
+//!         .asciz  "hello"
+//!         .align  4
+//!         .word   1, 2, 3
+//! ```
+//!
+//! Registers accept ABI names (`zero, ra, sp, gp, a0–a5, t0–t7, s0–s9, k0,
+//! k1, fp, at`) or raw names (`r0`–`r31`). Numbers may be decimal, `0x` hex,
+//! `0b` binary or `'c'` character literals; operand expressions support `+`,
+//! `-`, symbols, `%hi(expr)` and `%lo(expr)`.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), hx_asm::AsmError> {
+//! use hx_asm::assemble;
+//!
+//! let program = assemble(
+//!     "        .org 0x100\n\
+//!      entry:  addi a0, zero, 41\n\
+//!              addi a0, a0, 1\n\
+//!      halt:   j halt\n",
+//! )?;
+//! assert_eq!(program.base(), 0x100);
+//! assert_eq!(program.symbols.get("entry"), Some(0x100));
+//! assert_eq!(program.bytes().len(), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod disasm;
+mod expr;
+mod program;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disasm;
+pub use program::{Program, SymbolTable};

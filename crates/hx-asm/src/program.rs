@@ -1,0 +1,229 @@
+//! Assembler output: a loadable image plus its symbol table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Symbols (labels and `.equ` constants) defined by an assembly unit.
+///
+/// Iteration order is the symbol name order ([`BTreeMap`] underneath), so
+/// listings are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    map: BTreeMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Defines or redefines a symbol.
+    pub fn define(&mut self, name: impl Into<String>, value: u32) {
+        self.map.insert(name.into(), value);
+    }
+
+    /// Looks up a symbol value.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns `true` if the symbol exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no symbols are defined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Finds the symbol at or closest below `addr`, for symbolized
+    /// backtraces (`name+offset`).
+    pub fn resolve(&self, addr: u32) -> Option<(&str, u32)> {
+        self.map
+            .iter()
+            .filter(|&(_, &v)| v <= addr)
+            .max_by_key(|&(_, &v)| v)
+            .map(|(k, &v)| (k.as_str(), addr - v))
+    }
+}
+
+impl FromIterator<(String, u32)> for SymbolTable {
+    fn from_iter<I: IntoIterator<Item = (String, u32)>>(iter: I) -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.extend(iter);
+        t
+    }
+}
+
+impl Extend<(String, u32)> for SymbolTable {
+    fn extend<I: IntoIterator<Item = (String, u32)>>(&mut self, iter: I) {
+        for (name, value) in iter {
+            self.define(name, value);
+        }
+    }
+}
+
+impl fmt::Display for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            writeln!(f, "{value:#010x} {name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An assembled, loadable image.
+///
+/// The image is a contiguous byte range starting at [`Program::base`]
+/// (gaps produced by `.org` jumps are zero-filled), plus the symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    base: u32,
+    bytes: Vec<u8>,
+    /// Labels and constants defined by the source.
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// Builds a program from raw parts (assembler use).
+    pub fn from_parts(base: u32, bytes: Vec<u8>, symbols: SymbolTable) -> Program {
+        Program { base, bytes, symbols }
+    }
+
+    /// Lowest address occupied by the image.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One-past-the-end address of the image.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// The image bytes, starting at [`Program::base`].
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reads back the little-endian word at an absolute address, for tests
+    /// and listings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the image.
+    pub fn word_at(&self, addr: u32) -> u32 {
+        let off = (addr - self.base) as usize;
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Copies the image into a byte slice representing physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in `memory` at its base address.
+    pub fn load_into(&self, memory: &mut [u8]) {
+        let start = self.base as usize;
+        memory[start..start + self.bytes.len()].copy_from_slice(&self.bytes);
+    }
+
+    /// Renders a disassembly listing of the whole image, with symbol labels
+    /// interleaved — what `hxas --listing` prints.
+    pub fn listing(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for (i, chunk) in self.bytes.chunks(4).enumerate() {
+            let addr = self.base + (i as u32) * 4;
+            if let Some((name, 0)) = self.symbols.resolve(addr) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let w = u32::from_le_bytes(word);
+            let _ = writeln!(out, "  {addr:#010x}: {w:08x}  {}", crate::disasm(w, addr));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_table_roundtrip() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.define("start", 0x100);
+        t.define("loop", 0x108);
+        assert_eq!(t.get("start"), Some(0x100));
+        assert_eq!(t.get("missing"), None);
+        assert!(t.contains("loop"));
+        assert_eq!(t.len(), 2);
+        let names: Vec<_> = t.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["loop", "start"]); // name order
+    }
+
+    #[test]
+    fn symbol_resolve_closest_below() {
+        let mut t = SymbolTable::new();
+        t.define("a", 0x100);
+        t.define("b", 0x200);
+        assert_eq!(t.resolve(0x1ff), Some(("a", 0xff)));
+        assert_eq!(t.resolve(0x200), Some(("b", 0)));
+        assert_eq!(t.resolve(0x50), None);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let mut syms = SymbolTable::new();
+        syms.define("x", 0x1004);
+        let p = Program::from_parts(0x1000, vec![1, 0, 0, 0, 2, 0, 0, 0], syms);
+        assert_eq!(p.base(), 0x1000);
+        assert_eq!(p.end(), 0x1008);
+        assert_eq!(p.word_at(0x1004), 2);
+        let mut mem = vec![0u8; 0x2000];
+        p.load_into(&mut mem);
+        assert_eq!(mem[0x1000], 1);
+        assert_eq!(mem[0x1004], 2);
+    }
+
+    #[test]
+    fn listing_interleaves_symbols() {
+        let p = crate::assemble(".org 0x100\nstart: addi a0, zero, 1\nloop: j loop\n").unwrap();
+        let l = p.listing();
+        assert!(l.contains("start:"));
+        assert!(l.contains("loop:"));
+        assert!(l.contains("addi a0, zero, 1"));
+        assert!(l.contains("0x00000104"));
+    }
+
+    #[test]
+    fn symbol_collect_and_extend() {
+        let t: SymbolTable =
+            vec![("a".to_string(), 1u32), ("b".to_string(), 2)].into_iter().collect();
+        assert_eq!(t.get("a"), Some(1));
+        let mut t = t;
+        t.extend([("c".to_string(), 3u32)]);
+        assert_eq!(t.get("c"), Some(3));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn symbol_display_nonempty() {
+        let mut t = SymbolTable::new();
+        t.define("s", 4);
+        assert!(format!("{t}").contains("s"));
+    }
+}

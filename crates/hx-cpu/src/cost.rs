@@ -1,0 +1,45 @@
+//! The CPU cycle-cost model.
+//!
+//! All constants are in CPU cycles. They approximate a simple in-order
+//! pipeline of the Pentium III era, scaled to the simulated clock documented
+//! in `DESIGN.md` §6. The figure the reproduction targets compares *ratios*
+//! between three platforms sharing this model, so the absolute values only
+//! need to be mutually consistent, not silicon-accurate.
+
+/// Base cost of any instruction that completes.
+pub const BASE: u64 = 1;
+
+/// Additional cost of a load or store that reaches memory (cache-hit
+/// approximation). MMIO devices add their own penalty at the bus.
+pub const MEM_EXTRA: u64 = 2;
+
+/// Additional cost of `mul`/`mulhu`.
+pub const MUL_EXTRA: u64 = 3;
+
+/// Additional cost of `div`/`rem`/`divu`/`remu`.
+pub const DIV_EXTRA: u64 = 18;
+
+/// Additional cost of a taken branch or any jump (pipeline refill).
+pub const BRANCH_TAKEN_EXTRA: u64 = 2;
+
+/// Additional cost of a CSR access.
+pub const CSR_EXTRA: u64 = 3;
+
+/// Cost of hardware trap entry (mode switch, pipeline flush, vector fetch).
+pub const TRAP_ENTRY: u64 = 24;
+
+/// Cost of `tret`.
+pub const TRET: u64 = 10;
+
+/// Cost of a hardware page-table walk on a TLB miss (two dependent memory
+/// reads plus permission logic); charged on top of the access itself.
+pub const TLB_MISS_WALK: u64 = 20;
+
+/// Extra cost when the walker must write back accessed/dirty bits.
+pub const TLB_AD_UPDATE: u64 = 4;
+
+/// Cost of `tlbflush`.
+pub const TLB_FLUSH: u64 = 12;
+
+/// Cost charged when `wfi` is executed (entering the idle state).
+pub const WFI_ENTER: u64 = 2;

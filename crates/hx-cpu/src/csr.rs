@@ -1,0 +1,222 @@
+//! Control and status registers.
+//!
+//! CSRs are reachable only through the privileged `csrrw`/`csrrs`/`csrrc`
+//! instructions. In user mode any CSR access raises
+//! [`crate::Cause::PrivilegedInstruction`] — this is the hook that lets the
+//! lightweight monitor emulate the CPU resources (status word, trap vector,
+//! page-table base, …) of a deprivileged guest kernel.
+
+use core::fmt;
+
+/// CSR numbers.
+///
+/// The numeric values are part of the ISA (they appear in the `imm16` field
+/// of CSR instructions and in assembly source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Csr {
+    /// Status word; see [`Status`] for the bit layout.
+    Status = 0x000,
+    /// Trap vector base address.
+    Tvec = 0x001,
+    /// Exception program counter.
+    Epc = 0x002,
+    /// Trap cause code; see [`crate::Cause`].
+    Cause = 0x003,
+    /// Trap value (faulting address or instruction word).
+    Tval = 0x004,
+    /// Page-table base: bits `[31:12]` physical base of the level-1 table,
+    /// bit 0 enables translation.
+    Ptbr = 0x005,
+    /// Scratch register for trap handlers.
+    Scratch = 0x006,
+    /// Cycle counter, low 32 bits (read-only).
+    Cycle = 0x008,
+    /// Cycle counter, high 32 bits (read-only).
+    Cycleh = 0x009,
+    /// Retired-instruction counter, low 32 bits (read-only).
+    Instret = 0x00a,
+    /// Retired-instruction counter, high 32 bits (read-only).
+    Instreth = 0x00b,
+}
+
+impl Csr {
+    /// All architecturally defined CSRs.
+    pub const ALL: [Csr; 11] = [
+        Csr::Status,
+        Csr::Tvec,
+        Csr::Epc,
+        Csr::Cause,
+        Csr::Tval,
+        Csr::Ptbr,
+        Csr::Scratch,
+        Csr::Cycle,
+        Csr::Cycleh,
+        Csr::Instret,
+        Csr::Instreth,
+    ];
+
+    /// Looks up a CSR by its number.
+    pub fn from_number(n: u16) -> Option<Csr> {
+        Csr::ALL.iter().copied().find(|c| c.number() == n)
+    }
+
+    /// The CSR number used in instruction encodings.
+    pub fn number(self) -> u16 {
+        self as u16
+    }
+
+    /// Returns `true` for counters that cannot be written.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, Csr::Cycle | Csr::Cycleh | Csr::Instret | Csr::Instreth)
+    }
+
+    /// Assembler name (`status`, `tvec`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Csr::Status => "status",
+            Csr::Tvec => "tvec",
+            Csr::Epc => "epc",
+            Csr::Cause => "cause",
+            Csr::Tval => "tval",
+            Csr::Ptbr => "ptbr",
+            Csr::Scratch => "scratch",
+            Csr::Cycle => "cycle",
+            Csr::Cycleh => "cycleh",
+            Csr::Instret => "instret",
+            Csr::Instreth => "instreth",
+        }
+    }
+
+    /// Looks a CSR up by assembler name.
+    pub fn from_name(name: &str) -> Option<Csr> {
+        Csr::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The `STATUS` CSR bit layout.
+///
+/// | bit | name | meaning |
+/// |-----|------|---------|
+/// | 0 | `IE`  | interrupts enabled |
+/// | 1 | `PIE` | `IE` before the last trap |
+/// | 2 | `PMODE` | mode before the last trap (1 = supervisor) |
+/// | 3 | `TF`  | single-step flag: trap with [`crate::Cause::DebugStep`] after one instruction |
+/// | 4 | `PTF` | `TF` before the last trap |
+///
+/// On trap entry hardware saves `IE`/`TF`/mode into the `P*` fields, clears
+/// `IE` and `TF` and enters supervisor mode; `tret` restores them. The `TF`
+/// flag is how the debug stub single-steps the guest, mirroring the x86 trap
+/// flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Status(pub u32);
+
+impl Status {
+    /// Interrupt-enable bit.
+    pub const IE: u32 = 1 << 0;
+    /// Previous interrupt-enable bit.
+    pub const PIE: u32 = 1 << 1;
+    /// Previous mode bit (1 = supervisor).
+    pub const PMODE: u32 = 1 << 2;
+    /// Single-step (trap) flag.
+    pub const TF: u32 = 1 << 3;
+    /// Previous single-step flag.
+    pub const PTF: u32 = 1 << 4;
+    /// Mask of all implemented bits; others read as zero.
+    pub const MASK: u32 = 0x1f;
+
+    /// Interrupts enabled?
+    pub fn ie(self) -> bool {
+        self.0 & Self::IE != 0
+    }
+
+    /// Previous interrupt-enable state.
+    pub fn pie(self) -> bool {
+        self.0 & Self::PIE != 0
+    }
+
+    /// Was the previous mode supervisor?
+    pub fn pmode_supervisor(self) -> bool {
+        self.0 & Self::PMODE != 0
+    }
+
+    /// Single-step flag set?
+    pub fn tf(self) -> bool {
+        self.0 & Self::TF != 0
+    }
+
+    /// Previous single-step flag.
+    pub fn ptf(self) -> bool {
+        self.0 & Self::PTF != 0
+    }
+
+    /// Returns a copy with the given bit set or cleared.
+    #[must_use]
+    pub fn with(self, bit: u32, on: bool) -> Status {
+        if on {
+            Status(self.0 | bit)
+        } else {
+            Status(self.0 & !bit)
+        }
+    }
+
+    /// Applies a raw write, masking unimplemented bits.
+    #[must_use]
+    pub fn written(value: u32) -> Status {
+        Status(value & Self::MASK)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ie={} pie={} pmode={} tf={} ptf={}",
+            self.ie() as u8,
+            self.pie() as u8,
+            if self.pmode_supervisor() { 'S' } else { 'U' },
+            self.tf() as u8,
+            self.ptf() as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_number_roundtrip() {
+        for c in Csr::ALL {
+            assert_eq!(Csr::from_number(c.number()), Some(c));
+            assert_eq!(Csr::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Csr::from_number(0xfff), None);
+        assert_eq!(Csr::from_name("nope"), None);
+    }
+
+    #[test]
+    fn read_only_set() {
+        assert!(Csr::Cycle.is_read_only());
+        assert!(Csr::Instreth.is_read_only());
+        assert!(!Csr::Status.is_read_only());
+        assert!(!Csr::Ptbr.is_read_only());
+    }
+
+    #[test]
+    fn status_bits() {
+        let s = Status::written(0xffff_ffff);
+        assert_eq!(s.0, Status::MASK);
+        assert!(s.ie() && s.pie() && s.tf() && s.ptf() && s.pmode_supervisor());
+        let s = s.with(Status::IE, false);
+        assert!(!s.ie());
+        assert!(s.tf());
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! HX32: a deterministic 32-bit CPU model with two privilege modes, a paged
+//! MMU and precise traps.
+//!
+//! HX32 is the processor substrate for the reproduction of *"OS Debugging
+//! Method Using a Lightweight Virtual Machine Monitor"* (Takeuchi, DATE
+//! 2005). It deliberately mirrors the properties of the paper's PC/AT target
+//! that the debugging method depends on:
+//!
+//! * exactly **two hardware privilege modes** ([`Mode::Supervisor`] and
+//!   [`Mode::User`]) — the lightweight monitor builds its third protection
+//!   level on top of these, just as the paper does on x86;
+//! * a **two-level paged MMU** with per-page user/write/execute permissions
+//!   and a TLB that must be explicitly flushed (shadow paging relies on it);
+//! * **precise traps** for privileged instructions, page faults, breakpoints
+//!   (`ebreak`), system calls (`ecall`) and a hardware **single-step flag**
+//!   (`STATUS.TF`, like the x86 trap flag) used by the debug stub;
+//! * a deterministic **cycle-cost model** ([`cost`]) so that CPU-load
+//!   measurements are reproducible bit-for-bit.
+//!
+//! The crate knows nothing about devices or machines; physical memory and
+//! MMIO are reached through the [`Bus`] trait implemented by `hx-machine`.
+//!
+//! # Example
+//!
+//! Execute a two-instruction program that adds two registers:
+//!
+//! ```
+//! use hx_cpu::{Cpu, FlatRam, StepOutcome, isa::{Instr, Reg}};
+//!
+//! let mut ram = FlatRam::new(4096);
+//! ram.store_word(0, Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 7 }.encode());
+//! ram.store_word(4, Instr::Addi { rd: Reg::R2, rs1: Reg::R1, imm: 35 }.encode());
+//!
+//! let mut cpu = Cpu::new();
+//! cpu.set_pc(0);
+//! assert!(matches!(cpu.step(&mut ram), StepOutcome::Executed { .. }));
+//! assert!(matches!(cpu.step(&mut ram), StepOutcome::Executed { .. }));
+//! assert_eq!(cpu.reg(Reg::R2), 42);
+//! ```
+
+pub mod cost;
+pub mod cpu;
+pub mod csr;
+pub mod isa;
+pub mod mmu;
+pub mod trap;
+
+pub use cpu::{Cpu, StepOutcome};
+pub use csr::{Csr, Status};
+pub use isa::{Instr, Reg};
+pub use mmu::{pte, Tlb, TranslateErr};
+pub use trap::{Cause, Trap};
+
+use core::fmt;
+
+/// Width of a single memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl MemSize {
+    /// Number of bytes moved by an access of this size.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+        }
+    }
+}
+
+/// Error returned by a [`Bus`] access that cannot be satisfied.
+///
+/// The CPU converts bus faults into access-fault traps
+/// ([`Cause::LoadAccessFault`] / [`Cause::StoreAccessFault`] /
+/// [`Cause::InstrAccessFault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFault {
+    /// No RAM or device is mapped at the physical address.
+    Unmapped,
+    /// A device refused the access (wrong size, read-only register, …).
+    Denied,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped => write!(f, "physical address is unmapped"),
+            BusFault::Denied => write!(f, "device denied the access"),
+        }
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// Physical address space abstraction the CPU executes against.
+///
+/// Implementations route accesses to RAM and memory-mapped devices. All
+/// addresses are **physical**; virtual-to-physical translation happens inside
+/// the CPU ([`mmu`]). Reads and writes of [`MemSize::Half`] /
+/// [`MemSize::Word`] are always aligned when issued by the CPU (misalignment
+/// traps first).
+///
+/// A `&mut B where B: Bus` also implements `Bus`, so bus references can be
+/// passed down call chains.
+pub trait Bus {
+    /// Reads `size` bytes at `paddr`, zero-extended into a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] if nothing is mapped at `paddr` or the device
+    /// refuses the access.
+    fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault>;
+
+    /// Writes the low `size` bytes of `val` at `paddr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] if nothing is mapped at `paddr` or the device
+    /// refuses the access.
+    fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault>;
+
+    /// Fetches the instruction word at `paddr` (always word-sized).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] under the same conditions as [`Bus::read`].
+    fn fetch(&mut self, paddr: u32) -> Result<u32, BusFault> {
+        self.read(paddr, MemSize::Word)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault> {
+        (**self).read(paddr, size)
+    }
+    fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        (**self).write(paddr, val, size)
+    }
+    fn fetch(&mut self, paddr: u32) -> Result<u32, BusFault> {
+        (**self).fetch(paddr)
+    }
+}
+
+/// A plain block of RAM starting at physical address zero.
+///
+/// `FlatRam` is the simplest possible [`Bus`]: no devices, no holes. It is
+/// used throughout unit tests and doc examples; real machines live in
+/// `hx-machine`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRam {
+    bytes: Vec<u8>,
+}
+
+impl FlatRam {
+    /// Creates `len` bytes of zeroed RAM.
+    pub fn new(len: usize) -> Self {
+        FlatRam { bytes: vec![0; len] }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the RAM has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Stores a little-endian word, for test setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the RAM size.
+    pub fn store_word(&mut self, addr: u32, val: u32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&val.to_le_bytes());
+    }
+
+    /// Loads a little-endian word, for test inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the RAM size.
+    pub fn load_word(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap())
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl Bus for FlatRam {
+    fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault> {
+        let a = paddr as usize;
+        let n = size.bytes() as usize;
+        if a.checked_add(n).is_none_or(|end| end > self.bytes.len()) {
+            return Err(BusFault::Unmapped);
+        }
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= (self.bytes[a + i] as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        let a = paddr as usize;
+        let n = size.bytes() as usize;
+        if a.checked_add(n).is_none_or(|end| end > self.bytes.len()) {
+            return Err(BusFault::Unmapped);
+        }
+        for i in 0..n {
+            self.bytes[a + i] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+/// Hardware privilege mode.
+///
+/// HX32 has exactly two, like the effective x86 situation the paper works
+/// with: the monitor's third protection level is built in software on top of
+/// these, not provided by the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Unprivileged mode: privileged instructions trap, pages without the
+    /// `U` bit fault.
+    User,
+    /// Privileged mode: full access to CSRs and all mapped pages.
+    #[default]
+    Supervisor,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::User => write!(f, "user"),
+            Mode::Supervisor => write!(f, "supervisor"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_ram_roundtrip() {
+        let mut ram = FlatRam::new(64);
+        ram.write(8, 0xdead_beef, MemSize::Word).unwrap();
+        assert_eq!(ram.read(8, MemSize::Word).unwrap(), 0xdead_beef);
+        assert_eq!(ram.read(8, MemSize::Byte).unwrap(), 0xef);
+        assert_eq!(ram.read(10, MemSize::Half).unwrap(), 0xdead);
+    }
+
+    #[test]
+    fn flat_ram_out_of_range() {
+        let mut ram = FlatRam::new(16);
+        assert_eq!(ram.read(14, MemSize::Word), Err(BusFault::Unmapped));
+        assert_eq!(ram.write(16, 0, MemSize::Byte), Err(BusFault::Unmapped));
+        assert_eq!(ram.read(12, MemSize::Word).unwrap(), 0);
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::Byte.bytes(), 1);
+        assert_eq!(MemSize::Half.bytes(), 2);
+        assert_eq!(MemSize::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn bus_fault_display_nonempty() {
+        assert!(!format!("{}", BusFault::Unmapped).is_empty());
+        assert!(!format!("{}", BusFault::Denied).is_empty());
+        assert!(!format!("{:?}", BusFault::Denied).is_empty());
+    }
+
+    #[test]
+    fn mode_default_is_supervisor() {
+        assert_eq!(Mode::default(), Mode::Supervisor);
+        assert_eq!(format!("{}", Mode::User), "user");
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! Devices schedule future work (DMA completions, wire serialization, timer
+//! ticks) as [`Event`]s on the machine's [`EventQueue`]. Events due at the
+//! same cycle fire in scheduling order, so two identical runs produce
+//! identical machines — the property every CPU-load measurement in the
+//! reproduction rests on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Machine-level event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// The programmable timer expired.
+    PitTick,
+    /// A disk command on the given unit completed (DMA + IRQ follow).
+    HdcComplete {
+        /// Disk unit index, `0..3`.
+        unit: u8,
+    },
+    /// The NIC should (re)examine its TX ring for work.
+    NicTxKick,
+    /// The frame currently on the wire finished serializing.
+    NicTxDone,
+    /// A received frame is ready to be placed in the RX ring.
+    NicRxDeliver,
+}
+
+/// A min-heap of `(due_cycle, sequence) → Event`.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` to fire at absolute cycle `at`.
+    pub fn schedule(&mut self, at: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, event)));
+    }
+
+    /// Cycle of the earliest pending event.
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`, returning
+    /// the cycle it was *scheduled for* together with the event. Handlers
+    /// must compare against the scheduled cycle, not the current clock —
+    /// the clock may have jumped past several deadlines at once.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, Event)> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= now => {
+                let Reverse((at, _, ev)) = self.heap.pop().unwrap();
+                Some((at, ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every pending event (machine reset).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(20, Event::PitTick);
+        q.schedule(10, Event::NicTxDone);
+        q.schedule(10, Event::HdcComplete { unit: 1 });
+        assert_eq!(q.next_due(), Some(10));
+        assert_eq!(q.pop_due(100), Some((10, Event::NicTxDone)));
+        assert_eq!(q.pop_due(100), Some((10, Event::HdcComplete { unit: 1 })));
+        assert_eq!(q.pop_due(100), Some((20, Event::PitTick)));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(50, Event::PitTick);
+        assert_eq!(q.pop_due(49), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(50), Some((50, Event::PitTick)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(1, Event::NicTxKick);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_due(), None);
+    }
+}

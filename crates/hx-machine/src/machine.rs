@@ -1,0 +1,688 @@
+//! The machine: CPU + RAM + devices + event scheduler, stepped one
+//! instruction at a time with monitor-friendly trap surfacing.
+
+use crate::disk::Hdc;
+use crate::event::{Event, EventQueue};
+use crate::nic::Nic;
+use crate::pic::Hpic;
+use crate::pit::Hpit;
+use crate::ram::Ram;
+use crate::timing;
+use crate::uart::Huart;
+use hx_asm::Program;
+use hx_cpu::trap::{Cause, Trap};
+use hx_cpu::{Bus, BusFault, Cpu, MemSize, StepOutcome};
+
+/// Construction parameters for a [`Machine`].
+///
+/// The defaults model the scaled-down PC documented in `DESIGN.md` §6; all
+/// three evaluated platforms must share one config for their CPU loads to be
+/// comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Physical RAM size in bytes.
+    pub ram_size: usize,
+    /// CPU clock in Hz (the unit of all cycle counts).
+    pub clock_hz: u64,
+    /// Ethernet wire rate in bits/second.
+    pub wire_bps: u64,
+    /// Per-disk media rate in bytes/second.
+    pub disk_bps: u64,
+    /// Fixed disk command overhead in cycles.
+    pub hdc_cmd_overhead: u64,
+    /// NIC TX descriptor fetch delay in cycles.
+    pub nic_tx_fetch: u64,
+    /// Extra cycles per MMIO register access.
+    pub mmio_access_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_size: 24 * 1024 * 1024,
+            clock_hz: timing::DEFAULT_CLOCK_HZ,
+            wire_bps: timing::DEFAULT_WIRE_BPS,
+            disk_bps: timing::DEFAULT_DISK_BPS,
+            hdc_cmd_overhead: timing::DEFAULT_HDC_CMD_OVERHEAD,
+            nic_tx_fetch: timing::DEFAULT_NIC_TX_FETCH,
+            mmio_access_cycles: timing::MMIO_ACCESS_CYCLES,
+        }
+    }
+}
+
+/// What one [`Machine::step`] did.
+///
+/// Interrupts and traps are surfaced **undelivered**: real hardware
+/// ([`crate::RawPlatform`]) vectors them architecturally with
+/// [`Machine::deliver_trap`]; a virtual machine monitor intercepts them
+/// instead. This is the seam the paper's architecture lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineStep {
+    /// One instruction retired (`cycles` includes MMIO penalties).
+    Executed {
+        /// Cycles the instruction consumed.
+        cycles: u64,
+    },
+    /// The PIC won arbitration: the interrupt was acknowledged (IRR → ISR)
+    /// and awaits delivery.
+    Interrupt {
+        /// The winning request line.
+        irq: u8,
+        /// The vector the PIC supplied.
+        vector: u8,
+    },
+    /// The instruction raised a trap; not yet delivered.
+    Trapped {
+        /// The raised trap.
+        trap: Trap,
+        /// Cycles consumed before recognition.
+        cycles: u64,
+    },
+    /// The CPU was idle (`wfi`) and the clock jumped to the next device
+    /// event.
+    Idle {
+        /// Idle cycles skipped.
+        cycles: u64,
+    },
+    /// The CPU is idle and **no event is pending**: nothing can ever wake
+    /// it. Platforms treat this as a hang.
+    Stuck,
+}
+
+/// The simulated machine.
+///
+/// Fields are public: monitors legitimately reach into the chipset (that is
+/// their job), and tests assert on device state directly.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The processor.
+    pub cpu: Cpu,
+    /// Physical memory.
+    pub mem: Ram,
+    /// Interrupt controller.
+    pub pic: Hpic,
+    /// Interval timer.
+    pub pit: Hpit,
+    /// Debug-channel UART.
+    pub uart: Huart,
+    /// Disk controller.
+    pub hdc: Hdc,
+    /// Network controller.
+    pub nic: Nic,
+    events: EventQueue,
+    now: u64,
+    waiting: bool,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            mem: Ram::new(cfg.ram_size),
+            pic: Hpic::new(),
+            pit: Hpit::new(),
+            uart: Huart::new(),
+            hdc: Hdc::new(cfg.clock_hz, cfg.disk_bps, cfg.hdc_cmd_overhead),
+            nic: Nic::new(cfg.clock_hz, cfg.wire_bps, cfg.nic_tx_fetch),
+            events: EventQueue::new(),
+            now: 0,
+            waiting: false,
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Loads an assembled image into RAM and points the CPU at its base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in RAM.
+    pub fn load_program(&mut self, program: &Program) {
+        program.load_into(self.mem.as_bytes_mut());
+        self.cpu.set_pc(program.base());
+    }
+
+    /// Host → target bytes on the debug UART.
+    pub fn uart_input(&mut self, bytes: &[u8]) {
+        self.uart.push_rx(bytes, &mut self.pic);
+        self.waiting = false; // a wedged-in-wfi CPU wakes on the latched IRQ
+    }
+
+    /// Target → host bytes on the debug UART.
+    pub fn uart_output(&mut self) -> Vec<u8> {
+        self.uart.drain_tx()
+    }
+
+    /// Injects a received network frame (delivered via the RX ring).
+    pub fn nic_inject_rx(&mut self, frame: Vec<u8>) {
+        self.nic.inject_rx(frame, self.now, &mut self.events);
+    }
+
+    fn process_due_events(&mut self) {
+        while let Some((at, ev)) = self.events.pop_due(self.now) {
+            match ev {
+                Event::PitTick => self.pit.on_tick(at, &mut self.pic, &mut self.events),
+                Event::HdcComplete { unit } => {
+                    self.hdc.on_complete(unit, at, &mut self.mem, &mut self.pic)
+                }
+                Event::NicTxKick => {
+                    self.nic.on_tx_kick(self.now, &mut self.mem, &mut self.pic, &mut self.events)
+                }
+                Event::NicTxDone => {
+                    self.nic.on_tx_done(self.now, &mut self.mem, &mut self.pic, &mut self.events)
+                }
+                Event::NicRxDeliver => {
+                    self.nic.on_rx_deliver(self.now, &mut self.mem, &mut self.pic)
+                }
+            }
+        }
+    }
+
+    /// Advances the clock by externally-accounted cycles (monitor or
+    /// host-model execution time) and lets device events that became due
+    /// fire. The guest-visible cycle counter advances too — the monitor runs
+    /// on the same CPU.
+    pub fn consume(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.cpu.add_cycles(cycles);
+        self.process_due_events();
+    }
+
+    /// Jumps the clock to the next pending device event and processes it,
+    /// without executing guest instructions — used by monitors emulating a
+    /// guest `wfi`. Returns the idle cycles skipped, or `None` when no event
+    /// is pending (the machine can never wake on its own).
+    pub fn skip_to_next_event(&mut self) -> Option<u64> {
+        let due = self.events.next_due()?;
+        let dt = due.saturating_sub(self.now);
+        self.now = due;
+        self.cpu.add_cycles(dt);
+        self.process_due_events();
+        Some(dt)
+    }
+
+    /// Delivers a trap architecturally through the CPU and advances time by
+    /// the trap-entry cost. Returns the cycles charged.
+    pub fn deliver_trap(&mut self, trap: Trap) -> u64 {
+        self.waiting = false;
+        let c = self.cpu.take_trap(trap);
+        self.now += c;
+        self.process_due_events();
+        c
+    }
+
+    /// Builds the interrupt trap for a vector produced by
+    /// [`MachineStep::Interrupt`].
+    pub fn interrupt_trap(&self, vector: u8) -> Trap {
+        Trap::new(Cause::Interrupt, self.cpu.pc(), vector as u32)
+    }
+
+    /// Executes one machine step. See [`MachineStep`] for the contract.
+    pub fn step(&mut self) -> MachineStep {
+        self.process_due_events();
+
+        if self.waiting {
+            if self.pic.line_asserted() {
+                self.waiting = false;
+            } else {
+                let Some(due) = self.events.next_due() else {
+                    return MachineStep::Stuck;
+                };
+                let idle = due - self.now;
+                self.now = due;
+                self.cpu.add_cycles(idle);
+                self.process_due_events();
+                return MachineStep::Idle { cycles: idle };
+            }
+        }
+
+        if self.cpu.interrupts_enabled() {
+            if let Some((irq, vector)) = self.pic.inta() {
+                return MachineStep::Interrupt { irq, vector };
+            }
+        }
+
+        let mut bus = MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: self.cfg.mmio_access_cycles,
+        };
+        let outcome = self.cpu.step(&mut bus);
+        let extra = bus.mmio_extra;
+        if extra > 0 {
+            self.cpu.add_cycles(extra);
+        }
+        match outcome {
+            StepOutcome::Executed { cycles } => {
+                self.now += cycles + extra;
+                self.process_due_events();
+                MachineStep::Executed { cycles: cycles + extra }
+            }
+            StepOutcome::Wfi { cycles } => {
+                self.now += cycles + extra;
+                self.waiting = true;
+                self.process_due_events();
+                MachineStep::Executed { cycles: cycles + extra }
+            }
+            StepOutcome::Trapped { trap, cycles } => {
+                self.now += cycles + extra;
+                self.process_due_events();
+                MachineStep::Trapped { trap, cycles: cycles + extra }
+            }
+        }
+    }
+
+    /// Performs a bus read the way the CPU would (monitor emulation and
+    /// debugger use). MMIO side effects apply; no cycles are charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the device's [`BusFault`].
+    pub fn bus_read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault> {
+        let mut bus = MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: 0,
+        };
+        bus.read(paddr, size)
+    }
+
+    /// Performs a bus write the way the CPU would. See [`Machine::bus_read`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the device's [`BusFault`].
+    pub fn bus_write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        let mut bus = MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: 0,
+        };
+        bus.write(paddr, val, size)
+    }
+
+    /// A [`Bus`] view over this machine, for code that needs to run CPU
+    /// steps manually (the monitors' single-step paths).
+    pub fn bus(&mut self) -> MachineBus<'_> {
+        MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: self.cfg.mmio_access_cycles,
+        }
+    }
+
+    /// Splits the machine into the CPU and a bus over everything else, so a
+    /// monitor can call [`Cpu::step`] itself while keeping device routing.
+    pub fn cpu_and_bus(&mut self) -> (&mut Cpu, MachineBus<'_>) {
+        let bus = MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: self.cfg.mmio_access_cycles,
+        };
+        (&mut self.cpu, bus)
+    }
+}
+
+/// The system bus: routes physical accesses to RAM or device registers.
+#[derive(Debug)]
+pub struct MachineBus<'a> {
+    mem: &'a mut Ram,
+    pic: &'a mut Hpic,
+    pit: &'a mut Hpit,
+    uart: &'a mut Huart,
+    hdc: &'a mut Hdc,
+    nic: &'a mut Nic,
+    events: &'a mut EventQueue,
+    now: u64,
+    mmio_extra: u64,
+    mmio_cost: u64,
+}
+
+impl MachineBus<'_> {
+    /// Extra cycles accumulated by MMIO accesses since construction.
+    pub fn mmio_extra(&self) -> u64 {
+        self.mmio_extra
+    }
+
+    fn device_page(paddr: u32) -> Option<(u32, u32)> {
+        use crate::map::*;
+        if paddr < MMIO_BASE {
+            return None;
+        }
+        let page = paddr & !(DEV_PAGE - 1);
+        let offset = paddr & (DEV_PAGE - 1);
+        Some((page, offset))
+    }
+}
+
+impl Bus for MachineBus<'_> {
+    fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault> {
+        if (paddr as usize) < self.mem.len() {
+            return self.mem.read(paddr, size);
+        }
+        let (page, off) = Self::device_page(paddr).ok_or(BusFault::Unmapped)?;
+        self.mmio_extra += self.mmio_cost;
+        use crate::map::*;
+        match page {
+            PIC_BASE => self.pic.read_reg(off, size),
+            PIT_BASE => self.pit.read_reg(off, size, self.now),
+            UART_BASE => self.uart.read_reg(off, size),
+            HDC_BASE => self.hdc.read_reg(off, size),
+            NIC_BASE => self.nic.read_reg(off, size),
+            _ => Err(BusFault::Unmapped),
+        }
+    }
+
+    fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        if (paddr as usize) < self.mem.len() {
+            return self.mem.write(paddr, val, size);
+        }
+        let (page, off) = Self::device_page(paddr).ok_or(BusFault::Unmapped)?;
+        self.mmio_extra += self.mmio_cost;
+        use crate::map::*;
+        match page {
+            PIC_BASE => self.pic.write_reg(off, val, size),
+            PIT_BASE => self.pit.write_reg(off, val, size, self.now, self.events),
+            UART_BASE => self.uart.write_reg(off, val, size),
+            HDC_BASE => self.hdc.write_reg(off, val, size, self.now, self.events),
+            NIC_BASE => self.nic.write_reg(off, val, size, self.now, self.events),
+            _ => Err(BusFault::Unmapped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map;
+
+    fn machine_with(src: &str) -> Machine {
+        let program = hx_asm::assemble(src).expect("test program assembles");
+        let mut m = Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        m.load_program(&program);
+        m
+    }
+
+    /// Steps, delivering traps/interrupts architecturally (raw-hardware
+    /// behaviour), until `pred` or a step budget runs out.
+    fn run_until(m: &mut Machine, budget: usize, mut pred: impl FnMut(&Machine) -> bool) {
+        for _ in 0..budget {
+            if pred(m) {
+                return;
+            }
+            match m.step() {
+                MachineStep::Executed { .. } | MachineStep::Idle { .. } => {}
+                MachineStep::Interrupt { vector, .. } => {
+                    let t = m.interrupt_trap(vector);
+                    m.deliver_trap(t);
+                }
+                MachineStep::Trapped { trap, .. } => {
+                    m.deliver_trap(trap);
+                }
+                MachineStep::Stuck => panic!("machine stuck"),
+            }
+        }
+        panic!("predicate not reached within budget");
+    }
+
+    #[test]
+    fn mmio_access_costs_more() {
+        let mut m = machine_with(
+            "li t0, 0xf0000008\n lw t1, 0(t0)\n lw t2, 0x100(zero)\n", // PIC IMR read then RAM read
+        );
+        m.step(); // lui
+        m.step(); // ori
+        let c_mmio = match m.step() {
+            MachineStep::Executed { cycles } => cycles,
+            other => panic!("{other:?}"),
+        };
+        let c_ram = match m.step() {
+            MachineStep::Executed { cycles } => cycles,
+            other => panic!("{other:?}"),
+        };
+        assert!(c_mmio > c_ram, "MMIO {c_mmio} vs RAM {c_ram}");
+    }
+
+    #[test]
+    fn timer_interrupt_reaches_handler() {
+        // Handler increments s0 and retires; main programs the PIT and idles.
+        let src = format!(
+            "        .org 0x100
+             handler:
+                     addi s0, s0, 1
+                     li   k0, {pic:#x}
+                     li   k1, {pit_irq}
+                     sw   k1, 0xc(k0)      ; EOI
+                     tret
+             start:  la   t0, handler
+                     csrw tvec, t0
+                     li   t0, {pit:#x}
+                     li   t1, 500
+                     sw   t1, 4(t0)        ; reload
+                     li   t1, 3
+                     sw   t1, 0(t0)        ; enable periodic
+                     csrw status, 1        ; IE
+             idle:   wfi
+                     j    idle
+            ",
+            pic = map::PIC_BASE,
+            pit = map::PIT_BASE,
+            pit_irq = map::irq::PIT,
+        );
+        let program = hx_asm::assemble(&src).unwrap();
+        let mut m = Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        program.load_into(m.mem.as_bytes_mut());
+        m.cpu.set_pc(program.symbols.get("start").unwrap());
+        run_until(&mut m, 100_000, |m| m.cpu.reg(hx_cpu::Reg::R18) >= 3);
+        assert!(m.pit.ticks() >= 3);
+        assert!(m.now() >= 1500, "three 500-cycle periods must elapse");
+    }
+
+    #[test]
+    fn idle_skips_to_next_event() {
+        let src = format!(
+            "start:  li   t0, {pit:#x}
+                     li   t1, 10000
+                     sw   t1, 4(t0)
+                     li   t1, 1
+                     sw   t1, 0(t0)       ; one-shot
+                     csrw status, 1
+                     wfi
+             after:  ebreak
+            ",
+            pit = map::PIT_BASE
+        );
+        let mut m = machine_with(&src);
+        let mut idle_total = 0;
+        loop {
+            match m.step() {
+                MachineStep::Idle { cycles } => idle_total += cycles,
+                MachineStep::Interrupt { vector, .. } => {
+                    let t = m.interrupt_trap(vector);
+                    m.deliver_trap(t);
+                    break;
+                }
+                MachineStep::Executed { .. } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(idle_total > 9_000, "most of the 10k-cycle wait must be idle, got {idle_total}");
+    }
+
+    #[test]
+    fn stuck_when_idle_with_no_events() {
+        let mut m = machine_with("wfi\n");
+        loop {
+            match m.step() {
+                MachineStep::Executed { .. } => {}
+                MachineStep::Stuck => return,
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uart_input_wakes_idle_cpu() {
+        let src = format!(
+            "start:  li   t0, {uart:#x}
+                     li   t1, 1
+                     sw   t1, 8(t0)     ; rx irq enable
+                     csrw status, 1
+                     wfi
+                     j    start
+            ",
+            uart = map::UART_BASE
+        );
+        let mut m = machine_with(&src);
+        // Run until the CPU idles (no events → Stuck).
+        loop {
+            match m.step() {
+                MachineStep::Stuck => break,
+                MachineStep::Executed { .. } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        m.uart_input(b"x");
+        match m.step() {
+            MachineStep::Interrupt { irq, .. } => assert_eq!(irq, map::irq::UART),
+            other => panic!("expected interrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disk_to_memory_via_guest_driver() {
+        let src = format!(
+            "start:  li   t0, {hdc:#x}
+                     li   t1, 5
+                     sw   t1, 0(t0)       ; lba
+                     li   t1, 1
+                     sw   t1, 4(t0)       ; count
+                     li   t1, 0x9000
+                     sw   t1, 8(t0)       ; dma
+                     li   t1, 1
+                     sw   t1, 0xc(t0)     ; read doorbell
+             poll:   lw   t2, 0x10(t0)
+                     andi t2, t2, 2       ; done?
+                     beqz t2, poll
+                     ebreak
+            ",
+            hdc = map::HDC_BASE
+        );
+        let mut m = machine_with(&src);
+        loop {
+            match m.step() {
+                MachineStep::Trapped { trap, .. } if trap.cause == Cause::Breakpoint => break,
+                MachineStep::Executed { .. } => {}
+                MachineStep::Trapped { trap, .. } => panic!("unexpected trap {trap}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        let mut expect = vec![0u8; 512];
+        crate::disk::fill_expected(0, 5, &mut expect);
+        assert_eq!(&m.mem.as_bytes()[0x9000..0x9200], &expect[..]);
+    }
+
+    #[test]
+    fn determinism_two_runs_identical() {
+        let src = format!(
+            "start:  li   t0, {pit:#x}
+                     li   t1, 300
+                     sw   t1, 4(t0)
+                     li   t1, 3
+                     sw   t1, 0(t0)
+                     csrw status, 1
+             spin:   addi s1, s1, 1
+                     j    spin
+            ",
+            pit = map::PIT_BASE
+        );
+        let run = || {
+            let mut m = machine_with(&src);
+            // Trap handler not set; deliver interrupts to vector 0 and stop
+            // after a fixed number of steps.
+            let mut log = Vec::new();
+            for _ in 0..5000 {
+                let s = m.step();
+                if let MachineStep::Interrupt { vector, .. } = s {
+                    let t = m.interrupt_trap(vector);
+                    m.deliver_trap(t);
+                }
+                log.push((m.now(), format!("{s:?}")));
+            }
+            (m.now(), m.cpu.cycles(), log)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unmapped_addresses_fault() {
+        let mut m = machine_with("li t0, 0xe0000000\nlw t1, 0(t0)\n");
+        m.step();
+        m.step();
+        match m.step() {
+            MachineStep::Trapped { trap, .. } => {
+                assert_eq!(trap.cause, Cause::LoadAccessFault);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bus_read_write_helpers() {
+        let mut m = machine_with("nop\n");
+        m.bus_write(map::PIC_BASE + crate::pic::reg::IMR, 0x55, MemSize::Word).unwrap();
+        assert_eq!(m.bus_read(map::PIC_BASE + crate::pic::reg::IMR, MemSize::Word).unwrap(), 0x55);
+        assert_eq!(m.bus_read(0xe000_0000, MemSize::Word), Err(BusFault::Unmapped));
+    }
+}

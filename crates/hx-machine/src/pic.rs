@@ -1,0 +1,246 @@
+//! `Hpic`: an 8259-style programmable interrupt controller.
+//!
+//! Eight request lines with fixed priority (line 0 highest). Requests latch
+//! into IRR; an interrupt-acknowledge cycle ([`Hpic::inta`]) moves the
+//! winning request to ISR and yields its vector; a specific end-of-interrupt
+//! ([`Hpic::eoi`]) clears the ISR bit. Lower-priority requests are held off
+//! while a higher-priority interrupt is in service.
+//!
+//! This is one of the two devices the paper's lightweight monitor *emulates*
+//! for the guest (the "interruption-controller emulator" of Fig. 2.1) — so
+//! the monitor in the `lvmm` crate instantiates a second `Hpic` as the
+//! guest-visible virtual controller, reusing these exact semantics.
+
+use hx_cpu::{BusFault, MemSize};
+
+/// Register offsets within the PIC page.
+pub mod reg {
+    /// Interrupt request register (read-only).
+    pub const IRR: u32 = 0x00;
+    /// In-service register (read-only).
+    pub const ISR: u32 = 0x04;
+    /// Interrupt mask register (1 = masked).
+    pub const IMR: u32 = 0x08;
+    /// Specific EOI: write the IRQ number to retire it.
+    pub const EOI: u32 = 0x0c;
+    /// Vector base: delivered vector = base + IRQ.
+    pub const VBASE: u32 = 0x10;
+}
+
+/// The interrupt controller state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hpic {
+    irr: u8,
+    isr: u8,
+    imr: u8,
+    vbase: u8,
+    /// Total requests latched, per line (statistics).
+    raised: [u64; 8],
+    /// Total INTA cycles served.
+    acked: u64,
+}
+
+impl Hpic {
+    /// Creates a PIC with all lines unmasked and vector base 32.
+    pub fn new() -> Hpic {
+        Hpic { vbase: 32, ..Hpic::default() }
+    }
+
+    /// Latches a request on `irq` (0–7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `irq >= 8` — lines are fixed by the board wiring.
+    pub fn assert_irq(&mut self, irq: u8) {
+        assert!(irq < 8, "irq {irq} out of range");
+        self.irr |= 1 << irq;
+        self.raised[irq as usize] += 1;
+    }
+
+    /// The highest-priority serviceable request, if any: latched, unmasked,
+    /// and of higher priority than anything currently in service.
+    pub fn pending(&self) -> Option<u8> {
+        let ready = self.irr & !self.imr;
+        if ready == 0 {
+            return None;
+        }
+        let winner = ready.trailing_zeros() as u8;
+        if self.isr != 0 && self.isr.trailing_zeros() as u8 <= winner {
+            return None;
+        }
+        Some(winner)
+    }
+
+    /// Returns `true` when the INTR line to the CPU is asserted.
+    pub fn line_asserted(&self) -> bool {
+        self.pending().is_some()
+    }
+
+    /// Interrupt-acknowledge cycle: commits the winning request to ISR and
+    /// returns `(irq, vector)`.
+    ///
+    /// Returns `None` when nothing is pending (spurious INTA).
+    pub fn inta(&mut self) -> Option<(u8, u8)> {
+        let irq = self.pending()?;
+        self.irr &= !(1 << irq);
+        self.isr |= 1 << irq;
+        self.acked += 1;
+        Some((irq, self.vbase.wrapping_add(irq)))
+    }
+
+    /// Specific end-of-interrupt for `irq`.
+    pub fn eoi(&mut self, irq: u8) {
+        if irq < 8 {
+            self.isr &= !(1 << irq);
+        }
+    }
+
+    /// Current interrupt mask (1 = masked).
+    pub fn imr(&self) -> u8 {
+        self.imr
+    }
+
+    /// Replaces the interrupt mask.
+    pub fn set_imr(&mut self, imr: u8) {
+        self.imr = imr;
+    }
+
+    /// Latched-but-unserviced requests.
+    pub fn irr(&self) -> u8 {
+        self.irr
+    }
+
+    /// In-service requests.
+    pub fn isr(&self) -> u8 {
+        self.isr
+    }
+
+    /// Vector base.
+    pub fn vbase(&self) -> u8 {
+        self.vbase
+    }
+
+    /// `(per-line latch counts, total INTAs)` statistics.
+    pub fn stats(&self) -> ([u64; 8], u64) {
+        (self.raised, self.acked)
+    }
+
+    /// MMIO register read.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Denied`] for non-word access or unknown offsets.
+    pub fn read_reg(&mut self, offset: u32, size: MemSize) -> Result<u32, BusFault> {
+        if size != MemSize::Word {
+            return Err(BusFault::Denied);
+        }
+        match offset {
+            reg::IRR => Ok(self.irr as u32),
+            reg::ISR => Ok(self.isr as u32),
+            reg::IMR => Ok(self.imr as u32),
+            reg::VBASE => Ok(self.vbase as u32),
+            _ => Err(BusFault::Denied),
+        }
+    }
+
+    /// MMIO register write.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Denied`] for non-word access, read-only or unknown
+    /// offsets.
+    pub fn write_reg(&mut self, offset: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        if size != MemSize::Word {
+            return Err(BusFault::Denied);
+        }
+        match offset {
+            reg::IMR => {
+                self.imr = val as u8;
+                Ok(())
+            }
+            reg::EOI => {
+                self.eoi(val as u8);
+                Ok(())
+            }
+            reg::VBASE => {
+                self.vbase = val as u8;
+                Ok(())
+            }
+            _ => Err(BusFault::Denied),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_and_inta() {
+        let mut pic = Hpic::new();
+        pic.assert_irq(5);
+        pic.assert_irq(2);
+        assert_eq!(pic.pending(), Some(2));
+        let (irq, vec) = pic.inta().unwrap();
+        assert_eq!((irq, vec), (2, 34));
+        // IRQ5 held off while IRQ2 is in service.
+        assert_eq!(pic.pending(), None);
+        pic.eoi(2);
+        assert_eq!(pic.pending(), Some(5));
+        assert_eq!(pic.inta().unwrap().0, 5);
+        pic.eoi(5);
+        assert!(!pic.line_asserted());
+    }
+
+    #[test]
+    fn higher_priority_preempts_in_service() {
+        let mut pic = Hpic::new();
+        pic.assert_irq(4);
+        pic.inta().unwrap();
+        pic.assert_irq(1);
+        // IRQ1 outranks in-service IRQ4.
+        assert_eq!(pic.pending(), Some(1));
+    }
+
+    #[test]
+    fn masking() {
+        let mut pic = Hpic::new();
+        pic.set_imr(0b0000_0001);
+        pic.assert_irq(0);
+        assert_eq!(pic.pending(), None);
+        // Latched request survives the mask.
+        pic.set_imr(0);
+        assert_eq!(pic.pending(), Some(0));
+    }
+
+    #[test]
+    fn spurious_inta() {
+        let mut pic = Hpic::new();
+        assert_eq!(pic.inta(), None);
+    }
+
+    #[test]
+    fn register_interface() {
+        let mut pic = Hpic::new();
+        pic.assert_irq(3);
+        assert_eq!(pic.read_reg(reg::IRR, MemSize::Word).unwrap(), 0b1000);
+        pic.write_reg(reg::IMR, 0xff, MemSize::Word).unwrap();
+        assert_eq!(pic.imr(), 0xff);
+        pic.write_reg(reg::VBASE, 64, MemSize::Word).unwrap();
+        pic.write_reg(reg::IMR, 0, MemSize::Word).unwrap();
+        assert_eq!(pic.inta().unwrap(), (3, 67));
+        assert_eq!(pic.read_reg(reg::ISR, MemSize::Word).unwrap(), 0b1000);
+        pic.write_reg(reg::EOI, 3, MemSize::Word).unwrap();
+        assert_eq!(pic.isr(), 0);
+        // Bad accesses.
+        assert_eq!(pic.read_reg(reg::IRR, MemSize::Byte), Err(BusFault::Denied));
+        assert_eq!(pic.read_reg(0x40, MemSize::Word), Err(BusFault::Denied));
+        assert_eq!(pic.write_reg(reg::IRR, 0, MemSize::Word), Err(BusFault::Denied));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_line_panics() {
+        Hpic::new().assert_irq(8);
+    }
+}

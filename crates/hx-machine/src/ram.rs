@@ -1,0 +1,161 @@
+//! Physical RAM with CPU-access and DMA interfaces.
+
+use hx_cpu::{BusFault, MemSize};
+
+/// The machine's physical memory.
+///
+/// Devices DMA through [`Ram::dma_read`] / [`Ram::dma_write`]; the CPU path
+/// goes through the width-aware accessors used by the system bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ram {
+    bytes: Vec<u8>,
+}
+
+impl Ram {
+    /// Allocates `len` bytes of zeroed RAM.
+    pub fn new(len: usize) -> Ram {
+        Ram { bytes: vec![0; len] }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` for zero-sized RAM.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn in_range(&self, addr: u32, n: u32) -> bool {
+        (addr as usize)
+            .checked_add(n as usize)
+            .is_some_and(|end| end <= self.bytes.len())
+    }
+
+    /// CPU read of `size` bytes, little-endian, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] beyond the end of RAM.
+    pub fn read(&self, addr: u32, size: MemSize) -> Result<u32, BusFault> {
+        let n = size.bytes();
+        if !self.in_range(addr, n) {
+            return Err(BusFault::Unmapped);
+        }
+        let a = addr as usize;
+        let mut v = 0u32;
+        for i in 0..n as usize {
+            v |= (self.bytes[a + i] as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// CPU write of the low `size` bytes of `val`.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] beyond the end of RAM.
+    pub fn write(&mut self, addr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        let n = size.bytes();
+        if !self.in_range(addr, n) {
+            return Err(BusFault::Unmapped);
+        }
+        let a = addr as usize;
+        for i in 0..n as usize {
+            self.bytes[a + i] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// DMA read: copies RAM into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] if the range leaves RAM (nothing is copied).
+    pub fn dma_read(&self, addr: u32, buf: &mut [u8]) -> Result<(), BusFault> {
+        if !self.in_range(addr, buf.len() as u32) {
+            return Err(BusFault::Unmapped);
+        }
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// DMA write: copies `buf` into RAM.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Unmapped`] if the range leaves RAM (nothing is copied).
+    pub fn dma_write(&mut self, addr: u32, buf: &[u8]) -> Result<(), BusFault> {
+        if !self.in_range(addr, buf.len() as u32) {
+            return Err(BusFault::Unmapped);
+        }
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Convenience word read for tests and loaders.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside RAM.
+    pub fn word(&self, addr: u32) -> u32 {
+        self.read(addr, MemSize::Word).expect("address in RAM")
+    }
+
+    /// Raw view of the full RAM.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw view (loader use).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl hx_cpu::Bus for Ram {
+    fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, BusFault> {
+        Ram::read(self, paddr, size)
+    }
+    fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        Ram::write(self, paddr, val, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_accessors() {
+        let mut r = Ram::new(64);
+        r.write(4, 0x1122_3344, MemSize::Word).unwrap();
+        assert_eq!(r.read(4, MemSize::Word).unwrap(), 0x1122_3344);
+        assert_eq!(r.read(6, MemSize::Half).unwrap(), 0x1122);
+        assert_eq!(r.read(7, MemSize::Byte).unwrap(), 0x11);
+        assert_eq!(r.read(64, MemSize::Byte), Err(BusFault::Unmapped));
+        assert_eq!(r.read(62, MemSize::Word), Err(BusFault::Unmapped));
+    }
+
+    #[test]
+    fn dma_roundtrip() {
+        let mut r = Ram::new(64);
+        r.dma_write(8, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        r.dma_read(8, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(r.dma_write(62, &[0; 4]), Err(BusFault::Unmapped));
+        let mut big = [0u8; 8];
+        assert_eq!(r.dma_read(60, &mut big), Err(BusFault::Unmapped));
+    }
+
+    #[test]
+    fn overflow_addresses_fault() {
+        let mut r = Ram::new(64);
+        assert_eq!(r.read(u32::MAX, MemSize::Word), Err(BusFault::Unmapped));
+        assert_eq!(r.write(u32::MAX - 1, 0, MemSize::Word), Err(BusFault::Unmapped));
+    }
+}

@@ -1,0 +1,79 @@
+//! Device timing constants and conversions.
+//!
+//! The machine simulates a scaled-down PC of the paper's era (see
+//! `DESIGN.md` §6): the CPU clock defaults to 150 MHz while the peripherals
+//! keep their real-world data rates (1 Gb/s Ethernet, 40 MB/s disk media).
+//! All three evaluated platforms share these constants, so the *ratios*
+//! plotted in Fig. 3.1 are preserved even though the absolute clock differs
+//! from the paper's 1.26 GHz Pentium III. (The scale is chosen so that the
+//! real-hardware platform saturates its streaming workload in the paper's
+//! 600–700 Mbit/s region.)
+
+/// Default CPU clock in Hz.
+pub const DEFAULT_CLOCK_HZ: u64 = 150_000_000;
+
+/// Default Ethernet wire rate in bits per second (gigabit).
+pub const DEFAULT_WIRE_BPS: u64 = 1_000_000_000;
+
+/// Default per-disk sustained media rate in bytes per second (an
+/// Ultra160-era drive streams ~40 MB/s).
+pub const DEFAULT_DISK_BPS: u64 = 40_000_000;
+
+/// Fixed per-command disk-controller overhead in CPU cycles (command decode,
+/// bus arbitration; streaming reads do not seek).
+pub const DEFAULT_HDC_CMD_OVERHEAD: u64 = 1_500;
+
+/// Extra on-wire bytes per Ethernet frame: preamble (8) + FCS (4) +
+/// inter-frame gap (12).
+pub const FRAME_WIRE_OVERHEAD: u32 = 24;
+
+/// Minimum on-wire frame size in bytes.
+pub const MIN_FRAME: u32 = 64;
+
+/// Cycles for the NIC to fetch and parse one TX descriptor.
+pub const DEFAULT_NIC_TX_FETCH: u64 = 40;
+
+/// Extra cycles charged for each uncached MMIO register access (a PCI-era
+/// register read costs several hundred nanoseconds).
+pub const MMIO_ACCESS_CYCLES: u64 = 60;
+
+/// Sector size used by the disk controller.
+pub const SECTOR_SIZE: u32 = 512;
+
+/// Converts a byte count moved at `rate_bps` bits/second into CPU cycles at
+/// `clock_hz`, rounding up (a transfer never finishes early).
+pub fn cycles_for_bits(bits: u64, clock_hz: u64, rate_bps: u64) -> u64 {
+    assert!(rate_bps > 0, "rate must be positive");
+    let n = (bits as u128) * (clock_hz as u128);
+    n.div_ceil(rate_bps as u128) as u64
+}
+
+/// Cycles to move `bytes` at `rate_bytes_per_s` on a byte-rated device.
+pub fn cycles_for_bytes(bytes: u64, clock_hz: u64, rate_bytes_per_s: u64) -> u64 {
+    cycles_for_bits(bytes * 8, clock_hz, rate_bytes_per_s * 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_math() {
+        // 1250 bytes at 1 Gb/s = 10 µs = 250 cycles at 25 MHz.
+        assert_eq!(cycles_for_bits(1250 * 8, 25_000_000, 1_000_000_000), 250);
+        // Rounds up.
+        assert_eq!(cycles_for_bits(1, 25_000_000, 1_000_000_000), 1);
+    }
+
+    #[test]
+    fn disk_math() {
+        // 512 bytes at 40 MB/s = 12.8 µs = 320 cycles at 25 MHz.
+        assert_eq!(cycles_for_bytes(512, 25_000_000, 40_000_000), 320);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        cycles_for_bits(8, 25_000_000, 0);
+    }
+}

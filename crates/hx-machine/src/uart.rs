@@ -1,0 +1,177 @@
+//! `Huart`: a 16550-style byte channel — the paper's "communication device"
+//! between the host-side remote debugger and the target.
+//!
+//! The host side of the link is the pair [`Huart::push_rx`] (host → target)
+//! and [`Huart::drain_tx`] (target → host); the target side is the MMIO
+//! register interface. On the lightweight-monitor platform the UART is owned
+//! by the monitor, which is why debugging keeps working when the guest OS is
+//! wedged.
+
+use crate::pic::Hpic;
+use hx_cpu::{BusFault, MemSize};
+use std::collections::VecDeque;
+
+/// Register offsets within the UART page.
+pub mod reg {
+    /// Read: pop one received byte (0 when empty). Write: transmit a byte.
+    pub const DATA: u32 = 0x00;
+    /// Bit 0: receive data available. Bit 1: transmit ready (always set).
+    pub const STATUS: u32 = 0x04;
+    /// Bit 0: raise IRQ 1 on received bytes.
+    pub const CTRL: u32 = 0x08;
+}
+
+/// Status-register bits.
+pub mod status {
+    /// At least one byte waits in the receive FIFO.
+    pub const RX_AVAIL: u32 = 1 << 0;
+    /// The transmitter can accept a byte (always true in this model).
+    pub const TX_READY: u32 = 1 << 1;
+}
+
+/// The UART state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Huart {
+    rx: VecDeque<u8>,
+    tx: VecDeque<u8>,
+    rx_irq_enabled: bool,
+    rx_bytes: u64,
+    tx_bytes: u64,
+}
+
+impl Huart {
+    /// Creates an idle UART with receive interrupts disabled.
+    pub fn new() -> Huart {
+        Huart::default()
+    }
+
+    /// Host → target: queues bytes for the guest/monitor to read, raising
+    /// IRQ 1 if receive interrupts are enabled.
+    pub fn push_rx(&mut self, bytes: &[u8], pic: &mut Hpic) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.rx.extend(bytes.iter().copied());
+        self.rx_bytes += bytes.len() as u64;
+        if self.rx_irq_enabled {
+            pic.assert_irq(crate::map::irq::UART);
+        }
+    }
+
+    /// Target → host: takes everything the target has transmitted.
+    pub fn drain_tx(&mut self) -> Vec<u8> {
+        self.tx_bytes += self.tx.len() as u64;
+        self.tx.drain(..).collect()
+    }
+
+    /// Target-side bulk transmit, used by a monitor-resident debug stub
+    /// that owns the UART directly instead of going through MMIO.
+    pub fn push_tx(&mut self, bytes: &[u8]) {
+        self.tx.extend(bytes.iter().copied());
+    }
+
+    /// Target-side single-byte receive (monitor stub use).
+    pub fn pop_rx(&mut self) -> Option<u8> {
+        self.rx.pop_front()
+    }
+
+    /// Bytes waiting in the receive FIFO.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Bytes waiting in the transmit FIFO.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Is the receive interrupt enabled?
+    pub fn rx_irq_enabled(&self) -> bool {
+        self.rx_irq_enabled
+    }
+
+    /// MMIO register read.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Denied`] for non-word access or unknown offsets.
+    pub fn read_reg(&mut self, offset: u32, size: MemSize) -> Result<u32, BusFault> {
+        if size != MemSize::Word {
+            return Err(BusFault::Denied);
+        }
+        match offset {
+            reg::DATA => Ok(self.rx.pop_front().unwrap_or(0) as u32),
+            reg::STATUS => {
+                let mut v = status::TX_READY;
+                if !self.rx.is_empty() {
+                    v |= status::RX_AVAIL;
+                }
+                Ok(v)
+            }
+            reg::CTRL => Ok(self.rx_irq_enabled as u32),
+            _ => Err(BusFault::Denied),
+        }
+    }
+
+    /// MMIO register write.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault::Denied`] for non-word access, reads-only or unknown
+    /// offsets.
+    pub fn write_reg(&mut self, offset: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
+        if size != MemSize::Word {
+            return Err(BusFault::Denied);
+        }
+        match offset {
+            reg::DATA => {
+                self.tx.push_back(val as u8);
+                Ok(())
+            }
+            reg::CTRL => {
+                self.rx_irq_enabled = val & 1 != 0;
+                Ok(())
+            }
+            _ => Err(BusFault::Denied),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback() {
+        let mut u = Huart::new();
+        let mut pic = Hpic::new();
+        u.push_rx(b"ok", &mut pic);
+        assert_eq!(u.read_reg(reg::STATUS, MemSize::Word).unwrap() & status::RX_AVAIL, 1);
+        assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), b'o' as u32);
+        assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), b'k' as u32);
+        assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), 0);
+        u.write_reg(reg::DATA, b'+' as u32, MemSize::Word).unwrap();
+        assert_eq!(u.drain_tx(), b"+");
+        assert_eq!(u.drain_tx(), b"");
+    }
+
+    #[test]
+    fn rx_irq_gating() {
+        let mut u = Huart::new();
+        let mut pic = Hpic::new();
+        u.push_rx(b"a", &mut pic);
+        assert_eq!(pic.pending(), None, "irq disabled by default");
+        u.write_reg(reg::CTRL, 1, MemSize::Word).unwrap();
+        assert!(u.rx_irq_enabled());
+        u.push_rx(b"b", &mut pic);
+        assert_eq!(pic.pending(), Some(crate::map::irq::UART));
+    }
+
+    #[test]
+    fn bad_access() {
+        let mut u = Huart::new();
+        assert_eq!(u.read_reg(reg::DATA, MemSize::Byte), Err(BusFault::Denied));
+        assert_eq!(u.write_reg(reg::STATUS, 0, MemSize::Word), Err(BusFault::Denied));
+        assert_eq!(u.read_reg(0x40, MemSize::Word), Err(BusFault::Denied));
+    }
+}

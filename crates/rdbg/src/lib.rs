@@ -1,0 +1,32 @@
+//! Remote-debugging wire protocol and host-side debugger client.
+//!
+//! This crate is the "software remote debugger" half of the paper's Fig. 2.1
+//! plus the wire protocol it shares with the debug stub embedded in the
+//! lightweight virtual machine monitor (`lvmm` crate). The split mirrors
+//! classical remote debugging:
+//!
+//! ```text
+//!  host machine                          target machine
+//!  +---------------+   serial bytes    +--------------------------+
+//!  | Debugger (us) | <---------------> | stub in the monitor      |
+//!  +---------------+                   | (rdbg::msg is shared)    |
+//!                                      +--------------------------+
+//! ```
+//!
+//! The protocol is GDB-remote-serial-protocol-shaped: `$payload#ck` framing
+//! with `+`/`-` acknowledgements ([`wire`]), ASCII command payloads
+//! ([`msg`]), and an out-of-band break-in byte (`0x03`) to halt a running
+//! guest. Memory contents are always hex-encoded, so payloads never need
+//! escaping.
+//!
+//! The host client ([`Debugger`]) is transport-agnostic: anything that can
+//! move bytes to and from the target implements [`Link`]. In this
+//! repository the link is the simulated machine's UART.
+
+pub mod debugger;
+pub mod msg;
+pub mod wire;
+
+pub use debugger::{DbgError, Debugger, Link, Registers};
+pub use msg::{Command, Reply, StopReason};
+pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};

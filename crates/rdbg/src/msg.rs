@@ -1,0 +1,409 @@
+//! Command and reply payloads carried inside [`crate::wire`] packets.
+//!
+//! Both ends share these types: the host [`crate::Debugger`] formats
+//! [`Command`]s and parses [`Reply`]s; the monitor's stub does the reverse.
+//!
+//! Every command receives an immediate reply. Stop events (`T…` payloads)
+//! are *asynchronous*: after a `c` (continue) or `s` (step) is acknowledged
+//! with `OK`, the stub sends a [`StopReason`] packet whenever the guest next
+//! stops.
+
+use crate::wire::{from_hex, to_hex};
+use core::fmt;
+
+/// Register selector used by [`Command::WriteRegister`]:
+/// `0..=31` general-purpose, `32` the PC.
+pub const REG_PC: u8 = 32;
+
+/// A debugger → stub command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Stop the guest now and report a stop reason.
+    Halt,
+    /// Report the current stop reason (target must be stopped).
+    QueryStop,
+    /// Read all registers: r0–r31 then pc (33 little-endian words).
+    ReadRegisters,
+    /// Write one register (see [`REG_PC`]).
+    WriteRegister {
+        /// Register selector.
+        index: u8,
+        /// New value.
+        value: u32,
+    },
+    /// Read guest memory by **virtual** address.
+    ReadMemory {
+        /// Start address.
+        addr: u32,
+        /// Byte count.
+        len: u32,
+    },
+    /// Write guest memory by virtual address.
+    WriteMemory {
+        /// Start address.
+        addr: u32,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Plant a software breakpoint (`ebreak` patch).
+    SetBreakpoint {
+        /// Virtual address of the instruction.
+        addr: u32,
+    },
+    /// Remove a software breakpoint.
+    ClearBreakpoint {
+        /// Virtual address of the instruction.
+        addr: u32,
+    },
+    /// Arm a write watchpoint over `[addr, addr+len)`.
+    SetWatchpoint {
+        /// Start address.
+        addr: u32,
+        /// Watched length in bytes.
+        len: u32,
+    },
+    /// Disarm a watchpoint.
+    ClearWatchpoint {
+        /// Start address it was armed with.
+        addr: u32,
+    },
+    /// Execute one guest instruction, then stop.
+    Step,
+    /// Resume the guest.
+    Continue,
+    /// Reset the guest to its boot entry point.
+    Reset,
+}
+
+impl Command {
+    /// Formats the command as a packet payload.
+    pub fn format(&self) -> String {
+        match self {
+            Command::Halt => "H".into(),
+            Command::QueryStop => "?".into(),
+            Command::ReadRegisters => "g".into(),
+            Command::WriteRegister { index, value } => format!("P{index:x}={value:x}"),
+            Command::ReadMemory { addr, len } => format!("m{addr:x},{len:x}"),
+            Command::WriteMemory { addr, data } => {
+                format!("M{addr:x},{:x}:{}", data.len(), to_hex(data))
+            }
+            Command::SetBreakpoint { addr } => format!("Z0,{addr:x}"),
+            Command::ClearBreakpoint { addr } => format!("z0,{addr:x}"),
+            Command::SetWatchpoint { addr, len } => format!("Z2,{addr:x},{len:x}"),
+            Command::ClearWatchpoint { addr } => format!("z2,{addr:x}"),
+            Command::Step => "s".into(),
+            Command::Continue => "c".into(),
+            Command::Reset => "k".into(),
+        }
+    }
+
+    /// Parses a packet payload into a command.
+    ///
+    /// Returns `None` for malformed payloads — the stub answers those with
+    /// an error reply rather than crashing.
+    pub fn parse(payload: &str) -> Option<Command> {
+        let rest = |p: &str| payload.get(p.len()..).map(str::to_string);
+        match payload.chars().next()? {
+            'H' if payload == "H" => Some(Command::Halt),
+            '?' if payload == "?" => Some(Command::QueryStop),
+            'g' if payload == "g" => Some(Command::ReadRegisters),
+            's' if payload == "s" => Some(Command::Step),
+            'c' if payload == "c" => Some(Command::Continue),
+            'k' if payload == "k" => Some(Command::Reset),
+            'P' => {
+                let body = rest("P")?;
+                let (idx, val) = body.split_once('=')?;
+                Some(Command::WriteRegister {
+                    index: u8::from_str_radix(idx, 16).ok()?,
+                    value: u32::from_str_radix(val, 16).ok()?,
+                })
+            }
+            'm' => {
+                let body = rest("m")?;
+                let (a, l) = body.split_once(',')?;
+                Some(Command::ReadMemory {
+                    addr: u32::from_str_radix(a, 16).ok()?,
+                    len: u32::from_str_radix(l, 16).ok()?,
+                })
+            }
+            'M' => {
+                let body = rest("M")?;
+                let (head, hex) = body.split_once(':')?;
+                let (a, l) = head.split_once(',')?;
+                let data = from_hex(hex)?;
+                let len = u32::from_str_radix(l, 16).ok()?;
+                let addr = u32::from_str_radix(a, 16).ok()?;
+                (data.len() as u32 == len).then_some(Command::WriteMemory { addr, data })
+            }
+            'Z' | 'z' => {
+                let set = payload.starts_with('Z');
+                let body = payload.get(1..)?;
+                let mut parts = body.split(',');
+                let kind = parts.next()?;
+                let addr = u32::from_str_radix(parts.next()?, 16).ok()?;
+                match (kind, set) {
+                    ("0", true) => Some(Command::SetBreakpoint { addr }),
+                    ("0", false) => Some(Command::ClearBreakpoint { addr }),
+                    ("2", true) => {
+                        let len = u32::from_str_radix(parts.next()?, 16).ok()?;
+                        Some(Command::SetWatchpoint { addr, len })
+                    }
+                    ("2", false) => Some(Command::ClearWatchpoint { addr }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Why the guest stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Halted on host request (or initial connection).
+    Halted {
+        /// Guest PC at the stop.
+        pc: u32,
+    },
+    /// A planted breakpoint fired.
+    Breakpoint {
+        /// Guest PC of the breakpoint.
+        pc: u32,
+    },
+    /// A single step completed.
+    Step {
+        /// Guest PC after the step.
+        pc: u32,
+    },
+    /// A write watchpoint fired.
+    Watchpoint {
+        /// Guest PC of the faulting store.
+        pc: u32,
+        /// The watched address that was written.
+        addr: u32,
+    },
+    /// The guest took a fault the stub intercepted (it has no handler of
+    /// its own, or debug-on-fault is enabled).
+    Fault {
+        /// Guest PC of the fault.
+        pc: u32,
+        /// Architectural cause code (`hx_cpu::Cause::code`).
+        cause: u32,
+    },
+}
+
+impl StopReason {
+    /// Guest PC at the stop.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            StopReason::Halted { pc }
+            | StopReason::Breakpoint { pc }
+            | StopReason::Step { pc }
+            | StopReason::Watchpoint { pc, .. }
+            | StopReason::Fault { pc, .. } => pc,
+        }
+    }
+
+    /// Formats as a `T…` payload.
+    pub fn format(&self) -> String {
+        match *self {
+            StopReason::Halted { pc } => format!("T0;pc:{pc:x}"),
+            StopReason::Breakpoint { pc } => format!("T1;pc:{pc:x}"),
+            StopReason::Step { pc } => format!("T2;pc:{pc:x}"),
+            StopReason::Watchpoint { pc, addr } => format!("T3;pc:{pc:x};addr:{addr:x}"),
+            StopReason::Fault { pc, cause } => format!("T4;pc:{pc:x};cause:{cause:x}"),
+        }
+    }
+
+    /// Parses a `T…` payload.
+    pub fn parse(payload: &str) -> Option<StopReason> {
+        let body = payload.strip_prefix('T')?;
+        let mut parts = body.split(';');
+        let kind = parts.next()?;
+        let mut pc = None;
+        let mut addr = None;
+        let mut cause = None;
+        for part in parts {
+            let (k, v) = part.split_once(':')?;
+            let v = u32::from_str_radix(v, 16).ok()?;
+            match k {
+                "pc" => pc = Some(v),
+                "addr" => addr = Some(v),
+                "cause" => cause = Some(v),
+                _ => {}
+            }
+        }
+        let pc = pc?;
+        match kind {
+            "0" => Some(StopReason::Halted { pc }),
+            "1" => Some(StopReason::Breakpoint { pc }),
+            "2" => Some(StopReason::Step { pc }),
+            "3" => Some(StopReason::Watchpoint { pc, addr: addr? }),
+            "4" => Some(StopReason::Fault { pc, cause: cause? }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StopReason::Halted { pc } => write!(f, "halted at {pc:#010x}"),
+            StopReason::Breakpoint { pc } => write!(f, "breakpoint at {pc:#010x}"),
+            StopReason::Step { pc } => write!(f, "stepped to {pc:#010x}"),
+            StopReason::Watchpoint { pc, addr } => {
+                write!(f, "watchpoint on {addr:#010x} at {pc:#010x}")
+            }
+            StopReason::Fault { pc, cause } => {
+                write!(f, "fault (cause {cause}) at {pc:#010x}")
+            }
+        }
+    }
+}
+
+/// A stub → debugger reply payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Command succeeded with no data.
+    Ok,
+    /// Command failed; the code is stub-defined (see `lvmm::stub`).
+    Error(u8),
+    /// Asynchronous or queried stop reason.
+    Stopped(StopReason),
+    /// Hex data (register file or memory contents, per the command sent).
+    Hex(Vec<u8>),
+}
+
+impl Reply {
+    /// Formats the reply as a packet payload.
+    pub fn format(&self) -> String {
+        match self {
+            Reply::Ok => "OK".into(),
+            Reply::Error(code) => format!("E{code:02x}"),
+            Reply::Stopped(r) => r.format(),
+            Reply::Hex(data) => to_hex(data),
+        }
+    }
+
+    /// Parses a packet payload into a reply.
+    pub fn parse(payload: &str) -> Option<Reply> {
+        if payload == "OK" {
+            return Some(Reply::Ok);
+        }
+        if let Some(code) = payload.strip_prefix('E') {
+            return Some(Reply::Error(u8::from_str_radix(code, 16).ok()?));
+        }
+        if payload.starts_with('T') {
+            return Some(Reply::Stopped(StopReason::parse(payload)?));
+        }
+        from_hex(payload).map(Reply::Hex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn command_examples() {
+        assert_eq!(Command::parse("g"), Some(Command::ReadRegisters));
+        assert_eq!(
+            Command::parse("m1000,40"),
+            Some(Command::ReadMemory { addr: 0x1000, len: 0x40 })
+        );
+        assert_eq!(
+            Command::parse("M20,2:beef"),
+            Some(Command::WriteMemory { addr: 0x20, data: vec![0xbe, 0xef] })
+        );
+        assert_eq!(Command::parse("Z0,104"), Some(Command::SetBreakpoint { addr: 0x104 }));
+        assert_eq!(
+            Command::parse("Z2,8000,10"),
+            Some(Command::SetWatchpoint { addr: 0x8000, len: 0x10 })
+        );
+        assert_eq!(
+            Command::parse("P20=dead"),
+            Some(Command::WriteRegister { index: 0x20, value: 0xdead })
+        );
+        // Malformed inputs are rejected, not panicking.
+        for bad in ["", "m1000", "M20,3:beef", "Z9,0", "Pxx=1", "q", "Z2"] {
+            assert_eq!(Command::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn stop_reason_examples() {
+        let r = StopReason::Watchpoint { pc: 0x104, addr: 0x8000 };
+        assert_eq!(StopReason::parse(&r.format()), Some(r));
+        assert_eq!(StopReason::parse("T1"), None, "missing pc");
+        assert_eq!(StopReason::parse("T3;pc:4"), None, "missing addr");
+        assert!(format!("{r}").contains("watchpoint"));
+    }
+
+    #[test]
+    fn reply_examples() {
+        assert_eq!(Reply::parse("OK"), Some(Reply::Ok));
+        assert_eq!(Reply::parse("E03"), Some(Reply::Error(3)));
+        assert_eq!(Reply::parse("dead"), Some(Reply::Hex(vec![0xde, 0xad])));
+        assert_eq!(
+            Reply::parse("T2;pc:8"),
+            Some(Reply::Stopped(StopReason::Step { pc: 8 }))
+        );
+        assert_eq!(Reply::parse("xyz"), None);
+    }
+
+    fn arb_command() -> impl Strategy<Value = Command> {
+        prop_oneof![
+            Just(Command::Halt),
+            Just(Command::QueryStop),
+            Just(Command::ReadRegisters),
+            Just(Command::Step),
+            Just(Command::Continue),
+            Just(Command::Reset),
+            (any::<u8>(), any::<u32>())
+                .prop_map(|(index, value)| Command::WriteRegister { index, value }),
+            (any::<u32>(), any::<u32>()).prop_map(|(addr, len)| Command::ReadMemory { addr, len }),
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(addr, data)| Command::WriteMemory { addr, data }),
+            any::<u32>().prop_map(|addr| Command::SetBreakpoint { addr }),
+            any::<u32>().prop_map(|addr| Command::ClearBreakpoint { addr }),
+            (any::<u32>(), 1u32..4096)
+                .prop_map(|(addr, len)| Command::SetWatchpoint { addr, len }),
+            any::<u32>().prop_map(|addr| Command::ClearWatchpoint { addr }),
+        ]
+    }
+
+    fn arb_stop() -> impl Strategy<Value = StopReason> {
+        prop_oneof![
+            any::<u32>().prop_map(|pc| StopReason::Halted { pc }),
+            any::<u32>().prop_map(|pc| StopReason::Breakpoint { pc }),
+            any::<u32>().prop_map(|pc| StopReason::Step { pc }),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(pc, addr)| StopReason::Watchpoint { pc, addr }),
+            (any::<u32>(), 0u32..16).prop_map(|(pc, cause)| StopReason::Fault { pc, cause }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn command_roundtrip(cmd in arb_command()) {
+            prop_assert_eq!(Command::parse(&cmd.format()), Some(cmd));
+        }
+
+        #[test]
+        fn reply_roundtrip(stop in arb_stop()) {
+            let r = Reply::Stopped(stop);
+            prop_assert_eq!(Reply::parse(&r.format()), Some(r));
+        }
+
+        #[test]
+        fn command_parse_total(s in "\\PC{0,40}") {
+            let _ = Command::parse(&s); // must not panic
+        }
+
+        #[test]
+        fn reply_parse_total(s in "\\PC{0,40}") {
+            let _ = Reply::parse(&s); // must not panic
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Quick start: boot the HiTactix-like streaming guest under the
+//! lightweight virtual machine monitor and watch it stream.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lwvmm::guest::{kernel::layout, GuestStats, Workload};
+use lwvmm::machine::{Machine, MachineConfig, Platform};
+use lwvmm::monitor::LvmmPlatform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A machine with the default scaled configuration (150 MHz CPU,
+    // gigabit NIC, three 40 MB/s disks).
+    let mut machine = Machine::new(MachineConfig::default());
+    let clock = machine.config().clock_hz;
+
+    // Assemble the streaming kernel for a 200 Mbit/s target and load it.
+    let workload = Workload::new(200);
+    let program = workload.build(&machine)?;
+    machine.load_program(&program);
+    println!("kernel: {} bytes at {:#x}", program.bytes().len(), program.base());
+
+    // Install the lightweight monitor: the guest kernel is deprivileged,
+    // the interrupt controller and timer are virtualized, the disks and
+    // NIC are passed straight through.
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+
+    // Run half a simulated second, reporting every 100 ms.
+    for tick in 1..=5 {
+        vmm.run_for(clock / 10);
+        let stats = GuestStats::read(vmm.machine());
+        let nic = vmm.machine().nic.counters();
+        let t = vmm.time_stats();
+        println!(
+            "t={:>4} ms  frames={:>6}  wire={:>6.1} Mbps  cpu={:>5.1}%  (guest {:.1}%, monitor {:.1}%)",
+            tick * 100,
+            stats.frames,
+            nic.tx_bytes as f64 * 8.0 / (vmm.machine().now() as f64 / clock as f64) / 1e6,
+            t.cpu_load() * 100.0,
+            t.guest as f64 / t.total() as f64 * 100.0,
+            t.monitor as f64 / t.total() as f64 * 100.0,
+        );
+        assert_eq!(stats.fault_cause, 0, "guest must run clean");
+    }
+
+    let ms = vmm.monitor_stats();
+    println!("\nmonitor exits: {} privileged, {} emulated-MMIO, {} IRQ reflections, {} injections",
+        ms.exits_privileged, ms.exits_mmio, ms.exits_irq_reflect, ms.irqs_injected);
+    println!("protection violations blocked: {}", ms.protection_violations);
+    println!("\nThe same image boots on RawPlatform (real hardware) and");
+    println!("HostedPlatform (conventional full monitor) — see streaming_server.rs.");
+    Ok(())
+}

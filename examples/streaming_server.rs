@@ -1,0 +1,68 @@
+//! The paper's evaluation workload on all three platforms, with end-to-end
+//! data-integrity verification: a HiTactix-like streaming server reads from
+//! three SCSI-like disks and sends the data over gigabit Ethernet as UDP,
+//! while we measure CPU load — then every transmitted byte is checked
+//! against the disk content.
+//!
+//! Run with: `cargo run --release --example streaming_server [rate_mbps]`
+
+use lwvmm::guest::{kernel::layout, verify, GuestStats, Workload};
+use lwvmm::hosted::HostedPlatform;
+use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lwvmm::monitor::LvmmPlatform;
+
+fn run(name: &str, mut platform: Box<dyn Platform>, clock: u64) -> f64 {
+    // Capture frames for the integrity check (do this only at modest rates;
+    // captures are memory-hungry).
+    platform.machine_mut().nic.set_capture(true);
+    platform.run_for(clock / 4); // 250 simulated ms
+
+    let stats = GuestStats::read(platform.machine());
+    assert_eq!(stats.fault_cause, 0, "{name}: guest fault at {:#x}", stats.fault_pc);
+    let nic = platform.machine().nic.counters();
+    let load = platform.time_stats().cpu_load();
+    let seconds = platform.machine().now() as f64 / clock as f64;
+    let mbps = nic.tx_bytes as f64 * 8.0 / seconds / 1e6;
+
+    // Verify every byte that crossed the wire against the disk pattern.
+    let frames = platform.machine_mut().nic.take_captured();
+    verify::verify_frames(&frames).expect("wire data must match disk content");
+
+    println!(
+        "{name:>9}: {mbps:>6.1} Mbps  cpu {:>5.1}%  ({} frames, {} verified byte-for-byte, {} underruns)",
+        load * 100.0,
+        nic.tx_frames,
+        nic.tx_bytes,
+        stats.underruns,
+    );
+    mbps
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    println!("streaming server at a requested {rate} Mbit/s on all three platforms\n");
+
+    let workload = Workload::new(rate);
+    let build = || -> Result<(Machine, u64), Box<dyn std::error::Error>> {
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = workload.build(&machine)?;
+        machine.load_program(&program);
+        let clock = machine.config().clock_hz;
+        Ok((machine, clock))
+    };
+
+    let (machine, clock) = build()?;
+    let raw = run("real-hw", Box::new(RawPlatform::new(machine)), clock);
+
+    let (machine, clock) = build()?;
+    let lv = run("lvmm", Box::new(LvmmPlatform::new(machine, layout::ENTRY)), clock);
+
+    let (machine, clock) = build()?;
+    let ho = run("hosted", Box::new(HostedPlatform::new(machine, layout::ENTRY)), clock);
+
+    println!("\nAt this rate the platforms deliver {raw:.0} / {lv:.0} / {ho:.0} Mbps.");
+    println!("Sweep the rate (see `fig3_1`) to reproduce the paper's Fig. 3.1:");
+    println!("the lightweight monitor saturates ~5x above the hosted monitor at");
+    println!("roughly a quarter of real hardware.");
+    Ok(())
+}

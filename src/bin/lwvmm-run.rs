@@ -1,0 +1,183 @@
+//! `lwvmm-run` — boot an HX32 guest (assembly source) on a chosen platform
+//! and report what happened.
+//!
+//! ```console
+//! $ lwvmm-run guest.s --platform lvmm --ms 200
+//! $ lwvmm-run guest.s --platform raw --ms 50 --dump 0x900:16
+//! $ lwvmm-run --workload 100 --platform hosted --ms 250
+//! ```
+//!
+//! `--workload <mbps>` runs the built-in HiTactix streaming kernel instead
+//! of a source file. Platforms: `raw` (real hardware), `lvmm` (the paper's
+//! lightweight monitor, default), `hosted` (the conventional full monitor).
+
+use lwvmm::guest::{kernel::layout, GuestStats, Workload};
+use lwvmm::hosted::HostedPlatform;
+use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lwvmm::monitor::LvmmPlatform;
+use std::process::ExitCode;
+
+struct Options {
+    input: Option<String>,
+    workload: Option<u64>,
+    platform: String,
+    ms: u64,
+    dump: Option<(u32, u32)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: None,
+        workload: None,
+        platform: "lvmm".into(),
+        ms: 100,
+        dump: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--platform" => opts.platform = args.next().ok_or("missing --platform value")?,
+            "--ms" => {
+                opts.ms = args
+                    .next()
+                    .ok_or("missing --ms value")?
+                    .parse()
+                    .map_err(|_| "--ms expects a number")?
+            }
+            "--workload" => {
+                opts.workload = Some(
+                    args.next()
+                        .ok_or("missing --workload value")?
+                        .parse()
+                        .map_err(|_| "--workload expects Mbit/s")?,
+                )
+            }
+            "--dump" => {
+                let spec = args.next().ok_or("missing --dump value")?;
+                let (addr, len) = spec.split_once(':').ok_or("--dump expects addr:len")?;
+                let addr = u32::from_str_radix(addr.trim_start_matches("0x"), 16)
+                    .map_err(|_| "--dump address must be hex")?;
+                let len: u32 = len.parse().map_err(|_| "--dump length must be decimal")?;
+                opts.dump = Some((addr, len));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if opts.input.is_none() => opts.input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.input.is_none() && opts.workload.is_none() {
+        return Err("need an input file or --workload".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("lwvmm-run: {e}");
+            }
+            eprintln!(
+                "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
+                 [--ms <simulated ms>] [--dump 0xADDR:LEN]"
+            );
+            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let mut machine = Machine::new(MachineConfig::default());
+    let clock = machine.config().clock_hz;
+    let (program, is_workload) = if let Some(rate) = opts.workload {
+        (Workload::new(rate).build(&machine).expect("built-in kernel assembles"), true)
+    } else {
+        let path = opts.input.as_ref().unwrap();
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lwvmm-run: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match hx_asm::assemble(&source) {
+            Ok(p) => (p, false),
+            Err(e) => {
+                eprintln!("{path}:{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    machine.load_program(&program);
+    let entry = program.symbols.get("start").unwrap_or(program.base());
+
+    let mut platform: Box<dyn Platform> = match opts.platform.as_str() {
+        "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
+        "lvmm" => Box::new(LvmmPlatform::new(machine, entry)),
+        "hosted" => Box::new(HostedPlatform::new(machine, entry)),
+        other => {
+            eprintln!("lwvmm-run: unknown platform `{other}` (raw|lvmm|hosted)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "running {} ({} bytes at {:#x}) on {} for {} simulated ms",
+        opts.input.as_deref().unwrap_or("<built-in streaming workload>"),
+        program.bytes().len(),
+        program.base(),
+        platform.name(),
+        opts.ms
+    );
+    let ran = platform.run_for(clock / 1_000 * opts.ms);
+    let t = platform.time_stats();
+    println!(
+        "\nsimulated {:.3} ms   cpu load {:.1}%  (guest {:.1}%, monitor {:.1}%, host {:.1}%, idle {:.1}%)",
+        ran as f64 * 1e3 / clock as f64,
+        t.cpu_load() * 100.0,
+        t.guest as f64 / t.total().max(1) as f64 * 100.0,
+        t.monitor as f64 / t.total().max(1) as f64 * 100.0,
+        t.host_model as f64 / t.total().max(1) as f64 * 100.0,
+        t.idle as f64 / t.total().max(1) as f64 * 100.0,
+    );
+    let m = platform.machine();
+    println!(
+        "cpu: pc={:#010x}  {} instructions retired, {} cycles",
+        m.cpu.pc(),
+        m.cpu.instret(),
+        m.cpu.cycles()
+    );
+    let nic = m.nic.counters();
+    if nic.tx_frames > 0 {
+        let mbps = nic.tx_bytes as f64 * 8.0 / (m.now() as f64 / clock as f64) / 1e6;
+        println!("nic: {} frames, {} payload bytes ({mbps:.1} Mbit/s)", nic.tx_frames, nic.tx_bytes);
+    }
+    let hdc = m.hdc.stats();
+    if hdc.commands > 0 {
+        println!("disk: {} commands, {} bytes, {} errors", hdc.commands, hdc.bytes, hdc.errors);
+    }
+    if is_workload {
+        let stats = GuestStats::read(m);
+        println!(
+            "guest: {} frames, {} bytes, {} ticks, {} underruns, fault={}",
+            stats.frames, stats.bytes, stats.ticks, stats.underruns, stats.fault_cause
+        );
+        let _ = layout::ENTRY;
+    }
+    if let Some((addr, len)) = opts.dump {
+        print!("memory at {addr:#010x}:");
+        for i in 0..len {
+            if i % 16 == 0 {
+                print!("\n  {:#010x}: ", addr + i);
+            }
+            match platform
+                .machine_mut()
+                .bus_read(addr + i, hx_cpu::MemSize::Byte)
+            {
+                Ok(b) => print!("{b:02x} "),
+                Err(_) => print!("?? "),
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Shape tests for the paper's evaluation (Fig. 3.1), at test-friendly
+//! scale: ordering of the three platforms, monotonic load growth, and the
+//! two headline ratios within generous bounds. The full-resolution sweep is
+//! the `fig3_1` bench binary.
+
+use lwvmm::guest::{kernel::layout, Workload};
+use lwvmm::hosted::HostedPlatform;
+use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
+use lwvmm::monitor::LvmmPlatform;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Raw,
+    Lvmm,
+    Hosted,
+}
+
+fn measure(kind: Kind, rate: u64, window_ms: u64) -> (f64, f64) {
+    let mut machine = Machine::new(MachineConfig::default());
+    let program = Workload::new(rate).build(&machine).unwrap();
+    machine.load_program(&program);
+    let clock = machine.config().clock_hz;
+    let mut platform: Box<dyn Platform> = match kind {
+        Kind::Raw => Box::new(RawPlatform::new(machine)),
+        Kind::Lvmm => Box::new(LvmmPlatform::new(machine, layout::ENTRY)),
+        Kind::Hosted => Box::new(HostedPlatform::new(machine, layout::ENTRY)),
+    };
+    platform.run_for(clock / 100); // 10 ms warmup
+    let t0 = platform.machine().now();
+    let s0: TimeStats = *platform.time_stats();
+    let b0 = platform.machine().nic.counters().tx_bytes;
+    platform.run_for(clock / 1000 * window_ms);
+    let dt = (platform.machine().now() - t0) as f64 / clock as f64;
+    let mbps = (platform.machine().nic.counters().tx_bytes - b0) as f64 * 8.0 / dt / 1e6;
+    let load = platform.time_stats().since(&s0).cpu_load();
+    (mbps, load)
+}
+
+#[test]
+fn load_ordering_at_fixed_rate() {
+    // At a rate all three can sustain, CPU load must order
+    // raw < lvmm < hosted (the defining property of the comparison).
+    let (_, raw) = measure(Kind::Raw, 25, 40);
+    let (_, lv) = measure(Kind::Lvmm, 25, 40);
+    let (_, ho) = measure(Kind::Hosted, 25, 40);
+    assert!(raw < lv, "raw {raw:.3} !< lvmm {lv:.3}");
+    assert!(lv < ho, "lvmm {lv:.3} !< hosted {ho:.3}");
+}
+
+#[test]
+fn load_grows_with_rate_on_lvmm() {
+    let (_, a) = measure(Kind::Lvmm, 25, 30);
+    let (_, b) = measure(Kind::Lvmm, 50, 30);
+    let (_, c) = measure(Kind::Lvmm, 100, 30);
+    assert!(a < b && b < c, "load not monotonic: {a:.3} {b:.3} {c:.3}");
+}
+
+#[test]
+fn saturation_ordering_and_headline_ratios() {
+    // Ask every platform for far more than it can do and compare ceilings.
+    let (raw, _) = measure(Kind::Raw, 950, 60);
+    let (lv, _) = measure(Kind::Lvmm, 950, 60);
+    let (ho, _) = measure(Kind::Hosted, 950, 60);
+    assert!(raw > lv && lv > ho, "ordering violated: {raw:.0} {lv:.0} {ho:.0}");
+
+    // Headline A: the paper reports 5.4x over the conventional monitor.
+    let a = lv / ho;
+    assert!((3.5..8.0).contains(&a), "lvmm/hosted ratio {a:.2} far from 5.4");
+
+    // Headline B: the paper reports ~26% of real hardware.
+    let b = lv / raw;
+    assert!((0.15..0.40).contains(&b), "lvmm/raw ratio {b:.2} far from 0.26");
+}
+
+#[test]
+fn requested_rate_tracks_below_saturation() {
+    for rate in [25u64, 50, 100] {
+        let (mbps, _) = measure(Kind::Lvmm, rate, 40);
+        let err = (mbps - rate as f64).abs() / rate as f64;
+        assert!(err < 0.25, "lvmm at {rate} Mbps delivered {mbps:.1}");
+    }
+}
