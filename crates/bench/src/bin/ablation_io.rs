@@ -10,23 +10,28 @@
 //! Usage: `cargo run --release -p lwvmm-bench --bin ablation_io`
 
 use hitactix::Workload;
+use hx_obs::{Align, Report};
 use lwvmm_bench::{build_platform, measure, PlatformKind};
 
 fn main() {
     let moderations = [1u32, 4, 16];
-    println!("Table B — saturation rate (Mbps) vs NIC TX interrupt moderation\n");
-    println!("{:<10} {:>14} {:>14} {:>14}", "platform", "mod=1", "mod=4", "mod=16");
+    let mut table = Report::new("Table B — saturation rate (Mbps) vs NIC TX interrupt moderation")
+        .column("platform", Align::Left)
+        .column("mod=1", Align::Right)
+        .column("mod=4", Align::Right)
+        .column("mod=16", Align::Right);
     for kind in PlatformKind::ALL {
-        let mut row = format!("{:<10}", kind.label());
+        let mut row = vec![kind.label().to_string()];
         for &m in &moderations {
             let workload = Workload::new(950).moderation(m);
             let mut platform = build_platform(kind, &workload);
             let meas = measure(platform.as_mut(), 60, 250);
-            row.push_str(&format!(" {:>13.1}", meas.achieved_mbps));
+            row.push(format!("{:.1}", meas.achieved_mbps));
         }
-        println!("{row}");
+        table.row(row);
     }
-    println!("\nReading: moderation shrinks the interrupt-virtualization tax, so the");
-    println!("lightweight monitor gains the most; the hosted monitor stays dominated");
-    println!("by its per-packet host-OS relay, and real hardware barely moves.");
+    table.note("\nReading: moderation shrinks the interrupt-virtualization tax, so the");
+    table.note("lightweight monitor gains the most; the hosted monitor stays dominated");
+    table.note("by its per-packet host-OS relay, and real hardware barely moves.");
+    println!("{}", table.to_text());
 }

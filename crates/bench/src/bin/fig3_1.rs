@@ -4,26 +4,48 @@
 //! lightweight monitor transfers ≈5.4× as fast as the conventional monitor,
 //! and reaches ≈26 % of real hardware).
 //!
-//! Usage: `cargo run --release -p lwvmm-bench --bin fig3_1 [--fast]`
+//! Usage: `cargo run --release -p lwvmm-bench --bin fig3_1 [--fast]
+//!         [--trace out.json] [--metrics]`
+//!
+//! * `--trace out.json` additionally runs one traced point per platform at
+//!   100 Mbit/s and writes a Chrome trace-event JSON (open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>). The file is
+//!   byte-identical across runs.
+//! * `--metrics` prints the per-cause exit histograms of those runs.
 //!
 //! Prints the measured series as a table and an ASCII plot, and writes
 //! `fig3_1.csv` into the current directory.
 
-use lwvmm_bench::{ascii_plot, measure_point, PlatformKind};
-use std::fmt::Write as _;
+use hitactix::Workload;
+use hx_obs::{Align, Report};
+use lwvmm_bench::{
+    arg_flag, arg_value, ascii_plot, build_platform, chrome_trace, exit_report, measure,
+    measure_point, PlatformKind,
+};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = arg_flag("--fast");
+    let trace_path = arg_value("--trace");
+    let metrics = arg_flag("--metrics");
     let (warmup_ms, window_ms) = if fast { (40, 120) } else { (80, 400) };
-    let rates: &[u64] =
-        if fast { &[50, 150, 300, 500, 700, 950] } else { &[25, 50, 100, 150, 200, 300, 400, 500, 600, 700, 950] };
+    let rates: &[u64] = if fast {
+        &[50, 150, 300, 500, 700, 950]
+    } else {
+        &[25, 50, 100, 150, 200, 300, 400, 500, 600, 700, 950]
+    };
 
-    println!("Fig 3.1 reproduction — CPU load vs transfer rate");
-    println!("(window {window_ms} ms simulated per point)\n");
-    println!("{:>8} {:>10} {:>14} {:>10} {:>9} {:>9} {:>9} {:>9}",
-        "platform", "req Mbps", "achieved Mbps", "CPU load", "guest%", "mon%", "host%", "idle%");
+    let mut report = Report::new(format!(
+        "Fig 3.1 reproduction — CPU load vs transfer rate ({window_ms} ms simulated per point)"
+    ))
+    .column("platform", Align::Left)
+    .column("req Mbps", Align::Right)
+    .column("achieved Mbps", Align::Right)
+    .column("CPU load", Align::Right)
+    .column("guest%", Align::Right)
+    .column("mon%", Align::Right)
+    .column("host%", Align::Right)
+    .column("idle%", Align::Right);
 
-    let mut csv = String::from("platform,requested_mbps,achieved_mbps,cpu_load,guest,monitor,host,idle\n");
     let mut series = Vec::new();
     let mut saturation = Vec::new();
 
@@ -33,37 +55,26 @@ fn main() {
         for &rate in rates {
             let m = measure_point(kind, rate, warmup_ms, window_ms);
             let total = m.window.total().max(1) as f64;
-            println!(
-                "{:>8} {:>10} {:>14.1} {:>9.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
-                kind.label(),
-                rate,
-                m.achieved_mbps,
-                m.cpu_load * 100.0,
-                m.window.guest as f64 / total * 100.0,
-                m.window.monitor as f64 / total * 100.0,
-                m.window.host_model as f64 / total * 100.0,
-                m.window.idle as f64 / total * 100.0,
-            );
-            let _ = writeln!(
-                csv,
-                "{},{},{:.2},{:.4},{},{},{},{}",
-                kind.label(),
-                rate,
-                m.achieved_mbps,
-                m.cpu_load,
-                m.window.guest,
-                m.window.monitor,
-                m.window.host_model,
-                m.window.idle
-            );
+            let pct = |c: u64| format!("{:.1}", c as f64 / total * 100.0);
+            report.row([
+                kind.label().to_string(),
+                rate.to_string(),
+                format!("{:.1}", m.achieved_mbps),
+                format!("{:.1}%", m.cpu_load * 100.0),
+                pct(m.window.guest),
+                pct(m.window.monitor),
+                pct(m.window.host_model),
+                pct(m.window.idle),
+            ]);
             max_achieved = max_achieved.max(m.achieved_mbps);
             pts.push((m.achieved_mbps, m.cpu_load));
         }
         saturation.push((kind, max_achieved));
         series.push((kind, pts));
-        println!();
+        report.gap();
     }
 
+    println!("{}", report.to_text());
     println!("{}", ascii_plot(&series));
 
     let sat = |k: PlatformKind| saturation.iter().find(|&&(kk, _)| kk == k).unwrap().1;
@@ -71,9 +82,52 @@ fn main() {
     let lv = sat(PlatformKind::Lvmm);
     let ho = sat(PlatformKind::Hosted);
     println!("Saturation rates:  real-hw {raw:.0} Mbps   lvmm {lv:.0} Mbps   hosted {ho:.0} Mbps");
-    println!("Headline A — lvmm vs hosted monitor:   {:.1}x   (paper: 5.4x)", lv / ho);
-    println!("Headline B — lvmm vs real hardware:    {:.0}%   (paper: ~26%)", lv / raw * 100.0);
+    println!(
+        "Headline A — lvmm vs hosted monitor:   {:.1}x   (paper: 5.4x)",
+        lv / ho
+    );
+    println!(
+        "Headline B — lvmm vs real hardware:    {:.0}%   (paper: ~26%)",
+        lv / raw * 100.0
+    );
 
-    std::fs::write("fig3_1.csv", csv).expect("write fig3_1.csv");
+    lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
     println!("\nwrote fig3_1.csv");
+
+    if trace_path.is_none() && !metrics {
+        return;
+    }
+
+    // One traced run per platform at a fixed representative rate. Tracing
+    // is observational only, so these runs behave identically to the
+    // untraced sweep above.
+    let workload = Workload::new(100);
+    let mut traced = Vec::new();
+    for kind in PlatformKind::ALL {
+        let mut platform = build_platform(kind, &workload);
+        platform.machine_mut().obs.enable_tracing();
+        measure(platform.as_mut(), warmup_ms, window_ms);
+        traced.push((kind, platform));
+    }
+
+    if metrics {
+        for (kind, platform) in &traced {
+            let r = exit_report(
+                format!("Exit histograms — {} at 100 Mbps", kind.label()),
+                platform.as_ref(),
+            );
+            if !r.is_empty() {
+                println!("{}", r.to_text());
+            }
+        }
+    }
+
+    if let Some(path) = trace_path {
+        let named: Vec<(&str, &dyn hx_machine::Platform)> = traced
+            .iter()
+            .map(|(k, p)| (k.label(), p.as_ref()))
+            .collect();
+        lwvmm_bench::write_output(&path, chrome_trace(&named));
+        println!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
 }

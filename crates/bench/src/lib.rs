@@ -8,6 +8,7 @@
 use hitactix::{GuestStats, Workload};
 use hosted_vmm::HostedPlatform;
 use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
+use hx_obs::{report, Align, ChromeTrace, ExitCause, Report};
 use lvmm::LvmmPlatform;
 
 /// The three systems of the paper's evaluation.
@@ -23,7 +24,11 @@ pub enum PlatformKind {
 
 impl PlatformKind {
     /// All three, in the paper's legend order.
-    pub const ALL: [PlatformKind; 3] = [PlatformKind::RawHw, PlatformKind::Lvmm, PlatformKind::Hosted];
+    pub const ALL: [PlatformKind; 3] = [
+        PlatformKind::RawHw,
+        PlatformKind::Lvmm,
+        PlatformKind::Hosted,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -87,7 +92,8 @@ pub struct Measurement {
 ///
 /// # Panics
 ///
-/// Panics if the guest faults during the run (integrity violation).
+/// Panics if the guest never boots, its stats block is unreadable, or it
+/// faults during the run (integrity violation).
 pub fn measure(platform: &mut dyn Platform, warmup_ms: u64, window_ms: u64) -> Measurement {
     let clock = platform.machine().config().clock_hz;
     let per_ms = clock / 1_000;
@@ -104,9 +110,11 @@ pub fn measure(platform: &mut dyn Platform, warmup_ms: u64, window_ms: u64) -> M
     let window = platform.time_stats().since(&stats0);
     let bytes = platform.machine().nic.counters().tx_bytes - bytes0;
     let frames = platform.machine().nic.counters().tx_frames - frames0;
-    let guest = GuestStats::read(platform.machine());
+    let guest = GuestStats::read(platform.machine())
+        .unwrap_or_else(|e| panic!("guest stats on {}: {e}", platform.name()));
     assert_eq!(
-        guest.fault_cause, 0,
+        guest.fault_cause,
+        0,
         "guest took an unexpected fault at {:#x} on {}",
         guest.fault_pc,
         platform.name()
@@ -124,7 +132,12 @@ pub fn measure(platform: &mut dyn Platform, warmup_ms: u64, window_ms: u64) -> M
 }
 
 /// Convenience: build, warm up and measure one `(platform, rate)` point.
-pub fn measure_point(kind: PlatformKind, rate_mbps: u64, warmup_ms: u64, window_ms: u64) -> Measurement {
+pub fn measure_point(
+    kind: PlatformKind,
+    rate_mbps: u64,
+    warmup_ms: u64,
+    window_ms: u64,
+) -> Measurement {
     let workload = Workload::new(rate_mbps);
     let mut platform = build_platform(kind, &workload);
     let mut m = measure(platform.as_mut(), warmup_ms, window_ms);
@@ -172,6 +185,62 @@ pub fn ascii_plot(series: &[(PlatformKind, Vec<(f64, f64)>)]) -> String {
     out.push('\n');
     out.push_str("     0        100       200       300       400       500       600       700\n");
     out
+}
+
+/// Returns the value following `--flag` on the command line, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes an output artifact (trace JSON, CSV); a bad path is a clean
+/// user-facing error, not a panic, so a long run's tables aren't drowned
+/// in a backtrace.
+pub fn write_output(path: &str, contents: String) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// True if `--flag` appears on the command line.
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Per-exit-cause count / p50 / p99 / mean table from a platform's recorder.
+pub fn exit_report(title: impl Into<String>, platform: &dyn Platform) -> Report {
+    let mut r = Report::new(title)
+        .column("exit cause", Align::Left)
+        .column("count", Align::Right)
+        .column("p50 cyc", Align::Right)
+        .column("p99 cyc", Align::Right)
+        .column("mean cyc", Align::Right);
+    let exits = &platform.machine().obs.exits;
+    for cause in ExitCause::ALL {
+        let h = exits.get(cause);
+        if h.count() == 0 {
+            continue;
+        }
+        let [count, p50, p99, mean] = report::hist_row(h);
+        r.row([cause.label().to_string(), count, p50, p99, mean]);
+    }
+    r
+}
+
+/// Builds the Chrome trace-event JSON document for one or more traced
+/// platform runs (one process per platform, in the order given).
+pub fn chrome_trace(platforms: &[(&str, &dyn Platform)]) -> String {
+    let mut trace = ChromeTrace::new();
+    for (pid0, (name, platform)) in platforms.iter().enumerate() {
+        trace.add_platform(pid0 as u32 + 1, name, &platform.machine().obs);
+    }
+    trace.finish()
 }
 
 #[cfg(test)]

@@ -53,22 +53,25 @@ impl VChipset {
     /// / [`map::UART_BASE`]); `offset` is the register offset within it.
     pub fn mmio_read(&mut self, machine: &mut Machine, page: u32, offset: u32) -> u32 {
         match page {
-            map::PIC_BASE => self.vpic.read_reg(offset, MemSize::Word).unwrap_or_else(|_| {
-                self.bad_accesses += 1;
-                0
-            }),
+            map::PIC_BASE => self
+                .vpic
+                .read_reg(offset, MemSize::Word)
+                .unwrap_or_else(|_| {
+                    self.bad_accesses += 1;
+                    0
+                }),
             map::PIT_BASE => {
                 // Mirror state for CTRL/RELOAD; live count from the real
                 // timer the guest is actually driving.
                 match offset {
                     hx_machine::pit::reg::CTRL => self.vpit_ctrl,
                     hx_machine::pit::reg::RELOAD => self.vpit_reload,
-                    _ => machine.bus_read(map::PIT_BASE + offset, MemSize::Word).unwrap_or_else(
-                        |_| {
+                    _ => machine
+                        .bus_read(map::PIT_BASE + offset, MemSize::Word)
+                        .unwrap_or_else(|_| {
                             self.bad_accesses += 1;
                             0
-                        },
-                    ),
+                        }),
                 }
             }
             map::UART_BASE => {
@@ -98,7 +101,10 @@ impl VChipset {
                 }
                 // Forward to the real timer: the guest's tick drives the
                 // real PIT, whose interrupts the monitor reflects back.
-                if machine.bus_write(map::PIT_BASE + offset, val, MemSize::Word).is_err() {
+                if machine
+                    .bus_write(map::PIT_BASE + offset, val, MemSize::Word)
+                    .is_err()
+                {
                     self.bad_accesses += 1;
                 }
             }
@@ -114,7 +120,10 @@ mod tests {
     use hx_machine::MachineConfig;
 
     fn machine() -> Machine {
-        Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() })
+        Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        })
     }
 
     #[test]
@@ -122,10 +131,16 @@ mod tests {
         let mut m = machine();
         let mut c = VChipset::new();
         c.mmio_write(&mut m, map::PIC_BASE, hx_machine::pic::reg::IMR, 0xf0);
-        assert_eq!(c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IMR), 0xf0);
+        assert_eq!(
+            c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IMR),
+            0xf0
+        );
         assert_eq!(m.pic.imr(), 0, "real PIC mask untouched");
         c.vpic.assert_irq(3);
-        assert_eq!(c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IRR), 0b1000);
+        assert_eq!(
+            c.mmio_read(&mut m, map::PIC_BASE, hx_machine::pic::reg::IRR),
+            0b1000
+        );
         assert_eq!(m.pic.irr(), 0);
     }
 
@@ -135,8 +150,14 @@ mod tests {
         let mut c = VChipset::new();
         c.mmio_write(&mut m, map::PIT_BASE, hx_machine::pit::reg::RELOAD, 500);
         c.mmio_write(&mut m, map::PIT_BASE, hx_machine::pit::reg::CTRL, 3);
-        assert_eq!(c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::RELOAD), 500);
-        assert_eq!(c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::CTRL), 3);
+        assert_eq!(
+            c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::RELOAD),
+            500
+        );
+        assert_eq!(
+            c.mmio_read(&mut m, map::PIT_BASE, hx_machine::pit::reg::CTRL),
+            3
+        );
         // The real timer was armed by the forwarded write.
         assert!(m.pit.enabled());
         assert_eq!(m.pit.reload(), 500);
@@ -153,7 +174,11 @@ mod tests {
         assert_eq!(c.mmio_read(&mut m, map::UART_BASE, 0), 0);
         c.mmio_write(&mut m, map::UART_BASE, 0, b'!' as u32);
         assert_eq!(c.uart_absorbed, 2);
-        assert_eq!(m.uart.tx_pending(), 0, "guest bytes must not reach the host");
+        assert_eq!(
+            m.uart.tx_pending(),
+            0,
+            "guest bytes must not reach the host"
+        );
     }
 
     #[test]

@@ -27,9 +27,10 @@ use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp, EBREAK_WORD};
 use hx_cpu::mmu::{pte, Access, PAGE_MASK};
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
+use hx_machine::platform::{track_of, PlatformStep};
 use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
-use hx_machine::platform::PlatformStep;
-use rdbg::msg::{Command, Reply, StopReason};
+use hx_obs::{EventKind, ExitCause};
+use rdbg::msg::{Command, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
 /// Monitor configuration.
@@ -45,7 +46,10 @@ pub struct LvmmConfig {
 
 impl Default for LvmmConfig {
     fn default() -> Self {
-        LvmmConfig { monitor_mem: 2 * 1024 * 1024, debug_on_unhandled_fault: true }
+        LvmmConfig {
+            monitor_mem: 2 * 1024 * 1024,
+            debug_on_unhandled_fault: true,
+        }
     }
 }
 
@@ -135,7 +139,11 @@ impl LvmmPlatform {
         machine.cpu.write_csr(Csr::Ptbr, root | 1);
         // The monitor listens to the real UART.
         machine
-            .bus_write(map::UART_BASE + hx_machine::uart::reg::CTRL, 1, MemSize::Word)
+            .bus_write(
+                map::UART_BASE + hx_machine::uart::reg::CTRL,
+                1,
+                MemSize::Word,
+            )
             .expect("UART present");
 
         LvmmPlatform {
@@ -188,12 +196,28 @@ impl LvmmPlatform {
 
     /// Virtual-PIC `(IRR, ISR, IMR)` snapshot, for diagnostics.
     pub fn chipset_vpic(&self) -> (u8, u8, u8) {
-        (self.chipset.vpic.irr(), self.chipset.vpic.isr(), self.chipset.vpic.imr())
+        (
+            self.chipset.vpic.irr(),
+            self.chipset.vpic.isr(),
+            self.chipset.vpic.imr(),
+        )
     }
 
     fn consume_monitor(&mut self, cycles: u64) {
         self.machine.consume(cycles);
-        self.stats.charge(TimeBucket::Monitor, cycles);
+        self.charge(TimeBucket::Monitor, cycles);
+    }
+
+    /// Attributes cycles to both the flat stats and the trace span track.
+    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
+        self.stats.charge(bucket, cycles);
+        self.machine.obs.charge(track_of(bucket), cycles);
+    }
+
+    /// Records one guest→monitor exit (histogram + event ring).
+    fn record_exit(&mut self, cause: ExitCause, cycles: u64) {
+        let now = self.machine.now();
+        self.machine.obs.exit(now, cause, cycles);
     }
 
     fn shadow_key(&self) -> u32 {
@@ -208,7 +232,9 @@ impl LvmmPlatform {
     /// and address space.
     fn activate_shadow(&mut self) {
         let key = self.shadow_key();
-        let root = self.shadow.root_for(&mut self.machine.mem, key, self.vcpu.vmode);
+        let root = self
+            .shadow
+            .root_for(&mut self.machine.mem, key, self.vcpu.vmode);
         self.machine.cpu.write_csr(Csr::Ptbr, root | 1);
     }
 
@@ -223,7 +249,10 @@ impl LvmmPlatform {
         let double_fault = epc == self.vcpu.tvec
             && !matches!(cause, Cause::Interrupt | Cause::EcallU | Cause::EcallS);
         if (unhandled || double_fault) && self.cfg.debug_on_unhandled_fault {
-            self.stub_stop(StopReason::Fault { pc: epc, cause: cause.code() });
+            self.stub_stop(StopReason::Fault {
+                pc: epc,
+                cause: cause.code(),
+            });
             return;
         }
         let vcause = self.vcpu.virtual_cause(cause);
@@ -248,6 +277,7 @@ impl LvmmPlatform {
             self.machine.cpu.set_pc(handler);
             self.sync_tf();
             self.consume_monitor(costs::INJECT_TRAP);
+            self.record_exit(ExitCause::IrqInject, costs::INJECT_TRAP);
             self.mstats.irqs_injected += 1;
             self.state = RunState::Running;
         }
@@ -258,7 +288,9 @@ impl LvmmPlatform {
     fn sync_tf(&mut self) {
         let want = self.stub.step_intent.is_some() || self.vcpu.status.tf();
         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, want).0);
+        self.machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::TF, want).0);
     }
 
     // ------------------------------------------------------------------
@@ -266,15 +298,20 @@ impl LvmmPlatform {
     // ------------------------------------------------------------------
 
     fn dispatch_trap(&mut self, trap: Trap) {
-        match trap.cause {
+        // Measure the monitor cycles this exit costs, end to end, and
+        // attribute them to one cause in the exit histograms. The trailing
+        // interrupt-window check accounts separately (as `irq-inject`).
+        let monitor_before = self.stats.monitor;
+        let cause = match trap.cause {
             Cause::PrivilegedInstruction => {
                 self.consume_monitor(costs::EXIT_BASE);
                 self.mstats.exits_privileged += 1;
                 self.emulate_privileged(trap);
+                ExitCause::Privileged
             }
             Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault => {
                 self.consume_monitor(costs::EXIT_BASE);
-                self.handle_shadow_fault(trap);
+                self.handle_shadow_fault(trap)
             }
             Cause::Breakpoint => {
                 self.consume_monitor(costs::EXIT_BASE);
@@ -285,18 +322,23 @@ impl LvmmPlatform {
                     // The guest's own `ebreak` (e.g. its embedded debugger).
                     self.inject_guest_trap(Cause::Breakpoint, trap.epc, trap.tval);
                 }
+                ExitCause::Debug
             }
             Cause::DebugStep => {
                 self.consume_monitor(costs::EXIT_BASE);
                 self.handle_debug_step(trap);
+                ExitCause::Debug
             }
             other => {
                 // Ecall, misalignments, access faults, illegal instructions:
                 // the guest's business — reflect to its virtual handler.
                 self.consume_monitor(costs::EXIT_BASE);
                 self.inject_guest_trap(other, trap.epc, trap.tval);
+                ExitCause::IrqInject
             }
-        }
+        };
+        let delta = self.stats.monitor - monitor_before;
+        self.record_exit(cause, delta);
         self.maybe_inject_irq();
     }
 
@@ -304,7 +346,9 @@ impl LvmmPlatform {
         // The intercepted DebugStep did not clear the real TF (no take_trap
         // ran); drop it before deciding what to do next.
         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+        self.machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::TF, false).0);
 
         if let Some(addr) = self.stub.lifted_bp.take() {
             // Re-plant the breakpoint we stepped off.
@@ -388,7 +432,9 @@ impl LvmmPlatform {
                 self.machine.cpu.set_pc(pc.wrapping_add(4));
                 self.state = RunState::GuestIdle;
             }
-            Instr::Sys { op: SysOp::TlbFlush } => {
+            Instr::Sys {
+                op: SysOp::TlbFlush,
+            } => {
                 self.consume_monitor(costs::SHADOW_FLUSH);
                 let key = self.shadow_key();
                 self.shadow.flush_context(&mut self.machine.mem, key);
@@ -438,10 +484,16 @@ impl LvmmPlatform {
         }
     }
 
-    fn handle_shadow_fault(&mut self, trap: Trap) {
+    fn handle_shadow_fault(&mut self, trap: Trap) -> ExitCause {
         let va = trap.tval;
         let access = Self::fault_access(trap.cause);
         let vmode = self.vcpu.vmode;
+        {
+            let now = self.machine.now();
+            self.machine
+                .obs
+                .event(now, EventKind::ShadowFault { vaddr: va });
+        }
 
         // Resolve the guest-physical address and guest permissions.
         let (gpa, gperm_w, gflags) = if self.vcpu.paging_enabled() {
@@ -458,18 +510,22 @@ impl LvmmPlatform {
                 Ok(w) => (w.gpa, w.pte & pte::W != 0 && w.pte & pte::D != 0, w.pte),
                 Err(GuestWalkErr::GuestFault) => {
                     self.inject_guest_trap(trap.cause, trap.epc, va);
-                    return;
+                    return ExitCause::Shadow;
                 }
                 Err(GuestWalkErr::BadTable) => {
                     self.mstats.protection_violations += 1;
                     self.shadow.stats.protection_violations += 1;
                     self.inject_guest_trap(trap.cause, trap.epc, va);
-                    return;
+                    return ExitCause::Protection;
                 }
             }
         } else {
             // Identity: kernel-era physical addressing.
-            (va, true, pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D)
+            (
+                va,
+                true,
+                pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D,
+            )
         };
 
         match classify(gpa, self.monitor_base, self.ram_size) {
@@ -478,18 +534,24 @@ impl LvmmPlatform {
                 self.mstats.protection_violations += 1;
                 self.shadow.stats.protection_violations += 1;
                 self.inject_guest_trap(trap.cause, trap.epc, va);
+                ExitCause::Protection
             }
             PageClass::Unmapped => {
                 self.inject_guest_trap(Self::access_fault_cause(access), trap.epc, va);
+                ExitCause::Shadow
             }
             PageClass::EmulatedMmio => {
                 self.mstats.exits_mmio += 1;
                 self.emulate_mmio(trap, va, gpa, access);
+                ExitCause::Mmio
             }
             PageClass::PassthroughMmio => {
                 if self.fill_made_no_progress(&trap) {
-                    self.stub_stop(StopReason::Fault { pc: trap.epc, cause: trap.cause.code() });
-                    return;
+                    self.stub_stop(StopReason::Fault {
+                        pc: trap.epc,
+                        cause: trap.cause.code(),
+                    });
+                    return ExitCause::Debug;
                 }
                 self.mstats.exits_shadow += 1;
                 self.consume_monitor(costs::SHADOW_FILL);
@@ -502,24 +564,31 @@ impl LvmmPlatform {
                     gpa & !PAGE_MASK,
                     pte::V | pte::R | pte::W | pte::U | pte::A | pte::D,
                 );
+                ExitCause::Shadow
             }
             PageClass::GuestRam => {
                 if self.fill_made_no_progress(&trap) {
-                    self.stub_stop(StopReason::Fault { pc: trap.epc, cause: trap.cause.code() });
-                    return;
+                    self.stub_stop(StopReason::Fault {
+                        pc: trap.epc,
+                        cause: trap.cause.code(),
+                    });
+                    return ExitCause::Debug;
                 }
                 // Watchpoints first: stores into a watched page never get a
                 // writable shadow mapping.
                 if access == Access::Store && self.stub.watch_overlaps_page(va) {
                     if let Some(_wp) = self.stub.watch_hit(va, 4) {
                         self.mstats.exits_debug += 1;
-                        self.stub_stop(StopReason::Watchpoint { pc: trap.epc, addr: va });
-                        return;
+                        self.stub_stop(StopReason::Watchpoint {
+                            pc: trap.epc,
+                            addr: va,
+                        });
+                        return ExitCause::Debug;
                     }
                     // Unwatched store that merely shares the page: the
                     // monitor completes it on the guest's behalf.
                     self.emulate_guest_store(trap, gpa);
-                    return;
+                    return ExitCause::Debug;
                 }
                 self.mstats.exits_shadow += 1;
                 self.consume_monitor(costs::SHADOW_FILL);
@@ -542,6 +611,7 @@ impl LvmmPlatform {
                     gpa & !PAGE_MASK,
                     flags,
                 );
+                ExitCause::Shadow
             }
         }
     }
@@ -557,14 +627,29 @@ impl LvmmPlatform {
         let page = gpa & !(map::DEV_PAGE - 1);
         let offset = gpa & (map::DEV_PAGE - 1);
         match (instr, access) {
-            (Instr::Load { kind: LoadKind::W, rd, .. }, Access::Load) => {
+            (
+                Instr::Load {
+                    kind: LoadKind::W,
+                    rd,
+                    ..
+                },
+                Access::Load,
+            ) => {
                 let val = self.chipset.mmio_read(&mut self.machine, page, offset);
                 self.machine.cpu.set_reg(rd, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
             }
-            (Instr::Store { kind: StoreKind::W, rs2, .. }, Access::Store) => {
+            (
+                Instr::Store {
+                    kind: StoreKind::W,
+                    rs2,
+                    ..
+                },
+                Access::Store,
+            ) => {
                 let val = self.machine.cpu.reg(rs2);
-                self.chipset.mmio_write(&mut self.machine, page, offset, val);
+                self.chipset
+                    .mmio_write(&mut self.machine, page, offset, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
             }
             _ => {
@@ -614,6 +699,7 @@ impl LvmmPlatform {
         // The monitor owns the real PIC: retire the interrupt immediately.
         self.machine.pic.eoi(irq);
         self.consume_monitor(costs::EXIT_BASE + costs::REFLECT_IRQ);
+        self.record_exit(ExitCause::IrqReflect, costs::EXIT_BASE + costs::REFLECT_IRQ);
         self.mstats.exits_irq_reflect += 1;
         if irq == map::irq::UART {
             // Host debugger traffic — the monitor's own business.
@@ -637,7 +723,9 @@ impl LvmmPlatform {
         self.stub.step_intent = None;
         // Disarm the hardware single-step flag while stopped.
         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+        self.machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::TF, false).0);
         self.send_packet(&reason.format());
     }
 
@@ -669,18 +757,29 @@ impl LvmmPlatform {
                 WireEvent::BreakIn => {
                     self.stub.stats.break_ins += 1;
                     self.mstats.exits_debug += 1;
+                    let monitor_before = self.stats.monitor;
                     let pc = self.machine.cpu.pc();
                     self.stub_stop(StopReason::Halted { pc });
+                    let delta = self.stats.monitor - monitor_before;
+                    self.record_exit(ExitCause::Debug, delta);
                 }
                 WireEvent::Packet(p) => {
                     self.machine.uart.push_tx(&[wire::ACK]);
+                    let monitor_before = self.stats.monitor;
                     self.consume_monitor(costs::STUB_COMMAND);
                     self.stub.stats.commands += 1;
+                    {
+                        let now = self.machine.now();
+                        let code = p.as_bytes().first().copied().unwrap_or(0);
+                        self.machine.obs.debug_command(now, code);
+                    }
                     let reply = match Command::parse(&p) {
                         Some(cmd) => self.exec_command(cmd),
                         None => Reply::Error(err::PARSE),
                     };
                     self.send_reply(&reply);
+                    let delta = self.stats.monitor - monitor_before;
+                    self.record_exit(ExitCause::Debug, delta);
                 }
                 WireEvent::Corrupt => {
                     self.machine.uart.push_tx(&[wire::NAK]);
@@ -768,7 +867,12 @@ impl LvmmPlatform {
                 let Ok(orig) = self.machine.mem.read(pa, MemSize::Word) else {
                     return Reply::Error(err::MEM);
                 };
-                if self.machine.mem.write(pa, EBREAK_WORD, MemSize::Word).is_err() {
+                if self
+                    .machine
+                    .mem
+                    .write(pa, EBREAK_WORD, MemSize::Word)
+                    .is_err()
+                {
                     return Reply::Error(err::MEM);
                 }
                 self.machine.cpu.tlb_flush();
@@ -843,6 +947,18 @@ impl LvmmPlatform {
                 self.stub_stop(StopReason::Halted { pc: self.entry });
                 Reply::Ok
             }
+            Command::QueryStats => {
+                // Answered whether or not the guest is stopped — the whole
+                // point is sampling the monitor live, without a halt.
+                Reply::Stats(StatsSample {
+                    now: self.machine.now(),
+                    guest: self.stats.guest,
+                    monitor: self.stats.monitor,
+                    host: self.stats.host_model,
+                    idle: self.stats.idle,
+                    exits: self.machine.obs.exits.counts().to_vec(),
+                })
+            }
         }
     }
 
@@ -899,11 +1015,11 @@ impl LvmmPlatform {
     fn running_step(&mut self) -> PlatformStep {
         match self.machine.step() {
             MachineStep::Executed { cycles } => {
-                self.stats.charge(TimeBucket::Guest, cycles);
+                self.charge(TimeBucket::Guest, cycles);
                 PlatformStep::Running
             }
             MachineStep::Idle { cycles } => {
-                self.stats.charge(TimeBucket::Idle, cycles);
+                self.charge(TimeBucket::Idle, cycles);
                 PlatformStep::Running
             }
             MachineStep::Interrupt { irq, .. } => {
@@ -911,7 +1027,7 @@ impl LvmmPlatform {
                 PlatformStep::Running
             }
             MachineStep::Trapped { trap, cycles } => {
-                self.stats.charge(TimeBucket::Guest, cycles);
+                self.charge(TimeBucket::Guest, cycles);
                 self.dispatch_trap(trap);
                 PlatformStep::Running
             }
@@ -936,7 +1052,7 @@ impl LvmmPlatform {
         }
         match self.machine.skip_to_next_event() {
             Some(cycles) => {
-                self.stats.charge(TimeBucket::Idle, cycles);
+                self.charge(TimeBucket::Idle, cycles);
                 PlatformStep::Running
             }
             None => PlatformStep::Stuck,
@@ -951,10 +1067,10 @@ impl LvmmPlatform {
                 // Nothing will happen until the host sends bytes; advance a
                 // polling quantum so the host's pump loop sees progress.
                 self.machine.consume(costs::STUB_POLL);
-                self.stats.charge(TimeBucket::Idle, costs::STUB_POLL);
+                self.charge(TimeBucket::Idle, costs::STUB_POLL);
             } else {
                 self.machine.consume(costs::STUB_POLL);
-                self.stats.charge(TimeBucket::Idle, costs::STUB_POLL);
+                self.charge(TimeBucket::Idle, costs::STUB_POLL);
             }
             return PlatformStep::Running;
         }
@@ -1002,7 +1118,10 @@ pub struct UartLink<P> {
 impl<P: Platform> UartLink<P> {
     /// Wraps a platform with a default pump slice.
     pub fn new(platform: P) -> UartLink<P> {
-        UartLink { platform, slice: 5_000 }
+        UartLink {
+            platform,
+            slice: 5_000,
+        }
     }
 }
 
@@ -1024,8 +1143,10 @@ mod tests {
 
     fn boot(src: &str) -> LvmmPlatform {
         let program = hx_asm::assemble(src).expect("guest assembles");
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 8 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(&program);
         let entry = program.symbols.get("start").unwrap_or(program.base());
         LvmmPlatform::new(machine, entry)
@@ -1096,7 +1217,10 @@ mod tests {
         ));
         vmm.run_for(200_000);
         let ticks = vmm.machine().cpu.reg(hx_cpu::Reg::R18);
-        assert!(ticks >= 3, "guest must have handled several virtual timer ticks, got {ticks}");
+        assert!(
+            ticks >= 3,
+            "guest must have handled several virtual timer ticks, got {ticks}"
+        );
         let ms = vmm.monitor_stats();
         assert!(ms.irqs_injected >= 3);
         assert!(ms.exits_irq_reflect >= 3);
@@ -1120,11 +1244,22 @@ mod tests {
         );
         let monitor_base = vmm.monitor_base();
         let probe = 0x60_0000u32;
-        assert!(probe >= monitor_base, "probe must target the monitor region");
+        assert!(
+            probe >= monitor_base,
+            "probe must target the monitor region"
+        );
         vmm.run_for(100_000);
         // The guest's fault handler ran instead of the store landing.
-        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R20), 1, "fault handler (s2) ran");
-        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R19), 0, "post-store code (s1) skipped");
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R20),
+            1,
+            "fault handler (s2) ran"
+        );
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R19),
+            0,
+            "post-store code (s1) skipped"
+        );
         assert!(vmm.monitor_stats().protection_violations >= 1);
         // The guest's value never landed in monitor memory (the word there
         // belongs to the shadow pager, not the guest).
@@ -1215,12 +1350,19 @@ mod tests {
             hdc = map::HDC_BASE
         ));
         vmm.run_for(500_000);
-        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "transfer completed");
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R18),
+            1,
+            "transfer completed"
+        );
         let mut expect = vec![0u8; 512];
         hx_machine::disk::fill_expected(0, 9, &mut expect);
         assert_eq!(&vmm.machine().mem.as_bytes()[0x9000..0x9200], &expect[..]);
         let ms = vmm.monitor_stats();
-        assert_eq!(ms.exits_mmio, 0, "disk registers are passthrough — no emulation exits");
+        assert_eq!(
+            ms.exits_mmio, 0,
+            "disk registers are passthrough — no emulation exits"
+        );
         // Exactly one shadow fill for the device page (plus code/data pages).
         assert!(ms.exits_shadow >= 1);
     }

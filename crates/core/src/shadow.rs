@@ -97,7 +97,9 @@ pub fn guest_walk(
     if !in_guest_ram(l1_addr) {
         return Err(GuestWalkErr::BadTable);
     }
-    let l1e = mem.read(l1_addr, hx_cpu::MemSize::Word).map_err(|_| GuestWalkErr::BadTable)?;
+    let l1e = mem
+        .read(l1_addr, hx_cpu::MemSize::Word)
+        .map_err(|_| GuestWalkErr::BadTable)?;
     if l1e & pte::V == 0 || l1e & (pte::R | pte::W | pte::X) != 0 {
         return Err(GuestWalkErr::GuestFault);
     }
@@ -105,7 +107,9 @@ pub fn guest_walk(
     if !in_guest_ram(l2_addr) {
         return Err(GuestWalkErr::BadTable);
     }
-    let mut leaf = mem.read(l2_addr, hx_cpu::MemSize::Word).map_err(|_| GuestWalkErr::BadTable)?;
+    let mut leaf = mem
+        .read(l2_addr, hx_cpu::MemSize::Word)
+        .map_err(|_| GuestWalkErr::BadTable)?;
     let ok = leaf & pte::V != 0
         && (vmode != Mode::User || leaf & pte::U != 0)
         && match access {
@@ -117,14 +121,23 @@ pub fn guest_walk(
         return Err(GuestWalkErr::GuestFault);
     }
     if update_ad {
-        let want = pte::A | if access == mmu::Access::Store { pte::D } else { 0 };
+        let want = pte::A
+            | if access == mmu::Access::Store {
+                pte::D
+            } else {
+                0
+            };
         if leaf & want != want {
             leaf |= want;
             mem.write(l2_addr, leaf, hx_cpu::MemSize::Word)
                 .map_err(|_| GuestWalkErr::BadTable)?;
         }
     }
-    Ok(GuestWalk { gpa: (leaf & pte::PPN_MASK) | (va & mmu::PAGE_MASK), pte: leaf, pte_addr: l2_addr })
+    Ok(GuestWalk {
+        gpa: (leaf & pte::PPN_MASK) | (va & mmu::PAGE_MASK),
+        pte: leaf,
+        pte_addr: l2_addr,
+    })
 }
 
 /// Counters exposed for the ablation experiments.
@@ -176,7 +189,10 @@ impl ShadowPager {
     pub fn new(region_base: u32, region_end: u32) -> ShadowPager {
         assert_eq!(region_base % PAGE_SIZE, 0, "region must be page-aligned");
         assert_eq!(region_end % PAGE_SIZE, 0, "region must be page-aligned");
-        assert!(region_end - region_base >= 8 * PAGE_SIZE, "shadow region too small");
+        assert!(
+            region_end - region_base >= 8 * PAGE_SIZE,
+            "shadow region too small"
+        );
         ShadowPager {
             region_base,
             region_end,
@@ -216,8 +232,14 @@ impl ShadowPager {
             }
             let kernel_root = self.alloc_page(mem);
             let user_root = self.alloc_page(mem);
-            self.contexts
-                .insert(key, ShadowPair { kernel_root, user_root, l2_pages: Vec::new() });
+            self.contexts.insert(
+                key,
+                ShadowPair {
+                    kernel_root,
+                    user_root,
+                    l2_pages: Vec::new(),
+                },
+            );
             self.stats.contexts += 1;
         }
         let pair = &self.contexts[&key];
@@ -229,28 +251,22 @@ impl ShadowPager {
 
     /// Installs a shadow leaf mapping `va → pa` with `flags` into the given
     /// view of context `key`.
-    pub fn map(
-        &mut self,
-        mem: &mut Ram,
-        key: u32,
-        vmode: Mode,
-        va: u32,
-        pa: u32,
-        flags: u32,
-    ) {
+    pub fn map(&mut self, mem: &mut Ram, key: u32, vmode: Mode, va: u32, pa: u32, flags: u32) {
         let root = self.root_for(mem, key, vmode);
         let l1_addr = root + mmu::l1_index(va) * 4;
         let l1e = mem.word(l1_addr);
         let l2_base = if l1e & pte::V == 0 {
             let page = self.alloc_page(mem);
-            mem.write(l1_addr, pte::table(page), hx_cpu::MemSize::Word).unwrap();
+            mem.write(l1_addr, pte::table(page), hx_cpu::MemSize::Word)
+                .unwrap();
             self.contexts.get_mut(&key).unwrap().l2_pages.push(page);
             page
         } else {
             l1e & pte::PPN_MASK
         };
         let l2_addr = l2_base + mmu::l2_index(va) * 4;
-        mem.write(l2_addr, pte::leaf(pa, flags), hx_cpu::MemSize::Word).unwrap();
+        mem.write(l2_addr, pte::leaf(pa, flags), hx_cpu::MemSize::Word)
+            .unwrap();
         self.stats.fills += 1;
     }
 
@@ -303,25 +319,52 @@ mod tests {
         assert_eq!(classify(0x1000, MON, RAM), PageClass::GuestRam);
         assert_eq!(classify(MON, MON, RAM), PageClass::Monitor);
         assert_eq!(classify(RAM - 4, MON, RAM), PageClass::Monitor);
-        assert_eq!(classify(map::PIC_BASE + 8, MON, RAM), PageClass::EmulatedMmio);
+        assert_eq!(
+            classify(map::PIC_BASE + 8, MON, RAM),
+            PageClass::EmulatedMmio
+        );
         assert_eq!(classify(map::PIT_BASE, MON, RAM), PageClass::EmulatedMmio);
         assert_eq!(classify(map::UART_BASE, MON, RAM), PageClass::EmulatedMmio);
-        assert_eq!(classify(map::HDC_BASE + 0x40, MON, RAM), PageClass::PassthroughMmio);
-        assert_eq!(classify(map::NIC_BASE, MON, RAM), PageClass::PassthroughMmio);
+        assert_eq!(
+            classify(map::HDC_BASE + 0x40, MON, RAM),
+            PageClass::PassthroughMmio
+        );
+        assert_eq!(
+            classify(map::NIC_BASE, MON, RAM),
+            PageClass::PassthroughMmio
+        );
         assert_eq!(classify(0xe000_0000, MON, RAM), PageClass::Unmapped);
-        assert_eq!(classify(map::MMIO_BASE + 0x9000, MON, RAM), PageClass::Unmapped);
+        assert_eq!(
+            classify(map::MMIO_BASE + 0x9000, MON, RAM),
+            PageClass::Unmapped
+        );
     }
 
     #[test]
     fn map_then_hardware_walk_agrees() {
         let (mut pager, mut mem) = setup();
-        pager.map(&mut mem, 0, Mode::Supervisor, 0x0040_0000, 0x5000, pte::V | pte::R | pte::U);
+        pager.map(
+            &mut mem,
+            0,
+            Mode::Supervisor,
+            0x0040_0000,
+            0x5000,
+            pte::V | pte::R | pte::U,
+        );
         let root = pager.root_for(&mut mem, 0, Mode::Supervisor);
         let w = mmu::walk(&mut mem, root, 0x0040_0123, Access::Load, Mode::User, false).unwrap();
         assert_eq!(w.paddr, 0x5123);
         // The user view is a separate table: nothing mapped there.
         let uroot = pager.root_for(&mut mem, 0, Mode::User);
-        assert!(mmu::walk(&mut mem, uroot, 0x0040_0123, Access::Load, Mode::User, false).is_err());
+        assert!(mmu::walk(
+            &mut mem,
+            uroot,
+            0x0040_0123,
+            Access::Load,
+            Mode::User,
+            false
+        )
+        .is_err());
     }
 
     #[test]
@@ -329,7 +372,14 @@ mod tests {
         let (mut pager, mut mem) = setup();
         let before = pager.free_pages();
         for i in 0..20 {
-            pager.map(&mut mem, 0, Mode::Supervisor, i << 22, 0x5000, pte::V | pte::R);
+            pager.map(
+                &mut mem,
+                0,
+                Mode::Supervisor,
+                i << 22,
+                0x5000,
+                pte::V | pte::R,
+            );
         }
         assert!(pager.free_pages() < before);
         pager.flush_context(&mut mem, 0);
@@ -354,18 +404,45 @@ mod tests {
         let (_, mut mem) = setup();
         let root = 0x1_0000u32;
         let mut alloc = 0x1_1000u32;
-        mmu::map_page(&mut mem, root, &mut alloc, 0x8000, 0x5000, pte::V | pte::R | pte::W)
-            .unwrap();
+        mmu::map_page(
+            &mut mem,
+            root,
+            &mut alloc,
+            0x8000,
+            0x5000,
+            pte::V | pte::R | pte::W,
+        )
+        .unwrap();
 
-        let w = guest_walk(&mut mem, root, 0x8010, Access::Load, Mode::Supervisor, MON, true)
-            .unwrap();
+        let w = guest_walk(
+            &mut mem,
+            root,
+            0x8010,
+            Access::Load,
+            Mode::Supervisor,
+            MON,
+            true,
+        )
+        .unwrap();
         assert_eq!(w.gpa, 0x5010);
         assert!(w.pte & pte::A != 0);
         assert!(w.pte & pte::D == 0);
-        assert_eq!(mem.word(w.pte_addr) & pte::A, pte::A, "A written to guest PTE");
+        assert_eq!(
+            mem.word(w.pte_addr) & pte::A,
+            pte::A,
+            "A written to guest PTE"
+        );
 
-        let w = guest_walk(&mut mem, root, 0x8010, Access::Store, Mode::Supervisor, MON, true)
-            .unwrap();
+        let w = guest_walk(
+            &mut mem,
+            root,
+            0x8010,
+            Access::Store,
+            Mode::Supervisor,
+            MON,
+            true,
+        )
+        .unwrap();
         assert!(w.pte & pte::D != 0);
 
         // User access to non-U page denied.
@@ -375,7 +452,15 @@ mod tests {
         );
         // Unmapped VA.
         assert_eq!(
-            guest_walk(&mut mem, root, 0x0100_0000, Access::Load, Mode::Supervisor, MON, true),
+            guest_walk(
+                &mut mem,
+                root,
+                0x0100_0000,
+                Access::Load,
+                Mode::Supervisor,
+                MON,
+                true
+            ),
             Err(GuestWalkErr::GuestFault)
         );
     }
@@ -385,12 +470,21 @@ mod tests {
         let (_, mut mem) = setup();
         // Root inside the monitor region.
         assert_eq!(
-            guest_walk(&mut mem, MON + 0x1000, 0, Access::Load, Mode::Supervisor, MON, true),
+            guest_walk(
+                &mut mem,
+                MON + 0x1000,
+                0,
+                Access::Load,
+                Mode::Supervisor,
+                MON,
+                true
+            ),
             Err(GuestWalkErr::BadTable)
         );
         // L1 pointer into the monitor region.
         let root = 0x1_0000u32;
-        mem.write(root, pte::table(MON), hx_cpu::MemSize::Word).unwrap();
+        mem.write(root, pte::table(MON), hx_cpu::MemSize::Word)
+            .unwrap();
         assert_eq!(
             guest_walk(&mut mem, root, 0, Access::Load, Mode::Supervisor, MON, true),
             Err(GuestWalkErr::BadTable)

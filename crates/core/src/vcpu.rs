@@ -149,7 +149,11 @@ impl VCpu {
     /// if the virtual mode changed.
     pub fn leave_trap(&mut self) -> u32 {
         let s = self.status;
-        self.vmode = if s.pmode_supervisor() { Mode::Supervisor } else { Mode::User };
+        self.vmode = if s.pmode_supervisor() {
+            Mode::Supervisor
+        } else {
+            Mode::User
+        };
         self.status = s.with(Status::IE, s.pie()).with(Status::TF, s.ptf());
         self.epc
     }

@@ -12,9 +12,15 @@ use proptest::prelude::*;
 
 fn boot(src: &str) -> LvmmPlatform {
     let program = hx_asm::assemble(src).expect("assembles");
-    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     machine.load_program(&program);
-    LvmmPlatform::new(machine, program.symbols.get("start").unwrap_or(program.base()))
+    LvmmPlatform::new(
+        machine,
+        program.symbols.get("start").unwrap_or(program.base()),
+    )
 }
 
 /// Builds a guest that maps one page with `flags` at VA 0x40_0000 → PA
@@ -147,8 +153,16 @@ fn guest_virtual_single_step_flag_works() {
         ",
     );
     vmm.run_for(2_000_000);
-    assert_eq!(vmm.machine().cpu.reg(Reg::R19), 3, "exactly three virtual step traps");
-    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1, "guest ran to completion");
+    assert_eq!(
+        vmm.machine().cpu.reg(Reg::R19),
+        3,
+        "exactly three virtual step traps"
+    );
+    assert_eq!(
+        vmm.machine().cpu.reg(Reg::R20),
+        1,
+        "guest ran to completion"
+    );
     assert!(!vmm.guest_stopped());
     // The *real* trap flag is not left dangling.
     let status = hx_cpu::Status(vmm.machine().cpu.read_csr(hx_cpu::Csr::Status));
@@ -174,7 +188,10 @@ fn guest_own_ebreak_reaches_guest_handler() {
     vmm.run_for(1_000_000);
     assert_eq!(vmm.machine().cpu.reg(Reg::R19), Cause::Breakpoint.code());
     assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1);
-    assert!(!vmm.guest_stopped(), "the stub must not hijack the guest's own breakpoints");
+    assert!(
+        !vmm.guest_stopped(),
+        "the stub must not hijack the guest's own breakpoints"
+    );
 }
 
 #[test]
@@ -262,7 +279,12 @@ fn guest_address_space_switching_reuses_shadow_contexts() {
         ",
     );
     vmm.run_for(8_000_000);
-    assert_eq!(vmm.machine().cpu.reg(Reg::R20), 1, "cause={}", vmm.machine().cpu.reg(Reg::R19));
+    assert_eq!(
+        vmm.machine().cpu.reg(Reg::R20),
+        1,
+        "cause={}",
+        vmm.machine().cpu.reg(Reg::R19)
+    );
     assert_eq!(vmm.machine().cpu.reg(Reg::R22), 100);
     let shadow = vmm.shadow_stats();
     assert!(

@@ -14,8 +14,9 @@ use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp};
 use hx_cpu::mmu::{pte, Access, PAGE_MASK};
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
-use hx_machine::platform::PlatformStep;
+use hx_machine::platform::{track_of, PlatformStep};
 use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
+use hx_obs::{EventKind, ExitCause};
 use lvmm::chipset::VChipset;
 use lvmm::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager};
 use lvmm::vcpu::VCpu;
@@ -30,7 +31,9 @@ pub struct HostedConfig {
 
 impl Default for HostedConfig {
     fn default() -> Self {
-        HostedConfig { host_mem: 4 * 1024 * 1024 }
+        HostedConfig {
+            host_mem: 4 * 1024 * 1024,
+        }
     }
 }
 
@@ -171,15 +174,30 @@ impl HostedPlatform {
 
     fn consume_monitor(&mut self, cycles: u64) {
         self.machine.consume(cycles);
-        self.stats.charge(TimeBucket::Monitor, cycles);
+        self.charge(TimeBucket::Monitor, cycles);
     }
 
     fn consume_host(&mut self, cycles: u64) {
         if cycles > 0 {
             self.machine.consume(cycles);
-            self.stats.charge(TimeBucket::HostModel, cycles);
+            self.charge(TimeBucket::HostModel, cycles);
             self.hstats.host_relay_ops += 1;
+            // Every relay op is one `host-relay` histogram entry: the cost
+            // of bouncing a device operation through the modeled host OS.
+            self.record_exit(ExitCause::HostRelay, cycles);
         }
+    }
+
+    /// Attributes cycles to both the flat stats and the trace span track.
+    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
+        self.stats.charge(bucket, cycles);
+        self.machine.obs.charge(track_of(bucket), cycles);
+    }
+
+    /// Records one guest→monitor exit (histogram + event ring).
+    fn record_exit(&mut self, cause: ExitCause, cycles: u64) {
+        let now = self.machine.now();
+        self.machine.obs.exit(now, cause, cycles);
     }
 
     fn shadow_key(&self) -> u32 {
@@ -192,7 +210,9 @@ impl HostedPlatform {
 
     fn activate_shadow(&mut self) {
         let key = self.shadow_key();
-        let root = self.shadow.root_for(&mut self.machine.mem, key, self.vcpu.vmode);
+        let root = self
+            .shadow
+            .root_for(&mut self.machine.mem, key, self.vcpu.vmode);
         self.machine.cpu.write_csr(Csr::Ptbr, root | 1);
     }
 
@@ -215,27 +235,35 @@ impl HostedPlatform {
             self.activate_shadow();
             self.machine.cpu.set_pc(handler);
             self.consume_monitor(lvmm::costs::INJECT_TRAP);
+            self.record_exit(ExitCause::IrqInject, lvmm::costs::INJECT_TRAP);
             self.hstats.irqs_injected += 1;
             self.state = RunState::Running;
         }
     }
 
     fn dispatch_trap(&mut self, trap: Trap) {
-        match trap.cause {
+        // Attribute the monitor cycles of this exit to one cause (see the
+        // lvmm dispatcher for the scheme; the window check accounts itself).
+        let monitor_before = self.stats.monitor;
+        let cause = match trap.cause {
             Cause::PrivilegedInstruction => {
                 self.consume_monitor(costs::EXIT_BASE);
                 self.hstats.exits_privileged += 1;
                 self.emulate_privileged(trap);
+                ExitCause::Privileged
             }
             Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault => {
                 self.consume_monitor(costs::EXIT_BASE);
-                self.handle_shadow_fault(trap);
+                self.handle_shadow_fault(trap)
             }
             other => {
                 self.consume_monitor(costs::EXIT_BASE);
                 self.inject_guest_trap(other, trap.epc, trap.tval);
+                ExitCause::IrqInject
             }
-        }
+        };
+        let delta = self.stats.monitor - monitor_before;
+        self.record_exit(cause, delta);
         self.maybe_inject_irq();
     }
 
@@ -288,7 +316,9 @@ impl HostedPlatform {
                 self.machine.cpu.set_pc(pc.wrapping_add(4));
                 self.state = RunState::GuestIdle;
             }
-            Instr::Sys { op: SysOp::TlbFlush } => {
+            Instr::Sys {
+                op: SysOp::TlbFlush,
+            } => {
                 self.consume_monitor(lvmm::costs::SHADOW_FLUSH);
                 let key = self.shadow_key();
                 self.shadow.flush_context(&mut self.machine.mem, key);
@@ -321,33 +351,50 @@ impl HostedPlatform {
         }
     }
 
-    fn handle_shadow_fault(&mut self, trap: Trap) {
+    fn handle_shadow_fault(&mut self, trap: Trap) -> ExitCause {
         let va = trap.tval;
         let access = Self::fault_access(trap.cause);
         let vmode = self.vcpu.vmode;
+        {
+            let now = self.machine.now();
+            self.machine
+                .obs
+                .event(now, EventKind::ShadowFault { vaddr: va });
+        }
         let (gpa, gflags) = if self.vcpu.paging_enabled() {
             let root = self.vcpu.page_table_root();
-            match guest_walk(&mut self.machine.mem, root, va, access, vmode, self.monitor_base, true)
-            {
+            match guest_walk(
+                &mut self.machine.mem,
+                root,
+                va,
+                access,
+                vmode,
+                self.monitor_base,
+                true,
+            ) {
                 Ok(w) => (w.gpa, w.pte),
                 Err(GuestWalkErr::GuestFault) => {
                     self.inject_guest_trap(trap.cause, trap.epc, va);
-                    return;
+                    return ExitCause::Shadow;
                 }
                 Err(GuestWalkErr::BadTable) => {
                     self.hstats.protection_violations += 1;
                     self.inject_guest_trap(trap.cause, trap.epc, va);
-                    return;
+                    return ExitCause::Protection;
                 }
             }
         } else {
-            (va, pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D)
+            (
+                va,
+                pte::V | pte::R | pte::W | pte::X | pte::U | pte::A | pte::D,
+            )
         };
 
         match classify(gpa, self.monitor_base, self.ram_size) {
             PageClass::Monitor => {
                 self.hstats.protection_violations += 1;
                 self.inject_guest_trap(trap.cause, trap.epc, va);
+                ExitCause::Protection
             }
             PageClass::Unmapped => {
                 let cause = match access {
@@ -356,19 +403,21 @@ impl HostedPlatform {
                     Access::Store => Cause::StoreAccessFault,
                 };
                 self.inject_guest_trap(cause, trap.epc, va);
+                ExitCause::Shadow
             }
             // The defining property of the hosted monitor: *all* devices
             // are emulated, including the high-throughput ones.
             PageClass::EmulatedMmio | PageClass::PassthroughMmio => {
                 self.hstats.exits_mmio += 1;
                 self.emulate_mmio(trap, va, gpa, access);
+                ExitCause::Mmio
             }
             PageClass::GuestRam => {
                 if self.fill_made_no_progress(&trap) {
                     // Unrecoverable: surface to the guest's own handler.
                     self.inject_guest_trap(trap.cause, trap.epc, trap.tval);
                     self.last_fault_repeats = 0;
-                    return;
+                    return ExitCause::Shadow;
                 }
                 self.hstats.exits_shadow += 1;
                 self.consume_monitor(lvmm::costs::SHADOW_FILL);
@@ -391,6 +440,7 @@ impl HostedPlatform {
                     gpa & !PAGE_MASK,
                     flags,
                 );
+                ExitCause::Shadow
             }
         }
     }
@@ -405,7 +455,14 @@ impl HostedPlatform {
         let page = gpa & !(map::DEV_PAGE - 1);
         let offset = gpa & (map::DEV_PAGE - 1);
         match (instr, access) {
-            (Instr::Load { kind: LoadKind::W, rd, .. }, Access::Load) => {
+            (
+                Instr::Load {
+                    kind: LoadKind::W,
+                    rd,
+                    ..
+                },
+                Access::Load,
+            ) => {
                 let val = match page {
                     map::HDC_BASE => {
                         let (v, host) = self.vdisk.read_reg(offset);
@@ -418,7 +475,14 @@ impl HostedPlatform {
                 self.machine.cpu.set_reg(rd, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
             }
-            (Instr::Store { kind: StoreKind::W, rs2, .. }, Access::Store) => {
+            (
+                Instr::Store {
+                    kind: StoreKind::W,
+                    rs2,
+                    ..
+                },
+                Access::Store,
+            ) => {
                 let val = self.machine.cpu.reg(rs2);
                 match page {
                     map::HDC_BASE => {
@@ -429,7 +493,9 @@ impl HostedPlatform {
                         let host = self.vnic.write_reg(&mut self.machine, offset, val);
                         self.consume_host(host);
                     }
-                    _ => self.chipset.mmio_write(&mut self.machine, page, offset, val),
+                    _ => self
+                        .chipset
+                        .mmio_write(&mut self.machine, page, offset, val),
                 }
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
             }
@@ -469,6 +535,7 @@ impl HostedPlatform {
     fn handle_real_irq(&mut self, irq: u8) {
         self.machine.pic.eoi(irq);
         self.consume_monitor(costs::EXIT_BASE);
+        self.record_exit(ExitCause::IrqReflect, costs::EXIT_BASE);
         self.hstats.exits_irq += 1;
         match irq {
             map::irq::PIT => self.chipset.vpic.assert_irq(map::irq::PIT),
@@ -512,7 +579,7 @@ impl HostedPlatform {
         }
         match self.machine.skip_to_next_event() {
             Some(cycles) => {
-                self.stats.charge(TimeBucket::Idle, cycles);
+                self.charge(TimeBucket::Idle, cycles);
                 PlatformStep::Running
             }
             None => PlatformStep::Stuck,
@@ -542,11 +609,11 @@ impl Platform for HostedPlatform {
             RunState::GuestIdle => self.idle_step(),
             RunState::Running => match self.machine.step() {
                 MachineStep::Executed { cycles } => {
-                    self.stats.charge(TimeBucket::Guest, cycles);
+                    self.charge(TimeBucket::Guest, cycles);
                     PlatformStep::Running
                 }
                 MachineStep::Idle { cycles } => {
-                    self.stats.charge(TimeBucket::Idle, cycles);
+                    self.charge(TimeBucket::Idle, cycles);
                     PlatformStep::Running
                 }
                 MachineStep::Interrupt { irq, .. } => {
@@ -554,7 +621,7 @@ impl Platform for HostedPlatform {
                     PlatformStep::Running
                 }
                 MachineStep::Trapped { trap, cycles } => {
-                    self.stats.charge(TimeBucket::Guest, cycles);
+                    self.charge(TimeBucket::Guest, cycles);
                     self.dispatch_trap(trap);
                     PlatformStep::Running
                 }
@@ -571,8 +638,10 @@ mod tests {
 
     fn boot(src: &str) -> HostedPlatform {
         let program = hx_asm::assemble(src).expect("guest assembles");
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 16 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(&program);
         let entry = program.symbols.get("start").unwrap_or(program.base());
         HostedPlatform::new(machine, entry)
@@ -599,12 +668,19 @@ mod tests {
             hdc = map::HDC_BASE
         ));
         vmm.run_for(2_000_000);
-        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "transfer completed");
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R18),
+            1,
+            "transfer completed"
+        );
         let mut expect = vec![0u8; 512];
         hx_machine::disk::fill_expected(0, 3, &mut expect);
         assert_eq!(&vmm.machine().mem.as_bytes()[0x9000..0x9200], &expect[..]);
         let hs = vmm.hosted_stats();
-        assert!(hs.exits_mmio > 4, "every register access is an exit: {hs:?}");
+        assert!(
+            hs.exits_mmio > 4,
+            "every register access is an exit: {hs:?}"
+        );
         assert!(vmm.time_stats().host_model > 0, "host relay time charged");
     }
 
@@ -633,7 +709,11 @@ mod tests {
             nic = map::NIC_BASE
         ));
         vmm.run_for(3_000_000);
-        assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 1, "frame completed");
+        assert_eq!(
+            vmm.machine().cpu.reg(hx_cpu::Reg::R18),
+            1,
+            "frame completed"
+        );
         assert_eq!(vmm.relayed_tx_frames(), 1);
         let c = vmm.machine().nic.counters();
         assert_eq!(c.tx_frames, 1, "the real wire saw the frame");
@@ -666,13 +746,19 @@ mod tests {
         );
         let program = hx_asm::assemble(&src).unwrap();
 
-        let mut m1 = Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        let mut m1 = Machine::new(MachineConfig {
+            ram_size: 16 << 20,
+            ..MachineConfig::default()
+        });
         m1.load_program(&program);
         let mut lv = lvmm::LvmmPlatform::new(m1, program.base());
         lv.run_for(2_000_000);
         assert_eq!(lv.machine().cpu.reg(hx_cpu::Reg::R18), 1);
 
-        let mut m2 = Machine::new(MachineConfig { ram_size: 16 << 20, ..MachineConfig::default() });
+        let mut m2 = Machine::new(MachineConfig {
+            ram_size: 16 << 20,
+            ..MachineConfig::default()
+        });
         m2.load_program(&program);
         let mut ho = HostedPlatform::new(m2, program.base());
         ho.run_for(2_000_000);

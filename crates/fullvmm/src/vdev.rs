@@ -41,7 +41,11 @@ pub struct VDisk {
 impl VDisk {
     /// Creates the model with one host bounce buffer per unit.
     pub fn new(bounce: [u32; disk::UNITS]) -> VDisk {
-        VDisk { units: [VDiskUnit::default(); disk::UNITS], bounce, commands: 0 }
+        VDisk {
+            units: [VDiskUnit::default(); disk::UNITS],
+            bounce,
+            commands: 0,
+        }
     }
 
     /// Emulated guest register read. Returns `(value, host_cycles)`.
@@ -132,7 +136,10 @@ impl VDisk {
         };
         let bounce = self.bounce[unit];
         let real_status = machine
-            .bus_read(map::HDC_BASE + unit as u32 * 0x40 + disk::reg::STATUS, MemSize::Word)
+            .bus_read(
+                map::HDC_BASE + unit as u32 * 0x40 + disk::reg::STATUS,
+                MemSize::Word,
+            )
             .unwrap_or(disk::status::ERROR);
         let mut host = costs::WORLD_SWITCH; // host interrupt handling
         let failed = real_status & disk::status::ERROR != 0;
@@ -200,7 +207,11 @@ impl VNic {
     /// real controller.
     pub fn new(machine: &mut Machine, host_ring: u32, host_bufs: u32) -> VNic {
         let _ = machine.bus_write(map::NIC_BASE + nic::reg::TX_BASE, host_ring, MemSize::Word);
-        let _ = machine.bus_write(map::NIC_BASE + nic::reg::TX_LEN, HOST_RING_LEN, MemSize::Word);
+        let _ = machine.bus_write(
+            map::NIC_BASE + nic::reg::TX_LEN,
+            HOST_RING_LEN,
+            MemSize::Word,
+        );
         let _ = machine.bus_write(map::NIC_BASE + nic::reg::MODERATION, 1, MemSize::Word);
         VNic {
             tx_base: 0,
@@ -249,7 +260,11 @@ impl VNic {
             nic::reg::TX_BASE => self.tx_base = val,
             nic::reg::TX_LEN => self.tx_len = val,
             nic::reg::TX_TAIL => {
-                self.tx_tail = if self.tx_len == 0 { val } else { val % self.tx_len };
+                self.tx_tail = if self.tx_len == 0 {
+                    val
+                } else {
+                    val % self.tx_len
+                };
                 return self.pump_guest_tx(machine);
             }
             nic::reg::IACK => self.istatus &= !val,
@@ -257,7 +272,11 @@ impl VNic {
             nic::reg::RX_BASE => self.rx_base = val,
             nic::reg::RX_LEN => self.rx_len = val,
             nic::reg::RX_TAIL => {
-                self.rx_tail = if self.rx_len == 0 { val } else { val % self.rx_len };
+                self.rx_tail = if self.rx_len == 0 {
+                    val
+                } else {
+                    val % self.rx_len
+                };
             }
             _ => {}
         }
@@ -266,13 +285,18 @@ impl VNic {
 
     fn read_guest_desc(machine: &Machine, base: u32, idx: u32) -> Option<[u32; 4]> {
         let mut raw = [0u8; 16];
-        machine.mem.dma_read(base.wrapping_add(idx * 16), &mut raw).ok()?;
+        machine
+            .mem
+            .dma_read(base.wrapping_add(idx * 16), &mut raw)
+            .ok()?;
         let w = |i: usize| u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
         Some([w(0), w(1), w(2), w(3)])
     }
 
     fn write_guest_status(machine: &mut Machine, base: u32, idx: u32, status: u32) {
-        let _ = machine.mem.dma_write(base.wrapping_add(idx * 16 + 12), &status.to_le_bytes());
+        let _ = machine
+            .mem
+            .dma_write(base.wrapping_add(idx * 16 + 12), &status.to_le_bytes());
     }
 
     /// Relays pending guest TX frames (fragment chains) to the real NIC
@@ -340,7 +364,11 @@ impl VNic {
                 self.host_tail,
                 MemSize::Word,
             );
-            self.inflight.push_back(InflightTx { guest_idx: first, frags, bytes: len });
+            self.inflight.push_back(InflightTx {
+                guest_idx: first,
+                frags,
+                bytes: len,
+            });
             self.tx_head = (first + frags) % self.tx_len;
         }
         host
@@ -406,9 +434,10 @@ impl VNic {
             return (false, costs::WORLD_SWITCH);
         }
         let _ = machine.mem.dma_write(addr, frame);
-        let _ = machine
-            .mem
-            .dma_write(self.rx_base + idx * 16 + 8, &(frame.len() as u32).to_le_bytes());
+        let _ = machine.mem.dma_write(
+            self.rx_base + idx * 16 + 8,
+            &(frame.len() as u32).to_le_bytes(),
+        );
         Self::write_guest_status(machine, self.rx_base, idx, 1);
         self.rx_head = (self.rx_head + 1) % self.rx_len;
         self.rx_frames += 1;
@@ -426,7 +455,10 @@ mod tests {
     use hx_machine::MachineConfig;
 
     fn machine() -> Machine {
-        Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() })
+        Machine::new(MachineConfig {
+            ram_size: 8 << 20,
+            ..MachineConfig::default()
+        })
     }
 
     #[test]
@@ -484,7 +516,9 @@ mod tests {
             let payload = vec![0x40 + i as u8; 600];
             m.mem.dma_write(0x4000 + i * 0x1000, &payload).unwrap();
             let d = 0x1000 + i * 16;
-            m.mem.dma_write(d, &(0x4000 + i * 0x1000).to_le_bytes()).unwrap();
+            m.mem
+                .dma_write(d, &(0x4000 + i * 0x1000).to_le_bytes())
+                .unwrap();
             m.mem.dma_write(d + 4, &600u32.to_le_bytes()).unwrap();
         }
         let host = vn.write_reg(&mut m, nic::reg::TX_TAIL, 2);

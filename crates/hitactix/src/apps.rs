@@ -145,8 +145,10 @@ mod tests {
     fn counter_guest_counts_on_raw_hardware() {
         use hx_machine::{Machine, MachineConfig, Platform, RawPlatform};
         let program = counter_guest();
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(&program);
         let mut hw = RawPlatform::new(machine);
         hw.run_for(20_000);
@@ -158,8 +160,10 @@ mod tests {
     fn buggy_guest_destroys_itself() {
         use hx_machine::{Machine, MachineConfig, Platform};
         let program = buggy_guest(10);
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 8 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 8 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(&program);
         // Run under the lightweight monitor: the rampage must not escape
         // the guest, and the monitor must survive.
@@ -167,7 +171,10 @@ mod tests {
         vmm.run_for(5_000_000);
         // Guest memory is trashed (including where an embedded debugger
         // would keep its state)...
-        assert_eq!(vmm.machine().mem.word(crate::embedded::STATE_BASE), 0xdead_beef);
+        assert_eq!(
+            vmm.machine().mem.word(crate::embedded::STATE_BASE),
+            0xdead_beef
+        );
         // ...but the monitor noticed and parked the guest for debugging.
         assert!(vmm.guest_stopped(), "monitor catches the runaway guest");
     }

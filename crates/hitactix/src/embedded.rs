@@ -47,15 +47,27 @@ impl EmbeddedStubPlatform {
     /// the stub state block in guest memory (as the kernel's boot code
     /// would).
     pub fn new(mut machine: Machine) -> EmbeddedStubPlatform {
-        machine.mem.write(STATE_BASE + OFF_MAGIC, STATE_MAGIC, MemSize::Word).unwrap();
-        machine.mem.write(STATE_BASE + OFF_COUNT, 0, MemSize::Word).unwrap();
+        machine
+            .mem
+            .write(STATE_BASE + OFF_MAGIC, STATE_MAGIC, MemSize::Word)
+            .unwrap();
+        machine
+            .mem
+            .write(STATE_BASE + OFF_COUNT, 0, MemSize::Word)
+            .unwrap();
         // The kernel's boot code would install the stub ISR: receive
         // interrupts on, CPU interrupts enabled.
         machine
-            .bus_write(map::UART_BASE + hx_machine::uart::reg::CTRL, 1, MemSize::Word)
+            .bus_write(
+                map::UART_BASE + hx_machine::uart::reg::CTRL,
+                1,
+                MemSize::Word,
+            )
             .expect("UART present");
         let s = Status(machine.cpu.read_csr(Csr::Status));
-        machine.cpu.write_csr(Csr::Status, s.with(Status::IE, true).0);
+        machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::IE, true).0);
         EmbeddedStubPlatform {
             machine,
             stats: TimeStats::new(),
@@ -79,11 +91,18 @@ impl EmbeddedStubPlatform {
     }
 
     fn bp_lookup(&self, addr: u32) -> Option<(u32, u32)> {
-        let count = self.machine.mem.read(STATE_BASE + OFF_COUNT, MemSize::Word).ok()?.min(
-            MAX_BREAKPOINTS,
-        );
+        let count = self
+            .machine
+            .mem
+            .read(STATE_BASE + OFF_COUNT, MemSize::Word)
+            .ok()?
+            .min(MAX_BREAKPOINTS);
         for i in 0..count {
-            let a = self.machine.mem.read(STATE_BASE + OFF_TABLE + i * 8, MemSize::Word).ok()?;
+            let a = self
+                .machine
+                .mem
+                .read(STATE_BASE + OFF_TABLE + i * 8, MemSize::Word)
+                .ok()?;
             if a == addr {
                 let orig = self
                     .machine
@@ -104,7 +123,9 @@ impl EmbeddedStubPlatform {
         self.stopped = true;
         self.last_stop = Some(reason);
         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+        self.machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::TF, false).0);
         self.send_packet(&reason.format());
     }
 
@@ -164,7 +185,9 @@ impl EmbeddedStubPlatform {
             }
             Command::WriteRegister { index, value } => {
                 if index < 32 {
-                    self.machine.cpu.set_reg(hx_cpu::Reg::new(index).unwrap(), value);
+                    self.machine
+                        .cpu
+                        .set_reg(hx_cpu::Reg::new(index).unwrap(), value);
                     Reply::Ok
                 } else if index == rdbg::msg::REG_PC {
                     self.machine.cpu.set_pc(value);
@@ -200,8 +223,7 @@ impl EmbeddedStubPlatform {
                 if self.bp_lookup(addr).is_some() {
                     return Reply::Error(5);
                 }
-                let Ok(count) = self.machine.mem.read(STATE_BASE + OFF_COUNT, MemSize::Word)
-                else {
+                let Ok(count) = self.machine.mem.read(STATE_BASE + OFF_COUNT, MemSize::Word) else {
                     return Reply::Error(3);
                 };
                 if count >= MAX_BREAKPOINTS {
@@ -213,7 +235,11 @@ impl EmbeddedStubPlatform {
                 let e = STATE_BASE + OFF_TABLE + count * 8;
                 let ok = self.machine.mem.write(e, addr, MemSize::Word).is_ok()
                     && self.machine.mem.write(e + 4, orig, MemSize::Word).is_ok()
-                    && self.machine.mem.write(addr, EBREAK_WORD, MemSize::Word).is_ok()
+                    && self
+                        .machine
+                        .mem
+                        .write(addr, EBREAK_WORD, MemSize::Word)
+                        .is_ok()
                     && self
                         .machine
                         .mem
@@ -229,8 +255,11 @@ impl EmbeddedStubPlatform {
                 let Some((slot, orig)) = self.bp_lookup(addr) else {
                     return Reply::Error(5);
                 };
-                let count =
-                    self.machine.mem.read(STATE_BASE + OFF_COUNT, MemSize::Word).unwrap_or(0);
+                let count = self
+                    .machine
+                    .mem
+                    .read(STATE_BASE + OFF_COUNT, MemSize::Word)
+                    .unwrap_or(0);
                 // Move the last entry into the vacated slot.
                 let last = STATE_BASE + OFF_TABLE + (count - 1) * 8;
                 let slot_addr = STATE_BASE + OFF_TABLE + slot * 8;
@@ -238,7 +267,10 @@ impl EmbeddedStubPlatform {
                 let lo = self.machine.mem.read(last + 4, MemSize::Word).unwrap_or(0);
                 let _ = self.machine.mem.write(slot_addr, la, MemSize::Word);
                 let _ = self.machine.mem.write(slot_addr + 4, lo, MemSize::Word);
-                let _ = self.machine.mem.write(STATE_BASE + OFF_COUNT, count - 1, MemSize::Word);
+                let _ = self
+                    .machine
+                    .mem
+                    .write(STATE_BASE + OFF_COUNT, count - 1, MemSize::Word);
                 let _ = self.machine.mem.write(addr, orig, MemSize::Word);
                 Reply::Ok
             }
@@ -267,6 +299,10 @@ impl EmbeddedStubPlatform {
                 Reply::Error(9)
             }
             Command::Reset => Reply::Error(9),
+            Command::QueryStats => {
+                // An in-kernel stub has no monitor accounting to report.
+                Reply::Error(9)
+            }
         }
     }
 
@@ -277,7 +313,9 @@ impl EmbeddedStubPlatform {
             self.lifted = Some(pc);
         }
         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, true).0);
+        self.machine
+            .cpu
+            .write_csr(Csr::Status, s.with(Status::TF, true).0);
         self.stepping = true;
         self.step_then_stop = then_stop;
         self.stopped = false;
@@ -343,11 +381,12 @@ impl Platform for EmbeddedStubPlatform {
                     Cause::DebugStep if self.stepping => {
                         self.stepping = false;
                         let s = Status(self.machine.cpu.read_csr(Csr::Status));
-                        self.machine.cpu.write_csr(Csr::Status, s.with(Status::TF, false).0);
+                        self.machine
+                            .cpu
+                            .write_csr(Csr::Status, s.with(Status::TF, false).0);
                         if let Some(addr) = self.lifted.take() {
                             if self.stub_alive() {
-                                let _ =
-                                    self.machine.mem.write(addr, EBREAK_WORD, MemSize::Word);
+                                let _ = self.machine.mem.write(addr, EBREAK_WORD, MemSize::Word);
                             }
                         }
                         if self.step_then_stop {
@@ -375,8 +414,10 @@ mod tests {
     use rdbg::Debugger;
 
     fn boot(program: &hx_asm::Program) -> EmbeddedStubPlatform {
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(program);
         EmbeddedStubPlatform::new(machine)
     }

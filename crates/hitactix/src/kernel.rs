@@ -65,8 +65,7 @@ pub mod layout {
 /// as big-endian halfwords, with total-length, id and checksum zero).
 fn ip_checksum_base() -> u32 {
     // ver/ihl|tos, [len], [id], flags|frag, ttl|proto, [ck], src, dst
-    let halves: [u32; 7] =
-        [0x4500, 0x4000, 0x4011, 0x0a00, 0x0001, 0x0a00, 0x0002];
+    let halves: [u32; 7] = [0x4500, 0x4000, 0x4011, 0x0a00, 0x0001, 0x0a00, 0x0002];
     halves.iter().sum()
 }
 
@@ -92,7 +91,11 @@ pub struct Workload {
 impl Workload {
     /// A workload targeting `rate_mbps` megabits per second of UDP payload.
     pub fn new(rate_mbps: u64) -> Workload {
-        Workload { rate_mbps, tick_hz: 1_000, moderation: 1 }
+        Workload {
+            rate_mbps,
+            tick_hz: 1_000,
+            moderation: 1,
+        }
     }
 
     /// The target payload rate in Mbit/s.
@@ -645,7 +648,9 @@ mod tests {
     #[test]
     fn kernel_assembles() {
         let machine = Machine::new(MachineConfig::default());
-        let program = Workload::new(100).build(&machine).expect("kernel must assemble");
+        let program = Workload::new(100)
+            .build(&machine)
+            .expect("kernel must assemble");
         assert_eq!(program.base(), layout::ENTRY);
         assert!(program.symbols.get("start").is_some());
         assert!(program.symbols.get("trap_entry").is_some());

@@ -37,7 +37,7 @@
 //! machine.load_program(&program);
 //! let mut hw = RawPlatform::new(machine);
 //! hw.run_for(2_000_000);
-//! let stats = hitactix::stats::GuestStats::read(hw.machine());
+//! let stats = hitactix::stats::GuestStats::read(hw.machine())?;
 //! assert!(stats.frames > 0, "the stream must be flowing: {stats:?}");
 //! assert_eq!(stats.fault_cause, 0, "no unexpected guest faults");
 //! # Ok(())
@@ -51,4 +51,4 @@ pub mod stats;
 pub mod verify;
 
 pub use kernel::Workload;
-pub use stats::GuestStats;
+pub use stats::{GuestStats, StatsError};

@@ -1,6 +1,8 @@
 //! Reading the kernel's in-memory statistics block from the host side.
 
 use crate::kernel::layout;
+use core::fmt;
+use hx_cpu::MemSize;
 use hx_machine::Machine;
 
 /// Snapshot of the guest kernel's statistics block.
@@ -23,19 +25,60 @@ pub struct GuestStats {
     pub booted: bool,
 }
 
+/// Why the statistics block could not be read.
+///
+/// Historically a failed read came back as an all-zero [`GuestStats`],
+/// indistinguishable from a freshly booted idle kernel; callers now get an
+/// explicit signal instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The stats block lies outside the machine's RAM (image mismatch or a
+    /// machine configured with too little memory).
+    Unreadable,
+    /// The block is readable but the kernel has not written its ready
+    /// marker yet — the counters are not meaningful.
+    NotBooted,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Unreadable => write!(f, "guest stats block is outside machine RAM"),
+            StatsError::NotBooted => write!(f, "guest kernel has not finished booting"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 impl GuestStats {
     /// Reads the statistics block out of guest memory.
-    pub fn read(machine: &Machine) -> GuestStats {
-        let w = |off: u32| machine.mem.word(layout::STATS + off);
-        GuestStats {
-            bytes: w(0) as u64 | (w(4) as u64) << 32,
-            frames: w(8),
-            ticks: w(12),
-            underruns: w(16),
-            fault_cause: w(20),
-            fault_pc: w(24),
-            booted: w(28) == layout::READY_MAGIC,
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Unreadable`] if the block is not backed by RAM, and
+    /// [`StatsError::NotBooted`] if the kernel's ready marker is absent
+    /// (in which case the counters would be garbage or all zero).
+    pub fn read(machine: &Machine) -> Result<GuestStats, StatsError> {
+        let w = |off: u32| {
+            machine
+                .mem
+                .read(layout::STATS + off, MemSize::Word)
+                .map_err(|_| StatsError::Unreadable)
+        };
+        let booted = w(28)? == layout::READY_MAGIC;
+        if !booted {
+            return Err(StatsError::NotBooted);
         }
+        Ok(GuestStats {
+            bytes: w(0)? as u64 | (w(4)? as u64) << 32,
+            frames: w(8)?,
+            ticks: w(12)?,
+            underruns: w(16)?,
+            fault_cause: w(20)?,
+            fault_pc: w(24)?,
+            booted,
+        })
     }
 }
 
@@ -45,10 +88,22 @@ mod tests {
     use hx_machine::MachineConfig;
 
     #[test]
-    fn reads_zeroed_block() {
-        let machine = Machine::new(MachineConfig { ram_size: 1 << 20, ..Default::default() });
-        let s = GuestStats::read(&machine);
-        assert_eq!(s, GuestStats::default());
-        assert!(!s.booted);
+    fn unbooted_block_is_an_error_not_zeros() {
+        let machine = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..Default::default()
+        });
+        assert_eq!(GuestStats::read(&machine), Err(StatsError::NotBooted));
+    }
+
+    #[test]
+    fn unmapped_block_is_an_error() {
+        // Too little RAM to contain the stats block at all.
+        let machine = Machine::new(MachineConfig {
+            ram_size: 0x400,
+            ..Default::default()
+        });
+        assert_eq!(GuestStats::read(&machine), Err(StatsError::Unreadable));
+        assert!(!StatsError::Unreadable.to_string().is_empty());
     }
 }

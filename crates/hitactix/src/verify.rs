@@ -54,7 +54,11 @@ impl Default for ExpectedPayloads {
 impl ExpectedPayloads {
     /// Starts at the first frame of the stream.
     pub fn new() -> ExpectedPayloads {
-        ExpectedPayloads { buffer: Vec::new(), buffer_index: 0, offset: 0 }
+        ExpectedPayloads {
+            buffer: Vec::new(),
+            buffer_index: 0,
+            offset: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -189,7 +193,10 @@ mod tests {
         assert_eq!(verify_frames(&[frame.clone()]), Ok(()));
         frame[60] ^= 1; // corrupt a payload byte
         let err = verify_frames(&[frame]).unwrap_err();
-        assert!(err.contains("checksum") || err.contains("mismatch"), "{err}");
+        assert!(
+            err.contains("checksum") || err.contains("mismatch"),
+            "{err}"
+        );
     }
 
     /// Builds a frame exactly as the kernel does (test reference).

@@ -24,13 +24,19 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// A parsed statement with its assigned address.
 #[derive(Debug, Clone)]
 enum Stmt {
-    Instr { mnemonic: String, operands: Vec<String> },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Word(Vec<String>),
     Half(Vec<String>),
     Byte(Vec<String>),
@@ -90,20 +96,22 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         if let Some(directive) = head_lc.strip_prefix('.') {
             match directive {
                 "org" => {
-                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    let v =
+                        expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
                     lc = v;
                     lc_set = true;
                 }
                 "equ" => {
-                    let (name, value) = rest
-                        .split_once(',')
-                        .ok_or_else(|| AsmError { line, message: ".equ needs `name, value`".into() })?;
+                    let (name, value) = rest.split_once(',').ok_or_else(|| AsmError {
+                        line,
+                        message: ".equ needs `name, value`".into(),
+                    })?;
                     let name = name.trim();
                     if !is_symbol_name(name) {
                         return err(line, format!("bad symbol name `{name}`"));
                     }
-                    let v = expr::eval(value, &symbols)
-                        .map_err(|m| AsmError { line, message: m })?;
+                    let v =
+                        expr::eval(value, &symbols).map_err(|m| AsmError { line, message: m })?;
                     if symbols.contains(name) {
                         return err(line, format!("duplicate symbol `{name}`"));
                     }
@@ -119,31 +127,50 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         "half" => (2, Stmt::Half(args.clone())),
                         _ => (1, Stmt::Byte(args.clone())),
                     };
-                    placed.push(Placed { line, addr: lc, stmt });
+                    placed.push(Placed {
+                        line,
+                        addr: lc,
+                        stmt,
+                    });
                     lc += unit * args.len() as u32;
                 }
                 "ascii" | "asciz" => {
-                    let mut bytes = parse_string(rest).map_err(|m| AsmError { line, message: m })?;
+                    let mut bytes =
+                        parse_string(rest).map_err(|m| AsmError { line, message: m })?;
                     if directive == "asciz" {
                         bytes.push(0);
                     }
                     lc += bytes.len() as u32;
-                    placed.push(Placed { line, addr: lc - bytes.len() as u32, stmt: Stmt::Ascii(bytes) });
+                    placed.push(Placed {
+                        line,
+                        addr: lc - bytes.len() as u32,
+                        stmt: Stmt::Ascii(bytes),
+                    });
                 }
                 "align" => {
-                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    let v =
+                        expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
                     if v == 0 || !v.is_power_of_two() {
                         return err(line, ".align needs a power of two");
                     }
                     let pad = (v - (lc % v)) % v;
                     if pad > 0 {
-                        placed.push(Placed { line, addr: lc, stmt: Stmt::Space(pad) });
+                        placed.push(Placed {
+                            line,
+                            addr: lc,
+                            stmt: Stmt::Space(pad),
+                        });
                         lc += pad;
                     }
                 }
                 "space" => {
-                    let v = expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
-                    placed.push(Placed { line, addr: lc, stmt: Stmt::Space(v) });
+                    let v =
+                        expr::eval(rest, &symbols).map_err(|m| AsmError { line, message: m })?;
+                    placed.push(Placed {
+                        line,
+                        addr: lc,
+                        stmt: Stmt::Space(v),
+                    });
                     lc += v;
                 }
                 other => return err(line, format!("unknown directive `.{other}`")),
@@ -160,7 +187,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         placed.push(Placed {
             line,
             addr: lc,
-            stmt: Stmt::Instr { mnemonic: head_lc, operands },
+            stmt: Stmt::Instr {
+                mnemonic: head_lc,
+                operands,
+            },
         });
         lc += size;
         let _ = lc_set;
@@ -171,8 +201,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     for p in &placed {
         let bytes = match &p.stmt {
             Stmt::Instr { mnemonic, operands } => {
-                let words = encode_instr(mnemonic, operands, p.addr, &symbols)
-                    .map_err(|m| AsmError { line: p.line, message: m })?;
+                let words =
+                    encode_instr(mnemonic, operands, p.addr, &symbols).map_err(|m| AsmError {
+                        line: p.line,
+                        message: m,
+                    })?;
                 let mut b = Vec::with_capacity(words.len() * 4);
                 for w in words {
                     b.extend_from_slice(&w.to_le_bytes());
@@ -182,7 +215,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Stmt::Word(args) => {
                 let mut b = Vec::new();
                 for a in args {
-                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError {
+                        line: p.line,
+                        message: m,
+                    })?;
                     b.extend_from_slice(&v.to_le_bytes());
                 }
                 b
@@ -190,7 +226,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Stmt::Half(args) => {
                 let mut b = Vec::new();
                 for a in args {
-                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError {
+                        line: p.line,
+                        message: m,
+                    })?;
                     if v > 0xffff && v < 0xffff_8000 {
                         return err(p.line, format!("half value {v:#x} out of range"));
                     }
@@ -201,7 +240,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Stmt::Byte(args) => {
                 let mut b = Vec::new();
                 for a in args {
-                    let v = expr::eval(a, &symbols).map_err(|m| AsmError { line: p.line, message: m })?;
+                    let v = expr::eval(a, &symbols).map_err(|m| AsmError {
+                        line: p.line,
+                        message: m,
+                    })?;
                     if v > 0xff && v < 0xffff_ff80 {
                         return err(p.line, format!("byte value {v:#x} out of range"));
                     }
@@ -224,7 +266,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut cursor = base;
     for (addr, bytes, line) in &chunks {
         if *addr < cursor {
-            return err(*line, format!("emission at {addr:#x} overlaps previous output"));
+            return err(
+                *line,
+                format!("emission at {addr:#x} overlaps previous output"),
+            );
         }
         image.extend(std::iter::repeat_n(0, (*addr - cursor) as usize));
         image.extend_from_slice(bytes);
@@ -268,7 +313,9 @@ fn csr_operand(s: &str) -> Result<u16, String> {
     if let Some(c) = Csr::from_name(s) {
         return Ok(c.number());
     }
-    expr::parse_number(s).map(|v| v as u16).map_err(|_| format!("bad CSR `{s}`"))
+    expr::parse_number(s)
+        .map(|v| v as u16)
+        .map_err(|_| format!("bad CSR `{s}`"))
 }
 
 fn imm_signed(s: &str, symbols: &SymbolTable) -> Result<i16, String> {
@@ -311,13 +358,19 @@ fn shamt(s: &str, symbols: &SymbolTable) -> Result<u8, String> {
 /// Parses `offset(reg)` or `(reg)` memory operands.
 fn mem_operand(s: &str, symbols: &SymbolTable) -> Result<(Reg, i16), String> {
     let s = s.trim();
-    let open = s.rfind('(').ok_or_else(|| format!("bad memory operand `{s}` (need off(reg))"))?;
+    let open = s
+        .rfind('(')
+        .ok_or_else(|| format!("bad memory operand `{s}` (need off(reg))"))?;
     if !s.ends_with(')') {
         return Err(format!("bad memory operand `{s}`"));
     }
     let reg = reg_operand(&s[open + 1..s.len() - 1])?;
     let off_str = s[..open].trim();
-    let off = if off_str.is_empty() { 0 } else { imm_signed(off_str, symbols)? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        imm_signed(off_str, symbols)?
+    };
     Ok((reg, off))
 }
 
@@ -351,7 +404,10 @@ fn want(ops: &[String], n: usize, mnemonic: &str) -> Result<(), String> {
     if ops.len() == n {
         Ok(())
     } else {
-        Err(format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+        Err(format!(
+            "`{mnemonic}` expects {n} operand(s), got {}",
+            ops.len()
+        ))
     }
 }
 
@@ -386,18 +442,35 @@ fn encode_instr(
         want(ops, 2, mnemonic)?;
         let r = reg_operand(&ops[0])?;
         let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
-        Ok(vec![Instr::Branch { cond, rs1, rs2, offset: branch_offset(&ops[1], addr, symbols)? }
-            .encode()])
+        Ok(vec![Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset: branch_offset(&ops[1], addr, symbols)?,
+        }
+        .encode()])
     };
     let load = |kind: LoadKind| -> Result<Vec<u32>, String> {
         want(ops, 2, mnemonic)?;
         let (rs1, offset) = mem_operand(&ops[1], symbols)?;
-        Ok(vec![Instr::Load { kind, rd: reg_operand(&ops[0])?, rs1, offset }.encode()])
+        Ok(vec![Instr::Load {
+            kind,
+            rd: reg_operand(&ops[0])?,
+            rs1,
+            offset,
+        }
+        .encode()])
     };
     let store = |kind: StoreKind| -> Result<Vec<u32>, String> {
         want(ops, 2, mnemonic)?;
         let (rs1, offset) = mem_operand(&ops[1], symbols)?;
-        Ok(vec![Instr::Store { kind, rs1, rs2: reg_operand(&ops[0])?, offset }.encode()])
+        Ok(vec![Instr::Store {
+            kind,
+            rs1,
+            rs2: reg_operand(&ops[0])?,
+            offset,
+        }
+        .encode()])
     };
     let csr_full = |op: CsrOp| -> Result<Vec<u32>, String> {
         want(ops, 3, mnemonic)?;
@@ -504,33 +577,57 @@ fn encode_instr(
                 2 => (reg_operand(&ops[0])?, &ops[1]),
                 n => return Err(format!("`jal` expects 1 or 2 operands, got {n}")),
             };
-            Ok(vec![Instr::Jal { rd, offset: jump_offset(target, addr, symbols)? }.encode()])
+            Ok(vec![Instr::Jal {
+                rd,
+                offset: jump_offset(target, addr, symbols)?,
+            }
+            .encode()])
         }
         "j" | "b" => {
             want(ops, 1, mnemonic)?;
-            Ok(vec![Instr::Jal { rd: Reg::ZERO, offset: jump_offset(&ops[0], addr, symbols)? }
-                .encode()])
+            Ok(vec![Instr::Jal {
+                rd: Reg::ZERO,
+                offset: jump_offset(&ops[0], addr, symbols)?,
+            }
+            .encode()])
         }
         "call" => {
             want(ops, 1, mnemonic)?;
-            Ok(vec![Instr::Jal { rd: Reg::RA, offset: jump_offset(&ops[0], addr, symbols)? }
-                .encode()])
+            Ok(vec![Instr::Jal {
+                rd: Reg::RA,
+                offset: jump_offset(&ops[0], addr, symbols)?,
+            }
+            .encode()])
         }
         "jalr" => {
             let (rd, rs1, offset) = match ops.len() {
                 1 => (Reg::RA, reg_operand(&ops[0])?, 0),
-                3 => (reg_operand(&ops[0])?, reg_operand(&ops[1])?, imm_signed(&ops[2], symbols)?),
+                3 => (
+                    reg_operand(&ops[0])?,
+                    reg_operand(&ops[1])?,
+                    imm_signed(&ops[2], symbols)?,
+                ),
                 n => return Err(format!("`jalr` expects 1 or 3 operands, got {n}")),
             };
             Ok(vec![Instr::Jalr { rd, rs1, offset }.encode()])
         }
         "jr" => {
             want(ops, 1, mnemonic)?;
-            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: reg_operand(&ops[0])?, offset: 0 }.encode()])
+            Ok(vec![Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg_operand(&ops[0])?,
+                offset: 0,
+            }
+            .encode()])
         }
         "ret" => {
             want(ops, 0, mnemonic)?;
-            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }.encode()])
+            Ok(vec![Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }
+            .encode()])
         }
         "ecall" => sys(SysOp::Ecall),
         "ebreak" => sys(SysOp::Ebreak),
@@ -559,28 +656,57 @@ fn encode_instr(
             };
             let csr = csr_operand(&ops[0])?;
             match Reg::from_name(ops[1].trim()) {
-                Some(rs1) => Ok(vec![Instr::Csr { op, rd: Reg::ZERO, rs1, csr }.encode()]),
+                Some(rs1) => Ok(vec![Instr::Csr {
+                    op,
+                    rd: Reg::ZERO,
+                    rs1,
+                    csr,
+                }
+                .encode()]),
                 None => {
                     // Immediate source: materialize through the assembler
                     // temporary, matching the size chosen in pass 1.
                     let v = expr::eval(&ops[1], symbols)?;
                     Ok(vec![
-                        Instr::Lui { rd: Reg::AT, imm: (v >> 16) as u16 }.encode(),
-                        Instr::Ori { rd: Reg::AT, rs1: Reg::AT, imm: (v & 0xffff) as u16 as i16 }
-                            .encode(),
-                        Instr::Csr { op, rd: Reg::ZERO, rs1: Reg::AT, csr }.encode(),
+                        Instr::Lui {
+                            rd: Reg::AT,
+                            imm: (v >> 16) as u16,
+                        }
+                        .encode(),
+                        Instr::Ori {
+                            rd: Reg::AT,
+                            rs1: Reg::AT,
+                            imm: (v & 0xffff) as u16 as i16,
+                        }
+                        .encode(),
+                        Instr::Csr {
+                            op,
+                            rd: Reg::ZERO,
+                            rs1: Reg::AT,
+                            csr,
+                        }
+                        .encode(),
                     ])
                 }
             }
         }
         "nop" => {
             want(ops, 0, mnemonic)?;
-            Ok(vec![Instr::Addi { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }.encode()])
+            Ok(vec![Instr::Addi {
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0,
+            }
+            .encode()])
         }
         "mv" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Addi { rd: reg_operand(&ops[0])?, rs1: reg_operand(&ops[1])?, imm: 0 }
-                .encode()])
+            Ok(vec![Instr::Addi {
+                rd: reg_operand(&ops[0])?,
+                rs1: reg_operand(&ops[1])?,
+                imm: 0,
+            }
+            .encode()])
         }
         "neg" => {
             want(ops, 2, mnemonic)?;
@@ -594,8 +720,12 @@ fn encode_instr(
         }
         "seqz" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Sltiu { rd: reg_operand(&ops[0])?, rs1: reg_operand(&ops[1])?, imm: 1 }
-                .encode()])
+            Ok(vec![Instr::Sltiu {
+                rd: reg_operand(&ops[0])?,
+                rs1: reg_operand(&ops[1])?,
+                imm: 1,
+            }
+            .encode()])
         }
         "snez" => {
             want(ops, 2, mnemonic)?;
@@ -612,8 +742,17 @@ fn encode_instr(
             let rd = reg_operand(&ops[0])?;
             let v = expr::eval(&ops[1], symbols)?;
             Ok(vec![
-                Instr::Lui { rd, imm: (v >> 16) as u16 }.encode(),
-                Instr::Ori { rd, rs1: rd, imm: (v & 0xffff) as u16 as i16 }.encode(),
+                Instr::Lui {
+                    rd,
+                    imm: (v >> 16) as u16,
+                }
+                .encode(),
+                Instr::Ori {
+                    rd,
+                    rs1: rd,
+                    imm: (v & 0xffff) as u16 as i16,
+                }
+                .encode(),
             ])
         }
         other => Err(format!("unknown mnemonic `{other}`")),
@@ -650,7 +789,10 @@ fn strip_comment(line: &str) -> &str {
 fn find_label_colon(text: &str) -> Option<usize> {
     let colon = text.find(':')?;
     let head = &text[..colon];
-    if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
     {
         Some(colon)
     } else {
@@ -661,7 +803,8 @@ fn find_label_colon(text: &str) -> Option<usize> {
 fn is_symbol_name(s: &str) -> bool {
     !s.is_empty()
         && !s.starts_with(|c: char| c.is_ascii_digit())
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Splits an operand list on commas, respecting quotes and parentheses.
@@ -754,32 +897,67 @@ mod tests {
     fn basic_alu_and_imm() {
         assert_eq!(
             first_instr("add a0, a1, a2"),
-            Instr::Alu { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R5, rs2: Reg::R6 }
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R4,
+                rs1: Reg::R5,
+                rs2: Reg::R6
+            }
         );
         assert_eq!(
             first_instr("addi sp, sp, -16"),
-            Instr::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -16 }
+            Instr::Addi {
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -16
+            }
         );
         assert_eq!(
             first_instr("ori t0, t0, 0x8000"),
-            Instr::Ori { rd: Reg::R10, rs1: Reg::R10, imm: 0x8000u16 as i16 }
+            Instr::Ori {
+                rd: Reg::R10,
+                rs1: Reg::R10,
+                imm: 0x8000u16 as i16
+            }
         );
-        assert_eq!(first_instr("slli t0, t0, 12"), Instr::Slli { rd: Reg::R10, rs1: Reg::R10, shamt: 12 });
+        assert_eq!(
+            first_instr("slli t0, t0, 12"),
+            Instr::Slli {
+                rd: Reg::R10,
+                rs1: Reg::R10,
+                shamt: 12
+            }
+        );
     }
 
     #[test]
     fn memory_operands() {
         assert_eq!(
             first_instr("lw a0, 8(sp)"),
-            Instr::Load { kind: LoadKind::W, rd: Reg::R4, rs1: Reg::SP, offset: 8 }
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R4,
+                rs1: Reg::SP,
+                offset: 8
+            }
         );
         assert_eq!(
             first_instr("sb a1, (t0)"),
-            Instr::Store { kind: StoreKind::B, rs1: Reg::R10, rs2: Reg::R5, offset: 0 }
+            Instr::Store {
+                kind: StoreKind::B,
+                rs1: Reg::R10,
+                rs2: Reg::R5,
+                offset: 0
+            }
         );
         assert_eq!(
             first_instr("lhu a0, -2(a1)"),
-            Instr::Load { kind: LoadKind::Hu, rd: Reg::R4, rs1: Reg::R5, offset: -2 }
+            Instr::Load {
+                kind: LoadKind::Hu,
+                rd: Reg::R4,
+                rs1: Reg::R5,
+                offset: -2
+            }
         );
     }
 
@@ -791,11 +969,19 @@ mod tests {
         // bnez at addr 8 targeting 4 → offset -4
         assert_eq!(
             Instr::decode(p.word_at(8)).unwrap(),
-            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::R10, rs2: Reg::ZERO, offset: -4 }
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::R10,
+                rs2: Reg::ZERO,
+                offset: -4
+            }
         );
         assert_eq!(
             Instr::decode(p.word_at(12)).unwrap(),
-            Instr::Jal { rd: Reg::ZERO, offset: -12 }
+            Instr::Jal {
+                rd: Reg::ZERO,
+                offset: -12
+            }
         );
     }
 
@@ -804,18 +990,35 @@ mod tests {
         let p = ok(".equ VALUE, 0xdeadbeef\n li a0, VALUE\n");
         assert_eq!(
             Instr::decode(p.word_at(0)).unwrap(),
-            Instr::Lui { rd: Reg::R4, imm: 0xdead }
+            Instr::Lui {
+                rd: Reg::R4,
+                imm: 0xdead
+            }
         );
         assert_eq!(
             Instr::decode(p.word_at(4)).unwrap(),
-            Instr::Ori { rd: Reg::R4, rs1: Reg::R4, imm: 0xbeefu16 as i16 }
+            Instr::Ori {
+                rd: Reg::R4,
+                rs1: Reg::R4,
+                imm: 0xbeefu16 as i16
+            }
         );
         // And `la` of a forward label.
         let p = ok("la a0, target\nnop\ntarget: .word 7\n");
-        assert_eq!(Instr::decode(p.word_at(0)).unwrap(), Instr::Lui { rd: Reg::R4, imm: 0 });
+        assert_eq!(
+            Instr::decode(p.word_at(0)).unwrap(),
+            Instr::Lui {
+                rd: Reg::R4,
+                imm: 0
+            }
+        );
         assert_eq!(
             Instr::decode(p.word_at(4)).unwrap(),
-            Instr::Ori { rd: Reg::R4, rs1: Reg::R4, imm: 12 }
+            Instr::Ori {
+                rd: Reg::R4,
+                rs1: Reg::R4,
+                imm: 12
+            }
         );
     }
 
@@ -823,34 +1026,52 @@ mod tests {
     fn csr_forms() {
         assert_eq!(
             first_instr("csrr a0, status"),
-            Instr::Csr { op: CsrOp::Rs, rd: Reg::R4, rs1: Reg::ZERO, csr: 0 }
+            Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::R4,
+                rs1: Reg::ZERO,
+                csr: 0
+            }
         );
         assert_eq!(
             first_instr("csrw tvec, a0"),
-            Instr::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::R4, csr: 1 }
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: Reg::R4,
+                csr: 1
+            }
         );
         assert_eq!(
             first_instr("csrrc a1, status, a2"),
-            Instr::Csr { op: CsrOp::Rc, rd: Reg::R5, rs1: Reg::R6, csr: 0 }
+            Instr::Csr {
+                op: CsrOp::Rc,
+                rd: Reg::R5,
+                rs1: Reg::R6,
+                csr: 0
+            }
         );
         assert_eq!(
             first_instr("csrw 0x005, a0"),
-            Instr::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::R4, csr: 5 }
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: Reg::R4,
+                csr: 5
+            }
         );
     }
 
     #[test]
     fn directives_and_layout() {
-        let p = ok(
-            ".org 0x1000\n\
+        let p = ok(".org 0x1000\n\
              .word 1, 2, 3\n\
              .half 0xbeef\n\
              .byte 1, 2, 3\n\
              .align 4\n\
              str: .asciz \"hi\\n\"\n\
              .align 4\n\
-             end: .space 8\n",
-        );
+             end: .space 8\n");
         assert_eq!(p.base(), 0x1000);
         assert_eq!(p.word_at(0x1008), 3);
         assert_eq!(p.symbols.get("str"), Some(0x1014));
@@ -876,28 +1097,72 @@ mod tests {
 
     #[test]
     fn pseudo_instructions() {
-        assert_eq!(first_instr("nop"), Instr::Addi { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 });
-        assert_eq!(first_instr("mv a0, a1"), Instr::Addi { rd: Reg::R4, rs1: Reg::R5, imm: 0 });
+        assert_eq!(
+            first_instr("nop"),
+            Instr::Addi {
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            first_instr("mv a0, a1"),
+            Instr::Addi {
+                rd: Reg::R4,
+                rs1: Reg::R5,
+                imm: 0
+            }
+        );
         assert_eq!(
             first_instr("ret"),
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0
+            }
         );
         assert_eq!(
             first_instr("jr t0"),
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::R10, offset: 0 }
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::R10,
+                offset: 0
+            }
         );
         assert_eq!(
             first_instr("neg a0, a1"),
-            Instr::Alu { op: AluOp::Sub, rd: Reg::R4, rs1: Reg::ZERO, rs2: Reg::R5 }
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::R4,
+                rs1: Reg::ZERO,
+                rs2: Reg::R5
+            }
         );
-        assert_eq!(first_instr("seqz a0, a1"), Instr::Sltiu { rd: Reg::R4, rs1: Reg::R5, imm: 1 });
+        assert_eq!(
+            first_instr("seqz a0, a1"),
+            Instr::Sltiu {
+                rd: Reg::R4,
+                rs1: Reg::R5,
+                imm: 1
+            }
+        );
         assert_eq!(
             first_instr("snez a0, a1"),
-            Instr::Alu { op: AluOp::Sltu, rd: Reg::R4, rs1: Reg::ZERO, rs2: Reg::R5 }
+            Instr::Alu {
+                op: AluOp::Sltu,
+                rd: Reg::R4,
+                rs1: Reg::ZERO,
+                rs2: Reg::R5
+            }
         );
         assert_eq!(first_instr("ecall"), Instr::Sys { op: SysOp::Ecall });
         assert_eq!(first_instr("wfi"), Instr::Sys { op: SysOp::Wfi });
-        assert_eq!(first_instr("tlbflush"), Instr::Sys { op: SysOp::TlbFlush });
+        assert_eq!(
+            first_instr("tlbflush"),
+            Instr::Sys {
+                op: SysOp::TlbFlush
+            }
+        );
     }
 
     #[test]
@@ -929,38 +1194,57 @@ mod tests {
 
     #[test]
     fn equ_and_expressions() {
-        let p = ok(
-            ".equ BASE, 0x4000\n\
+        let p = ok(".equ BASE, 0x4000\n\
              .equ SLOT, BASE + 0x10\n\
              lw a0, %lo(SLOT)(zero)\n\
-             lui a1, %hi(SLOT)\n",
-        );
+             lui a1, %hi(SLOT)\n");
         assert_eq!(
             Instr::decode(p.word_at(0)).unwrap(),
-            Instr::Load { kind: LoadKind::W, rd: Reg::R4, rs1: Reg::ZERO, offset: 0x4010 }
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R4,
+                rs1: Reg::ZERO,
+                offset: 0x4010
+            }
         );
-        assert_eq!(Instr::decode(p.word_at(4)).unwrap(), Instr::Lui { rd: Reg::R5, imm: 0 });
+        assert_eq!(
+            Instr::decode(p.word_at(4)).unwrap(),
+            Instr::Lui {
+                rd: Reg::R5,
+                imm: 0
+            }
+        );
     }
 
     #[test]
     fn jal_forms() {
         let p = ok("jal sub\njal t0, sub\nsub: ret\n");
-        assert_eq!(Instr::decode(p.word_at(0)).unwrap(), Instr::Jal { rd: Reg::RA, offset: 8 });
-        assert_eq!(Instr::decode(p.word_at(4)).unwrap(), Instr::Jal { rd: Reg::R10, offset: 4 });
+        assert_eq!(
+            Instr::decode(p.word_at(0)).unwrap(),
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 8
+            }
+        );
+        assert_eq!(
+            Instr::decode(p.word_at(4)).unwrap(),
+            Instr::Jal {
+                rd: Reg::R10,
+                offset: 4
+            }
+        );
     }
 
     #[test]
     fn executes_assembled_program() {
         use hx_cpu::{Cpu, FlatRam, StepOutcome};
         // Sum 1..=10 with a loop, then ebreak.
-        let p = ok(
-            "        li   t0, 10\n\
+        let p = ok("        li   t0, 10\n\
                      li   t1, 0\n\
              loop:   add  t1, t1, t0\n\
                      addi t0, t0, -1\n\
                      bnez t0, loop\n\
-                     ebreak\n",
-        );
+                     ebreak\n");
         let mut ram = FlatRam::new(4096);
         p.load_into(ram.as_bytes_mut());
         let mut cpu = Cpu::new();

@@ -36,7 +36,12 @@ pub fn disasm(word: u32, pc: u32) -> String {
         Instr::Srai { rd, rs1, shamt } => format!("srai {rd}, {rs1}, {shamt}"),
         Instr::Lui { rd, imm } => format!("lui {rd}, {imm:#x}"),
         Instr::Auipc { rd, imm } => format!("auipc {rd}, {imm:#x}"),
-        Instr::Load { kind, rd, rs1, offset } => {
+        Instr::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
             let m = match kind {
                 LoadKind::B => "lb",
                 LoadKind::Bu => "lbu",
@@ -46,7 +51,12 @@ pub fn disasm(word: u32, pc: u32) -> String {
             };
             format!("{m} {rd}, {offset}({rs1})")
         }
-        Instr::Store { kind, rs1, rs2, offset } => {
+        Instr::Store {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let m = match kind {
                 StoreKind::B => "sb",
                 StoreKind::H => "sh",
@@ -54,7 +64,12 @@ pub fn disasm(word: u32, pc: u32) -> String {
             };
             format!("{m} {rs2}, {offset}({rs1})")
         }
-        Instr::Branch { cond, rs1, rs2, offset } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let target = pc.wrapping_add(offset as i32 as u32);
             format!("{} {rs1}, {rs2}, {target:#x}", cond.mnemonic())
         }

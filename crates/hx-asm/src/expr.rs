@@ -20,7 +20,10 @@ use crate::program::SymbolTable;
 /// Returns `Err` with a human-readable message on syntax errors or undefined
 /// symbols.
 pub fn eval(input: &str, symbols: &SymbolTable) -> Result<u32, String> {
-    let mut p = Parser { rest: input.trim(), symbols };
+    let mut p = Parser {
+        rest: input.trim(),
+        symbols,
+    };
     let v = p.expr()?;
     if !p.rest.is_empty() {
         return Err(format!("trailing input {:?} in expression", p.rest));

@@ -99,7 +99,11 @@ pub struct Program {
 impl Program {
     /// Builds a program from raw parts (assembler use).
     pub fn from_parts(base: u32, bytes: Vec<u8>, symbols: SymbolTable) -> Program {
-        Program { base, bytes, symbols }
+        Program {
+            base,
+            bytes,
+            symbols,
+        }
     }
 
     /// Lowest address occupied by the image.
@@ -211,8 +215,9 @@ mod tests {
 
     #[test]
     fn symbol_collect_and_extend() {
-        let t: SymbolTable =
-            vec![("a".to_string(), 1u32), ("b".to_string(), 2)].into_iter().collect();
+        let t: SymbolTable = vec![("a".to_string(), 1u32), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(t.get("a"), Some(1));
         let mut t = t;
         t.extend([("c".to_string(), 3u32)]);

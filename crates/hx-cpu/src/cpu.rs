@@ -301,7 +301,10 @@ impl Cpu {
                 }
                 self.cycles += cycles;
                 if tf_at_entry {
-                    StepOutcome::Trapped { trap: Trap::new(Cause::DebugStep, self.pc, 0), cycles }
+                    StepOutcome::Trapped {
+                        trap: Trap::new(Cause::DebugStep, self.pc, 0),
+                        cycles,
+                    }
                 } else {
                     StepOutcome::Executed { cycles }
                 }
@@ -385,7 +388,12 @@ impl Cpu {
                 self.set_reg(rd, pc.wrapping_add((imm as u32) << 16));
                 Ok(Flow::Next)
             }
-            Instr::Load { kind, rd, rs1, offset } => {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 *cycles += cost::MEM_EXTRA;
                 let va = self.reg(rs1).wrapping_add(offset as i32 as u32);
                 let size = match kind {
@@ -410,7 +418,12 @@ impl Cpu {
                 self.set_reg(rd, v);
                 Ok(Flow::Next)
             }
-            Instr::Store { kind, rs1, rs2, offset } => {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 *cycles += cost::MEM_EXTRA;
                 let va = self.reg(rs1).wrapping_add(offset as i32 as u32);
                 let size = match kind {
@@ -426,7 +439,12 @@ impl Cpu {
                     .map_err(|_| Trap::new(Cause::StoreAccessFault, pc, va))?;
                 Ok(Flow::Next)
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if cond.holds(self.reg(rs1), self.reg(rs2)) {
                     *cycles += cost::BRANCH_TAKEN_EXTRA;
                     Ok(Flow::Jump(pc.wrapping_add(offset as i32 as u32)))
@@ -447,17 +465,23 @@ impl Cpu {
             }
             Instr::Sys { op } => match op {
                 SysOp::Ecall => {
-                    let cause =
-                        if self.mode == Mode::User { Cause::EcallU } else { Cause::EcallS };
+                    let cause = if self.mode == Mode::User {
+                        Cause::EcallU
+                    } else {
+                        Cause::EcallS
+                    };
                     Err(Trap::new(cause, pc, 0))
                 }
                 SysOp::Ebreak => Err(Trap::new(Cause::Breakpoint, pc, 0)),
                 SysOp::Tret => {
                     *cycles += cost::TRET - cost::BASE;
                     let s = self.status;
-                    self.mode = if s.pmode_supervisor() { Mode::Supervisor } else { Mode::User };
-                    self.status =
-                        s.with(Status::IE, s.pie()).with(Status::TF, s.ptf());
+                    self.mode = if s.pmode_supervisor() {
+                        Mode::Supervisor
+                    } else {
+                        Mode::User
+                    };
+                    self.status = s.with(Status::IE, s.pie()).with(Status::TF, s.ptf());
                     Ok(Flow::Jump(self.epc))
                 }
                 SysOp::Wfi => {
@@ -525,10 +549,31 @@ mod tests {
     fn arithmetic_and_registers() {
         let (cpu, _) = run_program(
             &[
-                Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 100 }.encode(),
-                Instr::Addi { rd: Reg::R2, rs1: Reg::R1, imm: -58 }.encode(),
-                Instr::Alu { op: AluOp::Add, rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 }.encode(),
-                Instr::Addi { rd: Reg::R0, rs1: Reg::R1, imm: 0 }.encode(), // write to r0
+                Instr::Addi {
+                    rd: Reg::R1,
+                    rs1: Reg::R0,
+                    imm: 100,
+                }
+                .encode(),
+                Instr::Addi {
+                    rd: Reg::R2,
+                    rs1: Reg::R1,
+                    imm: -58,
+                }
+                .encode(),
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::R3,
+                    rs1: Reg::R1,
+                    rs2: Reg::R2,
+                }
+                .encode(),
+                Instr::Addi {
+                    rd: Reg::R0,
+                    rs1: Reg::R1,
+                    imm: 0,
+                }
+                .encode(), // write to r0
             ],
             4,
         );
@@ -543,17 +588,65 @@ mod tests {
     fn loads_and_stores_with_extension() {
         let (cpu, ram) = run_program(
             &[
-                Instr::Lui { rd: Reg::R1, imm: 0x8000 }.encode(), // r1 = 0x8000_0000? out of ram
-                Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 0x1000 }.encode(),
-                Instr::Addi { rd: Reg::R2, rs1: Reg::R0, imm: -1 }.encode(),
-                Instr::Store { kind: StoreKind::W, rs1: Reg::R1, rs2: Reg::R2, offset: 0 }
-                    .encode(),
-                Instr::Load { kind: LoadKind::B, rd: Reg::R3, rs1: Reg::R1, offset: 0 }.encode(),
-                Instr::Load { kind: LoadKind::Bu, rd: Reg::R4, rs1: Reg::R1, offset: 0 }.encode(),
-                Instr::Load { kind: LoadKind::H, rd: Reg::R5, rs1: Reg::R1, offset: 0 }.encode(),
-                Instr::Load { kind: LoadKind::Hu, rd: Reg::R6, rs1: Reg::R1, offset: 2 }.encode(),
-                Instr::Store { kind: StoreKind::B, rs1: Reg::R1, rs2: Reg::R0, offset: 1 }
-                    .encode(),
+                Instr::Lui {
+                    rd: Reg::R1,
+                    imm: 0x8000,
+                }
+                .encode(), // r1 = 0x8000_0000? out of ram
+                Instr::Addi {
+                    rd: Reg::R1,
+                    rs1: Reg::R0,
+                    imm: 0x1000,
+                }
+                .encode(),
+                Instr::Addi {
+                    rd: Reg::R2,
+                    rs1: Reg::R0,
+                    imm: -1,
+                }
+                .encode(),
+                Instr::Store {
+                    kind: StoreKind::W,
+                    rs1: Reg::R1,
+                    rs2: Reg::R2,
+                    offset: 0,
+                }
+                .encode(),
+                Instr::Load {
+                    kind: LoadKind::B,
+                    rd: Reg::R3,
+                    rs1: Reg::R1,
+                    offset: 0,
+                }
+                .encode(),
+                Instr::Load {
+                    kind: LoadKind::Bu,
+                    rd: Reg::R4,
+                    rs1: Reg::R1,
+                    offset: 0,
+                }
+                .encode(),
+                Instr::Load {
+                    kind: LoadKind::H,
+                    rd: Reg::R5,
+                    rs1: Reg::R1,
+                    offset: 0,
+                }
+                .encode(),
+                Instr::Load {
+                    kind: LoadKind::Hu,
+                    rd: Reg::R6,
+                    rs1: Reg::R1,
+                    offset: 2,
+                }
+                .encode(),
+                Instr::Store {
+                    kind: StoreKind::B,
+                    rs1: Reg::R1,
+                    rs2: Reg::R0,
+                    offset: 1,
+                }
+                .encode(),
             ],
             9,
         );
@@ -568,14 +661,44 @@ mod tests {
     fn branches_and_jumps() {
         // r1 = 3; loop: r2 += r1; r1 -= 1; bne r1, r0, loop
         let prog = [
-            Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 3 }.encode(),
-            Instr::Alu { op: AluOp::Add, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R1 }.encode(),
-            Instr::Addi { rd: Reg::R1, rs1: Reg::R1, imm: -1 }.encode(),
-            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::R1, rs2: Reg::R0, offset: -8 }
-                .encode(),
-            Instr::Jal { rd: Reg::RA, offset: 8 }.encode(),
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 3,
+            }
+            .encode(),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                rs2: Reg::R1,
+            }
+            .encode(),
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: -1,
+            }
+            .encode(),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R0,
+                offset: -8,
+            }
+            .encode(),
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 8,
+            }
+            .encode(),
             0, // skipped
-            Instr::Jalr { rd: Reg::R5, rs1: Reg::RA, offset: 4 }.encode(),
+            Instr::Jalr {
+                rd: Reg::R5,
+                rs1: Reg::RA,
+                offset: 4,
+            }
+            .encode(),
         ];
         let (cpu, _) = run_program(&prog, 1 + 3 * 3 + 2);
         assert_eq!(cpu.reg(Reg::R2), 6);
@@ -589,8 +712,18 @@ mod tests {
     fn jalr_same_source_and_dest() {
         let (cpu, _) = run_program(
             &[
-                Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 0x40 }.encode(),
-                Instr::Jalr { rd: Reg::R1, rs1: Reg::R1, offset: 0 }.encode(),
+                Instr::Addi {
+                    rd: Reg::R1,
+                    rs1: Reg::R0,
+                    imm: 0x40,
+                }
+                .encode(),
+                Instr::Jalr {
+                    rd: Reg::R1,
+                    rs1: Reg::R1,
+                    offset: 0,
+                }
+                .encode(),
             ],
             2,
         );
@@ -647,7 +780,13 @@ mod tests {
     #[test]
     fn privileged_instruction_traps_in_user_mode() {
         let mut ram = FlatRam::new(4096);
-        let word = Instr::Csr { op: CsrOp::Rw, rd: Reg::R1, rs1: Reg::R0, csr: 0 }.encode();
+        let word = Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            csr: 0,
+        }
+        .encode();
         ram.store_word(0, word);
         let mut cpu = Cpu::new();
         cpu.set_mode(Mode::User);
@@ -690,7 +829,16 @@ mod tests {
         }
         // Misaligned load.
         cpu.set_pc(4);
-        ram.store_word(4, Instr::Load { kind: LoadKind::W, rd: Reg::R1, rs1: Reg::R0, offset: 2 }.encode());
+        ram.store_word(
+            4,
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                offset: 2,
+            }
+            .encode(),
+        );
         match cpu.step(&mut ram) {
             StepOutcome::Trapped { trap, .. } => {
                 assert_eq!(trap.cause, Cause::LoadAddrMisaligned);
@@ -705,7 +853,13 @@ mod tests {
         let mut ram = FlatRam::new(4096);
         ram.store_word(
             0,
-            Instr::Load { kind: LoadKind::W, rd: Reg::R1, rs1: Reg::R0, offset: 0x4000 }.encode(),
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                offset: 0x4000,
+            }
+            .encode(),
         );
         let mut cpu = Cpu::new();
         match cpu.step(&mut ram) {
@@ -720,7 +874,15 @@ mod tests {
     #[test]
     fn single_step_flag_fires_after_one_instruction() {
         let mut ram = FlatRam::new(4096);
-        ram.store_word(0, Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 }.encode());
+        ram.store_word(
+            0,
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 1,
+            }
+            .encode(),
+        );
         let mut cpu = Cpu::new();
         cpu.write_csr(Csr::Status, Status::TF);
         match cpu.step(&mut ram) {
@@ -761,14 +923,24 @@ mod tests {
         // csrrs r1, cycle, r0  — read allowed (no write since rs1 == r0)
         ram.store_word(
             0,
-            Instr::Csr { op: CsrOp::Rs, rd: Reg::R1, rs1: Reg::R0, csr: Csr::Cycle.number() }
-                .encode(),
+            Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                csr: Csr::Cycle.number(),
+            }
+            .encode(),
         );
         // csrrw r0, cycle, r1 — write to RO csr must trap
         ram.store_word(
             4,
-            Instr::Csr { op: CsrOp::Rw, rd: Reg::R0, rs1: Reg::R1, csr: Csr::Cycle.number() }
-                .encode(),
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::R0,
+                rs1: Reg::R1,
+                csr: Csr::Cycle.number(),
+            }
+            .encode(),
         );
         let mut cpu = Cpu::new();
         assert!(matches!(cpu.step(&mut ram), StepOutcome::Executed { .. }));
@@ -780,7 +952,16 @@ mod tests {
         }
         // Unknown CSR number also traps.
         cpu.set_pc(8);
-        ram.store_word(8, Instr::Csr { op: CsrOp::Rw, rd: Reg::R0, rs1: Reg::R0, csr: 0xff }.encode());
+        ram.store_word(
+            8,
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::R0,
+                rs1: Reg::R0,
+                csr: 0xff,
+            }
+            .encode(),
+        );
         match cpu.step(&mut ram) {
             StepOutcome::Trapped { trap, .. } => {
                 assert_eq!(trap.cause, Cause::IllegalInstruction)
@@ -793,11 +974,25 @@ mod tests {
     fn paged_execution_and_page_fault() {
         let mut ram = FlatRam::new(256 * 1024);
         // Code at PA 0x0000, mapped at VA 0x0040_0000, executable+readable.
-        ram.store_word(0, Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 7 }.encode());
+        ram.store_word(
+            0,
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 7,
+            }
+            .encode(),
+        );
         // Store to unmapped VA 0x0080_0000 should page-fault.
         ram.store_word(
             4,
-            Instr::Store { kind: StoreKind::W, rs1: Reg::R2, rs2: Reg::R1, offset: 0 }.encode(),
+            Instr::Store {
+                kind: StoreKind::W,
+                rs1: Reg::R2,
+                rs2: Reg::R1,
+                offset: 0,
+            }
+            .encode(),
         );
         let root = 0x1_0000u32;
         let mut alloc = 0x1_1000u32;
@@ -808,7 +1003,8 @@ mod tests {
             0x0040_0000,
             0,
             pte::V | pte::R | pte::X,
-        ).unwrap();
+        )
+        .unwrap();
 
         let mut cpu = Cpu::new();
         cpu.write_csr(Csr::Ptbr, root | 1);
@@ -829,19 +1025,30 @@ mod tests {
     #[test]
     fn tlb_miss_then_hit_costs_differ() {
         let mut ram = FlatRam::new(256 * 1024);
-        ram.store_word(0, Instr::Load { kind: LoadKind::W, rd: Reg::R1, rs1: Reg::R2, offset: 0 }.encode());
-        ram.store_word(4, Instr::Load { kind: LoadKind::W, rd: Reg::R1, rs1: Reg::R2, offset: 4 }.encode());
+        ram.store_word(
+            0,
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                offset: 0,
+            }
+            .encode(),
+        );
+        ram.store_word(
+            4,
+            Instr::Load {
+                kind: LoadKind::W,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                offset: 4,
+            }
+            .encode(),
+        );
         let root = 0x1_0000u32;
         let mut alloc = 0x1_1000u32;
         crate::mmu::map_page(&mut ram, root, &mut alloc, 0, 0, pte::V | pte::R | pte::X).unwrap();
-        crate::mmu::map_page(
-            &mut ram,
-            root,
-            &mut alloc,
-            0x5000,
-            0x2000,
-            pte::V | pte::R,
-        ).unwrap();
+        crate::mmu::map_page(&mut ram, root, &mut alloc, 0x5000, 0x2000, pte::V | pte::R).unwrap();
         let mut cpu = Cpu::new();
         cpu.write_csr(Csr::Ptbr, root | 1);
         cpu.set_reg(Reg::R2, 0x5000);
@@ -853,7 +1060,10 @@ mod tests {
             StepOutcome::Executed { cycles } => cycles,
             other => panic!("{other:?}"),
         };
-        assert!(c1 > c2, "first access (TLB miss) must cost more: {c1} vs {c2}");
+        assert!(
+            c1 > c2,
+            "first access (TLB miss) must cost more: {c1} vs {c2}"
+        );
     }
 
     #[test]
@@ -864,7 +1074,15 @@ mod tests {
         let root = 0x1_0000u32;
         let mut alloc = 0x1_1000u32;
         crate::mmu::map_page(&mut ram, root, &mut alloc, 0, 0, pte::V | pte::R | pte::X).unwrap();
-        ram.store_word(0, Instr::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 }.encode());
+        ram.store_word(
+            0,
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 1,
+            }
+            .encode(),
+        );
         cpu.write_csr(Csr::Ptbr, root | 1);
         assert!(matches!(cpu.step(&mut ram), StepOutcome::Executed { .. }));
         let (h0, m0) = cpu.tlb_stats();
@@ -880,7 +1098,15 @@ mod tests {
     fn cycle_csr_tracks_cycles() {
         let mut ram = FlatRam::new(4096);
         for i in 0..4 {
-            ram.store_word(i * 4, Instr::Addi { rd: Reg::R1, rs1: Reg::R1, imm: 1 }.encode());
+            ram.store_word(
+                i * 4,
+                Instr::Addi {
+                    rd: Reg::R1,
+                    rs1: Reg::R1,
+                    imm: 1,
+                }
+                .encode(),
+            );
         }
         let mut cpu = Cpu::new();
         for _ in 0..4 {

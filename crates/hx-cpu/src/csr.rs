@@ -68,7 +68,10 @@ impl Csr {
 
     /// Returns `true` for counters that cannot be written.
     pub fn is_read_only(self) -> bool {
-        matches!(self, Csr::Cycle | Csr::Cycleh | Csr::Instret | Csr::Instreth)
+        matches!(
+            self,
+            Csr::Cycle | Csr::Cycleh | Csr::Instret | Csr::Instreth
+        )
     }
 
     /// Assembler name (`status`, `tvec`, …).

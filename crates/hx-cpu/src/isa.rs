@@ -183,7 +183,11 @@ impl AluOp {
     /// Applies the operation to two operand values.
     ///
     /// This is also the reference semantics used by property tests.
-    #[allow(clippy::manual_div_ceil, clippy::if_then_some_else_none, clippy::manual_checked_ops)]
+    #[allow(
+        clippy::manual_div_ceil,
+        clippy::if_then_some_else_none,
+        clippy::manual_checked_ops
+    )]
     pub fn apply(self, a: u32, b: u32) -> u32 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -688,14 +692,36 @@ impl Instr {
                 },
                 None => return err,
             },
-            op::ADDI => Instr::Addi { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) },
-            op::ANDI => Instr::Andi { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) },
-            op::ORI => Instr::Ori { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) },
-            op::XORI => Instr::Xori { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) },
-            op::SLTI => Instr::Slti { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) },
-            op::SLTIU => {
-                Instr::Sltiu { rd: field_rd(w), rs1: field_rs1_i(w), imm: field_imm16(w) }
-            }
+            op::ADDI => Instr::Addi {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
+            op::ANDI => Instr::Andi {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
+            op::ORI => Instr::Ori {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
+            op::XORI => Instr::Xori {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
+            op::SLTI => Instr::Slti {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
+            op::SLTIU => Instr::Sltiu {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                imm: field_imm16(w),
+            },
             op::SLLI | op::SRLI | op::SRAI => {
                 if w & 0xffff >= 32 {
                     return err;
@@ -707,8 +733,14 @@ impl Instr {
                     _ => Instr::Srai { rd, rs1, shamt },
                 }
             }
-            op::LUI => Instr::Lui { rd: field_rd(w), imm: (w & 0xffff) as u16 },
-            op::AUIPC => Instr::Auipc { rd: field_rd(w), imm: (w & 0xffff) as u16 },
+            op::LUI => Instr::Lui {
+                rd: field_rd(w),
+                imm: (w & 0xffff) as u16,
+            },
+            op::AUIPC => Instr::Auipc {
+                rd: field_rd(w),
+                imm: (w & 0xffff) as u16,
+            },
             op::LB | op::LBU | op::LH | op::LHU | op::LW => {
                 let kind = match opcode {
                     op::LB => LoadKind::B,
@@ -717,7 +749,12 @@ impl Instr {
                     op::LHU => LoadKind::Hu,
                     _ => LoadKind::W,
                 };
-                Instr::Load { kind, rd: field_rd(w), rs1: field_rs1_i(w), offset: field_imm16(w) }
+                Instr::Load {
+                    kind,
+                    rd: field_rd(w),
+                    rs1: field_rs1_i(w),
+                    offset: field_imm16(w),
+                }
             }
             op::SB | op::SH | op::SW => {
                 let kind = match opcode {
@@ -751,11 +788,16 @@ impl Instr {
             op::JAL => {
                 let raw = w & 0x1f_ffff;
                 let offset = ((raw << 11) as i32) >> 11;
-                Instr::Jal { rd: field_rd(w), offset }
+                Instr::Jal {
+                    rd: field_rd(w),
+                    offset,
+                }
             }
-            op::JALR => {
-                Instr::Jalr { rd: field_rd(w), rs1: field_rs1_i(w), offset: field_imm16(w) }
-            }
+            op::JALR => Instr::Jalr {
+                rd: field_rd(w),
+                rs1: field_rs1_i(w),
+                offset: field_imm16(w),
+            },
             op::SYS => match SysOp::from_selector(w & 0xffff) {
                 Some(s) => Instr::Sys { op: s },
                 None => return err,
@@ -785,12 +827,16 @@ impl Instr {
     /// field (±4 MiB) — the assembler checks reach before encoding.
     pub fn encode(self) -> u32 {
         fn r(opc: u32, rd: Reg, rs1: Reg, rs2: Reg, funct: u32) -> u32 {
-            (opc << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16)
+            (opc << 26)
+                | ((rd.index() as u32) << 21)
+                | ((rs1.index() as u32) << 16)
                 | ((rs2.index() as u32) << 11)
                 | (funct & 0x7ff)
         }
         fn i(opc: u32, rd: Reg, rs1: Reg, imm: u32) -> u32 {
-            (opc << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16)
+            (opc << 26)
+                | ((rd.index() as u32) << 21)
+                | ((rs1.index() as u32) << 16)
                 | (imm & 0xffff)
         }
         match self {
@@ -806,7 +852,12 @@ impl Instr {
             Instr::Srai { rd, rs1, shamt } => i(op::SRAI, rd, rs1, (shamt & 31) as u32),
             Instr::Lui { rd, imm } => i(op::LUI, rd, Reg::R0, imm as u32),
             Instr::Auipc { rd, imm } => i(op::AUIPC, rd, Reg::R0, imm as u32),
-            Instr::Load { kind, rd, rs1, offset } => {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let opc = match kind {
                     LoadKind::B => op::LB,
                     LoadKind::Bu => op::LBU,
@@ -816,7 +867,12 @@ impl Instr {
                 };
                 i(opc, rd, rs1, offset as u16 as u32)
             }
-            Instr::Store { kind, rs1, rs2, offset } => {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let opc = match kind {
                     StoreKind::B => op::SB,
                     StoreKind::H => op::SH,
@@ -824,7 +880,12 @@ impl Instr {
                 };
                 i(opc, rs1, rs2, offset as u16 as u32)
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let opc = match cond {
                     BranchCond::Eq => op::BEQ,
                     BranchCond::Ne => op::BNE,
@@ -844,7 +905,12 @@ impl Instr {
             }
             Instr::Jalr { rd, rs1, offset } => i(op::JALR, rd, rs1, offset as u16 as u32),
             Instr::Sys { op: s } => (op::SYS << 26) | s.selector(),
-            Instr::Csr { op: c, rd, rs1, csr } => {
+            Instr::Csr {
+                op: c,
+                rd,
+                rs1,
+                csr,
+            } => {
                 let opc = match c {
                     CsrOp::Rw => op::CSRRW,
                     CsrOp::Rs => op::CSRRS,
@@ -866,7 +932,9 @@ impl Instr {
             Instr::Csr { .. }
                 | Instr::Sys { op: SysOp::Tret }
                 | Instr::Sys { op: SysOp::Wfi }
-                | Instr::Sys { op: SysOp::TlbFlush }
+                | Instr::Sys {
+                    op: SysOp::TlbFlush
+                }
         )
     }
 }
@@ -892,7 +960,10 @@ mod tests {
 
     #[test]
     fn ebreak_word_decodes_to_ebreak() {
-        assert_eq!(Instr::decode(EBREAK_WORD), Ok(Instr::Sys { op: SysOp::Ebreak }));
+        assert_eq!(
+            Instr::decode(EBREAK_WORD),
+            Ok(Instr::Sys { op: SysOp::Ebreak })
+        );
     }
 
     #[test]
@@ -904,9 +975,18 @@ mod tests {
 
     #[test]
     fn jal_range_asserts() {
-        let ok = Instr::Jal { rd: Reg::RA, offset: -(1 << 20) };
+        let ok = Instr::Jal {
+            rd: Reg::RA,
+            offset: -(1 << 20),
+        };
         assert_eq!(Instr::decode(ok.encode()), Ok(ok));
-        let r = std::panic::catch_unwind(|| Instr::Jal { rd: Reg::RA, offset: 1 << 20 }.encode());
+        let r = std::panic::catch_unwind(|| {
+            Instr::Jal {
+                rd: Reg::RA,
+                offset: 1 << 20,
+            }
+            .encode()
+        });
         assert!(r.is_err());
     }
 
@@ -914,11 +994,25 @@ mod tests {
     fn privileged_classification() {
         assert!(Instr::Sys { op: SysOp::Tret }.is_privileged());
         assert!(Instr::Sys { op: SysOp::Wfi }.is_privileged());
-        assert!(Instr::Sys { op: SysOp::TlbFlush }.is_privileged());
-        assert!(Instr::Csr { op: CsrOp::Rw, rd: Reg::R0, rs1: Reg::R0, csr: 0 }.is_privileged());
+        assert!(Instr::Sys {
+            op: SysOp::TlbFlush
+        }
+        .is_privileged());
+        assert!(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            csr: 0
+        }
+        .is_privileged());
         assert!(!Instr::Sys { op: SysOp::Ecall }.is_privileged());
         assert!(!Instr::Sys { op: SysOp::Ebreak }.is_privileged());
-        assert!(!Instr::Addi { rd: Reg::R0, rs1: Reg::R0, imm: 0 }.is_privileged());
+        assert!(!Instr::Addi {
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            imm: 0
+        }
+        .is_privileged());
     }
 
     #[test]
@@ -939,7 +1033,12 @@ mod tests {
     fn arb_instr() -> impl Strategy<Value = Instr> {
         let reg = arb_reg;
         prop_oneof![
-            (proptest::sample::select(&AluOp::ALL[..]), reg(), reg(), reg())
+            (
+                proptest::sample::select(&AluOp::ALL[..]),
+                reg(),
+                reg(),
+                reg()
+            )
                 .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
             (reg(), reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
             (reg(), reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
@@ -964,14 +1063,24 @@ mod tests {
                 reg(),
                 any::<i16>()
             )
-                .prop_map(|(kind, rd, rs1, offset)| Instr::Load { kind, rd, rs1, offset }),
+                .prop_map(|(kind, rd, rs1, offset)| Instr::Load {
+                    kind,
+                    rd,
+                    rs1,
+                    offset
+                }),
             (
                 prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W)],
                 reg(),
                 reg(),
                 any::<i16>()
             )
-                .prop_map(|(kind, rs1, rs2, offset)| Instr::Store { kind, rs1, rs2, offset }),
+                .prop_map(|(kind, rs1, rs2, offset)| Instr::Store {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset
+                }),
             (
                 prop_oneof![
                     Just(BranchCond::Eq),
@@ -985,11 +1094,18 @@ mod tests {
                 reg(),
                 any::<i16>()
             )
-                .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset }),
-            (reg(), -(1i32 << 20)..(1i32 << 20))
-                .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-            (reg(), reg(), any::<i16>())
-                .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+                .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset
+                }),
+            (reg(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+            (reg(), reg(), any::<i16>()).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+                rd,
+                rs1,
+                offset
+            }),
             proptest::sample::select(&SysOp::ALL[..]).prop_map(|op| Instr::Sys { op }),
             (
                 prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],

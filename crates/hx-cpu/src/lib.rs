@@ -161,7 +161,9 @@ pub struct FlatRam {
 impl FlatRam {
     /// Creates `len` bytes of zeroed RAM.
     pub fn new(len: usize) -> Self {
-        FlatRam { bytes: vec![0; len] }
+        FlatRam {
+            bytes: vec![0; len],
+        }
     }
 
     /// Total size in bytes.

@@ -149,13 +149,17 @@ pub fn walk<B: Bus + ?Sized>(
     update_ad: bool,
 ) -> Result<Walk, TranslateErr> {
     let l1_addr = (root & pte::PPN_MASK) + l1_index(va) * 4;
-    let l1e = bus.read(l1_addr, MemSize::Word).map_err(TranslateErr::Bus)?;
+    let l1e = bus
+        .read(l1_addr, MemSize::Word)
+        .map_err(TranslateErr::Bus)?;
     if l1e & pte::V == 0 || l1e & (pte::R | pte::W | pte::X) != 0 {
         // Invalid pointer, or a (reserved) superpage leaf.
         return Err(TranslateErr::PageFault);
     }
     let l2_addr = (l1e & pte::PPN_MASK) + l2_index(va) * 4;
-    let mut leaf = bus.read(l2_addr, MemSize::Word).map_err(TranslateErr::Bus)?;
+    let mut leaf = bus
+        .read(l2_addr, MemSize::Word)
+        .map_err(TranslateErr::Bus)?;
     if !perm_ok(leaf, access, mode) {
         return Err(TranslateErr::PageFault);
     }
@@ -164,7 +168,8 @@ pub fn walk<B: Bus + ?Sized>(
         let want = pte::A | if access == Access::Store { pte::D } else { 0 };
         if leaf & want != want {
             leaf |= want;
-            bus.write(l2_addr, leaf, MemSize::Word).map_err(TranslateErr::Bus)?;
+            bus.write(l2_addr, leaf, MemSize::Word)
+                .map_err(TranslateErr::Bus)?;
             updated = true;
         }
     }
@@ -241,7 +246,11 @@ impl Default for Tlb {
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new() -> Tlb {
-        Tlb { entries: [TlbEntry::default(); TLB_ENTRIES], hits: 0, misses: 0 }
+        Tlb {
+            entries: [TlbEntry::default(); TLB_ENTRIES],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn slot(vpn: u32) -> usize {
@@ -300,15 +309,39 @@ mod tests {
         let mut ram = FlatRam::new(64 * 1024);
         let root = 0x1000;
         let mut alloc = 0x2000;
-        map_page(&mut ram, root, &mut alloc, 0x0040_0000, 0x5000, pte::V | pte::R | pte::W).unwrap();
+        map_page(
+            &mut ram,
+            root,
+            &mut alloc,
+            0x0040_0000,
+            0x5000,
+            pte::V | pte::R | pte::W,
+        )
+        .unwrap();
 
-        let w = walk(&mut ram, root, 0x0040_0123, Access::Load, Mode::Supervisor, true).unwrap();
+        let w = walk(
+            &mut ram,
+            root,
+            0x0040_0123,
+            Access::Load,
+            Mode::Supervisor,
+            true,
+        )
+        .unwrap();
         assert_eq!(w.paddr, 0x5123);
         assert!(w.leaf & pte::A != 0);
         assert!(w.leaf & pte::D == 0);
         assert!(w.updated_ad);
 
-        let w = walk(&mut ram, root, 0x0040_0200, Access::Store, Mode::Supervisor, true).unwrap();
+        let w = walk(
+            &mut ram,
+            root,
+            0x0040_0200,
+            Access::Store,
+            Mode::Supervisor,
+            true,
+        )
+        .unwrap();
         assert!(w.leaf & pte::D != 0);
         // Dirty bit persisted to memory.
         let stored = ram.load_word(w.leaf_addr);
@@ -322,7 +355,15 @@ mod tests {
         let mut alloc = 0x2000;
         map_page(&mut ram, root, &mut alloc, 0x1000, 0x5000, pte::V | pte::R).unwrap();
         let before = ram.clone();
-        walk(&mut ram, root, 0x1004, Access::Load, Mode::Supervisor, false).unwrap();
+        walk(
+            &mut ram,
+            root,
+            0x1004,
+            Access::Load,
+            Mode::Supervisor,
+            false,
+        )
+        .unwrap();
         assert_eq!(ram, before);
     }
 
@@ -332,11 +373,26 @@ mod tests {
         let root = 0x1000;
         let mut alloc = 0x2000;
         map_page(&mut ram, root, &mut alloc, 0x1000, 0x5000, pte::V | pte::R).unwrap(); // read-only, no U
-        map_page(&mut ram, root, &mut alloc, 0x2000, 0x6000, pte::V | pte::R | pte::U).unwrap();
+        map_page(
+            &mut ram,
+            root,
+            &mut alloc,
+            0x2000,
+            0x6000,
+            pte::V | pte::R | pte::U,
+        )
+        .unwrap();
 
         // Store to read-only page fails.
         assert_eq!(
-            walk(&mut ram, root, 0x1000, Access::Store, Mode::Supervisor, true),
+            walk(
+                &mut ram,
+                root,
+                0x1000,
+                Access::Store,
+                Mode::Supervisor,
+                true
+            ),
             Err(TranslateErr::PageFault)
         );
         // User access to supervisor page fails.
@@ -353,7 +409,14 @@ mod tests {
         );
         // Unmapped VA faults at level 1.
         assert_eq!(
-            walk(&mut ram, root, 0x8000_0000, Access::Load, Mode::Supervisor, true),
+            walk(
+                &mut ram,
+                root,
+                0x8000_0000,
+                Access::Load,
+                Mode::Supervisor,
+                true
+            ),
             Err(TranslateErr::PageFault)
         );
     }
@@ -362,7 +425,10 @@ mod tests {
     fn l1_leaf_bits_are_reserved() {
         let mut ram = FlatRam::new(64 * 1024);
         let root = 0x1000;
-        ram.store_word(root + l1_index(0x1000) * 4, pte::leaf(0x5000, pte::V | pte::R));
+        ram.store_word(
+            root + l1_index(0x1000) * 4,
+            pte::leaf(0x5000, pte::V | pte::R),
+        );
         assert_eq!(
             walk(&mut ram, root, 0x1000, Access::Load, Mode::Supervisor, true),
             Err(TranslateErr::PageFault)
@@ -385,10 +451,19 @@ mod tests {
         let mut tlb = Tlb::new();
         tlb.insert(0x4000, pte::leaf(0x7000, pte::V | pte::R | pte::W | pte::A));
         // Clean entry: loads hit, stores miss (must re-walk to set D).
-        assert_eq!(tlb.lookup(0x4010, Access::Load, Mode::Supervisor), Some(0x7010));
+        assert_eq!(
+            tlb.lookup(0x4010, Access::Load, Mode::Supervisor),
+            Some(0x7010)
+        );
         assert_eq!(tlb.lookup(0x4010, Access::Store, Mode::Supervisor), None);
-        tlb.insert(0x4000, pte::leaf(0x7000, pte::V | pte::R | pte::W | pte::A | pte::D));
-        assert_eq!(tlb.lookup(0x4010, Access::Store, Mode::Supervisor), Some(0x7010));
+        tlb.insert(
+            0x4000,
+            pte::leaf(0x7000, pte::V | pte::R | pte::W | pte::A | pte::D),
+        );
+        assert_eq!(
+            tlb.lookup(0x4010, Access::Store, Mode::Supervisor),
+            Some(0x7010)
+        );
         let (hits, misses) = tlb.stats();
         assert_eq!((hits, misses), (2, 1));
     }

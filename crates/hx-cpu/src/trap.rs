@@ -84,7 +84,10 @@ impl Cause {
 
     /// Returns `true` for the three page-fault causes.
     pub fn is_page_fault(self) -> bool {
-        matches!(self, Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault)
+        matches!(
+            self,
+            Cause::InstrPageFault | Cause::LoadPageFault | Cause::StorePageFault
+        )
     }
 
     /// Returns `true` for causes produced by the debug facilities
@@ -143,7 +146,11 @@ impl Trap {
 
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at pc={:#010x} (tval={:#010x})", self.cause, self.epc, self.tval)
+        write!(
+            f,
+            "{} at pc={:#010x} (tval={:#010x})",
+            self.cause, self.epc, self.tval
+        )
     }
 }
 

@@ -232,7 +232,14 @@ impl Hdc {
 
     /// Handles a [`Event::HdcComplete`]: performs the DMA, updates status
     /// and raises the unit's IRQ.
-    pub fn on_complete(&mut self, unit: u8, now: u64, mem: &mut Ram, pic: &mut Hpic) {
+    pub fn on_complete(
+        &mut self,
+        unit: u8,
+        now: u64,
+        mem: &mut Ram,
+        pic: &mut Hpic,
+        obs: &mut hx_obs::Recorder,
+    ) {
         let idx = unit as usize;
         if idx >= UNITS {
             return;
@@ -265,7 +272,8 @@ impl Hdc {
                         failed = true;
                         break;
                     }
-                    self.overlay.insert((unit, lba + s), sector.clone().into_boxed_slice());
+                    self.overlay
+                        .insert((unit, lba + s), sector.clone().into_boxed_slice());
                 }
             }
             _ => failed = true,
@@ -278,8 +286,10 @@ impl Hdc {
             self.stats.errors += 1;
         } else {
             self.stats.bytes += bytes;
+            obs.dma(now, hx_obs::Dev::Hdc, bytes.min(u32::MAX as u64) as u32);
         }
         pic.assert_irq(crate::map::irq::HDC0 + unit);
+        obs.irq(now, hx_obs::Dev::Hdc, (crate::map::irq::HDC0 + unit) as u32);
     }
 }
 
@@ -309,10 +319,26 @@ mod tests {
         dma: u32,
         now: u64,
     ) {
-        hdc.write_reg(unit_reg(unit, reg::LBA), lba, MemSize::Word, now, events).unwrap();
-        hdc.write_reg(unit_reg(unit, reg::COUNT), count, MemSize::Word, now, events).unwrap();
-        hdc.write_reg(unit_reg(unit, reg::DMA), dma, MemSize::Word, now, events).unwrap();
-        hdc.write_reg(unit_reg(unit, reg::CMD), cmd::READ, MemSize::Word, now, events).unwrap();
+        hdc.write_reg(unit_reg(unit, reg::LBA), lba, MemSize::Word, now, events)
+            .unwrap();
+        hdc.write_reg(
+            unit_reg(unit, reg::COUNT),
+            count,
+            MemSize::Word,
+            now,
+            events,
+        )
+        .unwrap();
+        hdc.write_reg(unit_reg(unit, reg::DMA), dma, MemSize::Word, now, events)
+            .unwrap();
+        hdc.write_reg(
+            unit_reg(unit, reg::CMD),
+            cmd::READ,
+            MemSize::Word,
+            now,
+            events,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -320,16 +346,21 @@ mod tests {
         let (mut hdc, mut mem, mut pic, mut events) = setup();
         start_read(&mut hdc, &mut events, 1, 7, 2, 0x1000, 0);
         assert_eq!(
-            hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word).unwrap(),
+            hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word)
+                .unwrap(),
             status::BUSY
         );
         let due = events.next_due().unwrap();
         // 1024 bytes at 40 MB/s at 25 MHz = 640 cycles + 1500 overhead.
         assert_eq!(due, 1500 + 640);
-        assert_eq!(events.pop_due(due), Some((due, Event::HdcComplete { unit: 1 })));
-        hdc.on_complete(1, due, &mut mem, &mut pic);
         assert_eq!(
-            hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word).unwrap(),
+            events.pop_due(due),
+            Some((due, Event::HdcComplete { unit: 1 }))
+        );
+        hdc.on_complete(1, due, &mut mem, &mut pic, &mut hx_obs::Recorder::new());
+        assert_eq!(
+            hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word)
+                .unwrap(),
             status::DONE
         );
         assert_eq!(pic.pending(), Some(crate::map::irq::HDC1));
@@ -344,13 +375,23 @@ mod tests {
     fn write_then_read_back_overlay() {
         let (mut hdc, mut mem, mut pic, mut events) = setup();
         mem.dma_write(0x2000, &[0xabu8; 512]).unwrap();
-        hdc.write_reg(unit_reg(0, reg::LBA), 3, MemSize::Word, 0, &mut events).unwrap();
-        hdc.write_reg(unit_reg(0, reg::COUNT), 1, MemSize::Word, 0, &mut events).unwrap();
-        hdc.write_reg(unit_reg(0, reg::DMA), 0x2000, MemSize::Word, 0, &mut events).unwrap();
-        hdc.write_reg(unit_reg(0, reg::CMD), cmd::WRITE, MemSize::Word, 0, &mut events).unwrap();
+        hdc.write_reg(unit_reg(0, reg::LBA), 3, MemSize::Word, 0, &mut events)
+            .unwrap();
+        hdc.write_reg(unit_reg(0, reg::COUNT), 1, MemSize::Word, 0, &mut events)
+            .unwrap();
+        hdc.write_reg(unit_reg(0, reg::DMA), 0x2000, MemSize::Word, 0, &mut events)
+            .unwrap();
+        hdc.write_reg(
+            unit_reg(0, reg::CMD),
+            cmd::WRITE,
+            MemSize::Word,
+            0,
+            &mut events,
+        )
+        .unwrap();
         let due = events.next_due().unwrap();
         events.pop_due(due);
-        hdc.on_complete(0, due, &mut mem, &mut pic);
+        hdc.on_complete(0, due, &mut mem, &mut pic, &mut hx_obs::Recorder::new());
         let mut buf = vec![0u8; 512];
         hdc.read_sector(0, 3, &mut buf);
         assert_eq!(buf, vec![0xab; 512]);
@@ -363,8 +404,17 @@ mod tests {
     fn doorbell_while_busy_is_error() {
         let (mut hdc, _mem, _pic, mut events) = setup();
         start_read(&mut hdc, &mut events, 0, 0, 1, 0x1000, 0);
-        hdc.write_reg(unit_reg(0, reg::CMD), cmd::READ, MemSize::Word, 10, &mut events).unwrap();
-        let s = hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word).unwrap();
+        hdc.write_reg(
+            unit_reg(0, reg::CMD),
+            cmd::READ,
+            MemSize::Word,
+            10,
+            &mut events,
+        )
+        .unwrap();
+        let s = hdc
+            .read_reg(unit_reg(0, reg::STATUS), MemSize::Word)
+            .unwrap();
         assert!(s & status::ERROR != 0);
         assert!(s & status::BUSY != 0, "original command still runs");
         assert_eq!(hdc.stats().errors, 1);
@@ -376,8 +426,10 @@ mod tests {
         start_read(&mut hdc, &mut events, 2, 0, 1, 0xffff_0000, 0);
         let due = events.next_due().unwrap();
         events.pop_due(due);
-        hdc.on_complete(2, due, &mut mem, &mut pic);
-        let s = hdc.read_reg(unit_reg(2, reg::STATUS), MemSize::Word).unwrap();
+        hdc.on_complete(2, due, &mut mem, &mut pic, &mut hx_obs::Recorder::new());
+        let s = hdc
+            .read_reg(unit_reg(2, reg::STATUS), MemSize::Word)
+            .unwrap();
         assert!(s & status::ERROR != 0);
         assert!(s & status::DONE == 0);
         // IRQ still raised so the driver sees the failure.
@@ -387,12 +439,32 @@ mod tests {
     #[test]
     fn zero_count_and_bad_command_rejected() {
         let (mut hdc, _mem, _pic, mut events) = setup();
-        hdc.write_reg(unit_reg(0, reg::COUNT), 0, MemSize::Word, 0, &mut events).unwrap();
-        hdc.write_reg(unit_reg(0, reg::CMD), cmd::READ, MemSize::Word, 0, &mut events).unwrap();
-        assert!(hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word).unwrap() & status::ERROR != 0);
-        hdc.write_reg(unit_reg(0, reg::COUNT), 1, MemSize::Word, 0, &mut events).unwrap();
-        hdc.write_reg(unit_reg(0, reg::CMD), 9, MemSize::Word, 0, &mut events).unwrap();
-        assert!(hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word).unwrap() & status::ERROR != 0);
+        hdc.write_reg(unit_reg(0, reg::COUNT), 0, MemSize::Word, 0, &mut events)
+            .unwrap();
+        hdc.write_reg(
+            unit_reg(0, reg::CMD),
+            cmd::READ,
+            MemSize::Word,
+            0,
+            &mut events,
+        )
+        .unwrap();
+        assert!(
+            hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word)
+                .unwrap()
+                & status::ERROR
+                != 0
+        );
+        hdc.write_reg(unit_reg(0, reg::COUNT), 1, MemSize::Word, 0, &mut events)
+            .unwrap();
+        hdc.write_reg(unit_reg(0, reg::CMD), 9, MemSize::Word, 0, &mut events)
+            .unwrap();
+        assert!(
+            hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word)
+                .unwrap()
+                & status::ERROR
+                != 0
+        );
         assert!(events.is_empty());
     }
 
@@ -404,11 +476,21 @@ mod tests {
         let due = events.next_due().unwrap();
         while let Some((at, ev)) = events.pop_due(due) {
             if let Event::HdcComplete { unit } = ev {
-                hdc.on_complete(unit, at, &mut mem, &mut pic);
+                hdc.on_complete(unit, at, &mut mem, &mut pic, &mut hx_obs::Recorder::new());
             }
         }
-        assert!(hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word).unwrap() & status::DONE != 0);
-        assert!(hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word).unwrap() & status::DONE != 0);
+        assert!(
+            hdc.read_reg(unit_reg(0, reg::STATUS), MemSize::Word)
+                .unwrap()
+                & status::DONE
+                != 0
+        );
+        assert!(
+            hdc.read_reg(unit_reg(1, reg::STATUS), MemSize::Word)
+                .unwrap()
+                & status::DONE
+                != 0
+        );
         // Same LBA on different units yields different content.
         assert_ne!(mem.word(0x1000), mem.word(0x3000));
     }

@@ -12,6 +12,7 @@ use crate::uart::Huart;
 use hx_asm::Program;
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{Bus, BusFault, Cpu, MemSize, StepOutcome};
+use hx_obs::{Dev, Recorder};
 
 /// Construction parameters for a [`Machine`].
 ///
@@ -109,6 +110,10 @@ pub struct Machine {
     pub hdc: Hdc,
     /// Network controller.
     pub nic: Nic,
+    /// Observability recorder: devices and monitors log trace events and
+    /// cycle attribution here. Purely an observer — never feeds back into
+    /// simulation state.
+    pub obs: Recorder,
     events: EventQueue,
     now: u64,
     waiting: bool,
@@ -126,6 +131,7 @@ impl Machine {
             uart: Huart::new(),
             hdc: Hdc::new(cfg.clock_hz, cfg.disk_bps, cfg.hdc_cmd_overhead),
             nic: Nic::new(cfg.clock_hz, cfg.wire_bps, cfg.nic_tx_fetch),
+            obs: Recorder::new(),
             events: EventQueue::new(),
             now: 0,
             waiting: false,
@@ -161,6 +167,10 @@ impl Machine {
     /// Host → target bytes on the debug UART.
     pub fn uart_input(&mut self, bytes: &[u8]) {
         self.uart.push_rx(bytes, &mut self.pic);
+        if self.uart.rx_irq_enabled() {
+            self.obs
+                .irq(self.now, Dev::Uart, crate::map::irq::UART as u32);
+        }
         self.waiting = false; // a wedged-in-wfi CPU wakes on the latched IRQ
     }
 
@@ -177,18 +187,31 @@ impl Machine {
     fn process_due_events(&mut self) {
         while let Some((at, ev)) = self.events.pop_due(self.now) {
             match ev {
-                Event::PitTick => self.pit.on_tick(at, &mut self.pic, &mut self.events),
+                Event::PitTick => {
+                    self.pit
+                        .on_tick(at, &mut self.pic, &mut self.events, &mut self.obs)
+                }
                 Event::HdcComplete { unit } => {
-                    self.hdc.on_complete(unit, at, &mut self.mem, &mut self.pic)
+                    self.hdc
+                        .on_complete(unit, at, &mut self.mem, &mut self.pic, &mut self.obs)
                 }
-                Event::NicTxKick => {
-                    self.nic.on_tx_kick(self.now, &mut self.mem, &mut self.pic, &mut self.events)
-                }
-                Event::NicTxDone => {
-                    self.nic.on_tx_done(self.now, &mut self.mem, &mut self.pic, &mut self.events)
-                }
+                Event::NicTxKick => self.nic.on_tx_kick(
+                    self.now,
+                    &mut self.mem,
+                    &mut self.pic,
+                    &mut self.events,
+                    &mut self.obs,
+                ),
+                Event::NicTxDone => self.nic.on_tx_done(
+                    self.now,
+                    &mut self.mem,
+                    &mut self.pic,
+                    &mut self.events,
+                    &mut self.obs,
+                ),
                 Event::NicRxDeliver => {
-                    self.nic.on_rx_deliver(self.now, &mut self.mem, &mut self.pic)
+                    self.nic
+                        .on_rx_deliver(self.now, &mut self.mem, &mut self.pic, &mut self.obs)
                 }
             }
         }
@@ -266,6 +289,7 @@ impl Machine {
             hdc: &mut self.hdc,
             nic: &mut self.nic,
             events: &mut self.events,
+            obs: &mut self.obs,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -279,18 +303,25 @@ impl Machine {
             StepOutcome::Executed { cycles } => {
                 self.now += cycles + extra;
                 self.process_due_events();
-                MachineStep::Executed { cycles: cycles + extra }
+                MachineStep::Executed {
+                    cycles: cycles + extra,
+                }
             }
             StepOutcome::Wfi { cycles } => {
                 self.now += cycles + extra;
                 self.waiting = true;
                 self.process_due_events();
-                MachineStep::Executed { cycles: cycles + extra }
+                MachineStep::Executed {
+                    cycles: cycles + extra,
+                }
             }
             StepOutcome::Trapped { trap, cycles } => {
                 self.now += cycles + extra;
                 self.process_due_events();
-                MachineStep::Trapped { trap, cycles: cycles + extra }
+                MachineStep::Trapped {
+                    trap,
+                    cycles: cycles + extra,
+                }
             }
         }
     }
@@ -310,6 +341,7 @@ impl Machine {
             hdc: &mut self.hdc,
             nic: &mut self.nic,
             events: &mut self.events,
+            obs: &mut self.obs,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: 0,
@@ -331,6 +363,7 @@ impl Machine {
             hdc: &mut self.hdc,
             nic: &mut self.nic,
             events: &mut self.events,
+            obs: &mut self.obs,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: 0,
@@ -349,6 +382,7 @@ impl Machine {
             hdc: &mut self.hdc,
             nic: &mut self.nic,
             events: &mut self.events,
+            obs: &mut self.obs,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -366,6 +400,7 @@ impl Machine {
             hdc: &mut self.hdc,
             nic: &mut self.nic,
             events: &mut self.events,
+            obs: &mut self.obs,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -384,6 +419,7 @@ pub struct MachineBus<'a> {
     hdc: &'a mut Hdc,
     nic: &'a mut Nic,
     events: &'a mut EventQueue,
+    obs: &'a mut Recorder,
     now: u64,
     mmio_extra: u64,
     mmio_cost: u64,
@@ -431,14 +467,28 @@ impl Bus for MachineBus<'_> {
         let (page, off) = Self::device_page(paddr).ok_or(BusFault::Unmapped)?;
         self.mmio_extra += self.mmio_cost;
         use crate::map::*;
-        match page {
+        let res = match page {
             PIC_BASE => self.pic.write_reg(off, val, size),
             PIT_BASE => self.pit.write_reg(off, val, size, self.now, self.events),
             UART_BASE => self.uart.write_reg(off, val, size),
             HDC_BASE => self.hdc.write_reg(off, val, size, self.now, self.events),
             NIC_BASE => self.nic.write_reg(off, val, size, self.now, self.events),
             _ => Err(BusFault::Unmapped),
+        };
+        if res.is_ok() {
+            // Doorbell writes (registers that kick a device into action) are
+            // trace-worthy: they delimit guest I/O submissions.
+            match (page, off) {
+                (NIC_BASE, crate::nic::reg::TX_TAIL | crate::nic::reg::RX_TAIL) => {
+                    self.obs.doorbell(self.now, Dev::Nic, off);
+                }
+                (HDC_BASE, _) if off % 0x40 == crate::disk::reg::CMD => {
+                    self.obs.doorbell(self.now, Dev::Hdc, off);
+                }
+                _ => {}
+            }
         }
+        res
     }
 }
 
@@ -449,7 +499,10 @@ mod tests {
 
     fn machine_with(src: &str) -> Machine {
         let program = hx_asm::assemble(src).expect("test program assembles");
-        let mut m = Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         m.load_program(&program);
         m
     }
@@ -521,7 +574,10 @@ mod tests {
             pit_irq = map::irq::PIT,
         );
         let program = hx_asm::assemble(&src).unwrap();
-        let mut m = Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         program.load_into(m.mem.as_bytes_mut());
         m.cpu.set_pc(program.symbols.get("start").unwrap());
         run_until(&mut m, 100_000, |m| m.cpu.reg(hx_cpu::Reg::R18) >= 3);
@@ -557,7 +613,10 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
-        assert!(idle_total > 9_000, "most of the 10k-cycle wait must be idle, got {idle_total}");
+        assert!(
+            idle_total > 9_000,
+            "most of the 10k-cycle wait must be idle, got {idle_total}"
+        );
     }
 
     #[test]
@@ -681,8 +740,16 @@ mod tests {
     #[test]
     fn bus_read_write_helpers() {
         let mut m = machine_with("nop\n");
-        m.bus_write(map::PIC_BASE + crate::pic::reg::IMR, 0x55, MemSize::Word).unwrap();
-        assert_eq!(m.bus_read(map::PIC_BASE + crate::pic::reg::IMR, MemSize::Word).unwrap(), 0x55);
-        assert_eq!(m.bus_read(0xe000_0000, MemSize::Word), Err(BusFault::Unmapped));
+        m.bus_write(map::PIC_BASE + crate::pic::reg::IMR, 0x55, MemSize::Word)
+            .unwrap();
+        assert_eq!(
+            m.bus_read(map::PIC_BASE + crate::pic::reg::IMR, MemSize::Word)
+                .unwrap(),
+            0x55
+        );
+        assert_eq!(
+            m.bus_read(0xe000_0000, MemSize::Word),
+            Err(BusFault::Unmapped)
+        );
     }
 }

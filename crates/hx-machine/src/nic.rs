@@ -31,6 +31,7 @@ use crate::pic::Hpic;
 use crate::ram::Ram;
 use crate::timing::{self, FRAME_WIRE_OVERHEAD, MIN_FRAME};
 use hx_cpu::{BusFault, MemSize};
+use hx_obs::{Dev, Recorder};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -189,7 +190,10 @@ impl Nic {
 
     /// Takes all frames captured so far.
     pub fn take_captured(&mut self) -> Vec<Vec<u8>> {
-        self.capture.as_mut().map(std::mem::take).unwrap_or_default()
+        self.capture
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Host-side injection of a received frame; delivery into the guest RX
@@ -211,13 +215,21 @@ impl Nic {
     }
 
     fn write_desc_word(mem: &mut Ram, base: u32, index: u32, word: usize, val: u32) {
-        let _ = mem.dma_write(Self::desc_addr(base, index) + word as u32 * 4, &val.to_le_bytes());
+        let _ = mem.dma_write(
+            Self::desc_addr(base, index) + word as u32 * 4,
+            &val.to_le_bytes(),
+        );
     }
 
-    fn raise(&mut self, bit: u32, pic: &mut Hpic) {
+    fn raise(&mut self, bit: u32, pic: &mut Hpic, now: u64, obs: &mut Recorder) {
         self.istatus |= bit;
-        let irq = if bit == istatus::RX { crate::map::irq::NIC_RX } else { crate::map::irq::NIC_TX };
+        let irq = if bit == istatus::RX {
+            crate::map::irq::NIC_RX
+        } else {
+            crate::map::irq::NIC_TX
+        };
         pic.assert_irq(irq);
+        obs.irq(now, Dev::Nic, irq as u32);
         if bit == istatus::TX_DONE {
             self.counters.tx_irqs += 1;
         }
@@ -225,7 +237,14 @@ impl Nic {
 
     /// Handles [`Event::NicTxKick`]: gathers the next TX frame's fragment
     /// chain and starts serializing it.
-    pub fn on_tx_kick(&mut self, now: u64, mem: &mut Ram, pic: &mut Hpic, events: &mut EventQueue) {
+    pub fn on_tx_kick(
+        &mut self,
+        now: u64,
+        mem: &mut Ram,
+        pic: &mut Hpic,
+        events: &mut EventQueue,
+        obs: &mut Recorder,
+    ) {
         if self.tx_active || self.tx_len == 0 || self.tx_head == self.tx_tail {
             return;
         }
@@ -236,21 +255,21 @@ impl Nic {
         loop {
             if count == MAX_FRAGS || (count > 0 && idx == self.tx_tail) {
                 // Over-long chain or chain runs off the posted descriptors.
-                self.fail_tx_frame(first, count.max(1), mem, pic, events, now);
+                self.fail_tx_frame(first, count.max(1), mem, pic, events, now, obs);
                 return;
             }
             let Ok([addr, len, flags, _status]) = Self::read_desc(mem, self.tx_base, idx) else {
-                self.fail_tx_frame(first, count + 1, mem, pic, events, now);
+                self.fail_tx_frame(first, count + 1, mem, pic, events, now, obs);
                 return;
             };
             if len == 0 || payload.len() as u32 + len > MAX_FRAME {
-                self.fail_tx_frame(first, count + 1, mem, pic, events, now);
+                self.fail_tx_frame(first, count + 1, mem, pic, events, now, obs);
                 return;
             }
             let start = payload.len();
             payload.resize(start + len as usize, 0);
             if mem.dma_read(addr, &mut payload[start..]).is_err() {
-                self.fail_tx_frame(first, count + 1, mem, pic, events, now);
+                self.fail_tx_frame(first, count + 1, mem, pic, events, now, obs);
                 return;
             }
             count += 1;
@@ -260,6 +279,7 @@ impl Nic {
             }
         }
         let len = payload.len() as u32;
+        obs.dma(now, Dev::Nic, len);
         let wire_bytes = len.max(MIN_FRAME - 4) + FRAME_WIRE_OVERHEAD;
         let cycles = timing::cycles_for_bits(wire_bytes as u64 * 8, self.clock_hz, self.wire_bps);
         self.tx_active = true;
@@ -268,6 +288,7 @@ impl Nic {
         events.schedule(now + cycles.max(1), Event::NicTxDone);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fail_tx_frame(
         &mut self,
         first: u32,
@@ -276,6 +297,7 @@ impl Nic {
         pic: &mut Hpic,
         events: &mut EventQueue,
         now: u64,
+        obs: &mut Recorder,
     ) {
         for k in 0..count {
             let idx = (first + k) % self.tx_len.max(1);
@@ -283,7 +305,7 @@ impl Nic {
         }
         self.tx_head = (first + count) % self.tx_len.max(1);
         self.counters.tx_errors += 1;
-        self.raise(istatus::ERROR, pic);
+        self.raise(istatus::ERROR, pic, now, obs);
         if self.tx_head != self.tx_tail {
             events.schedule(now + self.fetch_delay, Event::NicTxKick);
         }
@@ -291,7 +313,14 @@ impl Nic {
 
     /// Handles [`Event::NicTxDone`]: completes the in-flight frame, raises
     /// the moderated completion interrupt, and chains to the next frame.
-    pub fn on_tx_done(&mut self, now: u64, mem: &mut Ram, pic: &mut Hpic, events: &mut EventQueue) {
+    pub fn on_tx_done(
+        &mut self,
+        now: u64,
+        mem: &mut Ram,
+        pic: &mut Hpic,
+        events: &mut EventQueue,
+        obs: &mut Recorder,
+    ) {
         let Some((first, count, payload)) = self.in_flight.take() else {
             return;
         };
@@ -299,7 +328,11 @@ impl Nic {
         self.counters.tx_frames += 1;
         self.counters.tx_bytes += payload.len() as u64;
         self.counters.tx_checksum = fnv1a(
-            if self.counters.tx_checksum == 0 { FNV_OFFSET } else { self.counters.tx_checksum },
+            if self.counters.tx_checksum == 0 {
+                FNV_OFFSET
+            } else {
+                self.counters.tx_checksum
+            },
             &payload,
         );
         if let Some(cap) = &mut self.capture {
@@ -317,7 +350,7 @@ impl Nic {
         // reclaim and only need the interrupt as a wake-up.
         if self.frames_since_irq >= self.moderation.max(1) {
             self.frames_since_irq = 0;
-            self.raise(istatus::TX_DONE, pic);
+            self.raise(istatus::TX_DONE, pic, now, obs);
         }
         if self.tx_head != self.tx_tail {
             events.schedule(now + self.fetch_delay, Event::NicTxKick);
@@ -326,7 +359,7 @@ impl Nic {
 
     /// Handles [`Event::NicRxDeliver`]: moves queued frames into free RX
     /// descriptors.
-    pub fn on_rx_deliver(&mut self, _now: u64, mem: &mut Ram, pic: &mut Hpic) {
+    pub fn on_rx_deliver(&mut self, now: u64, mem: &mut Ram, pic: &mut Hpic, obs: &mut Recorder) {
         let mut delivered = false;
         while !self.rx_queue.is_empty() && self.rx_len != 0 && self.rx_head != self.rx_tail {
             let frame = self.rx_queue.front().unwrap();
@@ -346,6 +379,7 @@ impl Nic {
                         Self::write_desc_word(mem, self.rx_base, idx, 3, 1);
                         self.counters.rx_frames += 1;
                         self.counters.rx_bytes += frame.len() as u64;
+                        obs.dma(now, Dev::Nic, frame.len() as u32);
                     }
                     self.rx_head = (self.rx_head + 1) % self.rx_len.max(1);
                     delivered = true;
@@ -357,7 +391,7 @@ impl Nic {
             }
         }
         if delivered {
-            self.raise(istatus::RX, pic);
+            self.raise(istatus::RX, pic, now, obs);
         }
     }
 
@@ -407,7 +441,11 @@ impl Nic {
             reg::TX_BASE => self.tx_base = val,
             reg::TX_LEN => self.tx_len = val,
             reg::TX_TAIL => {
-                self.tx_tail = if self.tx_len == 0 { val } else { val % self.tx_len };
+                self.tx_tail = if self.tx_len == 0 {
+                    val
+                } else {
+                    val % self.tx_len
+                };
                 if !self.tx_active && self.tx_head != self.tx_tail {
                     events.schedule(now + self.fetch_delay, Event::NicTxKick);
                 }
@@ -417,7 +455,11 @@ impl Nic {
             reg::RX_BASE => self.rx_base = val,
             reg::RX_LEN => self.rx_len = val,
             reg::RX_TAIL => {
-                self.rx_tail = if self.rx_len == 0 { val } else { val % self.rx_len };
+                self.rx_tail = if self.rx_len == 0 {
+                    val
+                } else {
+                    val % self.rx_len
+                };
                 if !self.rx_queue.is_empty() {
                     events.schedule(now + 1, Event::NicRxDeliver);
                 }
@@ -436,7 +478,12 @@ mod tests {
     const WIRE: u64 = 1_000_000_000;
 
     fn setup() -> (Nic, Ram, Hpic, EventQueue) {
-        (Nic::new(CLOCK, WIRE, 40), Ram::new(256 * 1024), Hpic::new(), EventQueue::new())
+        (
+            Nic::new(CLOCK, WIRE, 40),
+            Ram::new(256 * 1024),
+            Hpic::new(),
+            EventQueue::new(),
+        )
     }
 
     /// Writes a TX descriptor and its payload into memory.
@@ -444,19 +491,21 @@ mod tests {
         mem.dma_write(buf, payload).unwrap();
         let d = ring + idx * 16;
         mem.dma_write(d, &buf.to_le_bytes()).unwrap();
-        mem.dma_write(d + 4, &(payload.len() as u32).to_le_bytes()).unwrap();
+        mem.dma_write(d + 4, &(payload.len() as u32).to_le_bytes())
+            .unwrap();
         mem.dma_write(d + 8, &0u32.to_le_bytes()).unwrap();
         mem.dma_write(d + 12, &0u32.to_le_bytes()).unwrap();
     }
 
     fn run_events(nic: &mut Nic, mem: &mut Ram, pic: &mut Hpic, events: &mut EventQueue) -> u64 {
+        let mut obs = Recorder::new();
         let mut now = 0;
         while let Some(due) = events.next_due() {
             now = due;
             match events.pop_due(now).unwrap().1 {
-                Event::NicTxKick => nic.on_tx_kick(now, mem, pic, events),
-                Event::NicTxDone => nic.on_tx_done(now, mem, pic, events),
-                Event::NicRxDeliver => nic.on_rx_deliver(now, mem, pic),
+                Event::NicTxKick => nic.on_tx_kick(now, mem, pic, events, &mut obs),
+                Event::NicTxDone => nic.on_tx_done(now, mem, pic, events, &mut obs),
+                Event::NicRxDeliver => nic.on_rx_deliver(now, mem, pic, &mut obs),
                 other => panic!("unexpected event {other:?}"),
             }
         }
@@ -464,8 +513,10 @@ mod tests {
     }
 
     fn program_tx(nic: &mut Nic, events: &mut EventQueue, ring: u32, len: u32) {
-        nic.write_reg(reg::TX_BASE, ring, MemSize::Word, 0, events).unwrap();
-        nic.write_reg(reg::TX_LEN, len, MemSize::Word, 0, events).unwrap();
+        nic.write_reg(reg::TX_BASE, ring, MemSize::Word, 0, events)
+            .unwrap();
+        nic.write_reg(reg::TX_LEN, len, MemSize::Word, 0, events)
+            .unwrap();
     }
 
     #[test]
@@ -474,7 +525,8 @@ mod tests {
         nic.set_capture(true);
         stage_frame(&mut mem, 0x1000, 0, 0x4000, &[7u8; 1250]);
         program_tx(&mut nic, &mut events, 0x1000, 8);
-        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         let end = run_events(&mut nic, &mut mem, &mut pic, &mut events);
         // Serialization time: (1250+24) bytes at 1 Gb/s at 25 MHz ≈ 255
         // cycles, plus the 40-cycle fetch delay.
@@ -488,8 +540,12 @@ mod tests {
         assert_eq!(mem.word(0x1000 + 12), 1);
         assert_eq!(nic.read_reg(reg::TX_HEAD, MemSize::Word).unwrap(), 1);
         assert_eq!(pic.pending(), Some(crate::map::irq::NIC_TX));
-        assert_eq!(nic.read_reg(reg::ISTATUS, MemSize::Word).unwrap(), istatus::TX_DONE);
-        nic.write_reg(reg::IACK, istatus::TX_DONE, MemSize::Word, 0, &mut events).unwrap();
+        assert_eq!(
+            nic.read_reg(reg::ISTATUS, MemSize::Word).unwrap(),
+            istatus::TX_DONE
+        );
+        nic.write_reg(reg::IACK, istatus::TX_DONE, MemSize::Word, 0, &mut events)
+            .unwrap();
         assert_eq!(nic.read_reg(reg::ISTATUS, MemSize::Word).unwrap(), 0);
     }
 
@@ -500,8 +556,10 @@ mod tests {
             stage_frame(&mut mem, 0x1000, i, 0x4000 + i * 0x1000, &[i as u8; 1000]);
         }
         program_tx(&mut nic, &mut events, 0x1000, 8);
-        nic.write_reg(reg::MODERATION, 4, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::TX_TAIL, 6, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::MODERATION, 4, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::TX_TAIL, 6, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         let c = nic.counters();
         assert_eq!(c.tx_frames, 6);
@@ -518,7 +576,8 @@ mod tests {
             let idx = round % 2;
             stage_frame(&mut mem, 0x1000, idx, 0x4000, &[round as u8; 100]);
             let tail = (idx + 1) % 2;
-            nic.write_reg(reg::TX_TAIL, tail, MemSize::Word, 0, &mut events).unwrap();
+            nic.write_reg(reg::TX_TAIL, tail, MemSize::Word, 0, &mut events)
+                .unwrap();
             run_events(&mut nic, &mut mem, &mut pic, &mut events);
         }
         assert_eq!(nic.counters().tx_frames, 3);
@@ -534,7 +593,8 @@ mod tests {
         mem.dma_write(d0 + 4, &100u32.to_le_bytes()).unwrap();
         stage_frame(&mut mem, 0x1000, 1, 0x4000, &[9u8; 100]);
         program_tx(&mut nic, &mut events, 0x1000, 8);
-        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         let c = nic.counters();
         assert_eq!(c.tx_errors, 1);
@@ -549,14 +609,17 @@ mod tests {
         let (mut nic, mut mem, mut pic, mut events) = setup();
         stage_frame(&mut mem, 0x1000, 0, 0x4000, &[]);
         program_tx(&mut nic, &mut events, 0x1000, 4);
-        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().tx_errors, 1);
         // Oversize.
         let d = 0x1000u32 + 16;
         mem.dma_write(d, &0x4000u32.to_le_bytes()).unwrap();
-        mem.dma_write(d + 4, &(MAX_FRAME + 1).to_le_bytes()).unwrap();
-        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events).unwrap();
+        mem.dma_write(d + 4, &(MAX_FRAME + 1).to_le_bytes())
+            .unwrap();
+        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().tx_errors, 2);
     }
@@ -566,11 +629,15 @@ mod tests {
         let (mut nic, mut mem, mut pic, mut events) = setup();
         stage_frame(&mut mem, 0x1000, 0, 0x4000, &[1u8; 10]);
         program_tx(&mut nic, &mut events, 0x1000, 4);
-        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         let c = nic.counters();
         assert_eq!(c.tx_bytes, 10);
-        assert_eq!(c.tx_wire_bytes, (MIN_FRAME - 4 + FRAME_WIRE_OVERHEAD) as u64);
+        assert_eq!(
+            c.tx_wire_bytes,
+            (MIN_FRAME - 4 + FRAME_WIRE_OVERHEAD) as u64
+        );
     }
 
     #[test]
@@ -579,12 +646,16 @@ mod tests {
         // Two free RX buffers of 2 KiB each.
         for i in 0..2u32 {
             let d = 0x2000 + i * 16;
-            mem.dma_write(d, &(0x8000 + i * 0x1000).to_le_bytes()).unwrap();
+            mem.dma_write(d, &(0x8000 + i * 0x1000).to_le_bytes())
+                .unwrap();
             mem.dma_write(d + 4, &2048u32.to_le_bytes()).unwrap();
         }
-        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::RX_TAIL, 2, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::RX_TAIL, 2, MemSize::Word, 0, &mut events)
+            .unwrap();
         nic.inject_rx(vec![0x55; 300], 0, &mut events);
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         let c = nic.counters();
@@ -599,8 +670,10 @@ mod tests {
     #[test]
     fn rx_waits_for_buffers() {
         let (mut nic, mut mem, mut pic, mut events) = setup();
-        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events)
+            .unwrap();
         nic.inject_rx(vec![1, 2, 3], 0, &mut events);
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().rx_frames, 0, "no buffers posted yet");
@@ -608,7 +681,8 @@ mod tests {
         let d = 0x2000;
         mem.dma_write(d, &0x8000u32.to_le_bytes()).unwrap();
         mem.dma_write(d + 4, &2048u32.to_le_bytes()).unwrap();
-        nic.write_reg(reg::RX_TAIL, 1, MemSize::Word, 100, &mut events).unwrap();
+        nic.write_reg(reg::RX_TAIL, 1, MemSize::Word, 100, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().rx_frames, 1);
     }
@@ -619,9 +693,12 @@ mod tests {
         let d = 0x2000;
         mem.dma_write(d, &0x8000u32.to_le_bytes()).unwrap();
         mem.dma_write(d + 4, &64u32.to_le_bytes()).unwrap();
-        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events).unwrap();
-        nic.write_reg(reg::RX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::RX_BASE, 0x2000, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::RX_LEN, 4, MemSize::Word, 0, &mut events)
+            .unwrap();
+        nic.write_reg(reg::RX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         nic.inject_rx(vec![0; 200], 0, &mut events);
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().rx_dropped, 1);
@@ -644,7 +721,8 @@ mod tests {
         mem.dma_write(d1 + 4, &1000u32.to_le_bytes()).unwrap();
         mem.dma_write(d1 + 8, &0u32.to_le_bytes()).unwrap();
         program_tx(&mut nic, &mut events, 0x1000, 8);
-        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 2, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         let frames = nic.take_captured();
         assert_eq!(frames.len(), 1);
@@ -670,7 +748,8 @@ mod tests {
         mem.dma_write(d0 + 4, &64u32.to_le_bytes()).unwrap();
         mem.dma_write(d0 + 8, &FLAG_MORE.to_le_bytes()).unwrap();
         program_tx(&mut nic, &mut events, 0x1000, 8);
-        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().tx_errors, 1);
         assert_eq!(nic.counters().tx_frames, 0);
@@ -681,7 +760,8 @@ mod tests {
         let (mut nic, mut mem, mut pic, mut events) = setup();
         stage_frame(&mut mem, 0x1000, 0, 0x4000, b"hello");
         program_tx(&mut nic, &mut events, 0x1000, 4);
-        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events).unwrap();
+        nic.write_reg(reg::TX_TAIL, 1, MemSize::Word, 0, &mut events)
+            .unwrap();
         run_events(&mut nic, &mut mem, &mut pic, &mut events);
         assert_eq!(nic.counters().tx_checksum, fnv1a(FNV_OFFSET, b"hello"));
     }

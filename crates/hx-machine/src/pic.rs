@@ -43,7 +43,10 @@ pub struct Hpic {
 impl Hpic {
     /// Creates a PIC with all lines unmasked and vector base 32.
     pub fn new() -> Hpic {
-        Hpic { vbase: 32, ..Hpic::default() }
+        Hpic {
+            vbase: 32,
+            ..Hpic::default()
+        }
     }
 
     /// Latches a request on `irq` (0–7).
@@ -235,7 +238,10 @@ mod tests {
         // Bad accesses.
         assert_eq!(pic.read_reg(reg::IRR, MemSize::Byte), Err(BusFault::Denied));
         assert_eq!(pic.read_reg(0x40, MemSize::Word), Err(BusFault::Denied));
-        assert_eq!(pic.write_reg(reg::IRR, 0, MemSize::Word), Err(BusFault::Denied));
+        assert_eq!(
+            pic.write_reg(reg::IRR, 0, MemSize::Word),
+            Err(BusFault::Denied)
+        );
     }
 
     #[test]

@@ -72,12 +72,19 @@ impl Hpit {
 
     /// Handles a [`Event::PitTick`] that fired at `now`. Stale events (from
     /// reprogramming) are ignored by matching against the armed deadline.
-    pub fn on_tick(&mut self, now: u64, pic: &mut Hpic, events: &mut EventQueue) {
+    pub fn on_tick(
+        &mut self,
+        now: u64,
+        pic: &mut Hpic,
+        events: &mut EventQueue,
+        obs: &mut hx_obs::Recorder,
+    ) {
         if !self.enabled || self.next_due != Some(now) {
             return;
         }
         self.ticks += 1;
         pic.assert_irq(crate::map::irq::PIT);
+        obs.irq(now, hx_obs::Dev::Pit, crate::map::irq::PIT as u32);
         if self.periodic {
             self.arm(now, events);
         } else {
@@ -159,7 +166,7 @@ mod tests {
     fn fire_due(pit: &mut Hpit, pic: &mut Hpic, events: &mut EventQueue, now: u64) {
         while let Some((at, ev)) = events.pop_due(now) {
             assert_eq!(ev, Event::PitTick);
-            pit.on_tick(at, pic, events);
+            pit.on_tick(at, pic, events, &mut hx_obs::Recorder::new());
         }
     }
 
@@ -168,9 +175,16 @@ mod tests {
         let mut pit = Hpit::new();
         let mut pic = Hpic::new();
         let mut events = EventQueue::new();
-        pit.write_reg(reg::RELOAD, 100, MemSize::Word, 0, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE | ctrl::PERIODIC, MemSize::Word, 0, &mut events)
+        pit.write_reg(reg::RELOAD, 100, MemSize::Word, 0, &mut events)
             .unwrap();
+        pit.write_reg(
+            reg::CTRL,
+            ctrl::ENABLE | ctrl::PERIODIC,
+            MemSize::Word,
+            0,
+            &mut events,
+        )
+        .unwrap();
         assert_eq!(events.next_due(), Some(100));
         fire_due(&mut pit, &mut pic, &mut events, 100);
         assert_eq!(pit.ticks(), 1);
@@ -185,8 +199,10 @@ mod tests {
         let mut pit = Hpit::new();
         let mut pic = Hpic::new();
         let mut events = EventQueue::new();
-        pit.write_reg(reg::RELOAD, 10, MemSize::Word, 0, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 0, &mut events).unwrap();
+        pit.write_reg(reg::RELOAD, 10, MemSize::Word, 0, &mut events)
+            .unwrap();
+        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 0, &mut events)
+            .unwrap();
         fire_due(&mut pit, &mut pic, &mut events, 10);
         assert_eq!(pit.ticks(), 1);
         assert!(!pit.enabled());
@@ -198,13 +214,27 @@ mod tests {
         let mut pit = Hpit::new();
         let mut pic = Hpic::new();
         let mut events = EventQueue::new();
-        pit.write_reg(reg::RELOAD, 50, MemSize::Word, 0, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE | ctrl::PERIODIC, MemSize::Word, 0, &mut events)
+        pit.write_reg(reg::RELOAD, 50, MemSize::Word, 0, &mut events)
             .unwrap();
+        pit.write_reg(
+            reg::CTRL,
+            ctrl::ENABLE | ctrl::PERIODIC,
+            MemSize::Word,
+            0,
+            &mut events,
+        )
+        .unwrap();
         // Reprogram before the first expiry: old event at 50 becomes stale.
-        pit.write_reg(reg::RELOAD, 100, MemSize::Word, 20, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE | ctrl::PERIODIC, MemSize::Word, 20, &mut events)
+        pit.write_reg(reg::RELOAD, 100, MemSize::Word, 20, &mut events)
             .unwrap();
+        pit.write_reg(
+            reg::CTRL,
+            ctrl::ENABLE | ctrl::PERIODIC,
+            MemSize::Word,
+            20,
+            &mut events,
+        )
+        .unwrap();
         fire_due(&mut pit, &mut pic, &mut events, 50);
         assert_eq!(pit.ticks(), 0, "stale event must not fire");
         fire_due(&mut pit, &mut pic, &mut events, 120);
@@ -216,9 +246,12 @@ mod tests {
         let mut pit = Hpit::new();
         let mut pic = Hpic::new();
         let mut events = EventQueue::new();
-        pit.write_reg(reg::RELOAD, 10, MemSize::Word, 0, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 0, &mut events).unwrap();
-        pit.write_reg(reg::CTRL, 0, MemSize::Word, 5, &mut events).unwrap();
+        pit.write_reg(reg::RELOAD, 10, MemSize::Word, 0, &mut events)
+            .unwrap();
+        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 0, &mut events)
+            .unwrap();
+        pit.write_reg(reg::CTRL, 0, MemSize::Word, 5, &mut events)
+            .unwrap();
         fire_due(&mut pit, &mut pic, &mut events, 10);
         assert_eq!(pit.ticks(), 0);
         assert_eq!(pic.pending(), None);
@@ -228,7 +261,8 @@ mod tests {
     fn zero_reload_clamps_to_one() {
         let mut pit = Hpit::new();
         let mut events = EventQueue::new();
-        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 7, &mut events).unwrap();
+        pit.write_reg(reg::CTRL, ctrl::ENABLE, MemSize::Word, 7, &mut events)
+            .unwrap();
         assert_eq!(events.next_due(), Some(8));
     }
 
@@ -236,7 +270,10 @@ mod tests {
     fn bad_access_denied() {
         let mut pit = Hpit::new();
         let mut events = EventQueue::new();
-        assert_eq!(pit.read_reg(reg::CTRL, MemSize::Byte, 0), Err(BusFault::Denied));
+        assert_eq!(
+            pit.read_reg(reg::CTRL, MemSize::Byte, 0),
+            Err(BusFault::Denied)
+        );
         assert_eq!(pit.read_reg(0x40, MemSize::Word, 0), Err(BusFault::Denied));
         assert_eq!(
             pit.write_reg(reg::COUNT, 1, MemSize::Word, 0, &mut events),

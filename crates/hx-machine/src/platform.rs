@@ -17,6 +17,17 @@
 
 use crate::machine::{Machine, MachineStep};
 use core::fmt;
+use hx_obs::Track;
+
+/// The span-track lane a [`TimeBucket`] maps to in the trace exporter.
+pub fn track_of(bucket: TimeBucket) -> Track {
+    match bucket {
+        TimeBucket::Guest => Track::Guest,
+        TimeBucket::Monitor => Track::Monitor,
+        TimeBucket::HostModel => Track::HostModel,
+        TimeBucket::Idle => Track::Idle,
+    }
+}
 
 /// Attribution bucket for consumed cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,12 +177,21 @@ pub struct RawPlatform {
 impl RawPlatform {
     /// Wraps a machine (guest image already loaded).
     pub fn new(machine: Machine) -> RawPlatform {
-        RawPlatform { machine, stats: TimeStats::new() }
+        RawPlatform {
+            machine,
+            stats: TimeStats::new(),
+        }
     }
 
     /// Consumes the platform and returns the machine.
     pub fn into_machine(self) -> Machine {
         self.machine
+    }
+
+    /// Attributes cycles to both the flat stats and the trace span track.
+    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
+        self.stats.charge(bucket, cycles);
+        self.machine.obs.charge(track_of(bucket), cycles);
     }
 }
 
@@ -195,22 +215,22 @@ impl Platform for RawPlatform {
     fn step(&mut self) -> PlatformStep {
         match self.machine.step() {
             MachineStep::Executed { cycles } => {
-                self.stats.charge(TimeBucket::Guest, cycles);
+                self.charge(TimeBucket::Guest, cycles);
                 PlatformStep::Running
             }
             MachineStep::Interrupt { vector, .. } => {
                 let trap = self.machine.interrupt_trap(vector);
                 let c = self.machine.deliver_trap(trap);
-                self.stats.charge(TimeBucket::Guest, c);
+                self.charge(TimeBucket::Guest, c);
                 PlatformStep::Running
             }
             MachineStep::Trapped { trap, cycles } => {
                 let c = self.machine.deliver_trap(trap);
-                self.stats.charge(TimeBucket::Guest, cycles + c);
+                self.charge(TimeBucket::Guest, cycles + c);
                 PlatformStep::Running
             }
             MachineStep::Idle { cycles } => {
-                self.stats.charge(TimeBucket::Idle, cycles);
+                self.charge(TimeBucket::Idle, cycles);
                 PlatformStep::Running
             }
             MachineStep::Stuck => PlatformStep::Stuck,
@@ -267,8 +287,10 @@ mod tests {
             pit = map::PIT_BASE,
         );
         let program = hx_asm::assemble(&src).unwrap();
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         program.load_into(machine.mem.as_bytes_mut());
         machine.cpu.set_pc(program.symbols.get("start").unwrap());
         let mut hw = RawPlatform::new(machine);
@@ -290,11 +312,16 @@ mod tests {
     #[test]
     fn run_for_stops_when_stuck() {
         let program = hx_asm::assemble("wfi\n").unwrap();
-        let mut machine =
-            Machine::new(MachineConfig { ram_size: 1 << 20, ..MachineConfig::default() });
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
         machine.load_program(&program);
         let mut hw = RawPlatform::new(machine);
         let ran = hw.run_for(1_000_000);
-        assert!(ran < 1_000_000, "wfi with no timer must get stuck, ran {ran}");
+        assert!(
+            ran < 1_000_000,
+            "wfi with no timer must get stuck, ran {ran}"
+        );
     }
 }

@@ -14,7 +14,9 @@ pub struct Ram {
 impl Ram {
     /// Allocates `len` bytes of zeroed RAM.
     pub fn new(len: usize) -> Ram {
-        Ram { bytes: vec![0; len] }
+        Ram {
+            bytes: vec![0; len],
+        }
     }
 
     /// Size in bytes.
@@ -156,6 +158,9 @@ mod tests {
     fn overflow_addresses_fault() {
         let mut r = Ram::new(64);
         assert_eq!(r.read(u32::MAX, MemSize::Word), Err(BusFault::Unmapped));
-        assert_eq!(r.write(u32::MAX - 1, 0, MemSize::Word), Err(BusFault::Unmapped));
+        assert_eq!(
+            r.write(u32::MAX - 1, 0, MemSize::Word),
+            Err(BusFault::Unmapped)
+        );
     }
 }

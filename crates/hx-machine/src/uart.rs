@@ -146,7 +146,10 @@ mod tests {
         let mut u = Huart::new();
         let mut pic = Hpic::new();
         u.push_rx(b"ok", &mut pic);
-        assert_eq!(u.read_reg(reg::STATUS, MemSize::Word).unwrap() & status::RX_AVAIL, 1);
+        assert_eq!(
+            u.read_reg(reg::STATUS, MemSize::Word).unwrap() & status::RX_AVAIL,
+            1
+        );
         assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), b'o' as u32);
         assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), b'k' as u32);
         assert_eq!(u.read_reg(reg::DATA, MemSize::Word).unwrap(), 0);
@@ -171,7 +174,10 @@ mod tests {
     fn bad_access() {
         let mut u = Huart::new();
         assert_eq!(u.read_reg(reg::DATA, MemSize::Byte), Err(BusFault::Denied));
-        assert_eq!(u.write_reg(reg::STATUS, 0, MemSize::Word), Err(BusFault::Denied));
+        assert_eq!(
+            u.write_reg(reg::STATUS, 0, MemSize::Word),
+            Err(BusFault::Denied)
+        );
         assert_eq!(u.read_reg(0x40, MemSize::Word), Err(BusFault::Denied));
     }
 }

@@ -1,0 +1,190 @@
+//! Chrome trace-event JSON (Perfetto-compatible) exporter.
+//!
+//! Produces the "JSON array format" understood by `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev). Each platform becomes one
+//! process (`pid`); its four time buckets become threads carrying `ph:"X"`
+//! duration spans, and a fifth thread carries `ph:"i"` instant events
+//! (IRQs, DMA, doorbells, debug commands, VM exits).
+//!
+//! Timestamps: the `ts`/`dur` fields are **simulated cycles** written as
+//! integer microseconds (1 cycle ≙ 1 µs of display time). Since the
+//! simulation is deterministic and the exporter iterates plain vectors in
+//! insertion order with integer-only formatting, the emitted bytes are a
+//! pure function of the run — byte-identical traces across identical runs
+//! are a tested invariant.
+
+use crate::event::EventKind;
+use crate::recorder::Recorder;
+use crate::span::Track;
+
+/// Thread id carrying instant events, after the four track threads.
+const EVENTS_TID: u32 = 4;
+
+#[derive(Default)]
+pub struct ChromeTrace {
+    lines: Vec<String>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn meta(&mut self, pid: u32, tid: u32, what: &str, name: &str) {
+        self.lines.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    /// Add one platform's recorded run as process `pid` named `name`.
+    pub fn add_platform(&mut self, pid: u32, name: &str, rec: &Recorder) {
+        self.meta(pid, 0, "process_name", name);
+        for t in Track::ALL {
+            self.meta(pid, t.index() as u32, "thread_name", t.label());
+        }
+        self.meta(pid, EVENTS_TID, "thread_name", "events");
+
+        for s in rec.spans.spans() {
+            self.lines.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"{}\",\
+                 \"cat\":\"cpu\",\"ts\":{},\"dur\":{}}}",
+                s.track.index(),
+                s.track.label(),
+                s.start,
+                s.len()
+            ));
+        }
+
+        for ev in rec.ring.iter() {
+            let args = match ev.kind {
+                EventKind::VmExit { cause, cycles } => {
+                    format!("\"cause\":\"{}\",\"cycles\":{}", cause.label(), cycles)
+                }
+                EventKind::ShadowFault { vaddr } => format!("\"vaddr\":{vaddr}"),
+                EventKind::DeviceIrq { dev, irq } => {
+                    format!("\"dev\":\"{}\",\"irq\":{}", dev.label(), irq)
+                }
+                EventKind::DeviceDma { dev, bytes } => {
+                    format!("\"dev\":\"{}\",\"bytes\":{}", dev.label(), bytes)
+                }
+                EventKind::Doorbell { dev, reg } => {
+                    format!("\"dev\":\"{}\",\"reg\":{}", dev.label(), reg)
+                }
+                EventKind::DebugCommand { code } => {
+                    format!("\"code\":{}", code)
+                }
+                EventKind::GuestSample { bytes, frames } => {
+                    format!("\"bytes\":{bytes},\"frames\":{frames}")
+                }
+            };
+            self.lines.push(format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"{}\",\
+                 \"s\":\"t\",\"ts\":{},\"args\":{{{args}}}}}",
+                ev.kind.name(),
+                ev.at
+            ));
+        }
+
+        // Truncation is data, not a footnote: surface drop counts in-band.
+        if rec.ring.dropped() > 0 || rec.spans.dropped() > 0 {
+            self.lines.push(format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"truncated\",\
+                 \"s\":\"p\",\"ts\":{},\"args\":{{\"events_dropped\":{},\"spans_dropped\":{}}}}}",
+                rec.spans.cursor(),
+                rec.ring.dropped(),
+                rec.spans.dropped()
+            ));
+        }
+    }
+
+    /// Final JSON document.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&self.lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dev, ExitCause};
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.enable_tracing();
+        r.charge(Track::Guest, 100);
+        r.exit(100, ExitCause::Mmio, 990);
+        r.charge(Track::Monitor, 990);
+        r.irq(1090, Dev::Nic, 5);
+        r.charge(Track::Idle, 10);
+        r
+    }
+
+    #[test]
+    fn export_is_deterministic_and_reconciles() {
+        let (a, b) = (sample_recorder(), sample_recorder());
+        let mut ta = ChromeTrace::new();
+        ta.add_platform(1, "lvmm", &a);
+        let mut tb = ChromeTrace::new();
+        tb.add_platform(1, "lvmm", &b);
+        assert_eq!(ta.finish(), tb.finish());
+
+        // Span cycles reconcile with what was charged.
+        let total: u64 = a.spans.spans().iter().map(|s| s.len()).sum();
+        assert_eq!(total, a.spans.grand_total());
+        assert_eq!(total, 1100);
+    }
+
+    #[test]
+    fn export_is_valid_enough_json() {
+        let r = sample_recorder();
+        let mut t = ChromeTrace::new();
+        t.add_platform(1, "lvmm", &r);
+        let json = t.finish();
+        // Structural sanity without a JSON parser: balanced braces/brackets
+        // outside strings, and the envelope fields present.
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        let (mut depth_obj, mut depth_arr, mut in_str, mut prev_escape) =
+            (0i32, 0i32, false, false);
+        for c in json.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0);
+        }
+        assert_eq!((depth_obj, depth_arr, in_str), (0, 0, false));
+    }
+}

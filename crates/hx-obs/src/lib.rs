@@ -1,0 +1,58 @@
+//! # hx-obs — deterministic, cycle-attributed observability
+//!
+//! The measurement substrate for the lightweight-VMM reproduction. Every
+//! number the benches report (Fig. 3.1 CPU loads, exit-cost ablations,
+//! debug-latency tables) flows through this crate, which guarantees two
+//! properties end to end:
+//!
+//! 1. **Simulated time only.** All timestamps are simulated cycles; the
+//!    crate never reads host clocks. A trace is a pure function of the run.
+//! 2. **Observation never perturbs.** Recording writes only to side
+//!    buffers; enabling or disabling tracing cannot change simulation
+//!    state, so determinism is preserved — and *testable*, because two
+//!    identical runs must export byte-identical traces.
+//!
+//! ## Event taxonomy
+//!
+//! | event | meaning | payload |
+//! |---|---|---|
+//! | `VmExit` | guest → monitor exit | [`ExitCause`] + monitor cycles |
+//! | `ShadowFault` | shadow page-table miss | guest virtual address |
+//! | `DeviceIrq` | device asserted an IRQ line | [`Dev`] + irq number |
+//! | `DeviceDma` | device moved payload bytes | [`Dev`] + byte count |
+//! | `Doorbell` | guest rang a device kick register | [`Dev`] + register offset |
+//! | `DebugCommand` | debug stub executed a wire command | command byte |
+//! | `GuestSample` | guest-stats snapshot sampled | cumulative bytes/frames |
+//!
+//! Exit causes: `privileged`, `mmio`, `shadow`, `irq-reflect`,
+//! `irq-inject`, `protection`, `debug`, and (hosted monitor only)
+//! `host-relay`.
+//!
+//! ## Pieces
+//!
+//! - [`Recorder`] — one per machine; histograms always on, event ring and
+//!   span track opt-in (`--trace`).
+//! - [`TraceRing`] — bounded event buffer with drop accounting.
+//! - [`CycleHist`]/[`ExitHists`] — log2-bucket histograms with p50/p99,
+//!   replacing the monitors' flat exit counters.
+//! - [`SpanTrack`] — guest/monitor/host-model/idle timeline whose totals
+//!   reconcile exactly with the platform `TimeStats`.
+//! - [`ChromeTrace`] — Perfetto-compatible JSON exporter.
+//! - [`Report`] — the one table formatter (text + CSV) all bench binaries
+//!   share.
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod recorder;
+pub mod report;
+pub mod ring;
+pub mod span;
+
+pub use chrome::ChromeTrace;
+pub use event::{Dev, EventKind, ExitCause, TraceEvent};
+pub use hist::{CycleHist, ExitHists};
+pub use recorder::Recorder;
+pub use report::{Align, Report};
+pub use ring::TraceRing;
+pub use span::{Span, SpanTrack, Track};

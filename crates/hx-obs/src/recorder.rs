@@ -1,0 +1,129 @@
+//! The recorder: one per machine/platform, threaded through the simulation.
+//!
+//! Two cost tiers:
+//!
+//! - **Metrics** (exit histograms) are always on — O(1) array updates with
+//!   no allocation, replacing the monitors' old flat counters.
+//! - **Tracing** (event ring + span track) is off by default and enabled
+//!   explicitly (`--trace` in the bench binaries). When disabled, event
+//!   and span calls are a branch and return.
+//!
+//! Nothing in here reads host time or mutates simulation state, so a
+//! recorder can never perturb determinism — it only observes it.
+
+use crate::event::{Dev, EventKind, ExitCause, TraceEvent};
+use crate::hist::ExitHists;
+use crate::ring::TraceRing;
+use crate::span::{SpanTrack, Track};
+
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    tracing: bool,
+    pub ring: TraceRing,
+    pub exits: ExitHists,
+    pub spans: SpanTrack,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            tracing: false,
+            ring: TraceRing::new(TraceRing::DEFAULT_CAPACITY),
+            exits: ExitHists::default(),
+            spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
+        }
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn event/span tracing on (metrics are always on).
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Record a raw event at simulated cycle `at`.
+    pub fn event(&mut self, at: u64, kind: EventKind) {
+        if self.tracing {
+            self.ring.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// Record one guest→monitor exit: `cycles` of monitor time attributed
+    /// to `cause`, finishing at cycle `at`. Feeds both the histogram
+    /// (always) and the event ring (when tracing).
+    pub fn exit(&mut self, at: u64, cause: ExitCause, cycles: u64) {
+        self.exits.record(cause, cycles);
+        if self.tracing {
+            self.ring.push(TraceEvent {
+                at,
+                kind: EventKind::VmExit { cause, cycles },
+            });
+        }
+    }
+
+    /// Attribute `cycles` to a time bucket on the span timeline.
+    pub fn charge(&mut self, track: Track, cycles: u64) {
+        if self.tracing {
+            self.spans.charge(track, cycles);
+        }
+    }
+
+    pub fn irq(&mut self, at: u64, dev: Dev, irq: u32) {
+        self.event(at, EventKind::DeviceIrq { dev, irq });
+    }
+
+    pub fn dma(&mut self, at: u64, dev: Dev, bytes: u32) {
+        self.event(at, EventKind::DeviceDma { dev, bytes });
+    }
+
+    pub fn doorbell(&mut self, at: u64, dev: Dev, reg: u32) {
+        self.event(at, EventKind::Doorbell { dev, reg });
+    }
+
+    pub fn debug_command(&mut self, at: u64, code: u8) {
+        self.event(at, EventKind::DebugCommand { code });
+    }
+
+    /// Reset all recorded data (ring, spans, histograms) but keep the
+    /// tracing flag — used when a bench discards its warmup window.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.spans.clear();
+        self.exits = ExitHists::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_keeps_metrics_but_no_events() {
+        let mut r = Recorder::new();
+        r.exit(100, ExitCause::Mmio, 990);
+        r.irq(120, Dev::Nic, 5);
+        r.charge(Track::Guest, 50);
+        assert_eq!(r.exits.get(ExitCause::Mmio).count(), 1);
+        assert!(r.ring.is_empty());
+        assert!(r.spans.spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_captures_everything() {
+        let mut r = Recorder::new();
+        r.enable_tracing();
+        r.exit(100, ExitCause::Mmio, 990);
+        r.irq(120, Dev::Nic, 5);
+        r.charge(Track::Guest, 50);
+        assert_eq!(r.ring.len(), 2);
+        assert_eq!(r.spans.grand_total(), 50);
+    }
+}

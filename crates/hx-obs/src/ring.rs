@@ -1,0 +1,116 @@
+//! Bounded trace-event ring with drop accounting.
+//!
+//! The ring never reallocates past its capacity and never blocks the
+//! simulation: when full, new events are counted as dropped rather than
+//! overwriting history. Keeping the *earliest* events favours boot/setup
+//! analysis and makes the drop point explicit in the exported trace; the
+//! `dropped` counter tells the reader exactly how much of the tail is
+//! missing.
+
+use crate::event::TraceEvent;
+
+#[derive(Clone, Debug, Default)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Events offered after the ring filled up.
+    dropped: u64,
+    /// Every event ever offered, kept or not.
+    total: u64,
+}
+
+impl TraceRing {
+    /// Default capacity: generous enough for a bench window at full
+    /// instrumentation, small enough to stay cache-friendly.
+    pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            buf: Vec::new(),
+            cap,
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            if self.buf.is_empty() {
+                // Defer the big allocation until tracing actually happens.
+                self.buf.reserve_exact(self.cap.min(1 << 12));
+            }
+            self.buf.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn total_offered(&self) -> u64 {
+        self.total
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dev, EventKind};
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent {
+            at,
+            kind: EventKind::DeviceIrq {
+                dev: Dev::Nic,
+                irq: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_head_and_counts_drops() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.total_offered(), 10);
+        let kept: Vec<u64> = r.iter().map(|e| e.at).collect();
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_accounting() {
+        let mut r = TraceRing::new(1);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.clear();
+        assert_eq!((r.len(), r.dropped(), r.total_offered()), (0, 0, 0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Cycle-attribution span track.
+//!
+//! The platforms charge every simulated cycle to exactly one of four
+//! buckets (guest / monitor / host-model / idle). The span track receives
+//! the same charges and lays them out on a single timeline, coalescing
+//! consecutive charges to the same bucket into one span. By construction
+//! the sum of span lengths equals the sum of charges, so the exported
+//! trace reconciles *exactly* with the platform's `TimeStats` — a property
+//! the test suite asserts.
+
+/// Where a run's cycles can go. Mirrors the platform layer's `TimeBucket`
+/// (hx-obs sits below hx-machine in the dependency graph, so it defines
+/// its own copy and the platforms map into it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    Guest,
+    Monitor,
+    HostModel,
+    Idle,
+}
+
+impl Track {
+    pub const ALL: [Track; 4] = [Track::Guest, Track::Monitor, Track::HostModel, Track::Idle];
+
+    pub fn index(self) -> usize {
+        match self {
+            Track::Guest => 0,
+            Track::Monitor => 1,
+            Track::HostModel => 2,
+            Track::Idle => 3,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Guest => "guest",
+            Track::Monitor => "monitor",
+            Track::HostModel => "host-model",
+            Track::Idle => "idle",
+        }
+    }
+}
+
+/// A half-open interval `[start, end)` of cycles attributed to one bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub track: Track,
+    pub start: u64,
+    pub end: u64,
+}
+
+impl Span {
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct SpanTrack {
+    spans: Vec<Span>,
+    /// Cycles accounted so far; the next charge starts here.
+    cursor: u64,
+    /// Per-track totals — kept even when span storage overflows, so
+    /// reconciliation still holds on the totals.
+    totals: [u64; 4],
+    /// Spans discarded after the storage cap was reached.
+    dropped: u64,
+    cap: usize,
+}
+
+impl SpanTrack {
+    /// Plenty for a bench window; ~24 bytes per span.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    pub fn new(cap: usize) -> Self {
+        SpanTrack {
+            cap,
+            ..Default::default()
+        }
+    }
+
+    /// Attribute the next `cycles` cycles to `track`. Zero-length charges
+    /// are ignored.
+    pub fn charge(&mut self, track: Track, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let start = self.cursor;
+        self.cursor += cycles;
+        self.totals[track.index()] += cycles;
+        if let Some(last) = self.spans.last_mut() {
+            if last.track == track && last.end == start {
+                last.end = self.cursor;
+                return;
+            }
+        }
+        if self.spans.len() < self.cap {
+            self.spans.push(Span {
+                track,
+                start,
+                end: self.cursor,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn total(&self, track: Track) -> u64 {
+        self.totals[track.index()]
+    }
+
+    pub fn grand_total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// End of the attributed timeline (== grand_total by construction).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.cursor = 0;
+        self.totals = [0; 4];
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_adjacent_same_track_charges() {
+        let mut t = SpanTrack::new(16);
+        t.charge(Track::Guest, 10);
+        t.charge(Track::Guest, 5);
+        t.charge(Track::Monitor, 3);
+        t.charge(Track::Guest, 2);
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(
+            t.spans()[0],
+            Span {
+                track: Track::Guest,
+                start: 0,
+                end: 15
+            }
+        );
+        assert_eq!(
+            t.spans()[1],
+            Span {
+                track: Track::Monitor,
+                start: 15,
+                end: 18
+            }
+        );
+        assert_eq!(t.total(Track::Guest), 17);
+        assert_eq!(t.grand_total(), 20);
+        assert_eq!(t.cursor(), 20);
+    }
+
+    #[test]
+    fn totals_survive_span_overflow() {
+        let mut t = SpanTrack::new(1);
+        t.charge(Track::Guest, 1);
+        t.charge(Track::Idle, 1);
+        t.charge(Track::Guest, 1);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.grand_total(), 3);
+    }
+
+    #[test]
+    fn zero_charge_is_a_noop() {
+        let mut t = SpanTrack::new(4);
+        t.charge(Track::Idle, 0);
+        assert!(t.spans().is_empty());
+        assert_eq!(t.grand_total(), 0);
+    }
+}

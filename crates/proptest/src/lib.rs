@@ -1,0 +1,467 @@
+//! Deterministic, dependency-free stand-in for the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so the real
+//! `proptest` cannot be fetched. This crate re-implements, offline, exactly
+//! the surface our property tests rely on:
+//!
+//! - the [`proptest!`] macro (including `#![proptest_config(...)]`),
+//! - [`Strategy`] with `prop_map`, integer-range / tuple / `Just` /
+//!   [`collection::vec`] / [`sample::select`] / string-pattern strategies,
+//! - [`prop_oneof!`] with optional integer weights,
+//! - `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike upstream proptest there is **no shrinking** and **no persisted
+//! failure corpus**: every test derives a fixed seed from its module path
+//! and name, so runs are fully deterministic and reproducible — which is a
+//! feature here, since the whole repository treats determinism as a testable
+//! property (see `hx-obs`).
+
+/// Splitmix64-based generator: tiny, deterministic, decent distribution.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (we use the test's module path plus
+    /// name) via FNV-1a, so every test gets a distinct but stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is irrelevant at test scale.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Run configuration: number of generated cases per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The real proptest `Strategy` also carries shrinking
+/// machinery; here it is just "produce one value from the RNG".
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Type-erased strategy, used by `prop_oneof!` to unify arm types.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("union weights exhausted")
+    }
+}
+
+/// `any::<T>()` — full-range values for primitive types.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for core::primitive::bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128) as u64;
+                // Inclusive of MAX: widen by one below u64::MAX.
+                (self.start as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategies from a miniature regex dialect: one atom — either a
+/// character class `[...]` (with `a-z` ranges) or `\PC` (printable) —
+/// followed by a `{min,max}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, rest) = parse_atom(self);
+        let (min, max) = parse_repeat(rest);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_atom(pat: &str) -> (Vec<char>, &str) {
+    if let Some(rest) = pat.strip_prefix("\\PC") {
+        // Printable, non-control: ASCII is representative for our wire tests.
+        return ((0x20u8..=0x7e).map(|b| b as char).collect(), rest);
+    }
+    if let Some(body) = pat.strip_prefix('[') {
+        let end = body.find(']').expect("unterminated character class");
+        let class: Vec<char> = body[..end].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        return (alphabet, &body[end + 1..]);
+    }
+    panic!("unsupported string strategy pattern: {pat:?}");
+}
+
+fn parse_repeat(rest: &str) -> (usize, usize) {
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("expected {{min,max}} repetition, got {rest:?}"));
+    let (lo, hi) = body.split_once(',').expect("need {min,max}");
+    (lo.trim().parse().unwrap(), hi.trim().parse().unwrap())
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    pub struct AnyBool;
+
+    /// Mirrors `proptest::bool::ANY`.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Mirrors `proptest::sample::select(&slice)`.
+    pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select {
+            items: items.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Everything a test module needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Deterministic replacement for the `proptest!` macro. Each property
+/// becomes a plain `#[test]` that loops `cases` times over a seeded RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg); $($rest)* }
+    };
+    (@cfg ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies whose
+/// values share a type. Arms are boxed so heterogeneous strategy types
+/// unify.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Assertion macros: without shrinking there is nothing to unwind, so these
+/// are plain panics with the same spelling the real crate accepts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let seq_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (-2048i16..2048).generate(&mut rng);
+            assert!((-2048..2048).contains(&v));
+            let u = (2u32..16).generate(&mut rng);
+            assert!((2..16).contains(&u));
+            let w = (1u32..).generate(&mut rng);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_expected_alphabets() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..200 {
+            let s = "[ -\"%-~]{0,64}".generate(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='"').contains(&c) || ('%'..='~').contains(&c)));
+            let p = "\\PC{0,40}".generate(&mut rng);
+            assert!(p.len() <= 40);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights_roughly() {
+        let s: Union<u32> = Union::new(vec![(9, Just(1u32).boxed()), (1, Just(2u32).boxed())]);
+        let mut rng = TestRng::from_name("weights");
+        let ones = (0..1000).filter(|_| s.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in any::<u32>(), v in collection::vec(0u8..4, 0..8)) {
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(a, a);
+            for b in v {
+                prop_assert!(b < 4);
+            }
+        }
+    }
+}

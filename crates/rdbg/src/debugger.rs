@@ -1,6 +1,6 @@
 //! The host-side remote debugger.
 
-use crate::msg::{Command, Reply, StopReason};
+use crate::msg::{Command, Reply, StatsSample, StopReason};
 use crate::wire::{encode_packet, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
 use core::fmt;
 use std::collections::VecDeque;
@@ -86,7 +86,11 @@ pub struct Debugger<L> {
 impl<L: Link> Debugger<L> {
     /// Wraps a link.
     pub fn new(link: L) -> Debugger<L> {
-        Debugger { link, parser: PacketParser::new(), stops: VecDeque::new() }
+        Debugger {
+            link,
+            parser: PacketParser::new(),
+            stops: VecDeque::new(),
+        }
     }
 
     /// Consumes the debugger, returning the link.
@@ -125,9 +129,8 @@ impl<L: Link> Debugger<L> {
     pub fn read_registers(&mut self) -> Result<Registers, DbgError> {
         match self.transact(&Command::ReadRegisters)? {
             Reply::Hex(bytes) if bytes.len() == 33 * 4 => {
-                let word = |i: usize| {
-                    u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap())
-                };
+                let word =
+                    |i: usize| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
                 let mut gprs = [0u32; 32];
                 for (i, g) in gprs.iter_mut().enumerate() {
                     *g = word(i);
@@ -160,12 +163,13 @@ impl<L: Link> Debugger<L> {
         let end = addr + len;
         while cursor < end {
             let n = (end - cursor).min(MEM_CHUNK);
-            match self.transact(&Command::ReadMemory { addr: cursor, len: n })? {
+            match self.transact(&Command::ReadMemory {
+                addr: cursor,
+                len: n,
+            })? {
                 Reply::Hex(bytes) if bytes.len() as u32 == n => out.extend_from_slice(&bytes),
                 Reply::Error(code) => return Err(DbgError::Target(code)),
-                other => {
-                    return Err(DbgError::Protocol(format!("unexpected reply {other:?}")))
-                }
+                other => return Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
             }
             cursor += n;
         }
@@ -263,6 +267,23 @@ impl<L: Link> Debugger<L> {
         self.expect_ok(&Command::Reset)
     }
 
+    /// Samples the monitor's live cycle accounting and exit counters.
+    ///
+    /// Unlike every other query this works while the guest is *running*:
+    /// the stub answers from the monitor's own counters without stopping
+    /// the guest, so sampling does not perturb what is being measured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target and protocol errors.
+    pub fn query_stats(&mut self) -> Result<StatsSample, DbgError> {
+        match self.transact(&Command::QueryStats)? {
+            Reply::Stats(s) => Ok(s),
+            Reply::Error(code) => Err(DbgError::Target(code)),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Asks the stopped target why it is stopped.
     ///
     /// # Errors
@@ -356,9 +377,7 @@ impl<L: Link> Debugger<L> {
                             Some(Reply::Stopped(r)) => self.stops.push_back(r),
                             Some(reply) => return Ok(reply),
                             None => {
-                                return Err(DbgError::Protocol(format!(
-                                    "unparseable reply {p:?}"
-                                )))
+                                return Err(DbgError::Protocol(format!("unparseable reply {p:?}")))
                             }
                         }
                     }
@@ -420,7 +439,8 @@ mod tests {
                 self.to_host.extend_from_slice(&pkt);
                 return;
             }
-            self.to_host.extend_from_slice(&wire::encode_packet(&r.format()));
+            self.to_host
+                .extend_from_slice(&wire::encode_packet(&r.format()));
         }
 
         fn service(&mut self) {
@@ -489,9 +509,8 @@ mod tests {
                                     self.regs[32] = bp;
                                     self.running = false;
                                     let stop = StopReason::Breakpoint { pc: bp };
-                                    self.to_host.extend_from_slice(&wire::encode_packet(
-                                        &stop.format(),
-                                    ));
+                                    self.to_host
+                                        .extend_from_slice(&wire::encode_packet(&stop.format()));
                                 }
                             }
                             Command::Step => {
@@ -564,7 +583,8 @@ mod tests {
     #[test]
     fn halt_break_in() {
         let mut dbg = Debugger::new(MockTarget::new());
-        dbg.write_register(crate::msg::REG_PC, 0x42_0000 & !3).unwrap();
+        dbg.write_register(crate::msg::REG_PC, 0x42_0000 & !3)
+            .unwrap();
         let stop = dbg.halt().unwrap();
         assert!(matches!(stop, StopReason::Halted { .. }));
     }

@@ -73,6 +73,9 @@ pub enum Command {
     Continue,
     /// Reset the guest to its boot entry point.
     Reset,
+    /// Sample the monitor's cycle accounting and exit counters **without**
+    /// stopping the guest. The reply is a [`StatsSample`] packet.
+    QueryStats,
 }
 
 impl Command {
@@ -94,6 +97,7 @@ impl Command {
             Command::Step => "s".into(),
             Command::Continue => "c".into(),
             Command::Reset => "k".into(),
+            Command::QueryStats => "qStats".into(),
         }
     }
 
@@ -110,6 +114,7 @@ impl Command {
             's' if payload == "s" => Some(Command::Step),
             'c' if payload == "c" => Some(Command::Continue),
             'k' if payload == "k" => Some(Command::Reset),
+            'q' if payload == "qStats" => Some(Command::QueryStats),
             'P' => {
                 let body = rest("P")?;
                 let (idx, val) = body.split_once('=')?;
@@ -154,6 +159,72 @@ impl Command {
             }
             _ => None,
         }
+    }
+}
+
+/// A live sample of the target monitor's cycle accounting, carried in the
+/// reply to [`Command::QueryStats`].
+///
+/// The stub produces it from whatever counters it keeps; the wire format is
+/// monitor-agnostic. `exits` is a list of per-cause exit counts whose order
+/// is defined by the target (for this repository's monitors: the
+/// `hx_obs::ExitCause::ALL` order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSample {
+    /// Simulated-cycle timestamp of the sample.
+    pub now: u64,
+    /// Cycles attributed to guest execution.
+    pub guest: u64,
+    /// Cycles attributed to the monitor.
+    pub monitor: u64,
+    /// Cycles attributed to the modeled host OS (hosted monitor only).
+    pub host: u64,
+    /// Cycles attributed to idle.
+    pub idle: u64,
+    /// Per-cause guest-exit counts, in target-defined order.
+    pub exits: Vec<u64>,
+}
+
+impl StatsSample {
+    /// Formats as an `S…` payload.
+    pub fn format(&self) -> String {
+        let exits: Vec<String> = self.exits.iter().map(|c| format!("{c:x}")).collect();
+        format!(
+            "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};x:{}",
+            self.now,
+            self.guest,
+            self.monitor,
+            self.host,
+            self.idle,
+            exits.join(",")
+        )
+    }
+
+    /// Parses an `S…` payload.
+    pub fn parse(payload: &str) -> Option<StatsSample> {
+        let body = payload.strip_prefix('S')?;
+        let mut parts = body.split(';');
+        let now = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let mut sample = StatsSample {
+            now,
+            ..StatsSample::default()
+        };
+        for part in parts {
+            let (k, v) = part.split_once(':')?;
+            match k {
+                "g" => sample.guest = u64::from_str_radix(v, 16).ok()?,
+                "m" => sample.monitor = u64::from_str_radix(v, 16).ok()?,
+                "h" => sample.host = u64::from_str_radix(v, 16).ok()?,
+                "i" => sample.idle = u64::from_str_radix(v, 16).ok()?,
+                "x" if !v.is_empty() => {
+                    for c in v.split(',') {
+                        sample.exits.push(u64::from_str_radix(c, 16).ok()?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(sample)
     }
 }
 
@@ -270,6 +341,8 @@ pub enum Reply {
     Error(u8),
     /// Asynchronous or queried stop reason.
     Stopped(StopReason),
+    /// Live monitor statistics (reply to [`Command::QueryStats`]).
+    Stats(StatsSample),
     /// Hex data (register file or memory contents, per the command sent).
     Hex(Vec<u8>),
 }
@@ -281,6 +354,7 @@ impl Reply {
             Reply::Ok => "OK".into(),
             Reply::Error(code) => format!("E{code:02x}"),
             Reply::Stopped(r) => r.format(),
+            Reply::Stats(s) => s.format(),
             Reply::Hex(data) => to_hex(data),
         }
     }
@@ -296,6 +370,9 @@ impl Reply {
         if payload.starts_with('T') {
             return Some(Reply::Stopped(StopReason::parse(payload)?));
         }
+        if payload.starts_with('S') {
+            return Some(Reply::Stats(StatsSample::parse(payload)?));
+        }
         from_hex(payload).map(Reply::Hex)
     }
 }
@@ -310,30 +387,86 @@ mod tests {
         assert_eq!(Command::parse("g"), Some(Command::ReadRegisters));
         assert_eq!(
             Command::parse("m1000,40"),
-            Some(Command::ReadMemory { addr: 0x1000, len: 0x40 })
+            Some(Command::ReadMemory {
+                addr: 0x1000,
+                len: 0x40
+            })
         );
         assert_eq!(
             Command::parse("M20,2:beef"),
-            Some(Command::WriteMemory { addr: 0x20, data: vec![0xbe, 0xef] })
+            Some(Command::WriteMemory {
+                addr: 0x20,
+                data: vec![0xbe, 0xef]
+            })
         );
-        assert_eq!(Command::parse("Z0,104"), Some(Command::SetBreakpoint { addr: 0x104 }));
+        assert_eq!(
+            Command::parse("Z0,104"),
+            Some(Command::SetBreakpoint { addr: 0x104 })
+        );
         assert_eq!(
             Command::parse("Z2,8000,10"),
-            Some(Command::SetWatchpoint { addr: 0x8000, len: 0x10 })
+            Some(Command::SetWatchpoint {
+                addr: 0x8000,
+                len: 0x10
+            })
         );
         assert_eq!(
             Command::parse("P20=dead"),
-            Some(Command::WriteRegister { index: 0x20, value: 0xdead })
+            Some(Command::WriteRegister {
+                index: 0x20,
+                value: 0xdead
+            })
         );
+        assert_eq!(Command::parse("qStats"), Some(Command::QueryStats));
         // Malformed inputs are rejected, not panicking.
-        for bad in ["", "m1000", "M20,3:beef", "Z9,0", "Pxx=1", "q", "Z2"] {
+        for bad in [
+            "",
+            "m1000",
+            "M20,3:beef",
+            "Z9,0",
+            "Pxx=1",
+            "q",
+            "Z2",
+            "qStat",
+            "qStatsX",
+        ] {
             assert_eq!(Command::parse(bad), None, "{bad:?}");
         }
     }
 
     #[test]
+    fn stats_sample_examples() {
+        let s = StatsSample {
+            now: 0x1234,
+            guest: 10,
+            monitor: 2,
+            host: 0,
+            idle: 7,
+            exits: vec![4, 0, 0x99],
+        };
+        assert_eq!(StatsSample::parse(&s.format()), Some(s.clone()));
+        assert_eq!(
+            Reply::parse(&Reply::Stats(s.clone()).format()),
+            Some(Reply::Stats(s))
+        );
+        // No exit counters at all is representable.
+        let empty = StatsSample {
+            now: 5,
+            ..StatsSample::default()
+        };
+        assert_eq!(StatsSample::parse(&empty.format()), Some(empty));
+        // Malformed samples are rejected, not panicking.
+        for bad in ["S", "Szz", "S1;g", "S1;g:zz", "S1;x:1,zz", "X1"] {
+            assert_eq!(StatsSample::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
     fn stop_reason_examples() {
-        let r = StopReason::Watchpoint { pc: 0x104, addr: 0x8000 };
+        let r = StopReason::Watchpoint {
+            pc: 0x104,
+            addr: 0x8000,
+        };
         assert_eq!(StopReason::parse(&r.format()), Some(r));
         assert_eq!(StopReason::parse("T1"), None, "missing pc");
         assert_eq!(StopReason::parse("T3;pc:4"), None, "missing addr");
@@ -360,6 +493,7 @@ mod tests {
             Just(Command::Step),
             Just(Command::Continue),
             Just(Command::Reset),
+            Just(Command::QueryStats),
             (any::<u8>(), any::<u32>())
                 .prop_map(|(index, value)| Command::WriteRegister { index, value }),
             (any::<u32>(), any::<u32>()).prop_map(|(addr, len)| Command::ReadMemory { addr, len }),
@@ -367,8 +501,7 @@ mod tests {
                 .prop_map(|(addr, data)| Command::WriteMemory { addr, data }),
             any::<u32>().prop_map(|addr| Command::SetBreakpoint { addr }),
             any::<u32>().prop_map(|addr| Command::ClearBreakpoint { addr }),
-            (any::<u32>(), 1u32..4096)
-                .prop_map(|(addr, len)| Command::SetWatchpoint { addr, len }),
+            (any::<u32>(), 1u32..4096).prop_map(|(addr, len)| Command::SetWatchpoint { addr, len }),
             any::<u32>().prop_map(|addr| Command::ClearWatchpoint { addr }),
         ]
     }
@@ -378,16 +511,40 @@ mod tests {
             any::<u32>().prop_map(|pc| StopReason::Halted { pc }),
             any::<u32>().prop_map(|pc| StopReason::Breakpoint { pc }),
             any::<u32>().prop_map(|pc| StopReason::Step { pc }),
-            (any::<u32>(), any::<u32>())
-                .prop_map(|(pc, addr)| StopReason::Watchpoint { pc, addr }),
+            (any::<u32>(), any::<u32>()).prop_map(|(pc, addr)| StopReason::Watchpoint { pc, addr }),
             (any::<u32>(), 0u32..16).prop_map(|(pc, cause)| StopReason::Fault { pc, cause }),
         ]
+    }
+
+    fn arb_stats() -> impl Strategy<Value = StatsSample> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..12),
+        )
+            .prop_map(|(now, guest, monitor, host, idle, exits)| StatsSample {
+                now,
+                guest,
+                monitor,
+                host,
+                idle,
+                exits,
+            })
     }
 
     proptest! {
         #[test]
         fn command_roundtrip(cmd in arb_command()) {
             prop_assert_eq!(Command::parse(&cmd.format()), Some(cmd));
+        }
+
+        #[test]
+        fn stats_roundtrip(sample in arb_stats()) {
+            let r = Reply::Stats(sample);
+            prop_assert_eq!(Reply::parse(&r.format()), Some(r));
         }
 
         #[test]

@@ -27,7 +27,9 @@ fn checksum(payload: &[u8]) -> u8 {
 /// produce ASCII command text that never includes them.
 pub fn encode_packet(payload: &str) -> Vec<u8> {
     assert!(
-        payload.bytes().all(|b| b != b'$' && b != b'#' && b != BREAK_BYTE),
+        payload
+            .bytes()
+            .all(|b| b != b'$' && b != b'#' && b != BREAK_BYTE),
         "payload must not contain framing bytes"
     );
     let mut out = Vec::with_capacity(payload.len() + 4);
@@ -82,7 +84,10 @@ impl Default for PacketParser {
 impl PacketParser {
     /// Creates an idle parser.
     pub fn new() -> PacketParser {
-        PacketParser { state: State::Idle, events: Vec::new() }
+        PacketParser {
+            state: State::Idle,
+            events: Vec::new(),
+        }
     }
 
     /// Feeds received bytes into the parser.
@@ -127,9 +132,7 @@ impl PacketParser {
             State::Check(buf, first) => match first {
                 None => State::Check(buf, Some(b)),
                 Some(hi) => {
-                    let ck = hex_val(hi)
-                        .zip(hex_val(b))
-                        .map(|(h, l)| h * 16 + l);
+                    let ck = hex_val(hi).zip(hex_val(b)).map(|(h, l)| h * 16 + l);
                     match (ck, String::from_utf8(buf.clone())) {
                         (Some(ck), Ok(s)) if ck == checksum(&buf) => {
                             self.events.push(WireEvent::Packet(s));

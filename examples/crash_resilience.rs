@@ -14,7 +14,10 @@ use lwvmm::monitor::{LvmmPlatform, UartLink};
 
 fn machine_with_buggy_guest() -> (Machine, hx_asm::Program) {
     let program = apps::buggy_guest(1_000);
-    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     machine.load_program(&program);
     (machine, program)
 }
@@ -26,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Let the bug fire: the guest wipes its first 64 KiB and crashes.
     vmm.run_for(20_000_000);
-    println!("guest memory at 0x2000 is now {:#010x} (was code/data)", vmm.machine().mem.word(0x2000));
-    println!("monitor parked the runaway guest: stopped = {}", vmm.guest_stopped());
+    println!(
+        "guest memory at 0x2000 is now {:#010x} (was code/data)",
+        vmm.machine().mem.word(0x2000)
+    );
+    println!(
+        "monitor parked the runaway guest: stopped = {}",
+        vmm.guest_stopped()
+    );
 
     // The host connects *after* the crash — and the stub answers.
     let mut dbg = Debugger::new(UartLink::new(vmm));

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counter = program.symbols.get("counter").expect("symbol");
     let message = program.symbols.get("message").expect("symbol");
 
-    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     machine.load_program(&program);
     let platform = LvmmPlatform::new(machine, program.base());
     let mut dbg = Debugger::new(UartLink::new(platform));
@@ -37,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Inspect registers and disassemble around the stop.
     let regs = dbg.read_registers()?;
-    println!("pc={:#010x}  ra={:#010x}  s0={:#010x}", regs.pc, regs.gpr(1), regs.gpr(18));
+    println!(
+        "pc={:#010x}  ra={:#010x}  s0={:#010x}",
+        regs.pc,
+        regs.gpr(1),
+        regs.gpr(18)
+    );
     let code = dbg.read_memory(bump, 16)?;
     for (i, w) in code.chunks(4).enumerate() {
         let word = u32::from_le_bytes(w.try_into().unwrap());
@@ -48,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Read guest data: the counter value and the message string.
     let before = u32::from_le_bytes(dbg.read_memory(counter, 4)?.try_into().unwrap());
     let text = dbg.read_memory(message, 22)?;
-    println!("counter = {before}, message = {:?}", String::from_utf8_lossy(&text));
+    println!(
+        "counter = {before}, message = {:?}",
+        String::from_utf8_lossy(&text)
+    );
 
     // Single-step through the load/add/store of the subroutine.
     for _ in 0..3 {
@@ -79,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("counter after patch + 200k cycles: {final_count}");
     assert!(final_count > after, "the guest kept counting after resume");
 
-    println!("\nsession complete — {} stub commands served",
-        dbg.link_ref().platform.stub_stats().commands);
+    println!(
+        "\nsession complete — {} stub commands served",
+        dbg.link_ref().platform.stub_stats().commands
+    );
     Ok(())
 }

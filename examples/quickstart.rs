@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::new(200);
     let program = workload.build(&machine)?;
     machine.load_program(&program);
-    println!("kernel: {} bytes at {:#x}", program.bytes().len(), program.base());
+    println!(
+        "kernel: {} bytes at {:#x}",
+        program.bytes().len(),
+        program.base()
+    );
 
     // Install the lightweight monitor: the guest kernel is deprivileged,
     // the interrupt controller and timer are virtualized, the disks and
@@ -27,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run half a simulated second, reporting every 100 ms.
     for tick in 1..=5 {
         vmm.run_for(clock / 10);
-        let stats = GuestStats::read(vmm.machine());
+        let stats = GuestStats::read(vmm.machine()).expect("guest stats");
         let nic = vmm.machine().nic.counters();
         let t = vmm.time_stats();
         println!(
@@ -43,9 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let ms = vmm.monitor_stats();
-    println!("\nmonitor exits: {} privileged, {} emulated-MMIO, {} IRQ reflections, {} injections",
-        ms.exits_privileged, ms.exits_mmio, ms.exits_irq_reflect, ms.irqs_injected);
-    println!("protection violations blocked: {}", ms.protection_violations);
+    println!(
+        "\nmonitor exits: {} privileged, {} emulated-MMIO, {} IRQ reflections, {} injections",
+        ms.exits_privileged, ms.exits_mmio, ms.exits_irq_reflect, ms.irqs_injected
+    );
+    println!(
+        "protection violations blocked: {}",
+        ms.protection_violations
+    );
     println!("\nThe same image boots on RawPlatform (real hardware) and");
     println!("HostedPlatform (conventional full monitor) — see streaming_server.rs.");
     Ok(())

@@ -17,8 +17,12 @@ fn run(name: &str, mut platform: Box<dyn Platform>, clock: u64) -> f64 {
     platform.machine_mut().nic.set_capture(true);
     platform.run_for(clock / 4); // 250 simulated ms
 
-    let stats = GuestStats::read(platform.machine());
-    assert_eq!(stats.fault_cause, 0, "{name}: guest fault at {:#x}", stats.fault_pc);
+    let stats = GuestStats::read(platform.machine()).expect("guest stats");
+    assert_eq!(
+        stats.fault_cause, 0,
+        "{name}: guest fault at {:#x}",
+        stats.fault_pc
+    );
     let nic = platform.machine().nic.counters();
     let load = platform.time_stats().cpu_load();
     let seconds = platform.machine().now() as f64 / clock as f64;
@@ -39,7 +43,10 @@ fn run(name: &str, mut platform: Box<dyn Platform>, clock: u64) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rate: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let rate: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
     println!("streaming server at a requested {rate} Mbit/s on all three platforms\n");
 
     let workload = Workload::new(rate);
@@ -55,10 +62,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = run("real-hw", Box::new(RawPlatform::new(machine)), clock);
 
     let (machine, clock) = build()?;
-    let lv = run("lvmm", Box::new(LvmmPlatform::new(machine, layout::ENTRY)), clock);
+    let lv = run(
+        "lvmm",
+        Box::new(LvmmPlatform::new(machine, layout::ENTRY)),
+        clock,
+    );
 
     let (machine, clock) = build()?;
-    let ho = run("hosted", Box::new(HostedPlatform::new(machine, layout::ENTRY)), clock);
+    let ho = run(
+        "hosted",
+        Box::new(HostedPlatform::new(machine, layout::ENTRY)),
+        clock,
+    );
 
     println!("\nAt this rate the platforms deliver {raw:.0} / {lv:.0} / {ho:.0} Mbps.");
     println!("Sweep the rate (see `fig3_1`) to reproduce the paper's Fig. 3.1:");

@@ -82,14 +82,23 @@ fn main() -> ExitCode {
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
                  [--ms <simulated ms>] [--dump 0xADDR:LEN]"
             );
-            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if e.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
 
     let mut machine = Machine::new(MachineConfig::default());
     let clock = machine.config().clock_hz;
     let (program, is_workload) = if let Some(rate) = opts.workload {
-        (Workload::new(rate).build(&machine).expect("built-in kernel assembles"), true)
+        (
+            Workload::new(rate)
+                .build(&machine)
+                .expect("built-in kernel assembles"),
+            true,
+        )
     } else {
         let path = opts.input.as_ref().unwrap();
         let source = match std::fs::read_to_string(path) {
@@ -122,7 +131,9 @@ fn main() -> ExitCode {
 
     println!(
         "running {} ({} bytes at {:#x}) on {} for {} simulated ms",
-        opts.input.as_deref().unwrap_or("<built-in streaming workload>"),
+        opts.input
+            .as_deref()
+            .unwrap_or("<built-in streaming workload>"),
         program.bytes().len(),
         program.base(),
         platform.name(),
@@ -149,18 +160,26 @@ fn main() -> ExitCode {
     let nic = m.nic.counters();
     if nic.tx_frames > 0 {
         let mbps = nic.tx_bytes as f64 * 8.0 / (m.now() as f64 / clock as f64) / 1e6;
-        println!("nic: {} frames, {} payload bytes ({mbps:.1} Mbit/s)", nic.tx_frames, nic.tx_bytes);
+        println!(
+            "nic: {} frames, {} payload bytes ({mbps:.1} Mbit/s)",
+            nic.tx_frames, nic.tx_bytes
+        );
     }
     let hdc = m.hdc.stats();
     if hdc.commands > 0 {
-        println!("disk: {} commands, {} bytes, {} errors", hdc.commands, hdc.bytes, hdc.errors);
+        println!(
+            "disk: {} commands, {} bytes, {} errors",
+            hdc.commands, hdc.bytes, hdc.errors
+        );
     }
     if is_workload {
-        let stats = GuestStats::read(m);
-        println!(
-            "guest: {} frames, {} bytes, {} ticks, {} underruns, fault={}",
-            stats.frames, stats.bytes, stats.ticks, stats.underruns, stats.fault_cause
-        );
+        match GuestStats::read(m) {
+            Ok(stats) => println!(
+                "guest: {} frames, {} bytes, {} ticks, {} underruns, fault={}",
+                stats.frames, stats.bytes, stats.ticks, stats.underruns, stats.fault_cause
+            ),
+            Err(e) => println!("guest: stats unavailable ({e})"),
+        }
         let _ = layout::ENTRY;
     }
     if let Some((addr, len)) = opts.dump {

@@ -31,7 +31,7 @@
 //!
 //! // Run 100 simulated milliseconds.
 //! vmm.run_for(machine_clock(&vmm) / 10);
-//! let stats = lwvmm::guest::GuestStats::read(vmm.machine());
+//! let stats = lwvmm::guest::GuestStats::read(vmm.machine())?;
 //! assert!(stats.frames > 0);
 //! # fn machine_clock(p: &impl Platform) -> u64 { p.machine().config().clock_hz }
 //! # Ok(())
@@ -61,3 +61,6 @@ pub use hitactix as guest;
 
 /// The remote-debugging protocol and host client (re-export of `rdbg`).
 pub use rdbg as debugger;
+
+/// Cycle-attributed tracing and metrics (`hx-obs`).
+pub use hx_obs as obs;

@@ -10,7 +10,10 @@ type Dbg = Debugger<UartLink<LvmmPlatform>>;
 
 fn counter_session() -> (Dbg, hx_asm::Program) {
     let program = apps::counter_guest();
-    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     machine.load_program(&program);
     let platform = LvmmPlatform::new(machine, program.base());
     (Debugger::new(UartLink::new(platform)), program)
@@ -52,11 +55,17 @@ fn breakpoint_hits_exactly_at_symbol() {
     // Memory reads mask the planted ebreak.
     let word = dbg.read_memory(bump, 4).unwrap();
     let instr = hx_cpu::Instr::decode(u32::from_le_bytes(word.try_into().unwrap())).unwrap();
-    assert!(matches!(instr, hx_cpu::Instr::Load { .. }), "original instruction visible");
+    assert!(
+        matches!(instr, hx_cpu::Instr::Load { .. }),
+        "original instruction visible"
+    );
     // Clearing restores the original word physically.
     dbg.clear_breakpoint(bump).unwrap();
     let raw = dbg.link_ref().platform.machine().mem.word(bump);
-    assert!(matches!(hx_cpu::Instr::decode(raw), Ok(hx_cpu::Instr::Load { .. })));
+    assert!(matches!(
+        hx_cpu::Instr::decode(raw),
+        Ok(hx_cpu::Instr::Load { .. })
+    ));
 }
 
 #[test]
@@ -118,7 +127,10 @@ fn memory_errors_are_reported() {
     let monitor_base = dbg.link_ref().platform.monitor_base();
     assert_eq!(dbg.read_memory(monitor_base, 4), Err(DbgError::Target(3)));
     assert_eq!(dbg.read_memory(0xffff_f000, 4), Err(DbgError::Target(3)));
-    assert_eq!(dbg.write_memory(monitor_base, &[0]), Err(DbgError::Target(3)));
+    assert_eq!(
+        dbg.write_memory(monitor_base, &[0]),
+        Err(DbgError::Target(3))
+    );
 }
 
 #[test]
@@ -141,7 +153,10 @@ fn debugging_while_streaming_at_full_rate() {
     let program = Workload::new(100).build(&machine).unwrap();
     machine.load_program(&program);
     let platform = LvmmPlatform::new(machine, layout::ENTRY);
-    let mut dbg = Debugger::new(UartLink { platform, slice: 5_000 });
+    let mut dbg = Debugger::new(UartLink {
+        platform,
+        slice: 5_000,
+    });
 
     dbg.link_mut().platform.run_for(2_000_000);
     let frames0 = dbg.link_ref().platform.machine().nic.counters().tx_frames;
@@ -167,7 +182,10 @@ fn break_in_halts_streaming_guest_and_reset_restarts_it() {
     let program = Workload::new(100).build(&machine).unwrap();
     machine.load_program(&program);
     let platform = LvmmPlatform::new(machine, layout::ENTRY);
-    let mut dbg = Debugger::new(UartLink { platform, slice: 5_000 });
+    let mut dbg = Debugger::new(UartLink {
+        platform,
+        slice: 5_000,
+    });
 
     dbg.link_mut().platform.run_for(2_000_000);
     let stop = dbg.halt().expect("break-in during streaming");
@@ -186,7 +204,8 @@ fn break_in_halts_streaming_guest_and_reset_restarts_it() {
     assert_eq!(stop.pc(), layout::ENTRY);
     dbg.resume().expect("resume after reset");
     dbg.link_mut().platform.run_for(4_000_000);
-    let stats = lwvmm::guest::GuestStats::read(dbg.link_ref().platform.machine());
+    let stats = lwvmm::guest::GuestStats::read(dbg.link_ref().platform.machine())
+        .expect("guest re-booted after reset");
     assert!(stats.booted, "guest re-booted after reset");
     assert_eq!(stats.fault_cause, 0);
 }
@@ -195,7 +214,10 @@ fn break_in_halts_streaming_guest_and_reset_restarts_it() {
 fn stub_survives_protocol_garbage() {
     let (mut dbg, _program) = counter_session();
     // Inject garbage and malformed packets directly.
-    dbg.link_mut().platform.machine_mut().uart_input(b"\xff\x00garbage$bad#zz$x#00");
+    dbg.link_mut()
+        .platform
+        .machine_mut()
+        .uart_input(b"\xff\x00garbage$bad#zz$x#00");
     dbg.link_mut().platform.run_for(200_000);
     // The stub still answers properly afterwards.
     dbg.halt().expect("stub alive after garbage");

@@ -54,8 +54,21 @@ fn arb_safe_instr() -> impl Strategy<Value = Instr> {
 /// run the random body, then `ebreak`.
 fn build_image(body: &[Instr]) -> Vec<u32> {
     let mut words = Vec::new();
-    words.push(Instr::Lui { rd: Reg::R20, imm: 0 }.encode());
-    words.push(Instr::Ori { rd: Reg::R20, rs1: Reg::R20, imm: DATA_BASE as i16 }.encode());
+    words.push(
+        Instr::Lui {
+            rd: Reg::R20,
+            imm: 0,
+        }
+        .encode(),
+    );
+    words.push(
+        Instr::Ori {
+            rd: Reg::R20,
+            rs1: Reg::R20,
+            imm: DATA_BASE as i16,
+        }
+        .encode(),
+    );
     for i in 1..16u8 {
         words.push(
             Instr::Addi {
@@ -70,13 +83,21 @@ fn build_image(body: &[Instr]) -> Vec<u32> {
     // Terminator, padded so a trailing forward branch (max skip 3) still
     // lands on an ebreak.
     for _ in 0..5 {
-        words.push(Instr::Sys { op: hx_cpu::isa::SysOp::Ebreak }.encode());
+        words.push(
+            Instr::Sys {
+                op: hx_cpu::isa::SysOp::Ebreak,
+            }
+            .encode(),
+        );
     }
     words
 }
 
 fn load_machine(words: &[u32]) -> Machine {
-    let mut machine = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     for (i, w) in words.iter().enumerate() {
         machine
             .mem
@@ -87,7 +108,11 @@ fn load_machine(words: &[u32]) -> Machine {
     for i in 0..1024u32 {
         machine
             .mem
-            .write(DATA_BASE + i * 4, i.wrapping_mul(0x9e37_79b9), hx_cpu::MemSize::Word)
+            .write(
+                DATA_BASE + i * 4,
+                i.wrapping_mul(0x9e37_79b9),
+                hx_cpu::MemSize::Word,
+            )
             .unwrap();
     }
     machine.cpu.set_pc(CODE_BASE);
@@ -154,11 +179,25 @@ fn hosted_monitor_is_transparent_on_a_fixed_program() {
     let body: Vec<Instr> = (0..40)
         .map(|i| {
             if i % 3 == 0 {
-                Instr::Addi { rd: Reg::R5, rs1: Reg::R5, imm: 7 }
+                Instr::Addi {
+                    rd: Reg::R5,
+                    rs1: Reg::R5,
+                    imm: 7,
+                }
             } else if i % 3 == 1 {
-                Instr::Store { kind: StoreKind::W, rs1: Reg::R20, rs2: Reg::R5, offset: (i * 4) as i16 }
+                Instr::Store {
+                    kind: StoreKind::W,
+                    rs1: Reg::R20,
+                    rs2: Reg::R5,
+                    offset: (i * 4) as i16,
+                }
             } else {
-                Instr::Alu { op: AluOp::Xor, rd: Reg::R6, rs1: Reg::R6, rs2: Reg::R5 }
+                Instr::Alu {
+                    op: AluOp::Xor,
+                    rd: Reg::R6,
+                    rs1: Reg::R6,
+                    rs2: Reg::R5,
+                }
             }
         })
         .collect();

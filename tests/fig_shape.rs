@@ -61,15 +61,24 @@ fn saturation_ordering_and_headline_ratios() {
     let (raw, _) = measure(Kind::Raw, 950, 60);
     let (lv, _) = measure(Kind::Lvmm, 950, 60);
     let (ho, _) = measure(Kind::Hosted, 950, 60);
-    assert!(raw > lv && lv > ho, "ordering violated: {raw:.0} {lv:.0} {ho:.0}");
+    assert!(
+        raw > lv && lv > ho,
+        "ordering violated: {raw:.0} {lv:.0} {ho:.0}"
+    );
 
     // Headline A: the paper reports 5.4x over the conventional monitor.
     let a = lv / ho;
-    assert!((3.5..8.0).contains(&a), "lvmm/hosted ratio {a:.2} far from 5.4");
+    assert!(
+        (3.5..8.0).contains(&a),
+        "lvmm/hosted ratio {a:.2} far from 5.4"
+    );
 
     // Headline B: the paper reports ~26% of real hardware.
     let b = lv / raw;
-    assert!((0.15..0.40).contains(&b), "lvmm/raw ratio {b:.2} far from 0.26");
+    assert!(
+        (0.15..0.40).contains(&b),
+        "lvmm/raw ratio {b:.2} far from 0.26"
+    );
 }
 
 #[test]

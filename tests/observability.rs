@@ -1,0 +1,203 @@
+//! End-to-end invariants of the observability layer (`hx-obs`): traces are
+//! a pure function of the run, span accounting reconciles with the flat
+//! time stats, and `qStats` samples the monitor live over the debug wire
+//! without halting the guest.
+
+use lwvmm::debugger::{encode_packet, Debugger, Reply};
+use lwvmm::guest::{kernel::layout, GuestStats, Workload};
+use lwvmm::hosted::HostedPlatform;
+use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lwvmm::monitor::{LvmmPlatform, UartLink};
+use lwvmm::obs::{ChromeTrace, ExitCause, Track};
+
+fn streaming_machine(rate_mbps: u64, tracing: bool) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    let program = Workload::new(rate_mbps)
+        .build(&machine)
+        .expect("kernel assembles");
+    machine.load_program(&program);
+    if tracing {
+        machine.obs.enable_tracing();
+    }
+    machine
+}
+
+fn export(platform: &dyn Platform) -> String {
+    let mut t = ChromeTrace::new();
+    t.add_platform(1, platform.name(), &platform.machine().obs);
+    t.finish()
+}
+
+#[test]
+fn identical_runs_produce_identical_traces_and_histograms() {
+    let run = || {
+        let machine = streaming_machine(100, true);
+        let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+        let clock = vmm.machine().config().clock_hz;
+        vmm.run_for(clock / 25);
+        vmm
+    };
+    let (a, b) = (run(), run());
+    let (ja, jb) = (export(&a), export(&b));
+    assert!(ja.contains("\"traceEvents\""));
+    assert_eq!(ja, jb, "trace bytes must be a pure function of the run");
+
+    for cause in ExitCause::ALL {
+        let (ha, hb) = (
+            a.machine().obs.exits.get(cause),
+            b.machine().obs.exits.get(cause),
+        );
+        assert_eq!(
+            (ha.count(), ha.p50(), ha.p99(), ha.mean()),
+            (hb.count(), hb.p50(), hb.p99(), hb.mean()),
+            "{} histogram must be deterministic",
+            cause.label()
+        );
+    }
+    assert!(
+        a.machine().obs.exits.total_count() > 0,
+        "streaming run must record exits"
+    );
+}
+
+#[test]
+fn spans_reconcile_with_time_stats_on_all_platforms() {
+    let platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(RawPlatform::new(streaming_machine(100, true))),
+        Box::new(LvmmPlatform::new(
+            streaming_machine(100, true),
+            layout::ENTRY,
+        )),
+        Box::new(HostedPlatform::new(
+            streaming_machine(100, true),
+            layout::ENTRY,
+        )),
+    ];
+    for mut platform in platforms {
+        let clock = platform.machine().config().clock_hz;
+        platform.run_for(clock / 50);
+        let stats = *platform.time_stats();
+        let obs = &platform.machine().obs;
+        // Guest + monitor + host-model + idle spans cover the whole run.
+        assert_eq!(
+            obs.spans.grand_total(),
+            stats.total(),
+            "{}: span cycles == accounted cycles",
+            platform.name()
+        );
+        for (track, bucket) in [
+            (Track::Guest, stats.guest),
+            (Track::Monitor, stats.monitor),
+            (Track::HostModel, stats.host_model),
+            (Track::Idle, stats.idle),
+        ] {
+            assert_eq!(
+                obs.spans.total(track),
+                bucket,
+                "{}: {} track == flat bucket",
+                platform.name(),
+                track.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn qstats_samples_live_without_stopping_the_stream() {
+    let machine = streaming_machine(100, false);
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    let clock = vmm.machine().config().clock_hz;
+    vmm.run_for(clock / 10); // reach steady state
+
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    let s1 = dbg.query_stats().expect("first qStats");
+    dbg.link_mut().platform.run_for(clock / 50);
+    let s2 = dbg.query_stats().expect("second qStats");
+
+    // The guest never stopped, and time kept flowing between samples.
+    assert!(!dbg.link_ref().platform.guest_stopped());
+    assert!(s2.now > s1.now);
+    assert!(s2.guest > s1.guest, "guest kept executing between samples");
+    assert_eq!(s1.exits.len(), ExitCause::COUNT);
+    // Cycle attribution in the sample is complete and self-consistent.
+    assert_eq!(s1.guest + s1.monitor + s1.host + s1.idle, s1.now);
+    assert_eq!(s2.guest + s2.monitor + s2.host + s2.idle, s2.now);
+    // Exit counters only ever grow.
+    for (c1, c2) in s1.exits.iter().zip(&s2.exits) {
+        assert!(c2 >= c1);
+    }
+    // A streaming guest takes privileged and IRQ-virtualization exits.
+    let count = |cause: ExitCause| s2.exits[cause.index()];
+    assert!(count(ExitCause::Privileged) > 0);
+    assert!(count(ExitCause::IrqInject) > 0);
+
+    let platform = dbg.into_link().platform;
+    let stats = GuestStats::read(platform.machine()).expect("guest stats");
+    assert_eq!(stats.fault_cause, 0);
+}
+
+#[test]
+fn malformed_qstats_packets_never_kill_the_stub() {
+    let machine = streaming_machine(100, false);
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    let clock = vmm.machine().config().clock_hz;
+    vmm.run_for(clock / 10);
+
+    // Near-miss and garbage payloads go straight down the wire.
+    for bad in ["qStat", "qStatsX", "q", "S1;g:zz", "qStats,extra"] {
+        vmm.machine_mut().uart_input(&encode_packet(bad));
+    }
+    vmm.run_for(200_000);
+    // Discard the stub's error replies to the garbage above.
+    let _ = vmm.machine_mut().uart_output();
+
+    // The stub answered every one with a parse error, not a panic, and the
+    // guest kept streaming. A well-formed qStats still works afterwards.
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    let s = dbg
+        .query_stats()
+        .expect("stub alive after malformed traffic");
+    assert!(s.now > 0);
+    assert!(!dbg.link_ref().platform.guest_stopped());
+}
+
+#[test]
+fn ring_overflow_is_counted_and_surfaced_in_the_export() {
+    use lwvmm::obs::{Dev, Recorder, TraceRing};
+    let mut rec = Recorder::new();
+    rec.enable_tracing();
+    rec.ring = TraceRing::new(2);
+    for i in 0..10 {
+        rec.irq(i, Dev::Nic, 5);
+    }
+    assert_eq!(rec.ring.len(), 2);
+    assert_eq!(rec.ring.dropped(), 8);
+    assert_eq!(rec.ring.total_offered(), 10);
+    let mut t = ChromeTrace::new();
+    t.add_platform(1, "tiny", &rec);
+    let json = t.finish();
+    assert!(json.contains("\"truncated\""));
+    assert!(json.contains("\"events_dropped\":8"));
+}
+
+#[test]
+fn stats_reply_wire_roundtrip() {
+    // The exact payload the stub emits parses back to the same sample.
+    let machine = streaming_machine(100, false);
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    let clock = vmm.machine().config().clock_hz;
+    vmm.run_for(clock / 20);
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    let s = dbg.query_stats().expect("qStats");
+    let reply = Reply::Stats(s.clone());
+    assert_eq!(Reply::parse(&reply.format()), Some(reply));
+}

@@ -8,7 +8,10 @@ use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::{LvmmConfig, LvmmPlatform};
 
 fn machine_with(program: &hx_asm::Program) -> Machine {
-    let mut machine = Machine::new(MachineConfig { ram_size: 16 << 20, ..Default::default() });
+    let mut machine = Machine::new(MachineConfig {
+        ram_size: 16 << 20,
+        ..Default::default()
+    });
     machine.load_program(program);
     machine
 }
@@ -38,7 +41,10 @@ fn level1_app_cannot_touch_kernel_pages_raw() {
     let program = apps::protection_guest();
     let mut hw = RawPlatform::new(machine_with(&program));
     hw.run_for(3_000_000);
-    assert_eq!(hw.machine().mem.word(OBSERVED), hx_cpu::Cause::StorePageFault.code());
+    assert_eq!(
+        hw.machine().mem.word(OBSERVED),
+        hx_cpu::Cause::StorePageFault.code()
+    );
 }
 
 #[test]
@@ -46,7 +52,10 @@ fn level1_app_cannot_touch_kernel_pages_hosted() {
     let program = apps::protection_guest();
     let mut vmm = HostedPlatform::new(machine_with(&program), program.base());
     vmm.run_for(6_000_000);
-    assert_eq!(vmm.machine().mem.word(OBSERVED), hx_cpu::Cause::StorePageFault.code());
+    assert_eq!(
+        vmm.machine().mem.word(OBSERVED),
+        hx_cpu::Cause::StorePageFault.code()
+    );
 }
 
 #[test]
@@ -68,7 +77,11 @@ fn level3_kernel_cannot_touch_monitor_memory() {
     let probe = 0xe8_0000u32;
     assert!(probe >= vmm.monitor_base());
     vmm.run_for(1_000_000);
-    assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 0, "store must not retire");
+    assert_eq!(
+        vmm.machine().cpu.reg(hx_cpu::Reg::R18),
+        0,
+        "store must not retire"
+    );
     assert_eq!(
         vmm.machine().cpu.reg(hx_cpu::Reg::R19),
         hx_cpu::Cause::StorePageFault.code(),
@@ -126,8 +139,15 @@ fn level3_kernel_cannot_map_monitor_memory_via_page_tables() {
     let program = hx_asm::assemble(src).unwrap();
     let mut vmm = LvmmPlatform::new(machine_with(&program), program.base());
     vmm.run_for(2_000_000);
-    assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R18), 0, "store must not retire");
-    assert_eq!(vmm.machine().cpu.reg(hx_cpu::Reg::R19), hx_cpu::Cause::StorePageFault.code());
+    assert_eq!(
+        vmm.machine().cpu.reg(hx_cpu::Reg::R18),
+        0,
+        "store must not retire"
+    );
+    assert_eq!(
+        vmm.machine().cpu.reg(hx_cpu::Reg::R19),
+        hx_cpu::Cause::StorePageFault.code()
+    );
     assert!(vmm.monitor_stats().protection_violations >= 1);
     assert_ne!(vmm.machine().mem.word(0xe8_0000), 0x4242_4242);
 }
@@ -161,7 +181,10 @@ fn monitor_region_size_is_configurable() {
     let vmm = LvmmPlatform::with_config(
         machine,
         program.base(),
-        LvmmConfig { monitor_mem: 4 << 20, debug_on_unhandled_fault: true },
+        LvmmConfig {
+            monitor_mem: 4 << 20,
+            debug_on_unhandled_fault: true,
+        },
     );
     assert_eq!(vmm.monitor_base(), (16 << 20) - (4 << 20));
 }

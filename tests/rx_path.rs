@@ -48,7 +48,10 @@ fn rx_guest() -> hx_asm::Program {
 }
 
 fn machine() -> Machine {
-    let mut m = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut m = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     m.load_program(&rx_guest());
     m
 }
@@ -109,7 +112,10 @@ fn device_registers_reject_subword_access() {
         nic = map::NIC_BASE
     );
     let program = hx_asm::assemble(&src).unwrap();
-    let mut m = Machine::new(MachineConfig { ram_size: 8 << 20, ..Default::default() });
+    let mut m = Machine::new(MachineConfig {
+        ram_size: 8 << 20,
+        ..Default::default()
+    });
     m.load_program(&program);
     let mut hw = RawPlatform::new(m);
     hw.run_for(50_000);

@@ -10,7 +10,9 @@ use lwvmm::monitor::LvmmPlatform;
 
 fn boot(rate: u64) -> (Machine, u64) {
     let mut machine = Machine::new(MachineConfig::default());
-    let program = Workload::new(rate).build(&machine).expect("kernel assembles");
+    let program = Workload::new(rate)
+        .build(&machine)
+        .expect("kernel assembles");
     machine.load_program(&program);
     let clock = machine.config().clock_hz;
     (machine, clock)
@@ -19,13 +21,16 @@ fn boot(rate: u64) -> (Machine, u64) {
 fn run_and_verify(platform: &mut dyn Platform, clock: u64, ms: u64) -> GuestStats {
     platform.machine_mut().nic.set_capture(true);
     platform.run_for(clock / 1_000 * ms);
-    let stats = GuestStats::read(platform.machine());
+    let stats = GuestStats::read(platform.machine()).expect("guest must finish booting");
     assert_eq!(stats.fault_cause, 0, "guest fault at {:#x}", stats.fault_pc);
     assert!(stats.booted, "guest must finish booting");
     let frames = platform.machine_mut().nic.take_captured();
     assert!(!frames.is_empty(), "stream must produce frames");
     verify::verify_frames(&frames).expect("wire data == disk data");
-    assert_eq!(frames.len() as u64, platform.machine().nic.counters().tx_frames);
+    assert_eq!(
+        frames.len() as u64,
+        platform.machine().nic.counters().tx_frames
+    );
     stats
 }
 
@@ -59,7 +64,10 @@ fn hosted_stream_is_correct() {
     assert!(stats.frames > 30, "{stats:?}");
     let hs = vmm.hosted_stats();
     assert!(hs.exits_mmio > 200, "every device access must exit: {hs:?}");
-    assert!(hs.host_relay_ops > 30, "data must go through the host model");
+    assert!(
+        hs.host_relay_ops > 30,
+        "data must go through the host model"
+    );
 }
 
 #[test]
@@ -101,9 +109,17 @@ fn platforms(rate: u64) -> Vec<(&'static str, Box<dyn Platform>, u64)> {
     let (machine, clock) = boot(rate);
     out.push(("real-hw", Box::new(RawPlatform::new(machine)), clock));
     let (machine, clock) = boot(rate);
-    out.push(("lvmm", Box::new(LvmmPlatform::new(machine, layout::ENTRY)), clock));
+    out.push((
+        "lvmm",
+        Box::new(LvmmPlatform::new(machine, layout::ENTRY)),
+        clock,
+    ));
     let (machine, clock) = boot(rate);
-    out.push(("hosted", Box::new(HostedPlatform::new(machine, layout::ENTRY)), clock));
+    out.push((
+        "hosted",
+        Box::new(HostedPlatform::new(machine, layout::ENTRY)),
+        clock,
+    ));
     out
 }
 
