@@ -14,7 +14,8 @@
 //! * `--metrics` prints the per-cause exit histograms of those runs.
 //!
 //! Prints the measured series as a table and an ASCII plot, and writes
-//! `fig3_1.csv` into the current directory.
+//! `fig3_1.csv` plus the machine-readable `BENCH_fig3_1.json` (per-platform
+//! sweep points and exit histograms) into the current directory.
 
 use hitactix::Workload;
 use hx_obs::{Align, Report};
@@ -47,10 +48,12 @@ fn main() {
     .column("idle%", Align::Right);
 
     let mut series = Vec::new();
+    let mut measurements = Vec::new();
     let mut saturation = Vec::new();
 
     for kind in PlatformKind::ALL {
         let mut pts = Vec::new();
+        let mut ms = Vec::new();
         let mut max_achieved = 0.0f64;
         for &rate in rates {
             let m = measure_point(kind, rate, warmup_ms, window_ms);
@@ -68,9 +71,11 @@ fn main() {
             ]);
             max_achieved = max_achieved.max(m.achieved_mbps);
             pts.push((m.achieved_mbps, m.cpu_load));
+            ms.push(m);
         }
         saturation.push((kind, max_achieved));
         series.push((kind, pts));
+        measurements.push((kind, ms));
         report.gap();
     }
 
@@ -92,7 +97,11 @@ fn main() {
     );
 
     lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
-    println!("\nwrote fig3_1.csv");
+    lwvmm_bench::write_output(
+        "BENCH_fig3_1.json",
+        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements),
+    );
+    println!("\nwrote fig3_1.csv and BENCH_fig3_1.json");
 
     if trace_path.is_none() && !metrics {
         return;

@@ -1,0 +1,92 @@
+//! Record/replay self-check: runs the streaming workload under the
+//! lightweight monitor with the flight recorder on, then replays the sealed
+//! journal on a freshly booted platform and verifies the replay is
+//! *byte-identical* — same Chrome trace, same final guest statistics, same
+//! guest memory image.
+//!
+//! Usage: `cargo run --release -p lwvmm-bench --bin record_replay
+//!         [--ms N] [--trace out.json] [--journal out.journal]`
+//!
+//! Exits non-zero on any mismatch, so CI can use it as a determinism gate.
+
+use hitactix::{GuestStats, Workload};
+use hx_machine::Platform;
+use hx_obs::Journal;
+use lvmm::ReplayDriver;
+use lwvmm_bench::{arg_value, build_platform, chrome_trace, write_output, PlatformKind};
+
+struct RunResult {
+    trace: String,
+    stats: GuestStats,
+    ram_digest: u64,
+    end: u64,
+}
+
+fn finish(platform: &mut dyn Platform) -> RunResult {
+    let trace = chrome_trace(&[("lvmm", &*platform)]);
+    let stats = GuestStats::read(platform.machine()).expect("guest stats readable");
+    RunResult {
+        trace,
+        stats,
+        ram_digest: hx_obs::digest(platform.machine().mem.as_bytes()),
+        end: platform.machine().now(),
+    }
+}
+
+fn main() {
+    let ms: u64 = arg_value("--ms").map_or(60, |v| v.parse().expect("--ms takes a number"));
+    let workload = Workload::new(100);
+
+    // Record.
+    let mut rec = build_platform(PlatformKind::Lvmm, &workload);
+    rec.machine_mut().obs.enable_tracing();
+    rec.machine_mut().obs.enable_journal("lvmm");
+    let per_ms = rec.machine().config().clock_hz / 1_000;
+    rec.run_for(ms * per_ms);
+    let end = rec.machine().now();
+    let mut journal: Journal = rec
+        .machine()
+        .obs
+        .journal()
+        .cloned()
+        .expect("journal enabled");
+    journal.seal(end);
+    let original = finish(rec.as_mut());
+
+    // Replay on a fresh boot.
+    let mut rep = build_platform(PlatformKind::Lvmm, &workload);
+    rep.machine_mut().obs.enable_tracing();
+    let reached = ReplayDriver::new(&journal).run(rep.as_mut());
+    let replayed = finish(rep.as_mut());
+
+    if let Some(path) = arg_value("--trace") {
+        write_output(&path, original.trace.clone());
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_value("--journal") {
+        write_output(&path, journal.save());
+        println!("wrote {path}");
+    }
+
+    println!(
+        "recorded {} cycles, {} journal inputs, {} journal events",
+        end,
+        journal.inputs.len(),
+        journal.events.len()
+    );
+    let mut ok = true;
+    let mut check = |what: &str, same: bool| {
+        println!("  {what:20} {}", if same { "match" } else { "MISMATCH" });
+        ok &= same;
+    };
+    check("end cycle", reached == original.end);
+    check("chrome trace", replayed.trace == original.trace);
+    check("guest stats", replayed.stats == original.stats);
+    check("guest RAM", replayed.ram_digest == original.ram_digest);
+    if ok {
+        println!("replay is byte-identical");
+    } else {
+        println!("replay DIVERGED from the recording");
+        std::process::exit(1);
+    }
+}

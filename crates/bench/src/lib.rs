@@ -8,7 +8,7 @@
 use hitactix::{GuestStats, Workload};
 use hosted_vmm::HostedPlatform;
 use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
-use hx_obs::{report, Align, ChromeTrace, ExitCause, Report};
+use hx_obs::{report, Align, ChromeTrace, ExitCause, ExitHists, Report};
 use lvmm::LvmmPlatform;
 
 /// The three systems of the paper's evaluation.
@@ -71,7 +71,7 @@ pub fn build_platform_with(
 }
 
 /// One measured point of the rate sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Requested payload rate (Mbit/s).
     pub requested_mbps: f64,
@@ -85,6 +85,8 @@ pub struct Measurement {
     pub guest: GuestStats,
     /// Wire frames over the window.
     pub frames: u64,
+    /// Per-cause exit histograms, cumulative over the whole run.
+    pub exits: ExitHists,
 }
 
 /// Runs the platform for `warmup_ms` of simulated time, then measures a
@@ -128,6 +130,7 @@ pub fn measure(platform: &mut dyn Platform, warmup_ms: u64, window_ms: u64) -> M
         window,
         guest,
         frames,
+        exits: platform.machine().obs.exits.clone(),
     }
 }
 
@@ -213,13 +216,17 @@ pub fn arg_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-/// Per-exit-cause count / p50 / p99 / mean table from a platform's recorder.
+/// Per-exit-cause histogram table (count, min, p50, p99, p99.9, max, mean)
+/// from a platform's recorder.
 pub fn exit_report(title: impl Into<String>, platform: &dyn Platform) -> Report {
     let mut r = Report::new(title)
         .column("exit cause", Align::Left)
         .column("count", Align::Right)
+        .column("min cyc", Align::Right)
         .column("p50 cyc", Align::Right)
         .column("p99 cyc", Align::Right)
+        .column("p99.9 cyc", Align::Right)
+        .column("max cyc", Align::Right)
         .column("mean cyc", Align::Right);
     let exits = &platform.machine().obs.exits;
     for cause in ExitCause::ALL {
@@ -227,10 +234,108 @@ pub fn exit_report(title: impl Into<String>, platform: &dyn Platform) -> Report 
         if h.count() == 0 {
             continue;
         }
-        let [count, p50, p99, mean] = report::hist_row(h);
-        r.row([cause.label().to_string(), count, p50, p99, mean]);
+        let [count, min, p50, p99, p999, max, mean] = report::hist_row(h);
+        r.row([
+            cause.label().to_string(),
+            count,
+            min,
+            p50,
+            p99,
+            p999,
+            max,
+            mean,
+        ]);
     }
     r
+}
+
+fn json_hist(h: &hx_obs::CycleHist) -> String {
+    format!(
+        "{{\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\"mean\":{}}}",
+        h.count(),
+        h.min(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+        h.mean()
+    )
+}
+
+/// Builds the machine-readable companion of `fig3_1.csv`: per-platform
+/// sweep points (CPU load, attribution, achieved rate) plus the cumulative
+/// exit histograms of each platform's highest-rate run, and the two
+/// headline ratios. Hand-rolled JSON — the workspace has no serializer
+/// dependency and the schema is small.
+pub fn fig3_1_json(
+    warmup_ms: u64,
+    window_ms: u64,
+    series: &[(PlatformKind, Vec<Measurement>)],
+) -> String {
+    let sat = |kind: PlatformKind| {
+        series
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0.0, |(_, ms)| {
+                ms.iter().map(|m| m.achieved_mbps).fold(0.0, f64::max)
+            })
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig3_1\",\n");
+    out.push_str(&format!("  \"warmup_ms\": {warmup_ms},\n"));
+    out.push_str(&format!("  \"window_ms\": {window_ms},\n"));
+    out.push_str("  \"platforms\": [\n");
+    for (pi, (kind, ms)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"saturation_mbps\": {:.3}, \"points\": [\n",
+            kind.label(),
+            sat(*kind)
+        ));
+        for (i, m) in ms.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"requested_mbps\": {:.3}, \"achieved_mbps\": {:.3}, \
+                 \"cpu_load\": {:.4}, \"guest_cycles\": {}, \"monitor_cycles\": {}, \
+                 \"host_cycles\": {}, \"idle_cycles\": {}}}{}\n",
+                m.requested_mbps,
+                m.achieved_mbps,
+                m.cpu_load,
+                m.window.guest,
+                m.window.monitor,
+                m.window.host_model,
+                m.window.idle,
+                if i + 1 < ms.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ], \"exits\": {");
+        let exits = ms.last().map(|m| &m.exits);
+        let mut first = true;
+        if let Some(exits) = exits {
+            for cause in ExitCause::ALL {
+                let h = exits.get(cause);
+                if h.count() == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{}\": {}", cause.label(), json_hist(h)));
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if pi + 1 < series.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let raw = sat(PlatformKind::RawHw).max(f64::MIN_POSITIVE);
+    let ho = sat(PlatformKind::Hosted).max(f64::MIN_POSITIVE);
+    let lv = sat(PlatformKind::Lvmm);
+    out.push_str(&format!(
+        "  \"headlines\": {{\"lvmm_vs_hosted\": {:.3}, \"lvmm_vs_real_pct\": {:.3}}}\n",
+        lv / ho,
+        lv / raw * 100.0
+    ));
+    out.push_str("}\n");
+    out
 }
 
 /// Builds the Chrome trace-event JSON document for one or more traced
@@ -251,6 +356,48 @@ mod tests {
     fn platform_kinds() {
         assert_eq!(PlatformKind::ALL.len(), 3);
         assert_eq!(PlatformKind::Lvmm.label(), "lvmm");
+    }
+
+    #[test]
+    fn fig3_1_json_is_balanced_and_complete() {
+        let m = Measurement {
+            requested_mbps: 100.0,
+            achieved_mbps: 99.5,
+            cpu_load: 0.25,
+            window: TimeStats {
+                guest: 10,
+                monitor: 5,
+                host_model: 0,
+                idle: 85,
+            },
+            guest: GuestStats::default(),
+            frames: 7,
+            exits: {
+                let mut e = ExitHists::default();
+                e.record(ExitCause::Mmio, 400);
+                e
+            },
+        };
+        let series = vec![
+            (PlatformKind::RawHw, vec![m.clone()]),
+            (PlatformKind::Lvmm, vec![m.clone()]),
+            (PlatformKind::Hosted, vec![m]),
+        ];
+        let json = fig3_1_json(40, 120, &series);
+        for key in [
+            "\"bench\"",
+            "\"platforms\"",
+            "\"lvmm\"",
+            "\"cpu_load\"",
+            "\"mmio\"",
+            "\"p999\"",
+            "\"headlines\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {json}");
     }
 
     #[test]

@@ -60,11 +60,13 @@
 pub mod chipset;
 pub mod costs;
 pub mod platform;
+pub mod replay;
 pub mod shadow;
 pub mod stub;
 pub mod vcpu;
 
 pub use platform::{LvmmConfig, LvmmPlatform, LvmmStats, UartLink};
+pub use replay::ReplayDriver;
 pub use shadow::ShadowPager;
 pub use stub::Stub;
 pub use vcpu::VCpu;

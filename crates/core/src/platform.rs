@@ -29,7 +29,8 @@ use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
 use hx_machine::platform::{track_of, PlatformStep};
 use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
-use hx_obs::{EventKind, ExitCause};
+use hx_obs::journal::{fnv1a, FNV_OFFSET};
+use hx_obs::{CheckpointStore, EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
 use rdbg::msg::{Command, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
@@ -84,6 +85,42 @@ enum RunState {
     Stopped,
 }
 
+/// Everything that changes as the platform runs — the restorable part of a
+/// flight-recorder checkpoint. Immutable construction parameters (`entry`,
+/// `monitor_base`, `ram_size`, `cfg`) are deliberately excluded.
+#[derive(Debug, Clone)]
+struct LvmmSnapshot {
+    machine: Machine,
+    vcpu: VCpu,
+    shadow: ShadowPager,
+    chipset: VChipset,
+    stub: Stub,
+    stats: TimeStats,
+    mstats: LvmmStats,
+    state: RunState,
+    last_fault: (u32, u32, u32),
+    last_fault_repeats: u32,
+}
+
+/// Time-travel state: periodic snapshots plus the bookkeeping needed to
+/// resolve `reverse-step` / `reverse-continue` targets.
+///
+/// Boxed inside [`LvmmPlatform`] so a platform without the recorder pays one
+/// pointer of overhead.
+#[derive(Debug)]
+struct FlightRecorder {
+    checkpoints: CheckpointStore<LvmmSnapshot>,
+    /// Cycle at which the most recent guest instruction *began* executing —
+    /// the `reverse-step` landing target.
+    last_instr_at: u64,
+    /// Cycles of past debugger stops (breakpoints, watchpoints, faults,
+    /// halts), oldest first — the `reverse-continue` targets.
+    stop_history: Vec<u64>,
+    /// True while `seek_to` is re-executing history; time-travel commands
+    /// arriving in that window are rejected instead of recursing.
+    replaying: bool,
+}
+
 /// The lightweight-VMM platform (see the [module docs](self)).
 #[derive(Debug)]
 pub struct LvmmPlatform {
@@ -102,6 +139,7 @@ pub struct LvmmPlatform {
     // Livelock guard: identical consecutive shadow faults indicate a bug.
     last_fault: (u32, u32, u32),
     last_fault_repeats: u32,
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl LvmmPlatform {
@@ -161,7 +199,170 @@ impl LvmmPlatform {
             cfg,
             last_fault: (0, 0, 0),
             last_fault_repeats: 0,
+            flight: None,
         }
+    }
+
+    /// Turns on the flight recorder: every nondeterministic input and device
+    /// event is journaled from this point on, and a full machine snapshot is
+    /// taken every `every` cycles (see
+    /// [`hx_obs::CheckpointStore::DEFAULT_EVERY`] for a reasonable cadence).
+    /// An initial checkpoint is taken immediately so the whole recorded
+    /// window is reachable by `seek`.
+    ///
+    /// Enable this *before* running the workload — a journal that misses
+    /// early inputs cannot reproduce the run.
+    pub fn enable_flight_recorder(&mut self, every: u64) {
+        self.machine.obs.enable_journal(self.name());
+        let mut fr = FlightRecorder {
+            checkpoints: CheckpointStore::new(every),
+            last_instr_at: self.machine.now(),
+            stop_history: Vec::new(),
+            replaying: false,
+        };
+        let now = self.machine.now();
+        let digest = self.state_digest();
+        fr.checkpoints.record(now, digest, self.snapshot());
+        self.flight = Some(Box::new(fr));
+    }
+
+    /// Is the flight recorder on?
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Number of checkpoints currently held (diagnostics and tests).
+    pub fn checkpoint_count(&self) -> usize {
+        self.flight.as_ref().map_or(0, |f| f.checkpoints.len())
+    }
+
+    /// Checksums of guest-visible machine state, used to audit replay
+    /// fidelity across checkpoints.
+    fn state_digest(&self) -> StateDigest {
+        let ram = fnv1a(FNV_OFFSET, self.machine.mem.as_bytes());
+        let mut regs = FNV_OFFSET;
+        for r in self.machine.cpu.regs() {
+            regs = fnv1a(regs, &r.to_le_bytes());
+        }
+        regs = fnv1a(regs, &self.machine.cpu.pc().to_le_bytes());
+        for csr in [Csr::Status, Csr::Tvec, Csr::Ptbr, Csr::Epc, Csr::Cause] {
+            regs = fnv1a(regs, &self.machine.cpu.read_csr(csr).to_le_bytes());
+        }
+        let s = self.shadow.stats;
+        let mut shadow = FNV_OFFSET;
+        for v in [s.fills, s.flushes, s.contexts, s.protection_violations] {
+            shadow = fnv1a(shadow, &v.to_le_bytes());
+        }
+        StateDigest { ram, regs, shadow }
+    }
+
+    fn snapshot(&self) -> LvmmSnapshot {
+        LvmmSnapshot {
+            machine: self.machine.clone(),
+            vcpu: self.vcpu.clone(),
+            shadow: self.shadow.clone(),
+            chipset: self.chipset.clone(),
+            stub: self.stub.clone(),
+            stats: self.stats,
+            mstats: self.mstats,
+            state: self.state,
+            last_fault: self.last_fault,
+            last_fault_repeats: self.last_fault_repeats,
+        }
+    }
+
+    fn restore(&mut self, snap: LvmmSnapshot) {
+        self.machine = snap.machine;
+        self.vcpu = snap.vcpu;
+        self.shadow = snap.shadow;
+        self.chipset = snap.chipset;
+        self.stub = snap.stub;
+        self.stats = snap.stats;
+        self.mstats = snap.mstats;
+        self.state = snap.state;
+        self.last_fault = snap.last_fault;
+        self.last_fault_repeats = snap.last_fault_repeats;
+    }
+
+    /// Takes a checkpoint when one is due. Runs during replay too: a seek
+    /// truncates the checkpoint store to its restore point and the re-run
+    /// rebuilds the later checkpoints on the (identical) new timeline.
+    fn maybe_checkpoint(&mut self) {
+        let now = self.machine.now();
+        let due = self.flight.as_ref().is_some_and(|f| f.checkpoints.due(now));
+        if !due {
+            return;
+        }
+        let digest = self.state_digest();
+        let snap = self.snapshot();
+        if let Some(f) = &mut self.flight {
+            f.checkpoints.record(now, digest, snap);
+        }
+    }
+
+    /// Moves the platform to `target` on the recorded timeline.
+    ///
+    /// Backward: restores the nearest checkpoint at or before `target`,
+    /// then deterministically re-executes history — re-injecting journaled
+    /// UART bytes and NIC frames at their recorded cycles — until the
+    /// machine reaches `target`. Forward: free-runs to `target`. Either way
+    /// the guest parks there with a [`StopReason::TimeTravel`] stop, and
+    /// subsequent execution rewrites the future (new-branch semantics: the
+    /// journal, checkpoints and stop history beyond the restore point are
+    /// truncated and rebuilt).
+    fn seek_to(&mut self, target: u64) -> Reply {
+        let Some(fr) = self.flight.as_deref() else {
+            return Reply::Error(err::RECORDER);
+        };
+        if fr.replaying {
+            return Reply::Error(err::RECORDER);
+        }
+        // Full journal as of now — the re-run script. The restored
+        // machine's own journal only reaches the checkpoint; re-injection
+        // re-records the segment up to `target` identically.
+        let Some(journal) = self.machine.obs.journal().cloned() else {
+            return Reply::Error(err::RECORDER);
+        };
+        let mut cursor = ReplayCursor::new(&journal);
+        if target < self.machine.now() {
+            let fr = self.flight.as_mut().expect("checked above");
+            let Some(cp) = fr.checkpoints.nearest_at_or_before(target) else {
+                return Reply::Error(err::RECORDER);
+            };
+            let cp_at = cp.at;
+            let snap = cp.state.clone();
+            fr.checkpoints.truncate_after(cp_at);
+            fr.stop_history.retain(|&c| c <= cp_at);
+            self.restore(snap);
+        }
+        self.flight.as_mut().expect("checked above").replaying = true;
+        // Inputs already baked into the (possibly restored) machine state
+        // are exactly the ones its own journal holds — skip by count, not
+        // by cycle, so records tied with the checkpoint cycle (e.g. a break
+        // byte journaled before the initial cycle-0 checkpoint existed) are
+        // not wrongly dropped.
+        let done = self.machine.obs.journal().map_or(0, |j| j.inputs.len());
+        cursor.skip_first(done);
+        while self.machine.now() < target {
+            let now = self.machine.now();
+            while let Some(rec) = cursor.pop_due(now) {
+                match rec.input {
+                    JournalInput::UartRx(bytes) => self.machine.uart_input(&bytes),
+                    JournalInput::NicRx(frame) => self.inject_rx_frame(&frame),
+                }
+            }
+            if self.step() == PlatformStep::Stuck {
+                break;
+            }
+        }
+        // Stub replies regenerated during the re-run were already delivered
+        // on the original timeline; the host must not see them twice.
+        let _ = self.machine.uart_output();
+        self.flight.as_mut().expect("checked above").replaying = false;
+        let pc = self.machine.cpu.pc();
+        let cycle = self.machine.now();
+        self.stub_stop(StopReason::TimeTravel { pc, cycle });
+        Reply::Ok
     }
 
     /// Monitor exit/injection counters.
@@ -717,6 +918,16 @@ impl LvmmPlatform {
     // ------------------------------------------------------------------
 
     fn stub_stop(&mut self, reason: StopReason) {
+        // Organic stops become reverse-continue targets; time-travel
+        // landings do not (they are already the result of one).
+        if !matches!(reason, StopReason::TimeTravel { .. }) {
+            let now = self.machine.now();
+            if let Some(fr) = &mut self.flight {
+                if fr.stop_history.last() != Some(&now) {
+                    fr.stop_history.push(now);
+                }
+            }
+        }
         self.state = RunState::Stopped;
         self.stub.stopped = true;
         self.stub.last_stop = Some(reason);
@@ -760,7 +971,9 @@ impl LvmmPlatform {
                     let monitor_before = self.stats.monitor;
                     let pc = self.machine.cpu.pc();
                     self.stub_stop(StopReason::Halted { pc });
-                    let delta = self.stats.monitor - monitor_before;
+                    // Saturating: a time-travel command may have rewound
+                    // `stats` to before this exit began.
+                    let delta = self.stats.monitor.saturating_sub(monitor_before);
                     self.record_exit(ExitCause::Debug, delta);
                 }
                 WireEvent::Packet(p) => {
@@ -778,7 +991,9 @@ impl LvmmPlatform {
                         None => Reply::Error(err::PARSE),
                     };
                     self.send_reply(&reply);
-                    let delta = self.stats.monitor - monitor_before;
+                    // Saturating: a time-travel command may have rewound
+                    // `stats` to before this exit began.
+                    let delta = self.stats.monitor.saturating_sub(monitor_before);
                     self.record_exit(ExitCause::Debug, delta);
                 }
                 WireEvent::Corrupt => {
@@ -947,6 +1162,50 @@ impl LvmmPlatform {
                 self.stub_stop(StopReason::Halted { pc: self.entry });
                 Reply::Ok
             }
+            Command::ReverseStep => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                let Some(fr) = self.flight.as_deref() else {
+                    return Reply::Error(err::RECORDER);
+                };
+                self.seek_to(fr.last_instr_at)
+            }
+            Command::ReverseContinue => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                let Some(fr) = self.flight.as_deref() else {
+                    return Reply::Error(err::RECORDER);
+                };
+                // Anchor on the cycle of the stop we are parked at (`now`
+                // keeps advancing while stopped), then rewind to the
+                // latest stop strictly before it.
+                let anchor = match self.stub.last_stop {
+                    Some(StopReason::TimeTravel { cycle, .. }) => cycle,
+                    _ => fr
+                        .stop_history
+                        .last()
+                        .copied()
+                        .unwrap_or_else(|| self.machine.now()),
+                };
+                let target = fr
+                    .stop_history
+                    .iter()
+                    .copied()
+                    .filter(|&c| c < anchor)
+                    .max();
+                match target {
+                    Some(t) => self.seek_to(t),
+                    None => Reply::Error(err::RECORDER),
+                }
+            }
+            Command::Seek { cycle } => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                self.seek_to(cycle)
+            }
             Command::QueryStats => {
                 // Answered whether or not the guest is stopped — the whole
                 // point is sampling the monitor live, without a halt.
@@ -1013,8 +1272,10 @@ impl LvmmPlatform {
     // ------------------------------------------------------------------
 
     fn running_step(&mut self) -> PlatformStep {
+        let at = self.machine.now();
         match self.machine.step() {
             MachineStep::Executed { cycles } => {
+                self.note_instr(at);
                 self.charge(TimeBucket::Guest, cycles);
                 PlatformStep::Running
             }
@@ -1027,11 +1288,22 @@ impl LvmmPlatform {
                 PlatformStep::Running
             }
             MachineStep::Trapped { trap, cycles } => {
+                self.note_instr(at);
                 self.charge(TimeBucket::Guest, cycles);
                 self.dispatch_trap(trap);
                 PlatformStep::Running
             }
             MachineStep::Stuck => PlatformStep::Stuck,
+        }
+    }
+
+    /// Remembers the boundary cycle at which the latest guest instruction
+    /// started — seeking there lands *before* that instruction executes,
+    /// which is what `reverse-step` wants (e.g. parked on the faulting
+    /// store, one instant before the damage).
+    fn note_instr(&mut self, at: u64) {
+        if let Some(fr) = &mut self.flight {
+            fr.last_instr_at = at;
         }
     }
 
@@ -1097,6 +1369,7 @@ impl Platform for LvmmPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
+        self.maybe_checkpoint();
         match self.state {
             RunState::Running => self.running_step(),
             RunState::GuestIdle => self.idle_step(),

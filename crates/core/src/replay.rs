@@ -1,0 +1,116 @@
+//! Journal replay: deterministic re-execution of a recorded run.
+//!
+//! The simulation is a discrete-event system whose only nondeterministic
+//! inputs are host UART bytes and injected NIC frames. A sealed
+//! [`hx_obs::Journal`] captures both with the simulated cycle at which they
+//! arrived, so re-injecting them at the same cycles on a freshly booted
+//! platform reproduces the original run exactly — same trace events, same
+//! exit histograms, same guest memory, byte for byte.
+//!
+//! [`ReplayDriver`] works against `&mut dyn Platform`, so the same journal
+//! can be replayed on a *different* platform (e.g. recorded under the
+//! lightweight monitor, replayed on the hosted-VMM baseline) and the two
+//! runs' device-event streams diffed with [`hx_obs::audit`] to find the
+//! first behavioural divergence between the systems.
+
+use hx_machine::platform::PlatformStep;
+use hx_machine::Platform;
+use hx_obs::{Journal, JournalInput, ReplayCursor};
+
+/// Re-executes a recorded journal against a platform.
+///
+/// The platform must be freshly constructed in the same configuration the
+/// recording started from (same guest image, RAM size, trace settings);
+/// the driver injects inputs, it does not rewind state.
+#[derive(Debug)]
+pub struct ReplayDriver {
+    cursor: ReplayCursor,
+}
+
+impl ReplayDriver {
+    /// Prepares to replay `journal` from its beginning.
+    pub fn new(journal: &Journal) -> ReplayDriver {
+        ReplayDriver {
+            cursor: ReplayCursor::new(journal),
+        }
+    }
+
+    /// Journaled inputs not yet injected.
+    pub fn remaining(&self) -> usize {
+        self.cursor.remaining()
+    }
+
+    /// Runs `platform` to the journal's end cycle, injecting each recorded
+    /// input at its recorded cycle. Returns the platform's final cycle
+    /// (equal to the journal's end cycle when replay reached it; less if
+    /// the machine got stuck early, which indicates divergence).
+    pub fn run(&mut self, platform: &mut dyn Platform) -> u64 {
+        let end = self.cursor.end();
+        loop {
+            let now = platform.machine().now();
+            let mut injected = false;
+            while let Some(rec) = self.cursor.pop_due(now) {
+                match rec.input {
+                    JournalInput::UartRx(bytes) => platform.machine_mut().uart_input(&bytes),
+                    JournalInput::NicRx(frame) => platform.inject_rx_frame(&frame),
+                }
+                injected = true;
+            }
+            if now >= end {
+                break;
+            }
+            if platform.step() == PlatformStep::Stuck && !injected {
+                break;
+            }
+            // The original host drained stub output as it ran; an undrained
+            // queue would only grow without bound here.
+            let _ = platform.machine_mut().uart_output();
+        }
+        platform.machine().now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LvmmPlatform;
+    use hx_machine::{Machine, MachineConfig};
+
+    fn boot() -> LvmmPlatform {
+        let program = hx_asm::assemble(
+            "        .org 0x1000
+             start:  addi s0, s0, 1
+                     j    start
+            ",
+        )
+        .expect("guest assembles");
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 4 << 20,
+            ..MachineConfig::default()
+        });
+        machine.load_program(&program);
+        let mut vmm = LvmmPlatform::new(machine, 0x1000);
+        vmm.enable_flight_recorder(1_000_000);
+        vmm
+    }
+
+    #[test]
+    fn replay_reproduces_final_machine_state() {
+        let mut rec = boot();
+        rec.run_for(40_000);
+        rec.machine_mut().uart_input(&[0x55, 0xaa]); // journaled garbage
+        rec.run_for(40_000);
+        let end = rec.machine().now();
+        let mut journal = rec.machine().obs.journal().cloned().expect("journaling");
+        journal.seal(end);
+
+        let mut rep = boot();
+        let reached = ReplayDriver::new(&journal).run(&mut rep);
+        assert_eq!(reached, end);
+        assert_eq!(
+            rep.machine().cpu.reg(hx_cpu::Reg::R8),
+            rec.machine().cpu.reg(hx_cpu::Reg::R8)
+        );
+        assert_eq!(rep.machine().mem.as_bytes(), rec.machine().mem.as_bytes());
+    }
+}

@@ -23,6 +23,9 @@ pub mod err {
     pub const NOT_STOPPED: u8 = 4;
     /// Breakpoint/watchpoint already exists or is missing.
     pub const BP: u8 = 5;
+    /// Flight recorder unavailable, or the request fell off the recorded
+    /// timeline (no checkpoint at or before the target cycle).
+    pub const RECORDER: u8 = 6;
 }
 
 /// What the stub armed single-step for.
@@ -48,7 +51,7 @@ pub struct StubStats {
 }
 
 /// The monitor-resident debug stub state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Stub {
     /// Wire-protocol parser over the UART byte stream.
     pub parser: PacketParser,

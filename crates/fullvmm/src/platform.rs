@@ -164,6 +164,15 @@ impl HostedPlatform {
     /// Injects a frame from the outside world into the guest's virtual RX
     /// ring via the host model.
     pub fn inject_guest_rx(&mut self, frame: &[u8]) {
+        // This path bypasses `Machine::nic_inject_rx` (frames enter through
+        // the host model, not the passthrough NIC), so it must journal the
+        // nondeterministic input itself.
+        if self.machine.obs.journaling() {
+            let now = self.machine.now();
+            self.machine
+                .obs
+                .journal_input(now, hx_obs::JournalInput::NicRx(frame.to_vec()));
+        }
         let (ok, host) = self.vnic.deliver_rx(&mut self.machine, frame);
         self.consume_host(host);
         if ok {
@@ -590,6 +599,10 @@ impl HostedPlatform {
 impl Platform for HostedPlatform {
     fn name(&self) -> &'static str {
         "hosted"
+    }
+
+    fn inject_rx_frame(&mut self, frame: &[u8]) {
+        self.inject_guest_rx(frame);
     }
 
     fn machine(&self) -> &Machine {

@@ -303,6 +303,11 @@ impl EmbeddedStubPlatform {
                 // An in-kernel stub has no monitor accounting to report.
                 Reply::Error(9)
             }
+            Command::ReverseStep | Command::ReverseContinue | Command::Seek { .. } => {
+                // Time travel needs the monitor's flight recorder; an
+                // in-kernel stub cannot rewind the machine it runs on.
+                Reply::Error(9)
+            }
         }
     }
 

@@ -254,6 +254,9 @@ impl Hdc {
         }
         let bytes = count as u64 * SECTOR_SIZE as u64;
         let mut failed = false;
+        // Accumulate a payload digest across sectors only in record mode.
+        let hashing = obs.journaling();
+        let mut digest = hx_obs::journal::FNV_OFFSET;
         match op {
             cmd::READ => {
                 let mut sector = vec![0u8; SECTOR_SIZE as usize];
@@ -263,6 +266,9 @@ impl Hdc {
                         failed = true;
                         break;
                     }
+                    if hashing {
+                        digest = hx_obs::journal::fnv1a(digest, &sector);
+                    }
                 }
             }
             cmd::WRITE => {
@@ -271,6 +277,9 @@ impl Hdc {
                     if mem.dma_read(dma + s * SECTOR_SIZE, &mut sector).is_err() {
                         failed = true;
                         break;
+                    }
+                    if hashing {
+                        digest = hx_obs::journal::fnv1a(digest, &sector);
                     }
                     self.overlay
                         .insert((unit, lba + s), sector.clone().into_boxed_slice());
@@ -286,7 +295,12 @@ impl Hdc {
             self.stats.errors += 1;
         } else {
             self.stats.bytes += bytes;
-            obs.dma(now, hx_obs::Dev::Hdc, bytes.min(u32::MAX as u64) as u32);
+            obs.dma_digest(
+                now,
+                hx_obs::Dev::Hdc,
+                bytes.min(u32::MAX as u64) as u32,
+                if hashing { digest } else { 0 },
+            );
         }
         pic.assert_irq(crate::map::irq::HDC0 + unit);
         obs.irq(now, hx_obs::Dev::Hdc, (crate::map::irq::HDC0 + unit) as u32);

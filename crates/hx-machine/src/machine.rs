@@ -166,6 +166,10 @@ impl Machine {
 
     /// Host → target bytes on the debug UART.
     pub fn uart_input(&mut self, bytes: &[u8]) {
+        if self.obs.journaling() {
+            self.obs
+                .journal_input(self.now, hx_obs::JournalInput::UartRx(bytes.to_vec()));
+        }
         self.uart.push_rx(bytes, &mut self.pic);
         if self.uart.rx_irq_enabled() {
             self.obs
@@ -181,6 +185,10 @@ impl Machine {
 
     /// Injects a received network frame (delivered via the RX ring).
     pub fn nic_inject_rx(&mut self, frame: Vec<u8>) {
+        if self.obs.journaling() {
+            self.obs
+                .journal_input(self.now, hx_obs::JournalInput::NicRx(frame.clone()));
+        }
         self.nic.inject_rx(frame, self.now, &mut self.events);
     }
 

@@ -279,7 +279,14 @@ impl Nic {
             }
         }
         let len = payload.len() as u32;
-        obs.dma(now, Dev::Nic, len);
+        // Hash the payload only in record mode; the digest is what the
+        // divergence audit compares across platforms.
+        let digest = if obs.journaling() {
+            hx_obs::journal::digest(&payload)
+        } else {
+            0
+        };
+        obs.dma_digest(now, Dev::Nic, len, digest);
         let wire_bytes = len.max(MIN_FRAME - 4) + FRAME_WIRE_OVERHEAD;
         let cycles = timing::cycles_for_bits(wire_bytes as u64 * 8, self.clock_hz, self.wire_bps);
         self.tx_active = true;
@@ -379,7 +386,12 @@ impl Nic {
                         Self::write_desc_word(mem, self.rx_base, idx, 3, 1);
                         self.counters.rx_frames += 1;
                         self.counters.rx_bytes += frame.len() as u64;
-                        obs.dma(now, Dev::Nic, frame.len() as u32);
+                        let digest = if obs.journaling() {
+                            hx_obs::journal::digest(&frame)
+                        } else {
+                            0
+                        };
+                        obs.dma_digest(now, Dev::Nic, frame.len() as u32, digest);
                     }
                     self.rx_head = (self.rx_head + 1) % self.rx_len.max(1);
                     delivered = true;

@@ -162,6 +162,14 @@ pub trait Platform {
         }
         self.machine().now() - start
     }
+
+    /// Delivers a received network frame to the guest by whatever path this
+    /// platform uses (direct RX ring for passthrough, virtual NIC for the
+    /// hosted monitor). Replay drivers use this to re-inject journaled
+    /// frames without knowing the platform's device topology.
+    fn inject_rx_frame(&mut self, frame: &[u8]) {
+        self.machine_mut().nic_inject_rx(frame.to_vec());
+    }
 }
 
 /// The real-hardware baseline: no monitor, architectural trap delivery.

@@ -1,0 +1,152 @@
+//! Periodic machine-state checkpoints for the flight recorder.
+//!
+//! A [`CheckpointStore`] keeps full snapshots of some opaque platform state
+//! `S` on a fixed cycle cadence, each tagged with a [`StateDigest`] —
+//! FNV-1a checksums of guest RAM, the register file and the monitor region
+//! (shadow tables live there). Snapshots make time travel cheap: seeking to
+//! cycle `T` restores the nearest checkpoint at or before `T` and
+//! deterministically re-runs the remainder; digests let a replay or an
+//! audit verify it reconstructed the same machine without shipping the
+//! whole snapshot.
+//!
+//! The store is generic because it lives below the platform crates: the
+//! monitors decide what a snapshot *is* (for the lightweight monitor, a
+//! clone of machine + vcpu + shadow pager + chipset + stub); this module
+//! only owns cadence and lookup.
+
+/// Checksums of the architecturally interesting state regions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateDigest {
+    /// FNV-1a over guest RAM (below the monitor region).
+    pub ram: u64,
+    /// FNV-1a over the register file and PC.
+    pub regs: u64,
+    /// FNV-1a over the monitor region (shadow tables and monitor data).
+    pub shadow: u64,
+}
+
+/// One snapshot: the cycle it was taken at, its digests, and the state.
+#[derive(Clone, Debug)]
+pub struct Checkpoint<S> {
+    /// Simulated cycle of the snapshot.
+    pub at: u64,
+    /// Checksums at snapshot time.
+    pub digest: StateDigest,
+    /// The opaque platform state.
+    pub state: S,
+}
+
+/// Snapshots on a fixed cadence, ordered by cycle.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore<S> {
+    every: u64,
+    next_at: u64,
+    cps: Vec<Checkpoint<S>>,
+}
+
+impl<S> CheckpointStore<S> {
+    /// Default cadence: one full snapshot every 2 M cycles (≈13 ms of
+    /// simulated time at the 150 MHz machine clock).
+    pub const DEFAULT_EVERY: u64 = 2_000_000;
+
+    /// A store snapshotting every `every` cycles (clamped to ≥ 1).
+    pub fn new(every: u64) -> CheckpointStore<S> {
+        CheckpointStore {
+            every: every.max(1),
+            next_at: 0,
+            cps: Vec::new(),
+        }
+    }
+
+    /// Is a snapshot due at cycle `now`?
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.next_at
+    }
+
+    /// The configured cadence in cycles.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Records a snapshot taken at cycle `at` and schedules the next one.
+    pub fn record(&mut self, at: u64, digest: StateDigest, state: S) {
+        self.cps.push(Checkpoint { at, digest, state });
+        self.next_at = at + self.every;
+    }
+
+    /// The latest checkpoint at or before `cycle`, if any.
+    pub fn nearest_at_or_before(&self, cycle: u64) -> Option<&Checkpoint<S>> {
+        self.cps.iter().rev().find(|c| c.at <= cycle)
+    }
+
+    /// Drops every checkpoint strictly after `cycle` — time travel
+    /// invalidates the discarded future — and re-arms the cadence so the
+    /// new timeline re-snapshots from the surviving tip.
+    pub fn truncate_after(&mut self, cycle: u64) {
+        self.cps.retain(|c| c.at <= cycle);
+        self.next_at = self.cps.last().map_or(0, |c| c.at + self.every);
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// True when no checkpoint has been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.cps.is_empty()
+    }
+
+    /// The most recent checkpoint.
+    pub fn latest(&self) -> Option<&Checkpoint<S>> {
+        self.cps.last()
+    }
+
+    /// All checkpoints, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Checkpoint<S>> {
+        self.cps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_and_lookup() {
+        let mut s: CheckpointStore<u32> = CheckpointStore::new(1000);
+        assert!(s.due(0));
+        s.record(0, StateDigest::default(), 10);
+        assert!(!s.due(999));
+        assert!(s.due(1000));
+        s.record(1200, StateDigest::default(), 11);
+        s.record(2200, StateDigest::default(), 12);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.nearest_at_or_before(1199).unwrap().state, 10);
+        assert_eq!(s.nearest_at_or_before(1200).unwrap().state, 11);
+        assert_eq!(s.nearest_at_or_before(9999).unwrap().state, 12);
+        assert!(s.nearest_at_or_before(0).is_some());
+    }
+
+    #[test]
+    fn truncate_rewinds_the_cadence() {
+        let mut s: CheckpointStore<u32> = CheckpointStore::new(1000);
+        s.record(0, StateDigest::default(), 1);
+        s.record(1000, StateDigest::default(), 2);
+        s.record(2000, StateDigest::default(), 3);
+        s.truncate_after(1500);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest().unwrap().at, 1000);
+        assert!(!s.due(1999));
+        assert!(s.due(2000));
+    }
+
+    #[test]
+    fn empty_store() {
+        let s: CheckpointStore<u32> = CheckpointStore::new(0);
+        assert_eq!(s.every(), 1);
+        assert!(s.is_empty());
+        assert!(s.nearest_at_or_before(u64::MAX).is_none());
+        assert!(s.latest().is_none());
+    }
+}

@@ -98,7 +98,24 @@ impl CycleHist {
             return self.max;
         }
         // rank: 1-based index of the sample the percentile refers to.
-        let rank = (self.count * p as u64).div_ceil(100).max(1);
+        self.value_at_rank((self.count * p as u64).div_ceil(100).max(1))
+    }
+
+    /// Per-mille percentile, for sub-percent tails: `p` in [0,1000].
+    pub fn permille(&self, p: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p == 0 {
+            return self.min();
+        }
+        if p >= 1000 {
+            return self.max;
+        }
+        self.value_at_rank((self.count * p as u64).div_ceil(1000).max(1))
+    }
+
+    fn value_at_rank(&self, rank: u64) -> u64 {
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -116,6 +133,10 @@ impl CycleHist {
 
     pub fn p99(&self) -> u64 {
         self.percentile(99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.permille(999)
     }
 
     pub fn merge(&mut self, other: &CycleHist) {
@@ -197,6 +218,24 @@ mod tests {
             (h.count(), h.min(), h.max(), h.mean(), h.p50(), h.p99()),
             (0, 0, 0, 0, 0, 0)
         );
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn p999_resolves_sub_percent_tails() {
+        // 10_000 samples, 11 outliers: p99's rank (9900) lands in the small
+        // bucket, p99.9's rank (9990) lands in the outlier bucket.
+        let mut h = CycleHist::new();
+        for _ in 0..9_989 {
+            h.record(10);
+        }
+        for _ in 0..11 {
+            h.record(100_000);
+        }
+        assert_eq!(h.p99(), 15); // bucket hi of 10 is 15
+        assert_eq!(h.p999(), 100_000); // capped at observed max
+        assert_eq!(h.permille(1000), 100_000);
+        assert_eq!(h.permille(0), 10);
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! The flight-recorder journal: a serializable record of one run.
+//!
+//! A journal captures two streams, both timestamped in simulated cycles:
+//!
+//! - **Inputs** — every nondeterministic byte that entered the run from
+//!   outside the simulation: host→target UART traffic (debug-stub wire
+//!   commands) and injected NIC receive frames. The simulation itself is
+//!   deterministic, so re-applying these inputs at their recorded cycles
+//!   reproduces the run exactly (see `crate::replay::ReplayCursor`).
+//! - **Events** — observed device activity: IRQ assertion cycles, DMA
+//!   completions with an FNV-1a digest of the payload moved, doorbell
+//!   writes and debug-stub commands. Events are not needed to replay; they
+//!   exist so two runs (or the same journal replayed on two platforms) can
+//!   be *audited* against each other and the first divergence located.
+//!
+//! The wire format is a line-based text document (`save`/`parse` round-trip
+//! exactly): a header with the platform name, a free-form note and the end
+//! cycle, then one line per record in recording order. All numbers are
+//! decimal except payload bytes and digests, which are lowercase hex.
+
+use crate::event::Dev;
+
+/// FNV-1a initial state.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a multiplier.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state.
+pub fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// One-shot FNV-1a digest of a byte slice.
+pub fn digest(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// A nondeterministic input entering the simulation from the host side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalInput {
+    /// Host → target bytes on the debug UART.
+    UartRx(Vec<u8>),
+    /// A network frame injected into the guest's receive path.
+    NicRx(Vec<u8>),
+}
+
+/// A timestamped input record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputRecord {
+    /// Simulated cycle at which the input was applied.
+    pub at: u64,
+    /// The input payload.
+    pub input: JournalInput,
+}
+
+/// An observed (deterministic) event, journaled for divergence auditing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// A device asserted an interrupt line.
+    Irq { dev: Dev, irq: u32 },
+    /// A device completed a DMA transfer; `digest` is the FNV-1a of the
+    /// payload bytes moved (0 when the recording site did not digest).
+    Dma { dev: Dev, bytes: u32, digest: u64 },
+    /// The guest rang a device doorbell register.
+    Doorbell { dev: Dev, reg: u32 },
+    /// The debug stub executed one wire command.
+    DebugCommand { code: u8 },
+}
+
+impl JournalEvent {
+    /// The device this event belongs to (`None` for stub commands).
+    pub fn dev(&self) -> Option<Dev> {
+        match *self {
+            JournalEvent::Irq { dev, .. }
+            | JournalEvent::Dma { dev, .. }
+            | JournalEvent::Doorbell { dev, .. } => Some(dev),
+            JournalEvent::DebugCommand { .. } => None,
+        }
+    }
+}
+
+/// A timestamped observed-event record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated cycle of the observation.
+    pub at: u64,
+    /// The event.
+    pub ev: JournalEvent,
+}
+
+/// A complete flight-recorder journal for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// Name of the platform that recorded the run ("lvmm", "real-hw", …).
+    pub platform: String,
+    /// Free-form workload note (e.g. "streaming:100"), for sanity checks.
+    pub note: String,
+    /// Cycle the recording was sealed at (0 until [`Journal::seal`]).
+    pub end: u64,
+    /// Nondeterministic inputs, in application order.
+    pub inputs: Vec<InputRecord>,
+    /// Observed events, in recording order.
+    pub events: Vec<EventRecord>,
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl core::fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+fn dev_label(dev: Dev) -> &'static str {
+    dev.label()
+}
+
+fn dev_parse(s: &str) -> Option<Dev> {
+    [Dev::Nic, Dev::Hdc, Dev::Pit, Dev::Uart, Dev::Pic]
+        .into_iter()
+        .find(|d| d.label() == s)
+}
+
+fn hex_bytes(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex_bytes(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok())
+        .collect()
+}
+
+impl Journal {
+    /// An empty journal for a named platform.
+    pub fn new(platform: &str) -> Journal {
+        Journal {
+            platform: platform.to_string(),
+            ..Journal::default()
+        }
+    }
+
+    /// Appends an input record.
+    pub fn input(&mut self, at: u64, input: JournalInput) {
+        self.inputs.push(InputRecord { at, input });
+    }
+
+    /// Appends an observed-event record.
+    pub fn event(&mut self, at: u64, ev: JournalEvent) {
+        self.events.push(EventRecord { at, ev });
+    }
+
+    /// Marks the cycle the recording stops at; replay runs to this cycle.
+    pub fn seal(&mut self, at: u64) {
+        self.end = at;
+    }
+
+    /// Discards every record after `cycle` (inclusive boundary is kept)
+    /// and moves the seal back. Used when time-travel rewrites the future.
+    pub fn truncate_after(&mut self, cycle: u64) {
+        self.inputs.retain(|r| r.at <= cycle);
+        self.events.retain(|r| r.at <= cycle);
+        self.end = self.end.min(cycle);
+    }
+
+    /// Serializes the journal into its line-based text form.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# lwvmm journal v1\n");
+        out.push_str(&format!("platform {}\n", self.platform));
+        if !self.note.is_empty() {
+            out.push_str(&format!("note {}\n", self.note));
+        }
+        out.push_str(&format!("end {}\n", self.end));
+        // Merge the two streams into one chronological document so a human
+        // reads the run top to bottom; records at equal cycles keep their
+        // stream-local order (inputs before events, matching application).
+        let (mut i, mut e) = (0, 0);
+        while i < self.inputs.len() || e < self.events.len() {
+            let take_input = match (self.inputs.get(i), self.events.get(e)) {
+                (Some(a), Some(b)) => a.at <= b.at,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_input {
+                let r = &self.inputs[i];
+                match &r.input {
+                    JournalInput::UartRx(b) => {
+                        out.push_str(&format!("I {} uart {}\n", r.at, hex_bytes(b)));
+                    }
+                    JournalInput::NicRx(b) => {
+                        out.push_str(&format!("I {} rx {}\n", r.at, hex_bytes(b)));
+                    }
+                }
+                i += 1;
+            } else {
+                let r = &self.events[e];
+                match r.ev {
+                    JournalEvent::Irq { dev, irq } => {
+                        out.push_str(&format!("E {} irq {} {}\n", r.at, dev_label(dev), irq));
+                    }
+                    JournalEvent::Dma { dev, bytes, digest } => {
+                        out.push_str(&format!(
+                            "E {} dma {} {} {digest:016x}\n",
+                            r.at,
+                            dev_label(dev),
+                            bytes
+                        ));
+                    }
+                    JournalEvent::Doorbell { dev, reg } => {
+                        out.push_str(&format!("E {} bell {} {}\n", r.at, dev_label(dev), reg));
+                    }
+                    JournalEvent::DebugCommand { code } => {
+                        out.push_str(&format!("E {} cmd {}\n", r.at, code));
+                    }
+                }
+                e += 1;
+            }
+        }
+        out
+    }
+
+    /// Parses the text form back into a journal.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalParseError`] with the offending line on any malformed
+    /// record; unknown header keys are ignored for forward compatibility.
+    pub fn parse(text: &str) -> Result<Journal, JournalParseError> {
+        let mut j = Journal::default();
+        let err = |line: usize, msg: &str| JournalParseError {
+            line,
+            msg: msg.to_string(),
+        };
+        for (n, raw) in text.lines().enumerate() {
+            let line = n + 1;
+            let l = raw.trim();
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            let mut w = l.split_whitespace();
+            let tag = w.next().unwrap_or_default();
+            match tag {
+                "platform" => j.platform = w.next().unwrap_or_default().to_string(),
+                "note" => j.note = l["note".len()..].trim().to_string(),
+                "end" => {
+                    j.end = w
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad end cycle"))?;
+                }
+                "I" => {
+                    let at: u64 = w
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad input cycle"))?;
+                    let kind = w.next().ok_or_else(|| err(line, "missing input kind"))?;
+                    let payload = unhex_bytes(w.next().unwrap_or_default())
+                        .ok_or_else(|| err(line, "bad input payload hex"))?;
+                    let input = match kind {
+                        "uart" => JournalInput::UartRx(payload),
+                        "rx" => JournalInput::NicRx(payload),
+                        _ => return Err(err(line, "unknown input kind")),
+                    };
+                    j.inputs.push(InputRecord { at, input });
+                }
+                "E" => {
+                    let at: u64 = w
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad event cycle"))?;
+                    let kind = w.next().ok_or_else(|| err(line, "missing event kind"))?;
+                    let ev = match kind {
+                        "irq" => {
+                            let dev = w
+                                .next()
+                                .and_then(dev_parse)
+                                .ok_or_else(|| err(line, "bad device"))?;
+                            let irq = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad irq"))?;
+                            JournalEvent::Irq { dev, irq }
+                        }
+                        "dma" => {
+                            let dev = w
+                                .next()
+                                .and_then(dev_parse)
+                                .ok_or_else(|| err(line, "bad device"))?;
+                            let bytes = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad byte count"))?;
+                            let digest = w
+                                .next()
+                                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                                .ok_or_else(|| err(line, "bad digest"))?;
+                            JournalEvent::Dma { dev, bytes, digest }
+                        }
+                        "bell" => {
+                            let dev = w
+                                .next()
+                                .and_then(dev_parse)
+                                .ok_or_else(|| err(line, "bad device"))?;
+                            let reg = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad register"))?;
+                            JournalEvent::Doorbell { dev, reg }
+                        }
+                        "cmd" => {
+                            let code = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad command code"))?;
+                            JournalEvent::DebugCommand { code }
+                        }
+                        _ => return Err(err(line, "unknown event kind")),
+                    };
+                    j.events.push(EventRecord { at, ev });
+                }
+                _ => return Err(err(line, "unknown record tag")),
+            }
+        }
+        Ok(j)
+    }
+}
+
+/// How [`first_divergence`] compares two event streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceMode {
+    /// Events must match exactly, timestamps included — the right check
+    /// for a replay of the same journal on the same platform.
+    Exact,
+    /// Only the event payloads must match, in order; timestamps are
+    /// ignored. The right check across platforms, whose cycle counts
+    /// legitimately differ (the monitor adds overhead) while the *sequence*
+    /// of guest-visible I/O must not.
+    Sequence,
+}
+
+/// The first point where two event streams disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both streams of the first mismatch.
+    pub index: usize,
+    /// The records at that index (`None` when a stream ended early).
+    pub a: Option<EventRecord>,
+    pub b: Option<EventRecord>,
+}
+
+impl Divergence {
+    /// True when the streams agree event-for-event and differ only in
+    /// length (one run simply recorded more).
+    pub fn is_length_only(&self) -> bool {
+        self.a.is_none() || self.b.is_none()
+    }
+}
+
+/// Compares two event streams and returns the first divergence, if any.
+pub fn first_divergence(
+    a: &[EventRecord],
+    b: &[EventRecord],
+    mode: DivergenceMode,
+) -> Option<Divergence> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let (ra, rb) = (a.get(i), b.get(i));
+        let same = match (ra, rb) {
+            (Some(x), Some(y)) => match mode {
+                DivergenceMode::Exact => x == y,
+                DivergenceMode::Sequence => x.ev == y.ev,
+            },
+            _ => false,
+        };
+        if !same {
+            return Some(Divergence {
+                index: i,
+                a: ra.copied(),
+                b: rb.copied(),
+            });
+        }
+    }
+    None
+}
+
+/// One per-device stream comparison inside an [`audit`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamAudit {
+    /// Stream name ("nic", "hdc", …, or "stub" for debug commands).
+    pub name: String,
+    /// Events in each journal's stream.
+    pub len_a: usize,
+    pub len_b: usize,
+    /// First mismatch under [`DivergenceMode::Sequence`], if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl StreamAudit {
+    /// True when the common prefix matches (streams may differ in length —
+    /// the runs covered different amounts of simulated time).
+    pub fn clean(&self) -> bool {
+        self.divergence
+            .as_ref()
+            .is_none_or(Divergence::is_length_only)
+    }
+}
+
+/// Cross-platform divergence audit: compares the two journals' observed
+/// events *per device stream* under [`DivergenceMode::Sequence`].
+///
+/// Per-device comparison matters because absolute cycle timing differs
+/// between platforms, so the global interleaving of (say) PIT ticks and
+/// NIC completions legitimately reorders — but within one device, the
+/// order and payloads of operations are determined by the guest program
+/// and must match if the platforms are behaviourally equivalent.
+pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
+    let streams: [(&str, Option<Dev>); 6] = [
+        ("nic", Some(Dev::Nic)),
+        ("hdc", Some(Dev::Hdc)),
+        ("pit", Some(Dev::Pit)),
+        ("uart", Some(Dev::Uart)),
+        ("pic", Some(Dev::Pic)),
+        ("stub", None),
+    ];
+    streams
+        .into_iter()
+        .map(|(name, dev)| {
+            let pick = |j: &Journal| -> Vec<EventRecord> {
+                j.events
+                    .iter()
+                    .filter(|r| r.ev.dev() == dev)
+                    .copied()
+                    .collect()
+            };
+            let (sa, sb) = (pick(a), pick(b));
+            StreamAudit {
+                name: name.to_string(),
+                len_a: sa.len(),
+                len_b: sb.len(),
+                divergence: first_divergence(&sa, &sb, DivergenceMode::Sequence),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Journal {
+        let mut j = Journal::new("lvmm");
+        j.note = "streaming:100".into();
+        j.input(120, JournalInput::UartRx(b"$qStats#69".to_vec()));
+        j.event(
+            130,
+            JournalEvent::Irq {
+                dev: Dev::Uart,
+                irq: 1,
+            },
+        );
+        j.input(500, JournalInput::NicRx(vec![0xde, 0xad, 0xbe, 0xef]));
+        j.event(
+            700,
+            JournalEvent::Dma {
+                dev: Dev::Nic,
+                bytes: 4,
+                digest: digest(&[0xde, 0xad, 0xbe, 0xef]),
+            },
+        );
+        j.event(
+            720,
+            JournalEvent::Doorbell {
+                dev: Dev::Nic,
+                reg: 0x0c,
+            },
+        );
+        j.event(800, JournalEvent::DebugCommand { code: b'q' });
+        j.seal(10_000);
+        j
+    }
+
+    #[test]
+    fn save_parse_roundtrip() {
+        let j = sample();
+        let text = j.save();
+        assert_eq!(Journal::parse(&text).unwrap(), j);
+        // Serialization is deterministic.
+        assert_eq!(j.save(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        for (text, line) in [
+            ("bogus 1 2\n", 1),
+            ("# ok\nI xx uart 00\n", 2),
+            ("I 5 uart zz\n", 1),
+            ("E 5 irq warp 1\n", 1),
+            ("E 5 dma nic 4\n", 1), // missing digest
+        ] {
+            let e = Journal::parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn truncate_drops_the_future() {
+        let mut j = sample();
+        j.truncate_after(600);
+        assert_eq!(j.inputs.len(), 2);
+        assert_eq!(j.events.len(), 1);
+        assert_eq!(j.end, 600);
+    }
+
+    #[test]
+    fn digest_is_fnv1a() {
+        assert_eq!(digest(b""), FNV_OFFSET);
+        assert_ne!(digest(b"a"), digest(b"b"));
+        assert_eq!(fnv1a(fnv1a(FNV_OFFSET, b"ab"), b"cd"), digest(b"abcd"));
+    }
+
+    #[test]
+    fn divergence_modes() {
+        let j = sample();
+        let mut k = sample();
+        assert_eq!(
+            first_divergence(&j.events, &k.events, DivergenceMode::Exact),
+            None
+        );
+        // Shift timestamps: exact diverges, sequence does not.
+        for r in &mut k.events {
+            r.at += 37;
+        }
+        let d = first_divergence(&j.events, &k.events, DivergenceMode::Exact).unwrap();
+        assert_eq!(d.index, 0);
+        assert!(!d.is_length_only());
+        assert_eq!(
+            first_divergence(&j.events, &k.events, DivergenceMode::Sequence),
+            None
+        );
+        // Tamper with a digest: sequence diverges at that index.
+        if let JournalEvent::Dma { digest, .. } = &mut k.events[1].ev {
+            *digest ^= 1;
+        }
+        let d = first_divergence(&j.events, &k.events, DivergenceMode::Sequence).unwrap();
+        assert_eq!(d.index, 1);
+        // Length-only differences are flagged as such.
+        k.events.truncate(1);
+        k.events[0] = j.events[0];
+        let d = first_divergence(&j.events, &k.events, DivergenceMode::Sequence).unwrap();
+        assert!(d.is_length_only());
+    }
+
+    #[test]
+    fn audit_splits_streams_per_device() {
+        let j = sample();
+        let audits = audit(&j, &j);
+        assert!(audits.iter().all(|s| s.clean()));
+        let nic = audits.iter().find(|s| s.name == "nic").unwrap();
+        assert_eq!((nic.len_a, nic.len_b), (2, 2));
+        let stub = audits.iter().find(|s| s.name == "stub").unwrap();
+        assert_eq!(stub.len_a, 1);
+    }
+}

@@ -31,28 +31,51 @@
 //! ## Pieces
 //!
 //! - [`Recorder`] — one per machine; histograms always on, event ring and
-//!   span track opt-in (`--trace`).
-//! - [`TraceRing`] — bounded event buffer with drop accounting.
-//! - [`CycleHist`]/[`ExitHists`] — log2-bucket histograms with p50/p99,
-//!   replacing the monitors' flat exit counters.
+//!   span track opt-in (`--trace`), journal opt-in (record mode).
+//! - [`TraceRing`] — bounded event buffer that wraps keeping the newest
+//!   events, with exact drop accounting.
+//! - [`CycleHist`]/[`ExitHists`] — log2-bucket histograms with
+//!   p50/p99/p99.9, replacing the monitors' flat exit counters.
 //! - [`SpanTrack`] — guest/monitor/host-model/idle timeline whose totals
 //!   reconcile exactly with the platform `TimeStats`.
 //! - [`ChromeTrace`] — Perfetto-compatible JSON exporter.
 //! - [`Report`] — the one table formatter (text + CSV) all bench binaries
 //!   share.
+//!
+//! ## Flight recorder
+//!
+//! - [`Journal`] — the record/replay journal: every nondeterministic input
+//!   (UART bytes, NIC RX frames) with payloads, plus an unbounded stream of
+//!   device events (IRQs, DMA completions with payload digests, doorbells,
+//!   debug commands) for divergence auditing. Text-serializable.
+//! - [`ReplayCursor`] — walks a journal's inputs in cycle order for
+//!   re-injection by a replay driver.
+//! - [`CheckpointStore`] — periodic full-state snapshots with
+//!   [`StateDigest`] checksums; the substrate for time-travel debugging.
+//! - [`audit`]/[`first_divergence`] — per-device-stream comparison of two
+//!   journals, reporting the first point where runs disagree.
 
+pub mod checkpoint;
 pub mod chrome;
 pub mod event;
 pub mod hist;
+pub mod journal;
 pub mod recorder;
+pub mod replay;
 pub mod report;
 pub mod ring;
 pub mod span;
 
+pub use checkpoint::{Checkpoint, CheckpointStore, StateDigest};
 pub use chrome::ChromeTrace;
 pub use event::{Dev, EventKind, ExitCause, TraceEvent};
 pub use hist::{CycleHist, ExitHists};
+pub use journal::{
+    audit, digest, first_divergence, fnv1a, Divergence, DivergenceMode, EventRecord, InputRecord,
+    Journal, JournalEvent, JournalInput, JournalParseError, StreamAudit,
+};
 pub use recorder::Recorder;
+pub use replay::ReplayCursor;
 pub use report::{Align, Report};
 pub use ring::TraceRing;
 pub use span::{Span, SpanTrack, Track};

@@ -1,18 +1,24 @@
 //! The recorder: one per machine/platform, threaded through the simulation.
 //!
-//! Two cost tiers:
+//! Three cost tiers:
 //!
 //! - **Metrics** (exit histograms) are always on — O(1) array updates with
 //!   no allocation, replacing the monitors' old flat counters.
 //! - **Tracing** (event ring + span track) is off by default and enabled
 //!   explicitly (`--trace` in the bench binaries). When disabled, event
 //!   and span calls are a branch and return.
+//! - **Journaling** (flight-recorder record mode) is off by default and
+//!   captures the *complete* nondeterministic history of the run — every
+//!   external input payload plus an unbounded device-event stream — into a
+//!   [`Journal`] that replay and divergence audits consume. Unlike the
+//!   ring, the journal never drops.
 //!
 //! Nothing in here reads host time or mutates simulation state, so a
 //! recorder can never perturb determinism — it only observes it.
 
 use crate::event::{Dev, EventKind, ExitCause, TraceEvent};
 use crate::hist::ExitHists;
+use crate::journal::{Journal, JournalEvent, JournalInput};
 use crate::ring::TraceRing;
 use crate::span::{SpanTrack, Track};
 
@@ -22,6 +28,9 @@ pub struct Recorder {
     pub ring: TraceRing,
     pub exits: ExitHists,
     pub spans: SpanTrack,
+    /// Boxed so an idle recorder stays one pointer wide; `None` unless
+    /// record mode was enabled.
+    journal: Option<Box<Journal>>,
 }
 
 impl Default for Recorder {
@@ -31,6 +40,7 @@ impl Default for Recorder {
             ring: TraceRing::new(TraceRing::DEFAULT_CAPACITY),
             exits: ExitHists::default(),
             spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
+            journal: None,
         }
     }
 }
@@ -47,6 +57,42 @@ impl Recorder {
 
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Start flight-recorder record mode: inputs and device events are
+    /// journaled from this point on.
+    pub fn enable_journal(&mut self, platform: &str) {
+        self.journal = Some(Box::new(Journal::new(platform)));
+    }
+
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_deref()
+    }
+
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_deref_mut()
+    }
+
+    /// Detach the journal, ending record mode.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take().map(|b| *b)
+    }
+
+    /// Journal one nondeterministic input applied at cycle `at`.
+    pub fn journal_input(&mut self, at: u64, input: JournalInput) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.input(at, input);
+        }
+    }
+
+    fn journal_event(&mut self, at: u64, ev: JournalEvent) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.event(at, ev);
+        }
     }
 
     /// Record a raw event at simulated cycle `at`.
@@ -78,22 +124,34 @@ impl Recorder {
 
     pub fn irq(&mut self, at: u64, dev: Dev, irq: u32) {
         self.event(at, EventKind::DeviceIrq { dev, irq });
+        self.journal_event(at, JournalEvent::Irq { dev, irq });
     }
 
     pub fn dma(&mut self, at: u64, dev: Dev, bytes: u32) {
+        self.dma_digest(at, dev, bytes, 0);
+    }
+
+    /// DMA with a payload digest — devices compute the FNV-1a of the moved
+    /// bytes only when journaling, so the plain [`Recorder::dma`] path stays
+    /// free of hashing cost.
+    pub fn dma_digest(&mut self, at: u64, dev: Dev, bytes: u32, digest: u64) {
         self.event(at, EventKind::DeviceDma { dev, bytes });
+        self.journal_event(at, JournalEvent::Dma { dev, bytes, digest });
     }
 
     pub fn doorbell(&mut self, at: u64, dev: Dev, reg: u32) {
         self.event(at, EventKind::Doorbell { dev, reg });
+        self.journal_event(at, JournalEvent::Doorbell { dev, reg });
     }
 
     pub fn debug_command(&mut self, at: u64, code: u8) {
         self.event(at, EventKind::DebugCommand { code });
+        self.journal_event(at, JournalEvent::DebugCommand { code });
     }
 
     /// Reset all recorded data (ring, spans, histograms) but keep the
-    /// tracing flag — used when a bench discards its warmup window.
+    /// tracing flag and the journal — the journal must span a whole run,
+    /// warmup included, or replay would miss early inputs.
     pub fn reset(&mut self) {
         self.ring.clear();
         self.spans.clear();
@@ -125,5 +183,37 @@ mod tests {
         r.charge(Track::Guest, 50);
         assert_eq!(r.ring.len(), 2);
         assert_eq!(r.spans.grand_total(), 50);
+    }
+
+    #[test]
+    fn journal_captures_events_independent_of_tracing() {
+        let mut r = Recorder::new();
+        assert!(!r.journaling());
+        r.irq(10, Dev::Nic, 5); // before enable: not journaled
+        r.enable_journal("lvmm");
+        r.irq(120, Dev::Nic, 5);
+        r.dma_digest(130, Dev::Hdc, 512, 0xdead);
+        r.doorbell(140, Dev::Nic, 4);
+        r.debug_command(150, b'g');
+        r.journal_input(160, JournalInput::UartRx(vec![0x24]));
+        // Tracing stayed off: ring empty, but journal has everything.
+        assert!(r.ring.is_empty());
+        let j = r.journal().unwrap();
+        assert_eq!(j.events.len(), 4);
+        assert_eq!(j.inputs.len(), 1);
+        assert_eq!(
+            j.events[1].ev,
+            JournalEvent::Dma {
+                dev: Dev::Hdc,
+                bytes: 512,
+                digest: 0xdead
+            }
+        );
+        // Reset keeps the journal; take detaches it.
+        r.reset();
+        assert!(r.journaling());
+        let j = r.take_journal().unwrap();
+        assert_eq!(j.events.len(), 4);
+        assert!(!r.journaling());
     }
 }

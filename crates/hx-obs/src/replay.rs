@@ -1,0 +1,111 @@
+//! Replay-side view of a [`crate::journal::Journal`]'s input stream.
+//!
+//! A [`ReplayCursor`] walks the recorded nondeterministic inputs in cycle
+//! order and hands them to a driver as simulated time catches up to each
+//! record. The cursor is platform-agnostic; the actual injection (UART
+//! bytes, RX frames) is done by the replay driver in the monitor crates,
+//! which owns a live platform.
+//!
+//! Timing contract: an input recorded at cycle `T` was applied when the
+//! original run's clock read exactly `T`, which is necessarily a step
+//! boundary of that run. Because the simulation is deterministic, the
+//! replayed run produces the same boundaries, so popping each input at the
+//! first boundary where `now >= T` re-applies it at the same point in the
+//! instruction stream.
+
+use crate::journal::{InputRecord, Journal};
+use std::collections::VecDeque;
+
+/// Cursor over a journal's inputs plus the recorded end cycle.
+#[derive(Clone, Debug)]
+pub struct ReplayCursor {
+    inputs: VecDeque<InputRecord>,
+    end: u64,
+}
+
+impl ReplayCursor {
+    /// A cursor over `journal`'s full input stream.
+    pub fn new(journal: &Journal) -> ReplayCursor {
+        ReplayCursor {
+            inputs: journal.inputs.iter().cloned().collect(),
+            end: journal.end,
+        }
+    }
+
+    /// Drops inputs already applied at or before `now` — used when replay
+    /// starts from a checkpoint instead of cycle 0.
+    pub fn skip_through(&mut self, now: u64) {
+        while self.inputs.front().is_some_and(|r| r.at <= now) {
+            self.inputs.pop_front();
+        }
+    }
+
+    /// Drops the first `n` inputs. When resuming from a snapshot whose own
+    /// journal already incorporates `n` inputs, count-based skipping is
+    /// exact even if later records share the snapshot's cycle (an input
+    /// journaled at cycle `C` may arrive either side of a checkpoint taken
+    /// at `C`; the snapshot's input count disambiguates, its cycle cannot).
+    pub fn skip_first(&mut self, n: usize) {
+        self.inputs.drain(..n.min(self.inputs.len()));
+    }
+
+    /// Pops the next input if its cycle has been reached.
+    pub fn pop_due(&mut self, now: u64) -> Option<InputRecord> {
+        if self.inputs.front().is_some_and(|r| r.at <= now) {
+            self.inputs.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Cycle of the next pending input, if any.
+    pub fn next_at(&self) -> Option<u64> {
+        self.inputs.front().map(|r| r.at)
+    }
+
+    /// The recorded end-of-run cycle.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Inputs not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalInput;
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut j = Journal::new("lvmm");
+        j.input(100, JournalInput::UartRx(vec![1]));
+        j.input(100, JournalInput::UartRx(vec![2]));
+        j.input(300, JournalInput::NicRx(vec![3]));
+        j.seal(1000);
+        let mut c = ReplayCursor::new(&j);
+        assert_eq!(c.end(), 1000);
+        assert_eq!(c.next_at(), Some(100));
+        assert!(c.pop_due(99).is_none());
+        assert_eq!(c.pop_due(100).unwrap().input, JournalInput::UartRx(vec![1]));
+        assert_eq!(c.pop_due(100).unwrap().input, JournalInput::UartRx(vec![2]));
+        assert!(c.pop_due(299).is_none());
+        assert_eq!(c.pop_due(400).unwrap().at, 300);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn skip_through_resumes_from_checkpoints() {
+        let mut j = Journal::new("lvmm");
+        j.input(100, JournalInput::UartRx(vec![1]));
+        j.input(300, JournalInput::UartRx(vec![2]));
+        j.seal(1000);
+        let mut c = ReplayCursor::new(&j);
+        c.skip_through(100);
+        assert_eq!(c.remaining(), 1);
+        assert_eq!(c.next_at(), Some(300));
+    }
+}

@@ -152,13 +152,17 @@ fn csv_cell(s: &str) -> String {
     }
 }
 
-/// Standard rendering of one exit-cause histogram row: count, p50, p99,
-/// mean — shared by `ablation_exits` and the `qStats` pretty-printer.
-pub fn hist_row(h: &crate::hist::CycleHist) -> [String; 4] {
+/// Standard rendering of one exit-cause histogram row: count, min, p50,
+/// p99, p99.9, max, mean — shared by `ablation_exits` and the `qStats`
+/// pretty-printer.
+pub fn hist_row(h: &crate::hist::CycleHist) -> [String; 7] {
     [
         h.count().to_string(),
+        h.min().to_string(),
         h.p50().to_string(),
         h.p99().to_string(),
+        h.p999().to_string(),
+        h.max().to_string(),
         h.mean().to_string(),
     ]
 }

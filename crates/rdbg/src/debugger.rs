@@ -246,6 +246,38 @@ impl<L: Link> Debugger<L> {
         self.expect_ok(&Command::Continue)
     }
 
+    /// Rewinds to just before the last guest instruction executed
+    /// (time-travel; requires the target's flight recorder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (e.g. no flight recorder enabled).
+    pub fn reverse_step(&mut self) -> Result<StopReason, DbgError> {
+        self.expect_ok(&Command::ReverseStep)?;
+        self.wait_stop()
+    }
+
+    /// Rewinds to the previous debugger stop on the recorded timeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (e.g. no earlier stop recorded).
+    pub fn reverse_continue(&mut self) -> Result<StopReason, DbgError> {
+        self.expect_ok(&Command::ReverseContinue)?;
+        self.wait_stop()
+    }
+
+    /// Seeks to an absolute simulated cycle on the recorded timeline,
+    /// in either direction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (e.g. cycle precedes the first checkpoint).
+    pub fn seek(&mut self, cycle: u64) -> Result<StopReason, DbgError> {
+        self.expect_ok(&Command::Seek { cycle })?;
+        self.wait_stop()
+    }
+
     /// Resumes the guest and blocks until the next stop (breakpoint,
     /// watchpoint, fault or break-in).
     ///

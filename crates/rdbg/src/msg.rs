@@ -76,6 +76,20 @@ pub enum Command {
     /// Sample the monitor's cycle accounting and exit counters **without**
     /// stopping the guest. The reply is a [`StatsSample`] packet.
     QueryStats,
+    /// Time travel: rewind to just before the most recently executed guest
+    /// instruction. Requires the flight recorder; stops with
+    /// [`StopReason::TimeTravel`].
+    ReverseStep,
+    /// Time travel: rewind to the previous stop (breakpoint, watchpoint,
+    /// fault, …) in this run's history.
+    ReverseContinue,
+    /// Time travel: seek to an absolute simulated cycle. Seeking backwards
+    /// restores a checkpoint and deterministically re-runs; the discarded
+    /// future is forgotten (new-branch semantics).
+    Seek {
+        /// Target simulated cycle.
+        cycle: u64,
+    },
 }
 
 impl Command {
@@ -98,6 +112,9 @@ impl Command {
             Command::Continue => "c".into(),
             Command::Reset => "k".into(),
             Command::QueryStats => "qStats".into(),
+            Command::ReverseStep => "bs".into(),
+            Command::ReverseContinue => "bc".into(),
+            Command::Seek { cycle } => format!("bg{cycle:x}"),
         }
     }
 
@@ -115,6 +132,14 @@ impl Command {
             'c' if payload == "c" => Some(Command::Continue),
             'k' if payload == "k" => Some(Command::Reset),
             'q' if payload == "qStats" => Some(Command::QueryStats),
+            'b' => match payload {
+                "bs" => Some(Command::ReverseStep),
+                "bc" => Some(Command::ReverseContinue),
+                _ => {
+                    let cycle = u64::from_str_radix(payload.strip_prefix("bg")?, 16).ok()?;
+                    Some(Command::Seek { cycle })
+                }
+            },
             'P' => {
                 let body = rest("P")?;
                 let (idx, val) = body.split_once('=')?;
@@ -261,6 +286,14 @@ pub enum StopReason {
         /// Architectural cause code (`hx_cpu::Cause::code`).
         cause: u32,
     },
+    /// A time-travel command (`bs`/`bc`/`bg…`) completed: the guest is
+    /// parked at `cycle` on the rewound timeline.
+    TimeTravel {
+        /// Guest PC at the landing point.
+        pc: u32,
+        /// Simulated cycle landed on.
+        cycle: u64,
+    },
 }
 
 impl StopReason {
@@ -271,7 +304,8 @@ impl StopReason {
             | StopReason::Breakpoint { pc }
             | StopReason::Step { pc }
             | StopReason::Watchpoint { pc, .. }
-            | StopReason::Fault { pc, .. } => pc,
+            | StopReason::Fault { pc, .. }
+            | StopReason::TimeTravel { pc, .. } => pc,
         }
     }
 
@@ -283,6 +317,7 @@ impl StopReason {
             StopReason::Step { pc } => format!("T2;pc:{pc:x}"),
             StopReason::Watchpoint { pc, addr } => format!("T3;pc:{pc:x};addr:{addr:x}"),
             StopReason::Fault { pc, cause } => format!("T4;pc:{pc:x};cause:{cause:x}"),
+            StopReason::TimeTravel { pc, cycle } => format!("T5;pc:{pc:x};cycle:{cycle:x}"),
         }
     }
 
@@ -294,13 +329,15 @@ impl StopReason {
         let mut pc = None;
         let mut addr = None;
         let mut cause = None;
+        let mut cycle = None;
         for part in parts {
             let (k, v) = part.split_once(':')?;
-            let v = u32::from_str_radix(v, 16).ok()?;
+            // `cycle` is a 64-bit cycle count; the rest are 32-bit values.
             match k {
-                "pc" => pc = Some(v),
-                "addr" => addr = Some(v),
-                "cause" => cause = Some(v),
+                "pc" => pc = Some(u32::from_str_radix(v, 16).ok()?),
+                "addr" => addr = Some(u32::from_str_radix(v, 16).ok()?),
+                "cause" => cause = Some(u32::from_str_radix(v, 16).ok()?),
+                "cycle" => cycle = Some(u64::from_str_radix(v, 16).ok()?),
                 _ => {}
             }
         }
@@ -311,6 +348,7 @@ impl StopReason {
             "2" => Some(StopReason::Step { pc }),
             "3" => Some(StopReason::Watchpoint { pc, addr: addr? }),
             "4" => Some(StopReason::Fault { pc, cause: cause? }),
+            "5" => Some(StopReason::TimeTravel { pc, cycle: cycle? }),
             _ => None,
         }
     }
@@ -327,6 +365,9 @@ impl fmt::Display for StopReason {
             }
             StopReason::Fault { pc, cause } => {
                 write!(f, "fault (cause {cause}) at {pc:#010x}")
+            }
+            StopReason::TimeTravel { pc, cycle } => {
+                write!(f, "time-traveled to cycle {cycle} at {pc:#010x}")
             }
         }
     }
@@ -503,6 +544,9 @@ mod tests {
             any::<u32>().prop_map(|addr| Command::ClearBreakpoint { addr }),
             (any::<u32>(), 1u32..4096).prop_map(|(addr, len)| Command::SetWatchpoint { addr, len }),
             any::<u32>().prop_map(|addr| Command::ClearWatchpoint { addr }),
+            Just(Command::ReverseStep),
+            Just(Command::ReverseContinue),
+            any::<u64>().prop_map(|cycle| Command::Seek { cycle }),
         ]
     }
 
@@ -513,6 +557,8 @@ mod tests {
             any::<u32>().prop_map(|pc| StopReason::Step { pc }),
             (any::<u32>(), any::<u32>()).prop_map(|(pc, addr)| StopReason::Watchpoint { pc, addr }),
             (any::<u32>(), 0u32..16).prop_map(|(pc, cause)| StopReason::Fault { pc, cause }),
+            (any::<u32>(), any::<u64>())
+                .prop_map(|(pc, cycle)| StopReason::TimeTravel { pc, cycle }),
         ]
     }
 
