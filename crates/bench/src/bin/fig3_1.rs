@@ -82,6 +82,22 @@ fn main() {
     println!("{}", report.to_text());
     println!("{}", ascii_plot(&series));
 
+    // Host-side simulation speed (wall clock — the only nondeterministic
+    // number in this benchmark; recorded in the JSON, never in the traces).
+    let speed_ms = if fast { 100 } else { 400 };
+    let mut sim_speed = Vec::new();
+    for kind in PlatformKind::ALL {
+        let s = lwvmm_bench::measure_sim_speed(kind, 300, speed_ms);
+        println!(
+            "Sim speed on {:8}: {:5.1} M guest instr / host sec ({} instr in {:.3} s)",
+            kind.label(),
+            s.instr_per_host_sec / 1e6,
+            s.instructions,
+            s.host_seconds
+        );
+        sim_speed.push((kind, s));
+    }
+
     let sat = |k: PlatformKind| saturation.iter().find(|&&(kk, _)| kk == k).unwrap().1;
     let raw = sat(PlatformKind::RawHw);
     let lv = sat(PlatformKind::Lvmm);
@@ -99,7 +115,7 @@ fn main() {
     lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
     lwvmm_bench::write_output(
         "BENCH_fig3_1.json",
-        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements),
+        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements, &sim_speed),
     );
     println!("\nwrote fig3_1.csv and BENCH_fig3_1.json");
 

@@ -42,7 +42,10 @@ fn main() {
     rec.machine_mut().obs.enable_tracing();
     rec.machine_mut().obs.enable_journal("lvmm");
     let per_ms = rec.machine().config().clock_hz / 1_000;
+    let t_rec = std::time::Instant::now();
     rec.run_for(ms * per_ms);
+    let rec_secs = t_rec.elapsed().as_secs_f64();
+    let rec_instr = rec.machine().cpu.instret();
     let end = rec.machine().now();
     let mut journal: Journal = rec
         .machine()
@@ -56,7 +59,10 @@ fn main() {
     // Replay on a fresh boot.
     let mut rep = build_platform(PlatformKind::Lvmm, &workload);
     rep.machine_mut().obs.enable_tracing();
+    let t_rep = std::time::Instant::now();
     let reached = ReplayDriver::new(&journal).run(rep.as_mut());
+    let rep_secs = t_rep.elapsed().as_secs_f64();
+    let rep_instr = rep.machine().cpu.instret();
     let replayed = finish(rep.as_mut());
 
     if let Some(path) = arg_value("--trace") {
@@ -73,6 +79,13 @@ fn main() {
         end,
         journal.inputs.len(),
         journal.events.len()
+    );
+    // Host-side speed of both directions: record may batch instructions,
+    // replay runs the precise per-instruction path.
+    println!(
+        "sim speed: record {:.1} M instr/host-sec, replay {:.1} M instr/host-sec",
+        rec_instr as f64 / rec_secs.max(1e-9) / 1e6,
+        rep_instr as f64 / rep_secs.max(1e-9) / 1e6
     );
     let mut ok = true;
     let mut check = |what: &str, same: bool| {

@@ -154,6 +154,39 @@ pub fn saturation_mbps(kind: PlatformKind, warmup_ms: u64, window_ms: u64) -> f6
     measure_point(kind, 950, warmup_ms, window_ms).achieved_mbps
 }
 
+/// Host-side simulation speed: how fast the *simulator* runs on the host,
+/// as guest instructions retired per host wall-clock second. This is the
+/// engine's own performance figure (batching + predecoded-instruction
+/// cache); unlike everything else in this crate it reads the host clock,
+/// so it is NOT deterministic and must never feed a determinism gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSpeed {
+    /// Guest instructions retired during the timed run.
+    pub instructions: u64,
+    /// Host wall-clock seconds the run took.
+    pub host_seconds: f64,
+    /// Instructions per host second (`instructions / host_seconds`).
+    pub instr_per_host_sec: f64,
+}
+
+/// Times `ms` simulated milliseconds of the streaming workload at
+/// `rate_mbps` on a fresh platform under the host wall clock.
+pub fn measure_sim_speed(kind: PlatformKind, rate_mbps: u64, ms: u64) -> SimSpeed {
+    let workload = Workload::new(rate_mbps);
+    let mut platform = build_platform(kind, &workload);
+    let per_ms = platform.machine().config().clock_hz / 1_000;
+    let i0 = platform.machine().cpu.instret();
+    let t = std::time::Instant::now();
+    platform.run_for(ms * per_ms);
+    let host_seconds = t.elapsed().as_secs_f64();
+    let instructions = platform.machine().cpu.instret() - i0;
+    SimSpeed {
+        instructions,
+        host_seconds,
+        instr_per_host_sec: instructions as f64 / host_seconds.max(1e-9),
+    }
+}
+
 /// Renders a simple ASCII scatter of (rate, load) series, mirroring the
 /// layout of the paper's Fig. 3.1.
 pub fn ascii_plot(series: &[(PlatformKind, Vec<(f64, f64)>)]) -> String {
@@ -271,6 +304,7 @@ pub fn fig3_1_json(
     warmup_ms: u64,
     window_ms: u64,
     series: &[(PlatformKind, Vec<Measurement>)],
+    sim_speed: &[(PlatformKind, SimSpeed)],
 ) -> String {
     let sat = |kind: PlatformKind| {
         series
@@ -324,6 +358,19 @@ pub fn fig3_1_json(
         }
         out.push_str("}}");
         out.push_str(if pi + 1 < series.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sim_speed\": [\n");
+    for (i, (kind, s)) in sim_speed.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"host_seconds\": {:.4}, \
+             \"instr_per_host_sec\": {:.0}}}{}\n",
+            kind.label(),
+            s.instructions,
+            s.host_seconds,
+            s.instr_per_host_sec,
+            if i + 1 < sim_speed.len() { "," } else { "" }
+        ));
     }
     out.push_str("  ],\n");
     let raw = sat(PlatformKind::RawHw).max(f64::MIN_POSITIVE);
@@ -383,7 +430,12 @@ mod tests {
             (PlatformKind::Lvmm, vec![m.clone()]),
             (PlatformKind::Hosted, vec![m]),
         ];
-        let json = fig3_1_json(40, 120, &series);
+        let speed = SimSpeed {
+            instructions: 1_000_000,
+            host_seconds: 0.05,
+            instr_per_host_sec: 20_000_000.0,
+        };
+        let json = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)]);
         for key in [
             "\"bench\"",
             "\"platforms\"",
@@ -391,6 +443,8 @@ mod tests {
             "\"cpu_load\"",
             "\"mmio\"",
             "\"p999\"",
+            "\"sim_speed\"",
+            "\"instr_per_host_sec\"",
             "\"headlines\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

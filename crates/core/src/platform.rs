@@ -27,10 +27,11 @@ use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp, EBREAK_WORD};
 use hx_cpu::mmu::{pte, Access, PAGE_MASK};
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
-use hx_machine::platform::{track_of, PlatformStep};
-use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
+use hx_machine::engine::{ExitPolicy, FlightRecorder, ProgressGuard};
+use hx_machine::platform::PlatformStep;
+use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
-use hx_obs::{CheckpointStore, EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
+use hx_obs::{EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
 use rdbg::msg::{Command, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
@@ -98,30 +99,16 @@ struct LvmmSnapshot {
     stats: TimeStats,
     mstats: LvmmStats,
     state: RunState,
-    last_fault: (u32, u32, u32),
-    last_fault_repeats: u32,
-}
-
-/// Time-travel state: periodic snapshots plus the bookkeeping needed to
-/// resolve `reverse-step` / `reverse-continue` targets.
-///
-/// Boxed inside [`LvmmPlatform`] so a platform without the recorder pays one
-/// pointer of overhead.
-#[derive(Debug)]
-struct FlightRecorder {
-    checkpoints: CheckpointStore<LvmmSnapshot>,
-    /// Cycle at which the most recent guest instruction *began* executing —
-    /// the `reverse-step` landing target.
-    last_instr_at: u64,
-    /// Cycles of past debugger stops (breakpoints, watchpoints, faults,
-    /// halts), oldest first — the `reverse-continue` targets.
-    stop_history: Vec<u64>,
-    /// True while `seek_to` is re-executing history; time-travel commands
-    /// arriving in that window are rejected instead of recursing.
-    replaying: bool,
+    progress: ProgressGuard,
 }
 
 /// The lightweight-VMM platform (see the [module docs](self)).
+///
+/// The run loop, cycle charging and instruction batching come from the
+/// shared [`ExitPolicy`] engine; this type implements the lvmm-specific
+/// exit handling (privileged emulation, shadow paging, the debug stub) plus
+/// the time-travel [`FlightRecorder`] (boxed so a platform without the
+/// recorder pays one pointer of overhead).
 #[derive(Debug)]
 pub struct LvmmPlatform {
     machine: Machine,
@@ -137,9 +124,8 @@ pub struct LvmmPlatform {
     ram_size: u32,
     cfg: LvmmConfig,
     // Livelock guard: identical consecutive shadow faults indicate a bug.
-    last_fault: (u32, u32, u32),
-    last_fault_repeats: u32,
-    flight: Option<Box<FlightRecorder>>,
+    progress: ProgressGuard,
+    flight: Option<Box<FlightRecorder<LvmmSnapshot>>>,
 }
 
 impl LvmmPlatform {
@@ -197,8 +183,7 @@ impl LvmmPlatform {
             monitor_base,
             ram_size,
             cfg,
-            last_fault: (0, 0, 0),
-            last_fault_repeats: 0,
+            progress: ProgressGuard::new(),
             flight: None,
         }
     }
@@ -214,16 +199,10 @@ impl LvmmPlatform {
     /// early inputs cannot reproduce the run.
     pub fn enable_flight_recorder(&mut self, every: u64) {
         self.machine.obs.enable_journal(self.name());
-        let mut fr = FlightRecorder {
-            checkpoints: CheckpointStore::new(every),
-            last_instr_at: self.machine.now(),
-            stop_history: Vec::new(),
-            replaying: false,
-        };
         let now = self.machine.now();
         let digest = self.state_digest();
-        fr.checkpoints.record(now, digest, self.snapshot());
-        self.flight = Some(Box::new(fr));
+        let snap = self.snapshot();
+        self.flight = Some(Box::new(FlightRecorder::new(every, now, digest, snap)));
     }
 
     /// Is the flight recorder on?
@@ -266,8 +245,7 @@ impl LvmmPlatform {
             stats: self.stats,
             mstats: self.mstats,
             state: self.state,
-            last_fault: self.last_fault,
-            last_fault_repeats: self.last_fault_repeats,
+            progress: self.progress,
         }
     }
 
@@ -280,8 +258,7 @@ impl LvmmPlatform {
         self.stats = snap.stats;
         self.mstats = snap.mstats;
         self.state = snap.state;
-        self.last_fault = snap.last_fault;
-        self.last_fault_repeats = snap.last_fault_repeats;
+        self.progress = snap.progress;
     }
 
     /// Takes a checkpoint when one is due. Runs during replay too: a seek
@@ -405,20 +382,7 @@ impl LvmmPlatform {
     }
 
     fn consume_monitor(&mut self, cycles: u64) {
-        self.machine.consume(cycles);
-        self.charge(TimeBucket::Monitor, cycles);
-    }
-
-    /// Attributes cycles to both the flat stats and the trace span track.
-    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
-        self.stats.charge(bucket, cycles);
-        self.machine.obs.charge(track_of(bucket), cycles);
-    }
-
-    /// Records one guest→monitor exit (histogram + event ring).
-    fn record_exit(&mut self, cause: ExitCause, cycles: u64) {
-        let now = self.machine.now();
-        self.machine.obs.exit(now, cause, cycles);
+        self.consume(TimeBucket::Monitor, cycles);
     }
 
     fn shadow_key(&self) -> u32 {
@@ -653,41 +617,9 @@ impl LvmmPlatform {
     // protection)
     // ------------------------------------------------------------------
 
-    fn fault_access(cause: Cause) -> Access {
-        match cause {
-            Cause::InstrPageFault => Access::Fetch,
-            Cause::LoadPageFault => Access::Load,
-            _ => Access::Store,
-        }
-    }
-
-    fn access_fault_cause(access: Access) -> Cause {
-        match access {
-            Access::Fetch => Cause::InstrAccessFault,
-            Access::Load => Cause::LoadAccessFault,
-            Access::Store => Cause::StoreAccessFault,
-        }
-    }
-
-    /// Livelock guard for the *fill* paths: re-raising the identical fault
-    /// after a shadow fill means the fill is not taking effect — a monitor
-    /// bug or unrecoverable guest state. Emulated-MMIO faults repeat at the
-    /// same PC by design (the mapping is never installed) and are exempt.
-    fn fill_made_no_progress(&mut self, trap: &Trap) -> bool {
-        let sig = (trap.epc, trap.tval, trap.cause.code());
-        if sig == self.last_fault {
-            self.last_fault_repeats += 1;
-            self.last_fault_repeats > 8
-        } else {
-            self.last_fault = sig;
-            self.last_fault_repeats = 0;
-            false
-        }
-    }
-
     fn handle_shadow_fault(&mut self, trap: Trap) -> ExitCause {
         let va = trap.tval;
-        let access = Self::fault_access(trap.cause);
+        let access = Access::from_fault(trap.cause);
         let vmode = self.vcpu.vmode;
         {
             let now = self.machine.now();
@@ -738,7 +670,7 @@ impl LvmmPlatform {
                 ExitCause::Protection
             }
             PageClass::Unmapped => {
-                self.inject_guest_trap(Self::access_fault_cause(access), trap.epc, va);
+                self.inject_guest_trap(access.fault_cause(), trap.epc, va);
                 ExitCause::Shadow
             }
             PageClass::EmulatedMmio => {
@@ -747,7 +679,7 @@ impl LvmmPlatform {
                 ExitCause::Mmio
             }
             PageClass::PassthroughMmio => {
-                if self.fill_made_no_progress(&trap) {
+                if self.progress.no_progress(&trap) {
                     self.stub_stop(StopReason::Fault {
                         pc: trap.epc,
                         cause: trap.cause.code(),
@@ -768,7 +700,7 @@ impl LvmmPlatform {
                 ExitCause::Shadow
             }
             PageClass::GuestRam => {
-                if self.fill_made_no_progress(&trap) {
+                if self.progress.no_progress(&trap) {
                     self.stub_stop(StopReason::Fault {
                         pc: trap.epc,
                         cause: trap.cause.code(),
@@ -856,7 +788,7 @@ impl LvmmPlatform {
             _ => {
                 // Sub-word or executable access to a device page: reflect
                 // as an access fault, like real hardware would.
-                self.inject_guest_trap(Self::access_fault_cause(access), trap.epc, va);
+                self.inject_guest_trap(access.fault_cause(), trap.epc, va);
             }
         }
     }
@@ -923,9 +855,7 @@ impl LvmmPlatform {
         if !matches!(reason, StopReason::TimeTravel { .. }) {
             let now = self.machine.now();
             if let Some(fr) = &mut self.flight {
-                if fr.stop_history.last() != Some(&now) {
-                    fr.stop_history.push(now);
-                }
+                fr.note_stop(now);
             }
         }
         self.state = RunState::Stopped;
@@ -1209,12 +1139,17 @@ impl LvmmPlatform {
             Command::QueryStats => {
                 // Answered whether or not the guest is stopped — the whole
                 // point is sampling the monitor live, without a halt.
+                let decode = self.machine.cpu.decode_stats();
                 Reply::Stats(StatsSample {
                     now: self.machine.now(),
                     guest: self.stats.guest,
                     monitor: self.stats.monitor,
                     host: self.stats.host_model,
                     idle: self.stats.idle,
+                    decode_hits: decode.hits,
+                    decode_misses: decode.misses,
+                    fast_fetches: decode.fast_fetches,
+                    decode_invalidations: decode.invalidations,
                     exits: self.machine.obs.exits.counts().to_vec(),
                 })
             }
@@ -1271,63 +1206,12 @@ impl LvmmPlatform {
     // Run states
     // ------------------------------------------------------------------
 
-    fn running_step(&mut self) -> PlatformStep {
-        let at = self.machine.now();
-        match self.machine.step() {
-            MachineStep::Executed { cycles } => {
-                self.note_instr(at);
-                self.charge(TimeBucket::Guest, cycles);
-                PlatformStep::Running
-            }
-            MachineStep::Idle { cycles } => {
-                self.charge(TimeBucket::Idle, cycles);
-                PlatformStep::Running
-            }
-            MachineStep::Interrupt { irq, .. } => {
-                self.handle_real_irq(irq);
-                PlatformStep::Running
-            }
-            MachineStep::Trapped { trap, cycles } => {
-                self.note_instr(at);
-                self.charge(TimeBucket::Guest, cycles);
-                self.dispatch_trap(trap);
-                PlatformStep::Running
-            }
-            MachineStep::Stuck => PlatformStep::Stuck,
-        }
-    }
-
-    /// Remembers the boundary cycle at which the latest guest instruction
-    /// started — seeking there lands *before* that instruction executes,
-    /// which is what `reverse-step` wants (e.g. parked on the faulting
-    /// store, one instant before the damage).
-    fn note_instr(&mut self, at: u64) {
-        if let Some(fr) = &mut self.flight {
-            fr.last_instr_at = at;
-        }
-    }
-
-    fn idle_step(&mut self) -> PlatformStep {
-        if self.machine.pic.line_asserted() {
-            // INTA without executing guest instructions.
-            match self.machine.step() {
-                MachineStep::Interrupt { irq, .. } => self.handle_real_irq(irq),
-                MachineStep::Stuck => return PlatformStep::Stuck,
-                // Events fired at this boundary may clear the line again.
-                other => {
-                    if let MachineStep::Executed { .. } | MachineStep::Trapped { .. } = other {
-                        unreachable!("guest must not execute while virtually idle: {other:?}");
-                    }
-                }
-            }
-            return PlatformStep::Running;
-        }
-        match self.machine.skip_to_next_event() {
-            Some(cycles) => {
-                self.charge(TimeBucket::Idle, cycles);
-                PlatformStep::Running
-            }
-            None => PlatformStep::Stuck,
+    fn step_impl(&mut self, batch: bool) -> PlatformStep {
+        self.maybe_checkpoint();
+        match self.state {
+            RunState::Running => self.guest_step(batch),
+            RunState::GuestIdle => self.guest_idle_step(),
+            RunState::Stopped => self.stopped_step(),
         }
     }
 
@@ -1351,6 +1235,38 @@ impl LvmmPlatform {
     }
 }
 
+impl ExitPolicy for LvmmPlatform {
+    fn mach(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn mach_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn time_stats_mut(&mut self) -> &mut TimeStats {
+        &mut self.stats
+    }
+
+    fn handle_trap(&mut self, trap: Trap) {
+        self.dispatch_trap(trap);
+    }
+
+    fn handle_interrupt(&mut self, irq: u8, _vector: u8) {
+        self.handle_real_irq(irq);
+    }
+
+    /// Remembers the boundary cycle at which the latest guest instruction
+    /// started — seeking there lands *before* that instruction executes,
+    /// which is what `reverse-step` wants (e.g. parked on the faulting
+    /// store, one instant before the damage).
+    fn on_instr_boundary(&mut self, at: u64) {
+        if let Some(fr) = &mut self.flight {
+            fr.last_instr_at = at;
+        }
+    }
+}
+
 impl Platform for LvmmPlatform {
     fn name(&self) -> &'static str {
         "lvmm"
@@ -1369,12 +1285,15 @@ impl Platform for LvmmPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        self.maybe_checkpoint();
-        match self.state {
-            RunState::Running => self.running_step(),
-            RunState::GuestIdle => self.idle_step(),
-            RunState::Stopped => self.stopped_step(),
-        }
+        // The flight recorder needs per-instruction boundaries (its
+        // `reverse-step` anchor and checkpoint cadence), so batching is
+        // only enabled when it is off.
+        let batch = self.flight.is_none();
+        self.step_impl(batch)
+    }
+
+    fn step_precise(&mut self) -> PlatformStep {
+        self.step_impl(false)
     }
 }
 

@@ -59,7 +59,11 @@ impl ReplayDriver {
             if now >= end {
                 break;
             }
-            if platform.step() == PlatformStep::Stuck && !injected {
+            // The precise (unbatched) path: a batching `step` could fly past
+            // a journaled injection cycle or the journal's end cycle, and
+            // those overshoots are exactly the divergences replay must not
+            // introduce.
+            if platform.step_precise() == PlatformStep::Stuck && !injected {
                 break;
             }
             // The original host drained stub output as it ran; an undrained

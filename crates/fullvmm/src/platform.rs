@@ -14,8 +14,9 @@ use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp};
 use hx_cpu::mmu::{pte, Access, PAGE_MASK};
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
-use hx_machine::platform::{track_of, PlatformStep};
-use hx_machine::{map, Machine, MachineStep, Platform, TimeBucket, TimeStats};
+use hx_machine::engine::{ExitPolicy, ProgressGuard};
+use hx_machine::platform::PlatformStep;
+use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::{EventKind, ExitCause};
 use lvmm::chipset::VChipset;
 use lvmm::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager};
@@ -78,8 +79,7 @@ pub struct HostedPlatform {
     state: RunState,
     monitor_base: u32,
     ram_size: u32,
-    last_fault: (u32, u32, u32),
-    last_fault_repeats: u32,
+    progress: ProgressGuard,
 }
 
 impl HostedPlatform {
@@ -141,8 +141,7 @@ impl HostedPlatform {
             state: RunState::Running,
             monitor_base,
             ram_size,
-            last_fault: (0, 0, 0),
-            last_fault_repeats: 0,
+            progress: ProgressGuard::new(),
         }
     }
 
@@ -182,31 +181,17 @@ impl HostedPlatform {
     }
 
     fn consume_monitor(&mut self, cycles: u64) {
-        self.machine.consume(cycles);
-        self.charge(TimeBucket::Monitor, cycles);
+        self.consume(TimeBucket::Monitor, cycles);
     }
 
     fn consume_host(&mut self, cycles: u64) {
         if cycles > 0 {
-            self.machine.consume(cycles);
-            self.charge(TimeBucket::HostModel, cycles);
+            self.consume(TimeBucket::HostModel, cycles);
             self.hstats.host_relay_ops += 1;
             // Every relay op is one `host-relay` histogram entry: the cost
             // of bouncing a device operation through the modeled host OS.
             self.record_exit(ExitCause::HostRelay, cycles);
         }
-    }
-
-    /// Attributes cycles to both the flat stats and the trace span track.
-    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
-        self.stats.charge(bucket, cycles);
-        self.machine.obs.charge(track_of(bucket), cycles);
-    }
-
-    /// Records one guest→monitor exit (histogram + event ring).
-    fn record_exit(&mut self, cause: ExitCause, cycles: u64) {
-        let now = self.machine.now();
-        self.machine.obs.exit(now, cause, cycles);
     }
 
     fn shadow_key(&self) -> u32 {
@@ -338,31 +323,9 @@ impl HostedPlatform {
         }
     }
 
-    fn fault_access(cause: Cause) -> Access {
-        match cause {
-            Cause::InstrPageFault => Access::Fetch,
-            Cause::LoadPageFault => Access::Load,
-            _ => Access::Store,
-        }
-    }
-
-    /// See `lvmm`: the guard applies only to fill paths; emulated-MMIO
-    /// faults legitimately repeat at the same PC.
-    fn fill_made_no_progress(&mut self, trap: &Trap) -> bool {
-        let sig = (trap.epc, trap.tval, trap.cause.code());
-        if sig == self.last_fault {
-            self.last_fault_repeats += 1;
-            self.last_fault_repeats > 8
-        } else {
-            self.last_fault = sig;
-            self.last_fault_repeats = 0;
-            false
-        }
-    }
-
     fn handle_shadow_fault(&mut self, trap: Trap) -> ExitCause {
         let va = trap.tval;
-        let access = Self::fault_access(trap.cause);
+        let access = Access::from_fault(trap.cause);
         let vmode = self.vcpu.vmode;
         {
             let now = self.machine.now();
@@ -406,12 +369,7 @@ impl HostedPlatform {
                 ExitCause::Protection
             }
             PageClass::Unmapped => {
-                let cause = match access {
-                    Access::Fetch => Cause::InstrAccessFault,
-                    Access::Load => Cause::LoadAccessFault,
-                    Access::Store => Cause::StoreAccessFault,
-                };
-                self.inject_guest_trap(cause, trap.epc, va);
+                self.inject_guest_trap(access.fault_cause(), trap.epc, va);
                 ExitCause::Shadow
             }
             // The defining property of the hosted monitor: *all* devices
@@ -422,10 +380,12 @@ impl HostedPlatform {
                 ExitCause::Mmio
             }
             PageClass::GuestRam => {
-                if self.fill_made_no_progress(&trap) {
+                // The guard applies only to fill paths; emulated-MMIO faults
+                // legitimately repeat at the same PC.
+                if self.progress.no_progress(&trap) {
                     // Unrecoverable: surface to the guest's own handler.
                     self.inject_guest_trap(trap.cause, trap.epc, trap.tval);
-                    self.last_fault_repeats = 0;
+                    self.progress.reset();
                     return ExitCause::Shadow;
                 }
                 self.hstats.exits_shadow += 1;
@@ -509,12 +469,7 @@ impl HostedPlatform {
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
             }
             _ => {
-                let cause = match access {
-                    Access::Fetch => Cause::InstrAccessFault,
-                    Access::Load => Cause::LoadAccessFault,
-                    Access::Store => Cause::StoreAccessFault,
-                };
-                self.inject_guest_trap(cause, trap.epc, va);
+                self.inject_guest_trap(access.fault_cause(), trap.epc, va);
             }
         }
     }
@@ -577,22 +532,33 @@ impl HostedPlatform {
         self.maybe_inject_irq();
     }
 
-    fn idle_step(&mut self) -> PlatformStep {
-        if self.machine.pic.line_asserted() {
-            match self.machine.step() {
-                MachineStep::Interrupt { irq, .. } => self.handle_real_irq(irq),
-                MachineStep::Stuck => return PlatformStep::Stuck,
-                _ => {}
-            }
-            return PlatformStep::Running;
+    fn step_impl(&mut self, batch: bool) -> PlatformStep {
+        match self.state {
+            RunState::Running => self.guest_step(batch),
+            RunState::GuestIdle => self.guest_idle_step(),
         }
-        match self.machine.skip_to_next_event() {
-            Some(cycles) => {
-                self.charge(TimeBucket::Idle, cycles);
-                PlatformStep::Running
-            }
-            None => PlatformStep::Stuck,
-        }
+    }
+}
+
+impl ExitPolicy for HostedPlatform {
+    fn mach(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn mach_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn time_stats_mut(&mut self) -> &mut TimeStats {
+        &mut self.stats
+    }
+
+    fn handle_trap(&mut self, trap: Trap) {
+        self.dispatch_trap(trap);
+    }
+
+    fn handle_interrupt(&mut self, irq: u8, _vector: u8) {
+        self.handle_real_irq(irq);
     }
 }
 
@@ -618,29 +584,11 @@ impl Platform for HostedPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        match self.state {
-            RunState::GuestIdle => self.idle_step(),
-            RunState::Running => match self.machine.step() {
-                MachineStep::Executed { cycles } => {
-                    self.charge(TimeBucket::Guest, cycles);
-                    PlatformStep::Running
-                }
-                MachineStep::Idle { cycles } => {
-                    self.charge(TimeBucket::Idle, cycles);
-                    PlatformStep::Running
-                }
-                MachineStep::Interrupt { irq, .. } => {
-                    self.handle_real_irq(irq);
-                    PlatformStep::Running
-                }
-                MachineStep::Trapped { trap, cycles } => {
-                    self.charge(TimeBucket::Guest, cycles);
-                    self.dispatch_trap(trap);
-                    PlatformStep::Running
-                }
-                MachineStep::Stuck => PlatformStep::Stuck,
-            },
-        }
+        self.step_impl(true)
+    }
+
+    fn step_precise(&mut self) -> PlatformStep {
+        self.step_impl(false)
     }
 }
 

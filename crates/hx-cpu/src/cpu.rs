@@ -2,6 +2,7 @@
 
 use crate::cost;
 use crate::csr::{Csr, Status};
+use crate::decode::{DecodeCache, DecodeStats};
 use crate::isa::{CsrOp, Instr, LoadKind, Reg, StoreKind, SysOp};
 use crate::mmu::{self, Access, Tlb, TranslateErr};
 use crate::trap::{Cause, Trap};
@@ -58,6 +59,7 @@ pub struct Cpu {
     instret: u64,
     traps_taken: u64,
     tlb: Tlb,
+    decode_cache: Option<Box<DecodeCache>>,
 }
 
 impl Default for Cpu {
@@ -85,7 +87,30 @@ impl Cpu {
             instret: 0,
             traps_taken: 0,
             tlb: Tlb::new(),
+            decode_cache: None,
         }
+    }
+
+    /// Enables or disables the predecoded-instruction cache
+    /// ([`crate::decode`]). Disabled at reset; `hx-machine` enables it on
+    /// buses that track per-page write generations. Toggling resets the
+    /// cache and its statistics. Simulation results are bit-identical either
+    /// way — only host-side speed changes.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.decode_cache = enabled.then(|| Box::new(DecodeCache::new()));
+    }
+
+    /// Is the predecoded-instruction cache enabled?
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.decode_cache.is_some()
+    }
+
+    /// Decode-cache and fetch fast-path counters (all zero when disabled).
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.decode_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// Reads a general-purpose register (`r0` always reads zero).
@@ -316,17 +341,72 @@ impl Cpu {
         }
     }
 
+    /// Fetches and decodes the instruction at `pc`, through the predecoded
+    /// cache when enabled. Returns `(word, instr)` — the raw word is needed
+    /// for `tval` in privileged/illegal traps.
+    fn fetch_decode<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        pc: u32,
+        cycles: &mut u64,
+    ) -> Result<(u32, Instr), Trap> {
+        let Some(mut cache) = self.decode_cache.take() else {
+            let pa = self.translate(bus, pc, Access::Fetch, cycles)?;
+            let word = bus
+                .fetch(pa)
+                .map_err(|_| Trap::new(Cause::InstrAccessFault, pc, pc))?;
+            let instr =
+                Instr::decode(word).map_err(|_| Trap::new(Cause::IllegalInstruction, pc, word))?;
+            return Ok((word, instr));
+        };
+        // The cache box is taken out for the duration of the step so the
+        // slow paths below can borrow `self` freely; put it back whatever
+        // happens.
+        let result = self.fetch_decode_cached(bus, &mut cache, pc, cycles);
+        self.decode_cache = Some(cache);
+        result
+    }
+
+    fn fetch_decode_cached<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        cache: &mut DecodeCache,
+        pc: u32,
+        cycles: &mut u64,
+    ) -> Result<(u32, Instr), Trap> {
+        let pa = if !self.paging_enabled() {
+            pc
+        } else if let Some(pa) = cache.fetch_pa(pc, self.mode, self.tlb.generation()) {
+            // The slow path would have answered this from the TLB; replay
+            // the hit so TLB statistics are identical with the cache off.
+            self.tlb.note_hit();
+            cache.stats.fast_fetches += 1;
+            pa
+        } else {
+            let pa = self.translate(bus, pc, Access::Fetch, cycles)?;
+            cache.remember_fetch(pc, pa, self.mode, self.tlb.generation());
+            pa
+        };
+        match bus.fetch_page_generation(pa) {
+            Some(gen) => cache.lookup_or_fill(bus, pa, gen, pc),
+            None => {
+                // Uncacheable page (device memory): always go to the bus.
+                let word = bus
+                    .fetch(pa)
+                    .map_err(|_| Trap::new(Cause::InstrAccessFault, pc, pc))?;
+                let instr = Instr::decode(word)
+                    .map_err(|_| Trap::new(Cause::IllegalInstruction, pc, word))?;
+                Ok((word, instr))
+            }
+        }
+    }
+
     fn step_inner<B: Bus + ?Sized>(&mut self, bus: &mut B, cycles: &mut u64) -> Result<Flow, Trap> {
         let pc = self.pc;
         if pc & 3 != 0 {
             return Err(Trap::new(Cause::InstrAddrMisaligned, pc, pc));
         }
-        let fetch_pa = self.translate(bus, pc, Access::Fetch, cycles)?;
-        let word = bus
-            .fetch(fetch_pa)
-            .map_err(|_| Trap::new(Cause::InstrAccessFault, pc, pc))?;
-        let instr =
-            Instr::decode(word).map_err(|_| Trap::new(Cause::IllegalInstruction, pc, word))?;
+        let (word, instr) = self.fetch_decode(bus, pc, cycles)?;
 
         if instr.is_privileged() && self.mode == Mode::User {
             return Err(Trap::new(Cause::PrivilegedInstruction, pc, word));
@@ -1092,6 +1172,206 @@ mod tests {
         let (h1, m1) = cpu.tlb_stats();
         assert_eq!(h1, h0, "no new hit after flush");
         assert_eq!(m1, m0 + 1, "flush forces a re-walk");
+    }
+
+    /// A [`FlatRam`] that tracks per-page write generations, enabling the
+    /// predecoded-instruction cache (the machine-level bus in `hx-machine`
+    /// does the same for real RAM).
+    struct GenRam {
+        ram: FlatRam,
+        gens: Vec<u64>,
+    }
+
+    impl GenRam {
+        fn new(len: usize) -> GenRam {
+            GenRam {
+                ram: FlatRam::new(len),
+                gens: vec![0; len.div_ceil(4096)],
+            }
+        }
+    }
+
+    impl Bus for GenRam {
+        fn read(&mut self, paddr: u32, size: MemSize) -> Result<u32, crate::BusFault> {
+            self.ram.read(paddr, size)
+        }
+        fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), crate::BusFault> {
+            self.ram.write(paddr, val, size)?;
+            self.gens[(paddr >> 12) as usize] += 1;
+            Ok(())
+        }
+        fn fetch_page_generation(&mut self, paddr: u32) -> Option<u64> {
+            self.gens.get((paddr >> 12) as usize).copied()
+        }
+    }
+
+    /// Same loop, cache on vs cache off: identical architectural state,
+    /// cycles and TLB statistics; the cached run mostly hits.
+    #[test]
+    fn decode_cache_is_invisible_to_the_simulation() {
+        let loop_prog = [
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 50,
+            }
+            .encode(),
+            Instr::Addi {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: 3,
+            }
+            .encode(),
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: -1,
+            }
+            .encode(),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R0,
+                offset: -8,
+            }
+            .encode(),
+        ];
+        let run = |cached: bool| {
+            let mut bus = GenRam::new(64 * 1024);
+            for (i, w) in loop_prog.iter().enumerate() {
+                bus.ram.store_word((i * 4) as u32, *w);
+            }
+            let mut cpu = Cpu::new();
+            cpu.set_decode_cache(cached);
+            for _ in 0..151 {
+                match cpu.step(&mut bus) {
+                    StepOutcome::Executed { .. } => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+            let stats = cpu.decode_stats();
+            cpu.set_decode_cache(false);
+            (cpu, stats)
+        };
+        let (base, _) = run(false);
+        let (cached, stats) = run(true);
+        assert_eq!(base.regs(), cached.regs());
+        assert_eq!(base.pc(), cached.pc());
+        assert_eq!(base.cycles(), cached.cycles());
+        assert_eq!(base.instret(), cached.instret());
+        assert_eq!(base.tlb_stats(), cached.tlb_stats());
+        assert!(
+            stats.hits > 100 && stats.misses <= 4,
+            "loop must be served predecoded: {stats:?}"
+        );
+    }
+
+    /// Self-modifying code: a store into a predecoded page must drop the
+    /// stale decode.
+    #[test]
+    fn decode_cache_invalidated_by_store() {
+        let mut bus = GenRam::new(64 * 1024);
+        let old = Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            imm: 1,
+        }
+        .encode();
+        let new = Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            imm: 99,
+        }
+        .encode();
+        bus.ram.store_word(0, old);
+        bus.ram.store_word(
+            4,
+            Instr::Store {
+                kind: StoreKind::W,
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+                offset: 0,
+            }
+            .encode(),
+        );
+        let mut cpu = Cpu::new();
+        cpu.set_decode_cache(true);
+        cpu.set_reg(Reg::R3, new);
+        assert!(matches!(cpu.step(&mut bus), StepOutcome::Executed { .. }));
+        assert_eq!(cpu.reg(Reg::R1), 1);
+        // Overwrite the first instruction, loop back and re-execute it.
+        assert!(matches!(cpu.step(&mut bus), StepOutcome::Executed { .. }));
+        cpu.set_pc(0);
+        assert!(matches!(cpu.step(&mut bus), StepOutcome::Executed { .. }));
+        assert_eq!(cpu.reg(Reg::R1), 99, "stale predecode must not survive");
+        assert!(cpu.decode_stats().invalidations >= 1);
+    }
+
+    /// Paged fetches: the fast-path line must keep cycle costs and TLB
+    /// statistics identical, and a `ptbr` rewrite (shadow activation) must
+    /// kill both the line and nothing else.
+    #[test]
+    fn decode_cache_paged_fetch_matches_uncached() {
+        let run = |cached: bool| {
+            let mut bus = GenRam::new(256 * 1024);
+            let root = 0x1_0000u32;
+            let mut alloc = 0x1_1000u32;
+            crate::mmu::map_page(
+                &mut bus,
+                root,
+                &mut alloc,
+                0x0040_0000,
+                0,
+                pte::V | pte::R | pte::X,
+            )
+            .unwrap();
+            for i in 0..4u32 {
+                bus.ram.store_word(
+                    i * 4,
+                    Instr::Addi {
+                        rd: Reg::R4,
+                        rs1: Reg::R4,
+                        imm: 1,
+                    }
+                    .encode(),
+                );
+            }
+            bus.ram.store_word(
+                16,
+                Instr::Jal {
+                    rd: Reg::R0,
+                    offset: -16,
+                }
+                .encode(),
+            );
+            let mut cpu = Cpu::new();
+            cpu.set_decode_cache(cached);
+            cpu.write_csr(Csr::Ptbr, root | 1);
+            cpu.set_pc(0x0040_0000);
+            for _ in 0..40 {
+                match cpu.step(&mut bus) {
+                    StepOutcome::Executed { .. } => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+            // Re-activating the page table flushes the TLB; both runs must
+            // pay the re-walk identically.
+            cpu.write_csr(Csr::Ptbr, root | 1);
+            for _ in 0..10 {
+                match cpu.step(&mut bus) {
+                    StepOutcome::Executed { .. } => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+            let stats = cpu.decode_stats();
+            (cpu.cycles(), cpu.tlb_stats(), cpu.reg(Reg::R4), stats)
+        };
+        let (c0, t0, r0, _) = run(false);
+        let (c1, t1, r1, stats) = run(true);
+        assert_eq!(c0, c1);
+        assert_eq!(t0, t1);
+        assert_eq!(r0, r1);
+        assert!(stats.fast_fetches > 30, "{stats:?}");
     }
 
     #[test]

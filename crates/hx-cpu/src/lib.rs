@@ -41,12 +41,14 @@
 pub mod cost;
 pub mod cpu;
 pub mod csr;
+pub mod decode;
 pub mod isa;
 pub mod mmu;
 pub mod trap;
 
 pub use cpu::{Cpu, StepOutcome};
 pub use csr::{Csr, Status};
+pub use decode::DecodeStats;
 pub use isa::{Instr, Reg};
 pub use mmu::{pte, Tlb, TranslateErr};
 pub use trap::{Cause, Trap};
@@ -134,6 +136,19 @@ pub trait Bus {
     fn fetch(&mut self, paddr: u32) -> Result<u32, BusFault> {
         self.read(paddr, MemSize::Word)
     }
+
+    /// Generation stamp of the physical page containing `paddr`, or `None`
+    /// if instruction fetches from it must not be cached.
+    ///
+    /// Buses that can track writes (stores *and* DMA) per page return a
+    /// counter that changes whenever the page's contents may have changed;
+    /// the CPU's predecoded-instruction cache ([`decode`]) keys on it.
+    /// The default (`None`) disables caching, which is always safe — device
+    /// pages and side-effectful fetch paths must stay uncached.
+    fn fetch_page_generation(&mut self, paddr: u32) -> Option<u64> {
+        let _ = paddr;
+        None
+    }
 }
 
 impl<B: Bus + ?Sized> Bus for &mut B {
@@ -145,6 +160,9 @@ impl<B: Bus + ?Sized> Bus for &mut B {
     }
     fn fetch(&mut self, paddr: u32) -> Result<u32, BusFault> {
         (**self).fetch(paddr)
+    }
+    fn fetch_page_generation(&mut self, paddr: u32) -> Option<u64> {
+        (**self).fetch_page_generation(paddr)
     }
 }
 

@@ -82,6 +82,28 @@ pub enum Access {
     Store,
 }
 
+impl Access {
+    /// The access kind behind a page-fault cause (monitors classify guest
+    /// faults this way before walking the guest's page tables).
+    pub fn from_fault(cause: crate::trap::Cause) -> Access {
+        match cause {
+            crate::trap::Cause::InstrPageFault => Access::Fetch,
+            crate::trap::Cause::LoadPageFault => Access::Load,
+            _ => Access::Store,
+        }
+    }
+
+    /// The access-fault cause this access kind raises when it reaches
+    /// unmapped or forbidden physical space.
+    pub fn fault_cause(self) -> crate::trap::Cause {
+        match self {
+            Access::Fetch => crate::trap::Cause::InstrAccessFault,
+            Access::Load => crate::trap::Cause::LoadAccessFault,
+            Access::Store => crate::trap::Cause::StoreAccessFault,
+        }
+    }
+}
+
 /// Why a translation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TranslateErr {
@@ -235,6 +257,7 @@ pub struct Tlb {
     entries: [TlbEntry; TLB_ENTRIES],
     hits: u64,
     misses: u64,
+    generation: u64,
 }
 
 impl Default for Tlb {
@@ -250,6 +273,7 @@ impl Tlb {
             entries: [TlbEntry::default(); TLB_ENTRIES],
             hits: 0,
             misses: 0,
+            generation: 0,
         }
     }
 
@@ -283,6 +307,7 @@ impl Tlb {
             ppn: leaf & pte::PPN_MASK,
             flags: leaf & pte::FLAGS_MASK,
         };
+        self.generation += 1;
     }
 
     /// Invalidates every entry (the `tlbflush` instruction).
@@ -290,11 +315,28 @@ impl Tlb {
         for e in &mut self.entries {
             e.valid = false;
         }
+        self.generation += 1;
     }
 
     /// `(hits, misses)` counters, for performance analysis.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Monotonic counter bumped on every mutation (insert or flush).
+    ///
+    /// The CPU's fetch fast path memoises one translation and revalidates it
+    /// against this counter: as long as the generation is unchanged, the TLB
+    /// provably still holds the memoised entry.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records a hit that was answered by the fetch fast path instead of
+    /// [`Tlb::lookup`], keeping hit/miss statistics identical whether or not
+    /// the fast path is enabled.
+    pub(crate) fn note_hit(&mut self) {
+        self.hits += 1;
     }
 }
 

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod disk;
+pub mod engine;
 pub mod event;
 pub mod machine;
 pub mod nic;
@@ -52,8 +53,9 @@ pub mod ram;
 pub mod timing;
 pub mod uart;
 
+pub use engine::{ExitPolicy, FlightRecorder, ProgressGuard};
 pub use event::{Event, EventQueue};
-pub use machine::{Machine, MachineConfig, MachineStep};
+pub use machine::{Batch, Machine, MachineConfig, MachineStep};
 pub use nic::{Nic, NicCounters};
 pub use pic::Hpic;
 pub use pit::Hpit;

@@ -90,6 +90,26 @@ pub enum MachineStep {
     Stuck,
 }
 
+/// Result of one [`Machine::run_batch`]: a run of normally-retired
+/// instructions, optionally ended early by something that needs the
+/// platform's attention.
+///
+/// The batch is simulation-equivalent to the same number of individual
+/// [`Machine::step`] calls — cycle counts, event firing times, interrupt
+/// recognition points and device behaviour are bit-identical — it only
+/// amortises the per-step host overhead (event-queue polls, interrupt
+/// arbitration, bus construction) over up to [`Machine::BATCH_INSTRS`]
+/// instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// Cycles consumed by instructions that retired normally (including the
+    /// trailing `wfi` of an idle transition, as in [`MachineStep::Executed`]).
+    pub executed: u64,
+    /// What ended the batch before the quantum, if anything. Never
+    /// [`MachineStep::Executed`].
+    pub end: Option<MachineStep>,
+}
+
 /// The simulated machine.
 ///
 /// Fields are public: monitors legitimately reach into the chipset (that is
@@ -122,9 +142,15 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
+    ///
+    /// The CPU's predecoded-instruction cache is enabled: the machine bus
+    /// tracks per-page write generations (stores and DMA), so cached decodes
+    /// can never go stale. Results are bit-identical with the cache off.
     pub fn new(cfg: MachineConfig) -> Machine {
+        let mut cpu = Cpu::new();
+        cpu.set_decode_cache(true);
         Machine {
-            cpu: Cpu::new(),
+            cpu,
             mem: Ram::new(cfg.ram_size),
             pic: Hpic::new(),
             pit: Hpit::new(),
@@ -334,6 +360,125 @@ impl Machine {
         }
     }
 
+    /// Instructions per [`Machine::run_batch`] quantum.
+    ///
+    /// Bounds how far a batch can overrun a `run_for` target (a few hundred
+    /// cycles — well under a microsecond of simulated time), while amortising
+    /// per-step polling enough that larger quanta stop paying.
+    pub const BATCH_INSTRS: u32 = 64;
+
+    /// Executes up to [`Machine::BATCH_INSTRS`] instructions as one batch.
+    /// See [`Batch`] for the contract.
+    ///
+    /// A batch ends early — with `end` set — for exactly the conditions a
+    /// per-instruction loop would have had to notice between steps:
+    /// an interrupt won arbitration, an instruction trapped, the CPU went
+    /// idle, or the machine is stuck. It also ends (with `end == None`)
+    /// whenever something could invalidate the once-per-batch polls: a
+    /// pending device event coming due, or any MMIO access (which can change
+    /// interrupt and event state). While the PIC's INTR line is latched,
+    /// batching is disabled entirely — a single instruction can turn
+    /// interrupts on and make the request deliverable.
+    pub fn run_batch(&mut self) -> Batch {
+        self.process_due_events();
+
+        if self.waiting {
+            if self.pic.line_asserted() {
+                self.waiting = false;
+            } else {
+                let Some(due) = self.events.next_due() else {
+                    return Batch {
+                        executed: 0,
+                        end: Some(MachineStep::Stuck),
+                    };
+                };
+                let idle = due - self.now;
+                self.now = due;
+                self.cpu.add_cycles(idle);
+                self.process_due_events();
+                return Batch {
+                    executed: 0,
+                    end: Some(MachineStep::Idle { cycles: idle }),
+                };
+            }
+        }
+
+        if self.cpu.interrupts_enabled() {
+            if let Some((irq, vector)) = self.pic.inta() {
+                return Batch {
+                    executed: 0,
+                    end: Some(MachineStep::Interrupt { irq, vector }),
+                };
+            }
+        }
+
+        // IRR/IMR/ISR only change through MMIO, device events or external
+        // injection — never through plain instructions — so `line_asserted`
+        // cannot *rise* inside a batch. It can already be up with interrupts
+        // masked, though, and any instruction may unmask them: single-step
+        // through that window.
+        let quantum = if self.pic.line_asserted() {
+            1
+        } else {
+            Self::BATCH_INSTRS
+        };
+        let horizon = self.events.next_due();
+
+        let mut bus = MachineBus {
+            mem: &mut self.mem,
+            pic: &mut self.pic,
+            pit: &mut self.pit,
+            uart: &mut self.uart,
+            hdc: &mut self.hdc,
+            nic: &mut self.nic,
+            events: &mut self.events,
+            obs: &mut self.obs,
+            now: self.now,
+            mmio_extra: 0,
+            mmio_cost: self.cfg.mmio_access_cycles,
+        };
+        let mut executed = 0u64;
+        let mut end = None;
+        for _ in 0..quantum {
+            bus.now = self.now;
+            let outcome = self.cpu.step(&mut bus);
+            let extra = bus.mmio_extra;
+            bus.mmio_extra = 0;
+            if extra > 0 {
+                self.cpu.add_cycles(extra);
+            }
+            match outcome {
+                StepOutcome::Executed { cycles } => {
+                    self.now += cycles + extra;
+                    executed += cycles + extra;
+                    // MMIO may have scheduled events, raised interrupt
+                    // lines or changed masks; a due event must fire before
+                    // the next instruction. Either way the batch polls are
+                    // stale: hand back to the platform.
+                    if extra > 0 || horizon.is_some_and(|due| self.now >= due) {
+                        break;
+                    }
+                }
+                StepOutcome::Wfi { cycles } => {
+                    self.now += cycles + extra;
+                    executed += cycles + extra;
+                    self.waiting = true;
+                    break;
+                }
+                StepOutcome::Trapped { trap, cycles } => {
+                    self.now += cycles + extra;
+                    end = Some(MachineStep::Trapped {
+                        trap,
+                        cycles: cycles + extra,
+                    });
+                    break;
+                }
+            }
+        }
+        self.process_due_events();
+        Batch { executed, end }
+    }
+
     /// Performs a bus read the way the CPU would (monitor emulation and
     /// debugger use). MMIO side effects apply; no cycles are charged.
     ///
@@ -498,6 +643,12 @@ impl Bus for MachineBus<'_> {
         }
         res
     }
+
+    fn fetch_page_generation(&mut self, paddr: u32) -> Option<u64> {
+        // Only RAM fetches are cacheable; device pages (which can have fetch
+        // side effects and extra MMIO cycles) stay on the slow path.
+        self.mem.page_generation(paddr)
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +742,102 @@ mod tests {
         run_until(&mut m, 100_000, |m| m.cpu.reg(hx_cpu::Reg::R18) >= 3);
         assert!(m.pit.ticks() >= 3);
         assert!(m.now() >= 1500, "three 500-cycle periods must elapse");
+    }
+
+    #[test]
+    fn run_batch_matches_single_stepping() {
+        // A workload that exercises every batch-break condition: a long
+        // computational stretch (full 64-instruction quanta), PIT MMIO
+        // programming (mid-batch MMIO break), periodic interrupts (latched
+        // INTR line), and a wfi idle loop.
+        let src = format!(
+            "        .org 0x100
+             handler:
+                     addi s0, s0, 1
+                     li   k0, {pic:#x}
+                     li   k1, {pit_irq}
+                     sw   k1, 0xc(k0)      ; EOI
+                     tret
+             start:  la   t0, handler
+                     csrw tvec, t0
+                     li   t2, 1000
+             spin:   addi t2, t2, -1
+                     bne  t2, zero, spin
+                     li   t0, {pit:#x}
+                     li   t1, 700
+                     sw   t1, 4(t0)
+                     li   t1, 3
+                     sw   t1, 0(t0)        ; enable periodic
+                     csrw status, 1        ; IE
+             idle:   wfi
+                     j    idle
+            ",
+            pic = map::PIC_BASE,
+            pit = map::PIT_BASE,
+            pit_irq = map::irq::PIT,
+        );
+        let program = hx_asm::assemble(&src).unwrap();
+        let build = || {
+            let mut m = Machine::new(MachineConfig {
+                ram_size: 1 << 20,
+                ..MachineConfig::default()
+            });
+            m.load_program(&program);
+            m.cpu.set_pc(program.symbols.get("start").unwrap());
+            m
+        };
+        let mut stepped = build();
+        let mut batched = build();
+
+        // Drive one machine in batches past a target...
+        let target = 200_000;
+        while batched.now() < target {
+            let batch = batched.run_batch();
+            match batch.end {
+                Some(MachineStep::Interrupt { vector, .. }) => {
+                    let t = batched.interrupt_trap(vector);
+                    batched.deliver_trap(t);
+                }
+                Some(MachineStep::Trapped { trap, .. }) => {
+                    batched.deliver_trap(trap);
+                }
+                Some(MachineStep::Stuck) => panic!("machine stuck"),
+                _ => {}
+            }
+        }
+
+        // ...then single-step the other to the exact same simulated time.
+        // Batches only stop on instruction boundaries, so the stepped
+        // machine must land on `batched.now()` precisely, with identical
+        // state throughout.
+        while stepped.now() < batched.now() {
+            match stepped.step() {
+                MachineStep::Interrupt { vector, .. } => {
+                    let t = stepped.interrupt_trap(vector);
+                    stepped.deliver_trap(t);
+                }
+                MachineStep::Trapped { trap, .. } => {
+                    stepped.deliver_trap(trap);
+                }
+                MachineStep::Stuck => panic!("machine stuck"),
+                _ => {}
+            }
+        }
+        assert_eq!(stepped.now(), batched.now(), "same instruction boundary");
+        assert_eq!(stepped.cpu.pc(), batched.cpu.pc());
+        assert_eq!(stepped.cpu.cycles(), batched.cpu.cycles());
+        assert_eq!(stepped.cpu.instret(), batched.cpu.instret());
+        assert_eq!(stepped.cpu.tlb_stats(), batched.cpu.tlb_stats());
+        for i in 0..32 {
+            let r = hx_cpu::Reg::new(i).unwrap();
+            assert_eq!(stepped.cpu.reg(r), batched.cpu.reg(r), "{r:?}");
+        }
+        assert_eq!(stepped.pit.ticks(), batched.pit.ticks());
+        assert_eq!(stepped.mem, batched.mem);
+        assert!(
+            stepped.cpu.reg(hx_cpu::Reg::R18) >= 3,
+            "interrupts were taken"
+        );
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! All platforms account time into a [`TimeStats`], whose
 //! [`TimeStats::cpu_load`] is the y-axis of the paper's Fig. 3.1.
 
-use crate::machine::{Machine, MachineStep};
+use crate::machine::Machine;
 use core::fmt;
+use hx_cpu::trap::Trap;
 use hx_obs::Track;
 
 /// The span-track lane a [`TimeBucket`] maps to in the trace exporter.
@@ -147,6 +148,15 @@ pub trait Platform {
     /// Executes one unit of progress.
     fn step(&mut self) -> PlatformStep;
 
+    /// Like [`Platform::step`], but guaranteed to execute at most one guest
+    /// instruction, so the caller can interleave external actions (journal
+    /// input injection, exact-cycle probes) at every instruction boundary.
+    /// Platforms that batch instructions in `step` override this with the
+    /// unbatched path; the behaviours are simulation-identical.
+    fn step_precise(&mut self) -> PlatformStep {
+        self.step()
+    }
+
     /// The platform's cycle attribution so far.
     fn time_stats(&self) -> &TimeStats;
 
@@ -195,11 +205,31 @@ impl RawPlatform {
     pub fn into_machine(self) -> Machine {
         self.machine
     }
+}
 
-    /// Attributes cycles to both the flat stats and the trace span track.
-    fn charge(&mut self, bucket: TimeBucket, cycles: u64) {
-        self.stats.charge(bucket, cycles);
-        self.machine.obs.charge(track_of(bucket), cycles);
+impl crate::engine::ExitPolicy for RawPlatform {
+    fn mach(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn mach_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn time_stats_mut(&mut self) -> &mut TimeStats {
+        &mut self.stats
+    }
+
+    fn handle_trap(&mut self, trap: Trap) {
+        // No monitor: every trap is delivered architecturally to the guest.
+        let c = self.machine.deliver_trap(trap);
+        self.charge(TimeBucket::Guest, c);
+    }
+
+    fn handle_interrupt(&mut self, _irq: u8, vector: u8) {
+        let trap = self.machine.interrupt_trap(vector);
+        let c = self.machine.deliver_trap(trap);
+        self.charge(TimeBucket::Guest, c);
     }
 }
 
@@ -221,28 +251,11 @@ impl Platform for RawPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        match self.machine.step() {
-            MachineStep::Executed { cycles } => {
-                self.charge(TimeBucket::Guest, cycles);
-                PlatformStep::Running
-            }
-            MachineStep::Interrupt { vector, .. } => {
-                let trap = self.machine.interrupt_trap(vector);
-                let c = self.machine.deliver_trap(trap);
-                self.charge(TimeBucket::Guest, c);
-                PlatformStep::Running
-            }
-            MachineStep::Trapped { trap, cycles } => {
-                let c = self.machine.deliver_trap(trap);
-                self.charge(TimeBucket::Guest, cycles + c);
-                PlatformStep::Running
-            }
-            MachineStep::Idle { cycles } => {
-                self.charge(TimeBucket::Idle, cycles);
-                PlatformStep::Running
-            }
-            MachineStep::Stuck => PlatformStep::Stuck,
-        }
+        crate::engine::ExitPolicy::guest_step(self, true)
+    }
+
+    fn step_precise(&mut self) -> PlatformStep {
+        crate::engine::ExitPolicy::guest_step(self, false)
     }
 }
 

@@ -2,20 +2,43 @@
 
 use hx_cpu::{BusFault, MemSize};
 
+/// Page granularity of write-generation tracking (matches the MMU page).
+const PAGE: usize = 4096;
+
 /// The machine's physical memory.
 ///
 /// Devices DMA through [`Ram::dma_read`] / [`Ram::dma_write`]; the CPU path
 /// goes through the width-aware accessors used by the system bus.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every write path — CPU stores, DMA, and raw loader access through
+/// [`Ram::as_bytes_mut`] — advances a per-page generation counter, which the
+/// CPU's predecoded-instruction cache uses to detect stale code pages (see
+/// [`hx_cpu::decode`]). Generations are cache metadata, not machine state:
+/// equality compares bytes only.
+#[derive(Debug, Clone)]
 pub struct Ram {
     bytes: Vec<u8>,
+    /// Per-4KiB-page write generation.
+    gens: Vec<u64>,
+    /// Bumped by [`Ram::as_bytes_mut`], which can touch any page.
+    epoch: u64,
 }
+
+impl PartialEq for Ram {
+    fn eq(&self, other: &Ram) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Ram {}
 
 impl Ram {
     /// Allocates `len` bytes of zeroed RAM.
     pub fn new(len: usize) -> Ram {
         Ram {
             bytes: vec![0; len],
+            gens: vec![0; len.div_ceil(PAGE)],
+            epoch: 0,
         }
     }
 
@@ -67,6 +90,7 @@ impl Ram {
         for i in 0..n as usize {
             self.bytes[a + i] = (val >> (8 * i)) as u8;
         }
+        self.touch(a, n as usize);
         Ok(())
     }
 
@@ -95,7 +119,27 @@ impl Ram {
         }
         let a = addr as usize;
         self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        self.touch(a, buf.len());
         Ok(())
+    }
+
+    /// Advances the write generation of every page overlapping
+    /// `[addr, addr + len)`.
+    fn touch(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for page in addr / PAGE..=(addr + len - 1) / PAGE {
+            self.gens[page] = self.gens[page].wrapping_add(1);
+        }
+    }
+
+    /// Current write generation of the page containing `addr`, or `None`
+    /// outside RAM. Changes whenever the page's contents may have changed.
+    pub fn page_generation(&self, addr: u32) -> Option<u64> {
+        self.gens
+            .get(addr as usize / PAGE)
+            .map(|g| g.wrapping_add(self.epoch))
     }
 
     /// Convenience word read for tests and loaders.
@@ -112,8 +156,10 @@ impl Ram {
         &self.bytes
     }
 
-    /// Mutable raw view (loader use).
+    /// Mutable raw view (loader use). Conservatively ages every page, since
+    /// the caller may write anywhere.
     pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        self.epoch = self.epoch.wrapping_add(1);
         &mut self.bytes
     }
 }
@@ -124,6 +170,9 @@ impl hx_cpu::Bus for Ram {
     }
     fn write(&mut self, paddr: u32, val: u32, size: MemSize) -> Result<(), BusFault> {
         Ram::write(self, paddr, val, size)
+    }
+    fn fetch_page_generation(&mut self, paddr: u32) -> Option<u64> {
+        self.page_generation(paddr)
     }
 }
 
@@ -152,6 +201,38 @@ mod tests {
         assert_eq!(r.dma_write(62, &[0; 4]), Err(BusFault::Unmapped));
         let mut big = [0u8; 8];
         assert_eq!(r.dma_read(60, &mut big), Err(BusFault::Unmapped));
+    }
+
+    #[test]
+    fn page_generations_track_every_write_path() {
+        let mut r = Ram::new(3 * 4096);
+        let g0 = r.page_generation(0).unwrap();
+        let g1 = r.page_generation(4096).unwrap();
+
+        r.write(8, 0xff, MemSize::Byte).unwrap();
+        assert_ne!(r.page_generation(0).unwrap(), g0, "CPU store ages page");
+        assert_eq!(r.page_generation(4096).unwrap(), g1, "other pages keep");
+
+        // DMA spanning the page-0/page-1 boundary ages both pages.
+        let g0 = r.page_generation(0).unwrap();
+        let g2 = r.page_generation(8192).unwrap();
+        r.dma_write(4090, &[0u8; 12]).unwrap();
+        assert_ne!(r.page_generation(0).unwrap(), g0, "first page of span");
+        assert_ne!(r.page_generation(4096).unwrap(), g1, "second page too");
+        assert_eq!(r.page_generation(8192).unwrap(), g2, "untouched page keeps");
+
+        // Raw loader access conservatively ages everything.
+        let g0 = r.page_generation(0).unwrap();
+        r.as_bytes_mut();
+        assert_ne!(r.page_generation(0).unwrap(), g0);
+
+        assert_eq!(r.page_generation(3 * 4096), None, "outside RAM");
+
+        // Generations are metadata: equality still compares bytes only.
+        let mut other = Ram::new(3 * 4096);
+        other.write(8, 0xff, MemSize::Byte).unwrap();
+        other.dma_write(4090, &[0u8; 12]).unwrap();
+        assert_eq!(r, other);
     }
 
     #[test]

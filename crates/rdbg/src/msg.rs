@@ -206,6 +206,14 @@ pub struct StatsSample {
     pub host: u64,
     /// Cycles attributed to idle.
     pub idle: u64,
+    /// Decode-cache hits (instructions served predecoded).
+    pub decode_hits: u64,
+    /// Decode-cache misses (instructions decoded the slow way).
+    pub decode_misses: u64,
+    /// Fetch translations served from the fast-path line.
+    pub fast_fetches: u64,
+    /// Predecoded pages dropped after their contents changed.
+    pub decode_invalidations: u64,
     /// Per-cause guest-exit counts, in target-defined order.
     pub exits: Vec<u64>,
 }
@@ -215,12 +223,16 @@ impl StatsSample {
     pub fn format(&self) -> String {
         let exits: Vec<String> = self.exits.iter().map(|c| format!("{c:x}")).collect();
         format!(
-            "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};x:{}",
+            "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};dh:{:x};dm:{:x};df:{:x};dv:{:x};x:{}",
             self.now,
             self.guest,
             self.monitor,
             self.host,
             self.idle,
+            self.decode_hits,
+            self.decode_misses,
+            self.fast_fetches,
+            self.decode_invalidations,
             exits.join(",")
         )
     }
@@ -241,6 +253,10 @@ impl StatsSample {
                 "m" => sample.monitor = u64::from_str_radix(v, 16).ok()?,
                 "h" => sample.host = u64::from_str_radix(v, 16).ok()?,
                 "i" => sample.idle = u64::from_str_radix(v, 16).ok()?,
+                "dh" => sample.decode_hits = u64::from_str_radix(v, 16).ok()?,
+                "dm" => sample.decode_misses = u64::from_str_radix(v, 16).ok()?,
+                "df" => sample.fast_fetches = u64::from_str_radix(v, 16).ok()?,
+                "dv" => sample.decode_invalidations = u64::from_str_radix(v, 16).ok()?,
                 "x" if !v.is_empty() => {
                     for c in v.split(',') {
                         sample.exits.push(u64::from_str_radix(c, 16).ok()?);
@@ -483,6 +499,10 @@ mod tests {
             monitor: 2,
             host: 0,
             idle: 7,
+            decode_hits: 0x40,
+            decode_misses: 3,
+            fast_fetches: 0x3f,
+            decode_invalidations: 1,
             exits: vec![4, 0, 0x99],
         };
         assert_eq!(StatsSample::parse(&s.format()), Some(s.clone()));
@@ -569,16 +589,23 @@ mod tests {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
             proptest::collection::vec(any::<u64>(), 0..12),
         )
-            .prop_map(|(now, guest, monitor, host, idle, exits)| StatsSample {
-                now,
-                guest,
-                monitor,
-                host,
-                idle,
-                exits,
-            })
+            .prop_map(
+                |(now, guest, monitor, host, idle, (dh, dm, df, dv), exits)| StatsSample {
+                    now,
+                    guest,
+                    monitor,
+                    host,
+                    idle,
+                    decode_hits: dh,
+                    decode_misses: dm,
+                    fast_fetches: df,
+                    decode_invalidations: dv,
+                    exits,
+                },
+            )
     }
 
     proptest! {

@@ -23,6 +23,8 @@ struct Options {
     platform: String,
     ms: u64,
     dump: Option<(u32, u32)>,
+    engine_stats: bool,
+    no_decode_cache: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +34,8 @@ fn parse_args() -> Result<Options, String> {
         platform: "lvmm".into(),
         ms: 100,
         dump: None,
+        engine_stats: false,
+        no_decode_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
                 let len: u32 = len.parse().map_err(|_| "--dump length must be decimal")?;
                 opts.dump = Some((addr, len));
             }
+            "--engine-stats" => opts.engine_stats = true,
+            "--no-decode-cache" => opts.no_decode_cache = true,
             "-h" | "--help" => return Err(String::new()),
             other if opts.input.is_none() => opts.input = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -80,7 +86,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
-                 [--ms <simulated ms>] [--dump 0xADDR:LEN]"
+                 [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -91,6 +97,11 @@ fn main() -> ExitCode {
     };
 
     let mut machine = Machine::new(MachineConfig::default());
+    if opts.no_decode_cache {
+        // Must be bit-identical to the default; kept for A/B timing and
+        // determinism checks.
+        machine.cpu.set_decode_cache(false);
+    }
     let clock = machine.config().clock_hz;
     let (program, is_workload) = if let Some(rate) = opts.workload {
         (
@@ -181,6 +192,20 @@ fn main() -> ExitCode {
             Err(e) => println!("guest: stats unavailable ({e})"),
         }
         let _ = layout::ENTRY;
+    }
+    if opts.engine_stats {
+        let d = m.cpu.decode_stats();
+        let (tlb_hits, tlb_misses) = m.cpu.tlb_stats();
+        println!(
+            "engine: decode cache {:.1}% hit ({} hits, {} misses), \
+             {} fast-path fetches, {} invalidations",
+            d.hit_rate() * 100.0,
+            d.hits,
+            d.misses,
+            d.fast_fetches,
+            d.invalidations
+        );
+        println!("engine: tlb {tlb_hits} hits, {tlb_misses} misses");
     }
     if let Some((addr, len)) = opts.dump {
         print!("memory at {addr:#010x}:");

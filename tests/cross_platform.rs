@@ -48,6 +48,38 @@ fn full_stack_determinism_per_platform() {
 }
 
 #[test]
+fn stuck_guest_stops_run_for_on_every_platform() {
+    // A `wfi` with no timer programmed and no pending device events can
+    // never wake: every platform must detect the stuck machine through the
+    // shared engine and return early from `run_for`, whether the `wfi` was
+    // executed architecturally (raw) or emulated as a virtual idle (both
+    // monitors).
+    let program = hx_asm::assemble("start: wfi\nhalt: j halt\n").unwrap();
+    let boot = || {
+        let mut machine = Machine::new(MachineConfig {
+            ram_size: 8 << 20,
+            ..Default::default()
+        });
+        machine.load_program(&program);
+        machine
+    };
+    let entry = program.symbols.get("start").unwrap_or(program.base());
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(RawPlatform::new(boot())),
+        Box::new(LvmmPlatform::new(boot(), entry)),
+        Box::new(HostedPlatform::new(boot(), entry)),
+    ];
+    for platform in &mut platforms {
+        let ran = platform.run_for(1_000_000);
+        assert!(
+            ran < 1_000_000,
+            "{}: wfi with no wake source must get stuck, ran {ran}",
+            platform.name()
+        );
+    }
+}
+
+#[test]
 fn debug_session_is_deterministic() {
     // Even a full debugger session (break-in timing included) replays
     // identically: the whole stack is wall-clock-free.

@@ -172,6 +172,71 @@ proptest! {
     }
 }
 
+/// The predecoded-instruction cache must be *simulation-invisible*: a full
+/// streaming run with the cache on and off produces identical machine
+/// state, guest statistics, exit histograms and trace spans on every
+/// platform. Only host-side speed may differ.
+#[test]
+fn decode_cache_is_simulation_invisible_on_every_platform() {
+    use lwvmm::guest::{kernel::layout, GuestStats, Workload};
+    use lwvmm::obs::journal::{fnv1a, FNV_OFFSET};
+
+    fn boot_workload() -> Machine {
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = Workload::new(80).build(&machine).unwrap();
+        machine.load_program(&program);
+        machine
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run(
+        mut platform: Box<dyn Platform>,
+        cache: bool,
+    ) -> (
+        u64,
+        u64,
+        u32,
+        Vec<u32>,
+        u64,
+        GuestStats,
+        Vec<lwvmm::obs::Span>,
+        Vec<u64>,
+    ) {
+        platform.machine_mut().cpu.set_decode_cache(cache);
+        platform.machine_mut().obs.enable_tracing();
+        platform.run_for(MachineConfig::default().clock_hz / 50);
+        let m = platform.machine();
+        let decode = m.cpu.decode_stats();
+        if cache {
+            assert!(decode.hits > 0, "cache on but never hit");
+        } else {
+            assert_eq!(decode.hits, 0, "cache off but hit");
+            assert_eq!(decode.fast_fetches, 0, "cache off but fast-fetched");
+        }
+        (
+            m.now(),
+            m.cpu.cycles(),
+            m.cpu.pc(),
+            m.cpu.regs().to_vec(),
+            fnv1a(FNV_OFFSET, m.mem.as_bytes()),
+            GuestStats::read(m).expect("guest stats"),
+            m.obs.spans.spans().to_vec(),
+            m.obs.exits.counts().to_vec(),
+        )
+    }
+
+    let platforms: [fn() -> Box<dyn Platform>; 3] = [
+        || Box::new(RawPlatform::new(boot_workload())),
+        || Box::new(LvmmPlatform::new(boot_workload(), layout::ENTRY)),
+        || Box::new(HostedPlatform::new(boot_workload(), layout::ENTRY)),
+    ];
+    for make in platforms {
+        let on = run(make(), true);
+        let off = run(make(), false);
+        assert_eq!(on, off);
+    }
+}
+
 #[test]
 fn hosted_monitor_is_transparent_on_a_fixed_program() {
     // The hosted monitor shares the CPU-virtualization machinery; one
