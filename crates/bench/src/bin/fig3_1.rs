@@ -5,28 +5,33 @@
 //! and reaches ≈26 % of real hardware).
 //!
 //! Usage: `cargo run --release -p lwvmm-bench --bin fig3_1 [--fast]
-//!         [--trace out.json] [--metrics]`
+//!         [--trace out.json] [--metrics] [--profile out.folded]`
 //!
 //! * `--trace out.json` additionally runs one traced point per platform at
 //!   100 Mbit/s and writes a Chrome trace-event JSON (open in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>). The file is
 //!   byte-identical across runs.
 //! * `--metrics` prints the per-cause exit histograms of those runs.
+//! * `--profile out.folded` profiles those runs with the deterministic PC
+//!   sampler, writes collapsed flamegraph stacks (one `platform;guest;symbol`
+//!   block per platform — feed to `flamegraph.pl` or speedscope), and adds
+//!   per-symbol hot-path data to `BENCH_fig3_1.json`. Also byte-identical
+//!   across runs.
 //!
 //! Prints the measured series as a table and an ASCII plot, and writes
 //! `fig3_1.csv` plus the machine-readable `BENCH_fig3_1.json` (per-platform
 //! sweep points and exit histograms) into the current directory.
 
 use hitactix::Workload;
-use hx_obs::{Align, Report};
 use lwvmm_bench::{
-    arg_flag, arg_value, ascii_plot, build_platform, chrome_trace, exit_report, measure,
-    measure_point, PlatformKind,
+    arg_flag, arg_value, ascii_plot, build_platform, build_profiled_platform, chrome_trace,
+    exit_report, measure, measure_point, sweep_report, PlatformKind, ProfileSummary,
 };
 
 fn main() {
     let fast = arg_flag("--fast");
     let trace_path = arg_value("--trace");
+    let profile_path = arg_value("--profile");
     let metrics = arg_flag("--metrics");
     let (warmup_ms, window_ms) = if fast { (40, 120) } else { (80, 400) };
     let rates: &[u64] = if fast {
@@ -34,18 +39,6 @@ fn main() {
     } else {
         &[25, 50, 100, 150, 200, 300, 400, 500, 600, 700, 950]
     };
-
-    let mut report = Report::new(format!(
-        "Fig 3.1 reproduction — CPU load vs transfer rate ({window_ms} ms simulated per point)"
-    ))
-    .column("platform", Align::Left)
-    .column("req Mbps", Align::Right)
-    .column("achieved Mbps", Align::Right)
-    .column("CPU load", Align::Right)
-    .column("guest%", Align::Right)
-    .column("mon%", Align::Right)
-    .column("host%", Align::Right)
-    .column("idle%", Align::Right);
 
     let mut series = Vec::new();
     let mut measurements = Vec::new();
@@ -57,18 +50,6 @@ fn main() {
         let mut max_achieved = 0.0f64;
         for &rate in rates {
             let m = measure_point(kind, rate, warmup_ms, window_ms);
-            let total = m.window.total().max(1) as f64;
-            let pct = |c: u64| format!("{:.1}", c as f64 / total * 100.0);
-            report.row([
-                kind.label().to_string(),
-                rate.to_string(),
-                format!("{:.1}", m.achieved_mbps),
-                format!("{:.1}%", m.cpu_load * 100.0),
-                pct(m.window.guest),
-                pct(m.window.monitor),
-                pct(m.window.host_model),
-                pct(m.window.idle),
-            ]);
             max_achieved = max_achieved.max(m.achieved_mbps);
             pts.push((m.achieved_mbps, m.cpu_load));
             ms.push(m);
@@ -76,9 +57,9 @@ fn main() {
         saturation.push((kind, max_achieved));
         series.push((kind, pts));
         measurements.push((kind, ms));
-        report.gap();
     }
 
+    let report = sweep_report(window_ms, &measurements);
     println!("{}", report.to_text());
     println!("{}", ascii_plot(&series));
 
@@ -112,47 +93,61 @@ fn main() {
         lv / raw * 100.0
     );
 
-    lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
-    lwvmm_bench::write_output(
-        "BENCH_fig3_1.json",
-        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements, &sim_speed),
-    );
-    println!("\nwrote fig3_1.csv and BENCH_fig3_1.json");
+    // One traced (and optionally profiled) run per platform at a fixed
+    // representative rate. Tracing and profiling are observational only, so
+    // these runs behave identically to the untraced sweep above.
+    let mut profiles: Vec<ProfileSummary> = Vec::new();
+    if trace_path.is_some() || profile_path.is_some() || metrics {
+        let workload = Workload::new(100);
+        let mut traced = Vec::new();
+        for kind in PlatformKind::ALL {
+            let mut platform = if profile_path.is_some() {
+                build_profiled_platform(kind, &workload)
+            } else {
+                build_platform(kind, &workload)
+            };
+            platform.machine_mut().obs.enable_tracing();
+            measure(platform.as_mut(), warmup_ms, window_ms);
+            traced.push((kind, platform));
+        }
 
-    if trace_path.is_none() && !metrics {
-        return;
-    }
-
-    // One traced run per platform at a fixed representative rate. Tracing
-    // is observational only, so these runs behave identically to the
-    // untraced sweep above.
-    let workload = Workload::new(100);
-    let mut traced = Vec::new();
-    for kind in PlatformKind::ALL {
-        let mut platform = build_platform(kind, &workload);
-        platform.machine_mut().obs.enable_tracing();
-        measure(platform.as_mut(), warmup_ms, window_ms);
-        traced.push((kind, platform));
-    }
-
-    if metrics {
-        for (kind, platform) in &traced {
-            let r = exit_report(
-                format!("Exit histograms — {} at 100 Mbps", kind.label()),
-                platform.as_ref(),
-            );
-            if !r.is_empty() {
-                println!("{}", r.to_text());
+        if metrics {
+            for (kind, platform) in &traced {
+                let r = exit_report(
+                    format!("Exit histograms — {} at 100 Mbps", kind.label()),
+                    platform.as_ref(),
+                );
+                if !r.is_empty() {
+                    println!("{}", r.to_text());
+                }
             }
+        }
+
+        if let Some(path) = &profile_path {
+            let mut folded = String::new();
+            for (kind, platform) in &traced {
+                let prof = platform.machine().obs.prof().expect("profiler enabled");
+                folded.push_str(&prof.fold_prefixed(&format!("{};", kind.label())));
+                profiles.push(ProfileSummary::read(*kind, platform.as_ref(), 10));
+            }
+            lwvmm_bench::write_output(path, folded);
+            println!("wrote {path} (collapsed stacks; feed to flamegraph.pl or speedscope)");
+        }
+
+        if let Some(path) = trace_path {
+            let named: Vec<(&str, &dyn hx_machine::Platform)> = traced
+                .iter()
+                .map(|(k, p)| (k.label(), p.as_ref()))
+                .collect();
+            lwvmm_bench::write_output(&path, chrome_trace(&named));
+            println!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
         }
     }
 
-    if let Some(path) = trace_path {
-        let named: Vec<(&str, &dyn hx_machine::Platform)> = traced
-            .iter()
-            .map(|(k, p)| (k.label(), p.as_ref()))
-            .collect();
-        lwvmm_bench::write_output(&path, chrome_trace(&named));
-        println!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
-    }
+    lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
+    lwvmm_bench::write_output(
+        "BENCH_fig3_1.json",
+        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements, &sim_speed, &profiles),
+    );
+    println!("\nwrote fig3_1.csv and BENCH_fig3_1.json");
 }

@@ -8,7 +8,7 @@
 use hitactix::{GuestStats, Workload};
 use hosted_vmm::HostedPlatform;
 use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
-use hx_obs::{report, Align, ChromeTrace, ExitCause, ExitHists, Report};
+use hx_obs::{report, Align, ChromeTrace, ExitCause, ExitHists, Profiler, Report, SymbolMap};
 use lvmm::LvmmPlatform;
 
 /// The three systems of the paper's evaluation.
@@ -62,6 +62,29 @@ pub fn build_platform_with(
     let mut machine = Machine::new(cfg);
     let program = workload.build(&machine).expect("kernel assembles");
     machine.load_program(&program);
+    let entry = hitactix::kernel::layout::ENTRY;
+    match kind {
+        PlatformKind::RawHw => Box::new(RawPlatform::new(machine)),
+        PlatformKind::Lvmm => Box::new(LvmmPlatform::new(machine, entry)),
+        PlatformKind::Hosted => Box::new(HostedPlatform::new(machine, entry)),
+    }
+}
+
+/// [`build_platform_with`] plus a guest profiler: the machine gets a
+/// [`Profiler`] over the streaming kernel's curated function symbols before
+/// the platform wraps it, so every guest cycle of the run is attributed.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to assemble.
+pub fn build_profiled_platform(kind: PlatformKind, workload: &Workload) -> Box<dyn Platform> {
+    let mut machine = Machine::new(MachineConfig::default());
+    let program = workload.build(&machine).expect("kernel assembles");
+    machine.load_program(&program);
+    machine.obs.enable_profiler(Profiler::new(
+        SymbolMap::from_ranges(hitactix::kernel::profile_symbols(&program)),
+        Profiler::DEFAULT_INTERVAL,
+    ));
     let entry = hitactix::kernel::layout::ENTRY;
     match kind {
         PlatformKind::RawHw => Box::new(RawPlatform::new(machine)),
@@ -249,6 +272,41 @@ pub fn arg_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Builds the Fig. 3.1 sweep table (one row per measured point, one block
+/// per platform) from the measurement series — the single source for both
+/// the terminal rendering and `fig3_1.csv`.
+pub fn sweep_report(window_ms: u64, series: &[(PlatformKind, Vec<Measurement>)]) -> Report {
+    let mut report = Report::new(format!(
+        "Fig 3.1 reproduction — CPU load vs transfer rate ({window_ms} ms simulated per point)"
+    ))
+    .column("platform", Align::Left)
+    .column("req Mbps", Align::Right)
+    .column("achieved Mbps", Align::Right)
+    .column("CPU load", Align::Right)
+    .column("guest%", Align::Right)
+    .column("mon%", Align::Right)
+    .column("host%", Align::Right)
+    .column("idle%", Align::Right);
+    for (kind, ms) in series {
+        for m in ms {
+            let total = m.window.total().max(1) as f64;
+            let pct = |c: u64| format!("{:.1}", c as f64 / total * 100.0);
+            report.row([
+                kind.label().to_string(),
+                format!("{:.0}", m.requested_mbps),
+                format!("{:.1}", m.achieved_mbps),
+                format!("{:.1}%", m.cpu_load * 100.0),
+                pct(m.window.guest),
+                pct(m.window.monitor),
+                pct(m.window.host_model),
+                pct(m.window.idle),
+            ]);
+        }
+        report.gap();
+    }
+    report
+}
+
 /// Per-exit-cause histogram table (count, min, p50, p99, p99.9, max, mean)
 /// from a platform's recorder.
 pub fn exit_report(title: impl Into<String>, platform: &dyn Platform) -> Report {
@@ -279,20 +337,62 @@ pub fn exit_report(title: impl Into<String>, platform: &dyn Platform) -> Report 
             mean,
         ]);
     }
+    let obs = &platform.machine().obs;
+    if obs.ring.total_offered() > 0 {
+        r.note(format!(
+            "trace ring: {} events offered, {} overwritten (capacity {})",
+            obs.ring.total_offered(),
+            obs.ring.dropped(),
+            obs.ring.capacity()
+        ));
+    }
+    if obs.spans.dropped() > 0 {
+        r.note(format!(
+            "span track: {} spans dropped after capacity",
+            obs.spans.dropped()
+        ));
+    }
     r
 }
 
-fn json_hist(h: &hx_obs::CycleHist) -> String {
-    format!(
-        "{{\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\"mean\":{}}}",
-        h.count(),
-        h.min(),
-        h.p50(),
-        h.p99(),
-        h.p999(),
-        h.max(),
-        h.mean()
-    )
+/// Per-platform profile summary destined for `BENCH_fig3_1.json`: the
+/// hottest guest symbols of one profiled run, plus the totals that let a
+/// reader check the attribution sums up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSummary {
+    /// Which platform the profiled run used.
+    pub kind: PlatformKind,
+    /// Guest cycles attributed across all symbols (incl. `[unknown]`).
+    pub total_cycles: u64,
+    /// Deterministic PC samples taken.
+    pub total_samples: u64,
+    /// Hottest symbols: `(name, cycles, samples)`, descending cycles.
+    pub top: Vec<(String, u64, u64)>,
+}
+
+impl ProfileSummary {
+    /// Extracts the summary from a profiled platform's recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform has no profiler enabled.
+    pub fn read(kind: PlatformKind, platform: &dyn Platform, top_n: usize) -> ProfileSummary {
+        let prof = platform
+            .machine()
+            .obs
+            .prof()
+            .expect("platform was built without a profiler");
+        ProfileSummary {
+            kind,
+            total_cycles: prof.total_cycles(),
+            total_samples: prof.total_samples(),
+            top: prof
+                .top(top_n)
+                .into_iter()
+                .map(|(name, cycles, samples)| (name.to_string(), cycles, samples))
+                .collect(),
+        }
+    }
 }
 
 /// Builds the machine-readable companion of `fig3_1.csv`: per-platform
@@ -305,6 +405,7 @@ pub fn fig3_1_json(
     window_ms: u64,
     series: &[(PlatformKind, Vec<Measurement>)],
     sim_speed: &[(PlatformKind, SimSpeed)],
+    profiles: &[ProfileSummary],
 ) -> String {
     let sat = |kind: PlatformKind| {
         series
@@ -353,7 +454,7 @@ pub fn fig3_1_json(
                     out.push_str(", ");
                 }
                 first = false;
-                out.push_str(&format!("\"{}\": {}", cause.label(), json_hist(h)));
+                out.push_str(&format!("\"{}\": {}", cause.label(), report::hist_json(h)));
             }
         }
         out.push_str("}}");
@@ -373,6 +474,28 @@ pub fn fig3_1_json(
         ));
     }
     out.push_str("  ],\n");
+    if !profiles.is_empty() {
+        out.push_str("  \"profile\": [\n");
+        for (i, p) in profiles.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"total_cycles\": {}, \"total_samples\": {}, \
+                 \"symbols\": [",
+                p.kind.label(),
+                p.total_cycles,
+                p.total_samples
+            ));
+            for (j, (name, cycles, samples)) in p.top.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}{{\"symbol\": \"{}\", \"cycles\": {cycles}, \"samples\": {samples}}}",
+                    if j > 0 { ", " } else { "" },
+                    name.replace('\\', "\\\\").replace('"', "\\\"")
+                ));
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < profiles.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+    }
     let raw = sat(PlatformKind::RawHw).max(f64::MIN_POSITIVE);
     let ho = sat(PlatformKind::Hosted).max(f64::MIN_POSITIVE);
     let lv = sat(PlatformKind::Lvmm);
@@ -435,7 +558,13 @@ mod tests {
             host_seconds: 0.05,
             instr_per_host_sec: 20_000_000.0,
         };
-        let json = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)]);
+        let profiles = vec![ProfileSummary {
+            kind: PlatformKind::Lvmm,
+            total_cycles: 900,
+            total_samples: 9,
+            top: vec![("build_frame".into(), 800, 8), ("[unknown]".into(), 100, 1)],
+        }];
+        let json = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &profiles);
         for key in [
             "\"bench\"",
             "\"platforms\"",
@@ -445,6 +574,9 @@ mod tests {
             "\"p999\"",
             "\"sim_speed\"",
             "\"instr_per_host_sec\"",
+            "\"profile\"",
+            "\"build_frame\"",
+            "\"total_cycles\"",
             "\"headlines\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -452,6 +584,34 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON: {json}");
+        // Without profiled runs the profile section is absent and the
+        // schema the CI checker reads is unchanged.
+        let bare = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &[]);
+        assert!(!bare.contains("\"profile\""));
+    }
+
+    #[test]
+    fn sweep_report_renders_series() {
+        let m = Measurement {
+            requested_mbps: 100.0,
+            achieved_mbps: 99.5,
+            cpu_load: 0.25,
+            window: TimeStats {
+                guest: 10,
+                monitor: 5,
+                host_model: 0,
+                idle: 85,
+            },
+            guest: GuestStats::default(),
+            frames: 7,
+            exits: ExitHists::default(),
+        };
+        let r = sweep_report(120, &[(PlatformKind::Lvmm, vec![m])]);
+        let text = r.to_text();
+        assert!(text.contains("lvmm"));
+        assert!(text.contains("99.5"));
+        assert!(text.contains("25.0%"));
+        assert!(r.to_csv().starts_with("platform,req Mbps"));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use hx_machine::platform::PlatformStep;
 use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
 use hx_obs::{EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
-use rdbg::msg::{Command, Reply, StatsSample, StopReason};
+use rdbg::msg::{Command, ProfSample, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
 /// Monitor configuration.
@@ -435,7 +435,11 @@ impl LvmmPlatform {
         if self.state == RunState::Stopped || !self.vcpu.interrupts_enabled() {
             return;
         }
-        if let Some((_irq, vector)) = self.chipset.vpic.inta() {
+        if let Some((irq, vector)) = self.chipset.vpic.inta() {
+            {
+                let now = self.machine.now();
+                self.machine.obs.prof_irq_entry(irq as u32, now);
+            }
             let epc = self.machine.cpu.pc();
             let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
             self.activate_shadow();
@@ -781,6 +785,12 @@ impl LvmmPlatform {
                 Access::Store,
             ) => {
                 let val = self.machine.cpu.reg(rs2);
+                if page == map::PIC_BASE && offset == hx_machine::pic::reg::EOI {
+                    // The guest is retiring a virtual interrupt: close the
+                    // profiler's entry→EOI latency window.
+                    let now = self.machine.now();
+                    self.machine.obs.prof_irq_eoi(now);
+                }
                 self.chipset
                     .mmio_write(&mut self.machine, page, offset, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
@@ -1153,6 +1163,23 @@ impl LvmmPlatform {
                     exits: self.machine.obs.exits.counts().to_vec(),
                 })
             }
+            Command::QueryProf { max } => {
+                // Like `qStats`: answered live, without stopping the guest.
+                let Some(prof) = self.machine.obs.prof() else {
+                    return Reply::Error(err::PROFILER);
+                };
+                Reply::Prof(ProfSample {
+                    now: self.machine.now(),
+                    interval: prof.interval(),
+                    total_cycles: prof.total_cycles(),
+                    total_samples: prof.total_samples(),
+                    top: prof
+                        .top(max as usize)
+                        .into_iter()
+                        .map(|(name, cycles, samples)| (name.to_string(), cycles, samples))
+                        .collect(),
+                })
+            }
         }
     }
 
@@ -1286,9 +1313,10 @@ impl Platform for LvmmPlatform {
 
     fn step(&mut self) -> PlatformStep {
         // The flight recorder needs per-instruction boundaries (its
-        // `reverse-step` anchor and checkpoint cadence), so batching is
-        // only enabled when it is off.
-        let batch = self.flight.is_none();
+        // `reverse-step` anchor and checkpoint cadence), and so does the
+        // profiler (its PC attribution anchor); batching is only enabled
+        // when both are off.
+        let batch = self.flight.is_none() && !self.machine.obs.profiling();
         self.step_impl(batch)
     }
 

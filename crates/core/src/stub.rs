@@ -26,6 +26,8 @@ pub mod err {
     /// Flight recorder unavailable, or the request fell off the recorded
     /// timeline (no checkpoint at or before the target cycle).
     pub const RECORDER: u8 = 6;
+    /// No profiler enabled on the target.
+    pub const PROFILER: u8 = 7;
 }
 
 /// What the stub armed single-step for.

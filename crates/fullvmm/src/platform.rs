@@ -223,7 +223,11 @@ impl HostedPlatform {
         if !self.vcpu.interrupts_enabled() {
             return;
         }
-        if let Some((_irq, vector)) = self.chipset.vpic.inta() {
+        if let Some((irq, vector)) = self.chipset.vpic.inta() {
+            {
+                let now = self.machine.now();
+                self.machine.obs.prof_irq_entry(irq as u32, now);
+            }
             let epc = self.machine.cpu.pc();
             let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
             self.activate_shadow();
@@ -453,6 +457,12 @@ impl HostedPlatform {
                 Access::Store,
             ) => {
                 let val = self.machine.cpu.reg(rs2);
+                if page == map::PIC_BASE && offset == hx_machine::pic::reg::EOI {
+                    // Virtual-interrupt retirement: close the profiler's
+                    // entry→EOI latency window.
+                    let now = self.machine.now();
+                    self.machine.obs.prof_irq_eoi(now);
+                }
                 match page {
                     map::HDC_BASE => {
                         let host = self.vdisk.write_reg(&mut self.machine, offset, val);
@@ -584,7 +594,8 @@ impl Platform for HostedPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        self.step_impl(true)
+        // The profiler needs per-instruction PC boundaries.
+        self.step_impl(!self.machine.obs.profiling())
     }
 
     fn step_precise(&mut self) -> PlatformStep {

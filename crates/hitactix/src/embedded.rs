@@ -299,8 +299,9 @@ impl EmbeddedStubPlatform {
                 Reply::Error(9)
             }
             Command::Reset => Reply::Error(9),
-            Command::QueryStats => {
-                // An in-kernel stub has no monitor accounting to report.
+            Command::QueryStats | Command::QueryProf { .. } => {
+                // An in-kernel stub has no monitor accounting or profiler
+                // to report.
                 Reply::Error(9)
             }
             Command::ReverseStep | Command::ReverseContinue | Command::Seek { .. } => {

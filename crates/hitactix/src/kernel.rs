@@ -61,6 +61,30 @@ pub mod layout {
     pub const READY_MAGIC: u32 = 0x001a_c71f;
 }
 
+/// The kernel's function-entry labels, in source order. Every other label
+/// in the image is internal (a loop target or tail) and belongs to the PC
+/// range of the function preceding it — the granularity the profiler
+/// reports at.
+pub const FUNCTIONS: &[&str] = &[
+    "start",
+    "main",
+    "build_frame",
+    "refill_request",
+    "trap_entry",
+    "isr_timer",
+    "isr_disk",
+    "isr_nic",
+    "isr_eoi",
+    "not_irq",
+    "dead",
+];
+
+/// Function-level `(name, start, end)` half-open PC ranges of an assembled
+/// kernel image — the symbol export feeding `hx_obs::SymbolMap`.
+pub fn profile_symbols(program: &Program) -> Vec<(String, u32, u32)> {
+    program.code_symbols_filtered(|n| FUNCTIONS.contains(&n))
+}
+
 /// The constant part of the IPv4 header checksum (all fixed fields summed
 /// as big-endian halfwords, with total-length, id and checksum zero).
 fn ip_checksum_base() -> u32 {
@@ -656,6 +680,25 @@ mod tests {
         assert!(program.symbols.get("trap_entry").is_some());
         assert!(program.symbols.get("build_frame").is_some());
         assert!(program.bytes().len() > 800, "non-trivial kernel");
+    }
+
+    #[test]
+    fn profile_symbols_cover_the_whole_image() {
+        let machine = Machine::new(MachineConfig::default());
+        let program = Workload::new(100).build(&machine).unwrap();
+        let syms = profile_symbols(&program);
+        assert_eq!(syms.len(), FUNCTIONS.len(), "every function resolves");
+        // Contiguous half-open cover of [ENTRY, end): internal labels are
+        // absorbed, nothing overlaps, nothing is left out.
+        assert_eq!(syms.first().unwrap().1, layout::ENTRY);
+        assert_eq!(syms.last().unwrap().2, program.end());
+        for w in syms.windows(2) {
+            assert_eq!(w[0].2, w[1].1, "ranges abut: {w:?}");
+            assert!(w[0].1 < w[0].2, "non-empty: {w:?}");
+        }
+        // Source order == address order for function entries.
+        let names: Vec<&str> = syms.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, FUNCTIONS);
     }
 
     #[test]

@@ -142,6 +142,37 @@ impl Program {
         memory[start..start + self.bytes.len()].copy_from_slice(&self.bytes);
     }
 
+    /// Half-open `(name, start, end)` PC ranges for code symbols, sorted by
+    /// address: symbols whose value lies inside the image (`.equ` constants
+    /// outside it are excluded), each range ending at the next kept symbol
+    /// or the image end. `keep` selects which symbols start a range —
+    /// dropped symbols are absorbed into the preceding range, which is how
+    /// internal labels (loop targets, tails) fold into their containing
+    /// function for the profiler. Same-address symbols keep the
+    /// lexicographically-first name.
+    pub fn code_symbols_filtered(&self, keep: impl Fn(&str) -> bool) -> Vec<(String, u32, u32)> {
+        let mut syms: Vec<(String, u32)> = self
+            .symbols
+            .iter()
+            .filter(|&(name, v)| v >= self.base && v < self.end() && keep(name))
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        syms.sort_by_key(|&(_, v)| v);
+        syms.dedup_by(|a, b| a.1 == b.1);
+        (0..syms.len())
+            .map(|i| {
+                let end = syms.get(i + 1).map_or(self.end(), |&(_, v)| v);
+                let (name, start) = syms[i].clone();
+                (name, start, end)
+            })
+            .collect()
+    }
+
+    /// [`Program::code_symbols_filtered`] keeping every in-image symbol.
+    pub fn code_symbols(&self) -> Vec<(String, u32, u32)> {
+        self.code_symbols_filtered(|_| true)
+    }
+
     /// Renders a disassembly listing of the whole image, with symbol labels
     /// interleaved — what `hxas --listing` prints.
     pub fn listing(&self) -> String {
@@ -201,6 +232,36 @@ mod tests {
         p.load_into(&mut mem);
         assert_eq!(mem[0x1000], 1);
         assert_eq!(mem[0x1004], 2);
+    }
+
+    #[test]
+    fn code_symbols_are_half_open_and_skip_constants() {
+        let p = crate::assemble(
+            ".equ DEV, 0xf0000000
+             .org 0x100
+             start: addi a0, zero, 1
+             loop:  addi a0, a0, 1
+                    j loop
+             tail:  j tail
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.code_symbols(),
+            vec![
+                ("start".to_string(), 0x100, 0x104),
+                ("loop".to_string(), 0x104, 0x10c),
+                ("tail".to_string(), 0x10c, p.end()),
+            ]
+        );
+        // Filtering absorbs dropped labels into the preceding range.
+        assert_eq!(
+            p.code_symbols_filtered(|n| n != "loop"),
+            vec![
+                ("start".to_string(), 0x100, 0x10c),
+                ("tail".to_string(), 0x10c, p.end()),
+            ]
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! Batching is simulation-invisible (see [`crate::machine::Batch`]); it is
 //! disabled by [`Platform::step_precise`](crate::Platform::step_precise)
 //! callers (journal replay) and by platforms whose recorder hooks need
-//! per-instruction boundaries (the flight recorder).
+//! per-instruction boundaries (the flight recorder and the profiler).
 
 use crate::machine::{Machine, MachineStep};
 use crate::platform::{track_of, PlatformStep, TimeBucket, TimeStats};
@@ -159,9 +159,13 @@ pub trait ExitPolicy {
     fn guest_step(&mut self, batch: bool) -> PlatformStep {
         if !batch {
             let at = self.mach().now();
+            // The PC *before* the step is the executed instruction's
+            // address — the profiler's attribution anchor.
+            let pc = self.mach().cpu.pc();
             return match self.mach_mut().step() {
                 MachineStep::Executed { cycles } => {
                     self.on_instr_boundary(at);
+                    self.mach_mut().obs.instr_boundary(pc);
                     self.charge(TimeBucket::Guest, cycles);
                     PlatformStep::Running
                 }
@@ -175,6 +179,7 @@ pub trait ExitPolicy {
                 }
                 MachineStep::Trapped { trap, cycles } => {
                     self.on_instr_boundary(at);
+                    self.mach_mut().obs.instr_boundary(pc);
                     self.charge(TimeBucket::Guest, cycles);
                     self.handle_trap(trap);
                     PlatformStep::Running

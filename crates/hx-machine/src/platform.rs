@@ -251,7 +251,9 @@ impl Platform for RawPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        crate::engine::ExitPolicy::guest_step(self, true)
+        // The profiler needs per-instruction PC boundaries.
+        let batch = !self.machine.obs.profiling();
+        crate::engine::ExitPolicy::guest_step(self, batch)
     }
 
     fn step_precise(&mut self) -> PlatformStep {

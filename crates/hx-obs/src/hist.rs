@@ -259,6 +259,38 @@ mod tests {
         assert_eq!(a.max(), 1000);
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Splitting a sample stream at any point and merging the two
+            // halves is indistinguishable from recording the whole stream —
+            // the invariant that lets `CycleHist` aggregates be sharded.
+            #[test]
+            fn merge_of_splits_equals_whole(
+                values in proptest::collection::vec(any::<u64>(), 0..64),
+                split in 0usize..64,
+            ) {
+                let split = split.min(values.len());
+                let mut whole = CycleHist::new();
+                for &v in &values {
+                    whole.record(v);
+                }
+                let mut a = CycleHist::new();
+                let mut b = CycleHist::new();
+                for &v in &values[..split] {
+                    a.record(v);
+                }
+                for &v in &values[split..] {
+                    b.record(v);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a, whole);
+            }
+        }
+    }
+
     #[test]
     fn exit_hists_by_cause() {
         let mut e = ExitHists::default();

@@ -579,4 +579,67 @@ mod tests {
         let stub = audits.iter().find(|s| s.name == "stub").unwrap();
         assert_eq!(stub.len_a, 1);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_input() -> impl Strategy<Value = JournalInput> {
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..16).prop_map(JournalInput::UartRx),
+                proptest::collection::vec(any::<u8>(), 0..16).prop_map(JournalInput::NicRx),
+            ]
+        }
+
+        fn arb_event() -> impl Strategy<Value = JournalEvent> {
+            let dev =
+                || proptest::sample::select(&[Dev::Nic, Dev::Hdc, Dev::Pit, Dev::Uart, Dev::Pic]);
+            prop_oneof![
+                (dev(), any::<u32>()).prop_map(|(dev, irq)| JournalEvent::Irq { dev, irq }),
+                (dev(), any::<u32>(), any::<u64>())
+                    .prop_map(|(dev, bytes, digest)| JournalEvent::Dma { dev, bytes, digest }),
+                (dev(), any::<u32>()).prop_map(|(dev, reg)| JournalEvent::Doorbell { dev, reg }),
+                any::<u8>().prop_map(|code| JournalEvent::DebugCommand { code }),
+            ]
+        }
+
+        // Platform is parsed as a single whitespace-free token and the note
+        // is trimmed on parse, so the strategies stick to token-safe,
+        // trim-stable alphabets; cycles and payloads are arbitrary.
+        fn arb_journal() -> impl Strategy<Value = Journal> {
+            (
+                "[a-z-]{0,8}",
+                "[a-z0-9:]{0,12}",
+                any::<u64>(),
+                proptest::collection::vec((any::<u64>(), arb_input()), 0..12),
+                proptest::collection::vec((any::<u64>(), arb_event()), 0..12),
+            )
+                .prop_map(|(platform, note, end, inputs, events)| Journal {
+                    platform,
+                    note,
+                    end,
+                    inputs: inputs
+                        .into_iter()
+                        .map(|(at, input)| InputRecord { at, input })
+                        .collect(),
+                    events: events
+                        .into_iter()
+                        .map(|(at, ev)| EventRecord { at, ev })
+                        .collect(),
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn text_roundtrip(j in arb_journal()) {
+                let text = j.save();
+                prop_assert_eq!(Journal::parse(&text).unwrap(), j);
+            }
+
+            #[test]
+            fn parse_never_panics(s in "\\PC{0,64}") {
+                let _ = Journal::parse(&s); // Ok or Err, never a panic
+            }
+        }
+    }
 }

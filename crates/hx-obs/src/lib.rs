@@ -38,6 +38,10 @@
 //!   p50/p99/p99.9, replacing the monitors' flat exit counters.
 //! - [`SpanTrack`] — guest/monitor/host-model/idle timeline whose totals
 //!   reconcile exactly with the platform `TimeStats`.
+//! - [`Profiler`]/[`SymbolMap`] — guest-aware deterministic profiler:
+//!   per-symbol exact cycle attribution of the guest track, cycle-driven
+//!   PC sampling, collapsed-stack flamegraph output, and per-IRQ
+//!   entry→EOI latency histograms.
 //! - [`ChromeTrace`] — Perfetto-compatible JSON exporter.
 //! - [`Report`] — the one table formatter (text + CSV) all bench binaries
 //!   share.
@@ -60,6 +64,7 @@ pub mod chrome;
 pub mod event;
 pub mod hist;
 pub mod journal;
+pub mod prof;
 pub mod recorder;
 pub mod replay;
 pub mod report;
@@ -74,6 +79,7 @@ pub use journal::{
     audit, digest, first_divergence, fnv1a, Divergence, DivergenceMode, EventRecord, InputRecord,
     Journal, JournalEvent, JournalInput, JournalParseError, StreamAudit,
 };
+pub use prof::{Profiler, SymbolMap};
 pub use recorder::Recorder;
 pub use replay::ReplayCursor;
 pub use report::{Align, Report};

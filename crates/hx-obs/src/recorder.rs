@@ -19,6 +19,7 @@
 use crate::event::{Dev, EventKind, ExitCause, TraceEvent};
 use crate::hist::ExitHists;
 use crate::journal::{Journal, JournalEvent, JournalInput};
+use crate::prof::Profiler;
 use crate::ring::TraceRing;
 use crate::span::{SpanTrack, Track};
 
@@ -31,6 +32,8 @@ pub struct Recorder {
     /// Boxed so an idle recorder stays one pointer wide; `None` unless
     /// record mode was enabled.
     journal: Option<Box<Journal>>,
+    /// Guest-aware profiler; `None` unless profiling was enabled.
+    prof: Option<Box<Profiler>>,
 }
 
 impl Default for Recorder {
@@ -41,6 +44,7 @@ impl Default for Recorder {
             exits: ExitHists::default(),
             spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
             journal: None,
+            prof: None,
         }
     }
 }
@@ -82,6 +86,55 @@ impl Recorder {
         self.journal.take().map(|b| *b)
     }
 
+    /// Turn on the guest-aware profiler: from this point every guest-track
+    /// cycle charge is attributed to the symbol of the current instruction
+    /// boundary. Platforms disable instruction batching while a profiler is
+    /// installed, so boundaries arrive per instruction.
+    pub fn enable_profiler(&mut self, prof: Profiler) {
+        self.prof = Some(Box::new(prof));
+    }
+
+    pub fn profiling(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    pub fn prof(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    pub fn prof_mut(&mut self) -> Option<&mut Profiler> {
+        self.prof.as_deref_mut()
+    }
+
+    /// Detach the profiler, ending profiling.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.prof.take().map(|b| *b)
+    }
+
+    /// Re-anchors profiler attribution to the instruction at `pc` (called
+    /// by the engine before that instruction's cycles are charged).
+    pub fn instr_boundary(&mut self, pc: u32) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.instr_boundary(pc);
+        }
+    }
+
+    /// Notes a virtual-interrupt injection at cycle `at` for the profiler's
+    /// entry→EOI latency histograms.
+    pub fn prof_irq_entry(&mut self, irq: u32, at: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.irq_entry(irq, at);
+        }
+    }
+
+    /// Notes the guest's EOI write at cycle `at` (see
+    /// [`Profiler::irq_eoi`]).
+    pub fn prof_irq_eoi(&mut self, at: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.irq_eoi(at);
+        }
+    }
+
     /// Journal one nondeterministic input applied at cycle `at`.
     pub fn journal_input(&mut self, at: u64, input: JournalInput) {
         if let Some(j) = self.journal.as_deref_mut() {
@@ -115,10 +168,18 @@ impl Recorder {
         }
     }
 
-    /// Attribute `cycles` to a time bucket on the span timeline.
+    /// Attribute `cycles` to a time bucket on the span timeline (and, for
+    /// guest cycles, to the profiler's current symbol). Because the span
+    /// track and the profiler are fed from this one funnel, per-symbol
+    /// totals reconcile exactly with the guest-track total.
     pub fn charge(&mut self, track: Track, cycles: u64) {
         if self.tracing {
             self.spans.charge(track, cycles);
+        }
+        if track == Track::Guest {
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.charge_guest(cycles);
+            }
         }
     }
 
@@ -149,13 +210,17 @@ impl Recorder {
         self.journal_event(at, JournalEvent::DebugCommand { code });
     }
 
-    /// Reset all recorded data (ring, spans, histograms) but keep the
-    /// tracing flag and the journal — the journal must span a whole run,
-    /// warmup included, or replay would miss early inputs.
+    /// Reset all recorded data (ring, spans, histograms, profiler counts)
+    /// but keep the tracing flag, the profiler's configuration and the
+    /// journal — the journal must span a whole run, warmup included, or
+    /// replay would miss early inputs.
     pub fn reset(&mut self) {
         self.ring.clear();
         self.spans.clear();
         self.exits = ExitHists::default();
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.reset_counts();
+        }
     }
 }
 
@@ -215,5 +280,32 @@ mod tests {
         let j = r.take_journal().unwrap();
         assert_eq!(j.events.len(), 4);
         assert!(!r.journaling());
+    }
+
+    #[test]
+    fn profiler_receives_guest_charges_independent_of_tracing() {
+        use crate::prof::{Profiler, SymbolMap};
+        let mut r = Recorder::new();
+        assert!(!r.profiling());
+        let map = SymbolMap::from_ranges([("f".to_string(), 0x100, 0x200)]);
+        r.enable_profiler(Profiler::new(map, 1000));
+        assert!(r.profiling());
+        r.instr_boundary(0x104);
+        r.charge(Track::Guest, 40);
+        r.charge(Track::Monitor, 7); // not guest: not attributed
+        r.prof_irq_entry(0, 10);
+        r.prof_irq_eoi(25);
+        assert_eq!(r.prof().unwrap().total_cycles(), 40);
+        assert_eq!(r.prof().unwrap().top(1), vec![("f", 40, 0)]);
+        assert_eq!(r.prof().unwrap().irq_latencies().count(), 1);
+        // Tracing stayed off: spans empty, profiler still fed.
+        assert!(r.spans.spans().is_empty());
+        // Reset zeroes counts but keeps the profiler installed.
+        r.reset();
+        assert!(r.profiling());
+        assert_eq!(r.prof().unwrap().total_cycles(), 0);
+        let p = r.take_profiler().unwrap();
+        assert!(!r.profiling());
+        assert_eq!(p.interval(), 1000);
     }
 }

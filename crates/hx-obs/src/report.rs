@@ -115,7 +115,10 @@ impl Report {
         out
     }
 
-    /// CSV rendering: header row + data rows (title, gaps, notes omitted).
+    /// CSV rendering: header row + data rows (title and gaps omitted).
+    /// Notes trail the data as `# `-prefixed comment lines, so counters
+    /// surfaced as notes (e.g. trace-ring drop counts) survive into the
+    /// plotted artifact without disturbing the column grid.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -139,6 +142,9 @@ impl Report {
                     .collect::<Vec<_>>()
                     .join(",")
             );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
         }
         out
     }
@@ -167,6 +173,22 @@ pub fn hist_row(h: &crate::hist::CycleHist) -> [String; 7] {
     ]
 }
 
+/// The same histogram summary as [`hist_row`], rendered as a JSON object —
+/// shared by the bench JSON emitters so both renderings come from the same
+/// accessors.
+pub fn hist_json(h: &crate::hist::CycleHist) -> String {
+    format!(
+        "{{\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\"mean\":{}}}",
+        h.count(),
+        h.min(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+        h.mean()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +206,20 @@ mod tests {
         assert!(text.contains("lvmm"));
         assert!(text.contains("note line"));
         let csv = r.to_csv();
-        assert_eq!(csv, "platform,mbps\nlvmm,100.0\nhosted,27.5\n");
+        assert_eq!(csv, "platform,mbps\nlvmm,100.0\nhosted,27.5\n# note line\n");
+    }
+
+    #[test]
+    fn hist_renderings_share_accessors() {
+        let mut h = crate::hist::CycleHist::default();
+        h.record(10);
+        h.record(30);
+        let row = hist_row(&h);
+        let json = hist_json(&h);
+        assert_eq!(row[0], "2");
+        for cell in &row {
+            assert!(json.contains(cell.as_str()), "{json} missing {cell}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The host-side remote debugger.
 
-use crate::msg::{Command, Reply, StatsSample, StopReason};
+use crate::msg::{Command, ProfSample, Reply, StatsSample, StopReason};
 use crate::wire::{encode_packet, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
 use core::fmt;
 use std::collections::VecDeque;
@@ -311,6 +311,22 @@ impl<L: Link> Debugger<L> {
     pub fn query_stats(&mut self) -> Result<StatsSample, DbgError> {
         match self.transact(&Command::QueryStats)? {
             Reply::Stats(s) => Ok(s),
+            Reply::Error(code) => Err(DbgError::Target(code)),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Samples the target's live guest profiler: the `max` hottest symbols
+    /// with their cycle and sample counts. Like [`Debugger::query_stats`]
+    /// this works while the guest is running and does not perturb it.
+    ///
+    /// # Errors
+    ///
+    /// [`DbgError::Target`] if the target has no profiler enabled;
+    /// propagates protocol errors.
+    pub fn query_prof(&mut self, max: u8) -> Result<ProfSample, DbgError> {
+        match self.transact(&Command::QueryProf { max })? {
+            Reply::Prof(s) => Ok(s),
             Reply::Error(code) => Err(DbgError::Target(code)),
             other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
         }

@@ -28,5 +28,5 @@ pub mod msg;
 pub mod wire;
 
 pub use debugger::{DbgError, Debugger, Link, Registers};
-pub use msg::{Command, Reply, StatsSample, StopReason};
+pub use msg::{Command, ProfSample, Reply, StatsSample, StopReason};
 pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};

@@ -76,6 +76,12 @@ pub enum Command {
     /// Sample the monitor's cycle accounting and exit counters **without**
     /// stopping the guest. The reply is a [`StatsSample`] packet.
     QueryStats,
+    /// Sample the monitor's live profiler **without** stopping the guest:
+    /// the reply is a [`ProfSample`] carrying the `max` hottest symbols.
+    QueryProf {
+        /// Maximum number of symbols to return.
+        max: u8,
+    },
     /// Time travel: rewind to just before the most recently executed guest
     /// instruction. Requires the flight recorder; stops with
     /// [`StopReason::TimeTravel`].
@@ -112,6 +118,7 @@ impl Command {
             Command::Continue => "c".into(),
             Command::Reset => "k".into(),
             Command::QueryStats => "qStats".into(),
+            Command::QueryProf { max } => format!("qProf{max:x}"),
             Command::ReverseStep => "bs".into(),
             Command::ReverseContinue => "bc".into(),
             Command::Seek { cycle } => format!("bg{cycle:x}"),
@@ -132,6 +139,10 @@ impl Command {
             'c' if payload == "c" => Some(Command::Continue),
             'k' if payload == "k" => Some(Command::Reset),
             'q' if payload == "qStats" => Some(Command::QueryStats),
+            'q' => {
+                let max = u8::from_str_radix(payload.strip_prefix("qProf")?, 16).ok()?;
+                Some(Command::QueryProf { max })
+            }
             'b' => match payload {
                 "bs" => Some(Command::ReverseStep),
                 "bc" => Some(Command::ReverseContinue),
@@ -260,6 +271,78 @@ impl StatsSample {
                 "x" if !v.is_empty() => {
                     for c in v.split(',') {
                         sample.exits.push(u64::from_str_radix(c, 16).ok()?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(sample)
+    }
+}
+
+/// A live sample of the target's guest profiler, carried in the reply to
+/// [`Command::QueryProf`].
+///
+/// `top` lists the hottest symbols as `(name, cycles, samples)` triples in
+/// descending cycle order; symbol names travel hex-encoded so arbitrary
+/// names (including the profiler's `[unknown]` bucket) survive the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfSample {
+    /// Simulated-cycle timestamp of the sample.
+    pub now: u64,
+    /// The profiler's deterministic sampling interval, in cycles.
+    pub interval: u64,
+    /// Guest cycles attributed so far (all symbols plus `[unknown]`).
+    pub total_cycles: u64,
+    /// PC samples taken so far.
+    pub total_samples: u64,
+    /// The hottest symbols: `(name, cycles, samples)`, hottest first.
+    pub top: Vec<(String, u64, u64)>,
+}
+
+impl ProfSample {
+    /// Formats as a `P…` payload.
+    pub fn format(&self) -> String {
+        let top: Vec<String> = self
+            .top
+            .iter()
+            .map(|(name, cyc, n)| format!("{}:{cyc:x}:{n:x}", to_hex(name.as_bytes())))
+            .collect();
+        format!(
+            "P{:x};v:{:x};c:{:x};s:{:x};t:{}",
+            self.now,
+            self.interval,
+            self.total_cycles,
+            self.total_samples,
+            top.join(",")
+        )
+    }
+
+    /// Parses a `P…` payload.
+    pub fn parse(payload: &str) -> Option<ProfSample> {
+        let body = payload.strip_prefix('P')?;
+        let mut parts = body.split(';');
+        let now = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let mut sample = ProfSample {
+            now,
+            ..ProfSample::default()
+        };
+        for part in parts {
+            let (k, v) = part.split_once(':')?;
+            match k {
+                "v" => sample.interval = u64::from_str_radix(v, 16).ok()?,
+                "c" => sample.total_cycles = u64::from_str_radix(v, 16).ok()?,
+                "s" => sample.total_samples = u64::from_str_radix(v, 16).ok()?,
+                "t" if !v.is_empty() => {
+                    for entry in v.split(',') {
+                        let mut fields = entry.split(':');
+                        let name = String::from_utf8(from_hex(fields.next()?)?).ok()?;
+                        let cycles = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        let samples = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        if fields.next().is_some() {
+                            return None;
+                        }
+                        sample.top.push((name, cycles, samples));
                     }
                 }
                 _ => {}
@@ -400,6 +483,8 @@ pub enum Reply {
     Stopped(StopReason),
     /// Live monitor statistics (reply to [`Command::QueryStats`]).
     Stats(StatsSample),
+    /// Live profiler sample (reply to [`Command::QueryProf`]).
+    Prof(ProfSample),
     /// Hex data (register file or memory contents, per the command sent).
     Hex(Vec<u8>),
 }
@@ -412,6 +497,7 @@ impl Reply {
             Reply::Error(code) => format!("E{code:02x}"),
             Reply::Stopped(r) => r.format(),
             Reply::Stats(s) => s.format(),
+            Reply::Prof(s) => s.format(),
             Reply::Hex(data) => to_hex(data),
         }
     }
@@ -429,6 +515,9 @@ impl Reply {
         }
         if payload.starts_with('S') {
             return Some(Reply::Stats(StatsSample::parse(payload)?));
+        }
+        if payload.starts_with('P') {
+            return Some(Reply::Prof(ProfSample::parse(payload)?));
         }
         from_hex(payload).map(Reply::Hex)
     }
@@ -475,6 +564,10 @@ mod tests {
             })
         );
         assert_eq!(Command::parse("qStats"), Some(Command::QueryStats));
+        assert_eq!(
+            Command::parse("qProfa"),
+            Some(Command::QueryProf { max: 10 })
+        );
         // Malformed inputs are rejected, not panicking.
         for bad in [
             "",
@@ -486,6 +579,8 @@ mod tests {
             "Z2",
             "qStat",
             "qStatsX",
+            "qProf",
+            "qProfzz",
         ] {
             assert_eq!(Command::parse(bad), None, "{bad:?}");
         }
@@ -523,6 +618,32 @@ mod tests {
     }
 
     #[test]
+    fn prof_sample_examples() {
+        let s = ProfSample {
+            now: 0x4000,
+            interval: 997,
+            total_cycles: 0x1234,
+            total_samples: 5,
+            top: vec![("main".into(), 0x1000, 4), ("[unknown]".into(), 0x234, 1)],
+        };
+        assert_eq!(ProfSample::parse(&s.format()), Some(s.clone()));
+        assert_eq!(
+            Reply::parse(&Reply::Prof(s.clone()).format()),
+            Some(Reply::Prof(s))
+        );
+        // An empty profile (no symbols hit yet) is representable.
+        let empty = ProfSample {
+            now: 9,
+            ..ProfSample::default()
+        };
+        assert_eq!(ProfSample::parse(&empty.format()), Some(empty));
+        // Malformed samples are rejected, not panicking.
+        for bad in ["P", "Pzz", "P1;v", "P1;v:zz", "P1;t:6d:1", "P1;t:xx:1:2"] {
+            assert_eq!(ProfSample::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
     fn stop_reason_examples() {
         let r = StopReason::Watchpoint {
             pc: 0x104,
@@ -555,6 +676,7 @@ mod tests {
             Just(Command::Continue),
             Just(Command::Reset),
             Just(Command::QueryStats),
+            any::<u8>().prop_map(|max| Command::QueryProf { max }),
             (any::<u8>(), any::<u32>())
                 .prop_map(|(index, value)| Command::WriteRegister { index, value }),
             (any::<u32>(), any::<u32>()).prop_map(|(addr, len)| Command::ReadMemory { addr, len }),
@@ -608,6 +730,25 @@ mod tests {
             )
     }
 
+    fn arb_prof() -> impl Strategy<Value = ProfSample> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(("\\PC{0,12}", any::<u64>(), any::<u64>()), 0..8),
+        )
+            .prop_map(
+                |(now, interval, total_cycles, total_samples, top)| ProfSample {
+                    now,
+                    interval,
+                    total_cycles,
+                    total_samples,
+                    top,
+                },
+            )
+    }
+
     proptest! {
         #[test]
         fn command_roundtrip(cmd in arb_command()) {
@@ -617,6 +758,12 @@ mod tests {
         #[test]
         fn stats_roundtrip(sample in arb_stats()) {
             let r = Reply::Stats(sample);
+            prop_assert_eq!(Reply::parse(&r.format()), Some(r));
+        }
+
+        #[test]
+        fn prof_roundtrip(sample in arb_prof()) {
+            let r = Reply::Prof(sample);
             prop_assert_eq!(Reply::parse(&r.format()), Some(r));
         }
 

@@ -15,6 +15,7 @@ use lwvmm::guest::{kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::LvmmPlatform;
+use lwvmm::obs::{Profiler, SymbolMap};
 use std::process::ExitCode;
 
 struct Options {
@@ -25,6 +26,7 @@ struct Options {
     dump: Option<(u32, u32)>,
     engine_stats: bool,
     no_decode_cache: bool,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         dump: None,
         engine_stats: false,
         no_decode_cache: false,
+        profile: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.dump = Some((addr, len));
             }
             "--engine-stats" => opts.engine_stats = true,
+            "--profile" => opts.profile = Some(args.next().ok_or("missing --profile value")?),
             "--no-decode-cache" => opts.no_decode_cache = true,
             "-h" | "--help" => return Err(String::new()),
             other if opts.input.is_none() => opts.input = Some(other.to_string()),
@@ -86,7 +90,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
-                 [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats]"
+                 [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
+                 [--profile out.folded]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -129,6 +134,20 @@ fn main() -> ExitCode {
     };
     machine.load_program(&program);
     let entry = program.symbols.get("start").unwrap_or(program.base());
+
+    if opts.profile.is_some() {
+        // Curated function-level ranges for the built-in kernel; every
+        // in-image label for ad-hoc guests.
+        let ranges = if is_workload {
+            lwvmm::guest::kernel::profile_symbols(&program)
+        } else {
+            program.code_symbols()
+        };
+        machine.obs.enable_profiler(Profiler::new(
+            SymbolMap::from_ranges(ranges),
+            Profiler::DEFAULT_INTERVAL,
+        ));
+    }
 
     let mut platform: Box<dyn Platform> = match opts.platform.as_str() {
         "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
@@ -206,6 +225,32 @@ fn main() -> ExitCode {
             d.invalidations
         );
         println!("engine: tlb {tlb_hits} hits, {tlb_misses} misses");
+    }
+    if let Some(path) = &opts.profile {
+        let obs = &platform.machine().obs;
+        let Some(prof) = obs.prof() else {
+            eprintln!("lwvmm-run: profiler vanished (internal error)");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(path, prof.fold()) {
+            eprintln!("lwvmm-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let total = prof.total_cycles().max(1);
+        println!(
+            "\nprofile: {} guest cycles, {} samples (interval {}), hottest symbols:",
+            prof.total_cycles(),
+            prof.total_samples(),
+            prof.interval()
+        );
+        println!("  {:>12}  {:>6}  {:>8}  symbol", "cycles", "%", "samples");
+        for (name, cycles, samples) in prof.top(10) {
+            println!(
+                "  {cycles:>12}  {:>5.1}%  {samples:>8}  {name}",
+                cycles as f64 / total as f64 * 100.0
+            );
+        }
+        println!("profile written to {path}");
     }
     if let Some((addr, len)) = opts.dump {
         print!("memory at {addr:#010x}:");

@@ -3,12 +3,12 @@
 //! time stats, and `qStats` samples the monitor live over the debug wire
 //! without halting the guest.
 
-use lwvmm::debugger::{encode_packet, Debugger, Reply};
-use lwvmm::guest::{kernel::layout, GuestStats, Workload};
+use lwvmm::debugger::{encode_packet, DbgError, Debugger, Reply};
+use lwvmm::guest::{kernel, kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
-use lwvmm::monitor::{LvmmPlatform, UartLink};
-use lwvmm::obs::{ChromeTrace, ExitCause, Track};
+use lwvmm::monitor::{LvmmPlatform, ReplayDriver, UartLink};
+use lwvmm::obs::{ChromeTrace, ExitCause, Profiler, SymbolMap, Track};
 
 fn streaming_machine(rate_mbps: u64, tracing: bool) -> Machine {
     let mut machine = Machine::new(MachineConfig::default());
@@ -184,6 +184,151 @@ fn ring_overflow_is_counted_and_surfaced_in_the_export() {
     let json = t.finish();
     assert!(json.contains("\"truncated\""));
     assert!(json.contains("\"events_dropped\":8"));
+}
+
+/// Streaming machine with tracing *and* the deterministic profiler enabled
+/// (kernel function symbols, default 997-cycle sampling interval).
+fn profiled_machine(rate_mbps: u64) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    let program = Workload::new(rate_mbps)
+        .build(&machine)
+        .expect("kernel assembles");
+    machine.load_program(&program);
+    machine.obs.enable_tracing();
+    machine.obs.enable_profiler(Profiler::new(
+        SymbolMap::from_ranges(kernel::profile_symbols(&program)),
+        Profiler::DEFAULT_INTERVAL,
+    ));
+    machine
+}
+
+type PlatformCtor = fn() -> Box<dyn Platform>;
+
+fn profiled_platforms() -> Vec<(&'static str, PlatformCtor)> {
+    fn raw() -> Box<dyn Platform> {
+        Box::new(RawPlatform::new(profiled_machine(100)))
+    }
+    fn lvmm() -> Box<dyn Platform> {
+        Box::new(LvmmPlatform::new(profiled_machine(100), layout::ENTRY))
+    }
+    fn hosted() -> Box<dyn Platform> {
+        Box::new(HostedPlatform::new(profiled_machine(100), layout::ENTRY))
+    }
+    vec![("raw", raw), ("lvmm", lvmm), ("hosted", hosted)]
+}
+
+/// The profiler's cycle total is fed by the same `charge(Guest, ..)` calls
+/// as the span track, so the two must agree *exactly* — any drift means a
+/// code path charged guest cycles outside `Recorder::charge`.
+#[test]
+fn profile_cycles_reconcile_exactly_with_guest_track_on_all_platforms() {
+    for (name, make) in profiled_platforms() {
+        let mut platform = make();
+        let clock = platform.machine().config().clock_hz;
+        platform.run_for(clock / 50);
+        let obs = &platform.machine().obs;
+        let prof = obs.prof().expect("profiler enabled");
+        assert!(prof.total_cycles() > 0, "{name}: guest cycles attributed");
+        assert!(prof.total_samples() > 0, "{name}: sampler fired");
+        assert_eq!(
+            prof.total_cycles(),
+            obs.spans.total(Track::Guest),
+            "{name}: profiler cycle total == guest span track, exactly"
+        );
+        let folded = prof.fold();
+        assert!(
+            folded.contains("guest;build_frame "),
+            "{name}: the hot loop is symbolized:\n{folded}"
+        );
+    }
+}
+
+/// The tentpole acceptance check: sampling rides simulated cycles, so
+/// recording a run and replaying its journal on a fresh boot produce
+/// byte-identical collapsed-stack output on every platform.
+#[test]
+fn recorded_and_replayed_profiles_are_byte_identical_on_all_platforms() {
+    for (name, make) in profiled_platforms() {
+        let mut rec = make();
+        rec.machine_mut().obs.enable_journal(name);
+        let per_ms = rec.machine().config().clock_hz / 1_000;
+        rec.run_for(10 * per_ms);
+        let end = rec.machine().now();
+        let mut journal = rec.machine().obs.journal().cloned().unwrap();
+        journal.seal(end);
+        let recorded = rec.machine().obs.prof().unwrap().fold();
+        assert!(!recorded.is_empty(), "{name}: profile captured");
+
+        let mut rep = make();
+        let reached = ReplayDriver::new(&journal).run(rep.as_mut());
+        assert_eq!(reached, end, "{name}: replay reaches the recorded end");
+        let replayed = rep.machine().obs.prof().unwrap().fold();
+        assert_eq!(
+            replayed, recorded,
+            "{name}: .folded bytes identical under replay"
+        );
+
+        let obs = &rep.machine().obs;
+        assert_eq!(
+            obs.prof().unwrap().total_cycles(),
+            obs.spans.total(Track::Guest),
+            "{name}: reconciliation holds on the replayed timeline too"
+        );
+    }
+}
+
+/// `qProf` is to the profiler what `qStats` is to the metrics: answered by
+/// the monitor-resident stub without stopping the guest.
+#[test]
+fn qprof_samples_the_profiler_live_without_stopping_the_stream() {
+    let mut vmm = LvmmPlatform::new(profiled_machine(100), layout::ENTRY);
+    let clock = vmm.machine().config().clock_hz;
+    vmm.run_for(clock / 10); // reach steady state
+
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    let s1 = dbg.query_prof(5).expect("first qProf");
+    dbg.link_mut().platform.run_for(clock / 50);
+    let s2 = dbg.query_prof(5).expect("second qProf");
+
+    assert!(!dbg.link_ref().platform.guest_stopped());
+    assert_eq!(s1.interval, Profiler::DEFAULT_INTERVAL);
+    assert!(s2.now > s1.now);
+    assert!(
+        s2.total_cycles > s1.total_cycles,
+        "guest kept being profiled between samples"
+    );
+    assert!(!s1.top.is_empty() && s1.top.len() <= 5);
+    assert!(
+        s1.top.iter().any(|(name, _, _)| name == "build_frame"),
+        "hot symbol in the top list: {:?}",
+        s1.top
+    );
+    // Top list is sorted by descending cycle count.
+    for pair in s2.top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+}
+
+/// Without an enabled profiler the stub answers `qProf` with a clean
+/// `err::PROFILER` target error instead of stalling the session.
+#[test]
+fn qprof_without_profiler_is_a_clean_error() {
+    let machine = streaming_machine(100, false);
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    let clock = vmm.machine().config().clock_hz;
+    vmm.run_for(clock / 20);
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    // err::PROFILER = 7.
+    assert_eq!(dbg.query_prof(5).unwrap_err(), DbgError::Target(7));
+    // The stub (and the guest) survive to answer a well-formed qStats.
+    assert!(dbg.query_stats().expect("stub alive").now > 0);
+    assert!(!dbg.link_ref().platform.guest_stopped());
 }
 
 #[test]
