@@ -1,0 +1,58 @@
+//! Survivability campaign: fault matrix across all three platforms.
+//!
+//! Boots the streaming guest on each platform, injects every fault class
+//! (deterministically, riding the simulation clock), then proves the
+//! lightweight monitor's debug stub still answers `?`/`g`/`m` while the raw
+//! platform's guest dies and the hosted monitor pays its emulation
+//! overhead. Also records one all-classes campaign per platform and replays
+//! it byte-identically through the flight recorder.
+//!
+//! Usage: `cargo run --release -p lwvmm-bench --bin survivability
+//!         [--fast] [--seed N] [--json out.json] [--merge BENCH_fig3_1.json]`
+//!
+//! `--merge` splices the `"survivability"` section into an existing
+//! Fig. 3.1 document (replacing a previous section); `--json` writes a
+//! standalone document. Exits non-zero when the LVMM stub row is not
+//! all-alive or any replay diverged, so CI can gate on it directly.
+
+use lwvmm_bench::{
+    arg_flag, arg_value, merge_survivability, run_matrix, survivability_json, survival_report,
+    SurvivalConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let seed: u64 = arg_value("--seed").map_or(42, |v| v.parse().expect("--seed takes a number"));
+    let cfg = if arg_flag("--fast") {
+        SurvivalConfig::fast(seed)
+    } else {
+        SurvivalConfig::new(seed)
+    };
+
+    println!(
+        "survivability campaign: seed {seed}, {} ms warmup + {} ms campaign + {} ms probe per \
+         cell, one fault every ~{} cycles",
+        cfg.warmup_ms, cfg.campaign_ms, cfg.probe_ms, cfg.period
+    );
+    let matrix = run_matrix(&cfg);
+    println!("\n{}", survival_report(&matrix).to_text());
+
+    if let Some(path) = arg_value("--json") {
+        lwvmm_bench::write_output(&path, survivability_json(&cfg, &matrix));
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_value("--merge") {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        lwvmm_bench::write_output(&path, merge_survivability(&existing, &cfg, &matrix));
+        println!("merged survivability section into {path}");
+    }
+
+    let stub_ok = matrix.lvmm_stub_all_alive();
+    let replay_ok = matrix.replays_identical();
+    println!("\nlvmm stub all-alive: {stub_ok}   replays byte-identical: {replay_ok}");
+    if stub_ok && replay_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -11,6 +11,13 @@ use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
 use hx_obs::{report, Align, ChromeTrace, ExitCause, ExitHists, Profiler, Report, SymbolMap};
 use lvmm::LvmmPlatform;
 
+pub mod survivability;
+
+pub use survivability::{
+    merge_survivability, run_matrix, survivability_json, survival_report, SurvivalConfig,
+    SurvivalMatrix,
+};
+
 /// The three systems of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformKind {

@@ -1,0 +1,608 @@
+//! The survivability campaign: does the debug stub stay usable while the
+//! guest is being actively wrecked?
+//!
+//! This is the paper's core debugging claim turned into a benchmark. For
+//! every `(platform, fault class)` pair we boot the streaming guest, arm the
+//! deterministic fault injector (`hx-fault` via the machine's event queue),
+//! let the campaign run, and then ask two questions:
+//!
+//! 1. **Is the guest still alive?** (Did it keep making progress through the
+//!    probe window without taking an unrecovered fault?) On real hardware a
+//!    wild kernel write usually kills it — that is the point.
+//! 2. **Is the stub still alive?** (LVMM only.) We attach the host debugger
+//!    over the simulated UART and require well-formed answers to `?`
+//!    (query stop), `g` (read registers) and `m` (read memory). A *target
+//!    error* reply still counts as alive — a guest with shredded page tables
+//!    may legitimately refuse a virtual-address read — but a timeout or
+//!    protocol violation means the stub is gone.
+//!
+//! A separate pass records one all-classes campaign per platform through the
+//! flight recorder and replays it on a fresh boot, asserting the faulty run
+//! is byte-identical — fault injection rides the simulation clock, so it
+//! must be.
+
+use crate::{build_platform, PlatformKind};
+use hitactix::{kernel::layout, GuestStats, Workload};
+use hosted_vmm::HostedConfig;
+use hx_fault::{FaultKind, FaultPlan};
+use hx_machine::{Machine, MachineConfig, Platform};
+use hx_obs::{Align, ExitCause, Report};
+use lvmm::{LvmmConfig, LvmmPlatform, ReplayDriver, UartLink};
+use rdbg::{DbgError, Debugger};
+
+/// Campaign shape: how long to run, how often to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurvivalConfig {
+    /// PRNG seed; each `(platform, fault)` cell derives its own stream.
+    pub seed: u64,
+    /// Streaming workload rate (Mbit/s).
+    pub rate_mbps: u64,
+    /// Simulated ms before the first fault (guest boots and reaches steady
+    /// state).
+    pub warmup_ms: u64,
+    /// Simulated ms of active fault injection.
+    pub campaign_ms: u64,
+    /// Simulated ms after the campaign used to measure guest progress.
+    pub probe_ms: u64,
+    /// Mean cycles between injections.
+    pub period: u64,
+}
+
+impl SurvivalConfig {
+    /// The full matrix shape used for `BENCH_fig3_1.json`.
+    pub fn new(seed: u64) -> SurvivalConfig {
+        SurvivalConfig {
+            seed,
+            rate_mbps: 100,
+            warmup_ms: 20,
+            campaign_ms: 60,
+            probe_ms: 20,
+            period: 100_000,
+        }
+    }
+
+    /// A CI-sized campaign (`--fast`): same matrix, shorter windows.
+    pub fn fast(seed: u64) -> SurvivalConfig {
+        SurvivalConfig {
+            seed,
+            rate_mbps: 100,
+            warmup_ms: 5,
+            campaign_ms: 15,
+            probe_ms: 5,
+            period: 50_000,
+        }
+    }
+}
+
+/// One `(platform, fault class)` campaign outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalCell {
+    /// Which platform ran the campaign.
+    pub platform: PlatformKind,
+    /// Which fault class was injected.
+    pub fault: FaultKind,
+    /// Faults applied.
+    pub injected: u64,
+    /// Wild attempts blocked by the protection model.
+    pub blocked: u64,
+    /// Protection exits the monitor recorded (0 on raw hardware).
+    pub protection_exits: u64,
+    /// Guest kept making progress through the probe window with no
+    /// unrecovered fault.
+    pub guest_alive: bool,
+    /// Guest-reported fault cause (0 = none; `u32::MAX` = stats block
+    /// unreadable, i.e. the guest corrupted itself beyond recognition).
+    pub guest_fault_cause: u32,
+    /// Stub answered `?`/`g`/`m` after the campaign (`None` off-LVMM: the
+    /// raw and hosted platforms carry no stub — nothing to probe).
+    pub stub_alive: Option<bool>,
+    /// Fraction of total cycles spent outside the guest (monitor plus
+    /// host-OS model) — the hosted platform's emulation-overhead contrast.
+    pub overhead_frac: f64,
+}
+
+/// One record/replay identity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayCheck {
+    /// Which platform was recorded and replayed.
+    pub platform: PlatformKind,
+    /// Final cycle of the recorded run.
+    pub end_cycle: u64,
+    /// Total faults the recorded campaign applied.
+    pub injected: u64,
+    /// Replay reached the same cycle with identical RAM, instret and fault
+    /// counters.
+    pub identical: bool,
+}
+
+/// The whole campaign: 3 platforms × 6 fault classes, plus one replay
+/// identity check per platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalMatrix {
+    /// Base seed the cells derive from.
+    pub seed: u64,
+    /// Row-major cells (platform outer, fault class inner).
+    pub cells: Vec<SurvivalCell>,
+    /// Per-platform replay identity checks.
+    pub replays: Vec<ReplayCheck>,
+}
+
+impl SurvivalMatrix {
+    /// The cell for a `(platform, fault)` pair.
+    pub fn cell(&self, platform: PlatformKind, fault: FaultKind) -> Option<&SurvivalCell> {
+        self.cells
+            .iter()
+            .find(|c| c.platform == platform && c.fault == fault)
+    }
+
+    /// The headline claim: the LVMM stub answered after every fault class.
+    pub fn lvmm_stub_all_alive(&self) -> bool {
+        let lvmm: Vec<_> = self
+            .cells
+            .iter()
+            .filter(|c| c.platform == PlatformKind::Lvmm)
+            .collect();
+        !lvmm.is_empty() && lvmm.iter().all(|c| c.stub_alive == Some(true))
+    }
+
+    /// All replay checks came back byte-identical.
+    pub fn replays_identical(&self) -> bool {
+        !self.replays.is_empty() && self.replays.iter().all(|r| r.identical)
+    }
+}
+
+/// Highest guest physical address wild writes / DMA misdirects can *reach*
+/// on this platform: the monitor base under the monitors (guest-context
+/// stores architecturally cannot touch monitor memory), all of RAM on raw
+/// hardware.
+pub fn wild_limit_for(kind: PlatformKind, ram_size: u32) -> u32 {
+    match kind {
+        PlatformKind::RawHw => ram_size,
+        PlatformKind::Lvmm => ram_size - LvmmConfig::default().monitor_mem,
+        PlatformKind::Hosted => ram_size - HostedConfig::default().host_mem,
+    }
+}
+
+/// The fault plan for one campaign cell. Each `(platform, fault)` pair gets
+/// its own seed stream so cells are independent experiments; attempts span
+/// all of RAM so the monitors have something to block.
+pub fn cell_plan(
+    kind: PlatformKind,
+    fault: FaultKind,
+    cfg: &SurvivalConfig,
+    ram_size: u32,
+    warmup_cycles: u64,
+) -> FaultPlan {
+    let salt = (kind.label().len() as u64) << 32 | (fault.code() as u64 + 1);
+    FaultPlan::new(cfg.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .only(fault)
+        .period(cfg.period)
+        .initial_delay(warmup_cycles)
+        .wild(ram_size, wild_limit_for(kind, ram_size))
+}
+
+fn progress(machine: &Machine) -> Option<(u32, u32)> {
+    GuestStats::read(machine).ok().map(|s| (s.ticks, s.frames))
+}
+
+/// Runs the campaign window on an already-armed platform and reads the cell
+/// back (stub probe excluded; the caller owns that).
+fn run_campaign(
+    platform: &mut dyn Platform,
+    kind: PlatformKind,
+    fault: FaultKind,
+    cfg: &SurvivalConfig,
+) -> SurvivalCell {
+    let per_ms = platform.machine().config().clock_hz / 1_000;
+    platform.run_for((cfg.warmup_ms + cfg.campaign_ms) * per_ms);
+    let before = progress(platform.machine());
+    platform.run_for(cfg.probe_ms * per_ms);
+    let after = progress(platform.machine());
+
+    let stats = platform
+        .machine()
+        .fault_stats()
+        .copied()
+        .unwrap_or_default();
+    let guest_fault_cause =
+        GuestStats::read(platform.machine()).map_or(u32::MAX, |s| s.fault_cause);
+    let moved = match (before, after) {
+        (Some((t0, f0)), Some((t1, f1))) => t1 > t0 || f1 > f0,
+        _ => false,
+    };
+    let t = platform.time_stats();
+    SurvivalCell {
+        platform: kind,
+        fault,
+        injected: stats.total(),
+        blocked: stats.blocked,
+        protection_exits: platform
+            .machine()
+            .obs
+            .exits
+            .get(ExitCause::Protection)
+            .count(),
+        guest_alive: moved && guest_fault_cause == 0,
+        guest_fault_cause,
+        stub_alive: None,
+        overhead_frac: (t.monitor + t.host_model) as f64 / t.total().max(1) as f64,
+    }
+}
+
+/// `true` when the stub produced a well-formed reply: `Ok` or a target
+/// error code. Timeouts and protocol violations mean the stub (or the
+/// monitor under it) is dead.
+fn answered<T>(r: &Result<T, DbgError>) -> bool {
+    !matches!(r, Err(DbgError::Timeout) | Err(DbgError::Protocol(_)))
+}
+
+/// Attaches the host debugger to a post-campaign LVMM platform and probes
+/// `?`/`g`/`m`. Consumes the platform (the UART link owns it).
+pub fn probe_stub(platform: LvmmPlatform) -> bool {
+    let mut dbg = Debugger::new(UartLink {
+        platform,
+        slice: 2_000,
+    });
+    // Bounded: 4 attempts × ~2k pumps × 2k cycles each is still only a few
+    // simulated ms if the stub really is dead.
+    dbg.set_pump_budget(2_000);
+    let halted = dbg.halt();
+    let q = dbg.query_stop();
+    let g = dbg.read_registers();
+    let m = dbg.read_memory(0, 16);
+    answered(&halted) && answered(&q) && answered(&g) && answered(&m)
+}
+
+/// Runs one `(platform, fault)` campaign cell.
+pub fn run_cell(kind: PlatformKind, fault: FaultKind, cfg: &SurvivalConfig) -> SurvivalCell {
+    let workload = Workload::new(cfg.rate_mbps);
+    if kind == PlatformKind::Lvmm {
+        // Concrete platform so the stub probe can wrap it in a UART link.
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = workload.build(&machine).expect("kernel assembles");
+        machine.load_program(&program);
+        let ram_size = machine.config().ram_size as u32;
+        let warmup = cfg.warmup_ms * machine.config().clock_hz / 1_000;
+        machine.enable_fault_injection(cell_plan(kind, fault, cfg, ram_size, warmup));
+        let mut platform = LvmmPlatform::new(machine, layout::ENTRY);
+        let mut cell = run_campaign(&mut platform, kind, fault, cfg);
+        cell.stub_alive = Some(probe_stub(platform));
+        cell
+    } else {
+        let mut platform = build_platform(kind, &workload);
+        let ram_size = platform.machine().config().ram_size as u32;
+        let warmup = cfg.warmup_ms * platform.machine().config().clock_hz / 1_000;
+        platform
+            .machine_mut()
+            .enable_fault_injection(cell_plan(kind, fault, cfg, ram_size, warmup));
+        run_campaign(platform.as_mut(), kind, fault, cfg)
+    }
+}
+
+/// Records one all-classes campaign through the flight recorder and replays
+/// it on a fresh boot with the same plan; the two runs must agree on end
+/// cycle, instret, RAM image and fault counters.
+pub fn replay_check(kind: PlatformKind, cfg: &SurvivalConfig) -> ReplayCheck {
+    let workload = Workload::new(cfg.rate_mbps);
+    let plan = |ram_size: u32, warmup: u64| {
+        FaultPlan::new(cfg.seed)
+            .period(cfg.period)
+            .initial_delay(warmup)
+            .wild(ram_size, wild_limit_for(kind, ram_size))
+    };
+
+    let mut rec = build_platform(kind, &workload);
+    let per_ms = rec.machine().config().clock_hz / 1_000;
+    let ram_size = rec.machine().config().ram_size as u32;
+    rec.machine_mut().obs.enable_journal(kind.label());
+    rec.machine_mut()
+        .enable_fault_injection(plan(ram_size, cfg.warmup_ms * per_ms));
+    rec.run_for((cfg.warmup_ms + cfg.campaign_ms) * per_ms);
+    let end = rec.machine().now();
+    let mut journal = rec
+        .machine()
+        .obs
+        .journal()
+        .cloned()
+        .expect("journal enabled");
+    journal.seal(end);
+    let digest = hx_obs::digest(rec.machine().mem.as_bytes());
+    let instret = rec.machine().cpu.instret();
+    let fstats = rec.machine().fault_stats().copied();
+
+    let mut rep = build_platform(kind, &workload);
+    rep.machine_mut()
+        .enable_fault_injection(plan(ram_size, cfg.warmup_ms * per_ms));
+    let reached = ReplayDriver::new(&journal).run(rep.as_mut());
+    let identical = reached == end
+        && hx_obs::digest(rep.machine().mem.as_bytes()) == digest
+        && rep.machine().cpu.instret() == instret
+        && rep.machine().fault_stats().copied() == fstats;
+    ReplayCheck {
+        platform: kind,
+        end_cycle: end,
+        injected: fstats.map_or(0, |s| s.total()),
+        identical,
+    }
+}
+
+/// Runs the full matrix: every fault class on every platform, then one
+/// replay identity check per platform.
+pub fn run_matrix(cfg: &SurvivalConfig) -> SurvivalMatrix {
+    let mut cells = Vec::with_capacity(PlatformKind::ALL.len() * FaultKind::COUNT);
+    for kind in PlatformKind::ALL {
+        for fault in FaultKind::ALL {
+            cells.push(run_cell(kind, fault, cfg));
+        }
+    }
+    let replays = PlatformKind::ALL
+        .iter()
+        .map(|&k| replay_check(k, cfg))
+        .collect();
+    SurvivalMatrix {
+        seed: cfg.seed,
+        cells,
+        replays,
+    }
+}
+
+/// Renders the matrix as a terminal table.
+pub fn survival_report(matrix: &SurvivalMatrix) -> Report {
+    let mut r = Report::new(format!(
+        "Survivability matrix — seed {} (stub column: did `?`/`g`/`m` answer?)",
+        matrix.seed
+    ))
+    .column("platform", Align::Left)
+    .column("fault", Align::Left)
+    .column("injected", Align::Right)
+    .column("blocked", Align::Right)
+    .column("prot exits", Align::Right)
+    .column("guest", Align::Left)
+    .column("stub", Align::Left)
+    .column("ovh%", Align::Right);
+    let mut last = None;
+    for c in &matrix.cells {
+        if last.is_some() && last != Some(c.platform) {
+            r.gap();
+        }
+        last = Some(c.platform);
+        r.row([
+            c.platform.label().to_string(),
+            c.fault.label().to_string(),
+            c.injected.to_string(),
+            c.blocked.to_string(),
+            c.protection_exits.to_string(),
+            if c.guest_alive { "alive" } else { "dead" }.to_string(),
+            match c.stub_alive {
+                Some(true) => "alive",
+                Some(false) => "DEAD",
+                None => "-",
+            }
+            .to_string(),
+            format!("{:.1}", c.overhead_frac * 100.0),
+        ]);
+    }
+    for rep in &matrix.replays {
+        r.note(format!(
+            "replay {}: {} faults over {} cycles — {}",
+            rep.platform.label(),
+            rep.injected,
+            rep.end_cycle,
+            if rep.identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        ));
+    }
+    r
+}
+
+/// The `"survivability"` JSON object (no surrounding document).
+pub fn survivability_section(cfg: &SurvivalConfig, matrix: &SurvivalMatrix) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "    \"seed\": {}, \"warmup_ms\": {}, \"campaign_ms\": {}, \"probe_ms\": {}, \
+         \"period_cycles\": {},\n",
+        cfg.seed, cfg.warmup_ms, cfg.campaign_ms, cfg.probe_ms, cfg.period
+    ));
+    out.push_str("    \"matrix\": [\n");
+    for (pi, kind) in PlatformKind::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"platform\": \"{}\", \"cells\": [\n",
+            kind.label()
+        ));
+        let cells: Vec<_> = matrix
+            .cells
+            .iter()
+            .filter(|c| c.platform == *kind)
+            .collect();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"fault\": \"{}\", \"injected\": {}, \"blocked\": {}, \
+                 \"protection_exits\": {}, \"guest_alive\": {}, \"guest_fault_cause\": {}, \
+                 \"stub_alive\": {}, \"overhead_frac\": {:.4}}}{}\n",
+                c.fault.label(),
+                c.injected,
+                c.blocked,
+                c.protection_exits,
+                c.guest_alive,
+                c.guest_fault_cause,
+                match c.stub_alive {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                },
+                c.overhead_frac,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]}");
+        out.push_str(if pi + 1 < PlatformKind::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"replay\": [\n");
+    for (i, rep) in matrix.replays.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"platform\": \"{}\", \"end_cycle\": {}, \"injected\": {}, \
+             \"identical\": {}}}{}\n",
+            rep.platform.label(),
+            rep.end_cycle,
+            rep.injected,
+            rep.identical,
+            if i + 1 < matrix.replays.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"lvmm_stub_all_alive\": {},\n    \"replays_identical\": {}\n  }}",
+        matrix.lvmm_stub_all_alive(),
+        matrix.replays_identical()
+    ));
+    out
+}
+
+/// A standalone survivability document (used when there is no
+/// `BENCH_fig3_1.json` to merge into).
+pub fn survivability_json(cfg: &SurvivalConfig, matrix: &SurvivalMatrix) -> String {
+    format!(
+        "{{\n  \"bench\": \"survivability\",\n  \"survivability\": {}\n}}\n",
+        survivability_section(cfg, matrix)
+    )
+}
+
+/// Splices a `"survivability"` section into an existing `BENCH_fig3_1.json`
+/// document (before its final `}`), replacing any previous section. Returns
+/// a standalone document when `fig3_1` isn't a JSON object.
+pub fn merge_survivability(fig3_1: &str, cfg: &SurvivalConfig, matrix: &SurvivalMatrix) -> String {
+    let section = survivability_section(cfg, matrix);
+    let trimmed = fig3_1.trim_end();
+    // Drop a previous survivability section so re-running the bench
+    // replaces rather than duplicates.
+    let body = match trimmed.find(",\n  \"survivability\":") {
+        Some(at) => &trimmed[..at],
+        None => match trimmed.strip_suffix('}') {
+            Some(b) => b.trim_end().trim_end_matches(','),
+            None => return survivability_json(cfg, matrix),
+        },
+    };
+    format!("{body},\n  \"survivability\": {section}\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SurvivalConfig {
+        SurvivalConfig {
+            seed: 7,
+            rate_mbps: 100,
+            warmup_ms: 2,
+            campaign_ms: 5,
+            probe_ms: 2,
+            period: 30_000,
+        }
+    }
+
+    fn fake_matrix() -> (SurvivalConfig, SurvivalMatrix) {
+        let cfg = tiny();
+        let cells = PlatformKind::ALL
+            .iter()
+            .flat_map(|&p| {
+                FaultKind::ALL.map(|f| SurvivalCell {
+                    platform: p,
+                    fault: f,
+                    injected: 3,
+                    blocked: 1,
+                    protection_exits: 1,
+                    guest_alive: p != PlatformKind::RawHw,
+                    guest_fault_cause: 0,
+                    stub_alive: (p == PlatformKind::Lvmm).then_some(true),
+                    overhead_frac: 0.25,
+                })
+            })
+            .collect();
+        let replays = PlatformKind::ALL
+            .iter()
+            .map(|&p| ReplayCheck {
+                platform: p,
+                end_cycle: 1_000_000,
+                injected: 40,
+                identical: true,
+            })
+            .collect();
+        let matrix = SurvivalMatrix {
+            seed: cfg.seed,
+            cells,
+            replays,
+        };
+        (cfg, matrix)
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let (cfg, matrix) = fake_matrix();
+        assert!(matrix.lvmm_stub_all_alive());
+        assert!(matrix.replays_identical());
+        let json = survivability_json(&cfg, &matrix);
+        for key in [
+            "\"survivability\"",
+            "\"matrix\"",
+            "\"wild-write-kernel\"",
+            "\"stub_alive\": null",
+            "\"stub_alive\": true",
+            "\"replay\"",
+            "\"lvmm_stub_all_alive\": true",
+            "\"replays_identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {json}");
+    }
+
+    #[test]
+    fn merge_inserts_and_replaces_section() {
+        let (cfg, matrix) = fake_matrix();
+        let fig = "{\n  \"bench\": \"fig3_1\",\n  \"headlines\": {\"x\": 1.0}\n}\n";
+        let merged = merge_survivability(fig, &cfg, &matrix);
+        assert!(merged.contains("\"headlines\""));
+        assert!(merged.contains("\"survivability\""));
+        let opens = merged.matches(['{', '[']).count();
+        let closes = merged.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON: {merged}");
+        // Merging again replaces, not duplicates.
+        let again = merge_survivability(&merged, &cfg, &matrix);
+        assert_eq!(again.matches("\"survivability\"").count(), 1);
+        assert_eq!(again, merged);
+        // Non-object input falls back to a standalone document.
+        let standalone = merge_survivability("not json", &cfg, &matrix);
+        assert!(standalone.starts_with("{\n  \"bench\": \"survivability\""));
+    }
+
+    #[test]
+    fn report_renders_matrix() {
+        let (_, matrix) = fake_matrix();
+        let text = survival_report(&matrix).to_text();
+        assert!(text.contains("irq-storm"));
+        assert!(text.contains("byte-identical"));
+    }
+
+    #[test]
+    fn lvmm_disk_error_cell_keeps_stub_and_guest_alive() {
+        // Cheapest end-to-end cell: spurious disk error completions do not
+        // corrupt memory, so both the guest and the stub must survive.
+        let cell = run_cell(PlatformKind::Lvmm, FaultKind::DiskError, &tiny());
+        assert!(cell.injected > 0, "campaign must inject: {cell:?}");
+        assert_eq!(cell.stub_alive, Some(true), "stub died: {cell:?}");
+        assert!(cell.guest_alive, "guest died: {cell:?}");
+    }
+}

@@ -885,6 +885,27 @@ impl LvmmPlatform {
         self.stub.stats.bytes_out += bytes.len() as u64;
         self.consume_monitor(costs::STUB_BYTE * bytes.len() as u64);
         self.machine.uart.push_tx(&bytes);
+        // Keep the packet until the host ACKs it, so a NAK can be answered
+        // by retransmission (a lossy line must not wedge the session).
+        self.stub.last_tx = Some(bytes);
+        self.stub.resends = 0;
+    }
+
+    /// Retransmits the unacknowledged packet after a host NAK, bounded by
+    /// [`Stub::RESEND_LIMIT`].
+    fn resend_packet(&mut self) {
+        let Some(bytes) = self.stub.last_tx.clone() else {
+            return;
+        };
+        if self.stub.resends >= Stub::RESEND_LIMIT {
+            self.stub.last_tx = None;
+            return;
+        }
+        self.stub.resends += 1;
+        self.stub.stats.retransmits += 1;
+        self.stub.stats.bytes_out += bytes.len() as u64;
+        self.consume_monitor(costs::STUB_BYTE * bytes.len() as u64);
+        self.machine.uart.push_tx(&bytes);
     }
 
     fn send_reply(&mut self, reply: &Reply) {
@@ -939,7 +960,12 @@ impl LvmmPlatform {
                 WireEvent::Corrupt => {
                     self.machine.uart.push_tx(&[wire::NAK]);
                 }
-                WireEvent::Ack | WireEvent::Nak => {}
+                WireEvent::Ack => {
+                    // Delivery confirmed: drop the retransmission cache.
+                    self.stub.last_tx = None;
+                    self.stub.resends = 0;
+                }
+                WireEvent::Nak => self.resend_packet(),
             }
         }
     }

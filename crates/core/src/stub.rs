@@ -50,6 +50,8 @@ pub struct StubStats {
     pub bytes_out: u64,
     /// Break-in requests honoured.
     pub break_ins: u64,
+    /// Packets retransmitted after a host NAK.
+    pub retransmits: u64,
 }
 
 /// The monitor-resident debug stub state.
@@ -70,6 +72,13 @@ pub struct Stub {
     pub lifted_bp: Option<u32>,
     /// Why the real single-step flag is armed, if it is.
     pub step_intent: Option<StepIntent>,
+    /// The last packet sent, kept until the host ACKs it so a NAK (or a
+    /// host-side timeout turned into a NAK) can be answered by
+    /// retransmission instead of wedging the session.
+    pub last_tx: Option<Vec<u8>>,
+    /// Retransmissions of the current `last_tx` so far; bounded by
+    /// [`Stub::RESEND_LIMIT`] so a hard-broken line cannot loop forever.
+    pub resends: u8,
     /// Statistics.
     pub stats: StubStats,
 }
@@ -81,6 +90,9 @@ impl Default for Stub {
 }
 
 impl Stub {
+    /// Most retransmissions of one packet before the stub gives up on it.
+    pub const RESEND_LIMIT: u8 = 8;
+
     /// Creates an idle stub with the guest running.
     pub fn new() -> Stub {
         Stub {
@@ -91,6 +103,8 @@ impl Stub {
             last_stop: None,
             lifted_bp: None,
             step_intent: None,
+            last_tx: None,
+            resends: 0,
             stats: StubStats::default(),
         }
     }

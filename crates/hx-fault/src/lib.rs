@@ -1,0 +1,611 @@
+//! Deterministic fault injection for the lwvmm reproduction.
+//!
+//! The paper's survivability claim — the lightweight monitor's debug stub
+//! stays responsive while the guest misbehaves — is only testable if the
+//! guest (and the debug link) can be made to misbehave *on purpose* and
+//! *reproducibly*. This crate provides the two deterministic fault sources:
+//!
+//! - **Guest-side faults** ([`FaultPlan`] / [`FaultInjector`]): wild writes
+//!   from app and kernel contexts, IRQ storms, DMA misdirects, and disk/NIC
+//!   error completions. The injector is pure state driven by a seeded
+//!   xorshift PRNG and the *simulated* clock — `hx-machine` polls it from
+//!   its event queue, so a campaign is a function of `(program, seed)` and
+//!   replays byte-identically through the flight recorder.
+//! - **Link-side faults** ([`LinkFaults`]): byte flips, drops, duplication
+//!   and truncation applied to the rdbg serial channel, for exercising the
+//!   debugger's retransmit/timeout/backoff policy.
+//!
+//! Nothing here reads host time or global randomness; every decision comes
+//! from [`XorShift64`] seeded by the plan. The crate is dependency-free so
+//! both `hx-machine` (below the monitors) and `rdbg` (beside them) can use
+//! it without cycles.
+
+/// Seeded xorshift64* PRNG: tiny, fast, and good enough for fault spacing
+/// and address scattering. Deterministic across platforms and runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed; a zero seed is remapped (xorshift
+    /// has a fixed point at zero).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Next 32-bit value (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// True with probability `num / 10_000` (basis points).
+    pub fn chance_bp(&mut self, num: u32) -> bool {
+        self.below(10_000) < num as u64
+    }
+}
+
+/// The guest-side fault classes of the survivability matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A stray store from application context into guest memory.
+    WildWriteApp,
+    /// A stray store from kernel context into the kernel image / low memory.
+    WildWriteKernel,
+    /// A burst of spurious device interrupts.
+    IrqStorm,
+    /// A device DMA landing at the wrong address.
+    DmaMisdirect,
+    /// A disk controller reporting a spurious error completion.
+    DiskError,
+    /// The NIC reporting a spurious error completion.
+    NicError,
+}
+
+impl FaultKind {
+    /// Number of fault classes.
+    pub const COUNT: usize = 6;
+
+    /// Every class, in matrix order.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::WildWriteApp,
+        FaultKind::WildWriteKernel,
+        FaultKind::IrqStorm,
+        FaultKind::DmaMisdirect,
+        FaultKind::DiskError,
+        FaultKind::NicError,
+    ];
+
+    /// Stable index for stats arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::WildWriteApp => 0,
+            FaultKind::WildWriteKernel => 1,
+            FaultKind::IrqStorm => 2,
+            FaultKind::DmaMisdirect => 3,
+            FaultKind::DiskError => 4,
+            FaultKind::NicError => 5,
+        }
+    }
+
+    /// Stable wire/trace code (also the `E` event code in journals).
+    pub fn code(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Class from a trace code, if valid.
+    pub fn from_code(code: u8) -> Option<FaultKind> {
+        FaultKind::ALL.get(code as usize).copied()
+    }
+
+    /// Human-readable label (used in JSON and CLI arguments).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::WildWriteApp => "wild-write-app",
+            FaultKind::WildWriteKernel => "wild-write-kernel",
+            FaultKind::IrqStorm => "irq-storm",
+            FaultKind::DmaMisdirect => "dma-misdirect",
+            FaultKind::DiskError => "disk-error",
+            FaultKind::NicError => "nic-error",
+        }
+    }
+
+    /// Class from its label, if valid.
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// One concrete fault the machine should apply now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Store `val` at physical address `addr` (word-aligned by the machine).
+    WildWrite {
+        /// Target physical address.
+        addr: u32,
+        /// Value to store.
+        val: u32,
+    },
+    /// Assert every IRQ line whose bit is set in `lines`.
+    IrqBurst {
+        /// Bitmask of IRQ lines 0..8.
+        lines: u8,
+    },
+    /// Splat a deterministic pattern (see [`splat_pattern`]) at `addr`.
+    DmaSplat {
+        /// Target physical address.
+        addr: u32,
+        /// Seed for the pattern bytes.
+        seed: u64,
+    },
+    /// Force an error completion on disk unit `unit`.
+    DiskError {
+        /// Disk unit index.
+        unit: u8,
+    },
+    /// Force a NIC error completion.
+    NicError,
+}
+
+/// A planned fault: which class it belongs to and what to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The matrix class.
+    pub kind: FaultKind,
+    /// The concrete operation.
+    pub op: FaultOp,
+}
+
+/// Bytes a misdirected DMA writes: 64 deterministic bytes from `seed`.
+pub fn splat_pattern(seed: u64) -> [u8; 64] {
+    let mut rng = XorShift64::new(seed ^ 0xd1b5_4a32_d192_ed03);
+    let mut buf = [0u8; 64];
+    for chunk in buf.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    buf
+}
+
+/// A deterministic fault campaign: which classes fire, how often, and where
+/// wild writes are allowed to land.
+///
+/// The address fields model the paper's protection story rather than police
+/// it: wild *attempts* are drawn from `[0, wild_span)`, but the machine only
+/// applies those below `wild_limit` — attempts at or above it are **blocked**
+/// and surface as protection exits. Under the monitors, `wild_limit` is the
+/// monitor base (guest-context stores architecturally cannot reach monitor
+/// memory); on raw hardware it equals `wild_span`, so everything lands —
+/// which is exactly why the raw platform dies and the monitored one does not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed; the whole campaign is a function of this and the clock.
+    pub seed: u64,
+    /// Enabled fault classes (empty plans inject nothing).
+    pub kinds: Vec<FaultKind>,
+    /// Mean cycles between injections (jittered ±50%).
+    pub period: u64,
+    /// Cycles before the first injection (lets a workload warm up first).
+    pub initial_delay: u64,
+    /// Wild writes and DMA misdirects aim anywhere in `[0, wild_span)`.
+    pub wild_span: u32,
+    /// Attempts at or above this address are blocked (protection model).
+    pub wild_limit: u32,
+    /// Kernel-context wild writes land in `[0, kernel_limit)`.
+    pub kernel_limit: u32,
+    /// IRQ lines an [`FaultOp::IrqBurst`] asserts (bitmask; 0 = let the
+    /// machine pick its default storm set).
+    pub storm_lines: u8,
+    /// Number of disk units error completions may target.
+    pub disk_units: u8,
+}
+
+impl FaultPlan {
+    /// A plan with every guest-side class enabled and library defaults.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            kinds: FaultKind::ALL.to_vec(),
+            period: 150_000,
+            initial_delay: 0,
+            wild_span: 1 << 20,
+            wild_limit: 1 << 20,
+            kernel_limit: 64 << 10,
+            storm_lines: 0,
+            disk_units: 3,
+        }
+    }
+
+    /// Restricts the plan to a single class.
+    pub fn only(mut self, kind: FaultKind) -> FaultPlan {
+        self.kinds = vec![kind];
+        self
+    }
+
+    /// Sets the mean injection period in cycles.
+    pub fn period(mut self, cycles: u64) -> FaultPlan {
+        self.period = cycles.max(1);
+        self
+    }
+
+    /// Sets the delay before the first injection.
+    pub fn initial_delay(mut self, cycles: u64) -> FaultPlan {
+        self.initial_delay = cycles;
+        self
+    }
+
+    /// Sets the wild-write attempt span and applied limit.
+    pub fn wild(mut self, span: u32, limit: u32) -> FaultPlan {
+        self.wild_span = span;
+        self.wild_limit = limit.min(span);
+        self
+    }
+}
+
+/// Per-class campaign counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults applied, indexed by [`FaultKind::index`].
+    pub injected: [u64; FaultKind::COUNT],
+    /// Wild attempts blocked by the protection model (`addr >= wild_limit`).
+    pub blocked: u64,
+}
+
+impl FaultStats {
+    /// Faults applied for one class.
+    pub fn injected_for(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total faults applied across classes.
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+/// The stateful injector a machine polls from its event queue.
+///
+/// `Clone` + `PartialEq` so it snapshots with the machine: a flight-recorder
+/// checkpoint restores the PRNG mid-campaign and replays the remaining
+/// faults identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: XorShift64,
+    /// Campaign counters.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let rng = XorShift64::new(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The campaign plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cycles until the first injection.
+    pub fn first_delay(&mut self) -> u64 {
+        self.plan.initial_delay + self.next_delay()
+    }
+
+    /// Cycles until the next injection: `period` jittered to `[½·p, 1½·p)`.
+    pub fn next_delay(&mut self) -> u64 {
+        self.plan.period / 2 + self.rng.below(self.plan.period) + 1
+    }
+
+    /// Draws the next planned fault, updating per-class counters. Returns
+    /// `None` when no classes are enabled.
+    pub fn next_fault(&mut self) -> Option<PlannedFault> {
+        if self.plan.kinds.is_empty() {
+            return None;
+        }
+        let kind = self.plan.kinds[self.rng.below(self.plan.kinds.len() as u64) as usize];
+        let op = match kind {
+            FaultKind::WildWriteApp => FaultOp::WildWrite {
+                addr: self.rng.below(self.plan.wild_span.max(4) as u64) as u32 & !3,
+                val: self.rng.next_u32(),
+            },
+            FaultKind::WildWriteKernel => FaultOp::WildWrite {
+                addr: self.rng.below(self.plan.kernel_limit.max(4) as u64) as u32 & !3,
+                val: self.rng.next_u32(),
+            },
+            FaultKind::IrqStorm => FaultOp::IrqBurst {
+                lines: self.plan.storm_lines,
+            },
+            FaultKind::DmaMisdirect => FaultOp::DmaSplat {
+                addr: self.rng.below(self.plan.wild_span.max(4) as u64) as u32 & !3,
+                seed: self.rng.next_u64(),
+            },
+            FaultKind::DiskError => FaultOp::DiskError {
+                unit: self.rng.below(self.plan.disk_units.max(1) as u64) as u8,
+            },
+            FaultKind::NicError => FaultOp::NicError,
+        };
+        self.stats.injected[kind.index()] += 1;
+        Some(PlannedFault { kind, op })
+    }
+
+    /// True when a wild attempt at `addr` must be blocked by the protection
+    /// model; updates the blocked counter when it is.
+    pub fn check_wild(&mut self, addr: u32) -> bool {
+        if addr >= self.plan.wild_limit {
+            self.stats.blocked += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// Link-fault probabilities, in basis points (1/10_000) per byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Chance a byte has one bit flipped.
+    pub flip_bp: u32,
+    /// Chance a byte is dropped.
+    pub drop_bp: u32,
+    /// Chance a byte is duplicated.
+    pub dup_bp: u32,
+    /// Chance the rest of a chunk is truncated at this byte.
+    pub trunc_bp: u32,
+}
+
+impl LinkFaultConfig {
+    /// A lossy-but-workable line: mostly flips, occasional drops/dups.
+    pub fn lossy(seed: u64) -> LinkFaultConfig {
+        LinkFaultConfig {
+            seed,
+            flip_bp: 40,
+            drop_bp: 20,
+            dup_bp: 20,
+            trunc_bp: 5,
+        }
+    }
+
+    /// A clean line (all probabilities zero) — useful as a control.
+    pub fn clean(seed: u64) -> LinkFaultConfig {
+        LinkFaultConfig {
+            seed,
+            flip_bp: 0,
+            drop_bp: 0,
+            dup_bp: 0,
+            trunc_bp: 0,
+        }
+    }
+}
+
+/// Counters for what the mangler actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Bytes offered to the mangler.
+    pub bytes: u64,
+    /// Bytes with a flipped bit.
+    pub flipped: u64,
+    /// Bytes dropped.
+    pub dropped: u64,
+    /// Bytes duplicated.
+    pub duplicated: u64,
+    /// Chunk truncations.
+    pub truncated: u64,
+}
+
+/// A deterministic byte-stream mangler for the serial debug channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFaults {
+    cfg: LinkFaultConfig,
+    rng: XorShift64,
+    /// What the mangler has done so far.
+    pub stats: LinkStats,
+}
+
+impl LinkFaults {
+    /// Creates a mangler from a config.
+    pub fn new(cfg: LinkFaultConfig) -> LinkFaults {
+        LinkFaults {
+            cfg,
+            rng: XorShift64::new(cfg.seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Applies flips/drops/dups/truncation to one chunk of line traffic.
+    pub fn mangle(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes.len());
+        for &b in bytes {
+            self.stats.bytes += 1;
+            if self.cfg.trunc_bp > 0 && self.rng.chance_bp(self.cfg.trunc_bp) {
+                self.stats.truncated += 1;
+                break;
+            }
+            if self.cfg.drop_bp > 0 && self.rng.chance_bp(self.cfg.drop_bp) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let b = if self.cfg.flip_bp > 0 && self.rng.chance_bp(self.cfg.flip_bp) {
+                self.stats.flipped += 1;
+                b ^ (1 << self.rng.below(8))
+            } else {
+                b
+            };
+            out.push(b);
+            if self.cfg.dup_bp > 0 && self.rng.chance_bp(self.cfg.dup_bp) {
+                self.stats.duplicated += 1;
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_varied() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let mut c = XorShift64::new(43);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        let mut r = XorShift64::new(0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn kind_codes_and_labels_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_code(200), None);
+        assert_eq!(FaultKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn injector_streams_are_reproducible() {
+        let plan = FaultPlan::new(7).wild(1 << 20, 1 << 19);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..256 {
+            assert_eq!(a.next_fault(), b.next_fault());
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.total() == 256);
+    }
+
+    #[test]
+    fn injector_clone_resumes_mid_stream() {
+        // The property snapshots rely on: cloning mid-campaign and
+        // continuing produces the same tail as the original.
+        let mut a = FaultInjector::new(FaultPlan::new(99));
+        for _ in 0..10 {
+            a.next_fault();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_fault(), b.next_fault());
+        }
+    }
+
+    #[test]
+    fn wild_targets_respect_plan_bounds() {
+        let plan = FaultPlan::new(3)
+            .only(FaultKind::WildWriteKernel)
+            .wild(1 << 20, 1 << 19);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..200 {
+            match inj.next_fault().unwrap().op {
+                FaultOp::WildWrite { addr, .. } => {
+                    assert!(addr < 64 << 10, "kernel writes stay in the kernel image");
+                    assert_eq!(addr & 3, 0);
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        // Blocking: addresses above the limit are rejected and counted.
+        assert!(inj.check_wild(0x1000));
+        assert!(!inj.check_wild(1 << 19));
+        assert_eq!(inj.stats.blocked, 1);
+    }
+
+    #[test]
+    fn jittered_delays_stay_in_band() {
+        let mut inj = FaultInjector::new(FaultPlan::new(5).period(1000));
+        for _ in 0..500 {
+            let d = inj.next_delay();
+            assert!((500..=1500).contains(&d), "delay {d} out of band");
+        }
+    }
+
+    #[test]
+    fn splat_pattern_is_stable() {
+        assert_eq!(splat_pattern(1), splat_pattern(1));
+        assert_ne!(splat_pattern(1), splat_pattern(2));
+    }
+
+    #[test]
+    fn clean_link_is_identity() {
+        let mut lf = LinkFaults::new(LinkFaultConfig::clean(1));
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(lf.mangle(&data), data);
+        assert_eq!(lf.stats.bytes, 256);
+        assert_eq!(lf.stats.flipped + lf.stats.dropped + lf.stats.duplicated, 0);
+    }
+
+    #[test]
+    fn lossy_link_mangles_deterministically() {
+        let mut a = LinkFaults::new(LinkFaultConfig::lossy(11));
+        let mut b = LinkFaults::new(LinkFaultConfig::lossy(11));
+        let data = vec![0xa5u8; 4096];
+        let (ma, mb) = (a.mangle(&data), b.mangle(&data));
+        assert_eq!(ma, mb);
+        assert_eq!(a.stats, b.stats);
+        // At these rates something must have happened over 4 KiB.
+        assert!(a.stats.flipped + a.stats.dropped + a.stats.duplicated + a.stats.truncated > 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mangle_never_grows_beyond_double(seed in any::<u64>(), len in 0usize..512) {
+                let mut lf = LinkFaults::new(LinkFaultConfig::lossy(seed));
+                let data = vec![0x42u8; len];
+                let out = lf.mangle(&data);
+                prop_assert!(out.len() <= 2 * len);
+            }
+
+            #[test]
+            fn below_is_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+                let mut rng = XorShift64::new(seed);
+                for _ in 0..32 {
+                    prop_assert!(rng.below(bound) < bound);
+                }
+            }
+        }
+    }
+}

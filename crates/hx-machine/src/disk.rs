@@ -305,6 +305,30 @@ impl Hdc {
         pic.assert_irq(crate::map::irq::HDC0 + unit);
         obs.irq(now, hx_obs::Dev::Hdc, (crate::map::irq::HDC0 + unit) as u32);
     }
+
+    /// Forces an error completion on `unit`, as fault injection does: any
+    /// in-flight command is aborted (its scheduled completion event goes
+    /// stale), the error bit is set, and the unit's IRQ fires so the driver
+    /// sees the failure.
+    pub fn inject_error_completion(
+        &mut self,
+        unit: u8,
+        now: u64,
+        pic: &mut Hpic,
+        obs: &mut hx_obs::Recorder,
+    ) {
+        let idx = unit as usize;
+        if idx >= UNITS {
+            return;
+        }
+        let u = &mut self.units[idx];
+        u.busy = false;
+        u.done = false;
+        u.error = true;
+        self.stats.errors += 1;
+        pic.assert_irq(crate::map::irq::HDC0 + unit);
+        obs.irq(now, hx_obs::Dev::Hdc, (crate::map::irq::HDC0 + unit) as u32);
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,11 @@ pub enum Event {
     NicTxDone,
     /// A received frame is ready to be placed in the RX ring.
     NicRxDeliver,
+    /// The fault-injection campaign's next fault is due (see
+    /// [`crate::Machine::enable_fault_injection`]). Riding the event queue —
+    /// rather than polling the clock — keeps batched and single-stepped runs
+    /// bit-identical under injection.
+    FaultInject,
 }
 
 /// A min-heap of `(due_cycle, sequence) → Event`.

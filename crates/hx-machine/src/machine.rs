@@ -12,7 +12,8 @@ use crate::uart::Huart;
 use hx_asm::Program;
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{Bus, BusFault, Cpu, MemSize, StepOutcome};
-use hx_obs::{Dev, Recorder};
+use hx_fault::{FaultInjector, FaultOp, FaultPlan, FaultStats};
+use hx_obs::{Dev, ExitCause, Recorder};
 
 /// Construction parameters for a [`Machine`].
 ///
@@ -138,6 +139,10 @@ pub struct Machine {
     now: u64,
     waiting: bool,
     cfg: MachineConfig,
+    /// Deterministic fault-injection campaign; `None` unless enabled. Lives
+    /// on the machine (and is `Clone`) so flight-recorder snapshots capture
+    /// the PRNG mid-campaign and replay the remaining faults identically.
+    fault: Option<FaultInjector>,
 }
 
 impl Machine {
@@ -162,6 +167,7 @@ impl Machine {
             now: 0,
             waiting: false,
             cfg,
+            fault: None,
         }
     }
 
@@ -218,6 +224,90 @@ impl Machine {
         self.nic.inject_rx(frame, self.now, &mut self.events);
     }
 
+    /// Default IRQ-storm line set: every device line except the debug UART
+    /// (storming the stub's own channel would conflate link faults with
+    /// guest faults).
+    pub const STORM_LINES_DEFAULT: u8 = 0b0111_1101;
+
+    /// Monitor-side cycles charged per blocked wild attempt: the cost of the
+    /// protection fault the attempt would raise under a monitor.
+    const PROTECTION_EXIT_COST: u64 = 96;
+
+    /// Arms a deterministic fault-injection campaign.
+    ///
+    /// Faults fire as [`Event::FaultInject`] on the machine's own event
+    /// queue, so an injected run is still a pure function of (program, plan)
+    /// and batched vs single-stepped execution stays bit-identical. A
+    /// `storm_lines` of 0 in the plan is replaced with
+    /// [`Machine::STORM_LINES_DEFAULT`].
+    pub fn enable_fault_injection(&mut self, mut plan: FaultPlan) {
+        if plan.storm_lines == 0 {
+            plan.storm_lines = Self::STORM_LINES_DEFAULT;
+        }
+        let mut inj = FaultInjector::new(plan);
+        self.events
+            .schedule(self.now + inj.first_delay(), Event::FaultInject);
+        self.fault = Some(inj);
+    }
+
+    /// Campaign counters, when fault injection is armed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(|f| &f.stats)
+    }
+
+    /// Handles one due [`Event::FaultInject`]: draws the next planned fault,
+    /// applies it against the devices/RAM, and schedules the next one.
+    fn apply_fault(&mut self, at: u64) {
+        let Some(inj) = self.fault.as_mut() else {
+            return;
+        };
+        let planned = inj.next_fault();
+        let delay = inj.next_delay();
+        self.events.schedule(at + delay, Event::FaultInject);
+        let Some(pf) = planned else {
+            return;
+        };
+        match pf.op {
+            FaultOp::WildWrite { addr, val } => {
+                self.obs.fault(at, pf.kind.code(), addr);
+                if self.fault.as_mut().unwrap().check_wild(addr) {
+                    let _ = self.mem.dma_write(addr, &val.to_le_bytes());
+                } else {
+                    self.obs
+                        .exit(at, ExitCause::Protection, Self::PROTECTION_EXIT_COST);
+                }
+            }
+            FaultOp::IrqBurst { lines } => {
+                self.obs.fault(at, pf.kind.code(), lines as u32);
+                for irq in 0..8u8 {
+                    if lines & (1 << irq) != 0 {
+                        self.pic.assert_irq(irq);
+                        self.obs.irq(at, Dev::Pic, irq as u32);
+                    }
+                }
+            }
+            FaultOp::DmaSplat { addr, seed } => {
+                self.obs.fault(at, pf.kind.code(), addr);
+                if self.fault.as_mut().unwrap().check_wild(addr) {
+                    let _ = self.mem.dma_write(addr, &hx_fault::splat_pattern(seed));
+                } else {
+                    self.obs
+                        .exit(at, ExitCause::Protection, Self::PROTECTION_EXIT_COST);
+                }
+            }
+            FaultOp::DiskError { unit } => {
+                self.obs.fault(at, pf.kind.code(), unit as u32);
+                self.hdc
+                    .inject_error_completion(unit, at, &mut self.pic, &mut self.obs);
+            }
+            FaultOp::NicError => {
+                self.obs.fault(at, pf.kind.code(), 0);
+                self.nic
+                    .inject_error_completion(at, &mut self.pic, &mut self.obs);
+            }
+        }
+    }
+
     fn process_due_events(&mut self) {
         while let Some((at, ev)) = self.events.pop_due(self.now) {
             match ev {
@@ -247,6 +337,7 @@ impl Machine {
                     self.nic
                         .on_rx_deliver(self.now, &mut self.mem, &mut self.pic, &mut self.obs)
                 }
+                Event::FaultInject => self.apply_fault(at),
             }
         }
     }
@@ -990,6 +1081,104 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Steps `n` times delivering traps/interrupts architecturally, logging
+    /// each step — tolerant of corrupted programs (fault-injection runs).
+    fn run_logged(m: &mut Machine, n: usize) -> Vec<(u64, String)> {
+        let mut log = Vec::new();
+        for _ in 0..n {
+            let s = m.step();
+            match s {
+                MachineStep::Interrupt { vector, .. } => {
+                    let t = m.interrupt_trap(vector);
+                    m.deliver_trap(t);
+                }
+                MachineStep::Trapped { trap, .. } => {
+                    m.deliver_trap(trap);
+                }
+                MachineStep::Stuck => break,
+                _ => {}
+            }
+            log.push((m.now(), format!("{s:?}")));
+        }
+        log
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let mut m = machine_with("spin:  addi s1, s1, 1\n j spin\n");
+            m.enable_fault_injection(hx_fault::FaultPlan::new(7).period(2_000));
+            let log = run_logged(&mut m, 20_000);
+            let stats = *m.fault_stats().unwrap();
+            (m.now(), stats, log, m.mem.clone())
+        };
+        let (now_a, stats_a, log_a, mem_a) = run();
+        let (now_b, stats_b, log_b, mem_b) = run();
+        assert_eq!(now_a, now_b);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(log_a, log_b);
+        assert_eq!(mem_a, mem_b);
+        assert!(stats_a.total() > 0, "campaign must actually fire");
+    }
+
+    #[test]
+    fn wild_limit_zero_blocks_everything() {
+        let mut m = machine_with("spin:  j spin\n");
+        let before = m.mem.clone();
+        m.enable_fault_injection(
+            hx_fault::FaultPlan::new(3)
+                .only(hx_fault::FaultKind::WildWriteApp)
+                .period(1_000)
+                .wild(1 << 20, 0),
+        );
+        run_logged(&mut m, 50_000);
+        let stats = *m.fault_stats().unwrap();
+        assert!(stats.total() > 0);
+        assert_eq!(stats.blocked, stats.total(), "limit 0 blocks every attempt");
+        assert_eq!(m.mem, before, "blocked attempts must not touch RAM");
+        assert_eq!(
+            m.obs.exits.get(ExitCause::Protection).count(),
+            stats.blocked,
+            "each blocked attempt surfaces as one protection exit"
+        );
+    }
+
+    #[test]
+    fn disk_and_nic_error_injection_reach_devices() {
+        let mut m = machine_with("spin:  j spin\n");
+        m.enable_fault_injection(
+            hx_fault::FaultPlan::new(11)
+                .only(hx_fault::FaultKind::DiskError)
+                .period(1_000),
+        );
+        run_logged(&mut m, 20_000);
+        assert!(m.hdc.stats().errors > 0);
+        let mut m = machine_with("spin:  j spin\n");
+        m.enable_fault_injection(
+            hx_fault::FaultPlan::new(11)
+                .only(hx_fault::FaultKind::NicError)
+                .period(1_000),
+        );
+        run_logged(&mut m, 20_000);
+        assert!(m.nic.counters().tx_errors > 0);
+    }
+
+    #[test]
+    fn irq_storm_avoids_uart_line_by_default() {
+        let mut m = machine_with("spin:  j spin\n");
+        m.enable_fault_injection(
+            hx_fault::FaultPlan::new(5)
+                .only(hx_fault::FaultKind::IrqStorm)
+                .period(1_000),
+        );
+        run_logged(&mut m, 20_000);
+        assert!(m.fault_stats().unwrap().total() > 0);
+        let (raised, _) = m.pic.stats();
+        assert_eq!(raised[map::irq::UART as usize], 0, "UART spared by default");
+        assert!(raised[map::irq::PIT as usize] > 0);
+        assert!(raised[map::irq::NIC_RX as usize] > 0);
     }
 
     #[test]

@@ -203,6 +203,13 @@ impl Nic {
         events.schedule(now + 1, Event::NicRxDeliver);
     }
 
+    /// Forces an error completion, as fault injection does: the error bit
+    /// latches in ISTATUS and the TX interrupt fires so the driver sees it.
+    pub fn inject_error_completion(&mut self, now: u64, pic: &mut Hpic, obs: &mut Recorder) {
+        self.counters.tx_errors += 1;
+        self.raise(istatus::ERROR, pic, now, obs);
+    }
+
     fn desc_addr(base: u32, index: u32) -> u32 {
         base.wrapping_add(index.wrapping_mul(16))
     }

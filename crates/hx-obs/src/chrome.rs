@@ -91,6 +91,9 @@ impl ChromeTrace {
                 EventKind::GuestSample { bytes, frames } => {
                     format!("\"bytes\":{bytes},\"frames\":{frames}")
                 }
+                EventKind::FaultInjected { code, arg } => {
+                    format!("\"code\":{code},\"arg\":{arg}")
+                }
             };
             self.lines.push(format!(
                 "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"{}\",\

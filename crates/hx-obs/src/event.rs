@@ -101,6 +101,10 @@ pub enum EventKind {
     DebugCommand { code: u8 },
     /// A guest-stats snapshot was sampled (bytes/frames are cumulative).
     GuestSample { bytes: u64, frames: u64 },
+    /// A deterministic fault was injected (`code` is the fault-class code
+    /// from `hx-fault`, `arg` a class-specific detail such as the target
+    /// address or IRQ mask).
+    FaultInjected { code: u8, arg: u32 },
 }
 
 impl EventKind {
@@ -114,6 +118,7 @@ impl EventKind {
             EventKind::Doorbell { .. } => "doorbell",
             EventKind::DebugCommand { .. } => "debug-cmd",
             EventKind::GuestSample { .. } => "guest-sample",
+            EventKind::FaultInjected { .. } => "fault-inject",
         }
     }
 }

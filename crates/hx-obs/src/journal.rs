@@ -69,16 +69,22 @@ pub enum JournalEvent {
     Doorbell { dev: Dev, reg: u32 },
     /// The debug stub executed one wire command.
     DebugCommand { code: u8 },
+    /// A deterministic fault was injected (`code` is the fault-class code
+    /// from `hx-fault`, `arg` a class-specific detail). Faults are
+    /// deterministic machine state, not inputs — they are journaled so a
+    /// replay can be audited against the live run fault-for-fault.
+    Fault { code: u8, arg: u32 },
 }
 
 impl JournalEvent {
-    /// The device this event belongs to (`None` for stub commands).
+    /// The device this event belongs to (`None` for stub commands and
+    /// injected faults).
     pub fn dev(&self) -> Option<Dev> {
         match *self {
             JournalEvent::Irq { dev, .. }
             | JournalEvent::Dma { dev, .. }
             | JournalEvent::Doorbell { dev, .. } => Some(dev),
-            JournalEvent::DebugCommand { .. } => None,
+            JournalEvent::DebugCommand { .. } | JournalEvent::Fault { .. } => None,
         }
     }
 }
@@ -231,6 +237,9 @@ impl Journal {
                     JournalEvent::DebugCommand { code } => {
                         out.push_str(&format!("E {} cmd {}\n", r.at, code));
                     }
+                    JournalEvent::Fault { code, arg } => {
+                        out.push_str(&format!("E {} fault {} {}\n", r.at, code, arg));
+                    }
                 }
                 e += 1;
             }
@@ -333,6 +342,17 @@ impl Journal {
                                 .ok_or_else(|| err(line, "bad command code"))?;
                             JournalEvent::DebugCommand { code }
                         }
+                        "fault" => {
+                            let code = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad fault code"))?;
+                            let arg = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad fault arg"))?;
+                            JournalEvent::Fault { code, arg }
+                        }
                         _ => return Err(err(line, "unknown event kind")),
                     };
                     j.events.push(EventRecord { at, ev });
@@ -433,21 +453,26 @@ impl StreamAudit {
 /// order and payloads of operations are determined by the guest program
 /// and must match if the platforms are behaviourally equivalent.
 pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
-    let streams: [(&str, Option<Dev>); 6] = [
-        ("nic", Some(Dev::Nic)),
-        ("hdc", Some(Dev::Hdc)),
-        ("pit", Some(Dev::Pit)),
-        ("uart", Some(Dev::Uart)),
-        ("pic", Some(Dev::Pic)),
-        ("stub", None),
+    fn is_dev(ev: &JournalEvent, dev: Dev) -> bool {
+        ev.dev() == Some(dev)
+    }
+    type StreamFilter = fn(&JournalEvent) -> bool;
+    let streams: [(&str, StreamFilter); 7] = [
+        ("nic", |e| is_dev(e, Dev::Nic)),
+        ("hdc", |e| is_dev(e, Dev::Hdc)),
+        ("pit", |e| is_dev(e, Dev::Pit)),
+        ("uart", |e| is_dev(e, Dev::Uart)),
+        ("pic", |e| is_dev(e, Dev::Pic)),
+        ("stub", |e| matches!(e, JournalEvent::DebugCommand { .. })),
+        ("fault", |e| matches!(e, JournalEvent::Fault { .. })),
     ];
     streams
         .into_iter()
-        .map(|(name, dev)| {
+        .map(|(name, belongs)| {
             let pick = |j: &Journal| -> Vec<EventRecord> {
                 j.events
                     .iter()
-                    .filter(|r| r.ev.dev() == dev)
+                    .filter(|r| belongs(&r.ev))
                     .copied()
                     .collect()
             };
@@ -600,6 +625,8 @@ mod tests {
                     .prop_map(|(dev, bytes, digest)| JournalEvent::Dma { dev, bytes, digest }),
                 (dev(), any::<u32>()).prop_map(|(dev, reg)| JournalEvent::Doorbell { dev, reg }),
                 any::<u8>().prop_map(|code| JournalEvent::DebugCommand { code }),
+                (any::<u8>(), any::<u32>())
+                    .prop_map(|(code, arg)| JournalEvent::Fault { code, arg }),
             ]
         }
 

@@ -210,6 +210,15 @@ impl Recorder {
         self.journal_event(at, JournalEvent::DebugCommand { code });
     }
 
+    /// Record one injected fault: `code` is the `hx-fault` class code,
+    /// `arg` a class-specific detail (target address, IRQ mask, unit).
+    /// Faults are deterministic machine state — journaled for audits, never
+    /// replayed as inputs.
+    pub fn fault(&mut self, at: u64, code: u8, arg: u32) {
+        self.event(at, EventKind::FaultInjected { code, arg });
+        self.journal_event(at, JournalEvent::Fault { code, arg });
+    }
+
     /// Reset all recorded data (ring, spans, histograms, profiler counts)
     /// but keep the tracing flag, the profiler's configuration and the
     /// journal — the journal must span a whole run, warmup included, or

@@ -14,19 +14,21 @@
 //! ```
 //!
 //! The protocol is GDB-remote-serial-protocol-shaped: `$payload#ck` framing
-//! with `+`/`-` acknowledgements ([`wire`]), ASCII command payloads
-//! ([`msg`]), and an out-of-band break-in byte (`0x03`) to halt a running
-//! guest. Memory contents are always hex-encoded, so payloads never need
-//! escaping.
+//! with `+`/`-` acknowledgements, `}`-escaping for payload bytes that
+//! collide with framing ([`wire`]), ASCII command payloads ([`msg`]), and an
+//! out-of-band break-in byte (`0x03`) to halt a running guest.
 //!
 //! The host client ([`Debugger`]) is transport-agnostic: anything that can
 //! move bytes to and from the target implements [`Link`]. In this
-//! repository the link is the simulated machine's UART.
+//! repository the link is the simulated machine's UART; [`LossyLink`] wraps
+//! any link with deterministic byte-level faults for survivability testing.
 
 pub mod debugger;
+pub mod lossy;
 pub mod msg;
 pub mod wire;
 
 pub use debugger::{DbgError, Debugger, Link, Registers};
+pub use lossy::LossyLink;
 pub use msg::{Command, ProfSample, Reply, StatsSample, StopReason};
 pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};

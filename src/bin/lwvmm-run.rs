@@ -10,7 +10,13 @@
 //! `--workload <mbps>` runs the built-in HiTactix streaming kernel instead
 //! of a source file. Platforms: `raw` (real hardware), `lvmm` (the paper's
 //! lightweight monitor, default), `hosted` (the conventional full monitor).
+//!
+//! `--fault all` (or a single class such as `--fault wild-write-kernel`)
+//! arms the deterministic fault injector: the campaign is a pure function
+//! of `--fault-seed` and the simulated clock, so the same invocation always
+//! wrecks the guest the same way.
 
+use lwvmm::fault::{FaultKind, FaultPlan};
 use lwvmm::guest::{kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
@@ -27,6 +33,8 @@ struct Options {
     engine_stats: bool,
     no_decode_cache: bool,
     profile: Option<String>,
+    fault: Option<String>,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +47,8 @@ fn parse_args() -> Result<Options, String> {
         engine_stats: false,
         no_decode_cache: false,
         profile: None,
+        fault: None,
+        fault_seed: 42,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +78,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.dump = Some((addr, len));
             }
             "--engine-stats" => opts.engine_stats = true,
+            "--fault" => opts.fault = Some(args.next().ok_or("missing --fault value")?),
+            "--fault-seed" => {
+                opts.fault_seed = args
+                    .next()
+                    .ok_or("missing --fault-seed value")?
+                    .parse()
+                    .map_err(|_| "--fault-seed expects a number")?
+            }
             "--profile" => opts.profile = Some(args.next().ok_or("missing --profile value")?),
             "--no-decode-cache" => opts.no_decode_cache = true,
             "-h" | "--help" => return Err(String::new()),
@@ -91,7 +109,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
                  [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
-                 [--profile out.folded]"
+                 [--profile out.folded] [--fault all|<class>] [--fault-seed N]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -149,6 +167,29 @@ fn main() -> ExitCode {
         ));
     }
 
+    if let Some(spec) = &opts.fault {
+        let ram_size = machine.config().ram_size as u32;
+        // Wild attempts span all of RAM; the monitors block everything at or
+        // above their reserved region, raw hardware blocks nothing.
+        let wild_limit = match opts.platform.as_str() {
+            "raw" | "real-hw" => ram_size,
+            "hosted" => ram_size - lwvmm::hosted::HostedConfig::default().host_mem,
+            _ => ram_size - lwvmm::monitor::LvmmConfig::default().monitor_mem,
+        };
+        let mut plan = FaultPlan::new(opts.fault_seed).wild(ram_size, wild_limit);
+        if spec != "all" {
+            let Some(kind) = FaultKind::from_label(spec) else {
+                eprintln!(
+                    "lwvmm-run: unknown fault class `{spec}` (all|{})",
+                    FaultKind::ALL.map(|k| k.label()).join("|")
+                );
+                return ExitCode::FAILURE;
+            };
+            plan = plan.only(kind);
+        }
+        machine.enable_fault_injection(plan);
+    }
+
     let mut platform: Box<dyn Platform> = match opts.platform.as_str() {
         "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
         "lvmm" => Box::new(LvmmPlatform::new(machine, entry)),
@@ -193,6 +234,23 @@ fn main() -> ExitCode {
         println!(
             "nic: {} frames, {} payload bytes ({mbps:.1} Mbit/s)",
             nic.tx_frames, nic.tx_bytes
+        );
+    }
+    if let Some(f) = m.fault_stats() {
+        let classes: Vec<String> = FaultKind::ALL
+            .iter()
+            .filter(|&&k| f.injected_for(k) > 0)
+            .map(|&k| format!("{} {}", f.injected_for(k), k.label()))
+            .collect();
+        println!(
+            "faults: {} injected, {} wild attempts blocked by protection ({})",
+            f.total(),
+            f.blocked,
+            if classes.is_empty() {
+                "none".to_string()
+            } else {
+                classes.join(", ")
+            }
         );
     }
     let hdc = m.hdc.stats();

@@ -64,3 +64,7 @@ pub use rdbg as debugger;
 
 /// Cycle-attributed tracing and metrics (`hx-obs`).
 pub use hx_obs as obs;
+
+/// Deterministic fault injection: guest fault campaigns and lossy-link
+/// mangling (`hx-fault`).
+pub use hx_fault as fault;
