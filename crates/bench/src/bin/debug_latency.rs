@@ -13,6 +13,7 @@
 //!         [--trace out.json] [--metrics]`
 
 use hitactix::{GuestStats, Workload};
+use hx_fault::{FaultKind, FaultPlan};
 use hx_machine::{Machine, MachineConfig, Platform};
 use hx_obs::{Align, ExitCause, Report};
 use lvmm::{LvmmPlatform, UartLink};
@@ -22,11 +23,22 @@ use rdbg::{Debugger, StatsSample};
 fn main() {
     let trace_path = arg_value("--trace");
     let metrics = arg_flag("--metrics");
+    let csv = arg_flag("--csv");
     let mut machine = Machine::new(MachineConfig::default());
     let clock = machine.config().clock_hz;
     let workload = Workload::new(100);
     let program = workload.build(&machine).expect("kernel assembles");
     machine.load_program(&program);
+    // Arm a deterministic wild-write campaign whose attempts are all
+    // blocked by the protection model (applied limit 0): the guest is
+    // untouched and keeps streaming, but the remote `qStats` sample below
+    // must surface the attempt counters.
+    machine.enable_fault_injection(
+        FaultPlan::new(11)
+            .only(FaultKind::WildWriteApp)
+            .period(clock / 100)
+            .wild(1 << 20, 0),
+    );
     if trace_path.is_some() {
         machine.obs.enable_tracing();
     }
@@ -99,6 +111,26 @@ fn main() {
         }
     }
     println!("\n{}", exits.to_text());
+
+    // Fault-injection counters travel in the same live sample.
+    assert!(
+        s.fault_blocked > 0,
+        "the blocked wild-write campaign must be visible in qStats"
+    );
+    let mut faults = Report::new("qStats fault-injection counters (sampled without halting)")
+        .column("fault class", Align::Left)
+        .column("attempted", Align::Right);
+    for (kind, count) in FaultKind::ALL.into_iter().zip(&s.faults) {
+        faults.row([kind.label().to_string(), count.to_string()]);
+    }
+    faults.row([
+        "blocked (protection)".to_string(),
+        s.fault_blocked.to_string(),
+    ]);
+    println!("\n{}", faults.to_text());
+    if csv {
+        println!("{}", faults.to_csv());
+    }
 
     // The stream must have kept flowing during all of the above — run a
     // little longer and confirm the transmit counter is still climbing.

@@ -68,5 +68,5 @@ pub mod vcpu;
 pub use platform::{LvmmConfig, LvmmPlatform, LvmmStats, UartLink};
 pub use replay::ReplayDriver;
 pub use shadow::ShadowPager;
-pub use stub::Stub;
+pub use stub::{Stub, Watchpoint};
 pub use vcpu::VCpu;

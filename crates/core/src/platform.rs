@@ -20,7 +20,7 @@
 use crate::chipset::VChipset;
 use crate::costs;
 use crate::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager, ShadowStats};
-use crate::stub::{err, StepIntent, Stub, StubStats};
+use crate::stub::{err, StepIntent, Stub, StubStats, Watchpoint};
 use crate::vcpu::VCpu;
 use hx_cpu::csr::{Csr, Status};
 use hx_cpu::isa::{Instr, LoadKind, StoreKind, SysOp, EBREAK_WORD};
@@ -32,6 +32,7 @@ use hx_machine::platform::PlatformStep;
 use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
 use hx_obs::{EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
+use hx_query::{Expr, SliceCtx};
 use rdbg::msg::{Command, ProfSample, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
@@ -77,6 +78,9 @@ pub struct LvmmStats {
     pub protection_violations: u64,
     /// Single guest stores emulated because a watchpoint shares their page.
     pub emulated_stores: u64,
+    /// Single guest loads emulated because a read watchpoint shares their
+    /// page.
+    pub emulated_loads: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -486,7 +490,14 @@ impl LvmmPlatform {
                 self.consume_monitor(costs::EXIT_BASE);
                 if self.stub.breakpoints.contains_key(&trap.epc) {
                     self.mstats.exits_debug += 1;
-                    self.stub_stop(StopReason::Breakpoint { pc: trap.epc });
+                    if self.bp_condition_holds(trap.epc) {
+                        self.stub_stop(StopReason::Breakpoint { pc: trap.epc });
+                    } else {
+                        // Condition false: silently step over the planted
+                        // `ebreak` and keep running — the guest never
+                        // observes the stop.
+                        self.arm_resume(StepIntent::Resume);
+                    }
                 } else {
                     // The guest's own `ebreak` (e.g. its embedded debugger).
                     self.inject_guest_trap(Cause::Breakpoint, trap.epc, trap.tval);
@@ -711,32 +722,52 @@ impl LvmmPlatform {
                     });
                     return ExitCause::Debug;
                 }
-                // Watchpoints first: stores into a watched page never get a
-                // writable shadow mapping.
-                if access == Access::Store && self.stub.watch_overlaps_page(va) {
-                    if let Some(_wp) = self.stub.watch_hit(va, 4) {
-                        self.mstats.exits_debug += 1;
-                        self.stub_stop(StopReason::Watchpoint {
-                            pc: trap.epc,
-                            addr: va,
-                        });
-                        return ExitCause::Debug;
+                // Watchpoints first: accesses into a watched page never get
+                // a shadow mapping in the watched direction, so every one
+                // of them faults into the monitor for inspection.
+                let is_store = access == Access::Store;
+                let watched_page = if is_store {
+                    self.stub.watch_overlaps_page_write(va)
+                } else {
+                    access == Access::Load && self.stub.watch_overlaps_page_read(va)
+                };
+                if watched_page {
+                    if let Some(w) = self.stub.watch_hit(va, 4, is_store) {
+                        let cond = w.cond.clone();
+                        let stop = match cond {
+                            None => true,
+                            // Unevaluable conditions stop too — fail safe.
+                            Some(c) => c.eval(self).is_none_or(|v| v != 0),
+                        };
+                        if stop {
+                            self.mstats.exits_debug += 1;
+                            self.stub_stop(StopReason::Watchpoint {
+                                pc: trap.epc,
+                                addr: va,
+                            });
+                            return ExitCause::Debug;
+                        }
                     }
-                    // Unwatched store that merely shares the page: the
-                    // monitor completes it on the guest's behalf.
-                    self.emulate_guest_store(trap, gpa);
+                    // Unwatched (or condition-false) access that merely
+                    // shares the page: the monitor completes it on the
+                    // guest's behalf.
+                    if is_store {
+                        self.emulate_guest_store(trap, gpa);
+                    } else {
+                        self.emulate_guest_load(trap, gpa);
+                    }
                     return ExitCause::Debug;
                 }
                 self.mstats.exits_shadow += 1;
                 self.consume_monitor(costs::SHADOW_FILL);
                 let mut flags = pte::V | pte::U | pte::A | pte::D;
-                if gflags & pte::R != 0 {
+                if gflags & pte::R != 0 && !self.stub.watch_overlaps_page_read(va) {
                     flags |= pte::R;
                 }
                 if gflags & pte::X != 0 {
                     flags |= pte::X;
                 }
-                if gperm_w && !self.stub.watch_overlaps_page(va) {
+                if gperm_w && !self.stub.watch_overlaps_page_write(va) {
                     flags |= pte::W;
                 }
                 let key = self.shadow_key();
@@ -775,6 +806,7 @@ impl LvmmPlatform {
                 let val = self.chipset.mmio_read(&mut self.machine, page, offset);
                 self.machine.cpu.set_reg(rd, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+                self.machine.note_logpoints(trap.epc);
             }
             (
                 Instr::Store {
@@ -794,6 +826,7 @@ impl LvmmPlatform {
                 self.chipset
                     .mmio_write(&mut self.machine, page, offset, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+                self.machine.note_logpoints(trap.epc);
             }
             _ => {
                 // Sub-word or executable access to a device page: reflect
@@ -821,10 +854,46 @@ impl LvmmPlatform {
             let val = self.machine.cpu.reg(rs2);
             if self.machine.mem.write(gpa, val, size).is_ok() {
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+                // The instruction retired by emulation — the engine's
+                // boundary hook never saw it.
+                self.machine.note_logpoints(trap.epc);
                 return;
             }
         }
         self.inject_guest_trap(Cause::StoreAccessFault, trap.epc, trap.tval);
+    }
+
+    /// Completes one guest load that faulted only because a read
+    /// watchpoint shares its page.
+    fn emulate_guest_load(&mut self, trap: Trap, gpa: u32) {
+        self.consume_monitor(costs::EMUL_ACCESS);
+        self.mstats.emulated_loads += 1;
+        let Some(instr) = self.fetch_guest_instr(trap.epc) else {
+            self.inject_guest_trap(Cause::InstrPageFault, trap.epc, trap.epc);
+            return;
+        };
+        if let Instr::Load { kind, rd, .. } = instr {
+            let size = match kind {
+                LoadKind::B | LoadKind::Bu => MemSize::Byte,
+                LoadKind::H | LoadKind::Hu => MemSize::Half,
+                LoadKind::W => MemSize::Word,
+            };
+            if let Ok(raw) = self.machine.mem.read(gpa, size) {
+                // Same extension rules as the CPU's own load path.
+                let val = match kind {
+                    LoadKind::B => raw as u8 as i8 as i32 as u32,
+                    LoadKind::Bu => raw & 0xff,
+                    LoadKind::H => raw as u16 as i16 as i32 as u32,
+                    LoadKind::Hu => raw & 0xffff,
+                    LoadKind::W => raw,
+                };
+                self.machine.cpu.set_reg(rd, val);
+                self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
+                self.machine.note_logpoints(trap.epc);
+                return;
+            }
+        }
+        self.inject_guest_trap(Cause::LoadAccessFault, trap.epc, trap.tval);
     }
 
     /// Fetches the instruction word at a guest virtual PC.
@@ -1064,17 +1133,23 @@ impl LvmmPlatform {
                 let Some(orig) = self.stub.breakpoints.remove(&addr) else {
                     return Reply::Error(err::BP);
                 };
+                self.stub.bp_conds.remove(&addr);
                 if let Some(pa) = self.debug_translate(addr) {
                     let _ = self.machine.mem.write(pa, orig, MemSize::Word);
                 }
                 Reply::Ok
             }
-            Command::SetWatchpoint { addr, len } => {
+            Command::SetWatchpoint { addr, len, kind } => {
                 if len == 0 {
                     return Reply::Error(err::PARSE);
                 }
-                self.stub.watchpoints.push((addr, len));
-                // Drop writable mappings so watched pages re-fault.
+                self.stub.watchpoints.push(Watchpoint {
+                    addr,
+                    len,
+                    kind,
+                    cond: None,
+                });
+                // Drop mappings so watched pages re-fault.
                 self.shadow.flush_all(&mut self.machine.mem);
                 self.activate_shadow();
                 self.machine.cpu.tlb_flush();
@@ -1082,7 +1157,7 @@ impl LvmmPlatform {
             }
             Command::ClearWatchpoint { addr } => {
                 let before = self.stub.watchpoints.len();
-                self.stub.watchpoints.retain(|&(a, _)| a != addr);
+                self.stub.watchpoints.retain(|w| w.addr != addr);
                 if self.stub.watchpoints.len() == before {
                     return Reply::Error(err::BP);
                 }
@@ -1090,6 +1165,63 @@ impl LvmmPlatform {
                 self.activate_shadow();
                 self.machine.cpu.tlb_flush();
                 Reply::Ok
+            }
+            Command::SetBreakCondition { addr, expr } => {
+                if !self.stub.breakpoints.contains_key(&addr) {
+                    return Reply::Error(err::BP);
+                }
+                match Expr::parse(&expr) {
+                    Ok(e) => {
+                        self.stub.bp_conds.insert(addr, e);
+                        Reply::Ok
+                    }
+                    Err(_) => Reply::Error(err::QUERY),
+                }
+            }
+            Command::SetWatchCondition { addr, expr } => {
+                let Ok(e) = Expr::parse(&expr) else {
+                    return Reply::Error(err::QUERY);
+                };
+                let mut any = false;
+                for w in &mut self.stub.watchpoints {
+                    if w.addr == addr {
+                        w.cond = Some(e.clone());
+                        any = true;
+                    }
+                }
+                if any {
+                    Reply::Ok
+                } else {
+                    Reply::Error(err::BP)
+                }
+            }
+            Command::SetLogpoint { addr, label, expr } => {
+                let cond = if expr.is_empty() {
+                    None
+                } else {
+                    match Expr::parse(&expr) {
+                        Ok(e) => Some(e),
+                        Err(_) => return Reply::Error(err::QUERY),
+                    }
+                };
+                self.machine.add_logpoint(addr, &label, cond);
+                Reply::Ok
+            }
+            Command::ClearLogpoint { addr } => {
+                if self.machine.clear_logpoint(addr) {
+                    Reply::Ok
+                } else {
+                    Reply::Error(err::BP)
+                }
+            }
+            Command::QueryFirst { expr } => {
+                if !self.stub.stopped {
+                    return Reply::Error(err::NOT_STOPPED);
+                }
+                match Expr::parse(&expr) {
+                    Ok(e) => self.query_first(&e),
+                    Err(_) => Reply::Error(err::QUERY),
+                }
             }
             Command::Step => {
                 if !self.stub.stopped {
@@ -1176,6 +1308,12 @@ impl LvmmPlatform {
                 // Answered whether or not the guest is stopped — the whole
                 // point is sampling the monitor live, without a halt.
                 let decode = self.machine.cpu.decode_stats();
+                let faults = self
+                    .machine
+                    .fault_stats()
+                    .map(|f| f.injected.to_vec())
+                    .unwrap_or_default();
+                let fault_blocked = self.machine.fault_stats().map_or(0, |f| f.blocked);
                 Reply::Stats(StatsSample {
                     now: self.machine.now(),
                     guest: self.stats.guest,
@@ -1187,6 +1325,8 @@ impl LvmmPlatform {
                     fast_fetches: decode.fast_fetches,
                     decode_invalidations: decode.invalidations,
                     exits: self.machine.obs.exits.counts().to_vec(),
+                    faults,
+                    fault_blocked,
                 })
             }
             Command::QueryProf { max } => {
@@ -1206,6 +1346,122 @@ impl LvmmPlatform {
                         .collect(),
                 })
             }
+        }
+    }
+
+    /// Does the condition attached to the breakpoint at `pc` hold?
+    /// Unconditional breakpoints and unevaluable conditions stop — fail
+    /// safe.
+    fn bp_condition_holds(&mut self, pc: u32) -> bool {
+        let Some(cond) = self.stub.bp_conds.get(&pc).cloned() else {
+            return true;
+        };
+        cond.eval(self).is_none_or(|v| v != 0)
+    }
+
+    /// Evaluates a query predicate against the live machine state, in the
+    /// same physical-address view the checkpoint scan uses.
+    fn eval_pred(&mut self, expr: &Expr) -> bool {
+        let pc = self.machine.cpu.pc();
+        let now = self.machine.now();
+        let mut ctx = SliceCtx::new(
+            self.machine.mem.as_bytes(),
+            self.machine.cpu.regs(),
+            pc,
+            now,
+        );
+        expr.eval(&mut ctx).is_some_and(|v| v != 0)
+    }
+
+    /// `Qq`: finds the earliest recorded instruction boundary at which
+    /// `expr` evaluates nonzero and parks the guest there by time travel.
+    ///
+    /// The checkpoints are scanned in order, evaluating the predicate
+    /// against each stored snapshot (no re-execution). The first satisfying
+    /// checkpoint brackets the answer to the window since the previous
+    /// checkpoint; that window's start is restored and history re-executed
+    /// one instruction at a time until the predicate holds. When no
+    /// checkpoint satisfies it, the whole timeline is scanned from the
+    /// first checkpoint — the predicate may hold only *between*
+    /// checkpoints. A miss replays back to the original cycle (state
+    /// byte-identical) and reports `found = 0`.
+    fn query_first(&mut self, expr: &Expr) -> Reply {
+        let Some(fr) = self.flight.as_deref() else {
+            return Reply::Error(err::RECORDER);
+        };
+        if fr.replaying {
+            return Reply::Error(err::RECORDER);
+        }
+        let Some(journal) = self.machine.obs.journal().cloned() else {
+            return Reply::Error(err::RECORDER);
+        };
+        let original = self.machine.now();
+
+        // Checkpoint scan → restore point.
+        let mut restore_at = None;
+        let mut prev: Option<u64> = None;
+        let fr = self.flight.as_deref().expect("checked above");
+        for cp in fr.checkpoints.iter() {
+            let m = &cp.state.machine;
+            let mut ctx = SliceCtx::new(m.mem.as_bytes(), m.cpu.regs(), m.cpu.pc(), cp.at);
+            if expr.eval(&mut ctx).is_some_and(|v| v != 0) {
+                restore_at = Some(prev.unwrap_or(cp.at));
+                break;
+            }
+            prev = Some(cp.at);
+        }
+        let restore_at =
+            restore_at.unwrap_or_else(|| fr.checkpoints.iter().next().map_or(original, |c| c.at));
+
+        let fr = self.flight.as_mut().expect("checked above");
+        let Some(cp) = fr.checkpoints.nearest_at_or_before(restore_at) else {
+            return Reply::Error(err::RECORDER);
+        };
+        let cp_at = cp.at;
+        let snap = cp.state.clone();
+        fr.checkpoints.truncate_after(cp_at);
+        fr.stop_history.retain(|&c| c <= cp_at);
+        self.restore(snap);
+        self.flight.as_mut().expect("checked above").replaying = true;
+        let mut cursor = ReplayCursor::new(&journal);
+        let done = self.machine.obs.journal().map_or(0, |j| j.inputs.len());
+        cursor.skip_first(done);
+        let mut found = None;
+        loop {
+            let now = self.machine.now();
+            if self.eval_pred(expr) {
+                found = Some(now);
+                break;
+            }
+            if now >= original {
+                break;
+            }
+            while let Some(rec) = cursor.pop_due(now) {
+                match rec.input {
+                    JournalInput::UartRx(bytes) => self.machine.uart_input(&bytes),
+                    JournalInput::NicRx(frame) => self.inject_rx_frame(&frame),
+                }
+            }
+            if self.step() == PlatformStep::Stuck {
+                break;
+            }
+        }
+        // Stub replies regenerated during the re-run were already delivered
+        // on the original timeline; the host must not see them twice.
+        let _ = self.machine.uart_output();
+        self.flight.as_mut().expect("checked above").replaying = false;
+        let pc = self.machine.cpu.pc();
+        let cycle = self.machine.now();
+        self.stub_stop(StopReason::TimeTravel { pc, cycle });
+        match found {
+            Some(c) => Reply::Query {
+                found: true,
+                cycle: c,
+            },
+            None => Reply::Query {
+                found: false,
+                cycle,
+            },
         }
     }
 
@@ -1288,6 +1544,40 @@ impl LvmmPlatform {
     }
 }
 
+/// The live-guest evaluation context for breakpoint and watchpoint
+/// conditions: registers and PC come from the real CPU, memory operands go
+/// through the debugger's address translation (guest page tables honoured,
+/// permission bits ignored), so conditions see the same world the host's
+/// `m` command shows.
+impl hx_query::EvalCtx for LvmmPlatform {
+    fn reg(&mut self, idx: u8) -> u32 {
+        self.machine
+            .cpu
+            .regs()
+            .get(idx as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn pc(&mut self) -> u32 {
+        self.machine.cpu.pc()
+    }
+
+    fn cycle(&mut self) -> u64 {
+        self.machine.now()
+    }
+
+    fn load(&mut self, addr: u32, size: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for i in 0..size as u32 {
+            let pa = self.debug_translate(addr.wrapping_add(i))?;
+            let b = self.machine.mem.read(pa, MemSize::Byte).ok()?;
+            v |= (b & 0xff) << (8 * i);
+        }
+        Some(v)
+    }
+}
+
 impl ExitPolicy for LvmmPlatform {
     fn mach(&self) -> &Machine {
         &self.machine
@@ -1339,10 +1629,11 @@ impl Platform for LvmmPlatform {
 
     fn step(&mut self) -> PlatformStep {
         // The flight recorder needs per-instruction boundaries (its
-        // `reverse-step` anchor and checkpoint cadence), and so does the
-        // profiler (its PC attribution anchor); batching is only enabled
-        // when both are off.
-        let batch = self.flight.is_none() && !self.machine.obs.profiling();
+        // `reverse-step` anchor and checkpoint cadence), and so do the
+        // profiler (its PC attribution anchor) and armed logpoints;
+        // batching is only enabled when all are off.
+        let batch =
+            self.flight.is_none() && !self.machine.obs.profiling() && !self.machine.has_logpoints();
         self.step_impl(batch)
     }
 

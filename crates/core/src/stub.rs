@@ -7,7 +7,8 @@
 //! implemented on [`crate::LvmmPlatform`], which owns both the machine and
 //! this state.
 
-use rdbg::msg::StopReason;
+use hx_query::Expr;
+use rdbg::msg::{StopReason, WatchKind};
 use rdbg::wire::PacketParser;
 use std::collections::HashMap;
 
@@ -28,6 +29,22 @@ pub mod err {
     pub const RECORDER: u8 = 6;
     /// No profiler enabled on the target.
     pub const PROFILER: u8 = 7;
+    /// Malformed condition/query expression.
+    pub const QUERY: u8 = 8;
+}
+
+/// One armed data watchpoint.
+#[derive(Debug, Clone)]
+pub struct Watchpoint {
+    /// Watched guest virtual address.
+    pub addr: u32,
+    /// Watched range length in bytes.
+    pub len: u32,
+    /// Which access directions trigger it.
+    pub kind: WatchKind,
+    /// Optional condition: the stop fires only when it evaluates nonzero
+    /// (an unevaluable condition stops too — fail safe).
+    pub cond: Option<Expr>,
 }
 
 /// What the stub armed single-step for.
@@ -61,8 +78,11 @@ pub struct Stub {
     pub parser: PacketParser,
     /// Planted software breakpoints: guest VA → original instruction word.
     pub breakpoints: HashMap<u32, u32>,
-    /// Armed write watchpoints as `(va, len)` ranges.
-    pub watchpoints: Vec<(u32, u32)>,
+    /// Breakpoint conditions: guest VA → condition expression. A planted
+    /// breakpoint with no entry here stops unconditionally.
+    pub bp_conds: HashMap<u32, Expr>,
+    /// Armed data watchpoints.
+    pub watchpoints: Vec<Watchpoint>,
     /// Is the guest currently stopped under debugger control?
     pub stopped: bool,
     /// The most recent stop reason (valid while `stopped`).
@@ -98,6 +118,7 @@ impl Stub {
         Stub {
             parser: PacketParser::new(),
             breakpoints: HashMap::new(),
+            bp_conds: HashMap::new(),
             watchpoints: Vec::new(),
             stopped: false,
             last_stop: None,
@@ -109,20 +130,41 @@ impl Stub {
         }
     }
 
-    /// Does any watchpoint overlap the 4 KiB page containing `va`?
-    pub fn watch_overlaps_page(&self, va: u32) -> bool {
-        let page = va & !0xfff;
-        self.watchpoints
-            .iter()
-            .any(|&(a, l)| a < page.saturating_add(0x1000) && a.saturating_add(l) > page)
+    /// Does any *write-sensitive* watchpoint overlap the 4 KiB page
+    /// containing `va`? Such pages must never get a writable shadow
+    /// mapping.
+    pub fn watch_overlaps_page_write(&self, va: u32) -> bool {
+        self.watch_overlaps_page(va, |k| k.watches_write())
     }
 
-    /// Does a write to `[va, va+len)` hit any watchpoint exactly?
-    pub fn watch_hit(&self, va: u32, len: u32) -> Option<(u32, u32)> {
-        self.watchpoints
-            .iter()
-            .copied()
-            .find(|&(a, l)| a < va.saturating_add(len) && a.saturating_add(l) > va)
+    /// Does any *read-sensitive* watchpoint overlap the 4 KiB page
+    /// containing `va`? Such pages must never get a readable shadow
+    /// mapping.
+    pub fn watch_overlaps_page_read(&self, va: u32) -> bool {
+        self.watch_overlaps_page(va, |k| k.watches_read())
+    }
+
+    fn watch_overlaps_page(&self, va: u32, dir: impl Fn(WatchKind) -> bool) -> bool {
+        let page = va & !0xfff;
+        self.watchpoints.iter().any(|w| {
+            dir(w.kind)
+                && w.addr < page.saturating_add(0x1000)
+                && w.addr.saturating_add(w.len) > page
+        })
+    }
+
+    /// Does an access to `[va, va+len)` hit a watchpoint exactly?
+    /// `is_store` selects the direction the watchpoint must be sensitive
+    /// to.
+    pub fn watch_hit(&self, va: u32, len: u32, is_store: bool) -> Option<&Watchpoint> {
+        self.watchpoints.iter().find(|w| {
+            let dir = if is_store {
+                w.kind.watches_write()
+            } else {
+                w.kind.watches_read()
+            };
+            dir && w.addr < va.saturating_add(len) && w.addr.saturating_add(w.len) > va
+        })
     }
 }
 
@@ -130,17 +172,44 @@ impl Stub {
 mod tests {
     use super::*;
 
+    fn wp(addr: u32, len: u32, kind: WatchKind) -> Watchpoint {
+        Watchpoint {
+            addr,
+            len,
+            kind,
+            cond: None,
+        }
+    }
+
     #[test]
     fn watch_overlap_logic() {
         let mut s = Stub::new();
-        s.watchpoints.push((0x2ffc, 8)); // straddles a page boundary
-        assert!(s.watch_overlaps_page(0x2000));
-        assert!(s.watch_overlaps_page(0x3000));
-        assert!(!s.watch_overlaps_page(0x4000));
-        assert_eq!(s.watch_hit(0x3000, 4), Some((0x2ffc, 8)));
-        assert_eq!(s.watch_hit(0x2ff8, 4), None);
-        assert_eq!(s.watch_hit(0x2ff8, 5), Some((0x2ffc, 8)));
-        assert_eq!(s.watch_hit(0x3004, 4), None);
+        // Straddles a page boundary.
+        s.watchpoints.push(wp(0x2ffc, 8, WatchKind::Write));
+        assert!(s.watch_overlaps_page_write(0x2000));
+        assert!(s.watch_overlaps_page_write(0x3000));
+        assert!(!s.watch_overlaps_page_write(0x4000));
+        assert!(!s.watch_overlaps_page_read(0x3000), "write-only watch");
+        assert_eq!(s.watch_hit(0x3000, 4, true).map(|w| w.addr), Some(0x2ffc));
+        assert!(s.watch_hit(0x2ff8, 4, true).is_none());
+        assert_eq!(s.watch_hit(0x2ff8, 5, true).map(|w| w.addr), Some(0x2ffc));
+        assert!(s.watch_hit(0x3004, 4, true).is_none());
+        assert!(s.watch_hit(0x3000, 4, false).is_none(), "loads not watched");
+    }
+
+    #[test]
+    fn watch_kinds_select_directions() {
+        let mut s = Stub::new();
+        s.watchpoints.push(wp(0x1000, 4, WatchKind::Read));
+        s.watchpoints.push(wp(0x5000, 4, WatchKind::Access));
+        assert!(s.watch_overlaps_page_read(0x1000));
+        assert!(!s.watch_overlaps_page_write(0x1000));
+        assert!(s.watch_overlaps_page_read(0x5000));
+        assert!(s.watch_overlaps_page_write(0x5000));
+        assert!(s.watch_hit(0x1000, 4, true).is_none());
+        assert!(s.watch_hit(0x1000, 4, false).is_some());
+        assert!(s.watch_hit(0x5000, 4, true).is_some());
+        assert!(s.watch_hit(0x5000, 4, false).is_some());
     }
 
     #[test]
@@ -148,6 +217,27 @@ mod tests {
         let s = Stub::new();
         assert!(!s.stopped);
         assert!(s.breakpoints.is_empty());
+        assert!(s.bp_conds.is_empty());
         assert!(s.last_stop.is_none());
+    }
+
+    #[test]
+    fn err_names_cover_all_stub_codes() {
+        // The host-side decoder must know every code the stub can emit.
+        for code in [
+            err::PARSE,
+            err::REG,
+            err::MEM,
+            err::NOT_STOPPED,
+            err::BP,
+            err::RECORDER,
+            err::PROFILER,
+            err::QUERY,
+        ] {
+            assert!(
+                rdbg::err_name(code).is_some(),
+                "stub error code {code} has no host-side name"
+            );
+        }
     }
 }

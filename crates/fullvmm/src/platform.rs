@@ -594,8 +594,9 @@ impl Platform for HostedPlatform {
     }
 
     fn step(&mut self) -> PlatformStep {
-        // The profiler needs per-instruction PC boundaries.
-        self.step_impl(!self.machine.obs.profiling())
+        // The profiler and logpoints need per-instruction PC boundaries.
+        let batch = !self.machine.obs.profiling() && !self.machine.has_logpoints();
+        self.step_impl(batch)
     }
 
     fn step_precise(&mut self) -> PlatformStep {

@@ -293,9 +293,15 @@ impl EmbeddedStubPlatform {
                 }
                 Reply::Ok
             }
-            Command::SetWatchpoint { .. } | Command::ClearWatchpoint { .. } => {
-                // No MMU tricks available to an in-kernel stub on this
-                // hardware; watchpoints are a monitor-only feature.
+            Command::SetWatchpoint { .. }
+            | Command::ClearWatchpoint { .. }
+            | Command::SetBreakCondition { .. }
+            | Command::SetWatchCondition { .. }
+            | Command::SetLogpoint { .. }
+            | Command::ClearLogpoint { .. } => {
+                // No MMU tricks or condition evaluator available to an
+                // in-kernel stub on this hardware; watchpoints, conditions
+                // and logpoints are monitor-only features.
                 Reply::Error(9)
             }
             Command::Reset => Reply::Error(9),
@@ -304,7 +310,10 @@ impl EmbeddedStubPlatform {
                 // to report.
                 Reply::Error(9)
             }
-            Command::ReverseStep | Command::ReverseContinue | Command::Seek { .. } => {
+            Command::ReverseStep
+            | Command::ReverseContinue
+            | Command::Seek { .. }
+            | Command::QueryFirst { .. } => {
                 // Time travel needs the monitor's flight recorder; an
                 // in-kernel stub cannot rewind the machine it runs on.
                 Reply::Error(9)

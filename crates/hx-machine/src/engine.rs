@@ -166,6 +166,7 @@ pub trait ExitPolicy {
                 MachineStep::Executed { cycles } => {
                     self.on_instr_boundary(at);
                     self.mach_mut().obs.instr_boundary(pc);
+                    self.mach_mut().note_logpoints(pc);
                     self.charge(TimeBucket::Guest, cycles);
                     PlatformStep::Running
                 }

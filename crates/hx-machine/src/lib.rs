@@ -55,7 +55,7 @@ pub mod uart;
 
 pub use engine::{ExitPolicy, FlightRecorder, ProgressGuard};
 pub use event::{Event, EventQueue};
-pub use machine::{Batch, Machine, MachineConfig, MachineStep};
+pub use machine::{Batch, Logpoint, Machine, MachineConfig, MachineStep};
 pub use nic::{Nic, NicCounters};
 pub use pic::Hpic;
 pub use pit::Hpit;

@@ -111,6 +111,21 @@ pub struct Batch {
     pub end: Option<MachineStep>,
 }
 
+/// A logpoint: when the instruction at `addr` retires and `cond` (absent
+/// means "always") evaluates nonzero, a [`hx_obs::EventKind::Logpoint`]
+/// event carrying the condition's value is recorded — the guest is never
+/// stopped. Logpoints live on the machine so every platform evaluates them
+/// at the same place: the executed-instruction boundary.
+#[derive(Debug, Clone)]
+pub struct Logpoint {
+    /// Guest address of the instruction the logpoint is attached to.
+    pub addr: u32,
+    /// Free-form label for reports (not journaled).
+    pub label: String,
+    /// Condition over machine state; `None` fires unconditionally.
+    pub cond: Option<hx_query::Expr>,
+}
+
 /// The simulated machine.
 ///
 /// Fields are public: monitors legitimately reach into the chipset (that is
@@ -143,6 +158,11 @@ pub struct Machine {
     /// on the machine (and is `Clone`) so flight-recorder snapshots capture
     /// the PRNG mid-campaign and replay the remaining faults identically.
     fault: Option<FaultInjector>,
+    /// Armed logpoints, evaluated at executed-instruction boundaries.
+    /// Platforms disable instruction batching while any are armed so
+    /// boundaries arrive per instruction (batching is simulation-invisible,
+    /// so arming one never changes cycle counts).
+    logpoints: Vec<Logpoint>,
 }
 
 impl Machine {
@@ -168,6 +188,7 @@ impl Machine {
             waiting: false,
             cfg,
             fault: None,
+            logpoints: Vec::new(),
         }
     }
 
@@ -253,6 +274,67 @@ impl Machine {
     /// Campaign counters, when fault injection is armed.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault.as_ref().map(|f| &f.stats)
+    }
+
+    /// Arms a logpoint at `addr`. Multiple logpoints may share an address;
+    /// each fires independently.
+    pub fn add_logpoint(&mut self, addr: u32, label: &str, cond: Option<hx_query::Expr>) {
+        self.logpoints.push(Logpoint {
+            addr,
+            label: label.to_string(),
+            cond,
+        });
+    }
+
+    /// Removes every logpoint at `addr`; returns whether any existed.
+    pub fn clear_logpoint(&mut self, addr: u32) -> bool {
+        let before = self.logpoints.len();
+        self.logpoints.retain(|lp| lp.addr != addr);
+        self.logpoints.len() != before
+    }
+
+    /// Whether any logpoint is armed (platforms use this to force precise
+    /// stepping).
+    pub fn has_logpoints(&self) -> bool {
+        !self.logpoints.is_empty()
+    }
+
+    /// The armed logpoints.
+    pub fn logpoints(&self) -> &[Logpoint] {
+        &self.logpoints
+    }
+
+    /// Evaluates armed logpoints against the instruction at `pc` that just
+    /// retired. A hit (condition absent or nonzero) records a trace/journal
+    /// event carrying the condition value; an unmapped memory operand is a
+    /// silent miss. Pure observation — no machine state changes.
+    pub fn note_logpoints(&mut self, pc: u32) {
+        if self.logpoints.is_empty() {
+            return;
+        }
+        let mut hits: Vec<(u32, u64)> = Vec::new();
+        {
+            let mut ctx =
+                hx_query::SliceCtx::new(self.mem.as_bytes(), self.cpu.regs(), pc, self.now);
+            for lp in &self.logpoints {
+                if lp.addr != pc {
+                    continue;
+                }
+                let value = match &lp.cond {
+                    None => 1,
+                    Some(e) => match e.eval(&mut ctx) {
+                        Some(v) => v,
+                        None => continue,
+                    },
+                };
+                if value != 0 {
+                    hits.push((lp.addr, value));
+                }
+            }
+        }
+        for (addr, value) in hits {
+            self.obs.logpoint(self.now, addr, value);
+        }
     }
 
     /// Handles one due [`Event::FaultInject`]: draws the next planned fault,

@@ -94,6 +94,9 @@ impl ChromeTrace {
                 EventKind::FaultInjected { code, arg } => {
                     format!("\"code\":{code},\"arg\":{arg}")
                 }
+                EventKind::Logpoint { addr, value } => {
+                    format!("\"addr\":{addr},\"value\":{value}")
+                }
             };
             self.lines.push(format!(
                 "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"{}\",\

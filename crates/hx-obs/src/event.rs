@@ -105,6 +105,10 @@ pub enum EventKind {
     /// from `hx-fault`, `arg` a class-specific detail such as the target
     /// address or IRQ mask).
     FaultInjected { code: u8, arg: u32 },
+    /// A logpoint fired: the instruction at `addr` retired and the
+    /// logpoint's condition evaluated to the nonzero `value`. Emitted from
+    /// the instruction-boundary path without stopping the guest.
+    Logpoint { addr: u32, value: u64 },
 }
 
 impl EventKind {
@@ -119,6 +123,7 @@ impl EventKind {
             EventKind::DebugCommand { .. } => "debug-cmd",
             EventKind::GuestSample { .. } => "guest-sample",
             EventKind::FaultInjected { .. } => "fault-inject",
+            EventKind::Logpoint { .. } => "logpoint",
         }
     }
 }

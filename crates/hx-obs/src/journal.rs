@@ -74,6 +74,12 @@ pub enum JournalEvent {
     /// deterministic machine state, not inputs — they are journaled so a
     /// replay can be audited against the live run fault-for-fault.
     Fault { code: u8, arg: u32 },
+    /// A logpoint fired at guest address `addr` with condition value
+    /// `value`. Logpoints are pure observation (they never stop the
+    /// guest), so journaling them lets a replay be audited hit-for-hit
+    /// against the live run — byte-identity of this stream is the
+    /// "logpoints do not perturb" invariant in executable form.
+    Log { addr: u32, value: u64 },
 }
 
 impl JournalEvent {
@@ -84,7 +90,9 @@ impl JournalEvent {
             JournalEvent::Irq { dev, .. }
             | JournalEvent::Dma { dev, .. }
             | JournalEvent::Doorbell { dev, .. } => Some(dev),
-            JournalEvent::DebugCommand { .. } | JournalEvent::Fault { .. } => None,
+            JournalEvent::DebugCommand { .. }
+            | JournalEvent::Fault { .. }
+            | JournalEvent::Log { .. } => None,
         }
     }
 }
@@ -240,6 +248,9 @@ impl Journal {
                     JournalEvent::Fault { code, arg } => {
                         out.push_str(&format!("E {} fault {} {}\n", r.at, code, arg));
                     }
+                    JournalEvent::Log { addr, value } => {
+                        out.push_str(&format!("E {} log {} {}\n", r.at, addr, value));
+                    }
                 }
                 e += 1;
             }
@@ -353,6 +364,17 @@ impl Journal {
                                 .ok_or_else(|| err(line, "bad fault arg"))?;
                             JournalEvent::Fault { code, arg }
                         }
+                        "log" => {
+                            let addr = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad logpoint address"))?;
+                            let value = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad logpoint value"))?;
+                            JournalEvent::Log { addr, value }
+                        }
                         _ => return Err(err(line, "unknown event kind")),
                     };
                     j.events.push(EventRecord { at, ev });
@@ -457,7 +479,7 @@ pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
         ev.dev() == Some(dev)
     }
     type StreamFilter = fn(&JournalEvent) -> bool;
-    let streams: [(&str, StreamFilter); 7] = [
+    let streams: [(&str, StreamFilter); 8] = [
         ("nic", |e| is_dev(e, Dev::Nic)),
         ("hdc", |e| is_dev(e, Dev::Hdc)),
         ("pit", |e| is_dev(e, Dev::Pit)),
@@ -465,6 +487,7 @@ pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
         ("pic", |e| is_dev(e, Dev::Pic)),
         ("stub", |e| matches!(e, JournalEvent::DebugCommand { .. })),
         ("fault", |e| matches!(e, JournalEvent::Fault { .. })),
+        ("log", |e| matches!(e, JournalEvent::Log { .. })),
     ];
     streams
         .into_iter()
@@ -627,6 +650,8 @@ mod tests {
                 any::<u8>().prop_map(|code| JournalEvent::DebugCommand { code }),
                 (any::<u8>(), any::<u32>())
                     .prop_map(|(code, arg)| JournalEvent::Fault { code, arg }),
+                (any::<u32>(), any::<u64>())
+                    .prop_map(|(addr, value)| JournalEvent::Log { addr, value }),
             ]
         }
 

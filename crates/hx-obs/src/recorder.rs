@@ -219,6 +219,15 @@ impl Recorder {
         self.journal_event(at, JournalEvent::Fault { code, arg });
     }
 
+    /// Record one logpoint hit: the instruction at `addr` retired at cycle
+    /// `at` with condition value `value`. Logpoints are pure observation,
+    /// so the hit stream is journaled and audited like a device stream —
+    /// a live run and its replay must match hit-for-hit.
+    pub fn logpoint(&mut self, at: u64, addr: u32, value: u64) {
+        self.event(at, EventKind::Logpoint { addr, value });
+        self.journal_event(at, JournalEvent::Log { addr, value });
+    }
+
     /// Reset all recorded data (ring, spans, histograms, profiler counts)
     /// but keep the tracing flag, the profiler's configuration and the
     /// journal — the journal must span a whole run, warmup included, or

@@ -1,0 +1,740 @@
+//! The condition-expression language.
+//!
+//! A tiny, total expression grammar over guest state, used by conditional
+//! breakpoints, conditional watchpoints, logpoints and the monitor-side
+//! "first cycle where …" search. The same string grammar travels over the
+//! debug wire (hex-encoded), so host and target always agree on semantics.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! expr    := or
+//! or      := and    { "||" and }
+//! and     := cmp    { "&&" cmp }
+//! cmp     := rel    { ("==" | "!=") rel }
+//! rel     := bitor  { ("<" | "<=" | ">" | ">=") bitor }
+//! bitor   := bitxor { "|" bitxor }
+//! bitxor  := bitand { "^" bitand }
+//! bitand  := shift  { "&" shift }
+//! shift   := add    { ("<<" | ">>") add }
+//! add     := unary  { ("+" | "-") unary }
+//! unary   := ("!" | "~" | "-") unary | primary
+//! primary := number | "pc" | "cycle" | "r" digits
+//!          | "[" expr "]" | "b" "[" expr "]" | "h" "[" expr "]"
+//!          | "(" expr ")"
+//! number  := decimal | "0x" hex
+//! ```
+//!
+//! Values are unsigned 64-bit; registers, PC and memory operands are
+//! zero-extended 32-bit quantities, `cycle` is the full simulated-cycle
+//! counter. Comparisons and logical operators yield `1`/`0`. Arithmetic
+//! wraps; shift counts are taken modulo 64. `[e]` loads a 32-bit word,
+//! `h[e]`/`b[e]` a zero-extended half/byte.
+//!
+//! Evaluation is fallible only through [`EvalCtx::load`]: an unmapped
+//! memory operand makes the whole expression evaluate to `None`, and each
+//! consumer picks its fail-safe (a conditional breakpoint stops, a
+//! logpoint stays silent).
+
+use core::fmt;
+
+/// Binary operators, loosest-binding first (Rust precedence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical OR (`||`): 1 if either side is nonzero.
+    Or,
+    /// Logical AND (`&&`): 1 if both sides are nonzero.
+    And,
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Unsigned less-than (`<`).
+    Lt,
+    /// Unsigned less-or-equal (`<=`).
+    Le,
+    /// Unsigned greater-than (`>`).
+    Gt,
+    /// Unsigned greater-or-equal (`>=`).
+    Ge,
+    /// Bitwise OR (`|`).
+    BitOr,
+    /// Bitwise XOR (`^`).
+    BitXor,
+    /// Bitwise AND (`&`).
+    BitAnd,
+    /// Left shift (`<<`), count mod 64.
+    Shl,
+    /// Logical right shift (`>>`), count mod 64.
+    Shr,
+    /// Wrapping addition (`+`).
+    Add,
+    /// Wrapping subtraction (`-`).
+    Sub,
+}
+
+impl BinOp {
+    fn token(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::BitAnd => "&",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical NOT (`!`): 1 if the operand is zero.
+    Not,
+    /// Bitwise NOT (`~`).
+    BitNot,
+    /// Two's-complement negation (`-`), on 64 bits.
+    Neg,
+}
+
+impl UnOp {
+    fn token(self) -> &'static str {
+        match self {
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Neg => "-",
+        }
+    }
+}
+
+/// A parsed condition expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal (decimal or `0x` hex in source).
+    Num(u64),
+    /// General-purpose register `r0`–`r31`, zero-extended.
+    Reg(u8),
+    /// The guest program counter, zero-extended.
+    Pc,
+    /// The simulated cycle counter.
+    Cycle,
+    /// A memory operand: `size` ∈ {1, 2, 4}, address truncated to 32 bits.
+    Load {
+        /// Access width in bytes (1, 2 or 4).
+        size: u8,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        rhs: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Where an expression reads machine state from.
+///
+/// Methods take `&mut self` because some implementors (the monitor's
+/// virtual-address view) walk page tables through APIs that update
+/// statistics; semantically every implementation must be observation-only.
+pub trait EvalCtx {
+    /// General-purpose register `idx` (0–31), zero-extended.
+    fn reg(&mut self, idx: u8) -> u32;
+    /// The guest program counter.
+    fn pc(&mut self) -> u32;
+    /// The simulated cycle counter.
+    fn cycle(&mut self) -> u64;
+    /// Little-endian load of `size` ∈ {1, 2, 4} bytes, or `None` if the
+    /// address is unmapped in this context.
+    fn load(&mut self, addr: u32, size: u8) -> Option<u32>;
+}
+
+/// [`EvalCtx`] over a raw RAM image and a register file — the
+/// physical-address view shared by live machines and stored checkpoints.
+pub struct SliceCtx<'a> {
+    bytes: &'a [u8],
+    regs: [u32; 32],
+    pc: u32,
+    cycle: u64,
+}
+
+impl<'a> SliceCtx<'a> {
+    /// A context over `bytes` (physical RAM), a register file (missing
+    /// registers read as zero), a PC and a cycle counter.
+    pub fn new(bytes: &'a [u8], regs: &[u32], pc: u32, cycle: u64) -> SliceCtx<'a> {
+        let mut r = [0u32; 32];
+        for (dst, src) in r.iter_mut().zip(regs) {
+            *dst = *src;
+        }
+        SliceCtx {
+            bytes,
+            regs: r,
+            pc,
+            cycle,
+        }
+    }
+}
+
+impl EvalCtx for SliceCtx<'_> {
+    fn reg(&mut self, idx: u8) -> u32 {
+        self.regs.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    fn pc(&mut self) -> u32 {
+        self.pc
+    }
+
+    fn cycle(&mut self) -> u64 {
+        self.cycle
+    }
+
+    fn load(&mut self, addr: u32, size: u8) -> Option<u32> {
+        let start = addr as usize;
+        let end = start.checked_add(size as usize)?;
+        let bytes = self.bytes.get(start..end)?;
+        let mut v = 0u32;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u32) << (8 * i);
+        }
+        Some(v)
+    }
+}
+
+/// A parse failure: byte offset into the source and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Num(u64),
+    Ident(String),
+    Op(&'static str),
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_digit() {
+            let (val, len) = lex_number(&src[i..]).map_err(|msg| ParseError { pos: i, msg })?;
+            toks.push((start, Tok::Num(val)));
+            i += len;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let end = src[i..]
+                .find(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+                .map_or(src.len(), |off| i + off);
+            toks.push((start, Tok::Ident(src[i..end].to_string())));
+            i = end;
+        } else {
+            let two = if i + 1 < bytes.len() {
+                &src[i..i + 2]
+            } else {
+                ""
+            };
+            let tok = match two {
+                "||" | "&&" | "==" | "!=" | "<=" | ">=" | "<<" | ">>" => {
+                    i += 2;
+                    // Map to the identical 'static spelling.
+                    Tok::Op(match two {
+                        "||" => "||",
+                        "&&" => "&&",
+                        "==" => "==",
+                        "!=" => "!=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "<<" => "<<",
+                        _ => ">>",
+                    })
+                }
+                _ => {
+                    i += 1;
+                    match c {
+                        '|' => Tok::Op("|"),
+                        '^' => Tok::Op("^"),
+                        '&' => Tok::Op("&"),
+                        '<' => Tok::Op("<"),
+                        '>' => Tok::Op(">"),
+                        '+' => Tok::Op("+"),
+                        '-' => Tok::Op("-"),
+                        '!' => Tok::Op("!"),
+                        '~' => Tok::Op("~"),
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        other => {
+                            return Err(ParseError {
+                                pos: start,
+                                msg: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    }
+                }
+            };
+            toks.push((start, tok));
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(src: &str) -> Result<(u64, usize), String> {
+    let (digits, radix, prefix) = if src.starts_with("0x") || src.starts_with("0X") {
+        (&src[2..], 16, 2)
+    } else {
+        (src, 10, 0)
+    };
+    let end = digits
+        .find(|c: char| !c.is_ascii_hexdigit())
+        .unwrap_or(digits.len());
+    let body = &digits[..end];
+    if body.is_empty() {
+        return Err("number has no digits".to_string());
+    }
+    let val = u64::from_str_radix(body, radix)
+        .map_err(|_| format!("bad number `{}`", &src[..prefix + end]))?;
+    Ok((val, prefix + end))
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.at).map_or(self.src_len, |(p, _)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        self.at += 1;
+        t
+    }
+
+    fn eat_op(&mut self, ops: &[&'static str]) -> Option<&'static str> {
+        if let Some(Tok::Op(op)) = self.peek() {
+            if let Some(&hit) = ops.iter().find(|&&o| o == *op) {
+                self.at += 1;
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn binary_level(&mut self, level: usize) -> Result<Expr, ParseError> {
+        // Loosest-binding first; each level is left-associative.
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["==", "!="],
+            &["<=", ">=", "<", ">"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"],
+            &["+", "-"],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary_level(level + 1)?;
+        while let Some(op) = self.eat_op(LEVELS[level]) {
+            let rhs = self.binary_level(level + 1)?;
+            lhs = Expr::Binary {
+                op: bin_op(op),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if let Some(op) = self.eat_op(&["!", "~", "-"]) {
+            let rhs = self.unary()?;
+            let op = match op {
+                "!" => UnOp::Not,
+                "~" => UnOp::BitNot,
+                _ => UnOp::Neg,
+            };
+            return Ok(Expr::Unary {
+                op,
+                rhs: Box::new(rhs),
+            });
+        }
+        self.primary()
+    }
+
+    fn load(&mut self, size: u8) -> Result<Expr, ParseError> {
+        let addr = self.binary_level(0)?;
+        self.expect(&Tok::RBracket, "`]`")?;
+        Ok(Expr::Load {
+            size,
+            addr: Box::new(addr),
+        })
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::LBracket) => self.load(4),
+            Some(Tok::LParen) => {
+                let e = self.binary_level(0)?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "pc" => Ok(Expr::Pc),
+                "cycle" => Ok(Expr::Cycle),
+                "b" if self.peek() == Some(&Tok::LBracket) => {
+                    self.at += 1;
+                    self.load(1)
+                }
+                "h" if self.peek() == Some(&Tok::LBracket) => {
+                    self.at += 1;
+                    self.load(2)
+                }
+                _ => {
+                    if let Some(idx) = name
+                        .strip_prefix('r')
+                        .and_then(|d| d.parse::<u8>().ok())
+                        .filter(|&i| i < 32 && name.len() <= 3)
+                    {
+                        Ok(Expr::Reg(idx))
+                    } else {
+                        Err(ParseError {
+                            pos,
+                            msg: format!("unknown identifier `{name}`"),
+                        })
+                    }
+                }
+            },
+            _ => Err(ParseError {
+                pos,
+                msg: "expected an operand".to_string(),
+            }),
+        }
+    }
+}
+
+fn bin_op(tok: &str) -> BinOp {
+    match tok {
+        "||" => BinOp::Or,
+        "&&" => BinOp::And,
+        "==" => BinOp::Eq,
+        "!=" => BinOp::Ne,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "|" => BinOp::BitOr,
+        "^" => BinOp::BitXor,
+        "&" => BinOp::BitAnd,
+        "<<" => BinOp::Shl,
+        ">>" => BinOp::Shr,
+        "+" => BinOp::Add,
+        _ => BinOp::Sub,
+    }
+}
+
+impl Expr {
+    /// Parses an expression from the wire grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the byte offset of the first token
+    /// that does not fit the grammar.
+    pub fn parse(src: &str) -> Result<Expr, ParseError> {
+        let toks = lex(src)?;
+        let src_len = src.len();
+        let mut p = Parser {
+            toks,
+            at: 0,
+            src_len,
+        };
+        let e = p.binary_level(0)?;
+        if p.at != p.toks.len() {
+            return Err(ParseError {
+                pos: p.pos(),
+                msg: "trailing input after expression".to_string(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// Canonical text form: fully parenthesized, so
+    /// `Expr::parse(&e.format())` reconstructs `e` exactly (the proptest
+    /// round-trip property).
+    pub fn format(&self) -> String {
+        match self {
+            Expr::Num(v) => format!("{v}"),
+            Expr::Reg(i) => format!("r{i}"),
+            Expr::Pc => "pc".to_string(),
+            Expr::Cycle => "cycle".to_string(),
+            Expr::Load { size, addr } => {
+                let prefix = match size {
+                    1 => "b",
+                    2 => "h",
+                    _ => "",
+                };
+                format!("{prefix}[{}]", addr.format())
+            }
+            Expr::Unary { op, rhs } => format!("{}({})", op.token(), rhs.format()),
+            Expr::Binary { op, lhs, rhs } => {
+                format!("({} {} {})", lhs.format(), op.token(), rhs.format())
+            }
+        }
+    }
+
+    /// Evaluates against `ctx`. `None` means a memory operand was
+    /// unmapped; consumers choose their fail-safe.
+    pub fn eval(&self, ctx: &mut dyn EvalCtx) -> Option<u64> {
+        match self {
+            Expr::Num(v) => Some(*v),
+            Expr::Reg(i) => Some(ctx.reg(*i) as u64),
+            Expr::Pc => Some(ctx.pc() as u64),
+            Expr::Cycle => Some(ctx.cycle()),
+            Expr::Load { size, addr } => {
+                let a = addr.eval(ctx)? as u32;
+                ctx.load(a, *size).map(|v| v as u64)
+            }
+            Expr::Unary { op, rhs } => {
+                let v = rhs.eval(ctx)?;
+                Some(match op {
+                    UnOp::Not => (v == 0) as u64,
+                    UnOp::BitNot => !v,
+                    UnOp::Neg => v.wrapping_neg(),
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // No short-circuit: both sides must be mapped, keeping
+                // evaluation order-independent and total.
+                let a = lhs.eval(ctx)?;
+                let b = rhs.eval(ctx)?;
+                Some(match op {
+                    BinOp::Or => (a != 0 || b != 0) as u64,
+                    BinOp::And => (a != 0 && b != 0) as u64,
+                    BinOp::Eq => (a == b) as u64,
+                    BinOp::Ne => (a != b) as u64,
+                    BinOp::Lt => (a < b) as u64,
+                    BinOp::Le => (a <= b) as u64,
+                    BinOp::Gt => (a > b) as u64,
+                    BinOp::Ge => (a >= b) as u64,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    BinOp::BitAnd => a & b,
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                    BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::TestRng;
+
+    fn ctx<'a>(bytes: &'a [u8], regs: &[u32]) -> SliceCtx<'a> {
+        SliceCtx::new(bytes, regs, 0x1000, 777)
+    }
+
+    #[test]
+    fn literals_and_state() {
+        let mem = [0x78, 0x56, 0x34, 0x12];
+        let mut c = ctx(&mem, &[0, 42]);
+        let ev = |s: &str, c: &mut SliceCtx| Expr::parse(s).unwrap().eval(c);
+        assert_eq!(ev("5 + 0x10", &mut c), Some(21));
+        assert_eq!(ev("r1", &mut c), Some(42));
+        assert_eq!(ev("pc", &mut c), Some(0x1000));
+        assert_eq!(ev("cycle", &mut c), Some(777));
+        assert_eq!(ev("[0]", &mut c), Some(0x12345678));
+        assert_eq!(ev("h[0]", &mut c), Some(0x5678));
+        assert_eq!(ev("b[3]", &mut c), Some(0x12));
+        assert_eq!(ev("[1000]", &mut c), None, "unmapped load fails");
+    }
+
+    #[test]
+    fn precedence_matches_rust() {
+        let mut c = ctx(&[], &[]);
+        let ev = |s: &str, c: &mut SliceCtx| Expr::parse(s).unwrap().eval(c);
+        // `&` binds tighter than `==`, unlike C.
+        assert_eq!(ev("6 & 3 == 2", &mut c), Some(1));
+        assert_eq!(ev("1 + 2 << 1", &mut c), Some((1 + 2) << 1));
+        assert_eq!(ev("1 | 4 ^ 2 & 3", &mut c), Some(1 | (4 ^ (2 & 3))));
+        assert_eq!(ev("2 < 3 && 3 < 2 || 1", &mut c), Some(1));
+        assert_eq!(ev("10 - 2 - 3", &mut c), Some(5), "left-associative");
+        assert_eq!(ev("!0 + !5", &mut c), Some(1));
+        assert_eq!(ev("~0 >> 32", &mut c), Some(0xffff_ffff));
+        assert_eq!(ev("-(1) + 2", &mut c), Some(1));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for (src, pos) in [("1 +", 3), ("r99", 0), ("(1", 2), ("[1", 2), ("1 1", 2)] {
+            let err = Expr::parse(src).unwrap_err();
+            assert_eq!(err.pos, pos, "{src:?} → {err}");
+        }
+        assert!(Expr::parse("0x").is_err());
+        assert!(Expr::parse("frob").is_err());
+        assert!(Expr::parse("1 $ 2").is_err());
+        assert!(Expr::parse("").is_err());
+    }
+
+    /// Builds a random expression of bounded depth from the deterministic
+    /// test RNG (the proptest shim has no recursive strategies).
+    fn arb_expr(rng: &mut TestRng, depth: u32) -> Expr {
+        let leaf = depth == 0 || rng.below(3) == 0;
+        if leaf {
+            match rng.below(4) {
+                0 => Expr::Num(rng.next_u64() >> (rng.below(64) as u32)),
+                1 => Expr::Reg(rng.below(32) as u8),
+                2 => Expr::Pc,
+                _ => Expr::Cycle,
+            }
+        } else {
+            match rng.below(3) {
+                0 => Expr::Load {
+                    size: [1u8, 2, 4][rng.below(3) as usize],
+                    addr: Box::new(arb_expr(rng, depth - 1)),
+                },
+                1 => Expr::Unary {
+                    op: [UnOp::Not, UnOp::BitNot, UnOp::Neg][rng.below(3) as usize],
+                    rhs: Box::new(arb_expr(rng, depth - 1)),
+                },
+                _ => {
+                    const OPS: [BinOp; 15] = [
+                        BinOp::Or,
+                        BinOp::And,
+                        BinOp::Eq,
+                        BinOp::Ne,
+                        BinOp::Lt,
+                        BinOp::Le,
+                        BinOp::Gt,
+                        BinOp::Ge,
+                        BinOp::BitOr,
+                        BinOp::BitXor,
+                        BinOp::BitAnd,
+                        BinOp::Shl,
+                        BinOp::Shr,
+                        BinOp::Add,
+                        BinOp::Sub,
+                    ];
+                    Expr::Binary {
+                        op: OPS[rng.below(15) as usize],
+                        lhs: Box::new(arb_expr(rng, depth - 1)),
+                        rhs: Box::new(arb_expr(rng, depth - 1)),
+                    }
+                }
+            }
+        }
+    }
+
+    struct ArbExpr;
+
+    impl Strategy for ArbExpr {
+        type Value = Expr;
+        fn generate(&self, rng: &mut TestRng) -> Expr {
+            let depth = rng.below(5) as u32;
+            arb_expr(rng, depth)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        #[test]
+        fn format_parse_round_trip(e in ArbExpr) {
+            let text = e.format();
+            let back = Expr::parse(&text);
+            prop_assert_eq!(back.as_ref(), Ok(&e), "{}", text);
+            // Canonical form is a fixed point.
+            prop_assert_eq!(back.unwrap().format(), text);
+        }
+
+        #[test]
+        fn eval_is_total_and_deterministic(e in ArbExpr) {
+            let mem: Vec<u8> = (0..256).map(|i| (i * 37 + 11) as u8).collect();
+            let regs: Vec<u32> = (0..32).map(|i| i * 0x0101_0101).collect();
+            let a = e.eval(&mut SliceCtx::new(&mem, &regs, 0x44, 9));
+            let b = e.eval(&mut SliceCtx::new(&mem, &regs, 0x44, 9));
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn parse_never_panics(s in "\\PC{0,40}") {
+            let _ = Expr::parse(&s);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal JSON-line emission.
+//!
+//! The workspace has no serialization dependency (and cannot add one in
+//! this build environment), so the machine-readable mode hand-rolls its
+//! JSON the same way the bench exporters do — but through one shared,
+//! tested helper instead of ad-hoc `format!` calls. Output is a single
+//! object per line with fields in insertion order, so identical sessions
+//! produce byte-identical transcripts.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSON object, emitted as a single line.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a `0x`-prefixed hex string field (for addresses/PCs, where hex
+    /// is the native notation).
+    pub fn hex(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&format!("\"0x{v:x}\""));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a `null` field.
+    pub fn null(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn u64_list(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (caller guarantees
+    /// validity).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes the object as one line (no trailing newline).
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_objects_in_order() {
+        let mut o = JsonObj::new();
+        o.str("a", "x\"y").u64("b", 7).bool("c", true).null("d");
+        o.u64_list("e", &[1, 2]).hex("f", 0x10).raw("g", "[]");
+        assert_eq!(
+            o.finish(),
+            r#"{"a":"x\"y","b":7,"c":true,"d":null,"e":[1,2],"f":"0x10","g":[]}"#
+        );
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\nb\t\u{1}\\"), "a\\nb\\t\\u0001\\\\");
+    }
+}

@@ -1,6 +1,6 @@
 //! The host-side remote debugger.
 
-use crate::msg::{Command, ProfSample, Reply, StatsSample, StopReason};
+use crate::msg::{Command, ProfSample, Reply, StatsSample, StopReason, WatchKind};
 use crate::wire::{encode_packet, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
 use core::fmt;
 use std::collections::VecDeque;
@@ -31,12 +31,33 @@ pub enum DbgError {
     Target(u8),
 }
 
+/// Human-readable name for a stub error code. The codes are defined by the
+/// in-monitor stub (`lvmm::stub::err`); this table mirrors them so the host
+/// can print `E04 (guest not stopped)` instead of a bare number. A test on
+/// the stub side keeps the two in sync.
+pub fn err_name(code: u8) -> Option<&'static str> {
+    Some(match code {
+        1 => "malformed packet",
+        2 => "bad register index",
+        3 => "unmapped guest memory",
+        4 => "guest not stopped",
+        5 => "bad breakpoint or watchpoint",
+        6 => "flight recorder unavailable",
+        7 => "profiler unavailable",
+        8 => "bad query expression",
+        _ => return None,
+    })
+}
+
 impl fmt::Display for DbgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbgError::Timeout => write!(f, "target did not reply"),
             DbgError::Protocol(s) => write!(f, "protocol violation: {s}"),
-            DbgError::Target(code) => write!(f, "target error {code:#04x}"),
+            DbgError::Target(code) => match err_name(*code) {
+                Some(name) => write!(f, "target error E{code:02x} ({name})"),
+                None => write!(f, "target error E{code:02x}"),
+            },
         }
     }
 }
@@ -246,7 +267,22 @@ impl<L: Link> Debugger<L> {
     ///
     /// Propagates target errors.
     pub fn set_watchpoint(&mut self, addr: u32, len: u32) -> Result<(), DbgError> {
-        self.expect_ok(&Command::SetWatchpoint { addr, len })
+        self.set_watchpoint_kind(addr, len, WatchKind::Write)
+    }
+
+    /// Arms a watchpoint of an explicit kind (write, read, or access) over
+    /// `[addr, addr + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors.
+    pub fn set_watchpoint_kind(
+        &mut self,
+        addr: u32,
+        len: u32,
+        kind: WatchKind,
+    ) -> Result<(), DbgError> {
+        self.expect_ok(&Command::SetWatchpoint { addr, len, kind })
     }
 
     /// Disarms a watchpoint.
@@ -256,6 +292,82 @@ impl<L: Link> Debugger<L> {
     /// Propagates target errors.
     pub fn clear_watchpoint(&mut self, addr: u32) -> Result<(), DbgError> {
         self.expect_ok(&Command::ClearWatchpoint { addr })
+    }
+
+    /// Attaches a condition expression to a planted breakpoint; the target
+    /// silently resumes when the breakpoint fires with the condition zero.
+    /// An empty expression makes the breakpoint unconditional again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (no such breakpoint, bad expression).
+    pub fn set_break_condition(&mut self, addr: u32, expr: &str) -> Result<(), DbgError> {
+        self.expect_ok(&Command::SetBreakCondition {
+            addr,
+            expr: expr.to_string(),
+        })
+    }
+
+    /// Attaches a condition expression to an armed watchpoint. An empty
+    /// expression clears it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (no such watchpoint, bad expression).
+    pub fn set_watch_condition(&mut self, addr: u32, expr: &str) -> Result<(), DbgError> {
+        self.expect_ok(&Command::SetWatchCondition {
+            addr,
+            expr: expr.to_string(),
+        })
+    }
+
+    /// Arms a logpoint at `addr`: the target records a trace event (with
+    /// the condition's value) every time the instruction retires with
+    /// `expr` nonzero, without stopping the guest. An empty `expr` fires
+    /// unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (bad expression).
+    pub fn set_logpoint(&mut self, addr: u32, label: &str, expr: &str) -> Result<(), DbgError> {
+        self.expect_ok(&Command::SetLogpoint {
+            addr,
+            label: label.to_string(),
+            expr: expr.to_string(),
+        })
+    }
+
+    /// Disarms every logpoint at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors.
+    pub fn clear_logpoint(&mut self, addr: u32) -> Result<(), DbgError> {
+        self.expect_ok(&Command::ClearLogpoint { addr })
+    }
+
+    /// Searches the recorded timeline for the first cycle at which `expr`
+    /// evaluates nonzero and seeks there. On a hit, returns the satisfying
+    /// cycle and the [`StopReason::TimeTravel`] stop at the landing point;
+    /// on a miss, returns `None` with the target back in its pre-query
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target errors (stopped guest and flight recorder
+    /// required; bad expressions are rejected).
+    pub fn query_first(&mut self, expr: &str) -> Result<Option<(u64, StopReason)>, DbgError> {
+        match self.transact(&Command::QueryFirst {
+            expr: expr.to_string(),
+        })? {
+            Reply::Query { found: false, .. } => Ok(None),
+            Reply::Query { found: true, cycle } => {
+                let stop = self.wait_stop()?;
+                Ok(Some((cycle, stop)))
+            }
+            Reply::Error(code) => Err(DbgError::Target(code)),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
     }
 
     /// Executes one guest instruction and returns the resulting stop.

@@ -28,7 +28,7 @@ pub mod lossy;
 pub mod msg;
 pub mod wire;
 
-pub use debugger::{DbgError, Debugger, Link, Registers};
+pub use debugger::{err_name, DbgError, Debugger, Link, Registers};
 pub use lossy::LossyLink;
-pub use msg::{Command, ProfSample, Reply, StatsSample, StopReason};
+pub use msg::{Command, ProfSample, Reply, StatsSample, StopReason, WatchKind};
 pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};

@@ -15,6 +15,58 @@ use core::fmt;
 /// `0..=31` general-purpose, `32` the PC.
 pub const REG_PC: u8 = 32;
 
+/// Which accesses a watchpoint traps on. The wire digit after `Z`/`z`
+/// follows the GDB remote convention: `2` write, `3` read, `4` access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Stores into the watched range (`Z2`).
+    Write,
+    /// Loads from the watched range (`Z3`).
+    Read,
+    /// Both loads and stores (`Z4`).
+    Access,
+}
+
+impl WatchKind {
+    /// The wire digit after `Z`.
+    pub fn code(self) -> char {
+        match self {
+            WatchKind::Write => '2',
+            WatchKind::Read => '3',
+            WatchKind::Access => '4',
+        }
+    }
+
+    /// Parses the wire digit.
+    pub fn from_code(code: &str) -> Option<WatchKind> {
+        match code {
+            "2" => Some(WatchKind::Write),
+            "3" => Some(WatchKind::Read),
+            "4" => Some(WatchKind::Access),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            WatchKind::Write => "write",
+            WatchKind::Read => "read",
+            WatchKind::Access => "access",
+        }
+    }
+
+    /// Whether this kind traps stores.
+    pub fn watches_write(self) -> bool {
+        matches!(self, WatchKind::Write | WatchKind::Access)
+    }
+
+    /// Whether this kind traps loads.
+    pub fn watches_read(self) -> bool {
+        matches!(self, WatchKind::Read | WatchKind::Access)
+    }
+}
+
 /// A debugger → stub command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -55,17 +107,60 @@ pub enum Command {
         /// Virtual address of the instruction.
         addr: u32,
     },
-    /// Arm a write watchpoint over `[addr, addr+len)`.
+    /// Arm a watchpoint over `[addr, addr+len)`.
     SetWatchpoint {
         /// Start address.
         addr: u32,
         /// Watched length in bytes.
         len: u32,
+        /// Which accesses trap.
+        kind: WatchKind,
     },
     /// Disarm a watchpoint.
     ClearWatchpoint {
         /// Start address it was armed with.
         addr: u32,
+    },
+    /// Attach (or replace) a condition on a planted breakpoint. An empty
+    /// expression clears the condition, making the breakpoint
+    /// unconditional again.
+    SetBreakCondition {
+        /// Breakpoint address.
+        addr: u32,
+        /// Condition source text (see `hx-query`'s expression grammar).
+        expr: String,
+    },
+    /// Attach (or replace) a condition on an armed watchpoint. An empty
+    /// expression clears the condition.
+    SetWatchCondition {
+        /// Watchpoint start address.
+        addr: u32,
+        /// Condition source text.
+        expr: String,
+    },
+    /// Arm a logpoint: when the instruction at `addr` retires and `expr`
+    /// (empty means "always") is nonzero, the target records a trace event
+    /// carrying the condition value — without stopping.
+    SetLogpoint {
+        /// Instruction address.
+        addr: u32,
+        /// Free-form label for the target's reports.
+        label: String,
+        /// Condition source text; empty fires unconditionally.
+        expr: String,
+    },
+    /// Disarm every logpoint at `addr`.
+    ClearLogpoint {
+        /// Instruction address.
+        addr: u32,
+    },
+    /// Search the recorded timeline for the first cycle at which `expr`
+    /// evaluates nonzero, and seek the replay there. Requires the flight
+    /// recorder and a stopped guest; answered with [`Reply::Query`]
+    /// followed (on a hit) by a [`StopReason::TimeTravel`] stop.
+    QueryFirst {
+        /// Predicate source text.
+        expr: String,
     },
     /// Execute one guest instruction, then stop.
     Step,
@@ -112,8 +207,23 @@ impl Command {
             }
             Command::SetBreakpoint { addr } => format!("Z0,{addr:x}"),
             Command::ClearBreakpoint { addr } => format!("z0,{addr:x}"),
-            Command::SetWatchpoint { addr, len } => format!("Z2,{addr:x},{len:x}"),
+            Command::SetWatchpoint { addr, len, kind } => {
+                format!("Z{},{addr:x},{len:x}", kind.code())
+            }
             Command::ClearWatchpoint { addr } => format!("z2,{addr:x}"),
+            Command::SetBreakCondition { addr, expr } => {
+                format!("Qb,{addr:x},{}", to_hex(expr.as_bytes()))
+            }
+            Command::SetWatchCondition { addr, expr } => {
+                format!("Qw,{addr:x},{}", to_hex(expr.as_bytes()))
+            }
+            Command::SetLogpoint { addr, label, expr } => format!(
+                "Ql,{addr:x},{},{}",
+                to_hex(label.as_bytes()),
+                to_hex(expr.as_bytes())
+            ),
+            Command::ClearLogpoint { addr } => format!("ql,{addr:x}"),
+            Command::QueryFirst { expr } => format!("Qq,{}", to_hex(expr.as_bytes())),
             Command::Step => "s".into(),
             Command::Continue => "c".into(),
             Command::Reset => "k".into(),
@@ -139,9 +249,41 @@ impl Command {
             'c' if payload == "c" => Some(Command::Continue),
             'k' if payload == "k" => Some(Command::Reset),
             'q' if payload == "qStats" => Some(Command::QueryStats),
+            'q' if payload.starts_with("ql,") => {
+                let addr = u32::from_str_radix(payload.strip_prefix("ql,")?, 16).ok()?;
+                Some(Command::ClearLogpoint { addr })
+            }
             'q' => {
                 let max = u8::from_str_radix(payload.strip_prefix("qProf")?, 16).ok()?;
                 Some(Command::QueryProf { max })
+            }
+            'Q' => {
+                let (tag, body) = payload.split_once(',')?;
+                let text = |hex: &str| String::from_utf8(from_hex(hex)?).ok();
+                match tag {
+                    "Qb" | "Qw" => {
+                        let (a, x) = body.split_once(',')?;
+                        let addr = u32::from_str_radix(a, 16).ok()?;
+                        let expr = text(x)?;
+                        Some(if tag == "Qb" {
+                            Command::SetBreakCondition { addr, expr }
+                        } else {
+                            Command::SetWatchCondition { addr, expr }
+                        })
+                    }
+                    "Ql" => {
+                        let mut f = body.split(',');
+                        let addr = u32::from_str_radix(f.next()?, 16).ok()?;
+                        let label = text(f.next()?)?;
+                        let expr = text(f.next()?)?;
+                        if f.next().is_some() {
+                            return None;
+                        }
+                        Some(Command::SetLogpoint { addr, label, expr })
+                    }
+                    "Qq" => Some(Command::QueryFirst { expr: text(body)? }),
+                    _ => None,
+                }
             }
             'b' => match payload {
                 "bs" => Some(Command::ReverseStep),
@@ -185,11 +327,15 @@ impl Command {
                 match (kind, set) {
                     ("0", true) => Some(Command::SetBreakpoint { addr }),
                     ("0", false) => Some(Command::ClearBreakpoint { addr }),
-                    ("2", true) => {
+                    ("2" | "3" | "4", true) => {
                         let len = u32::from_str_radix(parts.next()?, 16).ok()?;
-                        Some(Command::SetWatchpoint { addr, len })
+                        Some(Command::SetWatchpoint {
+                            addr,
+                            len,
+                            kind: WatchKind::from_code(kind)?,
+                        })
                     }
-                    ("2", false) => Some(Command::ClearWatchpoint { addr }),
+                    ("2" | "3" | "4", false) => Some(Command::ClearWatchpoint { addr }),
                     _ => None,
                 }
             }
@@ -227,14 +373,22 @@ pub struct StatsSample {
     pub decode_invalidations: u64,
     /// Per-cause guest-exit counts, in target-defined order.
     pub exits: Vec<u64>,
+    /// Injected-fault counts per fault class, in target-defined order (for
+    /// this repository's monitors: the `hx_fault::FaultKind` order). Empty
+    /// when no fault campaign is armed.
+    pub faults: Vec<u64>,
+    /// Wild writes blocked by memory protection (lvmm only; the hosted
+    /// monitor and raw hardware let them through).
+    pub fault_blocked: u64,
 }
 
 impl StatsSample {
     /// Formats as an `S…` payload.
     pub fn format(&self) -> String {
         let exits: Vec<String> = self.exits.iter().map(|c| format!("{c:x}")).collect();
+        let faults: Vec<String> = self.faults.iter().map(|c| format!("{c:x}")).collect();
         format!(
-            "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};dh:{:x};dm:{:x};df:{:x};dv:{:x};x:{}",
+            "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};dh:{:x};dm:{:x};df:{:x};dv:{:x};x:{};f:{};fb:{:x}",
             self.now,
             self.guest,
             self.monitor,
@@ -244,7 +398,9 @@ impl StatsSample {
             self.decode_misses,
             self.fast_fetches,
             self.decode_invalidations,
-            exits.join(",")
+            exits.join(","),
+            faults.join(","),
+            self.fault_blocked
         )
     }
 
@@ -273,6 +429,12 @@ impl StatsSample {
                         sample.exits.push(u64::from_str_radix(c, 16).ok()?);
                     }
                 }
+                "f" if !v.is_empty() => {
+                    for c in v.split(',') {
+                        sample.faults.push(u64::from_str_radix(c, 16).ok()?);
+                    }
+                }
+                "fb" => sample.fault_blocked = u64::from_str_radix(v, 16).ok()?,
                 _ => {}
             }
         }
@@ -485,6 +647,17 @@ pub enum Reply {
     Stats(StatsSample),
     /// Live profiler sample (reply to [`Command::QueryProf`]).
     Prof(ProfSample),
+    /// Answer to [`Command::QueryFirst`]: whether the predicate was
+    /// satisfied in the recorded window and, if so, at which cycle. A hit
+    /// is followed by an asynchronous [`StopReason::TimeTravel`] stop once
+    /// the seek lands.
+    Query {
+        /// Whether a satisfying cycle was found.
+        found: bool,
+        /// The first satisfying cycle (the target's current cycle on a
+        /// miss).
+        cycle: u64,
+    },
     /// Hex data (register file or memory contents, per the command sent).
     Hex(Vec<u8>),
 }
@@ -498,6 +671,9 @@ impl Reply {
             Reply::Stopped(r) => r.format(),
             Reply::Stats(s) => s.format(),
             Reply::Prof(s) => s.format(),
+            Reply::Query { found, cycle } => {
+                format!("Q{};c:{cycle:x}", if *found { 1 } else { 0 })
+            }
             Reply::Hex(data) => to_hex(data),
         }
     }
@@ -518,6 +694,15 @@ impl Reply {
         }
         if payload.starts_with('P') {
             return Some(Reply::Prof(ProfSample::parse(payload)?));
+        }
+        if let Some(body) = payload.strip_prefix('Q') {
+            let found = match body.chars().next()? {
+                '0' => false,
+                '1' => true,
+                _ => return None,
+            };
+            let cycle = u64::from_str_radix(body.get(1..)?.strip_prefix(";c:")?, 16).ok()?;
+            return Some(Reply::Query { found, cycle });
         }
         from_hex(payload).map(Reply::Hex)
     }
@@ -553,7 +738,46 @@ mod tests {
             Command::parse("Z2,8000,10"),
             Some(Command::SetWatchpoint {
                 addr: 0x8000,
-                len: 0x10
+                len: 0x10,
+                kind: WatchKind::Write
+            })
+        );
+        assert_eq!(
+            Command::parse("Z3,8000,4"),
+            Some(Command::SetWatchpoint {
+                addr: 0x8000,
+                len: 4,
+                kind: WatchKind::Read
+            })
+        );
+        assert_eq!(
+            Command::parse("z4,8000"),
+            Some(Command::ClearWatchpoint { addr: 0x8000 })
+        );
+        // Condition/logpoint/query commands carry their text hex-encoded.
+        assert_eq!(
+            Command::parse("Qb,104,7230203d3d2035"),
+            Some(Command::SetBreakCondition {
+                addr: 0x104,
+                expr: "r0 == 5".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("Ql,104,686974,"),
+            Some(Command::SetLogpoint {
+                addr: 0x104,
+                label: "hit".into(),
+                expr: String::new()
+            })
+        );
+        assert_eq!(
+            Command::parse("ql,104"),
+            Some(Command::ClearLogpoint { addr: 0x104 })
+        );
+        assert_eq!(
+            Command::parse("Qq,6379636c65"),
+            Some(Command::QueryFirst {
+                expr: "cycle".into()
             })
         );
         assert_eq!(
@@ -577,10 +801,16 @@ mod tests {
             "Pxx=1",
             "q",
             "Z2",
+            "Z5,0,4",
             "qStat",
             "qStatsX",
             "qProf",
             "qProfzz",
+            "ql,zz",
+            "Qb,104",
+            "Ql,104,6869",
+            "Qx,104,00",
+            "Qq,xyz",
         ] {
             assert_eq!(Command::parse(bad), None, "{bad:?}");
         }
@@ -599,6 +829,8 @@ mod tests {
             fast_fetches: 0x3f,
             decode_invalidations: 1,
             exits: vec![4, 0, 0x99],
+            faults: vec![2, 0, 1],
+            fault_blocked: 1,
         };
         assert_eq!(StatsSample::parse(&s.format()), Some(s.clone()));
         assert_eq!(
@@ -664,6 +896,22 @@ mod tests {
             Reply::parse("T2;pc:8"),
             Some(Reply::Stopped(StopReason::Step { pc: 8 }))
         );
+        assert_eq!(
+            Reply::parse("Q1;c:2a"),
+            Some(Reply::Query {
+                found: true,
+                cycle: 42
+            })
+        );
+        assert_eq!(
+            Reply::parse("Q0;c:0"),
+            Some(Reply::Query {
+                found: false,
+                cycle: 0
+            })
+        );
+        assert_eq!(Reply::parse("Q2;c:0"), None);
+        assert_eq!(Reply::parse("Q1"), None);
         assert_eq!(Reply::parse("xyz"), None);
     }
 
@@ -684,12 +932,25 @@ mod tests {
                 .prop_map(|(addr, data)| Command::WriteMemory { addr, data }),
             any::<u32>().prop_map(|addr| Command::SetBreakpoint { addr }),
             any::<u32>().prop_map(|addr| Command::ClearBreakpoint { addr }),
-            (any::<u32>(), 1u32..4096).prop_map(|(addr, len)| Command::SetWatchpoint { addr, len }),
+            (any::<u32>(), 1u32..4096, arb_watch_kind())
+                .prop_map(|(addr, len, kind)| Command::SetWatchpoint { addr, len, kind }),
             any::<u32>().prop_map(|addr| Command::ClearWatchpoint { addr }),
+            (any::<u32>(), "\\PC{0,16}")
+                .prop_map(|(addr, expr)| Command::SetBreakCondition { addr, expr }),
+            (any::<u32>(), "\\PC{0,16}")
+                .prop_map(|(addr, expr)| Command::SetWatchCondition { addr, expr }),
+            (any::<u32>(), "\\PC{0,8}", "\\PC{0,16}")
+                .prop_map(|(addr, label, expr)| Command::SetLogpoint { addr, label, expr }),
+            any::<u32>().prop_map(|addr| Command::ClearLogpoint { addr }),
+            "\\PC{0,16}".prop_map(|expr| Command::QueryFirst { expr }),
             Just(Command::ReverseStep),
             Just(Command::ReverseContinue),
             any::<u64>().prop_map(|cycle| Command::Seek { cycle }),
         ]
+    }
+
+    fn arb_watch_kind() -> impl Strategy<Value = WatchKind> {
+        proptest::sample::select(&[WatchKind::Write, WatchKind::Read, WatchKind::Access])
     }
 
     fn arb_stop() -> impl Strategy<Value = StopReason> {
@@ -712,20 +973,28 @@ mod tests {
             any::<u64>(),
             any::<u64>(),
             (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-            proptest::collection::vec(any::<u64>(), 0..12),
+            (
+                proptest::collection::vec(any::<u64>(), 0..12),
+                proptest::collection::vec(any::<u64>(), 0..6),
+                any::<u64>(),
+            ),
         )
             .prop_map(
-                |(now, guest, monitor, host, idle, (dh, dm, df, dv), exits)| StatsSample {
-                    now,
-                    guest,
-                    monitor,
-                    host,
-                    idle,
-                    decode_hits: dh,
-                    decode_misses: dm,
-                    fast_fetches: df,
-                    decode_invalidations: dv,
-                    exits,
+                |(now, guest, monitor, host, idle, (dh, dm, df, dv), (exits, faults, fb))| {
+                    StatsSample {
+                        now,
+                        guest,
+                        monitor,
+                        host,
+                        idle,
+                        decode_hits: dh,
+                        decode_misses: dm,
+                        fast_fetches: df,
+                        decode_invalidations: dv,
+                        exits,
+                        faults,
+                        fault_blocked: fb,
+                    }
                 },
             )
     }
@@ -770,6 +1039,16 @@ mod tests {
         #[test]
         fn reply_roundtrip(stop in arb_stop()) {
             let r = Reply::Stopped(stop);
+            prop_assert_eq!(Reply::parse(&r.format()), Some(r));
+        }
+
+    }
+
+    proptest! {
+        #[test]
+        fn query_reply_roundtrip(fc in (any::<bool>(), any::<u64>())) {
+            let (found, cycle) = fc;
+            let r = Reply::Query { found, cycle };
             prop_assert_eq!(Reply::parse(&r.format()), Some(r));
         }
 

@@ -1,0 +1,547 @@
+//! `dbgctl` — machine-readable debug control for scripted and CI use.
+//!
+//! Every subcommand prints JSON lines (one object per line, deterministic
+//! across reruns) so transcripts can be diffed byte-for-byte:
+//!
+//! ```console
+//! $ dbgctl run --platform lvmm --ms 100 --journal lvmm.jnl
+//! $ dbgctl run --platform hosted --ms 100 --journal hosted.jnl
+//! $ dbgctl audit lvmm.jnl hosted.jnl
+//! $ dbgctl query lvmm.jnl "irq 3 in 0..0x100000"
+//! $ dbgctl session script.dbg
+//! $ dbgctl diverge --symbol frames --ms 60
+//! ```
+//!
+//! `session` drives a remote-debugger session against a freshly booted
+//! lightweight-monitor guest from a line-oriented script (file argument or
+//! stdin); see [`session_line`] for the command set. `diverge` is the
+//! end-to-end "find the first cycle a kernel counter went wrong" recipe:
+//! it samples a named guest symbol under both the hosted and the
+//! lightweight monitor, finds the first sample where the two runs
+//! disagree, refines that to an exact cycle with a `Qq` timeline query
+//! over the lvmm flight recording, seeks the replay there, and dumps
+//! state.
+
+use lwvmm::guest::{kernel::layout, Workload};
+use lwvmm::hosted::HostedPlatform;
+use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lwvmm::monitor::{LvmmPlatform, UartLink};
+use lwvmm::obs::{audit, Journal};
+use lwvmm::query::json::JsonObj;
+use lwvmm::query::{first_divergent_event, JournalQuery};
+use rdbg::{DbgError, Debugger, StopReason, WatchKind};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let r = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("session") => cmd_session(&args[1..]),
+        Some("diverge") => cmd_diverge(&args[1..]),
+        _ => Err("usage: dbgctl <run|audit|query|session|diverge> [args]\n\
+                  run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--journal PATH]\n\
+                  audit   A.jnl B.jnl\n\
+                  query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR]>\"\n\
+                  session [SCRIPT]          (stdin when omitted)\n\
+                  diverge [--symbol NAME|0xADDR] [--ms N]"
+            .to_string()),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbgctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--flag value` lookup over a raw argument slice.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("bad number `{s}`"))
+}
+
+fn parse_addr(s: &str) -> Result<u32, String> {
+    u32::from_str_radix(s.trim_start_matches("0x"), 16)
+        .map_err(|_| format!("bad hex address `{s}`"))
+}
+
+/// Boots the built-in streaming workload on a machine.
+fn boot_machine(rate: u64) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    let program = Workload::new(rate)
+        .build(&machine)
+        .expect("built-in kernel assembles");
+    machine.load_program(&program);
+    machine
+}
+
+// ---------------------------------------------------------------- run ----
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let platform_name = opt(args, "--platform").unwrap_or("lvmm");
+    let ms = parse_u64(opt(args, "--ms").unwrap_or("100"))?;
+    let rate = parse_u64(opt(args, "--workload").unwrap_or("100"))?;
+    let journal_path = opt(args, "--journal");
+
+    let machine = boot_machine(rate);
+    let clock = machine.config().clock_hz;
+    let mut platform: Box<dyn Platform> = match platform_name {
+        "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
+        "lvmm" => Box::new(LvmmPlatform::new(machine, layout::ENTRY)),
+        "hosted" => Box::new(HostedPlatform::new(machine, layout::ENTRY)),
+        other => return Err(format!("unknown platform `{other}` (raw|lvmm|hosted)")),
+    };
+    if journal_path.is_some() {
+        let name = platform.name().to_string();
+        platform.machine_mut().obs.enable_journal(&name);
+    }
+    let ran = platform.run_for(clock / 1_000 * ms);
+
+    let m = platform.machine();
+    let mut o = JsonObj::new();
+    o.str("event", "run")
+        .str("platform", platform.name())
+        .u64("ran_cycles", ran)
+        .u64("now", m.now())
+        .hex("pc", m.cpu.pc() as u64)
+        .u64("instret", m.cpu.instret())
+        .u64("tx_frames", m.nic.counters().tx_frames);
+    println!("{}", o.finish());
+
+    if let Some(path) = journal_path {
+        let now = m.now();
+        let mut journal = m.obs.journal().cloned().expect("journal enabled above");
+        journal.seal(now);
+        std::fs::write(path, journal.save()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let mut o = JsonObj::new();
+        o.str("event", "journal")
+            .str("path", path)
+            .u64("events", journal.events.len() as u64);
+        println!("{}", o.finish());
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- audit ----
+
+fn load_journal(path: &str) -> Result<Journal, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Journal::parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path] = args else {
+        return Err("audit expects exactly two journal paths".into());
+    };
+    let a = load_journal(a_path)?;
+    let b = load_journal(b_path)?;
+    for s in audit(&a, &b) {
+        let mut o = JsonObj::new();
+        o.str("event", "stream")
+            .str("name", &s.name)
+            .u64("len_a", s.len_a as u64)
+            .u64("len_b", s.len_b as u64)
+            .bool("clean", s.clean());
+        match &s.divergence {
+            Some(d) => o.u64("divergence_index", d.index as u64),
+            None => o.null("divergence_index"),
+        };
+        println!("{}", o.finish());
+    }
+    let mut o = JsonObj::new();
+    o.str("event", "first-divergence");
+    match first_divergent_event(&a, &b) {
+        Some(d) => {
+            o.bool("found", true)
+                .str("stream", &d.stream)
+                .u64("index", d.index as u64);
+            match d.at_a {
+                Some(c) => o.u64("at_a", c),
+                None => o.null("at_a"),
+            };
+            match d.at_b {
+                Some(c) => o.u64("at_b", c),
+                None => o.null("at_b"),
+            };
+        }
+        None => {
+            o.bool("found", false);
+        }
+    }
+    println!("{}", o.finish());
+    Ok(())
+}
+
+// -------------------------------------------------------------- query ----
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [path, text] = args else {
+        return Err("query expects a journal path and a query string".into());
+    };
+    let j = load_journal(path)?;
+    let q = JournalQuery::parse(text).ok_or(format!("bad query `{text}`"))?;
+    println!("{}", q.run(&j).to_json());
+    Ok(())
+}
+
+// ------------------------------------------------------------ session ----
+
+type LvmmDbg = Debugger<UartLink<LvmmPlatform>>;
+
+fn stop_json(event: &str, stop: &StopReason) -> String {
+    let mut o = JsonObj::new();
+    o.str("event", event);
+    let (reason, pc) = match *stop {
+        StopReason::Halted { pc } => ("halted", pc),
+        StopReason::Breakpoint { pc } => ("breakpoint", pc),
+        StopReason::Step { pc } => ("step", pc),
+        StopReason::Watchpoint { pc, addr } => {
+            o.str("reason", "watchpoint").hex("pc", pc as u64);
+            o.hex("addr", addr as u64);
+            return o.finish();
+        }
+        StopReason::Fault { pc, cause } => {
+            o.str("reason", "fault").hex("pc", pc as u64);
+            o.u64("cause", cause as u64);
+            return o.finish();
+        }
+        StopReason::TimeTravel { pc, cycle } => {
+            o.str("reason", "time-travel").hex("pc", pc as u64);
+            o.u64("cycle", cycle);
+            return o.finish();
+        }
+    };
+    o.str("reason", reason).hex("pc", pc as u64);
+    o.finish()
+}
+
+fn dbg_json(cmd: &str, err: &DbgError) {
+    let mut o = JsonObj::new();
+    o.str("event", "error")
+        .str("cmd", cmd)
+        .str("error", &err.to_string());
+    println!("{}", o.finish());
+}
+
+/// Runs one script line and prints its JSON line(s). The script language,
+/// one command per line (`#` comments and blank lines are skipped):
+///
+/// ```text
+/// run MS                          let the guest run MS simulated ms
+/// halt | step | resume
+/// continue                        resume and wait for the next stop
+/// reverse-step | reverse-continue
+/// seek CYCLE
+/// break 0xADDR [EXPR...]          breakpoint, optionally conditional
+/// clear-break 0xADDR
+/// watch 0xADDR LEN [w|r|rw] [EXPR...]
+/// clear-watch 0xADDR
+/// logpoint 0xADDR LABEL [EXPR...]
+/// clear-logpoint 0xADDR
+/// query EXPR...                   Qq: seek to first cycle EXPR holds
+/// regs | mem 0xADDR LEN | stats
+/// ```
+fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let ok = |cmd: &str| {
+        let mut o = JsonObj::new();
+        o.str("event", "ok").str("cmd", cmd);
+        println!("{}", o.finish());
+    };
+    // One closure per reply shape keeps every arm a one-liner below.
+    let cmd = words[0];
+    let stop = |r: Result<StopReason, DbgError>| match r {
+        Ok(s) => println!("{}", stop_json("stop", &s)),
+        Err(e) => dbg_json(cmd, &e),
+    };
+    let unit = |r: Result<(), DbgError>| match r {
+        Ok(()) => ok(cmd),
+        Err(e) => dbg_json(cmd, &e),
+    };
+    match words.as_slice() {
+        ["run", ms] => {
+            let ms = parse_u64(ms)?;
+            dbg.link_mut().platform.run_for(clock / 1_000 * ms);
+            let mut o = JsonObj::new();
+            o.str("event", "ran")
+                .u64("ms", ms)
+                .u64("now", dbg.link_ref().platform.machine().now());
+            println!("{}", o.finish());
+        }
+        ["halt"] => stop(dbg.halt()),
+        ["step"] => stop(dbg.step()),
+        ["resume"] => unit(dbg.resume()),
+        ["continue"] => stop(dbg.continue_until_stop()),
+        ["reverse-step"] => stop(dbg.reverse_step()),
+        ["reverse-continue"] => stop(dbg.reverse_continue()),
+        ["seek", cycle] => stop(dbg.seek(parse_u64(cycle)?)),
+        ["break", addr] => unit(dbg.set_breakpoint(parse_addr(addr)?)),
+        ["break", addr, expr @ ..] => {
+            let addr = parse_addr(addr)?;
+            unit(
+                dbg.set_breakpoint(addr)
+                    .and_then(|()| dbg.set_break_condition(addr, &expr.join(" "))),
+            );
+        }
+        ["clear-break", addr] => unit(dbg.clear_breakpoint(parse_addr(addr)?)),
+        ["watch", addr, len, rest @ ..] => {
+            let addr = parse_addr(addr)?;
+            let len = parse_u64(len)? as u32;
+            let (kind, expr) = match rest {
+                ["w", e @ ..] => (WatchKind::Write, e),
+                ["r", e @ ..] => (WatchKind::Read, e),
+                ["rw", e @ ..] => (WatchKind::Access, e),
+                e => (WatchKind::Write, e),
+            };
+            let mut r = dbg.set_watchpoint_kind(addr, len, kind);
+            if r.is_ok() && !expr.is_empty() {
+                r = dbg.set_watch_condition(addr, &expr.join(" "));
+            }
+            unit(r);
+        }
+        ["clear-watch", addr] => unit(dbg.clear_watchpoint(parse_addr(addr)?)),
+        ["logpoint", addr, label, expr @ ..] => {
+            unit(dbg.set_logpoint(parse_addr(addr)?, label, &expr.join(" ")));
+        }
+        ["clear-logpoint", addr] => unit(dbg.clear_logpoint(parse_addr(addr)?)),
+        ["query", expr @ ..] if !expr.is_empty() => match dbg.query_first(&expr.join(" ")) {
+            Ok(Some((cycle, s))) => {
+                let mut o = JsonObj::new();
+                o.str("event", "query-first")
+                    .bool("found", true)
+                    .u64("cycle", cycle);
+                println!("{}", o.finish());
+                println!("{}", stop_json("stop", &s));
+            }
+            Ok(None) => {
+                let mut o = JsonObj::new();
+                o.str("event", "query-first").bool("found", false);
+                println!("{}", o.finish());
+            }
+            Err(e) => {
+                dbg_json(cmd, &e);
+            }
+        },
+        ["regs"] => match dbg.read_registers() {
+            Ok(r) => {
+                let gprs: Vec<u64> = r.gprs.iter().map(|&v| v as u64).collect();
+                let mut o = JsonObj::new();
+                o.str("event", "regs").hex("pc", r.pc as u64);
+                o.u64_list("gprs", &gprs);
+                println!("{}", o.finish());
+            }
+            Err(e) => {
+                dbg_json(cmd, &e);
+            }
+        },
+        ["mem", addr, len] => {
+            let addr = parse_addr(addr)?;
+            match dbg.read_memory(addr, parse_u64(len)? as u32) {
+                Ok(bytes) => {
+                    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    let mut o = JsonObj::new();
+                    o.str("event", "mem").hex("addr", addr as u64);
+                    o.u64("len", bytes.len() as u64).str("bytes", &hex);
+                    println!("{}", o.finish());
+                }
+                Err(e) => {
+                    dbg_json(cmd, &e);
+                }
+            }
+        }
+        ["stats"] => match dbg.query_stats() {
+            Ok(s) => {
+                let mut o = JsonObj::new();
+                o.str("event", "stats")
+                    .u64("now", s.now)
+                    .u64("guest", s.guest)
+                    .u64("monitor", s.monitor)
+                    .u64("idle", s.idle);
+                o.u64_list("exits", &s.exits);
+                o.u64_list("faults", &s.faults)
+                    .u64("blocked", s.fault_blocked);
+                println!("{}", o.finish());
+            }
+            Err(e) => {
+                dbg_json(cmd, &e);
+            }
+        },
+        other => return Err(format!("bad session command `{}`", other.join(" "))),
+    }
+    Ok(())
+}
+
+fn cmd_session(args: &[String]) -> Result<(), String> {
+    let script = match args {
+        [] => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            s
+        }
+        [path] => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+        _ => return Err("session expects at most one script path".into()),
+    };
+
+    let machine = boot_machine(100);
+    let clock = machine.config().clock_hz;
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    vmm.enable_flight_recorder(100_000);
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    let mut o = JsonObj::new();
+    o.str("event", "session")
+        .str("platform", "lvmm")
+        .u64("clock_hz", clock);
+    println!("{}", o.finish());
+
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        session_line(&mut dbg, clock, line)?;
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------ diverge ----
+
+/// Known guest data symbols (the workload kernel's stats block plus its
+/// globals page); a bare hex address works for anything else.
+fn resolve_symbol(name: &str) -> Option<u32> {
+    Some(match name {
+        "bytes" => layout::STATS,
+        "frames" => layout::STATS + 8,
+        "ticks" => layout::STATS + 12,
+        "underruns" => layout::STATS + 16,
+        "glob" => layout::GLOB,
+        hex => return parse_addr(hex).ok(),
+    })
+}
+
+/// Reads the 32-bit little-endian word at physical `addr`.
+fn read_word(m: &mut Machine, addr: u32) -> u32 {
+    let mut v = 0u32;
+    for i in 0..4 {
+        let b = m.bus_read(addr + i, lwvmm::cpu::MemSize::Byte).unwrap_or(0);
+        v |= b << (8 * i);
+    }
+    v
+}
+
+fn cmd_diverge(args: &[String]) -> Result<(), String> {
+    let symbol = opt(args, "--symbol").unwrap_or("frames");
+    let ms = parse_u64(opt(args, "--ms").unwrap_or("60"))?;
+    let addr = resolve_symbol(symbol).ok_or(format!(
+        "unknown symbol `{symbol}` (bytes|frames|ticks|underruns|glob|0xADDR)"
+    ))?;
+
+    let machine = boot_machine(100);
+    let clock = machine.config().clock_hz;
+    let interval = clock / 10_000; // sample every 100 simulated µs
+    let steps = ms * clock / 1_000 / interval;
+
+    // Trajectory of the symbol's word under each monitor, sampled on the
+    // same simulated-time grid.
+    let sample = |platform: &mut dyn Platform| -> Vec<(u64, u32)> {
+        (0..steps)
+            .map(|_| {
+                platform.run_for(interval);
+                let m = platform.machine_mut();
+                (m.now(), read_word(m, addr))
+            })
+            .collect()
+    };
+    let mut hosted = HostedPlatform::new(boot_machine(100), layout::ENTRY);
+    let hosted_track = sample(&mut hosted);
+
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    vmm.enable_flight_recorder(100_000);
+    let lvmm_track = sample(&mut vmm);
+
+    let mut o = JsonObj::new();
+    o.str("event", "samples")
+        .str("symbol", symbol)
+        .hex("addr", addr as u64)
+        .u64("interval", interval)
+        .u64("count", steps);
+    println!("{}", o.finish());
+
+    // First sample index where the two runs disagree on the value.
+    let Some(i) = (0..steps as usize).find(|&i| hosted_track[i].1 != lvmm_track[i].1) else {
+        let mut o = JsonObj::new();
+        o.str("event", "diverge").bool("found", false);
+        println!("{}", o.finish());
+        return Ok(());
+    };
+    let (prev_cycle, prev_val) = if i == 0 { (0, 0) } else { lvmm_track[i - 1] };
+    let mut o = JsonObj::new();
+    o.str("event", "first-differing-sample")
+        .u64("index", i as u64)
+        .u64("hosted_value", hosted_track[i].1 as u64)
+        .u64("lvmm_value", lvmm_track[i].1 as u64)
+        .u64("agreed_value", prev_val as u64)
+        .u64("agreed_cycle", prev_cycle);
+    println!("{}", o.finish());
+
+    // Refine on the lvmm timeline: the first recorded cycle after the last
+    // agreement at which the symbol no longer holds the agreed value.
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    dbg.halt().map_err(|e| format!("halt: {e}"))?;
+    let expr = format!("cycle > {prev_cycle} && [0x{addr:x}] != {prev_val}");
+    let hit = dbg
+        .query_first(&expr)
+        .map_err(|e| format!("query `{expr}`: {e}"))?;
+    let mut o = JsonObj::new();
+    o.str("event", "diverge").str("expr", &expr);
+    let Some((cycle, stop)) = hit else {
+        o.bool("found", false);
+        println!("{}", o.finish());
+        return Ok(());
+    };
+    o.bool("found", true).u64("cycle", cycle);
+    println!("{}", o.finish());
+    println!("{}", stop_json("seek", &stop));
+
+    // Parked at the divergence: dump state, then prove single-stepping
+    // works from here.
+    let regs = dbg.read_registers().map_err(|e| format!("regs: {e}"))?;
+    let gprs: Vec<u64> = regs.gprs.iter().map(|&v| v as u64).collect();
+    let mut o = JsonObj::new();
+    // `cycle` is the parked replay position; the machine's own clock keeps
+    // ticking while the stub services the wire, so `now()` would mislead.
+    o.str("event", "state")
+        .u64("cycle", cycle)
+        .hex("pc", regs.pc as u64)
+        .u64(
+            "value",
+            read_word(dbg.link_mut().platform.machine_mut(), addr) as u64,
+        );
+    o.u64_list("gprs", &gprs);
+    println!("{}", o.finish());
+    let stepped = dbg.step().map_err(|e| format!("step: {e}"))?;
+    println!("{}", stop_json("step", &stepped));
+    Ok(())
+}

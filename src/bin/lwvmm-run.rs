@@ -15,13 +15,22 @@
 //! arms the deterministic fault injector: the campaign is a pure function
 //! of `--fault-seed` and the simulated clock, so the same invocation always
 //! wrecks the guest the same way.
+//!
+//! `--logpoint 0xADDR[:label[:expr]]` (repeatable) arms a logpoint: every
+//! retirement of the instruction at `ADDR` where `expr` (condition grammar
+//! of `hx-query`; absent means "always") evaluates nonzero records a hit
+//! without stopping the guest. `--query-json` switches the whole run report
+//! to JSON lines — one object per line, deterministic across reruns — for
+//! scripting against.
 
 use lwvmm::fault::{FaultKind, FaultPlan};
 use lwvmm::guest::{kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::LvmmPlatform;
-use lwvmm::obs::{Profiler, SymbolMap};
+use lwvmm::obs::{EventKind, Profiler, SymbolMap};
+use lwvmm::query::json::JsonObj;
+use lwvmm::query::Expr;
 use std::process::ExitCode;
 
 struct Options {
@@ -35,6 +44,8 @@ struct Options {
     profile: Option<String>,
     fault: Option<String>,
     fault_seed: u64,
+    logpoints: Vec<(u32, String, Option<String>)>,
+    query_json: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,6 +60,8 @@ fn parse_args() -> Result<Options, String> {
         profile: None,
         fault: None,
         fault_seed: 42,
+        logpoints: Vec::new(),
+        query_json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +100,23 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--fault-seed expects a number")?
             }
             "--profile" => opts.profile = Some(args.next().ok_or("missing --profile value")?),
+            "--logpoint" => {
+                let spec = args.next().ok_or("missing --logpoint value")?;
+                // addr[:label[:expr]] — the expression may itself contain
+                // no colons (the grammar has none), but splitn keeps any
+                // future ones intact anyway.
+                let mut parts = spec.splitn(3, ':');
+                let addr = parts.next().unwrap_or("");
+                let addr = u32::from_str_radix(addr.trim_start_matches("0x"), 16)
+                    .map_err(|_| "--logpoint address must be hex")?;
+                let label = match parts.next() {
+                    Some(l) if !l.is_empty() => l.to_string(),
+                    _ => format!("lp@{addr:#x}"),
+                };
+                let expr = parts.next().map(str::to_string);
+                opts.logpoints.push((addr, label, expr));
+            }
+            "--query-json" => opts.query_json = true,
             "--no-decode-cache" => opts.no_decode_cache = true,
             "-h" | "--help" => return Err(String::new()),
             other if opts.input.is_none() => opts.input = Some(other.to_string()),
@@ -109,7 +139,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
                  [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
-                 [--profile out.folded] [--fault all|<class>] [--fault-seed N]"
+                 [--profile out.folded] [--fault all|<class>] [--fault-seed N] \
+                 [--logpoint 0xADDR[:label[:expr]]]... [--query-json]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -167,6 +198,24 @@ fn main() -> ExitCode {
         ));
     }
 
+    if !opts.logpoints.is_empty() {
+        // Hits are read back from the trace ring after the run.
+        machine.obs.enable_tracing();
+        for (addr, label, expr) in &opts.logpoints {
+            let cond = match expr {
+                None => None,
+                Some(src) => match Expr::parse(src) {
+                    Ok(e) => Some(e),
+                    Err(e) => {
+                        eprintln!("lwvmm-run: bad --logpoint condition `{src}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            machine.add_logpoint(*addr, label, cond);
+        }
+    }
+
     if let Some(spec) = &opts.fault {
         let ram_size = machine.config().ram_size as u32;
         // Wild attempts span all of RAM; the monitors block everything at or
@@ -200,17 +249,22 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "running {} ({} bytes at {:#x}) on {} for {} simulated ms",
-        opts.input
-            .as_deref()
-            .unwrap_or("<built-in streaming workload>"),
-        program.bytes().len(),
-        program.base(),
-        platform.name(),
-        opts.ms
-    );
+    if !opts.query_json {
+        println!(
+            "running {} ({} bytes at {:#x}) on {} for {} simulated ms",
+            opts.input
+                .as_deref()
+                .unwrap_or("<built-in streaming workload>"),
+            program.bytes().len(),
+            program.base(),
+            platform.name(),
+            opts.ms
+        );
+    }
     let ran = platform.run_for(clock / 1_000 * opts.ms);
+    if opts.query_json {
+        return emit_json(&opts, platform.as_mut(), ran, clock, is_workload);
+    }
     let t = platform.time_stats();
     println!(
         "\nsimulated {:.3} ms   cpu load {:.1}%  (guest {:.1}%, monitor {:.1}%, host {:.1}%, idle {:.1}%)",
@@ -325,6 +379,121 @@ fn main() -> ExitCode {
             }
         }
         println!();
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--query-json` report: one JSON object per line, every value taken
+/// from simulated state so identical invocations print identical bytes.
+fn emit_json(
+    opts: &Options,
+    platform: &mut dyn Platform,
+    ran: u64,
+    clock: u64,
+    is_workload: bool,
+) -> ExitCode {
+    let m = platform.machine();
+    let nic = m.nic.counters();
+    let mut run = JsonObj::new();
+    run.str("event", "run")
+        .str("platform", platform.name())
+        .u64("clock_hz", clock)
+        .u64("ran_cycles", ran)
+        .u64("now", m.now())
+        .hex("pc", m.cpu.pc() as u64)
+        .u64("instret", m.cpu.instret())
+        .u64("tx_frames", nic.tx_frames)
+        .u64("tx_bytes", nic.tx_bytes);
+    println!("{}", run.finish());
+
+    if is_workload {
+        let mut o = JsonObj::new();
+        o.str("event", "guest");
+        match GuestStats::read(m) {
+            Ok(s) => {
+                o.u64("frames", s.frames as u64)
+                    .u64("bytes", s.bytes)
+                    .u64("ticks", s.ticks as u64)
+                    .u64("underruns", s.underruns as u64)
+                    .u64("fault_cause", s.fault_cause as u64);
+            }
+            Err(e) => {
+                o.str("error", &e.to_string());
+            }
+        }
+        println!("{}", o.finish());
+    }
+
+    if let Some(f) = m.fault_stats() {
+        let mut o = JsonObj::new();
+        o.str("event", "faults");
+        o.u64_list("attempted", &f.injected);
+        o.u64("blocked", f.blocked);
+        println!("{}", o.finish());
+    }
+
+    // Logpoint hits, oldest surviving first (the ring may have dropped the
+    // earliest ones on very long runs — say so rather than lie by omission).
+    if !opts.logpoints.is_empty() {
+        let label_of = |addr: u32| {
+            m.logpoints()
+                .iter()
+                .find(|lp| lp.addr == addr)
+                .map(|lp| lp.label.clone())
+                .unwrap_or_default()
+        };
+        if m.obs.ring.dropped() > 0 {
+            let mut o = JsonObj::new();
+            o.str("event", "ring-dropped")
+                .u64("events", m.obs.ring.dropped());
+            println!("{}", o.finish());
+        }
+        for ev in m.obs.ring.iter() {
+            if let EventKind::Logpoint { addr, value } = ev.kind {
+                let mut o = JsonObj::new();
+                o.str("event", "logpoint")
+                    .u64("at", ev.at)
+                    .hex("addr", addr as u64)
+                    .str("label", &label_of(addr))
+                    .u64("value", value);
+                println!("{}", o.finish());
+            }
+        }
+    }
+
+    if let Some((addr, len)) = opts.dump {
+        let mut bytes = String::with_capacity(len as usize * 2);
+        for i in 0..len {
+            match platform
+                .machine_mut()
+                .bus_read(addr + i, hx_cpu::MemSize::Byte)
+            {
+                Ok(b) => bytes.push_str(&format!("{b:02x}")),
+                Err(_) => bytes.push_str("??"),
+            }
+        }
+        let mut o = JsonObj::new();
+        o.str("event", "memory")
+            .hex("addr", addr as u64)
+            .u64("len", len as u64)
+            .str("bytes", &bytes);
+        println!("{}", o.finish());
+    }
+
+    if let Some(path) = &opts.profile {
+        let Some(prof) = platform.machine().obs.prof() else {
+            eprintln!("lwvmm-run: profiler vanished (internal error)");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(path, prof.fold()) {
+            eprintln!("lwvmm-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut o = JsonObj::new();
+        o.str("event", "profile")
+            .str("path", path)
+            .u64("samples", prof.total_samples());
+        println!("{}", o.finish());
     }
     ExitCode::SUCCESS
 }

@@ -68,3 +68,6 @@ pub use hx_obs as obs;
 /// Deterministic fault injection: guest fault campaigns and lossy-link
 /// mangling (`hx-fault`).
 pub use hx_fault as fault;
+
+/// Trace queries, condition expressions and JSON-line output (`hx-query`).
+pub use hx_query as query;
