@@ -5,34 +5,45 @@
 //! and reaches ≈26 % of real hardware).
 //!
 //! Usage: `cargo run --release -p lwvmm-bench --bin fig3_1 [--fast]
-//!         [--trace out.json] [--metrics] [--profile out.folded]`
+//!         [--trace out.json] [--metrics out.prom] [--profile out.folded]
+//!         [--check-speed baseline.json]`
 //!
 //! * `--trace out.json` additionally runs one traced point per platform at
 //!   100 Mbit/s and writes a Chrome trace-event JSON (open in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>). The file is
 //!   byte-identical across runs.
-//! * `--metrics` prints the per-cause exit histograms of those runs.
+//! * `--metrics out.prom` prints the per-cause exit histograms of those
+//!   runs and writes the full metrics registry (counters, exit histograms,
+//!   host-time attribution) in Prometheus text exposition format.
 //! * `--profile out.folded` profiles those runs with the deterministic PC
 //!   sampler, writes collapsed flamegraph stacks (one `platform;guest;symbol`
 //!   block per platform — feed to `flamegraph.pl` or speedscope), and adds
 //!   per-symbol hot-path data to `BENCH_fig3_1.json`. Also byte-identical
 //!   across runs.
+//! * `--check-speed baseline.json` compares the fresh sim-speed numbers
+//!   against the `sim_speed` section of a committed `BENCH_fig3_1.json`
+//!   and exits nonzero on a regression beyond `LWVMM_SPEED_TOLERANCE`
+//!   (fractional, default 0.75 — wall clocks differ across machines).
 //!
 //! Prints the measured series as a table and an ASCII plot, and writes
 //! `fig3_1.csv` plus the machine-readable `BENCH_fig3_1.json` (per-platform
-//! sweep points and exit histograms) into the current directory.
+//! sweep points, exit histograms, sim speed with and without metrics, and
+//! per-phase host-time attribution) into the current directory.
 
 use hitactix::Workload;
+use hx_obs::{HostPhase, MetricsRegistry};
 use lwvmm_bench::{
-    arg_flag, arg_value, ascii_plot, build_platform, build_profiled_platform, chrome_trace,
-    exit_report, measure, measure_point, sweep_report, PlatformKind, ProfileSummary,
+    arg_flag, arg_value, ascii_plot, baseline_sim_speed, build_platform, build_profiled_platform,
+    check_sim_speed, chrome_trace, exit_report, measure, measure_point, sweep_report, PlatformKind,
+    ProfileSummary,
 };
 
 fn main() {
     let fast = arg_flag("--fast");
     let trace_path = arg_value("--trace");
     let profile_path = arg_value("--profile");
-    let metrics = arg_flag("--metrics");
+    let metrics_path = arg_value("--metrics");
+    let check_speed = arg_value("--check-speed");
     let (warmup_ms, window_ms) = if fast { (40, 120) } else { (80, 400) };
     let rates: &[u64] = if fast {
         &[50, 150, 300, 500, 700, 950]
@@ -67,8 +78,37 @@ fn main() {
     // number in this benchmark; recorded in the JSON, never in the traces).
     let speed_ms = if fast { 100 } else { 400 };
     let mut sim_speed = Vec::new();
+    let mut attributions = Vec::new();
     for kind in PlatformKind::ALL {
-        let s = lwvmm_bench::measure_sim_speed(kind, 300, speed_ms);
+        // Median of seven, metrics-off and metrics-on interleaved:
+        // wall-clock speed is the one nondeterministic number in this
+        // bench, and the metrics-overhead gate compares the two. The
+        // interleaving means host load hits both series alike, and the
+        // median (unlike a best-of maximum) stays put when a few samples
+        // are throttled — so scheduler noise cancels out of the ratio
+        // instead of masquerading as instrumentation cost. The hosted
+        // baseline retires far fewer instructions per simulated ms (it
+        // idles while the relay thrashes), so give it a 4x longer window
+        // to keep the timed region long enough to measure.
+        let ms = if kind == PlatformKind::Hosted {
+            speed_ms * 4
+        } else {
+            speed_ms
+        };
+        let mut offs = Vec::new();
+        let mut ons = Vec::new();
+        for _ in 0..7 {
+            offs.push(lwvmm_bench::measure_sim_speed(kind, 300, ms));
+            ons.push(lwvmm_bench::measure_host_attribution(kind, 300, ms, true));
+        }
+        offs.sort_by(|x, y| x.instr_per_host_sec.total_cmp(&y.instr_per_host_sec));
+        ons.sort_by(|x, y| {
+            x.speed
+                .instr_per_host_sec
+                .total_cmp(&y.speed.instr_per_host_sec)
+        });
+        let s = offs[offs.len() / 2];
+        let a = ons.swap_remove(ons.len() / 2);
         println!(
             "Sim speed on {:8}: {:5.1} M guest instr / host sec ({} instr in {:.3} s)",
             kind.label(),
@@ -76,7 +116,16 @@ fn main() {
             s.instructions,
             s.host_seconds
         );
+        println!(
+            "  with metrics on : {:5.1} M guest instr / host sec ({:+5.1}% overhead, \
+             {:.1}% of host time attributed across {} marks)",
+            a.speed.instr_per_host_sec / 1e6,
+            (s.instr_per_host_sec / a.speed.instr_per_host_sec.max(1.0) - 1.0) * 100.0,
+            a.coverage() * 100.0,
+            a.marks
+        );
         sim_speed.push((kind, s));
+        attributions.push(a);
     }
 
     let sat = |k: PlatformKind| saturation.iter().find(|&&(kk, _)| kk == k).unwrap().1;
@@ -97,7 +146,7 @@ fn main() {
     // representative rate. Tracing and profiling are observational only, so
     // these runs behave identically to the untraced sweep above.
     let mut profiles: Vec<ProfileSummary> = Vec::new();
-    if trace_path.is_some() || profile_path.is_some() || metrics {
+    if trace_path.is_some() || profile_path.is_some() || metrics_path.is_some() {
         let workload = Workload::new(100);
         let mut traced = Vec::new();
         for kind in PlatformKind::ALL {
@@ -107,11 +156,15 @@ fn main() {
                 build_platform(kind, &workload)
             };
             platform.machine_mut().obs.enable_tracing();
+            if metrics_path.is_some() {
+                platform.machine_mut().obs.enable_hostprof();
+            }
             measure(platform.as_mut(), warmup_ms, window_ms);
             traced.push((kind, platform));
         }
 
-        if metrics {
+        if let Some(path) = &metrics_path {
+            let reg = MetricsRegistry::global();
             for (kind, platform) in &traced {
                 let r = exit_report(
                     format!("Exit histograms — {} at 100 Mbps", kind.label()),
@@ -120,7 +173,13 @@ fn main() {
                 if !r.is_empty() {
                     println!("{}", r.to_text());
                 }
+                // Close the deferred guest-execution window so the
+                // exposition attributes the trailing guest stretch too.
+                platform.machine().obs.host_mark(HostPhase::GuestExec);
+                platform.publish_metrics(reg);
             }
+            lwvmm_bench::write_output(path, reg.snapshot().prometheus());
+            println!("wrote {path} (Prometheus text exposition)");
         }
 
         if let Some(path) = &profile_path {
@@ -147,7 +206,37 @@ fn main() {
     lwvmm_bench::write_output("fig3_1.csv", report.to_csv());
     lwvmm_bench::write_output(
         "BENCH_fig3_1.json",
-        lwvmm_bench::fig3_1_json(warmup_ms, window_ms, &measurements, &sim_speed, &profiles),
+        lwvmm_bench::fig3_1_json(
+            warmup_ms,
+            window_ms,
+            &measurements,
+            &sim_speed,
+            &attributions,
+            &profiles,
+        ),
     );
     println!("\nwrote fig3_1.csv and BENCH_fig3_1.json");
+
+    if let Some(path) = check_speed {
+        let tolerance = std::env::var("LWVMM_SPEED_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.75);
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check-speed: cannot read {path}: {e}"));
+        let baseline = baseline_sim_speed(&baseline);
+        assert!(
+            !baseline.is_empty(),
+            "--check-speed: no sim_speed section in {path}"
+        );
+        let failures = check_sim_speed(&baseline, &sim_speed, tolerance);
+        if failures.is_empty() {
+            println!("sim-speed check vs {path}: OK (tolerance {tolerance})");
+        } else {
+            for f in &failures {
+                eprintln!("sim-speed regression: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

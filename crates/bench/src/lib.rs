@@ -8,7 +8,9 @@
 use hitactix::{GuestStats, Workload};
 use hosted_vmm::HostedPlatform;
 use hx_machine::{Machine, MachineConfig, Platform, RawPlatform, TimeStats};
-use hx_obs::{report, Align, ChromeTrace, ExitCause, ExitHists, Profiler, Report, SymbolMap};
+use hx_obs::{
+    report, Align, ChromeTrace, ExitCause, ExitHists, HostPhase, Profiler, Report, SymbolMap,
+};
 use lvmm::LvmmPlatform;
 
 pub mod survivability;
@@ -202,19 +204,140 @@ pub struct SimSpeed {
 /// Times `ms` simulated milliseconds of the streaming workload at
 /// `rate_mbps` on a fresh platform under the host wall clock.
 pub fn measure_sim_speed(kind: PlatformKind, rate_mbps: u64, ms: u64) -> SimSpeed {
+    measure_host_attribution(kind, rate_mbps, ms, false).speed
+}
+
+/// Host-time attribution of one metrics-enabled run: where the monitor's
+/// own wall-clock went, per phase, plus the run's simulation speed — the
+/// data behind the `host_attribution` section of `BENCH_fig3_1.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostAttributionSummary {
+    /// Which platform ran.
+    pub kind: PlatformKind,
+    /// The run's simulation speed (with the host profiler enabled).
+    pub speed: SimSpeed,
+    /// Host wall-clock nanoseconds from profiler enable to the last mark.
+    pub wall_ns: u64,
+    /// Phase-boundary marks taken.
+    pub marks: u64,
+    /// Host nanoseconds attributed to any phase.
+    pub attributed_ns: u64,
+    /// Per-phase host nanoseconds, in canonical `HostPhase::ALL` order.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl HostAttributionSummary {
+    /// Fraction of wall-clock the marks explain, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.attributed_ns as f64 / (self.wall_ns as f64).max(1.0)
+    }
+}
+
+/// Times `ms` simulated milliseconds at `rate_mbps` like
+/// [`measure_sim_speed`], optionally with the host-time profiler enabled
+/// (`metrics`), and reports both the speed and the attribution. With
+/// `metrics` off the attribution fields are zero and `phases` is empty.
+pub fn measure_host_attribution(
+    kind: PlatformKind,
+    rate_mbps: u64,
+    ms: u64,
+    metrics: bool,
+) -> HostAttributionSummary {
     let workload = Workload::new(rate_mbps);
     let mut platform = build_platform(kind, &workload);
+    if metrics {
+        platform.machine_mut().obs.enable_hostprof();
+    }
     let per_ms = platform.machine().config().clock_hz / 1_000;
     let i0 = platform.machine().cpu.instret();
     let t = std::time::Instant::now();
     platform.run_for(ms * per_ms);
     let host_seconds = t.elapsed().as_secs_f64();
     let instructions = platform.machine().cpu.instret() - i0;
-    SimSpeed {
+    let speed = SimSpeed {
         instructions,
         host_seconds,
         instr_per_host_sec: instructions as f64 / host_seconds.max(1e-9),
+    };
+    // Deferred guest-execution time is charged at the next phase boundary;
+    // force one so the run's trailing guest stretch is attributed too.
+    platform.machine().obs.host_mark(HostPhase::GuestExec);
+    let att = platform.machine().obs.host_attribution();
+    let (wall_ns, marks, attributed_ns, phases) = match att {
+        Some(a) => (a.wall_ns, a.marks, a.attributed_ns(), a.phases().collect()),
+        None => (0, 0, 0, Vec::new()),
+    };
+    HostAttributionSummary {
+        kind,
+        speed,
+        wall_ns,
+        marks,
+        attributed_ns,
+        phases,
     }
+}
+
+/// Extracts the `(name, instr_per_host_sec)` pairs from the `sim_speed`
+/// section of a committed `BENCH_fig3_1.json` — the hand-rolled companion
+/// of [`fig3_1_json`], kept parser-free like the writer. Returns an empty
+/// vector if the section is missing or malformed.
+pub fn baseline_sim_speed(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"sim_speed\"") else {
+        return Vec::new();
+    };
+    let Some(end) = json[start..].find(']') else {
+        return Vec::new();
+    };
+    let section = &json[start..start + end];
+    let mut out = Vec::new();
+    for entry in section.split('{').skip(1) {
+        let name = entry
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|s| s.split('"').next());
+        let speed = entry
+            .split("\"instr_per_host_sec\": ")
+            .nth(1)
+            .and_then(|s| {
+                s.split(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                    .next()
+            })
+            .and_then(|s| s.parse::<f64>().ok());
+        if let (Some(name), Some(speed)) = (name, speed) {
+            out.push((name.to_string(), speed));
+        }
+    }
+    out
+}
+
+/// Compares fresh sim-speed measurements against a committed baseline.
+/// Returns one human-readable message per platform whose fresh speed fell
+/// below `(1 - tolerance) *` baseline; empty means no regression.
+/// `tolerance` is fractional (`0.5` tolerates a 2× slowdown) — wall-clock
+/// speed varies across host machines, so gates should be generous.
+pub fn check_sim_speed(
+    baseline: &[(String, f64)],
+    fresh: &[(PlatformKind, SimSpeed)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (kind, s) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == kind.label()) else {
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        if s.instr_per_host_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} instr/s is below {:.0} ({}% of baseline {:.0})",
+                kind.label(),
+                s.instr_per_host_sec,
+                floor,
+                ((1.0 - tolerance) * 100.0).round(),
+                base
+            ));
+        }
+    }
+    failures
 }
 
 /// Renders a simple ASCII scatter of (rate, load) series, mirroring the
@@ -412,6 +535,7 @@ pub fn fig3_1_json(
     window_ms: u64,
     series: &[(PlatformKind, Vec<Measurement>)],
     sim_speed: &[(PlatformKind, SimSpeed)],
+    attributions: &[HostAttributionSummary],
     profiles: &[ProfileSummary],
 ) -> String {
     let sat = |kind: PlatformKind| {
@@ -481,6 +605,49 @@ pub fn fig3_1_json(
         ));
     }
     out.push_str("  ],\n");
+    if !attributions.is_empty() {
+        // The same runs measured twice over: their speed (to gate metrics
+        // overhead against the plain sim_speed above) and where the
+        // monitor's host time went, phase by phase.
+        out.push_str("  \"sim_speed_metrics\": [\n");
+        for (i, a) in attributions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instructions\": {}, \"host_seconds\": {:.4}, \
+                 \"instr_per_host_sec\": {:.0}}}{}\n",
+                a.kind.label(),
+                a.speed.instructions,
+                a.speed.host_seconds,
+                a.speed.instr_per_host_sec,
+                if i + 1 < attributions.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"host_attribution\": [\n");
+        for (i, a) in attributions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ns\": {}, \"marks\": {}, \
+                 \"attributed_ns\": {}, \"coverage\": {:.4}, \"phases\": {{",
+                a.kind.label(),
+                a.wall_ns,
+                a.marks,
+                a.attributed_ns,
+                a.coverage()
+            ));
+            for (j, (phase, ns)) in a.phases.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}\"{phase}\": {ns}",
+                    if j > 0 { ", " } else { "" }
+                ));
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < attributions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
     if !profiles.is_empty() {
         out.push_str("  \"profile\": [\n");
         for (i, p) in profiles.iter().enumerate() {
@@ -571,7 +738,29 @@ mod tests {
             total_samples: 9,
             top: vec![("build_frame".into(), 800, 8), ("[unknown]".into(), 100, 1)],
         }];
-        let json = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &profiles);
+        let att = HostAttributionSummary {
+            kind: PlatformKind::Lvmm,
+            speed: SimSpeed {
+                instructions: 990_000,
+                host_seconds: 0.051,
+                instr_per_host_sec: 19_411_764.0,
+            },
+            wall_ns: 51_000_000,
+            marks: 1_234,
+            attributed_ns: 50_700_000,
+            phases: HostPhase::ALL
+                .iter()
+                .map(|p| (p.label(), 2_816_666))
+                .collect(),
+        };
+        let json = fig3_1_json(
+            40,
+            120,
+            &series,
+            &[(PlatformKind::Lvmm, speed)],
+            std::slice::from_ref(&att),
+            &profiles,
+        );
         for key in [
             "\"bench\"",
             "\"platforms\"",
@@ -581,6 +770,13 @@ mod tests {
             "\"p999\"",
             "\"sim_speed\"",
             "\"instr_per_host_sec\"",
+            "\"sim_speed_metrics\"",
+            "\"host_attribution\"",
+            "\"wall_ns\"",
+            "\"coverage\"",
+            "\"guest-exec\"",
+            "\"exit-mmio\"",
+            "\"journal\"",
             "\"profile\"",
             "\"build_frame\"",
             "\"total_cycles\"",
@@ -591,10 +787,39 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "unbalanced JSON: {json}");
-        // Without profiled runs the profile section is absent and the
-        // schema the CI checker reads is unchanged.
-        let bare = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &[]);
+        // Without profiled or metrics-enabled runs those sections are
+        // absent and the schema the CI checker reads is unchanged.
+        let bare = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &[], &[]);
         assert!(!bare.contains("\"profile\""));
+        assert!(!bare.contains("\"host_attribution\""));
+        assert!(!bare.contains("\"sim_speed_metrics\""));
+        // The baseline extractor reads back what the writer emitted — and
+        // only from the plain sim_speed section, not the metrics-on one.
+        let base = baseline_sim_speed(&json);
+        assert_eq!(base, vec![("lvmm".to_string(), 20_000_000.0)]);
+        assert!(baseline_sim_speed("{}").is_empty());
+    }
+
+    #[test]
+    fn sim_speed_gate_flags_only_regressions() {
+        let baseline = vec![("lvmm".to_string(), 20_000_000.0)];
+        let ok = SimSpeed {
+            instructions: 1,
+            host_seconds: 1.0,
+            instr_per_host_sec: 11_000_000.0,
+        };
+        let slow = SimSpeed {
+            instructions: 1,
+            host_seconds: 1.0,
+            instr_per_host_sec: 9_000_000.0,
+        };
+        // 50% tolerance: the floor is 10M instr/s.
+        assert!(check_sim_speed(&baseline, &[(PlatformKind::Lvmm, ok)], 0.5).is_empty());
+        let fails = check_sim_speed(&baseline, &[(PlatformKind::Lvmm, slow)], 0.5);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("lvmm"), "{fails:?}");
+        // Platforms absent from the baseline are not gated.
+        assert!(check_sim_speed(&baseline, &[(PlatformKind::RawHw, slow)], 0.5).is_empty());
     }
 
     #[test]

@@ -31,9 +31,9 @@ use hx_machine::engine::{ExitPolicy, FlightRecorder, ProgressGuard};
 use hx_machine::platform::PlatformStep;
 use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
-use hx_obs::{EventKind, ExitCause, JournalInput, ReplayCursor, StateDigest};
+use hx_obs::{EventKind, ExitCause, HostPhase, JournalInput, ReplayCursor, StateDigest};
 use hx_query::{Expr, SliceCtx};
-use rdbg::msg::{Command, ProfSample, Reply, StatsSample, StopReason};
+use rdbg::msg::{Command, MetricsSample, ProfSample, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
 /// Monitor configuration.
@@ -274,11 +274,16 @@ impl LvmmPlatform {
         if !due {
             return;
         }
+        // Checkpoint capture is heavy host work (a full-state clone) that
+        // happens *after* deferred guest-execution time; close the guest
+        // window first so the clone is charged to Journal, not GuestExec.
+        self.machine.obs.host_mark(HostPhase::GuestExec);
         let digest = self.state_digest();
         let snap = self.snapshot();
         if let Some(f) = &mut self.flight {
             f.checkpoints.record(now, digest, snap);
         }
+        self.machine.obs.host_mark(HostPhase::Journal);
     }
 
     /// Moves the platform to `target` on the recorded timeline.
@@ -834,6 +839,11 @@ impl LvmmPlatform {
                 self.inject_guest_trap(access.fault_cause(), trap.epc, va);
             }
         }
+        // Attribute the emulation's host time to the device itself; the
+        // trailing `record_exit(Mmio)` then covers only exit bookkeeping.
+        if let Some(dev) = map::dev_of(gpa) {
+            self.machine.obs.host_mark(HostPhase::Device(dev));
+        }
     }
 
     /// Completes one guest store that faulted only because a watchpoint
@@ -990,6 +1000,9 @@ impl LvmmPlatform {
         if bytes.is_empty() {
             return;
         }
+        // Stub servicing is host work after (possibly deferred) guest
+        // execution; close the guest window before attributing it.
+        self.machine.obs.host_mark(HostPhase::GuestExec);
         self.stub.stats.bytes_in += bytes.len() as u64;
         self.consume_monitor(costs::STUB_BYTE * bytes.len() as u64);
         self.stub.parser.push(&bytes);
@@ -1037,6 +1050,9 @@ impl LvmmPlatform {
                 WireEvent::Nak => self.resend_packet(),
             }
         }
+        // Whatever the per-packet `record_exit(Debug)` marks did not claim
+        // (byte draining, parsing, ACK/NAK handling) is debug-link I/O.
+        self.machine.obs.host_mark(HostPhase::DebugLink);
     }
 
     fn exec_command(&mut self, cmd: Command) -> Reply {
@@ -1344,6 +1360,25 @@ impl LvmmPlatform {
                         .into_iter()
                         .map(|(name, cycles, samples)| (name.to_string(), cycles, samples))
                         .collect(),
+                })
+            }
+            Command::QueryMetrics => {
+                // Like `qStats`: answered live, without stopping the guest.
+                // The sample's wire encoding is fixed-width, so the reply's
+                // simulated byte cost never depends on the host-clock
+                // values it carries — replay stays byte-identical.
+                let Some(att) = self.machine.obs.host_attribution() else {
+                    return Reply::Error(err::METRICS);
+                };
+                let mut phase_ns = [0u64; rdbg::msg::METRICS_PHASES];
+                for (i, ns) in att.phase_ns.iter().enumerate() {
+                    phase_ns[i] = *ns;
+                }
+                Reply::Metrics(MetricsSample {
+                    now: self.machine.now(),
+                    wall_ns: att.wall_ns,
+                    marks: att.marks,
+                    phase_ns,
                 })
             }
         }
@@ -1703,6 +1738,39 @@ mod tests {
         // The *real* trap vector never changed.
         assert_eq!(vmm.machine().cpu.read_csr(Csr::Tvec), 0);
         assert!(vmm.monitor_stats().exits_privileged >= 2);
+    }
+
+    #[test]
+    fn wire_phase_count_matches_host_profiler() {
+        // The fixed-width `qMetrics` reply carries exactly one field per
+        // host phase; the wire constant must track the profiler's enum.
+        assert_eq!(rdbg::msg::METRICS_PHASES, HostPhase::COUNT);
+    }
+
+    #[test]
+    fn query_metrics_needs_the_host_profiler() {
+        let mut vmm = boot("start: j start\n");
+        assert_eq!(
+            vmm.exec_command(Command::QueryMetrics),
+            Reply::Error(err::METRICS),
+            "no host profiler enabled => the stable metrics error code"
+        );
+        assert_eq!(rdbg::err_name(err::METRICS), Some("metrics unavailable"));
+
+        vmm.machine_mut().obs.enable_hostprof();
+        vmm.run_for(50_000);
+        match vmm.exec_command(Command::QueryMetrics) {
+            Reply::Metrics(s) => {
+                assert!(s.wall_ns > 0, "wall clock advanced");
+                assert!(s.marks > 0, "phase boundaries were marked");
+                assert!(s.attributed_ns() <= s.wall_ns);
+                // Fixed-width: two samples taken at different host times
+                // must serialize to the same number of bytes.
+                let again = vmm.exec_command(Command::QueryMetrics);
+                assert_eq!(again.format().len(), Reply::Metrics(s).format().len());
+            }
+            other => panic!("expected a metrics sample, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub mod err {
     pub const PROFILER: u8 = 7;
     /// Malformed condition/query expression.
     pub const QUERY: u8 = 8;
+    /// No host-time metrics available on the target (the host profiler is
+    /// not enabled, or the stub has no host clock at all — the in-kernel
+    /// stub answers `qMetrics` with this code unconditionally). Code 9 is
+    /// the embedded stub's generic "unsupported command" and is skipped
+    /// here deliberately.
+    pub const METRICS: u8 = 10;
 }
 
 /// One armed data watchpoint.
@@ -233,6 +239,7 @@ mod tests {
             err::RECORDER,
             err::PROFILER,
             err::QUERY,
+            err::METRICS,
         ] {
             assert!(
                 rdbg::err_name(code).is_some(),

@@ -17,7 +17,7 @@ use hx_cpu::{MemSize, Mode};
 use hx_machine::engine::{ExitPolicy, ProgressGuard};
 use hx_machine::platform::PlatformStep;
 use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
-use hx_obs::{EventKind, ExitCause};
+use hx_obs::{EventKind, ExitCause, HostPhase};
 use lvmm::chipset::VChipset;
 use lvmm::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager};
 use lvmm::vcpu::VCpu;
@@ -481,6 +481,11 @@ impl HostedPlatform {
             _ => {
                 self.inject_guest_trap(access.fault_cause(), trap.epc, va);
             }
+        }
+        // Attribute the emulation's host time to the device itself; the
+        // trailing `record_exit(Mmio)` then covers only exit bookkeeping.
+        if let Some(dev) = map::dev_of(gpa) {
+            self.machine.obs.host_mark(HostPhase::Device(dev));
         }
     }
 

@@ -310,6 +310,14 @@ impl EmbeddedStubPlatform {
                 // to report.
                 Reply::Error(9)
             }
+            Command::QueryMetrics => {
+                // An in-kernel stub has no host clock, so host-time
+                // metrics can never exist here. Answer with the *named*
+                // code (`lvmm::stub::err::METRICS` = 10, "metrics
+                // unavailable") rather than the generic 9, so the host
+                // prints what is missing instead of a bare number.
+                Reply::Error(10)
+            }
             Command::ReverseStep
             | Command::ReverseContinue
             | Command::Seek { .. }
@@ -463,6 +471,23 @@ mod tests {
         let count1 = link.platform.machine().mem.word(counter);
         assert!(count1 > count0);
         assert!(link.platform.stub_alive());
+    }
+
+    #[test]
+    fn embedded_stub_rejects_metrics_with_the_named_code() {
+        let program = apps::counter_guest();
+        let platform = boot(&program);
+        let mut dbg = Debugger::new(UartLink::new(platform));
+        dbg.halt().unwrap();
+        // No host clock in an in-kernel stub: `qMetrics` must fail with
+        // the *stable, named* code the host can explain — not a generic
+        // unsupported-command error.
+        let err = dbg.query_metrics().unwrap_err();
+        assert_eq!(err, rdbg::DbgError::Target(lvmm::stub::err::METRICS));
+        assert_eq!(
+            rdbg::err_name(lvmm::stub::err::METRICS),
+            Some("metrics unavailable")
+        );
     }
 
     #[test]

@@ -57,6 +57,18 @@ impl DecodeStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counters as `(stable metric name, value)` pairs, so exporters
+    /// (the metrics registry, the `qStats` wire sample) stay in sync with
+    /// this struct by construction instead of hand-listing fields.
+    pub fn kv(&self) -> [(&'static str, u64); 4] {
+        [
+            ("lwvmm_decode_hits_total", self.hits),
+            ("lwvmm_decode_misses_total", self.misses),
+            ("lwvmm_decode_fast_fetches_total", self.fast_fetches),
+            ("lwvmm_decode_invalidations_total", self.invalidations),
+        ]
+    }
 }
 
 /// One predecoded physical page.

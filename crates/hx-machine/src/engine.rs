@@ -20,7 +20,7 @@
 use crate::machine::{Machine, MachineStep};
 use crate::platform::{track_of, PlatformStep, TimeBucket, TimeStats};
 use hx_cpu::trap::Trap;
-use hx_obs::{CheckpointStore, ExitCause, StateDigest};
+use hx_obs::{CheckpointStore, ExitCause, HostPhase, StateDigest};
 
 /// Livelock guard for shadow-fill paths: re-raising the identical fault
 /// after a fill means the fill is not taking effect — a monitor bug or
@@ -147,10 +147,14 @@ pub trait ExitPolicy {
         self.charge(bucket, cycles);
     }
 
-    /// Records one guest→monitor exit (histogram + event ring).
+    /// Records one guest→monitor exit (histogram + event ring), and closes
+    /// the exit's host-time window: every exit path calls this exactly once
+    /// at the end of handling, so it is the natural place to charge the
+    /// handler's wall-clock to `Exit(cause)`.
     fn record_exit(&mut self, cause: ExitCause, cycles: u64) {
         let now = self.mach().now();
         self.mach_mut().obs.exit(now, cause, cycles);
+        self.mach().obs.host_mark(HostPhase::Exit(cause));
     }
 
     /// One unit of progress in the running state: execute guest
@@ -171,10 +175,14 @@ pub trait ExitPolicy {
                     PlatformStep::Running
                 }
                 MachineStep::Idle { cycles } => {
+                    // Guest-execution host time accrues until the guest
+                    // leaves the running state; close the window here.
+                    self.mach().obs.host_mark(HostPhase::GuestExec);
                     self.charge(TimeBucket::Idle, cycles);
                     PlatformStep::Running
                 }
                 MachineStep::Interrupt { irq, vector } => {
+                    self.mach().obs.host_mark(HostPhase::GuestExec);
                     self.handle_interrupt(irq, vector);
                     PlatformStep::Running
                 }
@@ -182,6 +190,7 @@ pub trait ExitPolicy {
                     self.on_instr_boundary(at);
                     self.mach_mut().obs.instr_boundary(pc);
                     self.charge(TimeBucket::Guest, cycles);
+                    self.mach().obs.host_mark(HostPhase::GuestExec);
                     self.handle_trap(trap);
                     PlatformStep::Running
                 }
@@ -193,17 +202,23 @@ pub trait ExitPolicy {
             self.charge(TimeBucket::Guest, b.executed);
         }
         match b.end {
+            // Exit-free batches take no mark at all: guest-execution host
+            // time is charged retroactively at the next phase boundary, so
+            // the hot loop costs zero `Instant` reads.
             None => PlatformStep::Running,
             Some(MachineStep::Idle { cycles }) => {
+                self.mach().obs.host_mark(HostPhase::GuestExec);
                 self.charge(TimeBucket::Idle, cycles);
                 PlatformStep::Running
             }
             Some(MachineStep::Interrupt { irq, vector }) => {
+                self.mach().obs.host_mark(HostPhase::GuestExec);
                 self.handle_interrupt(irq, vector);
                 PlatformStep::Running
             }
             Some(MachineStep::Trapped { trap, cycles }) => {
                 self.charge(TimeBucket::Guest, cycles);
+                self.mach().obs.host_mark(HostPhase::GuestExec);
                 self.handle_trap(trap);
                 PlatformStep::Running
             }
@@ -234,6 +249,7 @@ pub trait ExitPolicy {
         match self.mach_mut().skip_to_next_event() {
             Some(cycles) => {
                 self.charge(TimeBucket::Idle, cycles);
+                self.mach().obs.host_mark(HostPhase::Idle);
                 PlatformStep::Running
             }
             None => PlatformStep::Stuck,

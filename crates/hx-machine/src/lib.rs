@@ -84,6 +84,19 @@ pub mod map {
     /// Size of each device's register page.
     pub const DEV_PAGE: u32 = 0x1000;
 
+    /// The device owning the MMIO page that contains `gpa`, if any — the
+    /// host profiler's attribution key for device-emulation time.
+    pub fn dev_of(gpa: u32) -> Option<hx_obs::Dev> {
+        match gpa & !(DEV_PAGE - 1) {
+            PIC_BASE => Some(hx_obs::Dev::Pic),
+            PIT_BASE => Some(hx_obs::Dev::Pit),
+            UART_BASE => Some(hx_obs::Dev::Uart),
+            HDC_BASE => Some(hx_obs::Dev::Hdc),
+            NIC_BASE => Some(hx_obs::Dev::Nic),
+            _ => None,
+        }
+    }
+
     /// Interrupt request lines.
     pub mod irq {
         /// Timer tick.

@@ -18,7 +18,7 @@
 use crate::machine::Machine;
 use core::fmt;
 use hx_cpu::trap::Trap;
-use hx_obs::Track;
+use hx_obs::{ExitCause, MetricsRegistry, Track};
 
 /// The span-track lane a [`TimeBucket`] maps to in the trace exporter.
 pub fn track_of(bucket: TimeBucket) -> Track {
@@ -179,6 +179,58 @@ pub trait Platform {
     /// frames without knowing the platform's device topology.
     fn inject_rx_frame(&mut self, frame: &[u8]) {
         self.machine_mut().nic_inject_rx(frame.to_vec());
+    }
+
+    /// Publishes the platform's cumulative totals into a metrics registry,
+    /// labelled by platform name. Pure read of simulation state (plus the
+    /// host-time self-profiler's accumulators when enabled) — publishing is
+    /// idempotent (`counter_set` never goes backwards) and cannot perturb
+    /// the run, so callers may publish as often as they like (the heartbeat
+    /// does so every beat).
+    fn publish_metrics(&self, reg: &MetricsRegistry) {
+        let name = self.name();
+        let m = self.machine();
+        let t = self.time_stats();
+        let set = |metric: &str, v: u64| {
+            reg.counter_set(&format!("{metric}{{platform=\"{name}\"}}"), v);
+        };
+        set("lwvmm_instructions_total", m.cpu.instret());
+        set("lwvmm_guest_cycles_total", t.guest);
+        set("lwvmm_monitor_cycles_total", t.monitor);
+        set("lwvmm_host_model_cycles_total", t.host_model);
+        set("lwvmm_idle_cycles_total", t.idle);
+        reg.gauge_set(
+            &format!("lwvmm_cpu_load{{platform=\"{name}\"}}"),
+            t.cpu_load(),
+        );
+        reg.gauge_set(
+            &format!("lwvmm_sim_now_cycles{{platform=\"{name}\"}}"),
+            m.now() as f64,
+        );
+        for (metric, v) in m.cpu.decode_stats().kv() {
+            set(metric, v);
+        }
+        for cause in ExitCause::ALL {
+            let h = m.obs.exits.get(cause);
+            let labels = format!("platform=\"{name}\",cause=\"{}\"", cause.label());
+            reg.counter_set(&format!("lwvmm_exits_total{{{labels}}}"), h.count());
+            reg.hist_set(&format!("lwvmm_exit_cycles{{{labels}}}"), h);
+        }
+        if let Some(j) = m.obs.journal() {
+            set("lwvmm_journal_inputs_total", j.inputs.len() as u64);
+            set("lwvmm_journal_events_total", j.events.len() as u64);
+            set("lwvmm_journal_payload_bytes_total", j.payload_bytes());
+        }
+        if let Some(att) = m.obs.host_attribution() {
+            set("lwvmm_host_wall_ns_total", att.wall_ns);
+            set("lwvmm_host_marks_total", att.marks);
+            for (label, ns) in att.phases() {
+                reg.counter_set(
+                    &format!("lwvmm_host_phase_ns_total{{platform=\"{name}\",phase=\"{label}\"}}"),
+                    ns,
+                );
+            }
+        }
     }
 }
 

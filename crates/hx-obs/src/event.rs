@@ -70,6 +70,14 @@ pub enum Dev {
 }
 
 impl Dev {
+    pub const ALL: [Dev; 5] = [Dev::Nic, Dev::Hdc, Dev::Pit, Dev::Uart, Dev::Pic];
+
+    pub const COUNT: usize = Self::ALL.len();
+
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&d| d == self).unwrap()
+    }
+
     pub fn label(self) -> &'static str {
         match self {
             Dev::Nic => "nic",

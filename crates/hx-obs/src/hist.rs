@@ -139,6 +139,17 @@ impl CycleHist {
         self.permille(999)
     }
 
+    /// Raw log2 bucket counts (bucket `i` holds values of bit length `i`);
+    /// the substrate for external exposition formats.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `i`, for exposition labels.
+    pub fn bucket_bound(i: usize) -> u64 {
+        Self::bucket_hi(i)
+    }
+
     pub fn merge(&mut self, other: &CycleHist) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;

@@ -187,6 +187,17 @@ impl Journal {
         self.end = at;
     }
 
+    /// Total input payload bytes journaled so far — the cheap size measure
+    /// the heartbeat and metrics exports report without serializing.
+    pub fn payload_bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|r| match &r.input {
+                JournalInput::UartRx(b) | JournalInput::NicRx(b) => b.len() as u64,
+            })
+            .sum()
+    }
+
     /// Discards every record after `cycle` (inclusive boundary is kept)
     /// and moves the seal back. Used when time-travel rewrites the future.
     pub fn truncate_after(&mut self, cycle: u64) {

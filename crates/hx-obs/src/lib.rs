@@ -5,8 +5,13 @@
 //! debug-latency tables) flows through this crate, which guarantees two
 //! properties end to end:
 //!
-//! 1. **Simulated time only.** All timestamps are simulated cycles; the
-//!    crate never reads host clocks. A trace is a pure function of the run.
+//! 1. **Simulated time only.** All timestamps in traces, journals and
+//!    histograms are simulated cycles. The one deliberate exception is the
+//!    host-time self-profiler ([`HostProf`]) and the metrics registry
+//!    ([`MetricsRegistry`]): they *do* read host clocks, but those reads
+//!    flow only into their own side buffers — never into machine state,
+//!    cycle accounting, traces or journals — so every deterministic export
+//!    stays a pure function of the run.
 //! 2. **Observation never perturbs.** Recording writes only to side
 //!    buffers; enabling or disabling tracing cannot change simulation
 //!    state, so determinism is preserved — and *testable*, because two
@@ -45,6 +50,12 @@
 //! - [`ChromeTrace`] — Perfetto-compatible JSON exporter.
 //! - [`Report`] — the one table formatter (text + CSV) all bench binaries
 //!   share.
+//! - [`HostProf`]/[`HostPhase`] — host wall-clock self-profiler: attributes
+//!   real nanoseconds across monitor phases (guest execution, per-cause
+//!   exits, per-device emulation, journal, debug link) without ever feeding
+//!   a host-time value back into the simulation.
+//! - [`MetricsRegistry`]/[`MetricsSnapshot`] — process-wide counters,
+//!   gauges and host-ns histograms with Prometheus text exposition.
 //!
 //! ## Flight recorder
 //!
@@ -63,7 +74,9 @@ pub mod checkpoint;
 pub mod chrome;
 pub mod event;
 pub mod hist;
+pub mod hostprof;
 pub mod journal;
+pub mod metrics;
 pub mod prof;
 pub mod recorder;
 pub mod replay;
@@ -75,10 +88,12 @@ pub use checkpoint::{Checkpoint, CheckpointStore, StateDigest};
 pub use chrome::ChromeTrace;
 pub use event::{Dev, EventKind, ExitCause, TraceEvent};
 pub use hist::{CycleHist, ExitHists};
+pub use hostprof::{HostAttribution, HostPhase, HostProf};
 pub use journal::{
     audit, digest, first_divergence, fnv1a, Divergence, DivergenceMode, EventRecord, InputRecord,
     Journal, JournalEvent, JournalInput, JournalParseError, StreamAudit,
 };
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use prof::{Profiler, SymbolMap};
 pub use recorder::Recorder;
 pub use replay::ReplayCursor;

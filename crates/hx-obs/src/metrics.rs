@@ -1,0 +1,331 @@
+//! Process-wide metrics registry with Prometheus-style text exposition.
+//!
+//! Three instrument kinds, all keyed by a full metric name that may embed
+//! Prometheus labels (e.g. `lwvmm_exits_total{cause="mmio"}`):
+//!
+//! - **counters** — monotonic `u64` totals (`add`, or `set` for values that
+//!   are already cumulative in the simulation and merely re-published);
+//! - **gauges** — last-write-wins `f64` values;
+//! - **histograms** — host-nanosecond (or any `u64`) span timers reusing
+//!   the log2-bucket [`CycleHist`].
+//!
+//! The registry is internally locked, so a shared reference is enough to
+//! record from anywhere; [`MetricsRegistry::global`] hands out the one
+//! process-wide instance, while tests and benches build local ones.
+//! [`MetricsSnapshot`] is the plain-data view: mergeable (counters add,
+//! gauges last-wins, histograms bucket-merge) and renderable as sorted,
+//! deterministic-ordered Prometheus text via
+//! [`MetricsSnapshot::prometheus`].
+//!
+//! Like the host profiler, the registry only ever *receives* values — it is
+//! never read back into simulation state, so publishing metrics cannot
+//! perturb a run.
+
+use crate::hist::CycleHist;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, CycleHist>,
+}
+
+/// The registry. All methods take `&self`; an internal mutex serializes
+/// updates (metrics recording is far off any per-instruction path).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Adds to a monotonic counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets a counter to a cumulative value computed elsewhere. Monotonic
+    /// by construction at the source (simulation totals never decrease);
+    /// the registry clamps to "never goes backwards" so re-publishing is
+    /// idempotent.
+    pub fn counter_set(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        let slot = g.counters.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one observation into a histogram (creating it empty).
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Replaces a histogram wholesale with an externally accumulated one
+    /// (e.g. a per-cause exit histogram re-published at report time).
+    pub fn hist_set(&self, name: &str, h: &CycleHist) {
+        let mut g = self.inner.lock().unwrap();
+        g.hists.insert(name.to_string(), h.clone());
+    }
+
+    /// Plain-data copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: g.counters.clone(),
+            gauges: g.gauges.clone(),
+            hists: g.hists.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's contents. Maps are ordered, so
+/// iteration and exposition are deterministic given the same values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, CycleHist>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms bucket-merge. Merging split snapshots equals
+    /// snapshotting the whole (the proptest below pins this down).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value, defaulting to zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Prometheus text-exposition rendering: one `# TYPE` line per metric
+    /// family, families and series in sorted order, histograms as
+    /// cumulative `_bucket{le=...}` / `_sum` / `_count` series. Output
+    /// order is a pure function of the metric names, so reruns differ only
+    /// in values.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = family.to_string();
+            }
+        };
+        for (name, v) in &self.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        let mut last_family = String::new();
+        for (name, v) in &self.gauges {
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} gauge\n"));
+                last_family = family.to_string();
+            }
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        let mut last_family = String::new();
+        for (name, h) in &self.hists {
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} histogram\n"));
+                last_family = family.to_string();
+            }
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let le = CycleHist::bucket_bound(i);
+                if le == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    series(name, "_bucket", &format!("le=\"{le}\""))
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                series(name, "_bucket", "le=\"+Inf\""),
+                h.count()
+            ));
+            out.push_str(&format!("{} {}\n", series(name, "_sum", ""), h.sum()));
+            out.push_str(&format!("{} {}\n", series(name, "_count", ""), h.count()));
+        }
+        out
+    }
+}
+
+/// Metric family (name with any `{labels}` stripped).
+fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Appends a suffix to the family part of `name`, keeping existing labels
+/// and optionally adding one more: `f{a="1"}` + `_bucket` + `le="2"` →
+/// `f_bucket{a="1",le="2"}`.
+fn series(name: &str, suffix: &str, extra_label: &str) -> String {
+    match name.split_once('{') {
+        Some((family, rest)) => {
+            let labels = rest.trim_end_matches('}');
+            if extra_label.is_empty() {
+                format!("{family}{suffix}{{{labels}}}")
+            } else {
+                format!("{family}{suffix}{{{labels},{extra_label}}}")
+            }
+        }
+        None => {
+            if extra_label.is_empty() {
+                format!("{name}{suffix}")
+            } else {
+                format!("{name}{suffix}{{{extra_label}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_hists_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c_total", 2);
+        reg.counter_add("c_total", 3);
+        reg.counter_set("s_total", 10);
+        reg.counter_set("s_total", 7); // never goes backwards
+        reg.gauge_set("g", 1.5);
+        reg.gauge_set("g", 2.5);
+        reg.observe("h_ns", 100);
+        reg.observe("h_ns", 100_000);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("c_total"), 5);
+        assert_eq!(s.counter("s_total"), 10);
+        assert_eq!(s.gauges["g"], 2.5);
+        assert_eq!(s.hists["h_ns"].count(), 2);
+        assert_eq!(s.hists["h_ns"].sum(), 100_100);
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("lwvmm_exits_total{cause=\"mmio\"}", 4);
+        reg.counter_add("lwvmm_exits_total{cause=\"debug\"}", 1);
+        reg.gauge_set("lwvmm_cpu_load", 0.5);
+        reg.observe("lwvmm_exit_ns{cause=\"mmio\"}", 900);
+        let text = reg.snapshot().prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        // One TYPE line for the counter family, series sorted after it.
+        assert_eq!(lines[0], "# TYPE lwvmm_exits_total counter");
+        assert_eq!(lines[1], "lwvmm_exits_total{cause=\"debug\"} 1");
+        assert_eq!(lines[2], "lwvmm_exits_total{cause=\"mmio\"} 4");
+        assert!(text.contains("# TYPE lwvmm_cpu_load gauge\nlwvmm_cpu_load 0.5\n"));
+        assert!(text.contains("# TYPE lwvmm_exit_ns histogram\n"));
+        // 900 has bit length 10 → bucket hi 1023; cumulative count 1.
+        assert!(text.contains("lwvmm_exit_ns_bucket{cause=\"mmio\",le=\"1023\"} 1\n"));
+        assert!(text.contains("lwvmm_exit_ns_bucket{cause=\"mmio\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lwvmm_exit_ns_sum{cause=\"mmio\"} 900\n"));
+        assert!(text.contains("lwvmm_exit_ns_count{cause=\"mmio\"} 1\n"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        MetricsRegistry::global().counter_add("global_smoke_total", 1);
+        assert!(
+            MetricsRegistry::global()
+                .snapshot()
+                .counter("global_smoke_total")
+                >= 1
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Add(u8, u64),
+            Observe(u8, u64),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (any::<u8>(), 0u64..1_000_000).prop_map(|(k, v)| Op::Add(k % 4, v)),
+                (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Observe(k % 4, v)),
+            ]
+        }
+
+        fn apply(reg: &MetricsRegistry, ops: &[Op]) {
+            for op in ops {
+                match *op {
+                    Op::Add(k, v) => reg.counter_add(&format!("c{k}_total"), v),
+                    Op::Observe(k, v) => reg.observe(&format!("h{k}_ns"), v),
+                }
+            }
+        }
+
+        proptest! {
+            // Merging the snapshots of a split op stream equals the
+            // snapshot of the whole stream — counters stay monotonic sums,
+            // histograms merge bucket-exactly (inheriting the CycleHist
+            // merge-of-splits property).
+            #[test]
+            fn snapshot_merge_of_splits_equals_whole(
+                ops in proptest::collection::vec(arb_op(), 0..48),
+                split in 0usize..48,
+            ) {
+                let split = split.min(ops.len());
+                let whole = MetricsRegistry::new();
+                apply(&whole, &ops);
+
+                let a = MetricsRegistry::new();
+                let b = MetricsRegistry::new();
+                apply(&a, &ops[..split]);
+                apply(&b, &ops[split..]);
+                let mut merged = a.snapshot();
+                merged.merge(&b.snapshot());
+
+                prop_assert_eq!(merged.clone(), whole.snapshot());
+                // Counter monotonicity: every counter in the first half is
+                // <= its merged total.
+                for (k, v) in &a.snapshot().counters {
+                    prop_assert!(merged.counter(k) >= *v);
+                }
+            }
+        }
+    }
+}

@@ -13,15 +13,20 @@
 //!   [`Journal`] that replay and divergence audits consume. Unlike the
 //!   ring, the journal never drops.
 //!
-//! Nothing in here reads host time or mutates simulation state, so a
-//! recorder can never perturb determinism — it only observes it.
+//! Nothing in here mutates simulation state, so a recorder can never
+//! perturb determinism — it only observes it. The opt-in host-time
+//! self-profiler ([`HostProf`]) is the one piece that reads host clocks;
+//! its readings flow only into its own accumulators (see
+//! [`crate::hostprof`]), never back into the simulation.
 
 use crate::event::{Dev, EventKind, ExitCause, TraceEvent};
 use crate::hist::ExitHists;
+use crate::hostprof::{HostAttribution, HostPhase, HostProf};
 use crate::journal::{Journal, JournalEvent, JournalInput};
 use crate::prof::Profiler;
 use crate::ring::TraceRing;
 use crate::span::{SpanTrack, Track};
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 pub struct Recorder {
@@ -34,6 +39,10 @@ pub struct Recorder {
     journal: Option<Box<Journal>>,
     /// Guest-aware profiler; `None` unless profiling was enabled.
     prof: Option<Box<Profiler>>,
+    /// Host-time self-profiler; `None` unless enabled. Shared behind an
+    /// `Arc` so snapshot clones (flight recorder, time travel) keep feeding
+    /// the *same* accumulator — host time already spent never rewinds.
+    hostprof: Option<Arc<HostProf>>,
 }
 
 impl Default for Recorder {
@@ -45,6 +54,7 @@ impl Default for Recorder {
             spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
             journal: None,
             prof: None,
+            hostprof: None,
         }
     }
 }
@@ -109,6 +119,32 @@ impl Recorder {
     /// Detach the profiler, ending profiling.
     pub fn take_profiler(&mut self) -> Option<Profiler> {
         self.prof.take().map(|b| *b)
+    }
+
+    /// Turn on the host-time self-profiler: from this point,
+    /// [`Recorder::host_mark`] calls charge wall-clock nanoseconds to the
+    /// named phase. Unlike the guest profiler this does **not** disable
+    /// instruction batching — marks are taken only at phase boundaries, so
+    /// the hot loop stays hot.
+    pub fn enable_hostprof(&mut self) {
+        self.hostprof = Some(Arc::new(HostProf::new()));
+    }
+
+    pub fn host_profiling(&self) -> bool {
+        self.hostprof.is_some()
+    }
+
+    /// Charges host time since the previous mark to `phase`. A single
+    /// `Option` branch when the profiler is off.
+    pub fn host_mark(&self, phase: HostPhase) {
+        if let Some(hp) = &self.hostprof {
+            hp.mark(phase);
+        }
+    }
+
+    /// Plain-data host-attribution snapshot, `None` when disabled.
+    pub fn host_attribution(&self) -> Option<HostAttribution> {
+        self.hostprof.as_ref().map(|hp| hp.snapshot())
     }
 
     /// Re-anchors profiler attribution to the instruction at `pc` (called
@@ -298,6 +334,25 @@ mod tests {
         let j = r.take_journal().unwrap();
         assert_eq!(j.events.len(), 4);
         assert!(!r.journaling());
+    }
+
+    #[test]
+    fn hostprof_is_shared_across_clones_and_survives_reset() {
+        use crate::hostprof::HostPhase;
+        let mut r = Recorder::new();
+        assert!(!r.host_profiling());
+        r.host_mark(HostPhase::GuestExec); // disabled: a branch and return
+        assert!(r.host_attribution().is_none());
+        r.enable_hostprof();
+        r.host_mark(HostPhase::GuestExec);
+        // A snapshot clone (what the flight recorder stores) feeds the SAME
+        // accumulator: restoring old machine state must not rewind host time.
+        let snap = r.clone();
+        snap.host_mark(HostPhase::Journal);
+        assert_eq!(r.host_attribution().unwrap().marks, 2);
+        r.reset();
+        assert!(r.host_profiling(), "reset keeps the host profiler");
+        assert_eq!(r.host_attribution().unwrap().marks, 2);
     }
 
     #[test]

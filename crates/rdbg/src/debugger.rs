@@ -1,6 +1,6 @@
 //! The host-side remote debugger.
 
-use crate::msg::{Command, ProfSample, Reply, StatsSample, StopReason, WatchKind};
+use crate::msg::{Command, MetricsSample, ProfSample, Reply, StatsSample, StopReason, WatchKind};
 use crate::wire::{encode_packet, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
 use core::fmt;
 use std::collections::VecDeque;
@@ -45,6 +45,7 @@ pub fn err_name(code: u8) -> Option<&'static str> {
         6 => "flight recorder unavailable",
         7 => "profiler unavailable",
         8 => "bad query expression",
+        10 => "metrics unavailable",
         _ => return None,
     })
 }
@@ -470,6 +471,25 @@ impl<L: Link> Debugger<L> {
     pub fn query_prof(&mut self, max: u8) -> Result<ProfSample, DbgError> {
         match self.transact(&Command::QueryProf { max })? {
             Reply::Prof(s) => Ok(s),
+            Reply::Error(code) => Err(DbgError::Target(code)),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Samples the target's host-time self-profiler: wall-clock
+    /// nanoseconds attributed to each monitor phase. Like
+    /// [`Debugger::query_stats`] this works while the guest is running; the
+    /// reply is fixed-width so its simulated cost never depends on the
+    /// host-clock values it carries.
+    ///
+    /// # Errors
+    ///
+    /// [`DbgError::Target`] with the stable `metrics unavailable` code if
+    /// the target has no host profiler enabled (or is an in-kernel stub
+    /// with no host clock at all); propagates protocol errors.
+    pub fn query_metrics(&mut self) -> Result<MetricsSample, DbgError> {
+        match self.transact(&Command::QueryMetrics)? {
+            Reply::Metrics(s) => Ok(s),
             Reply::Error(code) => Err(DbgError::Target(code)),
             other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
         }

@@ -177,6 +177,11 @@ pub enum Command {
         /// Maximum number of symbols to return.
         max: u8,
     },
+    /// Sample the monitor's host-time self-profiler **without** stopping
+    /// the guest: the reply is a [`MetricsSample`] carrying per-phase
+    /// host-nanosecond totals. Stubs built without the metrics registry
+    /// answer with the stable `metrics unavailable` error code.
+    QueryMetrics,
     /// Time travel: rewind to just before the most recently executed guest
     /// instruction. Requires the flight recorder; stops with
     /// [`StopReason::TimeTravel`].
@@ -229,6 +234,7 @@ impl Command {
             Command::Reset => "k".into(),
             Command::QueryStats => "qStats".into(),
             Command::QueryProf { max } => format!("qProf{max:x}"),
+            Command::QueryMetrics => "qMetrics".into(),
             Command::ReverseStep => "bs".into(),
             Command::ReverseContinue => "bc".into(),
             Command::Seek { cycle } => format!("bg{cycle:x}"),
@@ -249,6 +255,7 @@ impl Command {
             'c' if payload == "c" => Some(Command::Continue),
             'k' if payload == "k" => Some(Command::Reset),
             'q' if payload == "qStats" => Some(Command::QueryStats),
+            'q' if payload == "qMetrics" => Some(Command::QueryMetrics),
             'q' if payload.starts_with("ql,") => {
                 let addr = u32::from_str_radix(payload.strip_prefix("ql,")?, 16).ok()?;
                 Some(Command::ClearLogpoint { addr })
@@ -514,6 +521,80 @@ impl ProfSample {
     }
 }
 
+/// Number of host-time phases in a [`MetricsSample`].
+///
+/// This must equal `hx_obs::HostPhase::COUNT`; the monitors cross-check the
+/// two constants with a test so the wire format cannot silently drift from
+/// the profiler.
+pub const METRICS_PHASES: usize = 18;
+
+/// A live sample of the target monitor's host-time self-profiler, carried
+/// in the reply to [`Command::QueryMetrics`].
+///
+/// `phase_ns` is indexed by `hx_obs::HostPhase::index()` — the canonical
+/// `HostPhase::ALL` order. The wire encoding is **fixed width** (every
+/// field is a zero-padded 16-digit hex number and the field count is
+/// constant): reply bytes cost simulated cycles in the stub's cost model,
+/// so the nondeterministic host-nanosecond values must never change the
+/// reply's length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSample {
+    /// Simulated-cycle timestamp of the sample.
+    pub now: u64,
+    /// Host wall-clock nanoseconds since the profiler was enabled.
+    pub wall_ns: u64,
+    /// Phase-boundary marks taken so far.
+    pub marks: u64,
+    /// Host nanoseconds attributed to each phase, in `HostPhase::ALL` order.
+    pub phase_ns: [u64; METRICS_PHASES],
+}
+
+impl MetricsSample {
+    /// Host nanoseconds attributed to any phase (the sum of `phase_ns`).
+    pub fn attributed_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Formats as a fixed-width `M…` payload.
+    pub fn format(&self) -> String {
+        let phases: Vec<String> = self.phase_ns.iter().map(|n| format!("{n:016x}")).collect();
+        format!(
+            "M{:016x};w:{:016x};k:{:016x};p:{}",
+            self.now,
+            self.wall_ns,
+            self.marks,
+            phases.join(",")
+        )
+    }
+
+    /// Parses an `M…` payload.
+    pub fn parse(payload: &str) -> Option<MetricsSample> {
+        let body = payload.strip_prefix('M')?;
+        let mut parts = body.split(';');
+        let now = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let mut sample = MetricsSample {
+            now,
+            ..MetricsSample::default()
+        };
+        let mut phases = Vec::new();
+        for part in parts {
+            let (k, v) = part.split_once(':')?;
+            match k {
+                "w" => sample.wall_ns = u64::from_str_radix(v, 16).ok()?,
+                "k" => sample.marks = u64::from_str_radix(v, 16).ok()?,
+                "p" => {
+                    for n in v.split(',') {
+                        phases.push(u64::from_str_radix(n, 16).ok()?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        sample.phase_ns = phases.try_into().ok()?;
+        Some(sample)
+    }
+}
+
 /// Why the guest stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -647,6 +728,9 @@ pub enum Reply {
     Stats(StatsSample),
     /// Live profiler sample (reply to [`Command::QueryProf`]).
     Prof(ProfSample),
+    /// Live host-time attribution sample (reply to
+    /// [`Command::QueryMetrics`]).
+    Metrics(MetricsSample),
     /// Answer to [`Command::QueryFirst`]: whether the predicate was
     /// satisfied in the recorded window and, if so, at which cycle. A hit
     /// is followed by an asynchronous [`StopReason::TimeTravel`] stop once
@@ -671,6 +755,7 @@ impl Reply {
             Reply::Stopped(r) => r.format(),
             Reply::Stats(s) => s.format(),
             Reply::Prof(s) => s.format(),
+            Reply::Metrics(s) => s.format(),
             Reply::Query { found, cycle } => {
                 format!("Q{};c:{cycle:x}", if *found { 1 } else { 0 })
             }
@@ -694,6 +779,9 @@ impl Reply {
         }
         if payload.starts_with('P') {
             return Some(Reply::Prof(ProfSample::parse(payload)?));
+        }
+        if payload.starts_with('M') {
+            return Some(Reply::Metrics(MetricsSample::parse(payload)?));
         }
         if let Some(body) = payload.strip_prefix('Q') {
             let found = match body.chars().next()? {
@@ -788,6 +876,7 @@ mod tests {
             })
         );
         assert_eq!(Command::parse("qStats"), Some(Command::QueryStats));
+        assert_eq!(Command::parse("qMetrics"), Some(Command::QueryMetrics));
         assert_eq!(
             Command::parse("qProfa"),
             Some(Command::QueryProf { max: 10 })
@@ -804,6 +893,8 @@ mod tests {
             "Z5,0,4",
             "qStat",
             "qStatsX",
+            "qMetric",
+            "qMetricsX",
             "qProf",
             "qProfzz",
             "ql,zz",
@@ -876,6 +967,42 @@ mod tests {
     }
 
     #[test]
+    fn metrics_sample_examples() {
+        let mut phase_ns = [0u64; METRICS_PHASES];
+        phase_ns[0] = 0x1234_5678;
+        phase_ns[METRICS_PHASES - 1] = 7;
+        let s = MetricsSample {
+            now: 0x9000,
+            wall_ns: 0x1_0000_0000,
+            marks: 42,
+            phase_ns,
+        };
+        assert_eq!(MetricsSample::parse(&s.format()), Some(s.clone()));
+        assert_eq!(
+            Reply::parse(&Reply::Metrics(s.clone()).format()),
+            Some(Reply::Metrics(s.clone()))
+        );
+        // The encoding is fixed-width: the reply length must not depend on
+        // the (nondeterministic, host-clock-derived) values, because reply
+        // bytes cost simulated cycles in the stub's cost model.
+        let zero = MetricsSample::default();
+        assert_eq!(s.format().len(), zero.format().len());
+        let max = MetricsSample {
+            now: u64::MAX,
+            wall_ns: u64::MAX,
+            marks: u64::MAX,
+            phase_ns: [u64::MAX; METRICS_PHASES],
+        };
+        assert_eq!(max.format().len(), zero.format().len());
+        assert_eq!(MetricsSample::parse(&max.format()), Some(max));
+        // Malformed samples are rejected, not panicking: wrong phase
+        // counts, bad hex, missing sections.
+        for bad in ["M", "Mzz", "M1;w:1;k:1;p:1", "M1;w:1;k:1", "M1;w:zz"] {
+            assert_eq!(MetricsSample::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
     fn stop_reason_examples() {
         let r = StopReason::Watchpoint {
             pc: 0x104,
@@ -925,6 +1052,7 @@ mod tests {
             Just(Command::Reset),
             Just(Command::QueryStats),
             any::<u8>().prop_map(|max| Command::QueryProf { max }),
+            Just(Command::QueryMetrics),
             (any::<u8>(), any::<u32>())
                 .prop_map(|(index, value)| Command::WriteRegister { index, value }),
             (any::<u32>(), any::<u32>()).prop_map(|(addr, len)| Command::ReadMemory { addr, len }),
@@ -1018,10 +1146,33 @@ mod tests {
             )
     }
 
+    fn arb_metrics() -> impl Strategy<Value = MetricsSample> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), METRICS_PHASES..METRICS_PHASES + 1),
+        )
+            .prop_map(|(now, wall_ns, marks, phases)| MetricsSample {
+                now,
+                wall_ns,
+                marks,
+                phase_ns: phases.try_into().unwrap(),
+            })
+    }
+
     proptest! {
         #[test]
         fn command_roundtrip(cmd in arb_command()) {
             prop_assert_eq!(Command::parse(&cmd.format()), Some(cmd));
+        }
+
+        #[test]
+        fn metrics_roundtrip_and_fixed_width(sample in arb_metrics()) {
+            let wire = sample.format();
+            prop_assert_eq!(wire.len(), MetricsSample::default().format().len());
+            let r = Reply::Metrics(sample);
+            prop_assert_eq!(Reply::parse(&wire), Some(r));
         }
 
         #[test]

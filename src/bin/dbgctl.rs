@@ -40,14 +40,18 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("session") => cmd_session(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("diverge") => cmd_diverge(&args[1..]),
-        _ => Err("usage: dbgctl <run|audit|query|session|diverge> [args]\n\
+        _ => Err(
+            "usage: dbgctl <run|audit|query|session|metrics|diverge> [args]\n\
                   run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--journal PATH]\n\
                   audit   A.jnl B.jnl\n\
                   query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR]>\"\n\
                   session [SCRIPT]          (stdin when omitted)\n\
+                  metrics [--ms N] [--workload MBPS]\n\
                   diverge [--symbol NAME|0xADDR] [--ms N]"
-            .to_string()),
+                .to_string(),
+        ),
     };
     match r {
         Ok(()) => ExitCode::SUCCESS,
@@ -254,7 +258,7 @@ fn dbg_json(cmd: &str, err: &DbgError) {
 /// logpoint 0xADDR LABEL [EXPR...]
 /// clear-logpoint 0xADDR
 /// query EXPR...                   Qq: seek to first cycle EXPR holds
-/// regs | mem 0xADDR LEN | stats
+/// regs | mem 0xADDR LEN | stats | metrics
 /// ```
 fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String> {
     let words: Vec<&str> = line.split_whitespace().collect();
@@ -364,6 +368,10 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
                 }
             }
         }
+        ["metrics"] => match dbg.query_metrics() {
+            Ok(s) => println!("{}", metrics_json(&s)),
+            Err(e) => dbg_json(cmd, &e),
+        },
         ["stats"] => match dbg.query_stats() {
             Ok(s) => {
                 let mut o = JsonObj::new();
@@ -399,7 +407,10 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
         _ => return Err("session expects at most one script path".into()),
     };
 
-    let machine = boot_machine(100);
+    let mut machine = boot_machine(100);
+    // Host-time attribution for the `metrics` script command; simulation-
+    // invisible, so the session transcript stays deterministic.
+    machine.obs.enable_hostprof();
     let clock = machine.config().clock_hz;
     let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
     vmm.enable_flight_recorder(100_000);
@@ -420,6 +431,46 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
         }
         session_line(&mut dbg, clock, line)?;
     }
+    Ok(())
+}
+
+// ------------------------------------------------------------ metrics ----
+
+/// Renders a host-time metrics sample as one JSON line. The *values* are
+/// host-clock-derived and vary run to run; the *schema* — key set and key
+/// order (the canonical `HostPhase::ALL` order) — is fixed, so scripts can
+/// parse any run's output the same way.
+fn metrics_json(s: &rdbg::MetricsSample) -> String {
+    let mut o = JsonObj::new();
+    o.str("event", "metrics")
+        .u64("now", s.now)
+        .u64("wall_ns", s.wall_ns)
+        .u64("marks", s.marks)
+        .u64("attributed_ns", s.attributed_ns());
+    for (i, phase) in lwvmm::obs::HostPhase::ALL.iter().enumerate() {
+        o.u64(&phase.label(), s.phase_ns[i]);
+    }
+    o.finish()
+}
+
+/// `dbgctl metrics` — boot the lightweight monitor with the host profiler
+/// on, run the streaming workload, and report where the monitor's own
+/// wall-clock went, sampled live over the debug wire (`qMetrics`).
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let ms = parse_u64(opt(args, "--ms").unwrap_or("50"))?;
+    let rate = parse_u64(opt(args, "--workload").unwrap_or("100"))?;
+
+    let mut machine = boot_machine(rate);
+    machine.obs.enable_hostprof();
+    let clock = machine.config().clock_hz;
+    let vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    dbg.link_mut().platform.run_for(clock / 1_000 * ms);
+    let s = dbg.query_metrics().map_err(|e| format!("qMetrics: {e}"))?;
+    println!("{}", metrics_json(&s));
     Ok(())
 }
 

@@ -28,7 +28,7 @@ use lwvmm::guest::{kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::LvmmPlatform;
-use lwvmm::obs::{EventKind, Profiler, SymbolMap};
+use lwvmm::obs::{EventKind, MetricsRegistry, Profiler, SymbolMap};
 use lwvmm::query::json::JsonObj;
 use lwvmm::query::Expr;
 use std::process::ExitCode;
@@ -46,6 +46,8 @@ struct Options {
     fault_seed: u64,
     logpoints: Vec<(u32, String, Option<String>)>,
     query_json: bool,
+    metrics: Option<String>,
+    heartbeat: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
         fault_seed: 42,
         logpoints: Vec::new(),
         query_json: false,
+        metrics: None,
+        heartbeat: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +121,18 @@ fn parse_args() -> Result<Options, String> {
                 opts.logpoints.push((addr, label, expr));
             }
             "--query-json" => opts.query_json = true,
+            "--metrics" => opts.metrics = Some(args.next().ok_or("missing --metrics value")?),
+            "--heartbeat" => {
+                let ms: u64 = args
+                    .next()
+                    .ok_or("missing --heartbeat value")?
+                    .parse()
+                    .map_err(|_| "--heartbeat expects milliseconds")?;
+                if ms == 0 {
+                    return Err("--heartbeat expects a nonzero interval".into());
+                }
+                opts.heartbeat = Some(ms);
+            }
             "--no-decode-cache" => opts.no_decode_cache = true,
             "-h" | "--help" => return Err(String::new()),
             other if opts.input.is_none() => opts.input = Some(other.to_string()),
@@ -140,7 +156,8 @@ fn main() -> ExitCode {
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
                  [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
                  [--profile out.folded] [--fault all|<class>] [--fault-seed N] \
-                 [--logpoint 0xADDR[:label[:expr]]]... [--query-json]"
+                 [--logpoint 0xADDR[:label[:expr]]]... [--query-json] \
+                 [--metrics out.prom] [--heartbeat <host report interval, simulated ms>]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -239,6 +256,13 @@ fn main() -> ExitCode {
         machine.enable_fault_injection(plan);
     }
 
+    if opts.metrics.is_some() || opts.heartbeat.is_some() {
+        // Host-time attribution is simulation-invisible: wall-clock reads
+        // never feed guest state, so enabling it (and the heartbeat's
+        // sliced run loop) keeps record/replay byte-identical.
+        machine.obs.enable_hostprof();
+    }
+
     let mut platform: Box<dyn Platform> = match opts.platform.as_str() {
         "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
         "lvmm" => Box::new(LvmmPlatform::new(machine, entry)),
@@ -261,7 +285,64 @@ fn main() -> ExitCode {
             opts.ms
         );
     }
-    let ran = platform.run_for(clock / 1_000 * opts.ms);
+    let target = clock / 1_000 * opts.ms;
+    let ran = match opts.heartbeat {
+        Some(hb) => {
+            // Slicing is simulation-invisible: `run_for(a); run_for(b)` is
+            // identical to `run_for(a+b)` (the engine loops on the clock,
+            // not on call boundaries), and the report goes to stderr so
+            // stdout stays deterministic across reruns.
+            let slice = (clock / 1_000 * hb).max(1);
+            let reg = MetricsRegistry::global();
+            let name = platform.name().to_string();
+            let mut ran = 0u64;
+            let mut prev_instr = 0u64;
+            let mut prev_exits = 0u64;
+            while ran < target {
+                let chunk = slice.min(target - ran);
+                let t0 = std::time::Instant::now();
+                let step = platform.run_for(chunk);
+                let host_s = t0.elapsed().as_secs_f64().max(1e-9);
+                ran += step;
+                platform.publish_metrics(reg);
+                let snap = reg.snapshot();
+                let instr =
+                    snap.counter(&format!("lwvmm_instructions_total{{platform=\"{name}\"}}"));
+                let exit_prefix = format!("lwvmm_exits_total{{platform=\"{name}\"");
+                let exits: u64 = snap
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(&exit_prefix))
+                    .map(|(_, v)| *v)
+                    .sum();
+                let journal = snap.counter(&format!(
+                    "lwvmm_journal_payload_bytes_total{{platform=\"{name}\"}}"
+                ));
+                eprintln!(
+                    "heartbeat: sim {:.1}/{} ms  {:.2} Minstr/s  {:.0} exits/s  journal {journal} B",
+                    ran as f64 * 1e3 / clock as f64,
+                    opts.ms,
+                    (instr - prev_instr) as f64 / host_s / 1e6,
+                    (exits - prev_exits) as f64 / host_s,
+                );
+                prev_instr = instr;
+                prev_exits = exits;
+                if step < chunk {
+                    break; // stuck: no event can ever wake the guest
+                }
+            }
+            ran
+        }
+        None => platform.run_for(target),
+    };
+    if let Some(path) = &opts.metrics {
+        platform.publish_metrics(MetricsRegistry::global());
+        let text = MetricsRegistry::global().snapshot().prometheus();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("lwvmm-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if opts.query_json {
         return emit_json(&opts, platform.as_mut(), ran, clock, is_workload);
     }
