@@ -34,8 +34,8 @@ use hitactix::Workload;
 use hx_obs::{HostPhase, MetricsRegistry};
 use lwvmm_bench::{
     arg_flag, arg_value, ascii_plot, baseline_sim_speed, build_platform, build_profiled_platform,
-    check_sim_speed, chrome_trace, exit_report, measure, measure_point, sweep_report, PlatformKind,
-    ProfileSummary,
+    check_sim_speed, chrome_trace, exit_report, measure, measure_point, measure_smp_sim_speed,
+    sweep_report, PlatformKind, ProfileSummary, SimSpeed,
 };
 
 fn main() {
@@ -128,6 +128,31 @@ fn main() {
         attributions.push(a);
     }
 
+    // Multi-core scaling: the all-cores spin guest at 1, 2 and 4 cores on
+    // each platform, instructions totalled across cores (median of three —
+    // wall clock again). Shows what the deterministic round-robin vCPU
+    // scheduler costs as the core count grows.
+    let smp_ms = if fast { 60 } else { 200 };
+    let mut smp_speed = Vec::new();
+    for kind in PlatformKind::ALL {
+        for cores in [1usize, 2, 4] {
+            let mut runs: Vec<SimSpeed> = (0..3)
+                .map(|_| measure_smp_sim_speed(kind, cores, smp_ms))
+                .collect();
+            runs.sort_by(|x, y| x.instr_per_host_sec.total_cmp(&y.instr_per_host_sec));
+            let s = runs[1];
+            println!(
+                "SMP sim speed on {:8} x{cores}: {:5.1} M guest instr / host sec \
+                 ({} instr in {:.3} s)",
+                kind.label(),
+                s.instr_per_host_sec / 1e6,
+                s.instructions,
+                s.host_seconds
+            );
+            smp_speed.push((kind, cores, s));
+        }
+    }
+
     let sat = |k: PlatformKind| saturation.iter().find(|&&(kk, _)| kk == k).unwrap().1;
     let raw = sat(PlatformKind::RawHw);
     let lv = sat(PlatformKind::Lvmm);
@@ -211,6 +236,7 @@ fn main() {
             window_ms,
             &measurements,
             &sim_speed,
+            &smp_speed,
             &attributions,
             &profiles,
         ),

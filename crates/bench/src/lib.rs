@@ -207,6 +207,38 @@ pub fn measure_sim_speed(kind: PlatformKind, rate_mbps: u64, ms: u64) -> SimSpee
     measure_host_attribution(kind, rate_mbps, ms, false).speed
 }
 
+/// Times `ms` simulated milliseconds of the all-cores spin guest
+/// ([`hitactix::apps::smp_spin_guest`]) on a `cores`-core machine under the
+/// host wall clock — the multi-core scaling companion of
+/// [`measure_sim_speed`]. Instructions are totalled across every core, so
+/// the figure shows what the deterministic round-robin scheduler costs (or
+/// buys) as the core count grows. Wall-clock based, so NOT deterministic.
+pub fn measure_smp_sim_speed(kind: PlatformKind, cores: usize, ms: u64) -> SimSpeed {
+    let program = hitactix::apps::smp_spin_guest();
+    let mut machine = Machine::new(MachineConfig {
+        num_cores: cores,
+        ..MachineConfig::default()
+    });
+    machine.load_program(&program);
+    let entry = program.symbols.get("start").expect("start symbol");
+    let mut platform: Box<dyn Platform> = match kind {
+        PlatformKind::RawHw => Box::new(RawPlatform::new(machine)),
+        PlatformKind::Lvmm => Box::new(LvmmPlatform::new(machine, entry)),
+        PlatformKind::Hosted => Box::new(HostedPlatform::new(machine, entry)),
+    };
+    let per_ms = platform.machine().config().clock_hz / 1_000;
+    let i0 = platform.machine().total_instret();
+    let t = std::time::Instant::now();
+    platform.run_for(ms * per_ms);
+    let host_seconds = t.elapsed().as_secs_f64();
+    let instructions = platform.machine().total_instret() - i0;
+    SimSpeed {
+        instructions,
+        host_seconds,
+        instr_per_host_sec: instructions as f64 / host_seconds.max(1e-9),
+    }
+}
+
 /// Host-time attribution of one metrics-enabled run: where the monitor's
 /// own wall-clock went, per phase, plus the run's simulation speed — the
 /// data behind the `host_attribution` section of `BENCH_fig3_1.json`.
@@ -535,6 +567,7 @@ pub fn fig3_1_json(
     window_ms: u64,
     series: &[(PlatformKind, Vec<Measurement>)],
     sim_speed: &[(PlatformKind, SimSpeed)],
+    smp_speed: &[(PlatformKind, usize, SimSpeed)],
     attributions: &[HostAttributionSummary],
     profiles: &[ProfileSummary],
 ) -> String {
@@ -605,6 +638,25 @@ pub fn fig3_1_json(
         ));
     }
     out.push_str("  ],\n");
+    if !smp_speed.is_empty() {
+        // Multi-core scaling of the engine itself: the all-cores spin guest
+        // at each swept core count. Kept in a section of its own so the
+        // CI speed gate (which reads `sim_speed`) is unaffected.
+        out.push_str("  \"smp_sim_speed\": [\n");
+        for (i, (kind, cores, s)) in smp_speed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cores\": {}, \"instructions\": {}, \
+                 \"host_seconds\": {:.4}, \"instr_per_host_sec\": {:.0}}}{}\n",
+                kind.label(),
+                cores,
+                s.instructions,
+                s.host_seconds,
+                s.instr_per_host_sec,
+                if i + 1 < smp_speed.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
     if !attributions.is_empty() {
         // The same runs measured twice over: their speed (to gate metrics
         // overhead against the plain sim_speed above) and where the
@@ -758,6 +810,7 @@ mod tests {
             120,
             &series,
             &[(PlatformKind::Lvmm, speed)],
+            &[(PlatformKind::Lvmm, 2, speed)],
             std::slice::from_ref(&att),
             &profiles,
         );
@@ -770,6 +823,8 @@ mod tests {
             "\"p999\"",
             "\"sim_speed\"",
             "\"instr_per_host_sec\"",
+            "\"smp_sim_speed\"",
+            "\"cores\"",
             "\"sim_speed_metrics\"",
             "\"host_attribution\"",
             "\"wall_ns\"",
@@ -789,10 +844,19 @@ mod tests {
         assert_eq!(opens, closes, "unbalanced JSON: {json}");
         // Without profiled or metrics-enabled runs those sections are
         // absent and the schema the CI checker reads is unchanged.
-        let bare = fig3_1_json(40, 120, &series, &[(PlatformKind::Lvmm, speed)], &[], &[]);
+        let bare = fig3_1_json(
+            40,
+            120,
+            &series,
+            &[(PlatformKind::Lvmm, speed)],
+            &[],
+            &[],
+            &[],
+        );
         assert!(!bare.contains("\"profile\""));
         assert!(!bare.contains("\"host_attribution\""));
         assert!(!bare.contains("\"sim_speed_metrics\""));
+        assert!(!bare.contains("\"smp_sim_speed\""));
         // The baseline extractor reads back what the writer emitted — and
         // only from the plain sim_speed section, not the metrics-on one.
         let base = baseline_sim_speed(&json);

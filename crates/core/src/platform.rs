@@ -29,7 +29,7 @@ use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
 use hx_machine::engine::{ExitPolicy, FlightRecorder, ProgressGuard};
 use hx_machine::platform::PlatformStep;
-use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
+use hx_machine::{map, smp, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
 use hx_obs::{EventKind, ExitCause, HostPhase, JournalInput, ReplayCursor, StateDigest};
 use hx_query::{Expr, SliceCtx};
@@ -97,6 +97,9 @@ enum RunState {
 struct LvmmSnapshot {
     machine: Machine,
     vcpu: VCpu,
+    vcpus: Vec<VCpu>,
+    cur_core: usize,
+    vipi: Vec<u8>,
     shadow: ShadowPager,
     chipset: VChipset,
     stub: Stub,
@@ -117,6 +120,15 @@ struct LvmmSnapshot {
 pub struct LvmmPlatform {
     machine: Machine,
     vcpu: VCpu,
+    /// Seat storage for every core's virtual CPU; `vcpus[cur_core]` holds a
+    /// stale placeholder while that core's state lives in `self.vcpu`
+    /// (mirrors how [`Machine`] seats its real CPUs).
+    vcpus: Vec<VCpu>,
+    /// The core whose virtual CPU is in `self.vcpu`.
+    cur_core: usize,
+    /// Per-core pending *virtual* IPI line masks: the monitor consumed the
+    /// real IPI and owes the guest core an injected vector.
+    vipi: Vec<u8>,
     shadow: ShadowPager,
     chipset: VChipset,
     stub: Stub,
@@ -165,6 +177,16 @@ impl LvmmPlatform {
         // Identity shadow context (guest paging off), kernel view active.
         let root = shadow.root_for(&mut machine.mem, 0, Mode::Supervisor);
         machine.cpu.write_csr(Csr::Ptbr, root | 1);
+        // Secondary cores boot deprivileged too, sharing the identity
+        // shadow until they install their own address space; their PC is
+        // set by the startup IPI when the guest brings them online.
+        let cores = machine.num_cores();
+        for i in 1..cores {
+            let c = machine.core_mut(i);
+            c.set_mode(Mode::User);
+            c.write_csr(Csr::Status, Status::IE);
+            c.write_csr(Csr::Ptbr, root | 1);
+        }
         // The monitor listens to the real UART.
         machine
             .bus_write(
@@ -177,6 +199,9 @@ impl LvmmPlatform {
         LvmmPlatform {
             machine,
             vcpu: VCpu::new(),
+            vcpus: vec![VCpu::new(); cores],
+            cur_core: 0,
+            vipi: vec![0; cores],
             shadow,
             chipset: VChipset::new(),
             stub: Stub::new(),
@@ -224,12 +249,18 @@ impl LvmmPlatform {
     fn state_digest(&self) -> StateDigest {
         let ram = fnv1a(FNV_OFFSET, self.machine.mem.as_bytes());
         let mut regs = FNV_OFFSET;
-        for r in self.machine.cpu.regs() {
-            regs = fnv1a(regs, &r.to_le_bytes());
-        }
-        regs = fnv1a(regs, &self.machine.cpu.pc().to_le_bytes());
-        for csr in [Csr::Status, Csr::Tvec, Csr::Ptbr, Csr::Epc, Csr::Cause] {
-            regs = fnv1a(regs, &self.machine.cpu.read_csr(csr).to_le_bytes());
+        // Every core folds in, in index order; on a single-core machine the
+        // loop body runs once over the active CPU, so the digest is
+        // bit-identical to the pre-SMP formula.
+        for i in 0..self.machine.num_cores() {
+            let cpu = self.machine.core(i);
+            for r in cpu.regs() {
+                regs = fnv1a(regs, &r.to_le_bytes());
+            }
+            regs = fnv1a(regs, &cpu.pc().to_le_bytes());
+            for csr in [Csr::Status, Csr::Tvec, Csr::Ptbr, Csr::Epc, Csr::Cause] {
+                regs = fnv1a(regs, &cpu.read_csr(csr).to_le_bytes());
+            }
         }
         let s = self.shadow.stats;
         let mut shadow = FNV_OFFSET;
@@ -243,6 +274,9 @@ impl LvmmPlatform {
         LvmmSnapshot {
             machine: self.machine.clone(),
             vcpu: self.vcpu.clone(),
+            vcpus: self.vcpus.clone(),
+            cur_core: self.cur_core,
+            vipi: self.vipi.clone(),
             shadow: self.shadow.clone(),
             chipset: self.chipset.clone(),
             stub: self.stub.clone(),
@@ -256,6 +290,9 @@ impl LvmmPlatform {
     fn restore(&mut self, snap: LvmmSnapshot) {
         self.machine = snap.machine;
         self.vcpu = snap.vcpu;
+        self.vcpus = snap.vcpus;
+        self.cur_core = snap.cur_core;
+        self.vipi = snap.vipi;
         self.shadow = snap.shadow;
         self.chipset = snap.chipset;
         self.stub = snap.stub;
@@ -438,10 +475,64 @@ impl LvmmPlatform {
         self.mstats.faults_injected += 1;
     }
 
+    /// Aligns the monitor's per-core virtual CPU with the machine's active
+    /// core. The machine rotates cores at its own quantum boundaries; the
+    /// monitor only observes the outcome at its next exit, so every exit
+    /// entry point calls this first. No-op (and byte-free) on single-core.
+    fn sync_core(&mut self) {
+        let active = self.machine.active_core();
+        if active == self.cur_core {
+            return;
+        }
+        let prev = self.cur_core;
+        std::mem::swap(&mut self.vcpu, &mut self.vcpus[prev]);
+        std::mem::swap(&mut self.vcpu, &mut self.vcpus[active]);
+        self.cur_core = active;
+        // The real Ptbr travels with the core's seat, but the shadow tables
+        // may have been flushed while another core held the seat — recompute
+        // the root for this core's virtual address space.
+        self.activate_shadow();
+    }
+
+    /// Handles a real inter-processor interrupt surfaced to the active
+    /// core: the monitor consumed it at the machine boundary and re-latches
+    /// it as a *virtual* IPI to inject when the guest's window opens.
+    fn handle_ipi(&mut self, line: u8) {
+        self.consume_monitor(costs::EXIT_BASE + costs::REFLECT_IRQ);
+        self.record_exit(ExitCause::IrqReflect, costs::EXIT_BASE + costs::REFLECT_IRQ);
+        self.mstats.exits_irq_reflect += 1;
+        self.vipi[self.cur_core] |= 1 << line;
+        self.maybe_inject_irq();
+    }
+
     /// Opens the virtual interrupt window if possible: injects the highest
-    /// priority pending virtual interrupt.
+    /// priority pending virtual interrupt. Virtual IPIs outrank the virtual
+    /// PIC (they model the local APIC), matching the machine's own
+    /// arbitration order; the virtual PIC wires to core 0 only, like the
+    /// real one.
     fn maybe_inject_irq(&mut self) {
         if self.state == RunState::Stopped || !self.vcpu.interrupts_enabled() {
+            return;
+        }
+        let pending = self.vipi[self.cur_core];
+        if pending != 0 {
+            let line = pending.trailing_zeros() as u8;
+            self.vipi[self.cur_core] &= !(1 << line);
+            let epc = self.machine.cpu.pc();
+            let vector = smp::VECTOR_BASE + line;
+            let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
+            self.activate_shadow();
+            self.machine.cpu.set_pc(handler);
+            self.sync_tf();
+            self.consume_monitor(costs::INJECT_TRAP);
+            self.record_exit(ExitCause::IrqInject, costs::INJECT_TRAP);
+            self.mstats.irqs_injected += 1;
+            // The injected vector is this core's wake event if it parked.
+            self.machine.wake_core(self.cur_core);
+            self.state = RunState::Running;
+            return;
+        }
+        if self.cur_core != 0 {
             return;
         }
         if let Some((irq, vector)) = self.chipset.vpic.inta() {
@@ -457,6 +548,9 @@ impl LvmmPlatform {
             self.consume_monitor(costs::INJECT_TRAP);
             self.record_exit(ExitCause::IrqInject, costs::INJECT_TRAP);
             self.mstats.irqs_injected += 1;
+            if self.machine.num_cores() > 1 {
+                self.machine.wake_core(0);
+            }
             self.state = RunState::Running;
         }
     }
@@ -476,6 +570,7 @@ impl LvmmPlatform {
     // ------------------------------------------------------------------
 
     fn dispatch_trap(&mut self, trap: Trap) {
+        self.sync_core();
         // Measure the monitor cycles this exit costs, end to end, and
         // attribute them to one cause in the exit histograms. The trailing
         // interrupt-window check accounts separately (as `irq-inject`).
@@ -615,7 +710,14 @@ impl LvmmPlatform {
             Instr::Sys { op: SysOp::Wfi } => {
                 self.consume_monitor(costs::EMUL_WFI);
                 self.machine.cpu.set_pc(pc.wrapping_add(4));
-                self.state = RunState::GuestIdle;
+                if self.machine.num_cores() > 1 {
+                    // Park just this core at the machine level so the
+                    // scheduler hands the seat to a runnable sibling; the
+                    // platform state stays Running for the others.
+                    self.machine.park_active();
+                } else {
+                    self.state = RunState::GuestIdle;
+                }
             }
             Instr::Sys {
                 op: SysOp::TlbFlush,
@@ -808,7 +910,11 @@ impl LvmmPlatform {
                 },
                 Access::Load,
             ) => {
-                let val = self.chipset.mmio_read(&mut self.machine, page, offset);
+                let val = if page == map::PIC_BASE && offset >= smp::reg::SEND {
+                    self.ipi_mmio_read(offset)
+                } else {
+                    self.chipset.mmio_read(&mut self.machine, page, offset)
+                };
                 self.machine.cpu.set_reg(rd, val);
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
                 self.machine.note_logpoints(trap.epc);
@@ -828,8 +934,12 @@ impl LvmmPlatform {
                     let now = self.machine.now();
                     self.machine.obs.prof_irq_eoi(now);
                 }
-                self.chipset
-                    .mmio_write(&mut self.machine, page, offset, val);
+                if page == map::PIC_BASE && offset >= smp::reg::SEND {
+                    self.ipi_mmio_write(offset, val);
+                } else {
+                    self.chipset
+                        .mmio_write(&mut self.machine, page, offset, val);
+                }
                 self.machine.cpu.set_pc(trap.epc.wrapping_add(4));
                 self.machine.note_logpoints(trap.epc);
             }
@@ -843,6 +953,38 @@ impl LvmmPlatform {
         // trailing `record_exit(Mmio)` then covers only exit bookkeeping.
         if let Some(dev) = map::dev_of(gpa) {
             self.machine.obs.host_mark(HostPhase::Device(dev));
+        }
+    }
+
+    /// Emulates a guest read of the IPI registers (the block above the
+    /// 8259 registers on the PIC page). The monitor answers `CORE_ID` and
+    /// `NUM_CORES` itself and reads `ENTRY` through the machine, so the
+    /// deprivileged guest sees exactly what a raw guest would.
+    fn ipi_mmio_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            smp::reg::ENTRY => self.machine.ipi_entry(),
+            smp::reg::CORE_ID => self.cur_core as u32,
+            smp::reg::NUM_CORES => self.machine.num_cores() as u32,
+            _ => {
+                self.chipset.bad_accesses += 1;
+                0
+            }
+        }
+    }
+
+    /// Emulates a guest write to the IPI registers: sends route through the
+    /// machine's own delivery path so virtual and raw IPI timing agree.
+    fn ipi_mmio_write(&mut self, offset: u32, val: u32) {
+        match offset {
+            smp::reg::SEND => {
+                let target = (val & 0xff) as u8;
+                let line = ((val >> 8) & 0xff) as u8;
+                if !self.machine.ipi_send(target, line) {
+                    self.chipset.bad_accesses += 1;
+                }
+            }
+            smp::reg::ENTRY => self.machine.set_ipi_entry(val),
+            _ => self.chipset.bad_accesses += 1,
         }
     }
 
@@ -939,6 +1081,9 @@ impl LvmmPlatform {
     // ------------------------------------------------------------------
 
     fn stub_stop(&mut self, reason: StopReason) {
+        // A stop can originate outside the exit path (break-in, reset);
+        // make sure the stop report names the core actually parked.
+        self.sync_core();
         // Organic stops become reverse-continue targets; time-travel
         // landings do not (they are already the result of one).
         if !matches!(reason, StopReason::TimeTravel { .. }) {
@@ -948,6 +1093,10 @@ impl LvmmPlatform {
             }
         }
         self.state = RunState::Stopped;
+        // Hold the fault campaign while parked: injections model faults of
+        // a running guest, and firing one into a halted machine would
+        // corrupt the state the debugger is inspecting.
+        self.machine.pause_faults(true);
         self.stub.stopped = true;
         self.stub.last_stop = Some(reason);
         self.stub.step_intent = None;
@@ -956,7 +1105,10 @@ impl LvmmPlatform {
         self.machine
             .cpu
             .write_csr(Csr::Status, s.with(Status::TF, false).0);
-        self.send_packet(&reason.format());
+        // `;c:` appears only for nonzero cores, so single-core stop packets
+        // are byte-identical to the pre-SMP wire format.
+        let core = self.cur_core as u8;
+        self.send_packet(&reason.format_on(core));
     }
 
     fn send_packet(&mut self, payload: &str) {
@@ -1066,21 +1218,40 @@ impl LvmmPlatform {
                 Some(r) if self.stub.stopped => Reply::Stopped(r),
                 _ => Reply::Error(err::NOT_STOPPED),
             },
+            Command::SetThread { core } => {
+                if (core as usize) < self.machine.num_cores() {
+                    self.stub.sel_core = core;
+                    Reply::Ok
+                } else {
+                    Reply::Error(err::CORE)
+                }
+            }
+            Command::ThreadAlive { core } => {
+                if (core as usize) < self.machine.num_cores()
+                    && self.machine.core_started(core as usize)
+                {
+                    Reply::Ok
+                } else {
+                    Reply::Error(err::CORE)
+                }
+            }
             Command::ReadRegisters => {
+                let cpu = self.machine.core(self.stub.sel_core as usize);
                 let mut bytes = Vec::with_capacity(33 * 4);
-                for r in self.machine.cpu.regs() {
+                for r in cpu.regs() {
                     bytes.extend_from_slice(&r.to_le_bytes());
                 }
-                bytes.extend_from_slice(&self.machine.cpu.pc().to_le_bytes());
+                bytes.extend_from_slice(&cpu.pc().to_le_bytes());
                 Reply::Hex(bytes)
             }
             Command::WriteRegister { index, value } => {
+                let sel = self.stub.sel_core as usize;
                 if index < 32 {
                     let reg = hx_cpu::Reg::new(index).unwrap();
-                    self.machine.cpu.set_reg(reg, value);
+                    self.machine.core_mut(sel).set_reg(reg, value);
                     Reply::Ok
                 } else if index as u32 == rdbg::msg::REG_PC as u32 {
-                    self.machine.cpu.set_pc(value);
+                    self.machine.core_mut(sel).set_pc(value);
                     Reply::Ok
                 } else {
                     Reply::Error(err::REG)
@@ -1090,7 +1261,7 @@ impl LvmmPlatform {
                 let mut out = Vec::with_capacity(len as usize);
                 for i in 0..len {
                     let va = addr.wrapping_add(i);
-                    let Some(pa) = self.debug_translate(va) else {
+                    let Some(pa) = self.sel_translate(va) else {
                         return Reply::Error(err::MEM);
                     };
                     match self.machine.mem.read(pa, MemSize::Byte) {
@@ -1114,7 +1285,7 @@ impl LvmmPlatform {
             Command::WriteMemory { addr, data } => {
                 for (i, &b) in data.iter().enumerate() {
                     let va = addr.wrapping_add(i as u32);
-                    let Some(pa) = self.debug_translate(va) else {
+                    let Some(pa) = self.sel_translate(va) else {
                         return Reply::Error(err::MEM);
                     };
                     if self.machine.mem.write(pa, b as u32, MemSize::Byte).is_err() {
@@ -1127,7 +1298,7 @@ impl LvmmPlatform {
                 if self.stub.breakpoints.contains_key(&addr) {
                     return Reply::Error(err::BP);
                 }
-                let Some(pa) = self.debug_translate(addr) else {
+                let Some(pa) = self.sel_translate(addr) else {
                     return Reply::Error(err::MEM);
                 };
                 let Ok(orig) = self.machine.mem.read(pa, MemSize::Word) else {
@@ -1257,20 +1428,39 @@ impl LvmmPlatform {
                 } else {
                     self.stub.stopped = false;
                     self.state = RunState::Running;
+                    self.machine.pause_faults(false);
                     self.sync_tf();
                 }
                 Reply::Ok
             }
             Command::Reset => {
+                // Power-on SMP state first: core 0 back in the seat,
+                // secondaries stopped until their next startup IPI.
+                self.machine.smp_reset();
+                self.cur_core = 0;
                 let mut cpu = hx_cpu::Cpu::new();
                 cpu.set_mode(Mode::User);
                 cpu.set_pc(self.entry);
                 cpu.write_csr(Csr::Status, Status::IE);
                 self.machine.cpu = cpu;
                 self.vcpu = VCpu::new();
+                for v in &mut self.vcpus {
+                    *v = VCpu::new();
+                }
+                for m in &mut self.vipi {
+                    *m = 0;
+                }
                 self.chipset = VChipset::new();
                 self.shadow.flush_all(&mut self.machine.mem);
                 self.activate_shadow();
+                let root = self.machine.cpu.read_csr(Csr::Ptbr);
+                for i in 1..self.machine.num_cores() {
+                    let mut c = hx_cpu::Cpu::new();
+                    c.set_mode(Mode::User);
+                    c.write_csr(Csr::Status, Status::IE);
+                    c.write_csr(Csr::Ptbr, root);
+                    *self.machine.core_mut(i) = c;
+                }
                 self.stub.lifted_bp = None;
                 self.stub.step_intent = None;
                 self.stub_stop(StopReason::Halted { pc: self.entry });
@@ -1330,6 +1520,7 @@ impl LvmmPlatform {
                     .map(|f| f.injected.to_vec())
                     .unwrap_or_default();
                 let fault_blocked = self.machine.fault_stats().map_or(0, |f| f.blocked);
+                let n = self.machine.num_cores();
                 Reply::Stats(StatsSample {
                     now: self.machine.now(),
                     guest: self.stats.guest,
@@ -1343,6 +1534,11 @@ impl LvmmPlatform {
                     exits: self.machine.obs.exits.counts().to_vec(),
                     faults,
                     fault_blocked,
+                    cores: n as u64,
+                    core_instret: (0..n).map(|i| self.machine.core(i).instret()).collect(),
+                    core_exits: (0..n)
+                        .map(|i| self.machine.obs.core_exit_count(i))
+                        .collect(),
                 })
             }
             Command::QueryProf { max } => {
@@ -1411,14 +1607,15 @@ impl LvmmPlatform {
     /// `Qq`: finds the earliest recorded instruction boundary at which
     /// `expr` evaluates nonzero and parks the guest there by time travel.
     ///
-    /// The checkpoints are scanned in order, evaluating the predicate
-    /// against each stored snapshot (no re-execution). The first satisfying
-    /// checkpoint brackets the answer to the window since the previous
-    /// checkpoint; that window's start is restored and history re-executed
-    /// one instruction at a time until the predicate holds. When no
-    /// checkpoint satisfies it, the whole timeline is scanned from the
-    /// first checkpoint — the predicate may hold only *between*
-    /// checkpoints. A miss replays back to the original cycle (state
+    /// The earliest checkpoint is restored and history re-executed one
+    /// instruction at a time, evaluating the predicate at every boundary,
+    /// until it holds. A checkpoint scan cannot prune windows here: a
+    /// predicate over shared state can flicker (a cross-core counter
+    /// deficit is masked whenever a sibling core sits between two of its
+    /// own updates), so `expr` being false at both checkpoints bracketing
+    /// a window says nothing about the boundaries in between. Exact
+    /// first-hit semantics therefore costs a replay from the start of the
+    /// recording. A miss replays back to the original cycle (state
     /// byte-identical) and reports `found = 0`.
     fn query_first(&mut self, expr: &Expr) -> Reply {
         let Some(fr) = self.flight.as_deref() else {
@@ -1431,22 +1628,8 @@ impl LvmmPlatform {
             return Reply::Error(err::RECORDER);
         };
         let original = self.machine.now();
-
-        // Checkpoint scan → restore point.
-        let mut restore_at = None;
-        let mut prev: Option<u64> = None;
         let fr = self.flight.as_deref().expect("checked above");
-        for cp in fr.checkpoints.iter() {
-            let m = &cp.state.machine;
-            let mut ctx = SliceCtx::new(m.mem.as_bytes(), m.cpu.regs(), m.cpu.pc(), cp.at);
-            if expr.eval(&mut ctx).is_some_and(|v| v != 0) {
-                restore_at = Some(prev.unwrap_or(cp.at));
-                break;
-            }
-            prev = Some(cp.at);
-        }
-        let restore_at =
-            restore_at.unwrap_or_else(|| fr.checkpoints.iter().next().map_or(original, |c| c.at));
+        let restore_at = fr.checkpoints.iter().next().map_or(original, |c| c.at);
 
         let fr = self.flight.as_mut().expect("checked above");
         let Some(cp) = fr.checkpoints.nearest_at_or_before(restore_at) else {
@@ -1514,15 +1697,42 @@ impl LvmmPlatform {
         self.stub.step_intent = Some(intent);
         self.stub.stopped = false;
         self.state = RunState::Running;
+        self.machine.pause_faults(false);
         self.sync_tf();
     }
 
     /// Translates a guest virtual address for debugger access: guest page
     /// tables are honoured but permission bits are not (the debugger may
-    /// read execute-only pages). Only guest RAM is reachable.
+    /// read execute-only pages). Only guest RAM is reachable. Uses the
+    /// *active* core's address space (breakpoint replants, conditions).
     fn debug_translate(&mut self, va: u32) -> Option<u32> {
-        let gpa = if self.vcpu.paging_enabled() {
-            let root = self.vcpu.page_table_root();
+        let root = self
+            .vcpu
+            .paging_enabled()
+            .then(|| self.vcpu.page_table_root());
+        self.translate_for_debug(root, va)
+    }
+
+    /// [`Self::debug_translate`] through the `Hg`-selected core's address
+    /// space — what the host's register/memory commands look through.
+    fn sel_translate(&mut self, va: u32) -> Option<u32> {
+        let v = self.sel_vcpu();
+        let root = v.paging_enabled().then(|| v.page_table_root());
+        self.translate_for_debug(root, va)
+    }
+
+    /// The `Hg`-selected core's virtual CPU.
+    fn sel_vcpu(&self) -> &VCpu {
+        let sel = self.stub.sel_core as usize;
+        if sel == self.cur_core {
+            &self.vcpu
+        } else {
+            &self.vcpus[sel]
+        }
+    }
+
+    fn translate_for_debug(&mut self, paging_root: Option<u32>, va: u32) -> Option<u32> {
+        let gpa = if let Some(root) = paging_root {
             let l1_addr = root + hx_cpu::mmu::l1_index(va) * 4;
             if l1_addr + 4 > self.monitor_base {
                 return None;
@@ -1631,7 +1841,12 @@ impl ExitPolicy for LvmmPlatform {
     }
 
     fn handle_interrupt(&mut self, irq: u8, _vector: u8) {
-        self.handle_real_irq(irq);
+        self.sync_core();
+        if irq >= smp::IRQ_BASE {
+            self.handle_ipi(irq - smp::IRQ_BASE);
+        } else {
+            self.handle_real_irq(irq);
+        }
     }
 
     /// Remembers the boundary cycle at which the latest guest instruction

@@ -37,6 +37,9 @@ pub mod err {
     /// the embedded stub's generic "unsupported command" and is skipped
     /// here deliberately.
     pub const METRICS: u8 = 10;
+    /// Thread (core) selector out of range, or the selected core has not
+    /// been started.
+    pub const CORE: u8 = 11;
 }
 
 /// One armed data watchpoint.
@@ -105,6 +108,10 @@ pub struct Stub {
     /// Retransmissions of the current `last_tx` so far; bounded by
     /// [`Stub::RESEND_LIMIT`] so a hard-broken line cannot loop forever.
     pub resends: u8,
+    /// The core (GDB "thread") the host has selected with `Hg`; register
+    /// and memory commands answer against this core's view. Always a valid
+    /// index — `Hg` rejects out-of-range selectors.
+    pub sel_core: u32,
     /// Statistics.
     pub stats: StubStats,
 }
@@ -132,6 +139,7 @@ impl Stub {
             step_intent: None,
             last_tx: None,
             resends: 0,
+            sel_core: 0,
             stats: StubStats::default(),
         }
     }
@@ -240,6 +248,7 @@ mod tests {
             err::PROFILER,
             err::QUERY,
             err::METRICS,
+            err::CORE,
         ] {
             assert!(
                 rdbg::err_name(code).is_some(),

@@ -16,7 +16,7 @@ use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{MemSize, Mode};
 use hx_machine::engine::{ExitPolicy, ProgressGuard};
 use hx_machine::platform::PlatformStep;
-use hx_machine::{map, Machine, Platform, TimeBucket, TimeStats};
+use hx_machine::{map, smp, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::{EventKind, ExitCause, HostPhase};
 use lvmm::chipset::VChipset;
 use lvmm::shadow::{classify, guest_walk, GuestWalkErr, PageClass, ShadowPager};
@@ -70,6 +70,13 @@ enum RunState {
 pub struct HostedPlatform {
     machine: Machine,
     vcpu: VCpu,
+    /// Seat storage for every core's virtual CPU (`vcpus[cur_core]` holds a
+    /// stale placeholder while that core's state is in `self.vcpu`).
+    vcpus: Vec<VCpu>,
+    /// The core whose virtual CPU is in `self.vcpu`.
+    cur_core: usize,
+    /// Per-core pending virtual-IPI line masks.
+    vipi: Vec<u8>,
     shadow: ShadowPager,
     chipset: VChipset,
     vdisk: VDisk,
@@ -127,11 +134,23 @@ impl HostedPlatform {
         machine.cpu.write_csr(Csr::Status, Status::IE);
         let root = shadow.root_for(&mut machine.mem, 0, Mode::Supervisor);
         machine.cpu.write_csr(Csr::Ptbr, root | 1);
+        // Secondary cores boot deprivileged behind the same identity
+        // shadow; the startup IPI gives them their PC.
+        let cores = machine.num_cores();
+        for i in 1..cores {
+            let c = machine.core_mut(i);
+            c.set_mode(Mode::User);
+            c.write_csr(Csr::Status, Status::IE);
+            c.write_csr(Csr::Ptbr, root | 1);
+        }
 
         let vnic = VNic::new(&mut machine, host_ring, host_bufs);
         HostedPlatform {
             machine,
             vcpu: VCpu::new(),
+            vcpus: vec![VCpu::new(); cores],
+            cur_core: 0,
+            vipi: vec![0; cores],
             shadow,
             chipset: VChipset::new(),
             vdisk: VDisk::new(disk_bounce),
@@ -219,8 +238,52 @@ impl HostedPlatform {
         self.hstats.faults_injected += 1;
     }
 
+    /// Aligns the monitor's per-core virtual CPU with the machine's active
+    /// core (see the lvmm implementation for the scheme). No-op on
+    /// single-core.
+    fn sync_core(&mut self) {
+        let active = self.machine.active_core();
+        if active == self.cur_core {
+            return;
+        }
+        let prev = self.cur_core;
+        std::mem::swap(&mut self.vcpu, &mut self.vcpus[prev]);
+        std::mem::swap(&mut self.vcpu, &mut self.vcpus[active]);
+        self.cur_core = active;
+        self.activate_shadow();
+    }
+
+    /// Re-latches a consumed real IPI as a virtual one for the active core.
+    fn handle_ipi(&mut self, line: u8) {
+        self.consume_monitor(costs::EXIT_BASE);
+        self.record_exit(ExitCause::IrqReflect, costs::EXIT_BASE);
+        self.hstats.exits_irq += 1;
+        self.vipi[self.cur_core] |= 1 << line;
+        self.maybe_inject_irq();
+    }
+
     fn maybe_inject_irq(&mut self) {
         if !self.vcpu.interrupts_enabled() {
+            return;
+        }
+        // Virtual IPIs outrank the virtual PIC; the PIC wires to core 0.
+        let pending = self.vipi[self.cur_core];
+        if pending != 0 {
+            let line = pending.trailing_zeros() as u8;
+            self.vipi[self.cur_core] &= !(1 << line);
+            let epc = self.machine.cpu.pc();
+            let vector = smp::VECTOR_BASE + line;
+            let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
+            self.activate_shadow();
+            self.machine.cpu.set_pc(handler);
+            self.consume_monitor(lvmm::costs::INJECT_TRAP);
+            self.record_exit(ExitCause::IrqInject, lvmm::costs::INJECT_TRAP);
+            self.hstats.irqs_injected += 1;
+            self.machine.wake_core(self.cur_core);
+            self.state = RunState::Running;
+            return;
+        }
+        if self.cur_core != 0 {
             return;
         }
         if let Some((irq, vector)) = self.chipset.vpic.inta() {
@@ -235,11 +298,15 @@ impl HostedPlatform {
             self.consume_monitor(lvmm::costs::INJECT_TRAP);
             self.record_exit(ExitCause::IrqInject, lvmm::costs::INJECT_TRAP);
             self.hstats.irqs_injected += 1;
+            if self.machine.num_cores() > 1 {
+                self.machine.wake_core(0);
+            }
             self.state = RunState::Running;
         }
     }
 
     fn dispatch_trap(&mut self, trap: Trap) {
+        self.sync_core();
         // Attribute the monitor cycles of this exit to one cause (see the
         // lvmm dispatcher for the scheme; the window check accounts itself).
         let monitor_before = self.stats.monitor;
@@ -312,7 +379,13 @@ impl HostedPlatform {
             Instr::Sys { op: SysOp::Wfi } => {
                 self.consume_monitor(lvmm::costs::EMUL_WFI);
                 self.machine.cpu.set_pc(pc.wrapping_add(4));
-                self.state = RunState::GuestIdle;
+                if self.machine.num_cores() > 1 {
+                    // Park just this core; the scheduler keeps siblings
+                    // running.
+                    self.machine.park_active();
+                } else {
+                    self.state = RunState::GuestIdle;
+                }
             }
             Instr::Sys {
                 op: SysOp::TlbFlush,
@@ -443,6 +516,7 @@ impl HostedPlatform {
                         v
                     }
                     map::NIC_BASE => self.vnic.read_reg(offset),
+                    map::PIC_BASE if offset >= smp::reg::SEND => self.ipi_mmio_read(offset),
                     _ => self.chipset.mmio_read(&mut self.machine, page, offset),
                 };
                 self.machine.cpu.set_reg(rd, val);
@@ -472,6 +546,9 @@ impl HostedPlatform {
                         let host = self.vnic.write_reg(&mut self.machine, offset, val);
                         self.consume_host(host);
                     }
+                    map::PIC_BASE if offset >= smp::reg::SEND => {
+                        self.ipi_mmio_write(offset, val);
+                    }
                     _ => self
                         .chipset
                         .mmio_write(&mut self.machine, page, offset, val),
@@ -486,6 +563,35 @@ impl HostedPlatform {
         // trailing `record_exit(Mmio)` then covers only exit bookkeeping.
         if let Some(dev) = map::dev_of(gpa) {
             self.machine.obs.host_mark(HostPhase::Device(dev));
+        }
+    }
+
+    /// Emulated reads of the IPI register block on the PIC page.
+    fn ipi_mmio_read(&mut self, offset: u32) -> u32 {
+        match offset {
+            smp::reg::ENTRY => self.machine.ipi_entry(),
+            smp::reg::CORE_ID => self.cur_core as u32,
+            smp::reg::NUM_CORES => self.machine.num_cores() as u32,
+            _ => {
+                self.chipset.bad_accesses += 1;
+                0
+            }
+        }
+    }
+
+    /// Emulated writes to the IPI register block: sends route through the
+    /// machine's own delivery path so virtual and raw IPI timing agree.
+    fn ipi_mmio_write(&mut self, offset: u32, val: u32) {
+        match offset {
+            smp::reg::SEND => {
+                let target = (val & 0xff) as u8;
+                let line = ((val >> 8) & 0xff) as u8;
+                if !self.machine.ipi_send(target, line) {
+                    self.chipset.bad_accesses += 1;
+                }
+            }
+            smp::reg::ENTRY => self.machine.set_ipi_entry(val),
+            _ => self.chipset.bad_accesses += 1,
         }
     }
 
@@ -573,7 +679,12 @@ impl ExitPolicy for HostedPlatform {
     }
 
     fn handle_interrupt(&mut self, irq: u8, _vector: u8) {
-        self.handle_real_irq(irq);
+        self.sync_core();
+        if irq >= smp::IRQ_BASE {
+            self.handle_ipi(irq - smp::IRQ_BASE);
+        } else {
+            self.handle_real_irq(irq);
+        }
     }
 }
 

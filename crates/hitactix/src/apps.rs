@@ -126,6 +126,176 @@ pub fn protection_guest() -> Program {
     .expect("protection guest assembles")
 }
 
+/// Fixed data addresses of the SMP demo guests, shared with the tooling
+/// (`dbgctl diverge --race`) and the SMP tests.
+pub mod smp_layout {
+    /// The racy shared counter — deliberately equal to the default
+    /// [`FaultPlan::race_addr`](hx_machine::Machine::enable_fault_injection)
+    /// so `--fault racy-increment` clobbers the word the demo watches.
+    pub const COUNTER: u32 = 0x900;
+    /// Per-core private tallies: core `i` owns `TALLY + 4 * i` and nobody
+    /// else writes it, so `sum(tallies)` is the increment count actually
+    /// performed. The racy `COUNTER` can only fall *behind* that sum.
+    pub const TALLY: u32 = 0x910;
+    /// IPI ping log (`smp_ping_guest` only): delivered vectors, in order.
+    pub const PING_COUNT: u32 = 0x920;
+    /// Base of the delivered-vector log, one word per delivery.
+    pub const PING_LOG: u32 = 0x930;
+}
+
+/// A two-core IPI bring-up guest: core 0 publishes the secondary entry
+/// point, fires IPI lines 3, 1, 2 at the still-parked core 1 (they latch
+/// in its pending mask), then wakes it with a startup IPI. Core 1 logs
+/// each delivered vector (in delivery order) at [`smp_layout::PING_LOG`]
+/// and counts them at [`smp_layout::PING_COUNT`] — so a test can assert
+/// that simultaneously pending lines drain lowest-first (vectors 49, 50,
+/// 51) on every platform.
+///
+/// Symbols: `start`, `main`, `side`, `handler`.
+pub fn smp_ping_guest() -> Program {
+    use hx_machine::{map, smp};
+    assemble(&format!(
+        "        .org 0x1000
+         start:  li   t0, {entry:#x}
+                 la   t1, side
+                 sw   t1, 0(t0)
+                 li   t0, {send:#x}
+                 li   t1, 0x301         ; line 3 -> core 1 (latches: parked)
+                 sw   t1, 0(t0)
+                 li   t1, 0x101         ; line 1 -> core 1
+                 sw   t1, 0(t0)
+                 li   t1, 0x201         ; line 2 -> core 1
+                 sw   t1, 0(t0)
+                 li   t1, 1             ; line 0: start core 1
+                 sw   t1, 0(t0)
+         main:   addi s0, s0, 1
+                 j    main
+         side:   la   t0, handler
+                 csrw tvec, t0
+                 csrw status, 1         ; IE
+         spin:   addi s1, s1, 1
+                 j    spin
+         handler:
+                 csrr t0, tval          ; delivered vector
+                 lw   t1, {count:#x}(zero)
+                 add  t2, t1, t1
+                 add  t2, t2, t2        ; count * 4
+                 li   t3, {log:#x}
+                 add  t3, t3, t2
+                 sw   t0, 0(t3)
+                 addi t1, t1, 1
+                 sw   t1, {count:#x}(zero)
+                 tret
+        ",
+        entry = map::PIC_BASE + smp::reg::ENTRY,
+        send = map::PIC_BASE + smp::reg::SEND,
+        count = smp_layout::PING_COUNT,
+        log = smp_layout::PING_LOG,
+    ))
+    .expect("smp ping guest assembles")
+}
+
+/// An all-cores bring-up guest for throughput ablations: core 0 publishes
+/// the shared secondary entry point, sends a startup IPI to every other
+/// core, and then every core — core 0 included — spins incrementing its
+/// private tally at [`smp_layout::TALLY`]` + 4 * core_id`. Total retired
+/// instructions across cores measure how simulation speed scales with the
+/// core count (the benchmark's `smp_sim_speed` sweep).
+///
+/// Runs unchanged at any core count, including one (no secondaries to
+/// wake, the bring-up loop falls straight through).
+///
+/// Symbols: `start`, `bring`, `work`, `tick`.
+pub fn smp_spin_guest() -> Program {
+    use hx_machine::{map, smp};
+    assemble(&format!(
+        "        .org 0x1000
+         start:  li   t0, {entry:#x}
+                 la   t1, work
+                 sw   t1, 0(t0)
+                 li   t0, {ncores:#x}
+                 lw   t1, 0(t0)         ; t1 = core count
+                 li   t2, 1
+                 li   t3, {send:#x}
+         bring:  blt  t2, t1, wake
+                 j    work
+         wake:   sw   t2, 0(t3)         ; line 0 -> core t2
+                 addi t2, t2, 1
+                 j    bring
+         work:   li   t0, {coreid:#x}
+                 lw   t1, 0(t0)
+                 add  t1, t1, t1
+                 add  t1, t1, t1        ; core_id * 4
+                 li   t2, {tally:#x}
+                 add  t2, t2, t1        ; this core's tally
+         tick:   lw   t0, 0(t2)
+                 addi t0, t0, 1
+                 sw   t0, 0(t2)
+                 j    tick
+        ",
+        entry = map::PIC_BASE + smp::reg::ENTRY,
+        ncores = map::PIC_BASE + smp::reg::NUM_CORES,
+        send = map::PIC_BASE + smp::reg::SEND,
+        coreid = map::PIC_BASE + smp::reg::CORE_ID,
+        tally = smp_layout::TALLY,
+    ))
+    .expect("smp spin guest assembles")
+}
+
+/// The cross-core race demo: every core increments the shared word at
+/// [`smp_layout::COUNTER`] with an unsynchronized load/add/store, *and*
+/// its own private tally at [`smp_layout::TALLY`]` + 4 * core_id`. Because
+/// each core bumps the shared counter before its tally, the invariant
+/// `counter >= sum(tallies)` holds on every correct interleaving — a lost
+/// update (a quantum switch splitting the read-modify-write, or the
+/// `racy-increment` fault class replaying a stale value) is the only thing
+/// that can break it. `dbgctl diverge --race` seeks to the first cycle it
+/// breaks.
+///
+/// On a single-core machine the guest skips the IPI bring-up (it reads
+/// `NUM_CORES` first) and just counts — no race is possible, which is what
+/// makes the 1-core run the control.
+///
+/// Symbols: `start`, `loop0`, `side`.
+pub fn racy_counter_guest() -> Program {
+    use hx_machine::{map, smp};
+    assemble(&format!(
+        "        .org 0x1000
+         start:  li   t0, {ncores:#x}
+                 lw   t1, 0(t0)
+                 li   t2, 2
+                 blt  t1, t2, loop0     ; single-core control run
+                 li   t0, {entry:#x}
+                 la   t1, side
+                 sw   t1, 0(t0)
+                 li   t0, {send:#x}
+                 li   t1, 1             ; line 0: start core 1
+                 sw   t1, 0(t0)
+         loop0:  lw   t0, {counter:#x}(zero)
+                 addi t0, t0, 1
+                 sw   t0, {counter:#x}(zero)
+                 lw   t1, {tally:#x}(zero)
+                 addi t1, t1, 1
+                 sw   t1, {tally:#x}(zero)
+                 j    loop0
+         side:   lw   t0, {counter:#x}(zero)
+                 addi t0, t0, 1
+                 sw   t0, {counter:#x}(zero)
+                 lw   t1, {tally1:#x}(zero)
+                 addi t1, t1, 1
+                 sw   t1, {tally1:#x}(zero)
+                 j    side
+        ",
+        ncores = map::PIC_BASE + smp::reg::NUM_CORES,
+        entry = map::PIC_BASE + smp::reg::ENTRY,
+        send = map::PIC_BASE + smp::reg::SEND,
+        counter = smp_layout::COUNTER,
+        tally = smp_layout::TALLY,
+        tally1 = smp_layout::TALLY + 4,
+    ))
+    .expect("racy counter guest assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +309,15 @@ mod tests {
         assert!(b.symbols.get("rampage").is_some());
         let p = protection_guest();
         assert!(p.symbols.get("ktrap").is_some());
+        let s = smp_ping_guest();
+        assert!(s.symbols.get("side").is_some());
+        assert!(s.symbols.get("handler").is_some());
+        let r = racy_counter_guest();
+        assert!(r.symbols.get("loop0").is_some());
+        assert!(r.symbols.get("side").is_some());
+        let w = smp_spin_guest();
+        assert!(w.symbols.get("work").is_some());
+        assert!(w.symbols.get("tick").is_some());
     }
 
     #[test]

@@ -305,6 +305,15 @@ impl EmbeddedStubPlatform {
                 Reply::Error(9)
             }
             Command::Reset => Reply::Error(9),
+            Command::SetThread { core } | Command::ThreadAlive { core } => {
+                // The in-kernel stub debugs the one CPU it runs on: thread
+                // 0 exists, everything else is "no such core" (11).
+                if core == 0 {
+                    Reply::Ok
+                } else {
+                    Reply::Error(11)
+                }
+            }
             Command::QueryStats | Command::QueryProf { .. } => {
                 // An in-kernel stub has no monitor accounting or profiler
                 // to report.

@@ -40,11 +40,19 @@ enum Flow {
     Wfi,
 }
 
-/// The HX32 processor state: registers, CSRs, privilege mode and TLB.
+/// One virtual CPU: the per-core HX32 processor state — registers, CSRs,
+/// privilege mode, TLB and predecoded-instruction cache.
+///
+/// Everything in this struct is private to one core. State shared between
+/// cores (physical RAM with its per-page write generations, devices, the
+/// event queue) lives behind the [`Bus`](crate::Bus) in `hx-machine`, so a
+/// machine can time-multiplex any number of `Vcpu`s over one memory image
+/// without aliasing hazards. [`Cpu`] remains as an alias for the common
+/// single-core case.
 ///
 /// See the [crate documentation](crate) for an execution example.
 #[derive(Debug, Clone)]
-pub struct Cpu {
+pub struct Vcpu {
     regs: [u32; 32],
     pc: u32,
     mode: Mode,
@@ -62,17 +70,21 @@ pub struct Cpu {
     decode_cache: Option<Box<DecodeCache>>,
 }
 
-impl Default for Cpu {
+/// The historical name for [`Vcpu`]: a machine with one core just has one
+/// of them. Kept as the public spelling for single-core code.
+pub type Cpu = Vcpu;
+
+impl Default for Vcpu {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Cpu {
+impl Vcpu {
     /// Creates a CPU in supervisor mode at PC 0 with paging disabled and
     /// interrupts masked — the architectural reset state.
-    pub fn new() -> Cpu {
-        Cpu {
+    pub fn new() -> Vcpu {
+        Vcpu {
             regs: [0; 32],
             pc: 0,
             mode: Mode::Supervisor,

@@ -46,7 +46,7 @@ pub mod isa;
 pub mod mmu;
 pub mod trap;
 
-pub use cpu::{Cpu, StepOutcome};
+pub use cpu::{Cpu, StepOutcome, Vcpu};
 pub use csr::{Csr, Status};
 pub use decode::DecodeStats;
 pub use isa::{Instr, Reg};

@@ -84,11 +84,18 @@ pub enum FaultKind {
     DiskError,
     /// The NIC reporting a spurious error completion.
     NicError,
+    /// A lost update on a shared counter: the classic unsynchronized
+    /// read-modify-write race between cores. On an SMP guest the injection
+    /// models core B's stale write-back clobbering core A's increment; the
+    /// damage is silent (no trap) and only observable by comparing the
+    /// counter against the deterministic replay — which is exactly how the
+    /// debugger catches it (seek to the first divergent cycle).
+    RacyIncrement,
 }
 
 impl FaultKind {
     /// Number of fault classes.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every class, in matrix order.
     pub const ALL: [FaultKind; FaultKind::COUNT] = [
@@ -98,6 +105,7 @@ impl FaultKind {
         FaultKind::DmaMisdirect,
         FaultKind::DiskError,
         FaultKind::NicError,
+        FaultKind::RacyIncrement,
     ];
 
     /// Stable index for stats arrays.
@@ -109,6 +117,7 @@ impl FaultKind {
             FaultKind::DmaMisdirect => 3,
             FaultKind::DiskError => 4,
             FaultKind::NicError => 5,
+            FaultKind::RacyIncrement => 6,
         }
     }
 
@@ -131,6 +140,7 @@ impl FaultKind {
             FaultKind::DmaMisdirect => "dma-misdirect",
             FaultKind::DiskError => "disk-error",
             FaultKind::NicError => "nic-error",
+            FaultKind::RacyIncrement => "racy-increment",
         }
     }
 
@@ -169,6 +179,13 @@ pub enum FaultOp {
     },
     /// Force a NIC error completion.
     NicError,
+    /// Replay a stale value over the shared counter at `addr`: the machine
+    /// reads the current word and writes back `val - 1` (a lost update),
+    /// exactly what an unsynchronized increment race leaves behind.
+    RacyIncrement {
+        /// Physical address of the shared counter word.
+        addr: u32,
+    },
 }
 
 /// A planned fault: which class it belongs to and what to do.
@@ -221,6 +238,9 @@ pub struct FaultPlan {
     pub storm_lines: u8,
     /// Number of disk units error completions may target.
     pub disk_units: u8,
+    /// Physical address of the shared counter a
+    /// [`FaultKind::RacyIncrement`] clobbers.
+    pub race_addr: u32,
 }
 
 impl FaultPlan {
@@ -236,6 +256,7 @@ impl FaultPlan {
             kernel_limit: 64 << 10,
             storm_lines: 0,
             disk_units: 3,
+            race_addr: 0x900,
         }
     }
 
@@ -261,6 +282,12 @@ impl FaultPlan {
     pub fn wild(mut self, span: u32, limit: u32) -> FaultPlan {
         self.wild_span = span;
         self.wild_limit = limit.min(span);
+        self
+    }
+
+    /// Sets the shared-counter address a racy increment clobbers.
+    pub fn race(mut self, addr: u32) -> FaultPlan {
+        self.race_addr = addr & !3;
         self
     }
 }
@@ -352,6 +379,9 @@ impl FaultInjector {
                 unit: self.rng.below(self.plan.disk_units.max(1) as u64) as u8,
             },
             FaultKind::NicError => FaultOp::NicError,
+            FaultKind::RacyIncrement => FaultOp::RacyIncrement {
+                addr: self.plan.race_addr,
+            },
         };
         self.stats.injected[kind.index()] += 1;
         Some(PlannedFault { kind, op })

@@ -30,6 +30,16 @@ pub enum Event {
     /// rather than polling the clock — keeps batched and single-stepped runs
     /// bit-identical under injection.
     FaultInject,
+    /// An inter-processor interrupt reaches its target core (see
+    /// [`crate::smp`]). Scheduled [`crate::smp::LATENCY`] cycles after the
+    /// `IPI_SEND` write; riding the queue keeps SMP interleavings a pure
+    /// function of the program.
+    Ipi {
+        /// Destination core index.
+        target: u8,
+        /// IPI line (0 = startup, 1–7 = latched interrupt lines).
+        line: u8,
+    },
 }
 
 /// A min-heap of `(due_cycle, sequence) → Event`.

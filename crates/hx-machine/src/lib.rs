@@ -50,6 +50,7 @@ pub mod pic;
 pub mod pit;
 pub mod platform;
 pub mod ram;
+pub mod smp;
 pub mod timing;
 pub mod uart;
 

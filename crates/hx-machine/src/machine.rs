@@ -7,6 +7,7 @@ use crate::nic::Nic;
 use crate::pic::Hpic;
 use crate::pit::Hpit;
 use crate::ram::Ram;
+use crate::smp::{self, IpiBlock};
 use crate::timing;
 use crate::uart::Huart;
 use hx_asm::Program;
@@ -36,6 +37,13 @@ pub struct MachineConfig {
     pub nic_tx_fetch: u64,
     /// Extra cycles per MMIO register access.
     pub mmio_access_cycles: u64,
+    /// Number of vCPUs the machine time-multiplexes (see [`crate::smp`]).
+    /// `1` is the bit-identical classic configuration; secondaries start
+    /// parked until a startup IPI.
+    pub num_cores: usize,
+    /// Round-robin scheduler quantum in simulated cycles (multi-core only;
+    /// ignored when `num_cores == 1`).
+    pub sched_quantum: u64,
 }
 
 impl Default for MachineConfig {
@@ -48,8 +56,24 @@ impl Default for MachineConfig {
             hdc_cmd_overhead: timing::DEFAULT_HDC_CMD_OVERHEAD,
             nic_tx_fetch: timing::DEFAULT_NIC_TX_FETCH,
             mmio_access_cycles: timing::MMIO_ACCESS_CYCLES,
+            num_cores: 1,
+            sched_quantum: Machine::DEFAULT_SCHED_QUANTUM,
         }
     }
+}
+
+/// One core's seat at the machine: its parked vCPU plus the per-core run
+/// flags the scheduler consults. The *active* core's `Vcpu` lives in
+/// [`Machine::cpu`] (swapped in), so `cpu` here is stale for that seat;
+/// `waiting`/`started` are authoritative for every core at all times.
+#[derive(Debug, Clone)]
+struct CoreSeat {
+    cpu: Cpu,
+    /// The core executed `wfi` (or was parked by a monitor emulating one)
+    /// and sleeps until an interrupt or IPI targets it.
+    waiting: bool,
+    /// Secondaries start unstarted and join at the first startup IPI.
+    started: bool,
 }
 
 /// What one [`Machine::step`] did.
@@ -152,12 +176,27 @@ pub struct Machine {
     pub obs: Recorder,
     events: EventQueue,
     now: u64,
-    waiting: bool,
+    /// One seat per core; `seats[active].cpu` is a stale placeholder while
+    /// that core's state is swapped into `self.cpu`.
+    seats: Vec<CoreSeat>,
+    /// Index of the core currently executing (owning `self.cpu`).
+    active: usize,
+    /// Cycle at which the round-robin scheduler next rotates;
+    /// `u64::MAX` for single-core machines (never).
+    next_switch_at: u64,
+    /// Inter-processor-interrupt block (see [`crate::smp`]).
+    ipi: IpiBlock,
     cfg: MachineConfig,
     /// Deterministic fault-injection campaign; `None` unless enabled. Lives
     /// on the machine (and is `Clone`) so flight-recorder snapshots capture
     /// the PRNG mid-campaign and replay the remaining faults identically.
     fault: Option<FaultInjector>,
+    /// Campaign gate: while true, due [`Event::FaultInject`] events defer
+    /// instead of firing. Monitors raise it while the guest is parked for
+    /// debugging — the campaign models faults of a *running* guest, and an
+    /// injection landing in a halted one would mutate the exact state the
+    /// debugger is inspecting.
+    fault_paused: bool,
     /// Armed logpoints, evaluated at executed-instruction boundaries.
     /// Platforms disable instruction batching while any are armed so
     /// boundaries arrive per instruction (batching is simulation-invisible,
@@ -172,8 +211,20 @@ impl Machine {
     /// tracks per-page write generations (stores and DMA), so cached decodes
     /// can never go stale. Results are bit-identical with the cache off.
     pub fn new(cfg: MachineConfig) -> Machine {
+        let cores = cfg.num_cores.clamp(1, smp::MAX_CORES);
         let mut cpu = Cpu::new();
         cpu.set_decode_cache(true);
+        let seats = (0..cores)
+            .map(|i| {
+                let mut c = Cpu::new();
+                c.set_decode_cache(true);
+                CoreSeat {
+                    cpu: c,
+                    waiting: false,
+                    started: i == 0,
+                }
+            })
+            .collect();
         Machine {
             cpu,
             mem: Ram::new(cfg.ram_size),
@@ -185,11 +236,269 @@ impl Machine {
             obs: Recorder::new(),
             events: EventQueue::new(),
             now: 0,
-            waiting: false,
+            seats,
+            active: 0,
+            next_switch_at: if cores > 1 {
+                cfg.sched_quantum.max(1)
+            } else {
+                u64::MAX
+            },
+            ipi: IpiBlock::new(cores),
             cfg,
             fault: None,
+            fault_paused: false,
             logpoints: Vec::new(),
         }
+    }
+
+    /// Default round-robin scheduler quantum: long enough that per-switch
+    /// bookkeeping is negligible, short enough that cross-core interleaving
+    /// is fine-grained relative to device timings (~0.3 ms at 150 MHz).
+    pub const DEFAULT_SCHED_QUANTUM: u64 = 50_000;
+
+    /// Number of configured cores.
+    pub fn num_cores(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// Index of the core currently executing.
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// Core `i`'s vCPU state (the active core reads through
+    /// [`Machine::cpu`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_cores()`.
+    pub fn core(&self, i: usize) -> &Cpu {
+        if i == self.active {
+            &self.cpu
+        } else {
+            &self.seats[i].cpu
+        }
+    }
+
+    /// Mutable access to core `i`'s vCPU state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_cores()`.
+    pub fn core_mut(&mut self, i: usize) -> &mut Cpu {
+        if i == self.active {
+            &mut self.cpu
+        } else {
+            &mut self.seats[i].cpu
+        }
+    }
+
+    /// Whether core `i` has been started (core 0 always; secondaries join
+    /// at their first startup IPI).
+    pub fn core_started(&self, i: usize) -> bool {
+        self.seats[i].started
+    }
+
+    /// Whether core `i` is parked in `wfi` (or monitor-emulated idle).
+    pub fn core_waiting(&self, i: usize) -> bool {
+        self.seats[i].waiting
+    }
+
+    /// Instructions retired across every core.
+    pub fn total_instret(&self) -> u64 {
+        (0..self.seats.len()).map(|i| self.core(i).instret()).sum()
+    }
+
+    /// The IPI block (pending masks, entry register).
+    pub fn ipi(&self) -> &IpiBlock {
+        &self.ipi
+    }
+
+    /// Sends an IPI exactly as a guest `IPI_SEND` store would: delivery is
+    /// scheduled [`smp::LATENCY`] cycles out on the event queue. Monitors
+    /// emulating the IPI registers for a deprivileged guest route through
+    /// here so virtual and raw timing agree. Returns `false` (and does
+    /// nothing) for an invalid target or line.
+    pub fn ipi_send(&mut self, target: u8, line: u8) -> bool {
+        if (target as usize) >= self.seats.len() || line >= 8 {
+            return false;
+        }
+        self.events
+            .schedule(self.now + smp::LATENCY, Event::Ipi { target, line });
+        true
+    }
+
+    /// The startup-entry register (`IPI_ENTRY`).
+    pub fn ipi_entry(&self) -> u32 {
+        self.ipi.entry
+    }
+
+    /// Sets the startup-entry register (monitor emulation of `IPI_ENTRY`).
+    pub fn set_ipi_entry(&mut self, entry: u32) {
+        self.ipi.entry = entry;
+    }
+
+    /// Parks the **active** core as if it executed `wfi` — monitors use
+    /// this when emulating a guest `wfi` on a multi-core machine so the
+    /// scheduler runs the remaining cores instead of idling the clock.
+    pub fn park_active(&mut self) {
+        self.seats[self.active].waiting = true;
+    }
+
+    /// Clears core `i`'s parked state (monitor-side virtual wake).
+    pub fn wake_core(&mut self, i: usize) {
+        self.seats[i].waiting = false;
+    }
+
+    /// Resets the SMP bookkeeping to its power-on state: core 0 active and
+    /// started, secondaries stopped, no IPIs pending, the scheduler quantum
+    /// restarted from now. Per-core register state is the caller's to
+    /// rebuild (monitors recreate their vCPUs on a guest reset).
+    pub fn smp_reset(&mut self) {
+        // Swap core 0 back into the execution seat first: `seats[active]`
+        // holds a stale placeholder while that core's state is in
+        // `self.cpu`, so flag surgery below must happen with the seats
+        // coherent.
+        self.switch_to(0);
+        for (i, seat) in self.seats.iter_mut().enumerate() {
+            seat.started = i == 0;
+            seat.waiting = false;
+        }
+        let n = self.seats.len();
+        self.ipi = IpiBlock::new(n);
+        self.next_switch_at = if n > 1 {
+            self.now + self.cfg.sched_quantum.max(1)
+        } else {
+            u64::MAX
+        };
+    }
+
+    /// True when the active core should not execute instructions.
+    fn waiting(&self) -> bool {
+        self.seats[self.active].waiting
+    }
+
+    /// Wake condition for a parked core: the global PIC only reaches core 0
+    /// (board wiring); IPIs reach their target.
+    fn wake_condition(&self, i: usize) -> bool {
+        (i == 0 && self.pic.line_asserted()) || self.ipi.pending[i] != 0
+    }
+
+    /// Swaps core `to` into the execution seat.
+    fn switch_to(&mut self, to: usize) {
+        if to == self.active {
+            return;
+        }
+        let from = self.active;
+        std::mem::swap(&mut self.cpu, &mut self.seats[from].cpu);
+        std::mem::swap(&mut self.cpu, &mut self.seats[to].cpu);
+        self.active = to;
+        self.obs.set_active_core(to as u8);
+    }
+
+    /// Rotates to the next runnable core once the quantum expires. The
+    /// quantum restarts whether or not another core was runnable, so a lone
+    /// runnable core re-checks its siblings every quantum.
+    fn maybe_rotate(&mut self) {
+        if self.now < self.next_switch_at {
+            return;
+        }
+        self.next_switch_at = self.now + self.cfg.sched_quantum.max(1);
+        let n = self.seats.len();
+        for k in 1..n {
+            let i = (self.active + k) % n;
+            if self.seats[i].started && !self.seats[i].waiting {
+                self.switch_to(i);
+                return;
+            }
+        }
+    }
+
+    /// Interrupt arbitration for the active core: local IPIs first (higher
+    /// priority, they model the APIC), then the global PIC on core 0 only.
+    fn poll_interrupt(&mut self) -> Option<(u8, u8)> {
+        let pend = self.ipi.pending[self.active];
+        if pend != 0 {
+            let line = pend.trailing_zeros() as u8;
+            self.ipi.pending[self.active] &= !(1 << line);
+            self.ipi.delivered += 1;
+            return Some((smp::IRQ_BASE + line, smp::VECTOR_BASE + line));
+        }
+        if self.active == 0 {
+            self.pic.inta()
+        } else {
+            None
+        }
+    }
+
+    /// The common preamble of [`Machine::step`] and [`Machine::run_batch`]:
+    /// fire due events, rotate cores at quantum boundaries, resolve the
+    /// parked state, and arbitrate interrupts. Returns `Some` when the step
+    /// is already decided without executing an instruction.
+    fn schedule_point(&mut self) -> Option<MachineStep> {
+        self.process_due_events();
+        self.maybe_rotate();
+
+        if self.waiting() {
+            if self.wake_condition(self.active) {
+                self.seats[self.active].waiting = false;
+            } else if let Some(other) = self.next_runnable_other() {
+                // The active core sleeps but a sibling can run: hand the
+                // seat over immediately instead of idling the clock.
+                self.switch_to(other);
+                self.next_switch_at = self.now + self.cfg.sched_quantum.max(1);
+            } else {
+                let Some(due) = self.events.next_due() else {
+                    return Some(MachineStep::Stuck);
+                };
+                let idle = due - self.now;
+                self.now = due;
+                self.cpu.add_cycles(idle);
+                self.process_due_events();
+                return Some(MachineStep::Idle { cycles: idle });
+            }
+        }
+
+        if self.cpu.interrupts_enabled() {
+            if let Some((irq, vector)) = self.poll_interrupt() {
+                return Some(MachineStep::Interrupt { irq, vector });
+            }
+        }
+        None
+    }
+
+    /// A started, non-waiting core other than the active one, in
+    /// round-robin order.
+    fn next_runnable_other(&self) -> Option<usize> {
+        let n = self.seats.len();
+        (1..n)
+            .map(|k| (self.active + k) % n)
+            .find(|&i| self.seats[i].started && !self.seats[i].waiting)
+    }
+
+    /// Delivers one due [`Event::Ipi`]: line 0 starts (or wakes) the
+    /// target; other lines latch into its pending mask. Either way the
+    /// target leaves `wfi`.
+    fn ipi_deliver(&mut self, at: u64, target: u8, line: u8) {
+        let t = target as usize;
+        if t >= self.seats.len() {
+            return;
+        }
+        if line == 0 {
+            if !self.seats[t].started {
+                self.seats[t].started = true;
+                let entry = self.ipi.entry;
+                self.core_mut(t).set_pc(entry);
+            }
+        } else {
+            self.ipi.pending[t] |= 1 << line;
+        }
+        self.seats[t].waiting = false;
+        self.obs.irq(
+            at,
+            Dev::Pic,
+            ((t as u32) << 8) | (smp::IRQ_BASE + line) as u32,
+        );
     }
 
     /// The machine's configuration.
@@ -228,7 +537,7 @@ impl Machine {
             self.obs
                 .irq(self.now, Dev::Uart, crate::map::irq::UART as u32);
         }
-        self.waiting = false; // a wedged-in-wfi CPU wakes on the latched IRQ
+        self.seats[0].waiting = false; // UART IRQ is wired to core 0: wake it
     }
 
     /// Target → host bytes on the debug UART.
@@ -254,6 +563,9 @@ impl Machine {
     /// protection fault the attempt would raise under a monitor.
     const PROTECTION_EXIT_COST: u64 = 96;
 
+    /// Re-poll cadence for a fault campaign held by [`Machine::pause_faults`].
+    const FAULT_PAUSE_RETRY: u64 = 1_024;
+
     /// Arms a deterministic fault-injection campaign.
     ///
     /// Faults fire as [`Event::FaultInject`] on the machine's own event
@@ -274,6 +586,14 @@ impl Machine {
     /// Campaign counters, when fault injection is armed.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault.as_ref().map(|f| &f.stats)
+    }
+
+    /// Gates the fault campaign. While paused, due injection events defer
+    /// (without consuming the plan's PRNG) until the campaign is resumed —
+    /// monitors pause it whenever they park the guest so that inspecting a
+    /// stopped machine never mutates it.
+    pub fn pause_faults(&mut self, paused: bool) {
+        self.fault_paused = paused;
     }
 
     /// Arms a logpoint at `addr`. Multiple logpoints may share an address;
@@ -343,6 +663,13 @@ impl Machine {
         let Some(inj) = self.fault.as_mut() else {
             return;
         };
+        if self.fault_paused {
+            // Parked guest: hold the campaign without advancing its PRNG so
+            // the post-resume schedule stays a pure function of the plan.
+            self.events
+                .schedule(at + Self::FAULT_PAUSE_RETRY, Event::FaultInject);
+            return;
+        }
         let planned = inj.next_fault();
         let delay = inj.next_delay();
         self.events.schedule(at + delay, Event::FaultInject);
@@ -387,6 +714,21 @@ impl Machine {
                 self.nic
                     .inject_error_completion(at, &mut self.pic, &mut self.obs);
             }
+            FaultOp::RacyIncrement { addr } => {
+                // A lost update: write back the counter's previous value, as
+                // if another core's stale read-modify-write landed after the
+                // owner's increment. Silent — no trap, no protection exit —
+                // so only replay divergence can catch it.
+                self.obs.fault(at, pf.kind.code(), addr);
+                let a = addr as usize;
+                let bytes = self.mem.as_bytes();
+                if a + 4 <= bytes.len() {
+                    let val = u32::from_le_bytes(bytes[a..a + 4].try_into().unwrap());
+                    if val != 0 {
+                        let _ = self.mem.dma_write(addr, &val.wrapping_sub(1).to_le_bytes());
+                    }
+                }
+            }
         }
     }
 
@@ -420,6 +762,7 @@ impl Machine {
                         .on_rx_deliver(self.now, &mut self.mem, &mut self.pic, &mut self.obs)
                 }
                 Event::FaultInject => self.apply_fault(at),
+                Event::Ipi { target, line } => self.ipi_deliver(at, target, line),
             }
         }
     }
@@ -450,7 +793,7 @@ impl Machine {
     /// Delivers a trap architecturally through the CPU and advances time by
     /// the trap-entry cost. Returns the cycles charged.
     pub fn deliver_trap(&mut self, trap: Trap) -> u64 {
-        self.waiting = false;
+        self.seats[self.active].waiting = false;
         let c = self.cpu.take_trap(trap);
         self.now += c;
         self.process_due_events();
@@ -465,27 +808,8 @@ impl Machine {
 
     /// Executes one machine step. See [`MachineStep`] for the contract.
     pub fn step(&mut self) -> MachineStep {
-        self.process_due_events();
-
-        if self.waiting {
-            if self.pic.line_asserted() {
-                self.waiting = false;
-            } else {
-                let Some(due) = self.events.next_due() else {
-                    return MachineStep::Stuck;
-                };
-                let idle = due - self.now;
-                self.now = due;
-                self.cpu.add_cycles(idle);
-                self.process_due_events();
-                return MachineStep::Idle { cycles: idle };
-            }
-        }
-
-        if self.cpu.interrupts_enabled() {
-            if let Some((irq, vector)) = self.pic.inta() {
-                return MachineStep::Interrupt { irq, vector };
-            }
+        if let Some(decided) = self.schedule_point() {
+            return decided;
         }
 
         let mut bus = MachineBus {
@@ -497,6 +821,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -516,7 +843,7 @@ impl Machine {
             }
             StepOutcome::Wfi { cycles } => {
                 self.now += cycles + extra;
-                self.waiting = true;
+                self.seats[self.active].waiting = true;
                 self.process_due_events();
                 MachineStep::Executed {
                     cycles: cycles + extra,
@@ -553,49 +880,31 @@ impl Machine {
     /// batching is disabled entirely — a single instruction can turn
     /// interrupts on and make the request deliverable.
     pub fn run_batch(&mut self) -> Batch {
-        self.process_due_events();
-
-        if self.waiting {
-            if self.pic.line_asserted() {
-                self.waiting = false;
-            } else {
-                let Some(due) = self.events.next_due() else {
-                    return Batch {
-                        executed: 0,
-                        end: Some(MachineStep::Stuck),
-                    };
-                };
-                let idle = due - self.now;
-                self.now = due;
-                self.cpu.add_cycles(idle);
-                self.process_due_events();
-                return Batch {
-                    executed: 0,
-                    end: Some(MachineStep::Idle { cycles: idle }),
-                };
-            }
-        }
-
-        if self.cpu.interrupts_enabled() {
-            if let Some((irq, vector)) = self.pic.inta() {
-                return Batch {
-                    executed: 0,
-                    end: Some(MachineStep::Interrupt { irq, vector }),
-                };
-            }
+        if let Some(decided) = self.schedule_point() {
+            return Batch {
+                executed: 0,
+                end: Some(decided),
+            };
         }
 
         // IRR/IMR/ISR only change through MMIO, device events or external
         // injection — never through plain instructions — so `line_asserted`
         // cannot *rise* inside a batch. It can already be up with interrupts
         // masked, though, and any instruction may unmask them: single-step
-        // through that window.
-        let quantum = if self.pic.line_asserted() {
+        // through that window. Same for a pending IPI on the active core.
+        let quantum = if (self.active == 0 && self.pic.line_asserted())
+            || self.ipi.pending[self.active] != 0
+        {
             1
         } else {
             Self::BATCH_INSTRS
         };
-        let horizon = self.events.next_due();
+        // The batch must also break at the scheduler's next rotation point so
+        // batched and single-stepped runs switch cores at the same cycle.
+        let mut horizon = self.events.next_due();
+        if self.next_switch_at != u64::MAX {
+            horizon = Some(horizon.map_or(self.next_switch_at, |h| h.min(self.next_switch_at)));
+        }
 
         let mut bus = MachineBus {
             mem: &mut self.mem,
@@ -606,6 +915,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -635,7 +947,7 @@ impl Machine {
                 StepOutcome::Wfi { cycles } => {
                     self.now += cycles + extra;
                     executed += cycles + extra;
-                    self.waiting = true;
+                    self.seats[self.active].waiting = true;
                     break;
                 }
                 StepOutcome::Trapped { trap, cycles } => {
@@ -668,6 +980,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: 0,
@@ -690,6 +1005,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: 0,
@@ -709,6 +1027,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -727,6 +1048,9 @@ impl Machine {
             nic: &mut self.nic,
             events: &mut self.events,
             obs: &mut self.obs,
+            ipi: &mut self.ipi,
+            active: self.active as u32,
+            num_cores: self.seats.len() as u32,
             now: self.now,
             mmio_extra: 0,
             mmio_cost: self.cfg.mmio_access_cycles,
@@ -746,6 +1070,10 @@ pub struct MachineBus<'a> {
     nic: &'a mut Nic,
     events: &'a mut EventQueue,
     obs: &'a mut Recorder,
+    ipi: &'a mut IpiBlock,
+    /// Index of the core issuing accesses (answers `CORE_ID` reads).
+    active: u32,
+    num_cores: u32,
     now: u64,
     mmio_extra: u64,
     mmio_cost: u64,
@@ -777,6 +1105,18 @@ impl Bus for MachineBus<'_> {
         self.mmio_extra += self.mmio_cost;
         use crate::map::*;
         match page {
+            // The IPI block shares the PIC's page, above the 8259 registers.
+            PIC_BASE if off >= smp::reg::SEND => {
+                if size != MemSize::Word {
+                    return Err(BusFault::Denied);
+                }
+                match off {
+                    smp::reg::ENTRY => Ok(self.ipi.entry),
+                    smp::reg::CORE_ID => Ok(self.active),
+                    smp::reg::NUM_CORES => Ok(self.num_cores),
+                    _ => Err(BusFault::Denied),
+                }
+            }
             PIC_BASE => self.pic.read_reg(off, size),
             PIT_BASE => self.pit.read_reg(off, size, self.now),
             UART_BASE => self.uart.read_reg(off, size),
@@ -794,6 +1134,35 @@ impl Bus for MachineBus<'_> {
         self.mmio_extra += self.mmio_cost;
         use crate::map::*;
         let res = match page {
+            PIC_BASE if off >= smp::reg::SEND => {
+                if size != MemSize::Word {
+                    Err(BusFault::Denied)
+                } else {
+                    match off {
+                        smp::reg::SEND => {
+                            let target = val & 0xff;
+                            let line = (val >> 8) & 0xff;
+                            if target >= self.num_cores || line >= 8 {
+                                Err(BusFault::Denied)
+                            } else {
+                                self.events.schedule(
+                                    self.now + smp::LATENCY,
+                                    Event::Ipi {
+                                        target: target as u8,
+                                        line: line as u8,
+                                    },
+                                );
+                                Ok(())
+                            }
+                        }
+                        smp::reg::ENTRY => {
+                            self.ipi.entry = val;
+                            Ok(())
+                        }
+                        _ => Err(BusFault::Denied),
+                    }
+                }
+            }
             PIC_BASE => self.pic.write_reg(off, val, size),
             PIT_BASE => self.pit.write_reg(off, val, size, self.now, self.events),
             UART_BASE => self.uart.write_reg(off, val, size),
@@ -810,6 +1179,9 @@ impl Bus for MachineBus<'_> {
                 }
                 (HDC_BASE, _) if off % 0x40 == crate::disk::reg::CMD => {
                     self.obs.doorbell(self.now, Dev::Hdc, off);
+                }
+                (PIC_BASE, smp::reg::SEND) => {
+                    self.obs.doorbell(self.now, Dev::Pic, off);
                 }
                 _ => {}
             }
@@ -1261,6 +1633,248 @@ mod tests {
         assert_eq!(raised[map::irq::UART as usize], 0, "UART spared by default");
         assert!(raised[map::irq::PIT as usize] > 0);
         assert!(raised[map::irq::NIC_RX as usize] > 0);
+    }
+
+    /// A 2-core workload: core 0 programs the IPI entry, starts core 1,
+    /// then counts in s0; core 1 counts in s1 and mirrors it to RAM.
+    fn smp_src() -> String {
+        format!(
+            "start:  li   t0, {entry:#x}
+                     la   t1, side
+                     sw   t1, 0(t0)
+                     li   t0, {send:#x}
+                     li   t1, 1            ; line 0 -> core 1
+                     sw   t1, 0(t0)
+             main:   addi s0, s0, 1
+                     j    main
+             side:   addi s1, s1, 1
+                     sw   s1, 0x900(zero)
+                     j    side
+            ",
+            entry = map::PIC_BASE + crate::smp::reg::ENTRY,
+            send = map::PIC_BASE + crate::smp::reg::SEND,
+        )
+    }
+
+    fn smp_machine(cores: usize) -> Machine {
+        let program = hx_asm::assemble(&smp_src()).expect("smp program assembles");
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            num_cores: cores,
+            sched_quantum: 1_000,
+            ..MachineConfig::default()
+        });
+        m.load_program(&program);
+        m
+    }
+
+    #[test]
+    fn startup_ipi_brings_second_core_online() {
+        let mut m = smp_machine(2);
+        run_until(&mut m, 100_000, |m| {
+            m.core(0).reg(hx_cpu::Reg::R18) > 10 && m.core(1).reg(hx_cpu::Reg::R19) > 10
+        });
+        assert!(m.core_started(1));
+        assert!(m.mem.as_bytes()[0x900] > 0, "core 1 stored to RAM");
+        assert!(m.total_instret() > m.core(0).instret());
+    }
+
+    #[test]
+    fn second_core_stays_parked_without_ipi() {
+        // Same config but the program never sends the startup IPI.
+        let program = hx_asm::assemble("main: addi s0, s0, 1\n j main\n").unwrap();
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            num_cores: 2,
+            sched_quantum: 500,
+            ..MachineConfig::default()
+        });
+        m.load_program(&program);
+        for _ in 0..5_000 {
+            m.step();
+        }
+        assert!(!m.core_started(1));
+        assert_eq!(m.core(1).instret(), 0);
+    }
+
+    #[test]
+    fn smp_determinism_two_runs_identical() {
+        let run = || {
+            let mut m = smp_machine(4);
+            let log = run_logged(&mut m, 30_000);
+            let regs: Vec<Vec<u32>> = (0..4).map(|i| m.core(i).regs().to_vec()).collect();
+            (m.now(), regs, log, m.mem.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn smp_run_batch_matches_single_stepping() {
+        let mut stepped = smp_machine(2);
+        let mut batched = smp_machine(2);
+
+        let target = 300_000;
+        while batched.now() < target {
+            let batch = batched.run_batch();
+            match batch.end {
+                Some(MachineStep::Interrupt { vector, .. }) => {
+                    let t = batched.interrupt_trap(vector);
+                    batched.deliver_trap(t);
+                }
+                Some(MachineStep::Trapped { trap, .. }) => {
+                    batched.deliver_trap(trap);
+                }
+                Some(MachineStep::Stuck) => panic!("machine stuck"),
+                _ => {}
+            }
+        }
+        while stepped.now() < batched.now() {
+            match stepped.step() {
+                MachineStep::Interrupt { vector, .. } => {
+                    let t = stepped.interrupt_trap(vector);
+                    stepped.deliver_trap(t);
+                }
+                MachineStep::Trapped { trap, .. } => {
+                    stepped.deliver_trap(trap);
+                }
+                MachineStep::Stuck => panic!("machine stuck"),
+                _ => {}
+            }
+        }
+        assert_eq!(stepped.now(), batched.now(), "same instruction boundary");
+        assert_eq!(stepped.active_core(), batched.active_core());
+        for c in 0..2 {
+            assert_eq!(stepped.core(c).pc(), batched.core(c).pc(), "core {c} pc");
+            assert_eq!(stepped.core(c).instret(), batched.core(c).instret());
+            for i in 0..32 {
+                let r = hx_cpu::Reg::new(i).unwrap();
+                assert_eq!(stepped.core(c).reg(r), batched.core(c).reg(r));
+            }
+        }
+        assert_eq!(stepped.mem, batched.mem);
+        assert!(
+            stepped.core(1).instret() > 0,
+            "core 1 actually ran in the comparison window"
+        );
+    }
+
+    #[test]
+    fn non_startup_ipi_interrupts_target_core() {
+        // Core 0 starts core 1 at `side`, which enables interrupts with a
+        // handler that bumps s2, then spins; core 0 fires IPI line 2 at it.
+        let src = format!(
+            "        .org 0x100
+             handler:
+                     addi s2, s2, 1
+                     tret
+             start:  li   t0, {entry:#x}
+                     la   t1, side
+                     sw   t1, 0(t0)
+                     li   t0, {send:#x}
+                     li   t1, 1            ; startup -> core 1
+                     sw   t1, 0(t0)
+                     li   t2, 2000
+             delay:  addi t2, t2, -1
+                     bnez t2, delay
+                     li   t1, 0x201        ; line 2 -> core 1
+                     sw   t1, 0(t0)
+             main:   j    main
+             side:   la   t0, handler
+                     csrw tvec, t0
+                     csrw status, 1        ; IE
+             spin:   addi s1, s1, 1
+                     j    spin
+            ",
+            entry = map::PIC_BASE + crate::smp::reg::ENTRY,
+            send = map::PIC_BASE + crate::smp::reg::SEND,
+        );
+        let program = hx_asm::assemble(&src).unwrap();
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            num_cores: 2,
+            sched_quantum: 500,
+            ..MachineConfig::default()
+        });
+        program.load_into(m.mem.as_bytes_mut());
+        m.cpu.set_pc(program.symbols.get("start").unwrap());
+        run_until(&mut m, 200_000, |m| m.core(1).reg(hx_cpu::Reg::R20) >= 1);
+        assert_eq!(m.ipi().delivered, 1, "one non-startup IPI was delivered");
+        assert_eq!(m.core(0).reg(hx_cpu::Reg::R20), 0, "core 0 untouched");
+    }
+
+    #[test]
+    fn ipi_registers_validate_and_read_back() {
+        let mut m = smp_machine(2);
+        let send = map::PIC_BASE + crate::smp::reg::SEND;
+        // Invalid target / line are denied.
+        assert_eq!(
+            m.bus_write(send, 7, MemSize::Word),
+            Err(BusFault::Denied),
+            "target beyond num_cores"
+        );
+        assert_eq!(
+            m.bus_write(send, (9 << 8) | 1, MemSize::Word),
+            Err(BusFault::Denied),
+            "line beyond 7"
+        );
+        assert_eq!(
+            m.bus_write(send, 1, MemSize::Byte),
+            Err(BusFault::Denied),
+            "sub-word access"
+        );
+        // CORE_ID / NUM_CORES / ENTRY read back.
+        m.bus_write(
+            map::PIC_BASE + crate::smp::reg::ENTRY,
+            0x1234,
+            MemSize::Word,
+        )
+        .unwrap();
+        assert_eq!(
+            m.bus_read(map::PIC_BASE + crate::smp::reg::ENTRY, MemSize::Word)
+                .unwrap(),
+            0x1234
+        );
+        assert_eq!(
+            m.bus_read(map::PIC_BASE + crate::smp::reg::CORE_ID, MemSize::Word)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            m.bus_read(map::PIC_BASE + crate::smp::reg::NUM_CORES, MemSize::Word)
+                .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_core_config_ignores_smp_fields() {
+        // A 1-core machine built with an SMP-era config behaves exactly like
+        // the classic one: the scheduler never rotates.
+        let src = format!(
+            "start:  li   t0, {pit:#x}
+                     li   t1, 300
+                     sw   t1, 4(t0)
+                     li   t1, 3
+                     sw   t1, 0(t0)
+                     csrw status, 1
+             spin:   addi s1, s1, 1
+                     j    spin
+            ",
+            pit = map::PIT_BASE
+        );
+        let run = |quantum| {
+            let program = hx_asm::assemble(&src).unwrap();
+            let mut m = Machine::new(MachineConfig {
+                ram_size: 1 << 20,
+                num_cores: 1,
+                sched_quantum: quantum,
+                ..MachineConfig::default()
+            });
+            m.load_program(&program);
+            let log = run_logged(&mut m, 5_000);
+            (m.now(), m.cpu.regs().to_vec(), log)
+        };
+        assert_eq!(run(64), run(1_000_000), "quantum is inert on one core");
     }
 
     #[test]

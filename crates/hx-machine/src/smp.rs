@@ -1,0 +1,102 @@
+//! SMP support: the inter-processor-interrupt block and scheduler constants.
+//!
+//! A multi-core [`Machine`](crate::Machine) time-multiplexes its vCPUs on
+//! one simulated clock with a fixed round-robin quantum (see
+//! `DESIGN.md` §14). Cores talk to each other through the IPI block, a
+//! small register file living on the PIC's MMIO page above the 8259-style
+//! registers:
+//!
+//! | offset | register | access | meaning |
+//! |--------|----------|--------|---------|
+//! | [`reg::SEND`]      | IPI_SEND   | W | `target \| line << 8`: latch IPI `line` on core `target` after [`LATENCY`] cycles |
+//! | [`reg::ENTRY`]     | IPI_ENTRY  | RW | entry PC a startup IPI (line 0) hands to the woken core |
+//! | [`reg::CORE_ID`]   | CORE_ID    | R | index of the core performing the read |
+//! | [`reg::NUM_CORES`] | NUM_CORES  | R | configured core count |
+//!
+//! Line 0 is the **startup IPI**: the first one a parked secondary core
+//! receives marks it started at `IPI_ENTRY`. Lines 1–7 latch into the
+//! target's per-core pending mask and are delivered as interrupt vectors
+//! [`VECTOR_BASE`]` + line` when that core next runs with interrupts
+//! enabled — entirely independent of the global PIC, which stays wired to
+//! core 0 only (the board routes all device lines there, as single-core
+//! systems always did; this is what keeps single-core behaviour
+//! bit-identical).
+//!
+//! Delivery rides the machine's deterministic event queue
+//! ([`Event::Ipi`](crate::Event)), so an SMP run is still a pure function
+//! of (program, config) and replays byte-identically.
+
+/// IPI register offsets within the PIC page (above [`crate::pic::reg`]).
+pub mod reg {
+    /// Write `target | line << 8` to send an IPI (write-only).
+    pub const SEND: u32 = 0x14;
+    /// Entry PC handed to a core woken by a startup IPI (read/write).
+    pub const ENTRY: u32 = 0x18;
+    /// Index of the reading core (read-only).
+    pub const CORE_ID: u32 = 0x1c;
+    /// Configured core count (read-only).
+    pub const NUM_CORES: u32 = 0x20;
+}
+
+/// Cycles between an `IPI_SEND` write and the IPI latching at the target —
+/// the modeled APIC-bus latency. Fixed, so delivery order is deterministic.
+pub const LATENCY: u64 = 64;
+
+/// Pseudo-IRQ number space for IPIs as surfaced by
+/// [`MachineStep::Interrupt`](crate::MachineStep): `irq = IRQ_BASE + line`.
+/// The global PIC owns 0–7; anything at or above this is an IPI.
+pub const IRQ_BASE: u8 = 8;
+
+/// Vector delivered for IPI `line`: `VECTOR_BASE + line` (the global PIC's
+/// default vectors occupy 32–39).
+pub const VECTOR_BASE: u8 = 48;
+
+/// Hard cap on configurable cores (tooling validates against this).
+pub const MAX_CORES: usize = 8;
+
+/// Encodes an `IPI_SEND` register value.
+pub fn send_word(target: u32, line: u32) -> u32 {
+    (line << 8) | target
+}
+
+/// The machine's IPI block: per-core pending lines plus the startup entry
+/// register. `Clone`/`PartialEq` so flight-recorder snapshots capture
+/// in-flight IPI state exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IpiBlock {
+    /// Latched-but-undelivered IPI lines, one mask per core (bit = line).
+    pub pending: Vec<u8>,
+    /// Startup entry PC (`IPI_ENTRY`).
+    pub entry: u32,
+    /// Total IPIs accepted for delivery (statistics).
+    pub delivered: u64,
+}
+
+impl IpiBlock {
+    /// Creates a block for `cores` cores with nothing pending.
+    pub fn new(cores: usize) -> IpiBlock {
+        IpiBlock {
+            pending: vec![0; cores],
+            entry: 0,
+            delivered: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_word_packs_fields() {
+        assert_eq!(send_word(3, 2), 0x203);
+        assert_eq!(send_word(0, 0), 0);
+    }
+
+    #[test]
+    fn block_starts_empty() {
+        let b = IpiBlock::new(4);
+        assert_eq!(b.pending, vec![0; 4]);
+        assert_eq!(b.entry, 0);
+    }
+}

@@ -104,6 +104,10 @@ pub struct EventRecord {
     pub at: u64,
     /// The event.
     pub ev: JournalEvent,
+    /// Core that was executing when the event was observed. Serialized as a
+    /// trailing `c<N>` token only when nonzero, so single-core journal text
+    /// is byte-identical to the pre-SMP format.
+    pub core: u8,
 }
 
 /// A complete flight-recorder journal for one run.
@@ -111,6 +115,9 @@ pub struct EventRecord {
 pub struct Journal {
     /// Name of the platform that recorded the run ("lvmm", "real-hw", …).
     pub platform: String,
+    /// Core count of the recording machine. Serialized as a `cores` header
+    /// key only when above 1 (0 and 1 both mean "classic single-core").
+    pub cores: u32,
     /// Free-form workload note (e.g. "streaming:100"), for sanity checks.
     pub note: String,
     /// Cycle the recording was sealed at (0 until [`Journal::seal`]).
@@ -177,9 +184,14 @@ impl Journal {
         self.inputs.push(InputRecord { at, input });
     }
 
-    /// Appends an observed-event record.
+    /// Appends an observed-event record attributed to core 0.
     pub fn event(&mut self, at: u64, ev: JournalEvent) {
-        self.events.push(EventRecord { at, ev });
+        self.event_on(at, ev, 0);
+    }
+
+    /// Appends an observed-event record attributed to `core`.
+    pub fn event_on(&mut self, at: u64, ev: JournalEvent, core: u8) {
+        self.events.push(EventRecord { at, ev, core });
     }
 
     /// Marks the cycle the recording stops at; replay runs to this cycle.
@@ -211,6 +223,9 @@ impl Journal {
         let mut out = String::new();
         out.push_str("# lwvmm journal v1\n");
         out.push_str(&format!("platform {}\n", self.platform));
+        if self.cores > 1 {
+            out.push_str(&format!("cores {}\n", self.cores));
+        }
         if !self.note.is_empty() {
             out.push_str(&format!("note {}\n", self.note));
         }
@@ -240,29 +255,33 @@ impl Journal {
                 let r = &self.events[e];
                 match r.ev {
                     JournalEvent::Irq { dev, irq } => {
-                        out.push_str(&format!("E {} irq {} {}\n", r.at, dev_label(dev), irq));
+                        out.push_str(&format!("E {} irq {} {}", r.at, dev_label(dev), irq));
                     }
                     JournalEvent::Dma { dev, bytes, digest } => {
                         out.push_str(&format!(
-                            "E {} dma {} {} {digest:016x}\n",
+                            "E {} dma {} {} {digest:016x}",
                             r.at,
                             dev_label(dev),
                             bytes
                         ));
                     }
                     JournalEvent::Doorbell { dev, reg } => {
-                        out.push_str(&format!("E {} bell {} {}\n", r.at, dev_label(dev), reg));
+                        out.push_str(&format!("E {} bell {} {}", r.at, dev_label(dev), reg));
                     }
                     JournalEvent::DebugCommand { code } => {
-                        out.push_str(&format!("E {} cmd {}\n", r.at, code));
+                        out.push_str(&format!("E {} cmd {}", r.at, code));
                     }
                     JournalEvent::Fault { code, arg } => {
-                        out.push_str(&format!("E {} fault {} {}\n", r.at, code, arg));
+                        out.push_str(&format!("E {} fault {} {}", r.at, code, arg));
                     }
                     JournalEvent::Log { addr, value } => {
-                        out.push_str(&format!("E {} log {} {}\n", r.at, addr, value));
+                        out.push_str(&format!("E {} log {} {}", r.at, addr, value));
                     }
                 }
+                if r.core != 0 {
+                    out.push_str(&format!(" c{}", r.core));
+                }
+                out.push('\n');
                 e += 1;
             }
         }
@@ -291,6 +310,12 @@ impl Journal {
             let tag = w.next().unwrap_or_default();
             match tag {
                 "platform" => j.platform = w.next().unwrap_or_default().to_string(),
+                "cores" => {
+                    j.cores = w
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line, "bad core count"))?;
+                }
                 "note" => j.note = l["note".len()..].trim().to_string(),
                 "end" => {
                     j.end = w
@@ -388,7 +413,15 @@ impl Journal {
                         }
                         _ => return Err(err(line, "unknown event kind")),
                     };
-                    j.events.push(EventRecord { at, ev });
+                    // Optional trailing `c<N>` core token (absent == core 0).
+                    let core = match w.next() {
+                        None => 0,
+                        Some(tok) => tok
+                            .strip_prefix('c')
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| err(line, "bad core token"))?,
+                    };
+                    j.events.push(EventRecord { at, ev, core });
                 }
                 _ => return Err(err(line, "unknown record tag")),
             }
@@ -675,10 +708,14 @@ mod tests {
                 "[a-z0-9:]{0,12}",
                 any::<u64>(),
                 proptest::collection::vec((any::<u64>(), arb_input()), 0..12),
-                proptest::collection::vec((any::<u64>(), arb_event()), 0..12),
+                proptest::collection::vec((any::<u64>(), arb_event(), 0u8..4), 0..12),
+                // `cores` of 1 is normalized away by save (it means the same
+                // as unset), so the round-trip strategy skips it.
+                prop_oneof![Just(0u32), 2u32..5],
             )
-                .prop_map(|(platform, note, end, inputs, events)| Journal {
+                .prop_map(|(platform, note, end, inputs, events, cores)| Journal {
                     platform,
+                    cores,
                     note,
                     end,
                     inputs: inputs
@@ -687,7 +724,7 @@ mod tests {
                         .collect(),
                     events: events
                         .into_iter()
-                        .map(|(at, ev)| EventRecord { at, ev })
+                        .map(|(at, ev, core)| EventRecord { at, ev, core })
                         .collect(),
                 })
         }

@@ -94,6 +94,13 @@ pub struct Profiler {
     unknown_samples: u64,
     /// Symbol index at the most recent instruction boundary.
     cur: Option<usize>,
+    /// Core charges are currently attributed to (set by the recorder at
+    /// vCPU-scheduler switches; stays 0 on single-core machines).
+    core: u8,
+    /// Per-core guest cycles: outer index is the core, inner rows are
+    /// index-parallel with `symbols` plus one trailing `[unknown]` slot.
+    /// Rows are grown lazily, so a single-core run only ever touches row 0.
+    per_core: Vec<Vec<u64>>,
     /// Guest cycles accumulated towards the next sample.
     acc: u64,
     /// Injected-but-not-yet-EOI'd virtual interrupts, innermost last.
@@ -124,6 +131,8 @@ impl Profiler {
             unknown_cycles: 0,
             unknown_samples: 0,
             cur: None,
+            core: 0,
+            per_core: Vec::new(),
             acc: 0,
             pending_irq: Vec::new(),
             irq_latency: BTreeMap::new(),
@@ -147,13 +156,28 @@ impl Profiler {
         self.cur = self.symbols.index_of(pc);
     }
 
-    /// Attributes `cycles` of guest time to the current symbol and advances
-    /// the deterministic sampler.
+    /// Points attribution at `core` (see [`Profiler::per_core`]).
+    pub fn set_core(&mut self, core: u8) {
+        self.core = core;
+    }
+
+    /// Attributes `cycles` of guest time to the current symbol — both in
+    /// the flat totals and in the current core's row — and advances the
+    /// deterministic sampler.
     pub fn charge_guest(&mut self, cycles: u64) {
         match self.cur {
             Some(i) => self.cycles[i] += cycles,
             None => self.unknown_cycles += cycles,
         }
+        let core = self.core as usize;
+        if self.per_core.len() <= core {
+            self.per_core.resize_with(core + 1, Vec::new);
+        }
+        let row = &mut self.per_core[core];
+        if row.is_empty() {
+            row.resize(self.symbols.len() + 1, 0);
+        }
+        row[self.cur.unwrap_or(self.symbols.len())] += cycles;
         self.acc += cycles;
         while self.acc >= self.interval {
             self.acc -= self.interval;
@@ -225,8 +249,38 @@ impl Profiler {
         self.fold_prefixed("")
     }
 
+    /// Number of cores that have been charged guest cycles (1 on every
+    /// single-core run).
+    pub fn cores_seen(&self) -> usize {
+        self.per_core.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Exact per-(core, symbol) guest cycles in (core, address) order;
+    /// zero entries are skipped and the `[unknown]` bucket is labeled like
+    /// in [`Profiler::top`]. A single-core run reports one core-0 row per
+    /// active symbol.
+    pub fn per_core(&self) -> Vec<(u8, &str, u64)> {
+        let mut rows = Vec::new();
+        for (core, row) in self.per_core.iter().enumerate() {
+            for (i, &cycles) in row.iter().enumerate() {
+                if cycles == 0 {
+                    continue;
+                }
+                let name = self
+                    .symbols
+                    .syms
+                    .get(i)
+                    .map_or("[unknown]", |s| s.name.as_str());
+                rows.push((core as u8, name, cycles));
+            }
+        }
+        rows
+    }
+
     /// [`Profiler::fold`] with a stack prefix (e.g. `"lvmm;"`), letting one
-    /// file merge several platforms' profiles.
+    /// file merge several platforms' profiles. When more than one core was
+    /// charged, per-core `core<N>;guest;symbol` stacks follow the flat ones
+    /// (a single-core fold is byte-identical to the pre-SMP output).
     pub fn fold_prefixed(&self, prefix: &str) -> String {
         let mut out = String::new();
         for (i, s) in self.symbols.syms.iter().enumerate() {
@@ -236,6 +290,11 @@ impl Profiler {
         }
         if self.unknown_cycles > 0 {
             let _ = writeln!(out, "{prefix}guest;[unknown] {}", self.unknown_cycles);
+        }
+        if self.cores_seen() > 1 {
+            for (core, name, cycles) in self.per_core() {
+                let _ = writeln!(out, "{prefix}core{core};guest;{name} {cycles}");
+            }
         }
         out
     }
@@ -248,6 +307,7 @@ impl Profiler {
         self.samples.iter_mut().for_each(|c| *c = 0);
         self.unknown_cycles = 0;
         self.unknown_samples = 0;
+        self.per_core.clear();
         self.acc = 0;
         self.pending_irq.clear();
         self.irq_latency.clear();

@@ -31,8 +31,14 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct Recorder {
     tracing: bool,
+    /// Core currently executing; stays 0 forever on a single-core machine,
+    /// so nothing downstream (journal text, profiler folds) changes shape.
+    active_core: u8,
     pub ring: TraceRing,
     pub exits: ExitHists,
+    /// Exit count per core, indexed by core id and grown lazily — stays
+    /// `[total]`-shaped on a single-core machine.
+    core_exits: Vec<u64>,
     pub spans: SpanTrack,
     /// Boxed so an idle recorder stays one pointer wide; `None` unless
     /// record mode was enabled.
@@ -49,8 +55,10 @@ impl Default for Recorder {
     fn default() -> Self {
         Recorder {
             tracing: false,
+            active_core: 0,
             ring: TraceRing::new(TraceRing::DEFAULT_CAPACITY),
             exits: ExitHists::default(),
+            core_exits: Vec::new(),
             spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
             journal: None,
             prof: None,
@@ -62,6 +70,32 @@ impl Default for Recorder {
 impl Recorder {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Notes a vCPU-scheduler switch: journal events recorded and guest
+    /// cycles charged from here on belong to core `core`.
+    pub fn set_active_core(&mut self, core: u8) {
+        self.active_core = core;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.set_core(core);
+        }
+    }
+
+    /// The core the recorder currently attributes to.
+    pub fn active_core(&self) -> u8 {
+        self.active_core
+    }
+
+    /// Exit counts per core (indexed by core id; a core with no exits yet
+    /// may be beyond the end). Single-core machines see one entry equal to
+    /// the total.
+    pub fn core_exit_counts(&self) -> &[u64] {
+        &self.core_exits
+    }
+
+    /// Exit count for core `i` (0 when the core has recorded none).
+    pub fn core_exit_count(&self, i: usize) -> u64 {
+        self.core_exits.get(i).copied().unwrap_or(0)
     }
 
     /// Turn event/span tracing on (metrics are always on).
@@ -179,8 +213,9 @@ impl Recorder {
     }
 
     fn journal_event(&mut self, at: u64, ev: JournalEvent) {
+        let core = self.active_core;
         if let Some(j) = self.journal.as_deref_mut() {
-            j.event(at, ev);
+            j.event_on(at, ev, core);
         }
     }
 
@@ -196,6 +231,11 @@ impl Recorder {
     /// (always) and the event ring (when tracing).
     pub fn exit(&mut self, at: u64, cause: ExitCause, cycles: u64) {
         self.exits.record(cause, cycles);
+        let core = self.active_core as usize;
+        if core >= self.core_exits.len() {
+            self.core_exits.resize(core + 1, 0);
+        }
+        self.core_exits[core] += 1;
         if self.tracing {
             self.ring.push(TraceEvent {
                 at,
@@ -272,6 +312,7 @@ impl Recorder {
         self.ring.clear();
         self.spans.clear();
         self.exits = ExitHists::default();
+        self.core_exits.clear();
         if let Some(p) = self.prof.as_deref_mut() {
             p.reset_counts();
         }
@@ -291,6 +332,20 @@ mod tests {
         assert_eq!(r.exits.get(ExitCause::Mmio).count(), 1);
         assert!(r.ring.is_empty());
         assert!(r.spans.spans().is_empty());
+    }
+
+    #[test]
+    fn exits_attribute_to_the_active_core() {
+        let mut r = Recorder::new();
+        r.exit(10, ExitCause::Mmio, 5);
+        r.set_active_core(2);
+        r.exit(20, ExitCause::Privileged, 5);
+        r.exit(30, ExitCause::Mmio, 5);
+        assert_eq!(r.core_exit_counts(), &[1, 0, 2]);
+        assert_eq!(r.core_exit_count(1), 0);
+        assert_eq!(r.core_exit_count(7), 0);
+        r.reset();
+        assert!(r.core_exit_counts().is_empty());
     }
 
     #[test]

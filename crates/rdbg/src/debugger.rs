@@ -46,6 +46,7 @@ pub fn err_name(code: u8) -> Option<&'static str> {
         7 => "profiler unavailable",
         8 => "bad query expression",
         10 => "metrics unavailable",
+        11 => "no such core",
         _ => return None,
     })
 }
@@ -114,7 +115,8 @@ const DRAIN_QUIET: usize = 4;
 pub struct Debugger<L> {
     link: L,
     parser: PacketParser,
-    stops: VecDeque<StopReason>,
+    stops: VecDeque<(StopReason, u8)>,
+    last_core: u8,
     pump_budget: usize,
 }
 
@@ -125,6 +127,7 @@ impl<L: Link> Debugger<L> {
             link,
             parser: PacketParser::new(),
             stops: VecDeque::new(),
+            last_core: 0,
             pump_budget: PUMP_BUDGET,
         }
     }
@@ -443,6 +446,37 @@ impl<L: Link> Debugger<L> {
         self.expect_ok(&Command::Reset)
     }
 
+    /// Selects the core subsequent register/memory commands operate on
+    /// (GDB's `Hg`). Core 0 is the boot core and the default selection.
+    ///
+    /// # Errors
+    ///
+    /// [`DbgError::Target`] with the `no such core` code when the index is
+    /// out of range.
+    pub fn set_thread(&mut self, core: u32) -> Result<(), DbgError> {
+        self.expect_ok(&Command::SetThread { core })
+    }
+
+    /// Asks whether a core exists and has been started (GDB's `T`). A
+    /// target error means "not alive", mirroring GDB remote semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors and timeouts only.
+    pub fn thread_alive(&mut self, core: u32) -> Result<bool, DbgError> {
+        match self.transact(&Command::ThreadAlive { core })? {
+            Reply::Ok => Ok(true),
+            Reply::Error(_) => Ok(false),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The core the most recent stop happened on (0 until a stop carrying
+    /// a core id has been seen; single-core targets never send one).
+    pub fn last_stop_core(&self) -> u8 {
+        self.last_core
+    }
+
     /// Samples the monitor's live cycle accounting and exit counters.
     ///
     /// Unlike every other query this works while the guest is *running*:
@@ -513,7 +547,8 @@ impl<L: Link> Debugger<L> {
     ///
     /// [`DbgError::Timeout`] when the pump budget runs out.
     pub fn wait_stop(&mut self) -> Result<StopReason, DbgError> {
-        if let Some(r) = self.stops.pop_front() {
+        if let Some((r, core)) = self.stops.pop_front() {
+            self.last_core = core;
             return Ok(r);
         }
         let mut idle = 0;
@@ -529,7 +564,8 @@ impl<L: Link> Debugger<L> {
                 match ev {
                     WireEvent::Packet(p) => {
                         self.link.send(&[ACK]);
-                        if let Some(Reply::Stopped(r)) = Reply::parse(&p) {
+                        if let Some((r, core)) = StopReason::parse_with_core(&p) {
+                            self.last_core = core;
                             return Ok(r);
                         }
                     }
@@ -545,7 +581,8 @@ impl<L: Link> Debugger<L> {
     /// Polls for a stop without blocking: pumps once and returns any stop
     /// received so far.
     pub fn poll_stop(&mut self) -> Option<StopReason> {
-        if let Some(r) = self.stops.pop_front() {
+        if let Some((r, core)) = self.stops.pop_front() {
+            self.last_core = core;
             return Some(r);
         }
         let bytes = self.link.pump();
@@ -553,7 +590,8 @@ impl<L: Link> Debugger<L> {
         while let Some(ev) = self.parser.next_event() {
             if let WireEvent::Packet(p) = ev {
                 self.link.send(&[ACK]);
-                if let Some(Reply::Stopped(r)) = Reply::parse(&p) {
+                if let Some((r, core)) = StopReason::parse_with_core(&p) {
+                    self.last_core = core;
                     return Some(r);
                 }
             }
@@ -607,7 +645,11 @@ impl<L: Link> Debugger<L> {
                         WireEvent::Packet(p) => {
                             self.link.send(&[ACK]);
                             match Reply::parse(&p) {
-                                Some(Reply::Stopped(r)) => self.stops.push_back(r),
+                                Some(Reply::Stopped(r)) => {
+                                    let core =
+                                        StopReason::parse_with_core(&p).map_or(0, |(_, c)| c);
+                                    self.stops.push_back((r, core));
+                                }
                                 Some(reply) => return Ok(reply),
                                 None => {
                                     return Err(DbgError::Protocol(format!(
@@ -655,8 +697,8 @@ impl<L: Link> Debugger<L> {
                 match ev {
                     WireEvent::Packet(p) => {
                         self.link.send(&[ACK]);
-                        if let Some(Reply::Stopped(r)) = Reply::parse(&p) {
-                            self.stops.push_back(r);
+                        if let Some((r, core)) = StopReason::parse_with_core(&p) {
+                            self.stops.push_back((r, core));
                         }
                     }
                     // Stale *and* mangled: nothing worth recovering, and a

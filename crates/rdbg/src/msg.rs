@@ -196,6 +196,18 @@ pub enum Command {
         /// Target simulated cycle.
         cycle: u64,
     },
+    /// Select which core subsequent register/memory commands operate on
+    /// (GDB's `Hg<thread>`). Core 0 is the boot core and the default.
+    SetThread {
+        /// Core index to select.
+        core: u32,
+    },
+    /// Ask whether a core exists and has been started (GDB's `T<thread>`).
+    /// Answered `OK` for a live core, an error otherwise.
+    ThreadAlive {
+        /// Core index to probe.
+        core: u32,
+    },
 }
 
 impl Command {
@@ -238,6 +250,8 @@ impl Command {
             Command::ReverseStep => "bs".into(),
             Command::ReverseContinue => "bc".into(),
             Command::Seek { cycle } => format!("bg{cycle:x}"),
+            Command::SetThread { core } => format!("Hg{core:x}"),
+            Command::ThreadAlive { core } => format!("T{core:x}"),
         }
     }
 
@@ -249,6 +263,14 @@ impl Command {
         let rest = |p: &str| payload.get(p.len()..).map(str::to_string);
         match payload.chars().next()? {
             'H' if payload == "H" => Some(Command::Halt),
+            'H' => {
+                let core = u32::from_str_radix(payload.strip_prefix("Hg")?, 16).ok()?;
+                Some(Command::SetThread { core })
+            }
+            'T' => {
+                let core = u32::from_str_radix(payload.strip_prefix('T')?, 16).ok()?;
+                Some(Command::ThreadAlive { core })
+            }
             '?' if payload == "?" => Some(Command::QueryStop),
             'g' if payload == "g" => Some(Command::ReadRegisters),
             's' if payload == "s" => Some(Command::Step),
@@ -387,6 +409,15 @@ pub struct StatsSample {
     /// Wild writes blocked by memory protection (lvmm only; the hosted
     /// monitor and raw hardware let them through).
     pub fault_blocked: u64,
+    /// Number of guest cores. Zero or one means a single-core target; the
+    /// per-core fields below travel (and are meaningful) only when this is
+    /// greater than one, which keeps single-core wire traffic byte-identical
+    /// to pre-SMP stubs.
+    pub cores: u64,
+    /// Instructions retired per core, core 0 first (SMP targets only).
+    pub core_instret: Vec<u64>,
+    /// Guest exits handled per core, core 0 first (SMP targets only).
+    pub core_exits: Vec<u64>,
 }
 
 impl StatsSample {
@@ -394,7 +425,7 @@ impl StatsSample {
     pub fn format(&self) -> String {
         let exits: Vec<String> = self.exits.iter().map(|c| format!("{c:x}")).collect();
         let faults: Vec<String> = self.faults.iter().map(|c| format!("{c:x}")).collect();
-        format!(
+        let mut out = format!(
             "S{:x};g:{:x};m:{:x};h:{:x};i:{:x};dh:{:x};dm:{:x};df:{:x};dv:{:x};x:{};f:{};fb:{:x}",
             self.now,
             self.guest,
@@ -408,7 +439,20 @@ impl StatsSample {
             exits.join(","),
             faults.join(","),
             self.fault_blocked
-        )
+        );
+        // SMP extension keys: emitted only for multi-core targets so a
+        // single-core sample is byte-identical to the pre-SMP encoding.
+        if self.cores > 1 {
+            let ci: Vec<String> = self.core_instret.iter().map(|c| format!("{c:x}")).collect();
+            let cx: Vec<String> = self.core_exits.iter().map(|c| format!("{c:x}")).collect();
+            out.push_str(&format!(
+                ";nc:{:x};ci:{};cx:{}",
+                self.cores,
+                ci.join(","),
+                cx.join(",")
+            ));
+        }
+        out
     }
 
     /// Parses an `S…` payload.
@@ -442,6 +486,17 @@ impl StatsSample {
                     }
                 }
                 "fb" => sample.fault_blocked = u64::from_str_radix(v, 16).ok()?,
+                "nc" => sample.cores = u64::from_str_radix(v, 16).ok()?,
+                "ci" if !v.is_empty() => {
+                    for c in v.split(',') {
+                        sample.core_instret.push(u64::from_str_radix(c, 16).ok()?);
+                    }
+                }
+                "cx" if !v.is_empty() => {
+                    for c in v.split(',') {
+                        sample.core_exits.push(u64::from_str_radix(c, 16).ok()?);
+                    }
+                }
                 _ => {}
             }
         }
@@ -663,6 +718,29 @@ impl StopReason {
         }
     }
 
+    /// Formats as a `T…` payload that also names the core the stop happened
+    /// on. Core 0 produces the plain (pre-SMP) encoding, so single-core
+    /// stubs stay byte-identical on the wire; parsers that predate the `c:`
+    /// key skip it as an unknown field.
+    pub fn format_on(&self, core: u8) -> String {
+        let mut out = self.format();
+        if core != 0 {
+            out.push_str(&format!(";c:{core:x}"));
+        }
+        out
+    }
+
+    /// Parses a `T…` payload together with the core it stopped on (`c:`
+    /// key; absent means core 0).
+    pub fn parse_with_core(payload: &str) -> Option<(StopReason, u8)> {
+        let reason = StopReason::parse(payload)?;
+        let core = payload
+            .split(';')
+            .find_map(|part| part.strip_prefix("c:"))
+            .map_or(Some(0), |v| u8::from_str_radix(v, 16).ok())?;
+        Some((reason, core))
+    }
+
     /// Parses a `T…` payload.
     pub fn parse(payload: &str) -> Option<StopReason> {
         let body = payload.strip_prefix('T')?;
@@ -877,6 +955,9 @@ mod tests {
         );
         assert_eq!(Command::parse("qStats"), Some(Command::QueryStats));
         assert_eq!(Command::parse("qMetrics"), Some(Command::QueryMetrics));
+        assert_eq!(Command::parse("H"), Some(Command::Halt));
+        assert_eq!(Command::parse("Hg1"), Some(Command::SetThread { core: 1 }));
+        assert_eq!(Command::parse("T2"), Some(Command::ThreadAlive { core: 2 }));
         assert_eq!(
             Command::parse("qProfa"),
             Some(Command::QueryProf { max: 10 })
@@ -902,6 +983,11 @@ mod tests {
             "Ql,104,6869",
             "Qx,104,00",
             "Qq,xyz",
+            "Hg",
+            "Hgzz",
+            "Hx1",
+            "T",
+            "Tzz",
         ] {
             assert_eq!(Command::parse(bad), None, "{bad:?}");
         }
@@ -922,12 +1008,25 @@ mod tests {
             exits: vec![4, 0, 0x99],
             faults: vec![2, 0, 1],
             fault_blocked: 1,
+            ..StatsSample::default()
         };
+        // A single-core sample never emits the SMP keys: the wire bytes are
+        // identical to the pre-SMP encoding.
+        assert!(!s.format().contains(";nc:"));
         assert_eq!(StatsSample::parse(&s.format()), Some(s.clone()));
         assert_eq!(
             Reply::parse(&Reply::Stats(s.clone()).format()),
-            Some(Reply::Stats(s))
+            Some(Reply::Stats(s.clone()))
         );
+        // A multi-core sample carries per-core instruction and exit counts.
+        let smp = StatsSample {
+            cores: 2,
+            core_instret: vec![0x100, 0x80],
+            core_exits: vec![9, 3],
+            ..s
+        };
+        assert!(smp.format().contains(";nc:2;ci:100,80;cx:9,3"));
+        assert_eq!(StatsSample::parse(&smp.format()), Some(smp));
         // No exit counters at all is representable.
         let empty = StatsSample {
             now: 5,
@@ -1012,6 +1111,14 @@ mod tests {
         assert_eq!(StopReason::parse("T1"), None, "missing pc");
         assert_eq!(StopReason::parse("T3;pc:4"), None, "missing addr");
         assert!(format!("{r}").contains("watchpoint"));
+        // Core 0 keeps the plain (pre-SMP) encoding; other cores append a
+        // `c:` key that core-unaware parsers skip.
+        assert_eq!(r.format_on(0), r.format());
+        assert_eq!(r.format_on(3), format!("{};c:3", r.format()));
+        assert_eq!(StopReason::parse(&r.format_on(3)), Some(r));
+        assert_eq!(StopReason::parse_with_core(&r.format_on(3)), Some((r, 3)));
+        assert_eq!(StopReason::parse_with_core(&r.format()), Some((r, 0)));
+        assert_eq!(StopReason::parse_with_core("T3;pc:4;addr:8;c:zz"), None);
     }
 
     #[test]
@@ -1074,6 +1181,8 @@ mod tests {
             Just(Command::ReverseStep),
             Just(Command::ReverseContinue),
             any::<u64>().prop_map(|cycle| Command::Seek { cycle }),
+            any::<u32>().prop_map(|core| Command::SetThread { core }),
+            any::<u32>().prop_map(|core| Command::ThreadAlive { core }),
         ]
     }
 
@@ -1095,20 +1204,28 @@ mod tests {
 
     fn arb_stats() -> impl Strategy<Value = StatsSample> {
         (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
             (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
             (
                 proptest::collection::vec(any::<u64>(), 0..12),
                 proptest::collection::vec(any::<u64>(), 0..6),
                 any::<u64>(),
             ),
+            arb_stats_smp(),
         )
             .prop_map(
-                |(now, guest, monitor, host, idle, (dh, dm, df, dv), (exits, faults, fb))| {
+                |(
+                    (now, guest, monitor, host, idle),
+                    (dh, dm, df, dv),
+                    (exits, faults, fb),
+                    (cores, core_instret, core_exits),
+                )| {
                     StatsSample {
                         now,
                         guest,
@@ -1122,9 +1239,34 @@ mod tests {
                         exits,
                         faults,
                         fault_blocked: fb,
+                        cores,
+                        core_instret,
+                        core_exits,
                     }
                 },
             )
+    }
+
+    /// SMP stats fields that survive a roundtrip: either no SMP data at all
+    /// (the single-core encoding drops the keys, so the vectors must be
+    /// empty and the count zero) or 2+ cores with per-core vectors.
+    fn arb_stats_smp() -> impl Strategy<Value = (u64, Vec<u64>, Vec<u64>)> {
+        (
+            0u64..4,
+            proptest::collection::vec(any::<u64>(), 4..5),
+            proptest::collection::vec(any::<u64>(), 4..5),
+        )
+            .prop_map(|(sel, ci, cx)| {
+                if sel < 2 {
+                    (0, Vec::new(), Vec::new())
+                } else {
+                    (
+                        sel,
+                        ci[..sel as usize].to_vec(),
+                        cx[..sel as usize].to_vec(),
+                    )
+                }
+            })
     }
 
     fn arb_prof() -> impl Strategy<Value = ProfSample> {
@@ -1191,6 +1333,16 @@ mod tests {
         fn reply_roundtrip(stop in arb_stop()) {
             let r = Reply::Stopped(stop);
             prop_assert_eq!(Reply::parse(&r.format()), Some(r));
+        }
+
+        #[test]
+        fn stop_core_roundtrip(stop in arb_stop(), core in any::<u8>()) {
+            prop_assert_eq!(
+                StopReason::parse_with_core(&stop.format_on(core)),
+                Some((stop, core))
+            );
+            // Core-unaware parsers still read the reason itself.
+            prop_assert_eq!(StopReason::parse(&stop.format_on(core)), Some(stop));
         }
 
     }

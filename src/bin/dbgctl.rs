@@ -22,9 +22,10 @@
 //! over the lvmm flight recording, seeks the replay there, and dumps
 //! state.
 
-use lwvmm::guest::{kernel::layout, Workload};
+use lwvmm::fault::{FaultKind, FaultPlan};
+use lwvmm::guest::{apps, kernel::layout, Workload};
 use lwvmm::hosted::HostedPlatform;
-use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
+use lwvmm::machine::{smp, Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::{LvmmPlatform, UartLink};
 use lwvmm::obs::{audit, Journal};
 use lwvmm::query::json::JsonObj;
@@ -44,12 +45,13 @@ fn main() -> ExitCode {
         Some("diverge") => cmd_diverge(&args[1..]),
         _ => Err(
             "usage: dbgctl <run|audit|query|session|metrics|diverge> [args]\n\
-                  run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--journal PATH]\n\
+                  run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--cores N] [--journal PATH]\n\
                   audit   A.jnl B.jnl\n\
                   query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR]>\"\n\
-                  session [SCRIPT]          (stdin when omitted)\n\
-                  metrics [--ms N] [--workload MBPS]\n\
-                  diverge [--symbol NAME|0xADDR] [--ms N]"
+                  session [--cores N] [SCRIPT]          (stdin when omitted)\n\
+                  metrics [--ms N] [--workload MBPS] [--cores N]\n\
+                  diverge [--symbol NAME|0xADDR] [--ms N]\n\
+                  diverge --race [--cores N] [--ms N] [--fault-seed N]"
                 .to_string(),
         ),
     };
@@ -84,9 +86,31 @@ fn parse_addr(s: &str) -> Result<u32, String> {
         .map_err(|_| format!("bad hex address `{s}`"))
 }
 
-/// Boots the built-in streaming workload on a machine.
-fn boot_machine(rate: u64) -> Machine {
-    let mut machine = Machine::new(MachineConfig::default());
+/// Parses and validates a `--cores` value (1 to [`smp::MAX_CORES`]).
+fn parse_cores(s: &str) -> Result<usize, String> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| format!("--cores expects a number, got `{s}`"))?;
+    if n == 0 || n > smp::MAX_CORES {
+        return Err(format!(
+            "--cores must be between 1 and {}, got {n}",
+            smp::MAX_CORES
+        ));
+    }
+    Ok(n)
+}
+
+/// The `--cores` option of a subcommand, defaulting to single-core.
+fn opt_cores(args: &[String]) -> Result<usize, String> {
+    opt(args, "--cores").map_or(Ok(1), parse_cores)
+}
+
+/// Boots the built-in streaming workload on a machine with `cores` vCPUs.
+fn boot_machine(rate: u64, cores: usize) -> Machine {
+    let mut machine = Machine::new(MachineConfig {
+        num_cores: cores,
+        ..MachineConfig::default()
+    });
     let program = Workload::new(rate)
         .build(&machine)
         .expect("built-in kernel assembles");
@@ -100,9 +124,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let platform_name = opt(args, "--platform").unwrap_or("lvmm");
     let ms = parse_u64(opt(args, "--ms").unwrap_or("100"))?;
     let rate = parse_u64(opt(args, "--workload").unwrap_or("100"))?;
+    let cores = opt_cores(args)?;
     let journal_path = opt(args, "--journal");
 
-    let machine = boot_machine(rate);
+    let machine = boot_machine(rate, cores);
     let clock = machine.config().clock_hz;
     let mut platform: Box<dyn Platform> = match platform_name {
         "raw" | "real-hw" => Box::new(RawPlatform::new(machine)),
@@ -383,6 +408,13 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
                 o.u64_list("exits", &s.exits);
                 o.u64_list("faults", &s.faults)
                     .u64("blocked", s.fault_blocked);
+                // SMP keys appear only on multi-core targets so single-core
+                // session transcripts stay byte-identical to the golden.
+                if s.cores > 1 {
+                    o.u64("cores", s.cores);
+                    o.u64_list("core_instret", &s.core_instret);
+                    o.u64_list("core_exits", &s.core_exits);
+                }
                 println!("{}", o.finish());
             }
             Err(e) => {
@@ -395,7 +427,26 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
 }
 
 fn cmd_session(args: &[String]) -> Result<(), String> {
-    let script = match args {
+    let cores = opt_cores(args)?;
+    // Everything that is not the (optional) `--cores N` pair is the script
+    // path.
+    let positional: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--cores" {
+                    skip = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let script = match positional.as_slice() {
         [] => {
             let mut s = String::new();
             std::io::stdin()
@@ -407,7 +458,7 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
         _ => return Err("session expects at most one script path".into()),
     };
 
-    let mut machine = boot_machine(100);
+    let mut machine = boot_machine(100, cores);
     // Host-time attribution for the `metrics` script command; simulation-
     // invisible, so the session transcript stays deterministic.
     machine.obs.enable_hostprof();
@@ -459,8 +510,9 @@ fn metrics_json(s: &rdbg::MetricsSample) -> String {
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let ms = parse_u64(opt(args, "--ms").unwrap_or("50"))?;
     let rate = parse_u64(opt(args, "--workload").unwrap_or("100"))?;
+    let cores = opt_cores(args)?;
 
-    let mut machine = boot_machine(rate);
+    let mut machine = boot_machine(rate, cores);
     machine.obs.enable_hostprof();
     let clock = machine.config().clock_hz;
     let vmm = LvmmPlatform::new(machine, layout::ENTRY);
@@ -500,13 +552,16 @@ fn read_word(m: &mut Machine, addr: u32) -> u32 {
 }
 
 fn cmd_diverge(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--race") {
+        return cmd_diverge_race(args);
+    }
     let symbol = opt(args, "--symbol").unwrap_or("frames");
     let ms = parse_u64(opt(args, "--ms").unwrap_or("60"))?;
     let addr = resolve_symbol(symbol).ok_or(format!(
         "unknown symbol `{symbol}` (bytes|frames|ticks|underruns|glob|0xADDR)"
     ))?;
 
-    let machine = boot_machine(100);
+    let machine = boot_machine(100, 1);
     let clock = machine.config().clock_hz;
     let interval = clock / 10_000; // sample every 100 simulated µs
     let steps = ms * clock / 1_000 / interval;
@@ -522,7 +577,7 @@ fn cmd_diverge(args: &[String]) -> Result<(), String> {
             })
             .collect()
     };
-    let mut hosted = HostedPlatform::new(boot_machine(100), layout::ENTRY);
+    let mut hosted = HostedPlatform::new(boot_machine(100, 1), layout::ENTRY);
     let hosted_track = sample(&mut hosted);
 
     let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
@@ -594,5 +649,120 @@ fn cmd_diverge(args: &[String]) -> Result<(), String> {
     println!("{}", o.finish());
     let stepped = dbg.step().map_err(|e| format!("step: {e}"))?;
     println!("{}", stop_json("step", &stepped));
+    Ok(())
+}
+
+/// `dbgctl diverge --race` — the cross-core race demo. Boots the two-core
+/// racy-counter guest under the lightweight monitor with the
+/// `racy-increment` fault class armed, samples the shared counter against
+/// the per-core tallies on a fixed simulated-time grid, and then seeks the
+/// flight recording to the exact cycle the invariant
+/// `counter >= tally0 + tally1` first breaks — the first lost update,
+/// whether a quantum switch split a read-modify-write or the fault
+/// injector replayed a stale value.
+fn cmd_diverge_race(args: &[String]) -> Result<(), String> {
+    use apps::smp_layout::{COUNTER, TALLY};
+    let ms = parse_u64(opt(args, "--ms").unwrap_or("40"))?;
+    let cores = opt(args, "--cores").map_or(Ok(2), parse_cores)?;
+    if cores < 2 {
+        return Err("--race needs --cores of at least 2".into());
+    }
+    let seed = parse_u64(opt(args, "--fault-seed").unwrap_or("42"))?;
+
+    let program = apps::racy_counter_guest();
+    let entry = program.symbols.get("start").expect("racy guest has start");
+    let mut machine = Machine::new(MachineConfig {
+        num_cores: cores,
+        ..MachineConfig::default()
+    });
+    machine.load_program(&program);
+    machine.enable_fault_injection(
+        FaultPlan::new(seed)
+            .only(FaultKind::RacyIncrement)
+            .race(COUNTER)
+            .period(200_000),
+    );
+    let clock = machine.config().clock_hz;
+    let mut vmm = LvmmPlatform::new(machine, entry);
+    vmm.enable_flight_recorder(100_000);
+
+    let interval = clock / 10_000; // sample every 100 simulated µs
+    let steps = ms * clock / 1_000 / interval;
+    let mut track = Vec::new();
+    for _ in 0..steps {
+        vmm.run_for(interval);
+        let m = vmm.machine_mut();
+        let counter = read_word(m, COUNTER);
+        let sum = read_word(m, TALLY) + read_word(m, TALLY + 4);
+        track.push((m.now(), counter, sum));
+    }
+    let mut o = JsonObj::new();
+    o.str("event", "samples")
+        .str("invariant", "counter >= tally0 + tally1")
+        .hex("addr", COUNTER as u64)
+        .u64("cores", cores as u64)
+        .u64("interval", interval)
+        .u64("count", steps);
+    println!("{}", o.finish());
+
+    // First sample where the shared counter has fallen behind the work the
+    // cores actually performed — some increments are gone.
+    let Some(i) = track.iter().position(|&(_, counter, sum)| counter < sum) else {
+        let mut o = JsonObj::new();
+        o.str("event", "diverge").bool("found", false);
+        println!("{}", o.finish());
+        return Ok(());
+    };
+    let prev_cycle = if i == 0 { 0 } else { track[i - 1].0 };
+    let mut o = JsonObj::new();
+    o.str("event", "first-lost-update-sample")
+        .u64("index", i as u64)
+        .u64("counter", track[i].1 as u64)
+        .u64("expected", track[i].2 as u64)
+        .u64("agreed_cycle", prev_cycle);
+    println!("{}", o.finish());
+
+    // Refine on the recording: the first cycle after the last healthy
+    // sample at which the invariant no longer holds.
+    let mut dbg = Debugger::new(UartLink {
+        platform: vmm,
+        slice: 2_000,
+    });
+    dbg.halt().map_err(|e| format!("halt: {e}"))?;
+    let expr = format!(
+        "cycle > {prev_cycle} && [{COUNTER:#x}] < [{TALLY:#x}] + [{t1:#x}]",
+        t1 = TALLY + 4
+    );
+    let hit = dbg
+        .query_first(&expr)
+        .map_err(|e| format!("query `{expr}`: {e}"))?;
+    let mut o = JsonObj::new();
+    o.str("event", "diverge").str("expr", &expr);
+    let Some((cycle, stop)) = hit else {
+        o.bool("found", false);
+        println!("{}", o.finish());
+        return Ok(());
+    };
+    o.bool("found", true).u64("cycle", cycle);
+    println!("{}", o.finish());
+    println!("{}", stop_json("seek", &stop));
+
+    // Parked at the first lost update: name the core that was running and
+    // dump its view of the evidence.
+    let core = dbg.last_stop_core();
+    dbg.set_thread(core as u32)
+        .map_err(|e| format!("Hg{core}: {e}"))?;
+    let regs = dbg.read_registers().map_err(|e| format!("regs: {e}"))?;
+    let m = dbg.link_mut().platform.machine_mut();
+    let counter = read_word(m, COUNTER) as u64;
+    let tallies: Vec<u64> = (0..2).map(|i| read_word(m, TALLY + 4 * i) as u64).collect();
+    let mut o = JsonObj::new();
+    o.str("event", "state")
+        .u64("cycle", cycle)
+        .u64("core", core as u64)
+        .hex("pc", regs.pc as u64)
+        .u64("counter", counter)
+        .u64_list("tallies", &tallies);
+    println!("{}", o.finish());
     Ok(())
 }

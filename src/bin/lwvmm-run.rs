@@ -37,6 +37,7 @@ struct Options {
     input: Option<String>,
     workload: Option<u64>,
     platform: String,
+    cores: usize,
     ms: u64,
     dump: Option<(u32, u32)>,
     engine_stats: bool,
@@ -55,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         input: None,
         workload: None,
         platform: "lvmm".into(),
+        cores: 1,
         ms: 100,
         dump: None,
         engine_stats: false,
@@ -71,6 +73,19 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--platform" => opts.platform = args.next().ok_or("missing --platform value")?,
+            "--cores" => {
+                let v = args.next().ok_or("missing --cores value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cores expects a number, got `{v}`"))?;
+                if n == 0 || n > lwvmm::machine::smp::MAX_CORES {
+                    return Err(format!(
+                        "--cores must be between 1 and {}, got {n}",
+                        lwvmm::machine::smp::MAX_CORES
+                    ));
+                }
+                opts.cores = n;
+            }
             "--ms" => {
                 opts.ms = args
                     .next()
@@ -154,7 +169,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: lwvmm-run [guest.s | --workload <mbps>] [--platform raw|lvmm|hosted] \
-                 [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
+                 [--cores N] [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
                  [--profile out.folded] [--fault all|<class>] [--fault-seed N] \
                  [--logpoint 0xADDR[:label[:expr]]]... [--query-json] \
                  [--metrics out.prom] [--heartbeat <host report interval, simulated ms>]"
@@ -167,7 +182,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut machine = Machine::new(MachineConfig::default());
+    let mut machine = Machine::new(MachineConfig {
+        num_cores: opts.cores,
+        ..MachineConfig::default()
+    });
     if opts.no_decode_cache {
         // Must be bit-identical to the default; kept for A/B timing and
         // determinism checks.
