@@ -78,6 +78,7 @@ fn main() {
     // number in this benchmark; recorded in the JSON, never in the traces).
     let speed_ms = if fast { 100 } else { 400 };
     let mut sim_speed = Vec::new();
+    let mut causal_speed = Vec::new();
     let mut attributions = Vec::new();
     for kind in PlatformKind::ALL {
         // Median of seven, metrics-off and metrics-on interleaved:
@@ -97,9 +98,11 @@ fn main() {
         };
         let mut offs = Vec::new();
         let mut ons = Vec::new();
+        let mut causals = Vec::new();
         for _ in 0..7 {
             offs.push(lwvmm_bench::measure_sim_speed(kind, 300, ms));
             ons.push(lwvmm_bench::measure_host_attribution(kind, 300, ms, true));
+            causals.push(lwvmm_bench::measure_causal_sim_speed(kind, 300, ms));
         }
         offs.sort_by(|x, y| x.instr_per_host_sec.total_cmp(&y.instr_per_host_sec));
         ons.sort_by(|x, y| {
@@ -107,8 +110,10 @@ fn main() {
                 .instr_per_host_sec
                 .total_cmp(&y.speed.instr_per_host_sec)
         });
+        causals.sort_by(|x, y| x.instr_per_host_sec.total_cmp(&y.instr_per_host_sec));
         let s = offs[offs.len() / 2];
         let a = ons.swap_remove(ons.len() / 2);
+        let c = causals[causals.len() / 2];
         println!(
             "Sim speed on {:8}: {:5.1} M guest instr / host sec ({} instr in {:.3} s)",
             kind.label(),
@@ -124,7 +129,13 @@ fn main() {
             a.coverage() * 100.0,
             a.marks
         );
+        println!(
+            "  with causal on  : {:5.1} M guest instr / host sec ({:+5.1}% overhead)",
+            c.instr_per_host_sec / 1e6,
+            (s.instr_per_host_sec / c.instr_per_host_sec.max(1.0) - 1.0) * 100.0,
+        );
         sim_speed.push((kind, s));
+        causal_speed.push((kind, c));
         attributions.push(a);
     }
 
@@ -237,6 +248,7 @@ fn main() {
             &measurements,
             &sim_speed,
             &smp_speed,
+            &causal_speed,
             &attributions,
             &profiles,
         ),

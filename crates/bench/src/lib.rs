@@ -207,6 +207,29 @@ pub fn measure_sim_speed(kind: PlatformKind, rate_mbps: u64, ms: u64) -> SimSpee
     measure_host_attribution(kind, rate_mbps, ms, false).speed
 }
 
+/// Like [`measure_sim_speed`] but with event tracing *and* causal-flow
+/// tracking enabled — the overhead side of the tracing-off regression
+/// gate (`sim_speed_causal` vs `sim_speed` in `BENCH_fig3_1.json`). The
+/// simulated run is bit-identical either way; only the host-side cost of
+/// recording flows differs.
+pub fn measure_causal_sim_speed(kind: PlatformKind, rate_mbps: u64, ms: u64) -> SimSpeed {
+    let workload = Workload::new(rate_mbps);
+    let mut platform = build_platform(kind, &workload);
+    platform.machine_mut().obs.enable_tracing();
+    platform.machine_mut().obs.enable_causal();
+    let per_ms = platform.machine().config().clock_hz / 1_000;
+    let i0 = platform.machine().cpu.instret();
+    let t = std::time::Instant::now();
+    platform.run_for(ms * per_ms);
+    let host_seconds = t.elapsed().as_secs_f64();
+    let instructions = platform.machine().cpu.instret() - i0;
+    SimSpeed {
+        instructions,
+        host_seconds,
+        instr_per_host_sec: instructions as f64 / host_seconds.max(1e-9),
+    }
+}
+
 /// Times `ms` simulated milliseconds of the all-cores spin guest
 /// ([`hitactix::apps::smp_spin_guest`]) on a `cores`-core machine under the
 /// host wall clock — the multi-core scaling companion of
@@ -562,12 +585,14 @@ impl ProfileSummary {
 /// exit histograms of each platform's highest-rate run, and the two
 /// headline ratios. Hand-rolled JSON — the workspace has no serializer
 /// dependency and the schema is small.
+#[allow(clippy::too_many_arguments)] // one slot per top-level JSON section
 pub fn fig3_1_json(
     warmup_ms: u64,
     window_ms: u64,
     series: &[(PlatformKind, Vec<Measurement>)],
     sim_speed: &[(PlatformKind, SimSpeed)],
     smp_speed: &[(PlatformKind, usize, SimSpeed)],
+    causal_speed: &[(PlatformKind, SimSpeed)],
     attributions: &[HostAttributionSummary],
     profiles: &[ProfileSummary],
 ) -> String {
@@ -638,6 +663,23 @@ pub fn fig3_1_json(
         ));
     }
     out.push_str("  ],\n");
+    if !causal_speed.is_empty() {
+        // The same workload with tracing + causal-flow tracking on: the CI
+        // overhead gate divides these by the plain `sim_speed` figures.
+        out.push_str("  \"sim_speed_causal\": [\n");
+        for (i, (kind, s)) in causal_speed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instructions\": {}, \"host_seconds\": {:.4}, \
+                 \"instr_per_host_sec\": {:.0}}}{}\n",
+                kind.label(),
+                s.instructions,
+                s.host_seconds,
+                s.instr_per_host_sec,
+                if i + 1 < causal_speed.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
     if !smp_speed.is_empty() {
         // Multi-core scaling of the engine itself: the all-cores spin guest
         // at each swept core count. Kept in a section of its own so the
@@ -811,6 +853,7 @@ mod tests {
             &series,
             &[(PlatformKind::Lvmm, speed)],
             &[(PlatformKind::Lvmm, 2, speed)],
+            &[(PlatformKind::Lvmm, speed)],
             std::slice::from_ref(&att),
             &profiles,
         );
@@ -825,6 +868,7 @@ mod tests {
             "\"instr_per_host_sec\"",
             "\"smp_sim_speed\"",
             "\"cores\"",
+            "\"sim_speed_causal\"",
             "\"sim_speed_metrics\"",
             "\"host_attribution\"",
             "\"wall_ns\"",
@@ -852,10 +896,12 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
         );
         assert!(!bare.contains("\"profile\""));
         assert!(!bare.contains("\"host_attribution\""));
         assert!(!bare.contains("\"sim_speed_metrics\""));
+        assert!(!bare.contains("\"sim_speed_causal\""));
         assert!(!bare.contains("\"smp_sim_speed\""));
         // The baseline extractor reads back what the writer emitted — and
         // only from the plain sim_speed section, not the metrics-on one.

@@ -33,7 +33,7 @@ use hx_machine::{map, smp, Machine, Platform, TimeBucket, TimeStats};
 use hx_obs::journal::{fnv1a, FNV_OFFSET};
 use hx_obs::{EventKind, ExitCause, HostPhase, JournalInput, ReplayCursor, StateDigest};
 use hx_query::{Expr, SliceCtx};
-use rdbg::msg::{Command, MetricsSample, ProfSample, Reply, StatsSample, StopReason};
+use rdbg::msg::{Command, FlowSample, MetricsSample, ProfSample, Reply, StatsSample, StopReason};
 use rdbg::wire::{self, WireEvent};
 
 /// Monitor configuration.
@@ -539,6 +539,10 @@ impl LvmmPlatform {
             {
                 let now = self.machine.now();
                 self.machine.obs.prof_irq_entry(irq as u32, now);
+                // Virtual-PIC INTA is the guest's ISR entry under this
+                // monitor — the causal dispatch flow ends here, not at the
+                // monitor's earlier receipt of the real interrupt.
+                self.machine.obs.inta(now, irq as u32);
             }
             let epc = self.machine.cpu.pc();
             let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
@@ -930,9 +934,13 @@ impl LvmmPlatform {
                 let val = self.machine.cpu.reg(rs2);
                 if page == map::PIC_BASE && offset == hx_machine::pic::reg::EOI {
                     // The guest is retiring a virtual interrupt: close the
-                    // profiler's entry→EOI latency window.
+                    // profiler's entry→EOI latency window and the causal
+                    // ISR-service flow. The monitor's own retirement of the
+                    // *real* PIC goes through the device directly, so this
+                    // is the only EOI the causal layer sees.
                     let now = self.machine.now();
                     self.machine.obs.prof_irq_eoi(now);
+                    self.machine.obs.eoi(now);
                 }
                 if page == map::PIC_BASE && offset >= smp::reg::SEND {
                     self.ipi_mmio_write(offset, val);
@@ -1555,6 +1563,28 @@ impl LvmmPlatform {
                         .top(max as usize)
                         .into_iter()
                         .map(|(name, cycles, samples)| (name.to_string(), cycles, samples))
+                        .collect(),
+                })
+            }
+            Command::QueryFlow => {
+                // Like `qStats`: answered live, without stopping the guest.
+                // Every value is simulation-deterministic, so the reply's
+                // byte cost is a pure function of the run.
+                let Some(c) = self.machine.obs.causal() else {
+                    return Reply::Error(err::CAUSAL);
+                };
+                Reply::Flow(FlowSample {
+                    now: self.machine.now(),
+                    completed: c.completed(),
+                    dropped: c.dropped_flows(),
+                    orphan_ends: c.orphan_ends(),
+                    instants: c.instants(),
+                    classes: hx_obs::FlowClass::ALL
+                        .iter()
+                        .map(|&class| {
+                            let h = c.hist(class);
+                            (h.count(), h.p50(), h.p99(), h.max())
+                        })
                         .collect(),
                 })
             }

@@ -52,7 +52,9 @@ pub fn classify(pa: u32, monitor_base: u32, ram_size: u32) -> PageClass {
     let page = pa & !(map::DEV_PAGE - 1);
     match page {
         map::PIC_BASE | map::PIT_BASE | map::UART_BASE => PageClass::EmulatedMmio,
-        map::HDC_BASE | map::NIC_BASE => PageClass::PassthroughMmio,
+        // The tracepoint page is passed through: guest tracepoint stores hit
+        // the bus directly, so instrumented kernels pay no exit cost.
+        map::HDC_BASE | map::NIC_BASE | map::TRACE_BASE => PageClass::PassthroughMmio,
         _ => PageClass::Unmapped,
     }
 }
@@ -331,6 +333,10 @@ mod tests {
         );
         assert_eq!(
             classify(map::NIC_BASE, MON, RAM),
+            PageClass::PassthroughMmio
+        );
+        assert_eq!(
+            classify(map::TRACE_BASE, MON, RAM),
             PageClass::PassthroughMmio
         );
         assert_eq!(classify(0xe000_0000, MON, RAM), PageClass::Unmapped);

@@ -40,6 +40,8 @@ pub mod err {
     /// Thread (core) selector out of range, or the selected core has not
     /// been started.
     pub const CORE: u8 = 11;
+    /// No causal-flow tracker enabled on the target.
+    pub const CAUSAL: u8 = 12;
 }
 
 /// One armed data watchpoint.
@@ -249,6 +251,7 @@ mod tests {
             err::QUERY,
             err::METRICS,
             err::CORE,
+            err::CAUSAL,
         ] {
             assert!(
                 rdbg::err_name(code).is_some(),

@@ -290,6 +290,9 @@ impl HostedPlatform {
             {
                 let now = self.machine.now();
                 self.machine.obs.prof_irq_entry(irq as u32, now);
+                // Virtual-PIC INTA = guest ISR entry: close the causal
+                // dispatch flow here, not at the monitor's receipt.
+                self.machine.obs.inta(now, irq as u32);
             }
             let epc = self.machine.cpu.pc();
             let handler = self.vcpu.enter_trap(Cause::Interrupt, epc, vector as u32);
@@ -517,6 +520,12 @@ impl HostedPlatform {
                     }
                     map::NIC_BASE => self.vnic.read_reg(offset),
                     map::PIC_BASE if offset >= smp::reg::SEND => self.ipi_mmio_read(offset),
+                    // Tracepoint registers read as zero everywhere; route
+                    // through the machine bus so raw and hosted agree.
+                    map::TRACE_BASE => self
+                        .machine
+                        .bus_read(gpa, MemSize::Word)
+                        .unwrap_or_default(),
                     _ => self.chipset.mmio_read(&mut self.machine, page, offset),
                 };
                 self.machine.cpu.set_reg(rd, val);
@@ -533,9 +542,12 @@ impl HostedPlatform {
                 let val = self.machine.cpu.reg(rs2);
                 if page == map::PIC_BASE && offset == hx_machine::pic::reg::EOI {
                     // Virtual-interrupt retirement: close the profiler's
-                    // entry→EOI latency window.
+                    // entry→EOI latency window and the causal ISR-service
+                    // flow (the only EOI the causal layer sees — the real
+                    // PIC is retired via a direct device call).
                     let now = self.machine.now();
                     self.machine.obs.prof_irq_eoi(now);
+                    self.machine.obs.eoi(now);
                 }
                 match page {
                     map::HDC_BASE => {
@@ -548,6 +560,12 @@ impl HostedPlatform {
                     }
                     map::PIC_BASE if offset >= smp::reg::SEND => {
                         self.ipi_mmio_write(offset, val);
+                    }
+                    // Tracepoint store: forward to the machine bus, where
+                    // the causal/journal hooks live, so guest tracepoints
+                    // behave identically on all three platforms.
+                    map::TRACE_BASE => {
+                        let _ = self.machine.bus_write(gpa, val, MemSize::Word);
                     }
                     _ => self
                         .chipset

@@ -141,6 +141,14 @@ pub mod smp_layout {
     pub const PING_COUNT: u32 = 0x920;
     /// Base of the delivered-vector log, one word per delivery.
     pub const PING_LOG: u32 = 0x930;
+    /// `smp_trace_guest` only: IPIs acknowledged by core 1, bumped by its
+    /// handler after it closes the cross-core tracepoint span.
+    pub const TRACE_ACK: u32 = 0x940;
+    /// Tracepoint id of the cross-core span `smp_trace_guest` measures
+    /// (begun on core 0 at IPI send, ended on core 1 in the handler).
+    pub const TRACE_SPAN_ID: u32 = 7;
+    /// Tracepoint id of the instant mark core 1's handler emits.
+    pub const TRACE_MARK_ID: u32 = 9;
 }
 
 /// A two-core IPI bring-up guest: core 0 publishes the secondary entry
@@ -193,6 +201,72 @@ pub fn smp_ping_guest() -> Program {
         log = smp_layout::PING_LOG,
     ))
     .expect("smp ping guest assembles")
+}
+
+/// The guest-tracepoint SMP demo: core 0 opens tracepoint span
+/// [`smp_layout::TRACE_SPAN_ID`] on the paravirtual `TRACE` page, fires an
+/// IPI at core 1, and waits for the acknowledge count at
+/// [`smp_layout::TRACE_ACK`] to advance before opening the next span. Core
+/// 1's IPI handler emits instant mark [`smp_layout::TRACE_MARK_ID`],
+/// *closes* the span — so every span begins on core 0 and ends on core 1,
+/// and its duration is the guest-observed IPI round latency — and then
+/// bumps the acknowledge count.
+///
+/// With causal tracing on, each iteration contributes one `ipi` flow
+/// (monitor-observed send→delivery) and one cross-core `span` flow
+/// (guest-observed send→handler); the gap between the two latencies is the
+/// interrupt-entry cost the kernel actually paid. Without a tracker the
+/// `TRACE` stores are plain journaled MMIO writes — the run is identical.
+///
+/// Needs at least 2 cores. Symbols: `start`, `main`, `wait`, `side`,
+/// `handler`.
+pub fn smp_trace_guest() -> Program {
+    use hx_machine::{map, smp};
+    assemble(&format!(
+        "        .org 0x1000
+         start:  li   t0, {entry:#x}
+                 la   t1, side
+                 sw   t1, 0(t0)
+                 li   t3, {send:#x}
+                 li   t1, 1             ; line 0: start core 1
+                 sw   t1, 0(t3)
+                 li   s0, {tbegin:#x}
+                 li   s1, {span}
+                 li   s3, 0             ; last-seen ack count
+         main:   sw   s1, 0(s0)         ; begin span (core 0)
+                 li   t1, 0x101         ; line 1 -> core 1
+                 sw   t1, 0(t3)
+         wait:   lw   t2, {ack:#x}(zero)
+                 beq  t2, s3, wait      ; spin until core 1 acknowledges
+                 add  s3, t2, zero
+                 j    main
+         side:   la   t0, handler
+                 csrw tvec, t0
+                 csrw status, 1         ; IE
+         spin:   addi s2, s2, 1
+                 j    spin
+         handler:
+                 li   t3, {tmark:#x}
+                 li   t0, {mark}
+                 sw   t0, 0(t3)         ; instant mark (core 1)
+                 li   t3, {tend:#x}
+                 li   t0, {span}
+                 sw   t0, 0(t3)         ; end span (core 1)
+                 lw   t1, {ack:#x}(zero)
+                 addi t1, t1, 1
+                 sw   t1, {ack:#x}(zero)
+                 tret
+        ",
+        entry = map::PIC_BASE + smp::reg::ENTRY,
+        send = map::PIC_BASE + smp::reg::SEND,
+        tbegin = map::TRACE_BASE + map::trace::BEGIN,
+        tend = map::TRACE_BASE + map::trace::END,
+        tmark = map::TRACE_BASE + map::trace::INSTANT,
+        span = smp_layout::TRACE_SPAN_ID,
+        mark = smp_layout::TRACE_MARK_ID,
+        ack = smp_layout::TRACE_ACK,
+    ))
+    .expect("smp trace guest assembles")
 }
 
 /// An all-cores bring-up guest for throughput ablations: core 0 publishes
@@ -318,6 +392,46 @@ mod tests {
         let w = smp_spin_guest();
         assert!(w.symbols.get("work").is_some());
         assert!(w.symbols.get("tick").is_some());
+        let t = smp_trace_guest();
+        assert!(t.symbols.get("main").is_some());
+        assert!(t.symbols.get("handler").is_some());
+    }
+
+    #[test]
+    fn trace_guest_emits_cross_core_spans() {
+        use hx_machine::{Machine, MachineConfig, Platform, RawPlatform};
+        let program = smp_trace_guest();
+        let mut machine = Machine::new(MachineConfig {
+            num_cores: 2,
+            ..MachineConfig::default()
+        });
+        machine.load_program(&program);
+        machine.obs.enable_tracing();
+        machine.obs.enable_causal();
+        let mut hw = RawPlatform::new(machine);
+        hw.run_for(2_000_000);
+        let m = hw.machine();
+        let acks = m.mem.word(smp_layout::TRACE_ACK);
+        assert!(acks > 2, "core 1 acknowledged IPIs (got {acks})");
+        let c = m.obs.causal().unwrap();
+        let spans: Vec<_> = c
+            .flows()
+            .iter()
+            .filter(|f| f.class == hx_obs::FlowClass::Span)
+            .collect();
+        assert!(!spans.is_empty(), "guest spans completed");
+        // Every span opens on core 0 (the sender) and closes on core 1
+        // (the handler) — the whole point of the demo.
+        assert!(spans
+            .iter()
+            .all(|f| f.key == smp_layout::TRACE_SPAN_ID && f.begin_core == 0 && f.end_core == 1));
+        assert!(c.instants() >= acks as u64, "handler marks recorded");
+        // The guest-observed round trip can never beat the monitor-observed
+        // IPI delivery it contains.
+        let ipi = c.hist(hx_obs::FlowClass::Ipi);
+        let span = c.hist(hx_obs::FlowClass::Span);
+        assert!(ipi.count() > 0, "ipi flows tracked");
+        assert!(span.p50() >= ipi.p50());
     }
 
     #[test]

@@ -319,6 +319,12 @@ impl EmbeddedStubPlatform {
                 // to report.
                 Reply::Error(9)
             }
+            Command::QueryFlow => {
+                // No causal tracker lives inside the kernel; answer with
+                // the *named* code (`lvmm::stub::err::CAUSAL` = 12) so the
+                // host prints what is missing instead of a bare number.
+                Reply::Error(12)
+            }
             Command::QueryMetrics => {
                 // An in-kernel stub has no host clock, so host-time
                 // metrics can never exist here. Answer with the *named*

@@ -82,6 +82,10 @@ pub mod map {
     pub const HDC_BASE: u32 = 0xf000_3000;
     /// Network-controller registers.
     pub const NIC_BASE: u32 = 0xf000_4000;
+    /// Paravirtual tracepoint page: write-only registers the guest kernel
+    /// stores tracepoint ids to. Reads return 0. Stores are journaled like
+    /// doorbells, so recordings replay byte-identically.
+    pub const TRACE_BASE: u32 = 0xf000_5000;
     /// Size of each device's register page.
     pub const DEV_PAGE: u32 = 0x1000;
 
@@ -96,6 +100,18 @@ pub mod map {
             NIC_BASE => Some(hx_obs::Dev::Nic),
             _ => None,
         }
+    }
+
+    /// Tracepoint-page register offsets (relative to [`TRACE_BASE`]).
+    /// The stored word is the tracepoint id; the register selects the
+    /// operation. `BEGIN`/`END` ids pair LIFO per core to form spans.
+    pub mod trace {
+        /// Open a tracepoint span with the stored id.
+        pub const BEGIN: u32 = 0x0;
+        /// Close the innermost open span with the stored id.
+        pub const END: u32 = 0x4;
+        /// A point event with the stored id (no pairing).
+        pub const INSTANT: u32 = 0x8;
     }
 
     /// Interrupt request lines.

@@ -14,7 +14,7 @@ use hx_asm::Program;
 use hx_cpu::trap::{Cause, Trap};
 use hx_cpu::{Bus, BusFault, Cpu, MemSize, StepOutcome};
 use hx_fault::{FaultInjector, FaultOp, FaultPlan, FaultStats};
-use hx_obs::{Dev, ExitCause, Recorder};
+use hx_obs::{Dev, ExitCause, Recorder, TraceOp};
 
 /// Construction parameters for a [`Machine`].
 ///
@@ -323,6 +323,7 @@ impl Machine {
         if (target as usize) >= self.seats.len() || line >= 8 {
             return false;
         }
+        self.obs.ipi_send(self.now, target, line);
         self.events
             .schedule(self.now + smp::LATENCY, Event::Ipi { target, line });
         true
@@ -499,6 +500,7 @@ impl Machine {
             Dev::Pic,
             ((t as u32) << 8) | (smp::IRQ_BASE + line) as u32,
         );
+        self.obs.ipi_deliver(at, target, line);
     }
 
     /// The machine's configuration.
@@ -1122,6 +1124,15 @@ impl Bus for MachineBus<'_> {
             UART_BASE => self.uart.read_reg(off, size),
             HDC_BASE => self.hdc.read_reg(off, size),
             NIC_BASE => self.nic.read_reg(off, size),
+            // Tracepoint registers are write-only; reads see zero so probing
+            // code can run unchanged with or without a consumer attached.
+            TRACE_BASE if off <= trace::INSTANT => {
+                if size == MemSize::Word {
+                    Ok(0)
+                } else {
+                    Err(BusFault::Denied)
+                }
+            }
             _ => Err(BusFault::Unmapped),
         }
     }
@@ -1145,6 +1156,7 @@ impl Bus for MachineBus<'_> {
                             if target >= self.num_cores || line >= 8 {
                                 Err(BusFault::Denied)
                             } else {
+                                self.obs.ipi_send(self.now, target as u8, line as u8);
                                 self.events.schedule(
                                     self.now + smp::LATENCY,
                                     Event::Ipi {
@@ -1168,6 +1180,13 @@ impl Bus for MachineBus<'_> {
             UART_BASE => self.uart.write_reg(off, val, size),
             HDC_BASE => self.hdc.write_reg(off, val, size, self.now, self.events),
             NIC_BASE => self.nic.write_reg(off, val, size, self.now, self.events),
+            TRACE_BASE if off <= trace::INSTANT => {
+                if size == MemSize::Word {
+                    Ok(())
+                } else {
+                    Err(BusFault::Denied)
+                }
+            }
             _ => Err(BusFault::Unmapped),
         };
         if res.is_ok() {
@@ -1182,6 +1201,18 @@ impl Bus for MachineBus<'_> {
                 }
                 (PIC_BASE, smp::reg::SEND) => {
                     self.obs.doorbell(self.now, Dev::Pic, off);
+                }
+                // Retiring an ISR closes the INTA→EOI service flow.
+                (PIC_BASE, crate::pic::reg::EOI) => {
+                    self.obs.eoi(self.now);
+                }
+                (TRACE_BASE, _) => {
+                    let op = match off {
+                        trace::BEGIN => TraceOp::Begin,
+                        trace::END => TraceOp::End,
+                        _ => TraceOp::Instant,
+                    };
+                    self.obs.tracepoint(self.now, op, val);
                 }
                 _ => {}
             }

@@ -216,6 +216,26 @@ pub trait Platform {
             reg.counter_set(&format!("lwvmm_exits_total{{{labels}}}"), h.count());
             reg.hist_set(&format!("lwvmm_exit_cycles{{{labels}}}"), h);
         }
+        // Per-core breakdown: instructions retired and exits serviced under a
+        // `core` label, so SMP dashboards can spot load imbalance. Core 0
+        // alone on single-core machines keeps the schema uniform.
+        for n in 0..m.num_cores() {
+            let labels = format!("platform=\"{name}\",core=\"{n}\"");
+            reg.counter_set(
+                &format!("lwvmm_core_instructions_total{{{labels}}}"),
+                m.core(n).instret(),
+            );
+            let exits = m.obs.core_exit_counts().get(n).copied().unwrap_or(0);
+            reg.counter_set(&format!("lwvmm_core_exits_total{{{labels}}}"), exits);
+        }
+        if let Some(c) = m.obs.causal() {
+            for class in hx_obs::FlowClass::ALL {
+                let h = c.hist(class);
+                let labels = format!("platform=\"{name}\",class=\"{}\"", class.label());
+                reg.counter_set(&format!("lwvmm_flows_total{{{labels}}}"), h.count());
+                reg.hist_set(&format!("lwvmm_flow_latency_cycles{{{labels}}}"), h);
+            }
+        }
         if let Some(j) = m.obs.journal() {
             set("lwvmm_journal_inputs_total", j.inputs.len() as u64);
             set("lwvmm_journal_events_total", j.events.len() as u64);
@@ -278,7 +298,14 @@ impl crate::engine::ExitPolicy for RawPlatform {
         self.charge(TimeBucket::Guest, c);
     }
 
-    fn handle_interrupt(&mut self, _irq: u8, vector: u8) {
+    fn handle_interrupt(&mut self, irq: u8, vector: u8) {
+        // Architectural INTA: acknowledging the line and entering the ISR
+        // happen in the same step on raw hardware. IPI lines are excluded —
+        // their delivery is tracked by the machine's own IPI hook.
+        if irq < crate::smp::IRQ_BASE {
+            let at = self.machine.now();
+            self.machine.obs.inta(at, irq as u32);
+        }
         let trap = self.machine.interrupt_trap(vector);
         let c = self.machine.deliver_trap(trap);
         self.charge(TimeBucket::Guest, c);

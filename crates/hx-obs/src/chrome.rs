@@ -13,12 +13,16 @@
 //! pure function of the run — byte-identical traces across identical runs
 //! are a tested invariant.
 
-use crate::event::EventKind;
+use crate::event::{Dev, EventKind};
 use crate::recorder::Recorder;
 use crate::span::Track;
 
 /// Thread id carrying instant events, after the four track threads.
 const EVENTS_TID: u32 = 4;
+/// First device thread id; device `d` gets tid `DEV_TID_BASE + d.index()`.
+const DEV_TID_BASE: u32 = 5;
+/// First per-core thread id; core `n` gets tid `CORE_TID_BASE + n`.
+const CORE_TID_BASE: u32 = 16;
 
 #[derive(Default)]
 pub struct ChromeTrace {
@@ -58,6 +62,35 @@ impl ChromeTrace {
             self.meta(pid, t.index() as u32, "thread_name", t.label());
         }
         self.meta(pid, EVENTS_TID, "thread_name", "events");
+        // Label the per-device tracks so Perfetto shows device names
+        // instead of raw tids.
+        for d in Dev::ALL {
+            self.meta(
+                pid,
+                DEV_TID_BASE + d.index() as u32,
+                "thread_name",
+                &format!("dev:{}", d.label()),
+            );
+        }
+        // Per-core tracks carry flow endpoints and tracepoint spans. The
+        // core count is derived from recorded data (deterministic): the
+        // per-core exit table plus any core named by a completed flow.
+        let mut cores = rec.core_exit_counts().len().max(1);
+        if let Some(c) = rec.causal() {
+            for f in c.flows() {
+                cores = cores
+                    .max(f.begin_core as usize + 1)
+                    .max(f.end_core as usize + 1);
+            }
+        }
+        for n in 0..cores {
+            self.meta(
+                pid,
+                CORE_TID_BASE + n as u32,
+                "thread_name",
+                &format!("core{n}"),
+            );
+        }
 
         for s in rec.spans.spans() {
             self.lines.push(format!(
@@ -71,6 +104,14 @@ impl ChromeTrace {
         }
 
         for ev in rec.ring.iter() {
+            // Device events land on their device's labeled track; everything
+            // else stays on the shared events track.
+            let tid = match ev.kind {
+                EventKind::DeviceIrq { dev, .. }
+                | EventKind::DeviceDma { dev, .. }
+                | EventKind::Doorbell { dev, .. } => DEV_TID_BASE + dev.index() as u32,
+                _ => EVENTS_TID,
+            };
             let args = match ev.kind {
                 EventKind::VmExit { cause, cycles } => {
                     format!("\"cause\":\"{}\",\"cycles\":{}", cause.label(), cycles)
@@ -97,24 +138,71 @@ impl ChromeTrace {
                 EventKind::Logpoint { addr, value } => {
                     format!("\"addr\":{addr},\"value\":{value}")
                 }
+                EventKind::IrqEntry { irq } => format!("\"irq\":{irq}"),
+                EventKind::IrqEoi => String::new(),
+                EventKind::Tracepoint { op, id } => {
+                    format!("\"op\":\"{}\",\"id\":{}", op.label(), id)
+                }
             };
             self.lines.push(format!(
-                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"{}\",\
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
                  \"s\":\"t\",\"ts\":{},\"args\":{{{args}}}}}",
                 ev.kind.name(),
                 ev.at
             ));
         }
 
+        self.add_flows(pid, rec);
+
         // Truncation is data, not a footnote: surface drop counts in-band.
-        if rec.ring.dropped() > 0 || rec.spans.dropped() > 0 {
+        let flows_dropped = rec.causal().map_or(0, |c| c.dropped_flows());
+        if rec.ring.dropped() > 0 || rec.spans.dropped() > 0 || flows_dropped > 0 {
             self.lines.push(format!(
                 "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{EVENTS_TID},\"name\":\"truncated\",\
-                 \"s\":\"p\",\"ts\":{},\"args\":{{\"events_dropped\":{},\"spans_dropped\":{}}}}}",
+                 \"s\":\"p\",\"ts\":{},\"args\":{{\"events_dropped\":{},\"spans_dropped\":{},\
+                 \"flows_dropped\":{flows_dropped}}}}}",
                 rec.spans.cursor(),
                 rec.ring.dropped(),
                 rec.spans.dropped()
             ));
+        }
+    }
+
+    /// Causal flows as Chrome flow events: each completed flow becomes a
+    /// `ph:"s"` start on its begin core's track and a `ph:"f"` finish on
+    /// its end core's track, bound by a shared id (made unique across
+    /// processes by folding in `pid`). Guest tracepoint spans additionally
+    /// render as `ph:"X"` duration slices on the emitting core's track.
+    fn add_flows(&mut self, pid: u32, rec: &Recorder) {
+        let Some(causal) = rec.causal() else {
+            return;
+        };
+        for f in causal.flows() {
+            let flow_id = ((pid as u64) << 32) | f.id;
+            let name = f.class.label();
+            self.lines.push(format!(
+                "{{\"ph\":\"s\",\"pid\":{pid},\"tid\":{},\"name\":\"{name}\",\
+                 \"cat\":\"flow\",\"id\":{flow_id},\"ts\":{},\"args\":{{\"key\":{}}}}}",
+                CORE_TID_BASE + f.begin_core as u32,
+                f.begin,
+                f.key
+            ));
+            self.lines.push(format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{},\"name\":\"{name}\",\
+                 \"cat\":\"flow\",\"id\":{flow_id},\"ts\":{}}}",
+                CORE_TID_BASE + f.end_core as u32,
+                f.end
+            ));
+            if f.class == crate::causal::FlowClass::Span {
+                self.lines.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"span:{}\",\
+                     \"cat\":\"trace\",\"ts\":{},\"dur\":{}}}",
+                    CORE_TID_BASE + f.begin_core as u32,
+                    f.key,
+                    f.begin,
+                    f.latency()
+                ));
+            }
         }
     }
 
@@ -156,6 +244,36 @@ mod tests {
         let total: u64 = a.spans.spans().iter().map(|s| s.len()).sum();
         assert_eq!(total, a.spans.grand_total());
         assert_eq!(total, 1100);
+    }
+
+    #[test]
+    fn flows_export_as_paired_start_finish_events() {
+        use crate::causal::TraceOp;
+        let mut r = Recorder::new();
+        r.enable_tracing();
+        r.enable_causal();
+        r.irq(100, Dev::Pit, 0);
+        r.inta(150, 0);
+        r.eoi(200);
+        r.set_active_core(1);
+        r.tracepoint(300, TraceOp::Begin, 7);
+        r.tracepoint(400, TraceOp::End, 7);
+        let mut t = ChromeTrace::new();
+        t.add_platform(1, "lvmm", &r);
+        let json = t.finish();
+        // Every flow start has a finish with the same bound id.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 3);
+        assert!(json.contains("\"name\":\"irq-dispatch\""));
+        assert!(json.contains("\"name\":\"span:7\""));
+        // Core and device tracks are labeled.
+        assert!(json.contains("\"name\":\"core1\""));
+        assert!(json.contains("\"name\":\"dev:pit\""));
+        // Deterministic across identical runs is covered by the e2e suite;
+        // here just pin that two exports of the same recorder agree.
+        let mut t2 = ChromeTrace::new();
+        t2.add_platform(1, "lvmm", &r);
+        assert_eq!(t2.finish(), json);
     }
 
     #[test]

@@ -117,6 +117,15 @@ pub enum EventKind {
     /// logpoint's condition evaluated to the nonzero `value`. Emitted from
     /// the instruction-boundary path without stopping the guest.
     Logpoint { addr: u32, value: u64 },
+    /// The guest entered the ISR for `irq` (architectural INTA on raw
+    /// hardware, virtual-PIC INTA under a monitor). Recorded only while
+    /// causal tracing is enabled.
+    IrqEntry { irq: u32 },
+    /// The guest wrote the PIC EOI register, retiring the most recently
+    /// entered ISR. Recorded only while causal tracing is enabled.
+    IrqEoi,
+    /// The guest wrote a `TRACE`-page tracepoint register.
+    Tracepoint { op: crate::causal::TraceOp, id: u32 },
 }
 
 impl EventKind {
@@ -132,6 +141,9 @@ impl EventKind {
             EventKind::GuestSample { .. } => "guest-sample",
             EventKind::FaultInjected { .. } => "fault-inject",
             EventKind::Logpoint { .. } => "logpoint",
+            EventKind::IrqEntry { .. } => "inta",
+            EventKind::IrqEoi => "eoi",
+            EventKind::Tracepoint { .. } => "tracepoint",
         }
     }
 }

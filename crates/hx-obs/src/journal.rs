@@ -80,6 +80,17 @@ pub enum JournalEvent {
     /// against the live run — byte-identity of this stream is the
     /// "logpoints do not perturb" invariant in executable form.
     Log { addr: u32, value: u64 },
+    /// The guest entered the ISR for line `irq`. Journaled only while
+    /// causal tracing is enabled, so journals recorded without it stay
+    /// byte-identical to the pre-causal format.
+    Inta { irq: u32 },
+    /// The guest retired the most recent ISR with an EOI write. Journaled
+    /// only while causal tracing is enabled.
+    Eoi,
+    /// The guest emitted a tracepoint on the `TRACE` page. Guest-driven
+    /// like a doorbell, so it is journaled whenever journaling is on —
+    /// pre-causal guests emit none, keeping old journals byte-identical.
+    Trace { op: crate::causal::TraceOp, id: u32 },
 }
 
 impl JournalEvent {
@@ -92,7 +103,10 @@ impl JournalEvent {
             | JournalEvent::Doorbell { dev, .. } => Some(dev),
             JournalEvent::DebugCommand { .. }
             | JournalEvent::Fault { .. }
-            | JournalEvent::Log { .. } => None,
+            | JournalEvent::Log { .. }
+            | JournalEvent::Inta { .. }
+            | JournalEvent::Eoi
+            | JournalEvent::Trace { .. } => None,
         }
     }
 }
@@ -277,6 +291,15 @@ impl Journal {
                     JournalEvent::Log { addr, value } => {
                         out.push_str(&format!("E {} log {} {}", r.at, addr, value));
                     }
+                    JournalEvent::Inta { irq } => {
+                        out.push_str(&format!("E {} inta {}", r.at, irq));
+                    }
+                    JournalEvent::Eoi => {
+                        out.push_str(&format!("E {} eoi", r.at));
+                    }
+                    JournalEvent::Trace { op, id } => {
+                        out.push_str(&format!("E {} trace {} {}", r.at, op.code(), id));
+                    }
                 }
                 if r.core != 0 {
                     out.push_str(&format!(" c{}", r.core));
@@ -411,6 +434,25 @@ impl Journal {
                                 .ok_or_else(|| err(line, "bad logpoint value"))?;
                             JournalEvent::Log { addr, value }
                         }
+                        "inta" => {
+                            let irq = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad inta irq"))?;
+                            JournalEvent::Inta { irq }
+                        }
+                        "eoi" => JournalEvent::Eoi,
+                        "trace" => {
+                            let op = w
+                                .next()
+                                .and_then(crate::causal::TraceOp::parse)
+                                .ok_or_else(|| err(line, "bad tracepoint op"))?;
+                            let id = w
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err(line, "bad tracepoint id"))?;
+                            JournalEvent::Trace { op, id }
+                        }
                         _ => return Err(err(line, "unknown event kind")),
                     };
                     // Optional trailing `c<N>` core token (absent == core 0).
@@ -523,7 +565,7 @@ pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
         ev.dev() == Some(dev)
     }
     type StreamFilter = fn(&JournalEvent) -> bool;
-    let streams: [(&str, StreamFilter); 8] = [
+    let streams: [(&str, StreamFilter); 10] = [
         ("nic", |e| is_dev(e, Dev::Nic)),
         ("hdc", |e| is_dev(e, Dev::Hdc)),
         ("pit", |e| is_dev(e, Dev::Pit)),
@@ -532,6 +574,10 @@ pub fn audit(a: &Journal, b: &Journal) -> Vec<StreamAudit> {
         ("stub", |e| matches!(e, JournalEvent::DebugCommand { .. })),
         ("fault", |e| matches!(e, JournalEvent::Fault { .. })),
         ("log", |e| matches!(e, JournalEvent::Log { .. })),
+        ("isr", |e| {
+            matches!(e, JournalEvent::Inta { .. } | JournalEvent::Eoi)
+        }),
+        ("trace", |e| matches!(e, JournalEvent::Trace { .. })),
     ];
     streams
         .into_iter()
@@ -674,6 +720,7 @@ mod tests {
 
     mod properties {
         use super::*;
+        use crate::causal::TraceOp;
         use proptest::prelude::*;
 
         fn arb_input() -> impl Strategy<Value = JournalInput> {
@@ -696,6 +743,13 @@ mod tests {
                     .prop_map(|(code, arg)| JournalEvent::Fault { code, arg }),
                 (any::<u32>(), any::<u64>())
                     .prop_map(|(addr, value)| JournalEvent::Log { addr, value }),
+                any::<u32>().prop_map(|irq| JournalEvent::Inta { irq }),
+                Just(JournalEvent::Eoi),
+                (
+                    proptest::sample::select(&[TraceOp::Begin, TraceOp::End, TraceOp::Instant]),
+                    any::<u32>()
+                )
+                    .prop_map(|(op, id)| JournalEvent::Trace { op, id }),
             ]
         }
 

@@ -28,6 +28,9 @@
 //! | `Doorbell` | guest rang a device kick register | [`Dev`] + register offset |
 //! | `DebugCommand` | debug stub executed a wire command | command byte |
 //! | `GuestSample` | guest-stats snapshot sampled | cumulative bytes/frames |
+//! | `IrqEntry` | guest entered an ISR (INTA) | irq line (causal-gated) |
+//! | `IrqEoi` | guest retired an ISR (EOI write) | — (causal-gated) |
+//! | `Tracepoint` | guest wrote a `TRACE`-page register | [`TraceOp`] + id |
 //!
 //! Exit causes: `privileged`, `mmio`, `shadow`, `irq-reflect`,
 //! `irq-inject`, `protection`, `debug`, and (hosted monitor only)
@@ -37,6 +40,11 @@
 //!
 //! - [`Recorder`] — one per machine; histograms always on, event ring and
 //!   span track opt-in (`--trace`), journal opt-in (record mode).
+//! - [`CausalTracker`]/[`Flow`]/[`FlowClass`] — deterministic causal
+//!   tracing: flow IDs across asynchronous handoffs (IRQ raise→ISR→EOI,
+//!   IPI send→delivery, disk/NIC command→completion, guest tracepoint
+//!   spans) with per-class end-to-end latency histograms. Opt-in
+//!   (`enable_causal`); every hook is a branch-and-return when off.
 //! - [`TraceRing`] — bounded event buffer that wraps keeping the newest
 //!   events, with exact drop accounting.
 //! - [`CycleHist`]/[`ExitHists`] — log2-bucket histograms with
@@ -70,6 +78,7 @@
 //! - [`audit`]/[`first_divergence`] — per-device-stream comparison of two
 //!   journals, reporting the first point where runs disagree.
 
+pub mod causal;
 pub mod checkpoint;
 pub mod chrome;
 pub mod event;
@@ -84,6 +93,7 @@ pub mod report;
 pub mod ring;
 pub mod span;
 
+pub use causal::{CausalTracker, Flow, FlowClass, TraceOp};
 pub use checkpoint::{Checkpoint, CheckpointStore, StateDigest};
 pub use chrome::ChromeTrace;
 pub use event::{Dev, EventKind, ExitCause, TraceEvent};

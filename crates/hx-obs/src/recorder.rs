@@ -19,6 +19,7 @@
 //! its readings flow only into its own accumulators (see
 //! [`crate::hostprof`]), never back into the simulation.
 
+use crate::causal::{CausalTracker, TraceOp};
 use crate::event::{Dev, EventKind, ExitCause, TraceEvent};
 use crate::hist::ExitHists;
 use crate::hostprof::{HostAttribution, HostPhase, HostProf};
@@ -45,6 +46,9 @@ pub struct Recorder {
     journal: Option<Box<Journal>>,
     /// Guest-aware profiler; `None` unless profiling was enabled.
     prof: Option<Box<Profiler>>,
+    /// Causal flow tracker; `None` unless causal tracing was enabled.
+    /// Plain data, so flight-recorder snapshots rewind it with the machine.
+    causal: Option<Box<CausalTracker>>,
     /// Host-time self-profiler; `None` unless enabled. Shared behind an
     /// `Arc` so snapshot clones (flight recorder, time travel) keep feeding
     /// the *same* accumulator — host time already spent never rewinds.
@@ -62,6 +66,7 @@ impl Default for Recorder {
             spans: SpanTrack::new(SpanTrack::DEFAULT_CAPACITY),
             journal: None,
             prof: None,
+            causal: None,
             hostprof: None,
         }
     }
@@ -153,6 +158,28 @@ impl Recorder {
     /// Detach the profiler, ending profiling.
     pub fn take_profiler(&mut self) -> Option<Profiler> {
         self.prof.take().map(|b| *b)
+    }
+
+    /// Turn on causal flow tracking: from this point every asynchronous
+    /// handoff (IRQ raise→ISR entry→EOI, IPI send→delivery, disk/NIC
+    /// command→completion, guest tracepoint begin→end) is connected into a
+    /// flow and fed to per-class latency histograms. Pure observation —
+    /// the hooks never touch simulation state.
+    pub fn enable_causal(&mut self) {
+        self.causal = Some(Box::new(CausalTracker::new()));
+    }
+
+    pub fn causal_tracking(&self) -> bool {
+        self.causal.is_some()
+    }
+
+    pub fn causal(&self) -> Option<&CausalTracker> {
+        self.causal.as_deref()
+    }
+
+    /// Detach the causal tracker, ending flow tracking.
+    pub fn take_causal(&mut self) -> Option<CausalTracker> {
+        self.causal.take().map(|b| *b)
     }
 
     /// Turn on the host-time self-profiler: from this point,
@@ -261,6 +288,10 @@ impl Recorder {
 
     pub fn irq(&mut self, at: u64, dev: Dev, irq: u32) {
         self.event(at, EventKind::DeviceIrq { dev, irq });
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.device_irq(at, core, dev, irq);
+        }
         self.journal_event(at, JournalEvent::Irq { dev, irq });
     }
 
@@ -278,7 +309,72 @@ impl Recorder {
 
     pub fn doorbell(&mut self, at: u64, dev: Dev, reg: u32) {
         self.event(at, EventKind::Doorbell { dev, reg });
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.doorbell(at, core, dev, reg);
+        }
         self.journal_event(at, JournalEvent::Doorbell { dev, reg });
+    }
+
+    /// The guest entered the ISR for line `irq` — architectural INTA on
+    /// raw hardware, virtual-PIC INTA at injection under a monitor. A
+    /// branch-and-return unless causal tracing is on; ring and journal
+    /// records are causal-gated too, so traces and journals recorded
+    /// without causal tracing keep their pre-causal bytes.
+    pub fn inta(&mut self, at: u64, irq: u32) {
+        if self.causal.is_none() {
+            return;
+        }
+        self.event(at, EventKind::IrqEntry { irq });
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.inta(at, core, irq);
+        }
+        self.journal_event(at, JournalEvent::Inta { irq });
+    }
+
+    /// The guest wrote the PIC EOI register, retiring the most recent ISR.
+    /// Causal-gated like [`Recorder::inta`].
+    pub fn eoi(&mut self, at: u64) {
+        if self.causal.is_none() {
+            return;
+        }
+        self.event(at, EventKind::IrqEoi);
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.eoi(at, core);
+        }
+        self.journal_event(at, JournalEvent::Eoi);
+    }
+
+    /// An IPI send was issued toward `target`, line `line`. Feeds only the
+    /// causal tracker — the send is already journaled as a PIC doorbell
+    /// and the delivery as a PIC IRQ, so no new journal stream is needed.
+    pub fn ipi_send(&mut self, at: u64, target: u8, line: u8) {
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.ipi_send(at, core, target, line);
+        }
+    }
+
+    /// An IPI was delivered to `target` (startup or pending-mask latch).
+    pub fn ipi_deliver(&mut self, at: u64, target: u8, line: u8) {
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.ipi_deliver(at, target, line);
+        }
+    }
+
+    /// The guest wrote a `TRACE`-page register: `op` at tracepoint `id`.
+    /// Guest-driven like a doorbell, so the ring (when tracing) and the
+    /// journal (when journaling) record it regardless of causal tracking —
+    /// pre-causal guests emit none, so their outputs are unchanged.
+    pub fn tracepoint(&mut self, at: u64, op: TraceOp, id: u32) {
+        self.event(at, EventKind::Tracepoint { op, id });
+        let core = self.active_core;
+        if let Some(c) = self.causal.as_deref_mut() {
+            c.tracepoint(at, core, op, id);
+        }
+        self.journal_event(at, JournalEvent::Trace { op, id });
     }
 
     pub fn debug_command(&mut self, at: u64, code: u8) {
@@ -304,10 +400,10 @@ impl Recorder {
         self.journal_event(at, JournalEvent::Log { addr, value });
     }
 
-    /// Reset all recorded data (ring, spans, histograms, profiler counts)
-    /// but keep the tracing flag, the profiler's configuration and the
-    /// journal — the journal must span a whole run, warmup included, or
-    /// replay would miss early inputs.
+    /// Reset all recorded data (ring, spans, histograms, profiler counts,
+    /// causal flows) but keep the tracing flag, the profiler's
+    /// configuration and the journal — the journal must span a whole run,
+    /// warmup included, or replay would miss early inputs.
     pub fn reset(&mut self) {
         self.ring.clear();
         self.spans.clear();
@@ -315,6 +411,9 @@ impl Recorder {
         self.core_exits.clear();
         if let Some(p) = self.prof.as_deref_mut() {
             p.reset_counts();
+        }
+        if let Some(c) = self.causal.as_deref_mut() {
+            *c = CausalTracker::new();
         }
     }
 }
@@ -389,6 +488,43 @@ mod tests {
         let j = r.take_journal().unwrap();
         assert_eq!(j.events.len(), 4);
         assert!(!r.journaling());
+    }
+
+    #[test]
+    fn causal_funnels_are_gated_and_feed_tracker_and_journal() {
+        use crate::causal::FlowClass;
+        let mut r = Recorder::new();
+        r.enable_journal("lvmm");
+        // Causal off: inta/eoi are a branch and return — not journaled, so
+        // pre-causal journal bytes are preserved.
+        r.inta(10, 0);
+        r.eoi(20);
+        assert_eq!(r.journal().unwrap().events.len(), 0);
+        // Tracepoints are guest-driven: journaled even without causal.
+        r.tracepoint(30, TraceOp::Instant, 9);
+        assert_eq!(r.journal().unwrap().events.len(), 1);
+
+        r.enable_causal();
+        r.irq(100, Dev::Pit, 0);
+        r.inta(150, 0);
+        r.eoi(200);
+        r.set_active_core(1);
+        r.tracepoint(250, TraceOp::Begin, 7);
+        r.tracepoint(300, TraceOp::End, 7);
+        let c = r.causal().unwrap();
+        assert_eq!(c.flows().len(), 3);
+        assert_eq!(c.hist(FlowClass::IrqDispatch).max(), 50);
+        assert_eq!(c.flows()[2].begin_core, 1);
+        // irq + inta + eoi + 2 tracepoints journaled after enable.
+        assert_eq!(r.journal().unwrap().events.len(), 6);
+
+        // Reset clears flows but keeps the tracker installed; take detaches.
+        r.reset();
+        assert!(r.causal_tracking());
+        assert!(r.causal().unwrap().flows().is_empty());
+        let t = r.take_causal().unwrap();
+        assert!(t.flows().is_empty());
+        assert!(!r.causal_tracking());
     }
 
     #[test]

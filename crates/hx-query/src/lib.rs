@@ -15,7 +15,9 @@
 //!   alike).
 //! * [`JournalQuery`] — host-side queries over a recorded
 //!   [`hx_obs::Journal`]: IRQ deliveries in a cycle range, the first event
-//!   of a device stream, logpoint hits, and the first divergent event
+//!   of a device stream, logpoint hits, raise→ISR-entry dispatch latencies
+//!   (`irqlat n over k` answers "the first IRQ whose dispatch took more
+//!   than k cycles"), guest tracepoint hits, and the first divergent event
 //!   between two recordings (via the divergence auditor).
 //! * [`json`] — tiny hand-rolled JSON-line helpers so `dbgctl` and
 //!   `lwvmm-run --query-json` emit machine-readable output without pulling
@@ -30,4 +32,6 @@ pub mod json;
 pub mod query;
 
 pub use expr::{BinOp, EvalCtx, Expr, ParseError, SliceCtx, UnOp};
-pub use query::{first_divergent_event, irq_deliveries, DivergentEvent, JournalQuery, QueryAnswer};
+pub use query::{
+    first_divergent_event, irq_deliveries, irq_latencies, DivergentEvent, JournalQuery, QueryAnswer,
+};

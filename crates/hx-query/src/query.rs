@@ -74,6 +74,26 @@ pub enum JournalQuery {
         /// Logpoint address filter.
         addr: Option<u32>,
     },
+    /// `irqlat <n> [over <k>] [in <from>..<to>]` — ISR-entry cycles of
+    /// IRQ-`n` dispatches whose raise→entry latency exceeded `k` cycles
+    /// (`over 0`, the default, lists every matched dispatch). Answers
+    /// "the first IRQ whose dispatch latency exceeded K cycles" with a
+    /// seekable cycle.
+    IrqLatency {
+        /// IRQ line.
+        irq: u32,
+        /// Latency threshold in cycles (strict).
+        over: u64,
+        /// Range start (inclusive), 0 if unspecified.
+        from: u64,
+        /// Range end (inclusive), `u64::MAX` if unspecified.
+        to: u64,
+    },
+    /// `trace [<id>]` — guest tracepoint events, optionally only one id.
+    Trace {
+        /// Tracepoint id filter.
+        id: Option<u32>,
+    },
 }
 
 /// The answer to a [`JournalQuery`]: a count, the matching cycles (capped),
@@ -148,6 +168,23 @@ impl JournalQuery {
             ["logs", a] => Some(JournalQuery::Logs {
                 addr: Some(parse_num(a)? as u32),
             }),
+            ["irqlat", n, rest @ ..] => {
+                let (over, rest) = match rest {
+                    ["over", k, tail @ ..] => (parse_num(k)?, tail),
+                    tail => (0, tail),
+                };
+                let (from, to) = parse_range(rest)?;
+                Some(JournalQuery::IrqLatency {
+                    irq: parse_num(n)? as u32,
+                    over,
+                    from,
+                    to,
+                })
+            }
+            ["trace"] => Some(JournalQuery::Trace { id: None }),
+            ["trace", i] => Some(JournalQuery::Trace {
+                id: Some(parse_num(i)? as u32),
+            }),
             _ => None,
         }
     }
@@ -165,6 +202,23 @@ impl JournalQuery {
             JournalQuery::FirstEvent { stream } => format!("first-event {stream}"),
             JournalQuery::Logs { addr: None } => "logs".to_string(),
             JournalQuery::Logs { addr: Some(a) } => format!("logs 0x{a:x}"),
+            JournalQuery::IrqLatency {
+                irq,
+                over,
+                from,
+                to,
+            } => {
+                let mut s = format!("irqlat {irq}");
+                if *over > 0 {
+                    s.push_str(&format!(" over {over}"));
+                }
+                if *from != 0 || *to != u64::MAX {
+                    s.push_str(&format!(" in {from}..{to}"));
+                }
+                s
+            }
+            JournalQuery::Trace { id: None } => "trace".to_string(),
+            JournalQuery::Trace { id: Some(i) } => format!("trace {i}"),
         }
     }
 
@@ -187,6 +241,25 @@ impl JournalQuery {
                 })
                 .map(|e| e.at)
                 .collect(),
+            JournalQuery::IrqLatency {
+                irq,
+                over,
+                from,
+                to,
+            } => irq_latencies(j, *irq)
+                .into_iter()
+                .filter(|&(entry, lat)| lat > *over && (*from..=*to).contains(&entry))
+                .map(|(entry, _)| entry)
+                .collect(),
+            JournalQuery::Trace { id } => j
+                .events
+                .iter()
+                .filter(|e| match e.ev {
+                    JournalEvent::Trace { id: i, .. } => id.is_none_or(|want| want == i),
+                    _ => false,
+                })
+                .map(|e| e.at)
+                .collect(),
         };
         QueryAnswer {
             query: self.format(),
@@ -195,6 +268,29 @@ impl JournalQuery {
             cycles: cycles.into_iter().take(QueryAnswer::MAX_CYCLES).collect(),
         }
     }
+}
+
+/// `(isr_entry_cycle, raise→entry latency)` for every matched dispatch of
+/// IRQ line `irq`, in journal order. Pairing mirrors the live causal
+/// tracker: the earliest unmatched device raise of the line wins, and PIC
+/// raises (IPIs, injected bursts) are not dispatches.
+pub fn irq_latencies(j: &Journal, irq: u32) -> Vec<(u64, u64)> {
+    let mut pending: Option<u64> = None;
+    let mut out = Vec::new();
+    for e in &j.events {
+        match e.ev {
+            JournalEvent::Irq { dev, irq: line } if line == irq && dev != hx_obs::Dev::Pic => {
+                pending.get_or_insert(e.at);
+            }
+            JournalEvent::Inta { irq: line } if line == irq => {
+                if let Some(raise) = pending.take() {
+                    out.push((e.at, e.at - raise));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 /// The auditor stream an event belongs to.
@@ -235,6 +331,7 @@ mod tests {
                 irq: 3,
             },
         );
+        j.event(250, JournalEvent::Inta { irq: 3 });
         j.event(
             400,
             JournalEvent::Log {
@@ -278,6 +375,80 @@ mod tests {
     }
 
     #[test]
+    fn irq_latency_queries_pair_raise_with_entry() {
+        use hx_obs::TraceOp;
+        let mut j = Journal::new("lvmm");
+        // Two dispatches of line 0: 50-cycle and 300-cycle latency; the
+        // second raise (while one is pending) is absorbed into the first
+        // flow, earliest-raise-wins. A PIC raise is not a dispatch.
+        j.event(
+            100,
+            JournalEvent::Irq {
+                dev: Dev::Pit,
+                irq: 0,
+            },
+        );
+        j.event(150, JournalEvent::Inta { irq: 0 });
+        j.event(
+            200,
+            JournalEvent::Irq {
+                dev: Dev::Pic,
+                irq: 0,
+            },
+        );
+        j.event(
+            400,
+            JournalEvent::Irq {
+                dev: Dev::Pit,
+                irq: 0,
+            },
+        );
+        j.event(
+            500,
+            JournalEvent::Irq {
+                dev: Dev::Pit,
+                irq: 0,
+            },
+        );
+        j.event(700, JournalEvent::Inta { irq: 0 });
+        j.event(
+            800,
+            JournalEvent::Trace {
+                op: TraceOp::Begin,
+                id: 7,
+            },
+        );
+        j.event(
+            900,
+            JournalEvent::Trace {
+                op: TraceOp::End,
+                id: 7,
+            },
+        );
+        j.seal(1_000);
+
+        assert_eq!(irq_latencies(&j, 0), vec![(150, 50), (700, 300)]);
+        let all = JournalQuery::parse("irqlat 0").unwrap();
+        assert_eq!(all.run(&j).cycles, vec![150, 700]);
+        assert_eq!(JournalQuery::parse(&all.format()), Some(all));
+        // "First dispatch over 100 cycles" — the canonical causal question.
+        let slow = JournalQuery::parse("irqlat 0 over 100").unwrap();
+        assert_eq!(slow.run(&j).first, Some(700));
+        assert_eq!(JournalQuery::parse(&slow.format()), Some(slow));
+        let ranged = JournalQuery::parse("irqlat 0 over 10 in 0..200").unwrap();
+        assert_eq!(ranged.run(&j).cycles, vec![150]);
+        assert_eq!(JournalQuery::parse(&ranged.format()), Some(ranged.clone()));
+        assert!(ranged.run(&j).to_json().contains("\"first\":150"));
+
+        let traces = JournalQuery::parse("trace").unwrap();
+        assert_eq!(traces.run(&j).cycles, vec![800, 900]);
+        let one = JournalQuery::parse("trace 7").unwrap();
+        assert_eq!(one.run(&j).count, 2);
+        assert_eq!(JournalQuery::parse(&one.format()), Some(one));
+        assert_eq!(JournalQuery::parse("trace 8").unwrap().run(&j).count, 0);
+    }
+
+    #[test]
     fn divergence_picks_earliest_stream() {
         let a = sample_journal();
         let mut b = sample_journal();
@@ -302,7 +473,21 @@ mod tests {
 
     #[test]
     fn bad_queries_do_not_parse() {
-        for s in ["", "irq", "irq x", "irq 3 in 5", "logs 0xzz", "frobnicate"] {
+        for s in [
+            "",
+            "irq",
+            "irq x",
+            "irq 3 in 5",
+            "logs 0xzz",
+            "frobnicate",
+            "irqlat",
+            "irqlat x",
+            "irqlat 0 over",
+            "irqlat 0 over x",
+            "irqlat 0 above 5",
+            "trace 0xzz",
+            "trace 1 2",
+        ] {
             assert_eq!(JournalQuery::parse(s), None, "{s:?}");
         }
     }

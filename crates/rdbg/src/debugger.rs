@@ -1,6 +1,8 @@
 //! The host-side remote debugger.
 
-use crate::msg::{Command, MetricsSample, ProfSample, Reply, StatsSample, StopReason, WatchKind};
+use crate::msg::{
+    Command, FlowSample, MetricsSample, ProfSample, Reply, StatsSample, StopReason, WatchKind,
+};
 use crate::wire::{encode_packet, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
 use core::fmt;
 use std::collections::VecDeque;
@@ -47,6 +49,7 @@ pub fn err_name(code: u8) -> Option<&'static str> {
         8 => "bad query expression",
         10 => "metrics unavailable",
         11 => "no such core",
+        12 => "causal tracing unavailable",
         _ => return None,
     })
 }
@@ -524,6 +527,24 @@ impl<L: Link> Debugger<L> {
     pub fn query_metrics(&mut self) -> Result<MetricsSample, DbgError> {
         match self.transact(&Command::QueryMetrics)? {
             Reply::Metrics(s) => Ok(s),
+            Reply::Error(code) => Err(DbgError::Target(code)),
+            other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Samples the target's causal-flow tracker: per-class flow counts and
+    /// end-to-end latency percentiles. Like [`Debugger::query_stats`] this
+    /// works while the guest is running; every value in the reply is
+    /// simulation-deterministic, so sampling cannot perturb the run.
+    ///
+    /// # Errors
+    ///
+    /// [`DbgError::Target`] with the stable `causal unavailable` code if
+    /// the target has no causal tracker enabled; propagates protocol
+    /// errors.
+    pub fn query_flow(&mut self) -> Result<FlowSample, DbgError> {
+        match self.transact(&Command::QueryFlow)? {
+            Reply::Flow(s) => Ok(s),
             Reply::Error(code) => Err(DbgError::Target(code)),
             other => Err(DbgError::Protocol(format!("unexpected reply {other:?}"))),
         }

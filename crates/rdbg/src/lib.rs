@@ -31,6 +31,7 @@ pub mod wire;
 pub use debugger::{err_name, DbgError, Debugger, Link, Registers};
 pub use lossy::LossyLink;
 pub use msg::{
-    Command, MetricsSample, ProfSample, Reply, StatsSample, StopReason, WatchKind, METRICS_PHASES,
+    Command, FlowSample, MetricsSample, ProfSample, Reply, StatsSample, StopReason, WatchKind,
+    FLOW_CLASSES, METRICS_PHASES,
 };
 pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};

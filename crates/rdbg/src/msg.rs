@@ -182,6 +182,11 @@ pub enum Command {
     /// host-nanosecond totals. Stubs built without the metrics registry
     /// answer with the stable `metrics unavailable` error code.
     QueryMetrics,
+    /// Sample the target's causal-flow tracker **without** stopping the
+    /// guest: the reply is a [`FlowSample`] with per-class flow counts and
+    /// latency percentiles. Targets without causal tracing enabled answer
+    /// with the stable `causal unavailable` error code.
+    QueryFlow,
     /// Time travel: rewind to just before the most recently executed guest
     /// instruction. Requires the flight recorder; stops with
     /// [`StopReason::TimeTravel`].
@@ -247,6 +252,7 @@ impl Command {
             Command::QueryStats => "qStats".into(),
             Command::QueryProf { max } => format!("qProf{max:x}"),
             Command::QueryMetrics => "qMetrics".into(),
+            Command::QueryFlow => "qFlow".into(),
             Command::ReverseStep => "bs".into(),
             Command::ReverseContinue => "bc".into(),
             Command::Seek { cycle } => format!("bg{cycle:x}"),
@@ -278,6 +284,7 @@ impl Command {
             'k' if payload == "k" => Some(Command::Reset),
             'q' if payload == "qStats" => Some(Command::QueryStats),
             'q' if payload == "qMetrics" => Some(Command::QueryMetrics),
+            'q' if payload == "qFlow" => Some(Command::QueryFlow),
             'q' if payload.starts_with("ql,") => {
                 let addr = u32::from_str_radix(payload.strip_prefix("ql,")?, 16).ok()?;
                 Some(Command::ClearLogpoint { addr })
@@ -650,6 +657,94 @@ impl MetricsSample {
     }
 }
 
+/// Number of flow classes in a [`FlowSample`].
+///
+/// This must equal `hx_obs::FlowClass::COUNT`; the monitors cross-check
+/// the two constants with a test so the wire format cannot silently drift
+/// from the causal tracker.
+pub const FLOW_CLASSES: usize = 6;
+
+/// A live sample of the target's causal-flow tracker, carried in the reply
+/// to [`Command::QueryFlow`].
+///
+/// `classes` summarises end-to-end latency per flow class, indexed by
+/// `hx_obs::FlowClass::index()` — the canonical `FlowClass::ALL` order —
+/// as `(count, p50, p99, max)` cycle tuples. Every value is a pure
+/// function of the simulation, so the variable-width encoding cannot leak
+/// host nondeterminism into the reply's simulated byte cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowSample {
+    /// Simulated-cycle timestamp of the sample.
+    pub now: u64,
+    /// Completed flows across all classes (including any later dropped
+    /// from the buffer — histograms keep counting).
+    pub completed: u64,
+    /// Completed flows dropped after the flow buffer filled.
+    pub dropped: u64,
+    /// `end`-style hooks that arrived with nothing pending to close.
+    pub orphan_ends: u64,
+    /// Guest instant tracepoints observed.
+    pub instants: u64,
+    /// Per-class `(count, p50, p99, max)` latency summaries, in
+    /// `FlowClass::ALL` order.
+    pub classes: Vec<(u64, u64, u64, u64)>,
+}
+
+impl FlowSample {
+    /// Formats as an `F…` payload.
+    pub fn format(&self) -> String {
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|(n, p50, p99, max)| format!("{n:x}:{p50:x}:{p99:x}:{max:x}"))
+            .collect();
+        format!(
+            "F{:x};n:{:x};d:{:x};o:{:x};t:{:x};h:{}",
+            self.now,
+            self.completed,
+            self.dropped,
+            self.orphan_ends,
+            self.instants,
+            classes.join(",")
+        )
+    }
+
+    /// Parses an `F…` payload.
+    pub fn parse(payload: &str) -> Option<FlowSample> {
+        let body = payload.strip_prefix('F')?;
+        let mut parts = body.split(';');
+        let now = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let mut sample = FlowSample {
+            now,
+            ..FlowSample::default()
+        };
+        for part in parts {
+            let (k, v) = part.split_once(':')?;
+            match k {
+                "n" => sample.completed = u64::from_str_radix(v, 16).ok()?,
+                "d" => sample.dropped = u64::from_str_radix(v, 16).ok()?,
+                "o" => sample.orphan_ends = u64::from_str_radix(v, 16).ok()?,
+                "t" => sample.instants = u64::from_str_radix(v, 16).ok()?,
+                "h" if !v.is_empty() => {
+                    for entry in v.split(',') {
+                        let mut fields = entry.split(':');
+                        let n = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        let p50 = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        let p99 = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        let max = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        if fields.next().is_some() {
+                            return None;
+                        }
+                        sample.classes.push((n, p50, p99, max));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(sample)
+    }
+}
+
 /// Why the guest stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -809,6 +904,8 @@ pub enum Reply {
     /// Live host-time attribution sample (reply to
     /// [`Command::QueryMetrics`]).
     Metrics(MetricsSample),
+    /// Live causal-flow sample (reply to [`Command::QueryFlow`]).
+    Flow(FlowSample),
     /// Answer to [`Command::QueryFirst`]: whether the predicate was
     /// satisfied in the recorded window and, if so, at which cycle. A hit
     /// is followed by an asynchronous [`StopReason::TimeTravel`] stop once
@@ -834,6 +931,7 @@ impl Reply {
             Reply::Stats(s) => s.format(),
             Reply::Prof(s) => s.format(),
             Reply::Metrics(s) => s.format(),
+            Reply::Flow(s) => s.format(),
             Reply::Query { found, cycle } => {
                 format!("Q{};c:{cycle:x}", if *found { 1 } else { 0 })
             }
@@ -860,6 +958,10 @@ impl Reply {
         }
         if payload.starts_with('M') {
             return Some(Reply::Metrics(MetricsSample::parse(payload)?));
+        }
+        // `F` cannot collide with hex data: `to_hex` emits lowercase only.
+        if payload.starts_with('F') {
+            return Some(Reply::Flow(FlowSample::parse(payload)?));
         }
         if let Some(body) = payload.strip_prefix('Q') {
             let found = match body.chars().next()? {
@@ -955,6 +1057,7 @@ mod tests {
         );
         assert_eq!(Command::parse("qStats"), Some(Command::QueryStats));
         assert_eq!(Command::parse("qMetrics"), Some(Command::QueryMetrics));
+        assert_eq!(Command::parse("qFlow"), Some(Command::QueryFlow));
         assert_eq!(Command::parse("H"), Some(Command::Halt));
         assert_eq!(Command::parse("Hg1"), Some(Command::SetThread { core: 1 }));
         assert_eq!(Command::parse("T2"), Some(Command::ThreadAlive { core: 2 }));
@@ -976,6 +1079,8 @@ mod tests {
             "qStatsX",
             "qMetric",
             "qMetricsX",
+            "qFlo",
+            "qFlowX",
             "qProf",
             "qProfzz",
             "ql,zz",
@@ -1102,6 +1207,47 @@ mod tests {
     }
 
     #[test]
+    fn flow_sample_examples() {
+        let s = FlowSample {
+            now: 0x2000,
+            completed: 12,
+            dropped: 0,
+            orphan_ends: 1,
+            instants: 3,
+            classes: vec![
+                (5, 0x40, 0x80, 0x9f),
+                (5, 0x10, 0x20, 0x2f),
+                (0, 0, 0, 0),
+                (2, 0x100, 0x100, 0x13f),
+                (0, 0, 0, 0),
+                (0, 0, 0, 0),
+            ],
+        };
+        assert_eq!(FlowSample::parse(&s.format()), Some(s.clone()));
+        assert_eq!(
+            Reply::parse(&Reply::Flow(s.clone()).format()),
+            Some(Reply::Flow(s))
+        );
+        // An empty sample (tracker just enabled) is representable.
+        let empty = FlowSample {
+            now: 9,
+            ..FlowSample::default()
+        };
+        assert_eq!(FlowSample::parse(&empty.format()), Some(empty));
+        // Malformed samples are rejected, not panicking.
+        for bad in [
+            "F",
+            "Fzz",
+            "F1;n",
+            "F1;n:zz",
+            "F1;h:1:2:3",
+            "F1;h:1:2:3:4:5",
+        ] {
+            assert_eq!(FlowSample::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
     fn stop_reason_examples() {
         let r = StopReason::Watchpoint {
             pc: 0x104,
@@ -1160,6 +1306,7 @@ mod tests {
             Just(Command::QueryStats),
             any::<u8>().prop_map(|max| Command::QueryProf { max }),
             Just(Command::QueryMetrics),
+            Just(Command::QueryFlow),
             (any::<u8>(), any::<u32>())
                 .prop_map(|(index, value)| Command::WriteRegister { index, value }),
             (any::<u32>(), any::<u32>()).prop_map(|(addr, len)| Command::ReadMemory { addr, len }),
@@ -1288,6 +1435,30 @@ mod tests {
             )
     }
 
+    fn arb_flow() -> impl Strategy<Value = FlowSample> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                0..FLOW_CLASSES + 2,
+            ),
+        )
+            .prop_map(
+                |(now, completed, dropped, orphan_ends, instants, classes)| FlowSample {
+                    now,
+                    completed,
+                    dropped,
+                    orphan_ends,
+                    instants,
+                    classes,
+                },
+            )
+    }
+
     fn arb_metrics() -> impl Strategy<Value = MetricsSample> {
         (
             any::<u64>(),
@@ -1326,6 +1497,12 @@ mod tests {
         #[test]
         fn prof_roundtrip(sample in arb_prof()) {
             let r = Reply::Prof(sample);
+            prop_assert_eq!(Reply::parse(&r.format()), Some(r));
+        }
+
+        #[test]
+        fn flow_roundtrip(sample in arb_flow()) {
+            let r = Reply::Flow(sample);
             prop_assert_eq!(Reply::parse(&r.format()), Some(r));
         }
 

@@ -27,7 +27,7 @@ use lwvmm::guest::{apps, kernel::layout, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{smp, Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::{LvmmPlatform, UartLink};
-use lwvmm::obs::{audit, Journal};
+use lwvmm::obs::{audit, FlowClass, Journal};
 use lwvmm::query::json::JsonObj;
 use lwvmm::query::{first_divergent_event, JournalQuery};
 use rdbg::{DbgError, Debugger, StopReason, WatchKind};
@@ -42,14 +42,16 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("session") => cmd_session(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
         Some("diverge") => cmd_diverge(&args[1..]),
         _ => Err(
-            "usage: dbgctl <run|audit|query|session|metrics|diverge> [args]\n\
+            "usage: dbgctl <run|audit|query|session|metrics|flow|diverge> [args]\n\
                   run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--cores N] [--journal PATH]\n\
                   audit   A.jnl B.jnl\n\
-                  query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR]>\"\n\
+                  query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR] | irqlat N [over K] | trace [ID]>\"\n\
                   session [--cores N] [SCRIPT]          (stdin when omitted)\n\
                   metrics [--ms N] [--workload MBPS] [--cores N]\n\
+                  flow    [--cycle N] [--ms N] [--workload MBPS] [--cores N] [--seek]\n\
                   diverge [--symbol NAME|0xADDR] [--ms N]\n\
                   diverge --race [--cores N] [--ms N] [--fault-seed N]"
                 .to_string(),
@@ -283,7 +285,7 @@ fn dbg_json(cmd: &str, err: &DbgError) {
 /// logpoint 0xADDR LABEL [EXPR...]
 /// clear-logpoint 0xADDR
 /// query EXPR...                   Qq: seek to first cycle EXPR holds
-/// regs | mem 0xADDR LEN | stats | metrics
+/// regs | mem 0xADDR LEN | stats | metrics | flow
 /// ```
 fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String> {
     let words: Vec<&str> = line.split_whitespace().collect();
@@ -397,6 +399,34 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
             Ok(s) => println!("{}", metrics_json(&s)),
             Err(e) => dbg_json(cmd, &e),
         },
+        ["flow"] => match dbg.query_flow() {
+            // Every value in the sample is simulation-derived, so the
+            // transcript stays byte-identical across reruns.
+            Ok(s) => {
+                let mut o = JsonObj::new();
+                o.str("event", "flow")
+                    .u64("now", s.now)
+                    .u64("completed", s.completed)
+                    .u64("dropped", s.dropped)
+                    .u64("orphan_ends", s.orphan_ends)
+                    .u64("instants", s.instants);
+                println!("{}", o.finish());
+                for (i, &(n, p50, p99, max)) in s.classes.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let mut o = JsonObj::new();
+                    o.str("event", "flow-class")
+                        .str("class", FlowClass::ALL[i].label())
+                        .u64("n", n)
+                        .u64("p50", p50)
+                        .u64("p99", p99)
+                        .u64("max", max);
+                    println!("{}", o.finish());
+                }
+            }
+            Err(e) => dbg_json(cmd, &e),
+        },
         ["stats"] => match dbg.query_stats() {
             Ok(s) => {
                 let mut o = JsonObj::new();
@@ -462,6 +492,10 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
     // Host-time attribution for the `metrics` script command; simulation-
     // invisible, so the session transcript stays deterministic.
     machine.obs.enable_hostprof();
+    // Causal flows for the `flow` script command. Observation-only: it adds
+    // recorded events, never perturbs the simulated run.
+    machine.obs.enable_tracing();
+    machine.obs.enable_causal();
     let clock = machine.config().clock_hz;
     let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
     vmm.enable_flight_recorder(100_000);
@@ -523,6 +557,128 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     dbg.link_mut().platform.run_for(clock / 1_000 * ms);
     let s = dbg.query_metrics().map_err(|e| format!("qMetrics: {e}"))?;
     println!("{}", metrics_json(&s));
+    // Per-core work grouped under the host-time report, mirroring the
+    // `core="N"`-labeled Prometheus series the platforms publish. The wire
+    // carries the per-core vectors only for multi-core targets (single-core
+    // samples stay byte-identical to the pre-SMP encoding), so a 1-core run
+    // prints no per-core lines rather than inventing zeros.
+    let stats = dbg.query_stats().map_err(|e| format!("qStats: {e}"))?;
+    for core in 0..stats.core_instret.len() {
+        let mut o = JsonObj::new();
+        o.str("event", "core-metrics")
+            .u64("core", core as u64)
+            .u64("instret", stats.core_instret[core])
+            .u64("exits", stats.core_exits.get(core).copied().unwrap_or(0));
+        println!("{}", o.finish());
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- flow ----
+
+/// `dbgctl flow` — boot the lightweight monitor with causal tracing and the
+/// flight recorder on, run the streaming workload, and print the causal
+/// chain that leads to a given cycle (default: the end of the run): the
+/// flow completing most recently at or before it, then each upstream flow
+/// whose completion triggered it. With `--seek`, park the time-travel
+/// debugger at the chain head's completion cycle and dump registers —
+/// "show me the state at the end of the causal story".
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let ms = parse_u64(opt(args, "--ms").unwrap_or("50"))?;
+    let rate = parse_u64(opt(args, "--workload").unwrap_or("100"))?;
+    let cores = opt_cores(args)?;
+    let seek = args.iter().any(|a| a == "--seek");
+
+    let mut machine = boot_machine(rate, cores);
+    machine.obs.enable_tracing();
+    machine.obs.enable_causal();
+    let clock = machine.config().clock_hz;
+    let mut vmm = LvmmPlatform::new(machine, layout::ENTRY);
+    vmm.enable_flight_recorder(100_000);
+    vmm.run_for(clock / 1_000 * ms);
+
+    let now = vmm.machine().now();
+    let cycle = match opt(args, "--cycle") {
+        Some(s) => parse_u64(s)?,
+        None => now,
+    };
+
+    let c = vmm.machine().obs.causal().expect("causal enabled above");
+    let mut o = JsonObj::new();
+    o.str("event", "flow-summary")
+        .u64("now", now)
+        .u64("cycle", cycle)
+        .u64("completed", c.completed())
+        .u64("dropped", c.dropped_flows())
+        .u64("orphan_ends", c.orphan_ends())
+        .u64("instants", c.instants());
+    println!("{}", o.finish());
+    for class in FlowClass::ALL {
+        let h = c.hist(class);
+        if h.count() == 0 {
+            continue;
+        }
+        let mut o = JsonObj::new();
+        o.str("event", "flow-class")
+            .str("class", class.label())
+            .u64("n", h.count())
+            .u64("p50", h.p50())
+            .u64("p99", h.p99())
+            .u64("max", h.max());
+        println!("{}", o.finish());
+    }
+
+    let Some(head) = c.flow_ending_by(cycle) else {
+        let mut o = JsonObj::new();
+        o.str("event", "flow-chain").bool("found", false);
+        println!("{}", o.finish());
+        return Ok(());
+    };
+    // Own the chain before the platform moves into the debugger below.
+    let chain = c.chain_to(head);
+    let mut o = JsonObj::new();
+    o.str("event", "flow-chain")
+        .bool("found", true)
+        .u64("len", chain.len() as u64);
+    println!("{}", o.finish());
+    // `chain_to` returns oldest cause first, so the chain reads as a story
+    // ending at `cycle`.
+    for (depth, f) in chain.iter().enumerate() {
+        let mut o = JsonObj::new();
+        o.str("event", "flow")
+            .u64("depth", depth as u64)
+            .str("class", f.class.label())
+            .u64("key", f.key as u64)
+            .u64("begin", f.begin)
+            .u64("end", f.end)
+            .u64("latency", f.latency())
+            .u64("begin_core", f.begin_core as u64)
+            .u64("end_core", f.end_core as u64);
+        println!("{}", o.finish());
+    }
+
+    if seek {
+        // Ride the existing time-travel machinery: halt, seek the replay to
+        // the chain's final completion, and dump state there.
+        let target = chain.last().expect("chain is never empty").end;
+        let mut dbg = Debugger::new(UartLink {
+            platform: vmm,
+            slice: 2_000,
+        });
+        dbg.halt().map_err(|e| format!("halt: {e}"))?;
+        let stop = dbg
+            .seek(target)
+            .map_err(|e| format!("seek {target}: {e}"))?;
+        println!("{}", stop_json("seek", &stop));
+        let regs = dbg.read_registers().map_err(|e| format!("regs: {e}"))?;
+        let gprs: Vec<u64> = regs.gprs.iter().map(|&v| v as u64).collect();
+        let mut o = JsonObj::new();
+        o.str("event", "state")
+            .u64("cycle", target)
+            .hex("pc", regs.pc as u64);
+        o.u64_list("gprs", &gprs);
+        println!("{}", o.finish());
+    }
     Ok(())
 }
 

@@ -22,13 +22,19 @@
 //! without stopping the guest. `--query-json` switches the whole run report
 //! to JSON lines — one object per line, deterministic across reruns — for
 //! scripting against.
+//!
+//! `--causal out.json` turns on causal-flow tracking (IRQ dispatch/service,
+//! IPI delivery, device command→completion, guest tracepoint spans), writes
+//! the run as a Chrome/Perfetto trace with flow arrows, and prints per-class
+//! latency histograms. The trace bytes are a pure function of the simulated
+//! run, so identical invocations produce identical files.
 
 use lwvmm::fault::{FaultKind, FaultPlan};
 use lwvmm::guest::{kernel::layout, GuestStats, Workload};
 use lwvmm::hosted::HostedPlatform;
 use lwvmm::machine::{Machine, MachineConfig, Platform, RawPlatform};
 use lwvmm::monitor::LvmmPlatform;
-use lwvmm::obs::{EventKind, MetricsRegistry, Profiler, SymbolMap};
+use lwvmm::obs::{ChromeTrace, EventKind, MetricsRegistry, Profiler, SymbolMap};
 use lwvmm::query::json::JsonObj;
 use lwvmm::query::Expr;
 use std::process::ExitCode;
@@ -49,6 +55,7 @@ struct Options {
     query_json: bool,
     metrics: Option<String>,
     heartbeat: Option<u64>,
+    causal: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -68,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         query_json: false,
         metrics: None,
         heartbeat: None,
+        causal: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -137,6 +145,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--query-json" => opts.query_json = true,
             "--metrics" => opts.metrics = Some(args.next().ok_or("missing --metrics value")?),
+            "--causal" => opts.causal = Some(args.next().ok_or("missing --causal value")?),
             "--heartbeat" => {
                 let ms: u64 = args
                     .next()
@@ -172,7 +181,8 @@ fn main() -> ExitCode {
                  [--cores N] [--ms <simulated ms>] [--dump 0xADDR:LEN] [--engine-stats] \
                  [--profile out.folded] [--fault all|<class>] [--fault-seed N] \
                  [--logpoint 0xADDR[:label[:expr]]]... [--query-json] \
-                 [--metrics out.prom] [--heartbeat <host report interval, simulated ms>]"
+                 [--metrics out.prom] [--causal out.json] \
+                 [--heartbeat <host report interval, simulated ms>]"
             );
             return if e.is_empty() {
                 ExitCode::SUCCESS
@@ -274,6 +284,14 @@ fn main() -> ExitCode {
         machine.enable_fault_injection(plan);
     }
 
+    if opts.causal.is_some() {
+        // Flow endpoints ride the event ring, so the causal exporter needs
+        // tracing on as well. Both are observation-only: the simulated run
+        // is bit-identical with or without them.
+        machine.obs.enable_tracing();
+        machine.obs.enable_causal();
+    }
+
     if opts.metrics.is_some() || opts.heartbeat.is_some() {
         // Host-time attribution is simulation-invisible: wall-clock reads
         // never feed guest state, so enabling it (and the heartbeat's
@@ -357,6 +375,14 @@ fn main() -> ExitCode {
         platform.publish_metrics(MetricsRegistry::global());
         let text = MetricsRegistry::global().snapshot().prometheus();
         if let Err(e) = std::fs::write(path, text) {
+            eprintln!("lwvmm-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.causal {
+        let mut trace = ChromeTrace::new();
+        trace.add_platform(1, platform.name(), &platform.machine().obs);
+        if let Err(e) = std::fs::write(path, trace.finish()) {
             eprintln!("lwvmm-run: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -462,6 +488,22 @@ fn main() -> ExitCode {
             );
         }
         println!("profile written to {path}");
+    }
+    if let Some(path) = &opts.causal {
+        let Some(c) = platform.machine().obs.causal() else {
+            eprintln!("lwvmm-run: causal tracker vanished (internal error)");
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "\ncausal: {} flows ({} dropped, {} orphan ends, {} instants), trace written to {path}",
+            c.completed(),
+            c.dropped_flows(),
+            c.orphan_ends(),
+            c.instants()
+        );
+        for line in c.summary_lines() {
+            println!("  {line}");
+        }
     }
     if let Some((addr, len)) = opts.dump {
         print!("memory at {addr:#010x}:");
@@ -592,6 +634,21 @@ fn emit_json(
         o.str("event", "profile")
             .str("path", path)
             .u64("samples", prof.total_samples());
+        println!("{}", o.finish());
+    }
+
+    if let Some(path) = &opts.causal {
+        let Some(c) = platform.machine().obs.causal() else {
+            eprintln!("lwvmm-run: causal tracker vanished (internal error)");
+            return ExitCode::FAILURE;
+        };
+        let mut o = JsonObj::new();
+        o.str("event", "causal")
+            .str("path", path)
+            .u64("flows", c.completed())
+            .u64("dropped", c.dropped_flows())
+            .u64("orphan_ends", c.orphan_ends())
+            .u64("instants", c.instants());
         println!("{}", o.finish());
     }
     ExitCode::SUCCESS
