@@ -1,0 +1,53 @@
+//! Farm scaling bench: sessions/sec, per-guest sim-speed degradation vs
+//! fleet size, and memory per guest.
+//!
+//! Usage: `cargo run --release -p lwvmm-bench --bin farm
+//!         [--fast] [--json out.json] [--merge BENCH_fig3_1.json]`
+//!
+//! `--merge` splices the `"farm"` section into an existing Fig. 3.1
+//! document (replacing a previous section); `--json` writes a standalone
+//! document. Exits non-zero when any fleet failed to settle or the session
+//! storm completed no sessions, so CI can gate on it directly.
+
+use lwvmm_bench::{
+    arg_flag, arg_value, farm_json, farm_report, merge_farm, run_farm_bench, FarmBenchConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cfg = if arg_flag("--fast") {
+        FarmBenchConfig::fast()
+    } else {
+        FarmBenchConfig::new()
+    };
+    println!(
+        "farm scaling bench: fleets {:?}, {} simulated ms each, {:.0} s session window",
+        cfg.fleet_sizes,
+        cfg.horizon_ms,
+        cfg.session_window.as_secs_f64()
+    );
+
+    let points = run_farm_bench(&cfg);
+    println!("\n{}", farm_report(&cfg, &points).to_text());
+
+    if let Some(path) = arg_value("--json") {
+        lwvmm_bench::write_output(&path, farm_json(&cfg, &points));
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_value("--merge") {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        lwvmm_bench::write_output(&path, merge_farm(&existing, &cfg, &points));
+        println!("merged farm section into {path}");
+    }
+
+    let all_settled = points.iter().all(|p| p.settled);
+    let sessions_served = points.iter().all(|p| p.sessions > 0);
+    println!(
+        "\nall fleets settled: {all_settled}   sessions served at every size: {sessions_served}"
+    );
+    if all_settled && sessions_served {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

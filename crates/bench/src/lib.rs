@@ -13,8 +13,10 @@ use hx_obs::{
 };
 use lvmm::LvmmPlatform;
 
+pub mod farm;
 pub mod survivability;
 
+pub use farm::{farm_json, farm_report, merge_farm, run_farm_bench, FarmBenchConfig, FleetPoint};
 pub use survivability::{
     merge_survivability, run_matrix, survivability_json, survival_report, SurvivalConfig,
     SurvivalMatrix,

@@ -70,3 +70,13 @@ pub use replay::ReplayDriver;
 pub use shadow::ShadowPager;
 pub use stub::{Stub, Watchpoint};
 pub use vcpu::VCpu;
+
+/// Compile-time proof the lightweight monitor (with its flight recorder,
+/// shadow pager and stub) stays [`Send`] — the debug farm owns dozens of
+/// these behind worker threads.
+#[allow(dead_code)]
+fn assert_send_types() {
+    fn is_send<T: Send>() {}
+    is_send::<LvmmPlatform>();
+    is_send::<UartLink<LvmmPlatform>>();
+}

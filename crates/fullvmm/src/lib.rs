@@ -46,3 +46,11 @@ pub mod platform;
 pub mod vdev;
 
 pub use platform::{HostedConfig, HostedPlatform, HostedStats};
+
+/// Compile-time proof the hosted monitor stays [`Send`] — the debug farm
+/// schedules hosted guests onto worker threads like any other platform.
+#[allow(dead_code)]
+fn assert_send_types() {
+    fn is_send<T: Send>() {}
+    is_send::<HostedPlatform>();
+}

@@ -132,3 +132,15 @@ pub mod map {
         pub const NIC_RX: u8 = 6;
     }
 }
+
+/// Compile-time proof that the machine and platform types stay [`Send`]:
+/// the debug farm moves whole machines across worker threads, so a
+/// non-`Send` field sneaking in (an `Rc`, a raw pointer) must fail the
+/// build here rather than at a distant farm call site.
+#[allow(dead_code)]
+fn assert_send_types() {
+    fn is_send<T: Send>() {}
+    is_send::<Machine>();
+    is_send::<RawPlatform>();
+    is_send::<Box<dyn Platform>>();
+}

@@ -323,7 +323,7 @@ impl Machine {
         if (target as usize) >= self.seats.len() || line >= 8 {
             return false;
         }
-        self.obs.ipi_send(self.now, target, line);
+        self.obs.ipi_send(self.now, target, line as u32);
         self.events
             .schedule(self.now + smp::LATENCY, Event::Ipi { target, line });
         true
@@ -500,7 +500,7 @@ impl Machine {
             Dev::Pic,
             ((t as u32) << 8) | (smp::IRQ_BASE + line) as u32,
         );
-        self.obs.ipi_deliver(at, target, line);
+        self.obs.ipi_deliver(at, target, line as u32);
     }
 
     /// The machine's configuration.
@@ -1156,7 +1156,7 @@ impl Bus for MachineBus<'_> {
                             if target >= self.num_cores || line >= 8 {
                                 Err(BusFault::Denied)
                             } else {
-                                self.obs.ipi_send(self.now, target as u8, line as u8);
+                                self.obs.ipi_send(self.now, target as u8, line);
                                 self.events.schedule(
                                     self.now + smp::LATENCY,
                                     Event::Ipi {

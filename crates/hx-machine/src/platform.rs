@@ -135,7 +135,13 @@ pub enum PlatformStep {
 ///
 /// This trait is object-safe so harnesses can sweep over
 /// `Box<dyn Platform>` values of all three systems.
-pub trait Platform {
+///
+/// `Send` is a supertrait: a platform owns its whole machine (no shared
+/// host state), so it can be handed to another thread — the debug farm
+/// shards dozens of platforms across worker threads, and the supertrait
+/// makes `Box<dyn Platform>` itself `Send` without per-call-site `+ Send`
+/// bounds.
+pub trait Platform: Send {
     /// Short platform name, used in reports ("real-hw", "lvmm", "hosted").
     fn name(&self) -> &'static str;
 

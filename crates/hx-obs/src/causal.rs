@@ -181,7 +181,8 @@ pub struct CausalTracker {
     /// Completed flows beyond [`CausalTracker::MAX_FLOWS`] (histograms
     /// still record them; only the per-flow record is dropped).
     dropped_flows: u64,
-    /// Ends that arrived with no matching begin.
+    /// Ends that arrived with no matching begin, out of order (before
+    /// their begin), or with an unpackable IPI key.
     orphan_ends: u64,
     /// Begins evicted because a pending set hit its cap.
     dropped_pending: u64,
@@ -221,14 +222,23 @@ impl CausalTracker {
     }
 
     fn finish(&mut self, class: FlowClass, key: u32, p: Pending, at: u64, core: u8) {
-        self.hists[class.index()].record(at.saturating_sub(p.at));
+        // An end landing *before* its begin can only come from a
+        // non-monotonic caller; clamping it to a 0-cycle latency would
+        // silently poison the histograms (and `Flow::latency`'s `end >=
+        // begin` contract), so the pairing is discarded and counted as an
+        // orphan instead.
+        if at < p.at {
+            self.orphan_ends += 1;
+            return;
+        }
+        self.hists[class.index()].record(at - p.at);
         if self.flows.len() < Self::MAX_FLOWS {
             self.flows.push(Flow {
                 id: p.id,
                 class,
                 key,
                 begin: p.at,
-                end: at.max(p.at),
+                end: at,
                 begin_core: p.core,
                 end_core: core,
             });
@@ -317,17 +327,40 @@ impl CausalTracker {
         }
     }
 
-    /// An IPI send was issued toward `target`, line `line`.
-    pub fn ipi_send(&mut self, at: u64, core: u8, target: u8, line: u8) {
-        let key = ((target as u32) << 8) | line as u32;
+    /// Packs an IPI `(target, line)` pair into a flow key. The key layout
+    /// is `target << 8 | line`, so `line` must fit in 8 bits — a wider
+    /// value would silently alias another pair's key and cross-match
+    /// unrelated sends and deliveries. Out-of-range lines are rejected
+    /// (`None`); release builds degrade gracefully while debug builds trap
+    /// the programming error at the source.
+    fn ipi_key(target: u8, line: u32) -> Option<u32> {
+        if line > 0xff {
+            debug_assert!(false, "IPI line {line} does not fit the 8-bit key field");
+            return None;
+        }
+        Some(((target as u32) << 8) | line)
+    }
+
+    /// An IPI send was issued toward `target`, line `line`. A line that
+    /// cannot be packed into the key is counted as a dropped begin rather
+    /// than aliased onto another `(target, line)` pair.
+    pub fn ipi_send(&mut self, at: u64, core: u8, target: u8, line: u32) {
+        let Some(key) = Self::ipi_key(target, line) else {
+            self.dropped_pending += 1;
+            return;
+        };
         let p = self.begin(at, core);
         Self::push_pending(&mut self.ipi_pending, key, p, &mut self.dropped_pending);
     }
 
     /// An IPI was delivered to `target` (startup or pending-mask latch):
     /// completes the oldest in-flight send with the same target and line.
-    pub fn ipi_deliver(&mut self, at: u64, target: u8, line: u8) {
-        let key = ((target as u32) << 8) | line as u32;
+    /// An unpackable line is counted as an orphan end.
+    pub fn ipi_deliver(&mut self, at: u64, target: u8, line: u32) {
+        let Some(key) = Self::ipi_key(target, line) else {
+            self.orphan_ends += 1;
+            return;
+        };
         match self.ipi_pending.iter().position(|(k, _)| *k == key) {
             Some(i) => {
                 let (key, p) = self.ipi_pending.remove(i);
@@ -379,6 +412,12 @@ impl CausalTracker {
 
     pub fn orphan_ends(&self) -> u64 {
         self.orphan_ends
+    }
+
+    /// Begins evicted by a full pending set or rejected outright (e.g. an
+    /// IPI line that does not fit the key field).
+    pub fn dropped_pending(&self) -> u64 {
+        self.dropped_pending
     }
 
     pub fn instants(&self) -> u64 {
@@ -517,6 +556,50 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_end_is_an_orphan_not_a_zero_latency() {
+        let mut c = CausalTracker::new();
+        c.device_irq(100, 0, Dev::Pit, 5);
+        // The INTA claims to happen *before* the raise. The old code
+        // clamped this to a 0-cycle latency; it must instead be counted
+        // and kept out of the histograms entirely.
+        c.inta(40, 0, 5);
+        assert_eq!(c.hist(FlowClass::IrqDispatch).count(), 0);
+        assert_eq!(c.orphan_ends(), 1);
+        assert!(c.flows().is_empty());
+        // The service flow the INTA opened still pairs normally.
+        c.eoi(90, 0);
+        assert_eq!(c.hist(FlowClass::IrqService).count(), 1);
+        assert_eq!(c.hist(FlowClass::IrqService).min(), 50);
+        // The reconciliation invariant survives the rejection.
+        assert_eq!(c.completed(), c.flows().len() as u64 + c.dropped_flows());
+    }
+
+    #[test]
+    fn ipi_key_packs_target_and_line() {
+        assert_eq!(CausalTracker::ipi_key(2, 0xff), Some(0x2ff));
+        assert_eq!(CausalTracker::ipi_key(0, 0), Some(0));
+        assert_eq!(CausalTracker::ipi_key(3, 7), Some(0x307));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "8-bit key field"))]
+    fn ipi_line_out_of_range_is_rejected_not_aliased() {
+        let mut c = CausalTracker::new();
+        // Unchecked packing would turn (1, 0x200) into key 0x300 — the
+        // same key as (3, 0). Debug builds trap the bad line at the send;
+        // release builds drop it and never cross-match the (3, 0) deliver.
+        c.ipi_send(10, 0, 1, 0x200);
+        assert_eq!(c.dropped_pending(), 1);
+        c.ipi_deliver(20, 3, 0);
+        assert!(c.flows().is_empty());
+        assert_eq!(c.hist(FlowClass::Ipi).count(), 0);
+        assert_eq!(c.orphan_ends(), 1);
+        // An out-of-range line on the deliver side is an orphan too.
+        c.ipi_deliver(30, 1, 0x200);
+        assert_eq!(c.orphan_ends(), 2);
+    }
+
+    #[test]
     fn spans_nest_lifo_per_id_and_instants_never_flow() {
         let mut c = CausalTracker::new();
         c.tracepoint(10, 0, TraceOp::Begin, 7);
@@ -576,8 +659,8 @@ mod tests {
             Bell { dev: Dev, reg: u32 },
             Inta { irq: u32 },
             Eoi,
-            IpiSend { target: u8, line: u8 },
-            IpiDeliver { target: u8, line: u8 },
+            IpiSend { target: u8, line: u32 },
+            IpiDeliver { target: u8, line: u32 },
             Trace { op: TraceOp, id: u32 },
         }
 
@@ -590,8 +673,8 @@ mod tests {
                 (dev(), 0u32..0x100).prop_map(|(dev, reg)| Call::Bell { dev, reg }),
                 (0u32..8).prop_map(|irq| Call::Inta { irq }),
                 Just(Call::Eoi),
-                (0u8..4, 0u8..8).prop_map(|(target, line)| Call::IpiSend { target, line }),
-                (0u8..4, 0u8..8).prop_map(|(target, line)| Call::IpiDeliver { target, line }),
+                (0u8..4, 0u32..8).prop_map(|(target, line)| Call::IpiSend { target, line }),
+                (0u8..4, 0u32..8).prop_map(|(target, line)| Call::IpiDeliver { target, line }),
                 (op, 0u32..16).prop_map(|(op, id)| Call::Trace { op, id }),
             ]
         }

@@ -49,8 +49,9 @@ impl ChromeTrace {
 
     fn meta(&mut self, pid: u32, tid: u32, what: &str, name: &str) {
         self.lines.push(format!(
-            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{what}\",\
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
              \"args\":{{\"name\":\"{}\"}}}}",
+            esc(what),
             esc(name)
         ));
     }
@@ -97,7 +98,7 @@ impl ChromeTrace {
                 "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"{}\",\
                  \"cat\":\"cpu\",\"ts\":{},\"dur\":{}}}",
                 s.track.index(),
-                s.track.label(),
+                esc(s.track.label()),
                 s.start,
                 s.len()
             ));
@@ -114,17 +115,17 @@ impl ChromeTrace {
             };
             let args = match ev.kind {
                 EventKind::VmExit { cause, cycles } => {
-                    format!("\"cause\":\"{}\",\"cycles\":{}", cause.label(), cycles)
+                    format!("\"cause\":\"{}\",\"cycles\":{}", esc(cause.label()), cycles)
                 }
                 EventKind::ShadowFault { vaddr } => format!("\"vaddr\":{vaddr}"),
                 EventKind::DeviceIrq { dev, irq } => {
-                    format!("\"dev\":\"{}\",\"irq\":{}", dev.label(), irq)
+                    format!("\"dev\":\"{}\",\"irq\":{}", esc(dev.label()), irq)
                 }
                 EventKind::DeviceDma { dev, bytes } => {
-                    format!("\"dev\":\"{}\",\"bytes\":{}", dev.label(), bytes)
+                    format!("\"dev\":\"{}\",\"bytes\":{}", esc(dev.label()), bytes)
                 }
                 EventKind::Doorbell { dev, reg } => {
-                    format!("\"dev\":\"{}\",\"reg\":{}", dev.label(), reg)
+                    format!("\"dev\":\"{}\",\"reg\":{}", esc(dev.label()), reg)
                 }
                 EventKind::DebugCommand { code } => {
                     format!("\"code\":{}", code)
@@ -141,13 +142,13 @@ impl ChromeTrace {
                 EventKind::IrqEntry { irq } => format!("\"irq\":{irq}"),
                 EventKind::IrqEoi => String::new(),
                 EventKind::Tracepoint { op, id } => {
-                    format!("\"op\":\"{}\",\"id\":{}", op.label(), id)
+                    format!("\"op\":\"{}\",\"id\":{}", esc(op.label()), id)
                 }
             };
             self.lines.push(format!(
                 "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
                  \"s\":\"t\",\"ts\":{},\"args\":{{{args}}}}}",
-                ev.kind.name(),
+                esc(ev.kind.name()),
                 ev.at
             ));
         }
@@ -179,7 +180,7 @@ impl ChromeTrace {
         };
         for f in causal.flows() {
             let flow_id = ((pid as u64) << 32) | f.id;
-            let name = f.class.label();
+            let name = esc(f.class.label());
             self.lines.push(format!(
                 "{{\"ph\":\"s\",\"pid\":{pid},\"tid\":{},\"name\":\"{name}\",\
                  \"cat\":\"flow\",\"id\":{flow_id},\"ts\":{},\"args\":{{\"key\":{}}}}}",
@@ -276,14 +277,9 @@ mod tests {
         assert_eq!(t2.finish(), json);
     }
 
-    #[test]
-    fn export_is_valid_enough_json() {
-        let r = sample_recorder();
-        let mut t = ChromeTrace::new();
-        t.add_platform(1, "lvmm", &r);
-        let json = t.finish();
-        // Structural sanity without a JSON parser: balanced braces/brackets
-        // outside strings, and the envelope fields present.
+    /// Structural sanity without a JSON parser: balanced braces/brackets
+    /// outside strings, no unterminated string, envelope fields present.
+    fn assert_well_formed(json: &str) {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"traceEvents\""));
         let (mut depth_obj, mut depth_arr, mut in_str, mut prev_escape) =
@@ -310,5 +306,33 @@ mod tests {
             assert!(depth_obj >= 0 && depth_arr >= 0);
         }
         assert_eq!((depth_obj, depth_arr, in_str), (0, 0, false));
+    }
+
+    #[test]
+    fn export_is_valid_enough_json() {
+        let r = sample_recorder();
+        let mut t = ChromeTrace::new();
+        t.add_platform(1, "lvmm", &r);
+        assert_well_formed(&t.finish());
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_everywhere() {
+        // A symbol/process name full of JSON-hostile bytes must survive
+        // every emission path: process_name metadata, thread_name metadata
+        // (both the `what` and `args.name` positions), and event names.
+        let hostile = "evil\"sym\\name\n\u{1}end";
+        let r = sample_recorder();
+        let mut t = ChromeTrace::new();
+        t.add_platform(1, hostile, &r);
+        // Drive the metadata path with hostility in *both* interpolated
+        // positions — this is the line-52 bug: `what` used to be embedded
+        // raw.
+        t.meta(1, 99, hostile, hostile);
+        let json = t.finish();
+        assert_well_formed(&json);
+        // The raw bytes must never appear unescaped.
+        assert!(!json.contains("evil\"sym"));
+        assert!(json.contains("evil\\\"sym\\\\name\\u000a\\u0001end"));
     }
 }

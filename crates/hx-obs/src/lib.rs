@@ -110,3 +110,19 @@ pub use replay::ReplayCursor;
 pub use report::{Align, Report};
 pub use ring::TraceRing;
 pub use span::{Span, SpanTrack, Track};
+
+/// Compile-time proof the observability state stays [`Send`] (and the
+/// process-wide metrics registry [`Sync`]): recorders, journals and causal
+/// trackers ride inside machines that the debug farm moves across worker
+/// threads, while all threads publish into one registry.
+#[allow(dead_code)]
+fn assert_send_types() {
+    fn is_send<T: Send>() {}
+    fn is_sync<T: Sync>() {}
+    is_send::<Recorder>();
+    is_send::<Journal>();
+    is_send::<CausalTracker>();
+    is_send::<Profiler>();
+    is_send::<HostProf>();
+    is_sync::<MetricsRegistry>();
+}

@@ -350,7 +350,7 @@ impl Recorder {
     /// An IPI send was issued toward `target`, line `line`. Feeds only the
     /// causal tracker — the send is already journaled as a PIC doorbell
     /// and the delivery as a PIC IRQ, so no new journal stream is needed.
-    pub fn ipi_send(&mut self, at: u64, target: u8, line: u8) {
+    pub fn ipi_send(&mut self, at: u64, target: u8, line: u32) {
         let core = self.active_core;
         if let Some(c) = self.causal.as_deref_mut() {
             c.ipi_send(at, core, target, line);
@@ -358,7 +358,7 @@ impl Recorder {
     }
 
     /// An IPI was delivered to `target` (startup or pending-mask latch).
-    pub fn ipi_deliver(&mut self, at: u64, target: u8, line: u8) {
+    pub fn ipi_deliver(&mut self, at: u64, target: u8, line: u32) {
         if let Some(c) = self.causal.as_deref_mut() {
             c.ipi_deliver(at, target, line);
         }

@@ -13,7 +13,11 @@ use std::collections::VecDeque;
 /// queues host→target bytes and `pump` runs the target platform for a slice
 /// and drains whatever the stub transmitted. A trivial in-process stub works
 /// too (see the tests).
-pub trait Link {
+///
+/// `Send` is a supertrait so a whole debug session — `Debugger` plus the
+/// platform (or socket) inside its link — can migrate to a farm worker
+/// thread.
+pub trait Link: Send {
     /// Queues bytes toward the target.
     fn send(&mut self, bytes: &[u8]);
 

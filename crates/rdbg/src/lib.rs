@@ -35,3 +35,12 @@ pub use msg::{
     FLOW_CLASSES, METRICS_PHASES,
 };
 pub use wire::{encode_packet, from_hex, to_hex, PacketParser, WireEvent, ACK, BREAK_BYTE, NAK};
+
+/// Compile-time proof a whole debug session can migrate to another thread:
+/// [`Link: Send`](Link) makes every `Debugger<L>` `Send` by construction.
+#[allow(dead_code)]
+fn assert_send_types<L: Link>() {
+    fn is_send<T: Send>() {}
+    is_send::<Debugger<L>>();
+    is_send::<Box<dyn Link>>();
+}

@@ -49,7 +49,7 @@ fn main() -> ExitCode {
                   run     --platform raw|lvmm|hosted [--ms N] [--workload MBPS] [--cores N] [--journal PATH]\n\
                   audit   A.jnl B.jnl\n\
                   query   JOURNAL.jnl \"<irq N [in A..B] | first-event STREAM | logs [ADDR] | irqlat N [over K] | trace [ID]>\"\n\
-                  session [--cores N] [SCRIPT]          (stdin when omitted)\n\
+                  session [--cores N] [--connect HOST:PORT] [SCRIPT]   (stdin when omitted)\n\
                   metrics [--ms N] [--workload MBPS] [--cores N]\n\
                   flow    [--cycle N] [--ms N] [--workload MBPS] [--cores N] [--seek]\n\
                   diverge [--symbol NAME|0xADDR] [--ms N]\n\
@@ -75,17 +75,11 @@ fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
-    let r = if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    r.map_err(|_| format!("bad number `{s}`"))
+    lwvmm::cli::parse_num64(s)
 }
 
 fn parse_addr(s: &str) -> Result<u32, String> {
-    u32::from_str_radix(s.trim_start_matches("0x"), 16)
-        .map_err(|_| format!("bad hex address `{s}`"))
+    lwvmm::cli::parse_hex32(s)
 }
 
 /// Parses and validates a `--cores` value (1 to [`smp::MAX_CORES`]).
@@ -232,8 +226,6 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
 // ------------------------------------------------------------ session ----
 
-type LvmmDbg = Debugger<UartLink<LvmmPlatform>>;
-
 fn stop_json(event: &str, stop: &StopReason) -> String {
     let mut o = JsonObj::new();
     o.str("event", event);
@@ -269,11 +261,15 @@ fn dbg_json(cmd: &str, err: &DbgError) {
     println!("{}", o.finish());
 }
 
+/// How `run MS` advances simulated time for a session; returns the guest's
+/// new `now` cycle (local sessions drive the platform, remote ones reject).
+type RunMs<'a, L> = &'a mut dyn FnMut(&mut Debugger<L>, u64) -> Result<u64, String>;
+
 /// Runs one script line and prints its JSON line(s). The script language,
 /// one command per line (`#` comments and blank lines are skipped):
 ///
 /// ```text
-/// run MS                          let the guest run MS simulated ms
+/// run MS                          let the guest run MS simulated ms (local only)
 /// halt | step | resume
 /// continue                        resume and wait for the next stop
 /// reverse-step | reverse-continue
@@ -287,7 +283,17 @@ fn dbg_json(cmd: &str, err: &DbgError) {
 /// query EXPR...                   Qq: seek to first cycle EXPR holds
 /// regs | mem 0xADDR LEN | stats | metrics | flow
 /// ```
-fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String> {
+///
+/// Generic over the [`rdbg::Link`] so the same script language drives both a
+/// locally booted guest (`UartLink`) and a farm guest over TCP
+/// (`lwvmm::farm::TcpLink`). `run_ms` is how `run MS` advances time: local
+/// sessions drive the platform directly; remote guests run continuously in
+/// the farm, so their `run_ms` rejects the command.
+fn session_line<L: rdbg::Link>(
+    dbg: &mut Debugger<L>,
+    run_ms: RunMs<'_, L>,
+    line: &str,
+) -> Result<(), String> {
     let words: Vec<&str> = line.split_whitespace().collect();
     let ok = |cmd: &str| {
         let mut o = JsonObj::new();
@@ -307,11 +313,9 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
     match words.as_slice() {
         ["run", ms] => {
             let ms = parse_u64(ms)?;
-            dbg.link_mut().platform.run_for(clock / 1_000 * ms);
+            let now = run_ms(dbg, ms)?;
             let mut o = JsonObj::new();
-            o.str("event", "ran")
-                .u64("ms", ms)
-                .u64("now", dbg.link_ref().platform.machine().now());
+            o.str("event", "ran").u64("ms", ms).u64("now", now);
             println!("{}", o.finish());
         }
         ["halt"] => stop(dbg.halt()),
@@ -458,8 +462,8 @@ fn session_line(dbg: &mut LvmmDbg, clock: u64, line: &str) -> Result<(), String>
 
 fn cmd_session(args: &[String]) -> Result<(), String> {
     let cores = opt_cores(args)?;
-    // Everything that is not the (optional) `--cores N` pair is the script
-    // path.
+    let connect = opt(args, "--connect").map(str::to_string);
+    // Everything that is not an `--option value` pair is the script path.
     let positional: Vec<&String> = {
         let mut skip = false;
         args.iter()
@@ -468,7 +472,7 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
                     skip = false;
                     return false;
                 }
-                if *a == "--cores" {
+                if *a == "--cores" || *a == "--connect" {
                     skip = true;
                     return false;
                 }
@@ -487,6 +491,31 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
         [path] => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
         _ => return Err("session expects at most one script path".into()),
     };
+
+    if let Some(addr) = connect {
+        // Remote session: attach to a guest an `lwvmm-farm` process is
+        // already serving. The farm owns the simulation, so `run MS` is
+        // rejected — everything else in the script language works as-is.
+        let link = lwvmm::farm::TcpLink::connect(&addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let mut dbg = Debugger::new(link);
+        let mut o = JsonObj::new();
+        o.str("event", "session")
+            .str("platform", "remote")
+            .str("target", &addr);
+        println!("{}", o.finish());
+        let mut run_ms = |_: &mut Debugger<lwvmm::farm::TcpLink>, _: u64| {
+            Err("`run` is local-only: farm guests run continuously (use `continue`)".to_string())
+        };
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            session_line(&mut dbg, &mut run_ms, line)?;
+        }
+        return Ok(());
+    }
 
     let mut machine = boot_machine(100, cores);
     // Host-time attribution for the `metrics` script command; simulation-
@@ -509,12 +538,16 @@ fn cmd_session(args: &[String]) -> Result<(), String> {
         .u64("clock_hz", clock);
     println!("{}", o.finish());
 
+    let mut run_ms = |dbg: &mut Debugger<UartLink<LvmmPlatform>>, ms: u64| {
+        dbg.link_mut().platform.run_for(clock / 1_000 * ms);
+        Ok(dbg.link_ref().platform.machine().now())
+    };
     for line in script.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        session_line(&mut dbg, clock, line)?;
+        session_line(&mut dbg, &mut run_ms, line)?;
     }
     Ok(())
 }

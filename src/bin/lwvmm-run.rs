@@ -112,8 +112,7 @@ fn parse_args() -> Result<Options, String> {
             "--dump" => {
                 let spec = args.next().ok_or("missing --dump value")?;
                 let (addr, len) = spec.split_once(':').ok_or("--dump expects addr:len")?;
-                let addr = u32::from_str_radix(addr.trim_start_matches("0x"), 16)
-                    .map_err(|_| "--dump address must be hex")?;
+                let addr = lwvmm::cli::parse_hex32(addr)?;
                 let len: u32 = len.parse().map_err(|_| "--dump length must be decimal")?;
                 opts.dump = Some((addr, len));
             }
@@ -134,8 +133,7 @@ fn parse_args() -> Result<Options, String> {
                 // future ones intact anyway.
                 let mut parts = spec.splitn(3, ':');
                 let addr = parts.next().unwrap_or("");
-                let addr = u32::from_str_radix(addr.trim_start_matches("0x"), 16)
-                    .map_err(|_| "--logpoint address must be hex")?;
+                let addr = lwvmm::cli::parse_hex32(addr)?;
                 let label = match parts.next() {
                     Some(l) if !l.is_empty() => l.to_string(),
                     _ => format!("lp@{addr:#x}"),

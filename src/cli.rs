@@ -1,0 +1,78 @@
+//! Shared command-line parsing helpers for the `lwvmm-*` binaries.
+//!
+//! Every binary that accepts guest addresses (`lwvmm-run --dump/--logpoint`,
+//! `dbgctl`'s script addresses, `lwvmm-farm --dump`) parses them through
+//! [`parse_hex32`] so malformed input fails loudly and identically
+//! everywhere. The historical bug this guards against: parsing via
+//! `trim_start_matches("0x")` strips *repeated* prefixes, so `0x0xff`
+//! silently parsed as `0xff`, while the equally-valid uppercase `0X` prefix
+//! was rejected.
+
+/// Parses a 32-bit address written in hex, with an optional single `0x` /
+/// `0X` prefix. Exactly one prefix is stripped — `0x0xff` is malformed,
+/// not `0xff` — and the digits themselves may be upper- or lowercase.
+pub fn parse_hex32(s: &str) -> Result<u32, String> {
+    let digits = strip_hex_prefix(s);
+    if digits.is_empty() {
+        return Err(format!("bad hex address `{s}`: no digits"));
+    }
+    u32::from_str_radix(digits, 16).map_err(|_| format!("bad hex address `{s}`"))
+}
+
+/// Parses a 64-bit number: hex with a single `0x`/`0X` prefix, decimal
+/// without one.
+pub fn parse_num64(s: &str) -> Result<u64, String> {
+    let digits = strip_hex_prefix(s);
+    let r = if digits.len() != s.len() {
+        u64::from_str_radix(digits, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("bad number `{s}`"))
+}
+
+/// Strips at most one hex prefix, accepting both `0x` and `0X`.
+fn strip_hex_prefix(s: &str) -> &str {
+    s.strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_both_prefix_cases_and_bare_digits() {
+        assert_eq!(parse_hex32("0xff"), Ok(0xff));
+        assert_eq!(parse_hex32("0XFF"), Ok(0xff));
+        assert_eq!(parse_hex32("ff"), Ok(0xff));
+        assert_eq!(parse_hex32("0xDeadBeef"), Ok(0xdead_beef));
+        assert_eq!(parse_hex32("0"), Ok(0));
+    }
+
+    #[test]
+    fn rejects_repeated_prefixes_and_garbage() {
+        // The regression: exactly one prefix strip, so a doubled prefix is
+        // an error instead of silently parsing as `ff`.
+        assert!(parse_hex32("0x0xff").is_err());
+        assert!(parse_hex32("0X0xff").is_err());
+        assert!(parse_hex32("0x").is_err());
+        assert!(parse_hex32("").is_err());
+        assert!(parse_hex32("0xgg").is_err());
+        assert!(parse_hex32("-0x10").is_err());
+        assert!(parse_hex32("0x 10").is_err());
+        // Out of 32-bit range.
+        assert!(parse_hex32("0x100000000").is_err());
+    }
+
+    #[test]
+    fn num64_hex_needs_prefix_decimal_does_not() {
+        assert_eq!(parse_num64("0x10"), Ok(16));
+        assert_eq!(parse_num64("0X10"), Ok(16));
+        assert_eq!(parse_num64("10"), Ok(10));
+        assert!(parse_num64("0x0x10").is_err());
+        assert!(parse_num64("ff").is_err()); // bare hex digits are not decimal
+        assert!(parse_num64("").is_err());
+    }
+}

@@ -71,3 +71,11 @@ pub use hx_fault as fault;
 
 /// Trace queries, condition expressions and JSON-line output (`hx-query`).
 pub use hx_query as query;
+
+/// Debug farm: one host process serving N concurrent guests over per-guest
+/// debug sockets plus a fleet control endpoint.
+pub use hx_farm as farm;
+
+/// Shared CLI parsing helpers (strict hex address parsing) used by every
+/// `lwvmm-*` binary.
+pub mod cli;
